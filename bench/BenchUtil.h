@@ -1,0 +1,38 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_BENCH_BENCHUTIL_H
+#define CMM_BENCH_BENCHUTIL_H
+
+#include "ir/Translate.h"
+#include "sem/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmm::bench {
+
+/// Compiles \p Sources or aborts the benchmark binary (benchmarks never run
+/// on malformed inputs).
+inline std::unique_ptr<IrProgram>
+compileOrDie(const std::vector<std::string> &Sources) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog = compileProgram(Sources, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "benchmark program failed to compile:\n%s\n",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return Prog;
+}
+
+inline Value b32(uint64_t V) { return Value::bits(32, V); }
+
+} // namespace cmm::bench
+
+#endif // CMM_BENCH_BENCHUTIL_H

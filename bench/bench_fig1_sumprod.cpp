@@ -1,0 +1,97 @@
+//===- bench/bench_fig1_sumprod.cpp - Experiment F1 -----------------------===//
+//
+// Part of cmmex (see DESIGN.md). Figure 1: the three sum-and-product
+// procedures (ordinary recursion, tail recursion, explicit loop), executed
+// on the abstract machine, unoptimized and optimized. The figure's point is
+// that C-- expresses all three control idioms; the measurements show their
+// relative costs on the reference interpreter (calls cost frames, jumps and
+// loops do not).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "opt/PassManager.h"
+
+using namespace cmm;
+using namespace cmm::bench;
+
+namespace {
+
+const char *sumProdSource() {
+  return R"(
+export sp1, sp2, sp3;
+sp1(bits32 n) {
+  bits32 s, p;
+  if n == 1 { return (1, 1); } else {
+    s, p = sp1(n - 1);
+    return (s + n, p * n);
+  }
+}
+sp2(bits32 n) { jump sp2_help(n, 1, 1); }
+sp2_help(bits32 n, bits32 s, bits32 p) {
+  if n == 1 { return (s, p); } else {
+    jump sp2_help(n - 1, s + n, p * n);
+  }
+}
+sp3(bits32 n) {
+  bits32 s, p;
+  s = 1; p = 1;
+loop:
+  if n == 1 { return (s, p); } else {
+    s = s + n; p = p * n; n = n - 1;
+    goto loop;
+  }
+}
+)";
+}
+
+const IrProgram &program(bool Optimized) {
+  static std::unique_ptr<IrProgram> Plain = compileOrDie({sumProdSource()});
+  static std::unique_ptr<IrProgram> Opt = [] {
+    std::unique_ptr<IrProgram> P = compileOrDie({sumProdSource()});
+    optimizeProgram(*P);
+    return P;
+  }();
+  return Optimized ? *Opt : *Plain;
+}
+
+void runSumProd(benchmark::State &State, const char *Proc, bool Optimized) {
+  const IrProgram &Prog = program(Optimized);
+  uint64_t N = static_cast<uint64_t>(State.range(0));
+  uint64_t Steps = 0, Frames = 0, Runs = 0;
+  for (auto _ : State) {
+    Machine M(Prog);
+    M.start(Proc, {b32(N)});
+    if (M.run() != MachineStatus::Halted) {
+      State.SkipWithError("machine did not halt");
+      return;
+    }
+    benchmark::DoNotOptimize(M.argArea()[0].Raw);
+    Steps += M.stats().Steps;
+    Frames += M.stats().MaxStackDepth;
+    ++Runs;
+  }
+  State.counters["steps"] =
+      benchmark::Counter(static_cast<double>(Steps) / Runs);
+  State.counters["max_frames"] =
+      benchmark::Counter(static_cast<double>(Frames) / Runs);
+}
+
+void BM_sp1(benchmark::State &S) { runSumProd(S, "sp1", false); }
+void BM_sp2(benchmark::State &S) { runSumProd(S, "sp2", false); }
+void BM_sp3(benchmark::State &S) { runSumProd(S, "sp3", false); }
+void BM_sp1_opt(benchmark::State &S) { runSumProd(S, "sp1", true); }
+void BM_sp2_opt(benchmark::State &S) { runSumProd(S, "sp2", true); }
+void BM_sp3_opt(benchmark::State &S) { runSumProd(S, "sp3", true); }
+
+} // namespace
+
+BENCHMARK(BM_sp1)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_sp2)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_sp3)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_sp1_opt)->Arg(1000);
+BENCHMARK(BM_sp2_opt)->Arg(1000);
+BENCHMARK(BM_sp3_opt)->Arg(1000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+//===- bench/bench_fig3_fig4_branch_table.cpp - Experiment F3/F4 ----------===//
+//
+// Part of cmmex (see DESIGN.md). Figures 3 and 4: the SPARC call-site
+// instruction sequences for standard returns and the branch-table method,
+// against the rejected test-and-branch alternative. The model reproduces
+// the paper's claims: the branch-table method "has no dynamic overhead in
+// the normal case" and costs one branch-to-a-branch on the abnormal case,
+// "much cheaper than branch followed by test and conditional branch"; its
+// space overhead is one word per alternate continuation per call site,
+// which "may be considerable".
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/CallSiteModel.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cmm;
+
+namespace {
+
+void BM_call_site(benchmark::State &State) {
+  auto Scheme = static_cast<ReturnScheme>(State.range(0));
+  unsigned AltConts = static_cast<unsigned>(State.range(1));
+
+  // A synthetic program profile: many call sites, mostly normal returns.
+  constexpr uint64_t CallSites = 10'000;
+  constexpr uint64_t NormalReturns = 1'000'000;
+  constexpr uint64_t AbnormalReturns = 10'000;
+
+  ProgramCallCost Cost{};
+  for (auto _ : State) {
+    Cost = programCallCost(Scheme, CallSites, AltConts, NormalReturns,
+                           AbnormalReturns);
+    benchmark::DoNotOptimize(Cost);
+  }
+  const char *Name = Scheme == ReturnScheme::Standard ? "standard(fig3)"
+                     : Scheme == ReturnScheme::BranchTable
+                         ? "branch-table(fig4)"
+                         : "test-and-branch";
+  State.SetLabel(Name);
+  CallSiteCost C = callSiteCost(Scheme, AltConts, AltConts ? AltConts - 1 : 0);
+  State.counters["words_per_site"] = C.Words;
+  State.counters["normal_extra_instrs"] = C.NormalReturnExtra;
+  State.counters["abnormal_extra_instrs"] = C.AbnormalReturnExtra;
+  State.counters["space_words_total"] =
+      static_cast<double>(Cost.SpaceWords);
+  State.counters["dyn_extra_instrs_total"] =
+      static_cast<double>(Cost.ExtraInstructions);
+}
+
+} // namespace
+
+static void schemes(benchmark::internal::Benchmark *B) {
+  for (int64_t S : {0, 1, 2})          // Standard, BranchTable, TestAndBranch
+    for (int64_t N : {0, 1, 2, 4, 8})  // alternate return continuations
+      if (!(S == 0 && N != 0))         // standard sites have no alternates
+        B->Args({S, N});
+}
+BENCHMARK(BM_call_site)->Apply(schemes);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+//===- bench/bench_fig7_10_modula3.cpp - Experiments F7-F10 ---------------===//
+//
+// Part of cmmex (see DESIGN.md). Figures 7-10: the same Modula-3 program
+// compiled under the three policies the appendix sketches. Measured:
+//
+//  - normal-case cost per TryAMove (run-time unwinding has "zero dynamic
+//    overhead for entering the scope of an exception handler"; Figure 10's
+//    cutting adds a small per-scope cost);
+//  - dispatch cost when the exception fires (cutting is constant time;
+//    unwinding "may be considerable" and grows with depth);
+//  - the machine/dispatcher counter breakdown behind both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "frontend/M3Driver.h"
+
+using namespace cmm;
+using namespace cmm::bench;
+
+namespace {
+
+/// Figure 7's TryAMove, with a depth knob: the RAISE happens `depth` calls
+/// below the TRY, and `iters` moves are tried per run.
+const char *gameSource() {
+  return R"(
+EXCEPTION BadMove(INTEGER);
+EXCEPTION NoMoreTiles;
+VAR movesTried: INTEGER;
+
+PROCEDURE MakeMoveAt(move: INTEGER, depth: INTEGER) =
+BEGIN
+  IF depth > 0 THEN
+    MakeMoveAt(move, depth - 1);
+    RETURN;
+  END;
+  IF move = 7 THEN RAISE BadMove(move); END;
+  IF move = 9 THEN RAISE NoMoreTiles; END;
+END MakeMoveAt;
+
+PROCEDURE TryAMove(move: INTEGER, depth: INTEGER): INTEGER =
+VAR result: INTEGER;
+BEGIN
+  TRY
+    MakeMoveAt(move, depth);
+    result := 1;
+  EXCEPT
+  | BadMove(why) => result := 100 + why;
+  | NoMoreTiles => result := 200;
+  END;
+  movesTried := movesTried + 1;
+  RETURN result;
+END TryAMove;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR move: INTEGER;
+VAR depth: INTEGER;
+VAR iters: INTEGER;
+VAR i: INTEGER;
+VAR acc: INTEGER;
+BEGIN
+  (* x encodes move*1000000 + depth*1000 + iters *)
+  move := x DIV 1000000;
+  depth := (x DIV 1000) MOD 1000;
+  iters := x MOD 1000;
+  i := 0;
+  acc := 0;
+  WHILE i < iters DO
+    acc := acc + TryAMove(move, depth);
+    i := i + 1;
+  END;
+  RETURN acc;
+END Main;
+)";
+}
+
+const M3Program &program(ExnPolicy P) {
+  static std::unique_ptr<M3Program> Progs[3];
+  auto &Slot = Progs[static_cast<int>(P)];
+  if (!Slot) {
+    DiagnosticEngine Diags;
+    Slot = buildM3(gameSource(), P, Diags, /*Optimize=*/true);
+    if (!Slot) {
+      std::fprintf(stderr, "MiniM3 build failed: %s\n", Diags.str().c_str());
+      std::abort();
+    }
+  }
+  return *Slot;
+}
+
+void BM_try_a_move(benchmark::State &State) {
+  auto Policy = static_cast<ExnPolicy>(State.range(0));
+  uint64_t Move = static_cast<uint64_t>(State.range(1));
+  uint64_t Depth = static_cast<uint64_t>(State.range(2));
+  constexpr uint64_t Iters = 100;
+  const M3Program &P = program(Policy);
+
+  uint64_t Steps = 0, Stores = 0, Walked = 0, Runs = 0;
+  for (auto _ : State) {
+    M3RunResult R =
+        runM3(P, Move * 1000000 + Depth * 1000 + Iters);
+    if (!R.Ok) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(R.Value);
+    Steps += R.MachineStats.Steps;
+    Stores += R.MachineStats.Stores;
+    Walked += R.ActivationsWalked;
+    ++Runs;
+  }
+  State.SetLabel(exnPolicyName(Policy));
+  State.counters["steps_per_try"] =
+      static_cast<double>(Steps) / Runs / Iters;
+  State.counters["stores_per_try"] =
+      static_cast<double>(Stores) / Runs / Iters;
+  State.counters["walk_per_try"] =
+      static_cast<double>(Walked) / Runs / Iters;
+}
+
+} // namespace
+
+static void gameArgs(benchmark::internal::Benchmark *B) {
+  for (int64_t Policy : {0, 1, 2})
+    for (int64_t Move : {1, 7})      // 1 = normal move, 7 = raises BadMove
+      for (int64_t Depth : {0, 8, 64})
+        B->Args({Policy, Move, Depth});
+}
+BENCHMARK(BM_try_a_move)->Apply(gameArgs);
+
+BENCHMARK_MAIN();

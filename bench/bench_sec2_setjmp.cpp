@@ -1,0 +1,50 @@
+//===- bench/bench_sec2_setjmp.cpp - Section 2 measurements ---------------===//
+//
+// Part of cmmex (see DESIGN.md). Section 2's quantitative comparison of
+// setjmp/longjmp against a native-code stack cutter: jmp_buf sizes of 6
+// (Pentium/Linux), 19 (Sparc/Solaris) and 84 (Alpha/Digital-Unix) pointers
+// versus the cutter's 2, plus the SPARC register-window flush on longjmp.
+// The benchmark regenerates the words-moved table for a workload of scope
+// entries and raises.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/SetjmpModel.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cmm;
+
+namespace {
+
+void BM_setjmp_vs_cutter(benchmark::State &State) {
+  const SetjmpProfile &P = SetjmpProfiles[State.range(0)];
+  uint64_t ScopeEntries = 100000;
+  uint64_t Raises = static_cast<uint64_t>(State.range(1));
+
+  NonLocalExitCost C{};
+  for (auto _ : State) {
+    C = nonLocalExitCost(P, ScopeEntries, Raises);
+    benchmark::DoNotOptimize(C);
+  }
+  State.SetLabel(P.Name);
+  State.counters["jmp_buf_ptrs"] = P.JmpBufPointers;
+  State.counters["cutter_ptrs"] = P.NativeCutterPointers;
+  State.counters["setjmp_words"] = static_cast<double>(C.SetjmpWordsSaved);
+  State.counters["cutter_words"] = static_cast<double>(C.CutterWordsSaved);
+  State.counters["save_ratio"] =
+      static_cast<double>(C.SetjmpWordsSaved) / C.CutterWordsSaved;
+  State.counters["longjmp_words"] =
+      static_cast<double>(C.LongjmpWordsRestored);
+}
+
+} // namespace
+
+static void profiles(benchmark::internal::Benchmark *B) {
+  for (int64_t P : {0, 1, 2})
+    for (int64_t Raises : {100, 10000})
+      B->Args({P, Raises});
+}
+BENCHMARK(BM_setjmp_vs_cutter)->Apply(profiles);
+
+BENCHMARK_MAIN();

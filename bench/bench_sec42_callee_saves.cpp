@@ -1,0 +1,110 @@
+//===- bench/bench_sec42_callee_saves.cpp - Experiment §4.2 ---------------===//
+//
+// Part of cmmex (see DESIGN.md). Section 4.2's register trade-off:
+// "the stack-cutting technique ... reduces the utility of callee-saves
+// registers: the callee-saves registers must be considered killed by flow
+// edges from the call to any cut-to continuations", whereas "the unwinding
+// technique allows callee-saves registers to be used at every call site".
+//
+// Measured over randomized exception-using programs:
+//  - how many live-across-call variables the sound pass can place in
+//    callee-saves registers, and how many the cut edges force back into the
+//    frame (the cutting tax);
+//  - the killed-live-value count of the unsound placement (the bug the
+//    ablation run exhibits);
+//  - execution outcomes of sound vs unsound placement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "costmodel/RandomProgram.h"
+#include "opt/PassManager.h"
+
+using namespace cmm;
+using namespace cmm::bench;
+
+namespace {
+
+void BM_placement(benchmark::State &State) {
+  bool RespectCuts = State.range(0) != 0;
+  constexpr uint64_t NumSeeds = 40;
+
+  uint64_t Placed = 0, Excluded = 0, Killed = 0, WrongRuns = 0, Runs = 0;
+  for (auto _ : State) {
+    Placed = Excluded = Killed = WrongRuns = Runs = 0;
+    for (uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      std::unique_ptr<IrProgram> P =
+          compileOrDie({generateRandomProgram(Seed)});
+      OptOptions Opts;
+      Opts.PlaceCalleeSaves = true;
+      Opts.CalleeSaves.RespectCutEdges = RespectCuts;
+      OptReport R = optimizeProgram(*P, Opts);
+      Placed += R.CalleeSaves.VarsPlaced;
+      Excluded += R.CalleeSaves.VarsExcludedByCutEdges;
+      for (const auto &Proc : P->Procs)
+        Killed += countKilledLiveValues(*Proc, *P);
+      for (uint64_t In : {1, 3, 7, 12}) {
+        Machine M(*P);
+        M.start("main", {b32(In)});
+        ++Runs;
+        if (M.run(2'000'000) == MachineStatus::Wrong)
+          ++WrongRuns;
+      }
+    }
+    benchmark::DoNotOptimize(Killed);
+  }
+  State.SetLabel(RespectCuts ? "sound(cut-edges-respected)"
+                             : "unsound(ablation)");
+  State.counters["vars_in_callee_saves"] = static_cast<double>(Placed);
+  State.counters["vars_kept_in_frame_by_cut_edges"] =
+      static_cast<double>(Excluded);
+  State.counters["killed_live_values_static"] = static_cast<double>(Killed);
+  State.counters["executions_gone_wrong"] = static_cast<double>(WrongRuns);
+  State.counters["executions_total"] = static_cast<double>(Runs);
+}
+
+/// The flip side: with unwinding-only handlers (no cut edges), nothing is
+/// excluded — "the unwinding technique allows callee-saves registers to be
+/// used at every call site".
+void BM_unwind_only_placement(benchmark::State &State) {
+  // Programs whose handlers unwind rather than cut carry `also unwinds to`
+  // edges, which do not kill callee-saves registers.
+  const char *Src = R"(
+export main;
+data d0 { bits32 1; bits32 5; bits32 0; bits32 1; }
+g(bits32 x) {
+  if x == 0 { yield(5, 1) also aborts; }
+  return (x);
+}
+main(bits32 x) {
+  bits32 y, z, w, r, s;
+  y = x * 3;
+  z = x + 7;
+  w = x ^ 9;
+  r = g(x) also unwinds to k also aborts descriptors d0;
+  return (y + z + w + r);
+continuation k(s):
+  return (y + z + w + s);
+}
+)";
+  uint64_t Placed = 0, Excluded = 0;
+  for (auto _ : State) {
+    std::unique_ptr<IrProgram> P = compileOrDie({Src});
+    OptOptions Opts;
+    Opts.PlaceCalleeSaves = true;
+    OptReport R = optimizeProgram(*P, Opts);
+    Placed = R.CalleeSaves.VarsPlaced;
+    Excluded = R.CalleeSaves.VarsExcludedByCutEdges;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["vars_in_callee_saves"] = static_cast<double>(Placed);
+  State.counters["vars_excluded"] = static_cast<double>(Excluded);
+}
+
+} // namespace
+
+BENCHMARK(BM_placement)->Arg(1)->Arg(0)->Iterations(1);
+BENCHMARK(BM_unwind_only_placement);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+//===- bench/bench_table1_runtime_interface.cpp - Experiment T1 -----------===//
+//
+// Part of cmmex (see DESIGN.md). Table 1: the C-- run-time interface. The
+// benchmark suspends a thread under a stack of configurable depth and
+// measures the operations a front-end runtime performs: the
+// FirstActivation/NextActivation walk (linear in depth — this is exactly
+// the interpretive cost of the run-time unwinding technique), descriptor
+// retrieval, and the SetActivation/SetUnwindCont/FindContParam/Resume
+// sequence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "rts/RuntimeInterface.h"
+
+using namespace cmm;
+using namespace cmm::bench;
+
+namespace {
+
+const char *deepYieldSource() {
+  return R"(
+export main;
+
+data desc_top {
+  bits32 1;
+  bits32 77; bits32 0; bits32 1;
+}
+
+deep(bits32 n) {
+  bits32 r;
+  if n == 0 {
+    yield(77, 5) also aborts;
+    return (0);
+  }
+  r = deep(n - 1) also aborts;
+  return (r);
+}
+
+main(bits32 depth) {
+  bits32 r, a;
+  r = deep(depth) also unwinds to k also aborts descriptors desc_top;
+  return (r);
+continuation k(a):
+  return (100 + a);
+}
+)";
+}
+
+const IrProgram &program() {
+  static std::unique_ptr<IrProgram> P = compileOrDie({deepYieldSource()});
+  return *P;
+}
+
+/// Suspends a machine with `depth` frames below the yield.
+std::unique_ptr<Machine> suspendAtDepth(uint64_t Depth) {
+  auto M = std::make_unique<Machine>(program());
+  M->start("main", {b32(Depth)});
+  M->run();
+  if (M->status() != MachineStatus::Suspended)
+    return nullptr;
+  return M;
+}
+
+/// The full Figure 9 walk: first/next to the bottom, reading descriptors.
+void BM_stack_walk(benchmark::State &State) {
+  uint64_t Depth = static_cast<uint64_t>(State.range(0));
+  std::unique_ptr<Machine> M = suspendAtDepth(Depth);
+  if (!M) {
+    State.SkipWithError("machine did not suspend");
+    return;
+  }
+  uint64_t Visited = 0, Runs = 0;
+  for (auto _ : State) {
+    CmmRuntime Rt(*M);
+    Activation A;
+    Rt.firstActivation(A);
+    uint64_t Descs = 0;
+    do {
+      if (Rt.getDescriptor(A, 0))
+        ++Descs;
+    } while (Rt.nextActivation(A));
+    benchmark::DoNotOptimize(Descs);
+    Visited += Rt.stats().ActivationsVisited;
+    ++Runs;
+  }
+  State.counters["activations_visited"] =
+      static_cast<double>(Visited) / Runs;
+}
+
+/// SetActivation + SetUnwindCont + FindContParam + Resume: one complete
+/// dispatch, re-suspending each iteration.
+void BM_unwind_and_resume(benchmark::State &State) {
+  uint64_t Depth = static_cast<uint64_t>(State.range(0));
+  uint64_t Steps = 0, Runs = 0;
+  for (auto _ : State) {
+    std::unique_ptr<Machine> M = suspendAtDepth(Depth);
+    if (!M) {
+      State.SkipWithError("machine did not suspend");
+      return;
+    }
+    CmmRuntime Rt(*M);
+    Activation A;
+    Rt.firstActivation(A);
+    // Walk to the bottom activation (main), which owns the handler.
+    while (Rt.nextActivation(A)) {
+    }
+    A.Valid = true;
+    A.IndexFromTop = Rt.stackDepth() - 1;
+    if (!Rt.setActivation(A) || !Rt.setUnwindCont(0)) {
+      State.SkipWithError("staging failed");
+      return;
+    }
+    *Rt.findContParam(0) = b32(5);
+    if (!Rt.resume() || M->run() != MachineStatus::Halted) {
+      State.SkipWithError("resume failed");
+      return;
+    }
+    benchmark::DoNotOptimize(M->argArea()[0].Raw);
+    Steps += M->stats().UnwindPops;
+    ++Runs;
+  }
+  State.counters["frames_unwound"] = static_cast<double>(Steps) / Runs;
+}
+
+} // namespace
+
+BENCHMARK(BM_stack_walk)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_unwind_and_resume)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

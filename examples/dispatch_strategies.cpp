@@ -1,0 +1,95 @@
+//===- examples/dispatch_strategies.cpp - The Figure 2 design space -------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Runs one raise/handle workload under all four implementation techniques
+// of Section 2 (stack cutting, run-time unwinding, native-code unwinding,
+// and continuation-passing style) — plus the run-time-system cut variant —
+// and prints the cost matrix of Figure 2 as measured numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/DispatchWorkloads.h"
+#include "ir/Translate.h"
+#include "rts/Dispatchers.h"
+
+#include <cstdio>
+
+using namespace cmm;
+
+namespace {
+
+struct Row {
+  uint64_t Result = 0;
+  uint64_t Steps = 0;
+  uint64_t Yields = 0;
+  bool Ok = false;
+};
+
+Row run(DispatchTechnique T, uint64_t Depth, uint64_t DoRaise) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog =
+      compileProgram({dispatchWorkloadSource(T)}, Diags);
+  Row R;
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return R;
+  }
+  Machine M(*Prog);
+  M.start("bench", {Value::bits(32, Depth), Value::bits(32, DoRaise)});
+  MachineStatus St;
+  if (T == DispatchTechnique::CutRuntime) {
+    CuttingDispatcher D(M);
+    St = runWithRuntime(M, std::ref(D));
+  } else if (T == DispatchTechnique::UnwindRuntime) {
+    UnwindingDispatcher D(M);
+    St = runWithRuntime(M, std::ref(D));
+  } else {
+    St = M.run();
+  }
+  if (St != MachineStatus::Halted) {
+    std::fprintf(stderr, "%s went wrong: %s\n", dispatchTechniqueName(T),
+                 M.wrongReason().c_str());
+    return R;
+  }
+  R.Ok = true;
+  R.Result = M.argArea()[0].Raw;
+  R.Steps = M.stats().Steps;
+  R.Yields = M.stats().Yields;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  constexpr uint64_t Depth = 64;
+  std::printf(
+      "Figure 2's design space, measured. Workload: descend %llu\n"
+      "activations, optionally raise; the handler sits at the top.\n\n",
+      static_cast<unsigned long long>(Depth));
+  std::printf("%-20s %10s %12s %12s %8s\n", "technique", "result",
+              "steps(normal)", "steps(raise)", "yields");
+  for (DispatchTechnique T : AllDispatchTechniques) {
+    Row Normal = run(T, Depth, 0);
+    Row Raise = run(T, Depth, 1);
+    if (!Normal.Ok || !Raise.Ok)
+      return 1;
+    std::printf("%-20s %6llu/%-6llu %10llu %12llu %8llu\n",
+                dispatchTechniqueName(T),
+                static_cast<unsigned long long>(Normal.Result),
+                static_cast<unsigned long long>(Raise.Result),
+                static_cast<unsigned long long>(Normal.Steps),
+                static_cast<unsigned long long>(Raise.Steps),
+                static_cast<unsigned long long>(Raise.Yields));
+  }
+  std::printf(
+      "\nReading the matrix (Section 4.2):\n"
+      " - the cut variants raise in constant time but pay handler-stack\n"
+      "   bookkeeping on every scope entry and kill callee-saves registers;\n"
+      " - the unwind variants enter scopes for free and pay O(depth) to\n"
+      "   raise, interpretively (runtime) or in generated code (return\n"
+      "   <i/n> with the Figure 4 branch-table method);\n"
+      " - CPS raises with a single tail call, paying instead for explicit\n"
+      "   continuation closures on the success path.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- examples/optimizer_tour.cpp - Table 3 and Figure 6 live ------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Walks through the optimizer story of Section 6 on the paper's own
+// Figure 5 procedure: the Abstract C-- graph, its SSA numbering (Figure 6),
+// what the standard passes do with the `also` edges present — and what
+// goes wrong without them (the Hennessy scenario).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+#include "ir/Translate.h"
+#include "opt/PassManager.h"
+#include "opt/Ssa.h"
+#include "sem/Machine.h"
+
+#include <cstdio>
+
+using namespace cmm;
+
+int main() {
+  // Figure 5 of the paper (g supplied so the program runs).
+  const char *Fig5 = R"(
+export f;
+g() { return (1, 2); }
+f(bits32 a) {
+  bits32 b, c, d;
+  b = a;
+  c = a;
+  b, c = g() also unwinds to k also aborts;
+  c = b + c + a;
+  return (c);
+continuation k(d):
+  return (b + d);
+}
+)";
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog = compileProgram({Fig5}, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  IrProc *F = Prog->findProc("f");
+
+  std::printf("=== Figure 5's procedure, translated to Abstract C-- "
+              "(Section 5.3) ===\n%s\n",
+              printProc(*F, *Prog->Names).c_str());
+
+  std::printf("=== Its SSA numbering (Figure 6, Section 6) ===\n%s\n",
+              computeSsa(*F, *Prog).print(*F, *Prog->Names).c_str());
+  std::printf("Note how the handler k uses the *pre-call* version of b:\n"
+              "the `also unwinds to` edge leaves the call, not the result\n"
+              "CopyIn, so the dataflow is exact without special cases.\n\n");
+
+  // The Hennessy scenario: y is used only by a cut-to handler.
+  const char *Hennessy = R"(
+export main;
+global bits32 exn_top;
+data exn_stack { bits32[8]; }
+boom() {
+  bits32 kv;
+  kv = bits32[exn_top];
+  exn_top = exn_top - sizeof(kv);
+  cut to kv(1, 2);
+}
+f(bits32 x) {
+  bits32 y, t, a, kv;
+  y = x * 3;
+  exn_top = exn_top + sizeof(kv);
+  bits32[exn_top] = k;
+  boom() also cuts to k also aborts;
+  exn_top = exn_top - sizeof(kv);
+  return (0);
+continuation k(t, a):
+  return (y + t + a);
+}
+main(bits32 x) {
+  bits32 r;
+  exn_top = exn_stack;
+  r = f(x);
+  return (r);
+}
+)";
+
+  auto RunOnce = [&](bool WithEdges) {
+    DiagnosticEngine D2;
+    std::unique_ptr<IrProgram> P = compileProgram({Hennessy}, D2);
+    OptOptions Opts;
+    Opts.WithExceptionalEdges = WithEdges;
+    Opts.PlaceCalleeSaves = true;
+    OptReport R = optimizeProgram(*P, Opts);
+    Machine M(*P);
+    M.start("main", {Value::bits(32, 10)});
+    MachineStatus St = M.run();
+    std::printf("  %-22s removed %u assigns; run: %s",
+                WithEdges ? "with also-edges:" : "without (ablation):",
+                R.DeadCode.AssignsRemoved,
+                St == MachineStatus::Halted ? "halted, result " : "WRONG: ");
+    if (St == MachineStatus::Halted)
+      std::printf("%llu\n",
+                  static_cast<unsigned long long>(M.argArea()[0].Raw));
+    else
+      std::printf("%s\n", M.wrongReason().c_str());
+  };
+
+  std::printf("=== The optimizer and exceptions (Table 3) ===\n");
+  std::printf("y = x*3 is used only by the handler continuation k.\n");
+  RunOnce(true);
+  RunOnce(false);
+  std::printf("\nThe extra dataflow edges are all the optimizer needs to "
+              "handle\nexceptions soundly — no special cases, no knowledge "
+              "of any source\nlanguage's exception semantics.\n");
+  return 0;
+}

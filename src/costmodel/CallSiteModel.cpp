@@ -1,0 +1,54 @@
+//===- costmodel/CallSiteModel.cpp ----------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/CallSiteModel.h"
+
+#include "support/Assert.h"
+
+using namespace cmm;
+
+CallSiteCost cmm::callSiteCost(ReturnScheme Scheme, unsigned NumAltConts,
+                               unsigned AltIndex) {
+  CallSiteCost C;
+  switch (Scheme) {
+  case ReturnScheme::Standard:
+    // Figure 3: call + delay slot; jmp %i7+8 to return.
+    C.Words = 2;
+    C.NormalReturnExtra = 0;
+    C.AbnormalReturnExtra = 0; // no abnormal returns possible
+    return C;
+  case ReturnScheme::BranchTable:
+    // Figure 4: call + delay slot + one "ba,a k_i" per alternate
+    // continuation. Normal return jumps past the table — no dynamic
+    // overhead; an abnormal return executes exactly one extra branch (the
+    // table entry), regardless of which continuation is chosen.
+    C.Words = 2 + NumAltConts;
+    C.NormalReturnExtra = 0;
+    C.AbnormalReturnExtra = NumAltConts == 0 ? 0 : 1;
+    return C;
+  case ReturnScheme::TestAndBranch:
+    // The rejected alternative: the callee returns a selector value; the
+    // caller compares and conditionally branches, once per alternate
+    // continuation in the worst case. The test runs on *every* return.
+    C.Words = 2 + 2 * NumAltConts; // one compare + one branch per alternate
+    C.NormalReturnExtra = NumAltConts == 0 ? 0 : 2 * NumAltConts;
+    C.AbnormalReturnExtra = 2 * (AltIndex + 1);
+    return C;
+  }
+  cmm_unreachable("unknown return scheme");
+}
+
+ProgramCallCost cmm::programCallCost(ReturnScheme Scheme, uint64_t CallSites,
+                                     unsigned NumAltConts,
+                                     uint64_t NormalReturns,
+                                     uint64_t AbnormalReturns) {
+  ProgramCallCost P;
+  CallSiteCost C = callSiteCost(Scheme, NumAltConts, NumAltConts ? NumAltConts / 2 : 0);
+  P.SpaceWords = CallSites * C.Words;
+  P.ExtraInstructions = NormalReturns * C.NormalReturnExtra +
+                        AbnormalReturns * C.AbnormalReturnExtra;
+  return P;
+}

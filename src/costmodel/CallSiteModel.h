@@ -1,0 +1,70 @@
+//===- costmodel/CallSiteModel.h - Figures 3/4 cost model -------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call-site layout model of Figures 3 and 4 and the surrounding
+/// discussion (Section 4.2): how alternate return continuations can be
+/// implemented at a call site, and what each choice costs in space (words
+/// per call site) and time (extra dynamically executed instructions on the
+/// normal and abnormal return paths).
+///
+/// Three schemes:
+///  - Standard (Figure 3): no alternate returns. Two words per site (the
+///    call and its delay-slot instruction); the callee returns with
+///    jmp %i7+8.
+///  - Branch table (Figure 4, Atkinson/Liskov/Scheifler 1978): the call is
+///    followed by one unconditional branch per alternate continuation; the
+///    callee returns to %i7 + 8 + 4*i for continuation i, or past the table
+///    for a normal return. "This technique has no dynamic overhead in the
+///    normal case"; the abnormal case costs a branch to a branch.
+///  - Test and branch (the rejected alternative): "return an additional
+///    value from each procedure, which the caller could test ... such a
+///    test, however, would add an overhead at every call."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_COSTMODEL_CALLSITEMODEL_H
+#define CMM_COSTMODEL_CALLSITEMODEL_H
+
+#include <cstdint>
+
+namespace cmm {
+
+/// How alternate returns are compiled at a call site.
+enum class ReturnScheme : uint8_t { Standard, BranchTable, TestAndBranch };
+
+/// Cost parameters of one call site under one scheme.
+struct CallSiteCost {
+  /// Static words occupied at the call site.
+  unsigned Words = 0;
+  /// Extra instructions executed on a normal return, beyond the minimal
+  /// call/return pair.
+  unsigned NormalReturnExtra = 0;
+  /// Extra instructions executed to reach alternate continuation i
+  /// (0-based), beyond a minimal return.
+  unsigned AbnormalReturnExtra = 0;
+};
+
+/// Cost of a call site with \p NumAltConts alternate return continuations
+/// under \p Scheme; \p AltIndex selects which alternate is taken for the
+/// abnormal-path figure.
+CallSiteCost callSiteCost(ReturnScheme Scheme, unsigned NumAltConts,
+                          unsigned AltIndex = 0);
+
+/// Aggregate program-level model: \p CallSites annotated call sites,
+/// \p NormalReturns and \p AbnormalReturns dynamic events.
+struct ProgramCallCost {
+  uint64_t SpaceWords = 0;
+  uint64_t ExtraInstructions = 0;
+};
+
+ProgramCallCost programCallCost(ReturnScheme Scheme, uint64_t CallSites,
+                                unsigned NumAltConts, uint64_t NormalReturns,
+                                uint64_t AbnormalReturns);
+
+} // namespace cmm
+
+#endif // CMM_COSTMODEL_CALLSITEMODEL_H

@@ -1,0 +1,177 @@
+//===- costmodel/RandomProgram.cpp ----------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/RandomProgram.h"
+
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace cmm;
+
+namespace {
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const RandomProgramOptions &Opts)
+      : R(Seed), Opts(Opts) {}
+
+  std::string run();
+
+private:
+  std::string var() {
+    static const char *Pool[] = {"x", "a", "b", "c", "d"};
+    return Pool[R.below(5)];
+  }
+
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || R.chance(2, 5)) {
+      if (R.chance(2, 5))
+        return std::to_string(R.below(10));
+      return var();
+    }
+    static const char *Ops[] = {"+", "-", "*", "&", "|", "^"};
+    return "(" + expr(Depth - 1) + " " + Ops[R.below(6)] + " " +
+           expr(Depth - 1) + ")";
+  }
+
+  std::string cond() {
+    static const char *Cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+    return "(" + expr(1) + ") " + Cmps[R.below(6)] + " (" + expr(1) + ")";
+  }
+
+  void line(const std::string &Text) {
+    Out.append(Indent * 2, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  void assigns(unsigned Count) {
+    for (unsigned I = 0; I < Count; ++I) {
+      if (R.chance(1, 5)) {
+        // A bounded loop: c = k; L: if c > 0 { ...; c = c - 1; goto L; }
+        std::string Label = "loop" + std::to_string(NextLabel++);
+        line("c = " + std::to_string(2 + R.below(4)) + ";");
+        line(Label + ":");
+        line("if (c) > (0) {");
+        ++Indent;
+        line(var() + " = " + expr(2) + ";");
+        line("c = c - 1;");
+        line("goto " + Label + ";");
+        --Indent;
+        line("}");
+        continue;
+      }
+      if (R.chance(1, 4)) {
+        line("if " + cond() + " {");
+        ++Indent;
+        line(var() + " = " + expr(2) + ";");
+        --Indent;
+        line("} else {");
+        ++Indent;
+        line(var() + " = " + expr(2) + ";");
+        --Indent;
+        line("}");
+        continue;
+      }
+      line(var() + " = " + expr(2) + ";");
+    }
+  }
+
+  void proc(unsigned I);
+
+  Rng R;
+  RandomProgramOptions Opts;
+  std::string Out;
+  unsigned Indent = 0;
+  unsigned NextLabel = 0;
+};
+
+void Generator::proc(unsigned I) {
+  bool IsLeaf = I + 1 == Opts.NumProcs;
+  // The outermost procedure always installs a handler so a raising leaf
+  // always has a live target.
+  bool HasHandler =
+      !IsLeaf && Opts.UseHandlers && (I == 0 || R.chance(1, 2));
+
+  line("f" + std::to_string(I) + "(bits32 x) {");
+  ++Indent;
+  // Initialize the whole variable pool before any random statement so the
+  // generated program never reads an unbound variable (which would go
+  // wrong, and optimizing a wrong program is not required to preserve its
+  // behaviour).
+  line("bits32 a, b, c, d, t, u, kv, r;");
+  line("a = x + " + std::to_string(R.below(5)) + ";");
+  line("b = x * " + std::to_string(1 + R.below(4)) + ";");
+  line("c = (x ^ " + std::to_string(R.below(9)) + ") & 7;");
+  line("d = x - " + std::to_string(R.below(6)) + ";");
+  assigns(Opts.StmtsPerBlock);
+
+  if (IsLeaf) {
+    if (Opts.UseHandlers && R.chance(Opts.RaiseChancePct, 100)) {
+      line("if ((" + expr(1) + ") & 3) == (0) {");
+      ++Indent;
+      line("kv = bits32[exn_top];");
+      line("exn_top = exn_top - sizeof(kv);");
+      line("cut to kv(" + std::to_string(10 + R.below(5)) + ", " + expr(1) +
+           ");");
+      --Indent;
+      line("}");
+    }
+    line("return (" + expr(2) + ");");
+    --Indent;
+    line("}");
+    return;
+  }
+
+  if (HasHandler) {
+    line("exn_top = exn_top + sizeof(kv);");
+    line("bits32[exn_top] = k;");
+    line("r = f" + std::to_string(I + 1) + "(" + expr(1) +
+         ") also cuts to k also aborts;");
+    line("exn_top = exn_top - sizeof(kv);");
+  } else {
+    line("r = f" + std::to_string(I + 1) + "(" + expr(1) +
+         ") also aborts;");
+  }
+  assigns(Opts.StmtsPerBlock / 2 + 1);
+  line("return ((r + " + expr(2) + ") ^ b);");
+  if (HasHandler) {
+    // The handler mentions values computed before the call — the shape that
+    // makes naive callee-saves placement and dead-code elimination unsound.
+    line("continuation k(t, u):");
+    ++Indent;
+    line("d = ((a + b) ^ t) + (u * 3);");
+    line("return (d + " + std::to_string(R.below(100)) + ");");
+    --Indent;
+  }
+  --Indent;
+  line("}");
+}
+
+std::string Generator::run() {
+  line("export main;");
+  line("global bits32 exn_top;");
+  line("data exn_stack { bits32[64]; }");
+  for (unsigned I = 0; I < Opts.NumProcs; ++I)
+    proc(I);
+  line("main(bits32 x) {");
+  ++Indent;
+  line("bits32 r;");
+  line("exn_top = exn_stack;");
+  line("r = f0(x);");
+  line("return (r);");
+  --Indent;
+  line("}");
+  return std::move(Out);
+}
+
+} // namespace
+
+std::string cmm::generateRandomProgram(uint64_t Seed,
+                                       const RandomProgramOptions &Opts) {
+  return Generator(Seed, Opts).run();
+}

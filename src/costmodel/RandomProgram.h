@@ -1,0 +1,40 @@
+//===- costmodel/RandomProgram.h - Random C-- workloads ---------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic random generator of well-formed C-- programs that use
+/// exceptions through stack cutting. The programs exercise the shapes the
+/// paper's optimizer discussion cares about: values computed before a call,
+/// used after its normal return, and/or used in a handler continuation the
+/// call can cut to. Used by the property-based optimizer-soundness tests
+/// and by the Table 3 ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_COSTMODEL_RANDOMPROGRAM_H
+#define CMM_COSTMODEL_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace cmm {
+
+/// Generator parameters.
+struct RandomProgramOptions {
+  unsigned NumProcs = 4;        ///< call-chain depth (>= 2)
+  unsigned StmtsPerBlock = 5;   ///< straight-line statements per block
+  unsigned RaiseChancePct = 50; ///< probability the leaf raises
+  bool UseHandlers = true;      ///< generate TRY-like handler scopes
+};
+
+/// Generates a self-contained C-- module exporting `main`, deterministic in
+/// \p Seed. main takes one bits32 argument and returns one bits32 result.
+std::string generateRandomProgram(uint64_t Seed,
+                                  const RandomProgramOptions &Opts = {});
+
+} // namespace cmm
+
+#endif // CMM_COSTMODEL_RANDOMPROGRAM_H

@@ -1,0 +1,63 @@
+//===- costmodel/SetjmpModel.h - Section 2 setjmp model ---------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quantitative comparison of Section 2: "the size of a jmp_buf is 6
+/// pointers on Pentium/Linux, 19 on Sparc/Solaris, and 84 on
+/// Alpha/Digital-Unix ... they are significantly more expensive than a
+/// native-code stack cutter, which saves 2 pointers. On the SPARC, longjmp
+/// pays the additional penalty of flushing register windows."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_COSTMODEL_SETJMPMODEL_H
+#define CMM_COSTMODEL_SETJMPMODEL_H
+
+#include <array>
+#include <cstdint>
+
+namespace cmm {
+
+/// One architecture's state-saving profile for non-local exits.
+struct SetjmpProfile {
+  const char *Name;
+  unsigned JmpBufPointers;      ///< words saved by setjmp
+  unsigned NativeCutterPointers; ///< words saved by a native stack cutter
+  bool FlushesRegisterWindows;  ///< longjmp flushes windows (SPARC)
+};
+
+/// The paper's published measurements.
+inline constexpr std::array<SetjmpProfile, 3> SetjmpProfiles = {{
+    {"Pentium/Linux", 6, 2, false},
+    {"Sparc/Solaris", 19, 2, true},
+    {"Alpha/Digital-Unix", 84, 2, false},
+}};
+
+/// Words moved to enter a handler scope \p Times times under setjmp vs the
+/// native cutter. The register-window flush is modeled as an extra 16-word
+/// spill on the raise path.
+struct NonLocalExitCost {
+  uint64_t SetjmpWordsSaved = 0;
+  uint64_t LongjmpWordsRestored = 0;
+  uint64_t CutterWordsSaved = 0;
+  uint64_t CutterWordsRestored = 0;
+};
+
+inline NonLocalExitCost nonLocalExitCost(const SetjmpProfile &P,
+                                         uint64_t ScopeEntries,
+                                         uint64_t Raises) {
+  NonLocalExitCost C;
+  C.SetjmpWordsSaved = ScopeEntries * P.JmpBufPointers;
+  C.LongjmpWordsRestored =
+      Raises * (P.JmpBufPointers + (P.FlushesRegisterWindows ? 16 : 0));
+  C.CutterWordsSaved = ScopeEntries * P.NativeCutterPointers;
+  C.CutterWordsRestored = Raises * P.NativeCutterPointers;
+  return C;
+}
+
+} // namespace cmm
+
+#endif // CMM_COSTMODEL_SETJMPMODEL_H

@@ -1,0 +1,58 @@
+//===- frontend/M3Driver.h - Compile-and-run helper -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience driver: compile a Mini-Modula-3 program under a policy, link
+/// it against the standard library, optionally optimize, and run it on the
+/// abstract machine with the right front-end runtime attached (only the
+/// RuntimeUnwinding policy needs one — the other policies dispatch entirely
+/// in generated code, which is rather the point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_FRONTEND_M3DRIVER_H
+#define CMM_FRONTEND_M3DRIVER_H
+
+#include "frontend/MiniM3.h"
+#include "ir/Ir.h"
+#include "sem/Stats.h"
+
+#include <memory>
+
+namespace cmm {
+
+/// A compiled, linked, ready-to-run Mini-Modula-3 program.
+struct M3Program {
+  std::unique_ptr<IrProgram> Prog;
+  ExnPolicy Policy;
+  std::string CmmSource;
+};
+
+/// Compiles and links \p Source under \p Policy. \p Optimize runs the full
+/// pipeline (with exceptional edges and callee-saves placement). Returns
+/// null with diagnostics on error.
+std::unique_ptr<M3Program> buildM3(const std::string &Source,
+                                   ExnPolicy Policy, DiagnosticEngine &Diags,
+                                   bool Optimize = false);
+
+/// Result of one execution.
+struct M3RunResult {
+  bool Ok = false;           ///< machine halted normally
+  bool UnhandledExn = false; ///< status word was 1
+  uint64_t Value = 0;        ///< Main's result, or the unhandled tag
+  Stats MachineStats;
+  uint64_t DispatcherRuns = 0;       ///< unwinding policy only
+  uint64_t ActivationsWalked = 0;    ///< unwinding policy only
+  std::string WrongReason;
+};
+
+/// Runs m3main(\p Input) with the policy-appropriate runtime.
+M3RunResult runM3(const M3Program &P, uint64_t Input,
+                  uint64_t MaxSteps = 50'000'000);
+
+} // namespace cmm
+
+#endif // CMM_FRONTEND_M3DRIVER_H

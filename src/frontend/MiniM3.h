@@ -1,0 +1,90 @@
+//===- frontend/MiniM3.h - A Modula-3-like front end ------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mini-Modula-3: a small source language with TRY-EXCEPT-END and RAISE in
+/// the style of the paper's Figure 7, compiled to *textual C--* under a
+/// selectable exception-handling policy. This demonstrates the paper's
+/// thesis: the front end chooses the policy; C-- provides only mechanisms;
+/// the same optimizer and run-time interface serve every policy.
+///
+/// Policies (Figure 2's design space):
+///  - StackCutting: Figure 10 — an in-memory handler stack, raise pops and
+///    `cut to`s the topmost continuation in constant time.
+///  - RuntimeUnwinding: Figure 8 — RAISE yields to the front-end runtime;
+///    the Figure 9 dispatcher walks the stack using descriptors deposited
+///    at call sites.
+///  - NativeUnwinding: Section 4.2's compiled unwinding — may-raise
+///    procedures return abnormally with `return <0/1>` (branch-table
+///    method); no run-time system involvement at all.
+///
+/// The fourth technique, continuation-passing style, is supported by C--
+/// through fully general tail calls and "requires no further explanation"
+/// (Section 2); the repository demonstrates it with hand-written C--
+/// (examples/dispatch_strategies, bench/fig2).
+///
+/// Language summary:
+///   EXCEPTION E;  EXCEPTION E(INTEGER);
+///   VAR g: INTEGER;
+///   PROCEDURE F(x: INTEGER): INTEGER =
+///   VAR y: INTEGER;
+///   BEGIN ... END F;
+///   Statements: v := e;  F(args);  IF/ELSIF/ELSE/END; WHILE/DO/END;
+///     RETURN e;  RAISE E(e);  TRY ... EXCEPT | E(w) => ... END;
+///   Expressions: integers, variables, calls, + - * DIV MOD,
+///     comparisons (= # < <= > >=), AND OR NOT, parentheses.
+///   DIV/MOD by zero raises the predeclared exception DivZero.
+///   The procedure named Main is the program entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_FRONTEND_MINIM3_H
+#define CMM_FRONTEND_MINIM3_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cmm {
+
+/// The exception-handling policy a Mini-Modula-3 compilation uses.
+enum class ExnPolicy : uint8_t {
+  StackCutting,
+  RuntimeUnwinding,
+  NativeUnwinding,
+};
+
+const char *exnPolicyName(ExnPolicy P);
+
+/// Result of a Mini-Modula-3 compilation.
+struct M3Compiled {
+  /// The generated C-- module. Compile it with cmm::compileProgram; the
+  /// module exports `m3main`, which takes one bits32 argument, runs Main,
+  /// and returns (status, value): status 0 = normal result, 1 = unhandled
+  /// exception (value is its tag).
+  std::string CmmSource;
+  /// Tags assigned to the declared exceptions, in declaration order
+  /// (DivZero is predeclared with tag 0xD1F0).
+  std::vector<std::pair<std::string, uint64_t>> ExnTags;
+  ExnPolicy Policy = ExnPolicy::StackCutting;
+};
+
+/// Compiles \p Source under \p Policy. Returns nullopt with diagnostics on
+/// error.
+std::optional<M3Compiled> compileMiniM3(const std::string &Source,
+                                        ExnPolicy Policy,
+                                        DiagnosticEngine &Diags);
+
+/// The tag of the predeclared DivZero exception (matches the standard
+/// library's yield tag so all policies agree).
+inline constexpr uint64_t M3DivZeroTag = 0xD1F0;
+
+} // namespace cmm
+
+#endif // CMM_FRONTEND_MINIM3_H

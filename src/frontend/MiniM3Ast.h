@@ -1,0 +1,99 @@
+//===- frontend/MiniM3Ast.h - Mini-Modula-3 internal AST --------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal abstract syntax for Mini-Modula-3. Deliberately simple tagged
+/// structs: the front end is a demonstration client of C--, not the object
+/// of study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_FRONTEND_MINIM3AST_H
+#define CMM_FRONTEND_MINIM3AST_H
+
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cmm::m3 {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node (tagged union style).
+struct Expr {
+  enum class Kind : uint8_t { Int, Var, Call, Binary, Unary };
+  enum class Op : uint8_t {
+    Add, Sub, Mul, Div, Mod,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or,
+    Not, Neg,
+  };
+
+  Kind K = Kind::Int;
+  SourceLoc Loc;
+  int64_t IntVal = 0;      ///< Int
+  std::string Name;        ///< Var, Call
+  std::vector<ExprPtr> Args; ///< Call
+  Op O = Op::Add;          ///< Binary, Unary
+  ExprPtr L, R;            ///< Binary (L,R), Unary (L)
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One TRY handler: "| E(w) => stmts".
+struct Handler {
+  SourceLoc Loc;
+  std::string ExnName;
+  std::optional<std::string> Param;
+  std::vector<StmtPtr> Body;
+};
+
+/// One statement node.
+struct Stmt {
+  enum class Kind : uint8_t { Assign, Call, If, While, Return, Raise, Try };
+
+  Kind K = Kind::Assign;
+  SourceLoc Loc;
+
+  std::string Name;          ///< Assign target, Raise exception
+  ExprPtr Value;             ///< Assign value, Call expr, Return value,
+                             ///< Raise argument
+  std::vector<std::pair<ExprPtr, std::vector<StmtPtr>>> Arms; ///< If
+  std::vector<StmtPtr> Else; ///< If else
+  ExprPtr Cond;              ///< While
+  std::vector<StmtPtr> Body; ///< While, Try
+  std::vector<Handler> Handlers; ///< Try
+};
+
+struct ProcDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<std::string> Params;
+  bool HasResult = false;
+  std::vector<std::string> Locals;
+  std::vector<StmtPtr> Body;
+};
+
+struct ExnDecl {
+  SourceLoc Loc;
+  std::string Name;
+  bool HasArg = false;
+};
+
+struct M3Module {
+  std::vector<ExnDecl> Exceptions;
+  std::vector<std::string> Globals;
+  std::vector<ProcDecl> Procs;
+};
+
+} // namespace cmm::m3
+
+#endif // CMM_FRONTEND_MINIM3AST_H

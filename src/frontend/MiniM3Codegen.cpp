@@ -1,0 +1,921 @@
+//===- frontend/MiniM3Codegen.cpp - Mini-Modula-3 to C-- ------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles Mini-Modula-3 to textual C-- under one of three exception
+/// policies (see MiniM3.h). The generated module exports `m3main`, which
+/// returns (status, value).
+///
+/// Policy summaries:
+///  - StackCutting (Figure 10): a TRY pushes its handler continuation onto
+///    an in-memory stack addressed by the global register exn_top; RAISE
+///    pops the topmost continuation and cuts to it with (tag, arg); the
+///    handler continuation dispatches on the tag and re-raises on no match.
+///  - RuntimeUnwinding (Figures 8/9): calls inside a TRY carry `also
+///    unwinds to` and a static descriptor listing every handler in scope;
+///    RAISE yields to the front-end runtime (the Figure 9 dispatcher).
+///  - NativeUnwinding (Section 4.2): a may-raise procedure has exactly one
+///    alternate return continuation carrying (tag, arg); RAISE inside a TRY
+///    branches to the local dispatch code, otherwise returns abnormally
+///    with `return <0/1>`.
+///
+/// DIV and MOD compile to an explicit zero test that raises the predeclared
+/// DivZero exception — the front end chooses the "slow, but easy" expansion
+/// of Section 4.3 so all three policies share one failure path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniM3.h"
+
+#include "frontend/MiniM3Parser.h"
+#include "support/Assert.h"
+
+#include <map>
+#include <set>
+
+using namespace cmm;
+using namespace cmm::m3;
+
+const char *cmm::exnPolicyName(ExnPolicy P) {
+  switch (P) {
+  case ExnPolicy::StackCutting: return "stack-cutting";
+  case ExnPolicy::RuntimeUnwinding: return "runtime-unwinding";
+  case ExnPolicy::NativeUnwinding: return "native-unwinding";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One handler visible at a program point (for descriptors and dispatch).
+struct ScopedHandler {
+  uint64_t Tag = 0;
+  bool TakesArg = false;
+  std::string ContName;   ///< unwinding: continuation to unwind to
+  const Handler *H = nullptr;
+};
+
+/// Per-TRY codegen context.
+struct TryCtx {
+  unsigned Id = 0;
+  std::string JoinLabel;
+  // Cutting: the continuation pushed on the handler stack.
+  std::string CutCont;
+  // Unwinding: in-scope continuation list (this TRY's first) + descriptor.
+  std::vector<std::string> UnwindConts;
+  std::string DescName;
+  // Native: the alternate-return continuation and its dispatch label.
+  std::string RetCont;
+  std::string DispatchLabel;
+};
+
+class Codegen {
+public:
+  Codegen(const M3Module &Mod, ExnPolicy Policy, DiagnosticEngine &Diags)
+      : Mod(Mod), Policy(Policy), Diags(Diags) {}
+
+  std::optional<M3Compiled> run();
+
+private:
+  // Source emission helpers.
+  void line(std::string Text) {
+    Body.append(Indent * 2, ' ');
+    Body += Text;
+    Body += '\n';
+  }
+  std::string temp() {
+    std::string T = "m3t" + std::to_string(NumTemps++);
+    return T;
+  }
+  std::string label(const std::string &Base) {
+    return Base + std::to_string(NumLabels++);
+  }
+
+  // Analysis.
+  void assignTags();
+  void computeMayRaise();
+  bool stmtMayRaise(const Stmt &S) const;
+  bool exprMayRaise(const Expr &E) const;
+
+  // Per-procedure generation.
+  void genProc(const ProcDecl &P);
+  void genStmts(const std::vector<StmtPtr> &Stmts);
+  void genStmt(const Stmt &S);
+  void genTry(const Stmt &S);
+  std::string genExpr(const Expr &E);
+  std::string genCall(const Expr &E);
+  void genRaise(uint64_t Tag, const std::string &ArgAtom, SourceLoc Loc);
+  void genRaiseReRaise();
+  std::string callAnnotations(bool CalleeMayRaise);
+  void genNormalReturn(const std::string &Atom);
+  void emitWrapper();
+
+  // Name checks.
+  bool isVar(const std::string &Name) const {
+    return CurLocals.count(Name) || GlobalSet.count(Name);
+  }
+
+  const M3Module &Mod;
+  ExnPolicy Policy;
+  DiagnosticEngine &Diags;
+
+  std::map<std::string, uint64_t> Tags;      ///< exception -> tag
+  std::map<std::string, bool> ExnTakesArg;
+  std::map<std::string, const ProcDecl *> Procs;
+  std::set<std::string> MayRaise;            ///< procedures that may raise
+  std::set<std::string> GlobalSet;
+
+  // Module-level output (data blocks, procedures).
+  std::string ModuleOut;
+
+  // Per-procedure state.
+  const ProcDecl *CurProc = nullptr;
+  std::string Body;          ///< statements of the current procedure
+  std::string Conts;         ///< continuation blocks, appended at the end
+  unsigned Indent = 0;
+  unsigned NumTemps = 0;
+  unsigned NumLabels = 0;
+  unsigned NumTrys = 0;
+  std::set<std::string> CurLocals;
+  std::vector<TryCtx> TryStack;
+  std::vector<std::string> AllCutConts; ///< all handler conts of this proc
+  /// Unwinding policy: the handlers in scope around the current TRY (for
+  /// descriptor nesting).
+  std::vector<ScopedHandler> OuterScope;
+  bool CurMayRaise = false;
+  bool NeedsProp = false; ///< native policy: proc needs the m3prop cont
+};
+
+//===----------------------------------------------------------------------===//
+// Analysis
+//===----------------------------------------------------------------------===//
+
+void Codegen::assignTags() {
+  Tags["DivZero"] = M3DivZeroTag;
+  ExnTakesArg["DivZero"] = false;
+  uint64_t Next = 1001;
+  for (const ExnDecl &E : Mod.Exceptions) {
+    if (!Tags.emplace(E.Name, Next).second) {
+      Diags.error(E.Loc, "duplicate exception '" + E.Name + "'");
+      continue;
+    }
+    ExnTakesArg[E.Name] = E.HasArg;
+    ++Next;
+  }
+}
+
+bool Codegen::exprMayRaise(const Expr &E) const {
+  switch (E.K) {
+  case Expr::Kind::Int:
+  case Expr::Kind::Var:
+    return false;
+  case Expr::Kind::Call: {
+    if (MayRaise.count(E.Name))
+      return true;
+    for (const ExprPtr &A : E.Args)
+      if (exprMayRaise(*A))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Binary:
+    if (E.O == Expr::Op::Div || E.O == Expr::Op::Mod)
+      return true; // may raise DivZero
+    return exprMayRaise(*E.L) || exprMayRaise(*E.R);
+  case Expr::Kind::Unary:
+    return exprMayRaise(*E.L);
+  }
+  return false;
+}
+
+bool Codegen::stmtMayRaise(const Stmt &S) const {
+  switch (S.K) {
+  case Stmt::Kind::Raise:
+    return true;
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Call:
+    return S.Value && exprMayRaise(*S.Value);
+  case Stmt::Kind::Return:
+    return S.Value && exprMayRaise(*S.Value);
+  case Stmt::Kind::If: {
+    for (const auto &[C, B] : S.Arms) {
+      if (exprMayRaise(*C))
+        return true;
+      for (const StmtPtr &T : B)
+        if (stmtMayRaise(*T))
+          return true;
+    }
+    for (const StmtPtr &T : S.Else)
+      if (stmtMayRaise(*T))
+        return true;
+    return false;
+  }
+  case Stmt::Kind::While: {
+    if (exprMayRaise(*S.Cond))
+      return true;
+    for (const StmtPtr &T : S.Body)
+      if (stmtMayRaise(*T))
+        return true;
+    return false;
+  }
+  case Stmt::Kind::Try: {
+    // Conservative: a TRY may re-raise what it does not handle, and
+    // handler bodies may raise.
+    for (const StmtPtr &T : S.Body)
+      if (stmtMayRaise(*T))
+        return true;
+    for (const Handler &H : S.Handlers)
+      for (const StmtPtr &T : H.Body)
+        if (stmtMayRaise(*T))
+          return true;
+    return false;
+  }
+  }
+  return false;
+}
+
+void Codegen::computeMayRaise() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const ProcDecl &P : Mod.Procs) {
+      if (MayRaise.count(P.Name))
+        continue;
+      bool Raises = false;
+      for (const StmtPtr &S : P.Body)
+        Raises |= stmtMayRaise(*S);
+      if (Raises) {
+        MayRaise.insert(P.Name);
+        Changed = true;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+std::string Codegen::genExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::Int:
+    if (E.IntVal < 0)
+      return "(0 - " + std::to_string(-E.IntVal) + ")";
+    return std::to_string(E.IntVal);
+  case Expr::Kind::Var:
+    if (!isVar(E.Name))
+      Diags.error(E.Loc, "use of undeclared variable '" + E.Name + "'");
+    return E.Name;
+  case Expr::Kind::Call:
+    return genCall(E);
+  case Expr::Kind::Unary: {
+    std::string V = genExpr(*E.L);
+    if (E.O == Expr::Op::Neg)
+      return "(0 - " + V + ")";
+    return "(" + V + " == 0)";
+  }
+  case Expr::Kind::Binary: {
+    if (E.O == Expr::Op::Div || E.O == Expr::Op::Mod) {
+      // Section 4.3, "slow, but easy": test explicitly, raise DivZero.
+      std::string A = temp(), B = temp();
+      CurLocals.insert(A);
+      CurLocals.insert(B);
+      line(A + " = " + genExpr(*E.L) + ";");
+      line(B + " = " + genExpr(*E.R) + ";");
+      line("if " + B + " == 0 {");
+      ++Indent;
+      genRaise(M3DivZeroTag, "0", E.Loc);
+      --Indent;
+      line("}");
+      const char *Prim = E.O == Expr::Op::Div ? "%divs" : "%mods";
+      return std::string(Prim) + "(" + A + ", " + B + ")";
+    }
+    std::string L = genExpr(*E.L);
+    std::string R = genExpr(*E.R);
+    switch (E.O) {
+    case Expr::Op::Add: return "(" + L + " + " + R + ")";
+    case Expr::Op::Sub: return "(" + L + " - " + R + ")";
+    case Expr::Op::Mul: return "(" + L + " * " + R + ")";
+    case Expr::Op::Eq: return "(" + L + " == " + R + ")";
+    case Expr::Op::Ne: return "(" + L + " != " + R + ")";
+    case Expr::Op::Lt: return "(" + L + " < " + R + ")";
+    case Expr::Op::Le: return "(" + L + " <= " + R + ")";
+    case Expr::Op::Gt: return "(" + L + " > " + R + ")";
+    case Expr::Op::Ge: return "(" + L + " >= " + R + ")";
+    case Expr::Op::And: return "((" + L + " != 0) & (" + R + " != 0))";
+    case Expr::Op::Or: return "((" + L + " != 0) | (" + R + " != 0))";
+    default:
+      cmm_unreachable("handled above");
+    }
+  }
+  }
+  cmm_unreachable("unknown expression kind");
+}
+
+std::string Codegen::callAnnotations(bool CalleeMayRaise) {
+  std::string A;
+  switch (Policy) {
+  case ExnPolicy::StackCutting:
+    // Any callee might raise through the handler stack; the innermost TRY's
+    // continuation is the only possible target while this call is pending.
+    if (!TryStack.empty())
+      A += " also cuts to " + TryStack.back().CutCont;
+    A += " also aborts";
+    return A;
+  case ExnPolicy::RuntimeUnwinding: {
+    if (!TryStack.empty()) {
+      const TryCtx &T = TryStack.back();
+      A += " also unwinds to ";
+      for (size_t I = 0; I < T.UnwindConts.size(); ++I) {
+        if (I)
+          A += ", ";
+        A += T.UnwindConts[I];
+      }
+      A += " also aborts descriptors " + T.DescName;
+      return A;
+    }
+    A += " also aborts";
+    return A;
+  }
+  case ExnPolicy::NativeUnwinding:
+    if (!CalleeMayRaise)
+      return "";
+    if (!TryStack.empty())
+      return " also returns to " + TryStack.back().RetCont;
+    // Outside any TRY: the exception propagates through this procedure's
+    // own abnormal return.
+    return " also returns to m3prop";
+  }
+  cmm_unreachable("unknown policy");
+}
+
+std::string Codegen::genCall(const Expr &E) {
+  auto It = Procs.find(E.Name);
+  if (It == Procs.end()) {
+    Diags.error(E.Loc, "call to undeclared procedure '" + E.Name + "'");
+    return "0";
+  }
+  if (It->second->Params.size() != E.Args.size())
+    Diags.error(E.Loc, "wrong number of arguments to '" + E.Name + "'");
+  std::vector<std::string> Args;
+  for (const ExprPtr &A : E.Args)
+    Args.push_back(genExpr(*A));
+  std::string R = temp();
+  CurLocals.insert(R);
+  std::string Call = R + " = " + E.Name + "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Call += ", ";
+    Call += Args[I];
+  }
+  Call += ")" + callAnnotations(MayRaise.count(E.Name) != 0) + ";";
+  line(Call);
+  if (Policy == ExnPolicy::NativeUnwinding && MayRaise.count(E.Name) &&
+      TryStack.empty())
+    NeedsProp = true;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Raising
+//===----------------------------------------------------------------------===//
+
+void Codegen::genRaise(uint64_t Tag, const std::string &ArgAtom,
+                       SourceLoc Loc) {
+  (void)Loc;
+  switch (Policy) {
+  case ExnPolicy::StackCutting: {
+    // Figure 10's RAISE: pop the handler stack and cut to the continuation.
+    line("m3kv = bits32[exn_top];");
+    line("exn_top = exn_top - 4;");
+    std::string Cut = "cut to m3kv(" + std::to_string(Tag) + ", " + ArgAtom +
+                      ")";
+    if (!AllCutConts.empty()) {
+      Cut += " also cuts to ";
+      for (size_t I = 0; I < AllCutConts.size(); ++I) {
+        if (I)
+          Cut += ", ";
+        Cut += AllCutConts[I];
+      }
+    }
+    line(Cut + ";");
+    return;
+  }
+  case ExnPolicy::RuntimeUnwinding: {
+    // Figure 8's RAISE: wake the front-end runtime. The yield call site
+    // carries the same handler information as any other call here, so the
+    // dispatcher can find handlers in the raising activation itself.
+    line("yield(" + std::to_string(Tag) + ", " + ArgAtom + ")" +
+         callAnnotations(/*CalleeMayRaise=*/true) + ";");
+    return;
+  }
+  case ExnPolicy::NativeUnwinding:
+    if (!TryStack.empty()) {
+      // Handled (or at least dispatched) locally: no control transfer
+      // leaves the procedure at all.
+      line("m3_tag = " + std::to_string(Tag) + ";");
+      line("m3_arg = " + ArgAtom + ";");
+      line("goto " + TryStack.back().DispatchLabel + ";");
+      return;
+    }
+    line("return <0/1> (" + std::to_string(Tag) + ", " + ArgAtom + ");");
+    return;
+  }
+  cmm_unreachable("unknown policy");
+}
+
+void Codegen::genNormalReturn(const std::string &Atom) {
+  if (Policy == ExnPolicy::NativeUnwinding && CurMayRaise) {
+    line("return <1/1> (" + Atom + ");");
+    return;
+  }
+  line("return (" + Atom + ");");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Codegen::genStmts(const std::vector<StmtPtr> &Stmts) {
+  for (const StmtPtr &S : Stmts)
+    genStmt(*S);
+}
+
+void Codegen::genStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Assign: {
+    if (!isVar(S.Name))
+      Diags.error(S.Loc, "assignment to undeclared variable '" + S.Name +
+                             "'");
+    std::string V = genExpr(*S.Value);
+    line(S.Name + " = " + V + ";");
+    return;
+  }
+  case Stmt::Kind::Call:
+    genExpr(*S.Value); // result temp discarded
+    return;
+  case Stmt::Kind::If: {
+    // IF/ELSIF chains become nested C-- ifs; a join label is unnecessary
+    // because C-- if/else nests.
+    std::string Join = label("Lfi");
+    for (const auto &[Cond, Then] : S.Arms) {
+      std::string C = genExpr(*Cond);
+      line("if (" + C + ") != 0 {");
+      ++Indent;
+      genStmts(Then);
+      line("goto " + Join + ";");
+      --Indent;
+      line("}");
+    }
+    genStmts(S.Else);
+    line(Join + ":");
+    return;
+  }
+  case Stmt::Kind::While: {
+    std::string Head = label("Lwhile");
+    std::string Done = label("Ldone");
+    line(Head + ":");
+    std::string C = genExpr(*S.Cond); // re-evaluated each iteration: emitted
+                                      // temps sit before the test
+    line("if (" + C + ") == 0 { goto " + Done + "; }");
+    ++Indent;
+    genStmts(S.Body);
+    --Indent;
+    line("goto " + Head + ";");
+    line(Done + ":");
+    return;
+  }
+  case Stmt::Kind::Return: {
+    if (S.Value) {
+      if (!CurProc->HasResult)
+        Diags.error(S.Loc, "RETURN with a value in a proper procedure");
+      std::string V = genExpr(*S.Value);
+      genNormalReturn(V);
+    } else {
+      genNormalReturn("0");
+    }
+    return;
+  }
+  case Stmt::Kind::Raise: {
+    auto It = Tags.find(S.Name);
+    if (It == Tags.end()) {
+      Diags.error(S.Loc, "RAISE of undeclared exception '" + S.Name + "'");
+      return;
+    }
+    bool Takes = ExnTakesArg[S.Name];
+    if (Takes != (S.Value != nullptr))
+      Diags.error(S.Loc, Takes ? "exception requires an argument"
+                               : "exception takes no argument");
+    std::string Arg = S.Value ? genExpr(*S.Value) : std::string("0");
+    // Hoist compound expressions into a temp so the raise sequence stays
+    // simple.
+    if (Arg.find(' ') != std::string::npos) {
+      std::string T = temp();
+      CurLocals.insert(T);
+      line(T + " = " + Arg + ";");
+      Arg = T;
+    }
+    genRaise(It->second, Arg, S.Loc);
+    return;
+  }
+  case Stmt::Kind::Try:
+    genTry(S);
+    return;
+  }
+  cmm_unreachable("unknown statement kind");
+}
+
+//===----------------------------------------------------------------------===//
+// TRY-EXCEPT-END
+//===----------------------------------------------------------------------===//
+
+void Codegen::genTry(const Stmt &S) {
+  TryCtx Ctx;
+  Ctx.Id = NumTrys++;
+  Ctx.JoinLabel = label("Ljoin");
+  std::string Id = std::to_string(Ctx.Id);
+
+  // Resolve handlers and validate.
+  std::vector<ScopedHandler> Handlers;
+  for (const Handler &H : S.Handlers) {
+    auto It = Tags.find(H.ExnName);
+    if (It == Tags.end()) {
+      Diags.error(H.Loc, "handler for undeclared exception '" + H.ExnName +
+                             "'");
+      continue;
+    }
+    ScopedHandler SH;
+    SH.Tag = It->second;
+    SH.TakesArg = H.Param.has_value();
+    SH.H = &H;
+    if (H.Param) {
+      if (!ExnTakesArg[H.ExnName])
+        Diags.error(H.Loc, "exception '" + H.ExnName + "' carries no value");
+      CurLocals.insert(*H.Param);
+    }
+    Handlers.push_back(std::move(SH));
+  }
+
+  switch (Policy) {
+  case ExnPolicy::StackCutting: {
+    Ctx.CutCont = "m3kc" + Id;
+    AllCutConts.push_back(Ctx.CutCont);
+    // Enter the handler scope (Figure 10).
+    line("exn_top = exn_top + 4;");
+    line("bits32[exn_top] = " + Ctx.CutCont + ";");
+    TryStack.push_back(Ctx);
+    genStmts(S.Body);
+    TryStack.pop_back();
+    line("exn_top = exn_top - 4;");
+    line("goto " + Ctx.JoinLabel + ";");
+
+    // The handler continuation: dispatch on the tag, re-raise on no match.
+    // Continuations are emitted at the end of the procedure; they jump back
+    // to the join label.
+    std::string Saved = std::move(Body);
+    Body.clear();
+    unsigned SavedIndent = Indent;
+    Indent = 0;
+    line("continuation " + Ctx.CutCont + "(m3_tag, m3_arg):");
+    ++Indent;
+    for (const ScopedHandler &SH : Handlers) {
+      line("if m3_tag == " + std::to_string(SH.Tag) + " {");
+      ++Indent;
+      if (SH.H->Param)
+        line(*SH.H->Param + " = m3_arg;");
+      genStmts(SH.H->Body);
+      line("goto " + Ctx.JoinLabel + ";");
+      --Indent;
+      line("}");
+    }
+    // No handler matched: propagate to the next handler on the stack.
+    genRaiseReRaise();
+    --Indent;
+    Conts += Body;
+    Body = std::move(Saved);
+    Indent = SavedIndent;
+    line(Ctx.JoinLabel + ":");
+    return;
+  }
+
+  case ExnPolicy::RuntimeUnwinding: {
+    // Continuations for this TRY, then those of enclosing TRYs: the
+    // descriptor lists every handler in scope at these call sites, and
+    // cont_num indexes the `also unwinds to` list.
+    Ctx.DescName = "m3desc_" + CurProc->Name + "_" + Id;
+    std::vector<ScopedHandler> InScope = Handlers;
+    for (size_t I = 0; I < Handlers.size(); ++I)
+      Ctx.UnwindConts.push_back("m3kh" + Id + "_" + std::to_string(I));
+    if (!TryStack.empty()) {
+      const TryCtx &Outer = TryStack.back();
+      for (const std::string &C : Outer.UnwindConts)
+        Ctx.UnwindConts.push_back(C);
+      for (const ScopedHandler &SH : OuterScope)
+        InScope.push_back(SH);
+    }
+    // Emit the descriptor data block.
+    ModuleOut += "data " + Ctx.DescName + " {\n";
+    ModuleOut += "  bits32 " + std::to_string(InScope.size()) + ";\n";
+    for (size_t I = 0; I < InScope.size(); ++I) {
+      ModuleOut += "  bits32 " + std::to_string(InScope[I].Tag) + ";\n";
+      ModuleOut += "  bits32 " + std::to_string(I) + ";\n";
+      ModuleOut +=
+          "  bits32 " + std::to_string(InScope[I].TakesArg ? 1 : 0) + ";\n";
+    }
+    ModuleOut += "}\n";
+
+    std::vector<ScopedHandler> SavedScope = std::move(OuterScope);
+    OuterScope = InScope;
+    TryStack.push_back(Ctx);
+    genStmts(S.Body);
+    TryStack.pop_back();
+    OuterScope = std::move(SavedScope);
+    line("goto " + Ctx.JoinLabel + ";");
+
+    // One continuation per handler of *this* TRY (enclosing TRYs own
+    // theirs).
+    std::string Saved = std::move(Body);
+    Body.clear();
+    unsigned SavedIndent = Indent;
+    Indent = 0;
+    for (size_t I = 0; I < Handlers.size(); ++I) {
+      const ScopedHandler &SH = Handlers[I];
+      if (SH.H->Param)
+        line("continuation m3kh" + Id + "_" + std::to_string(I) + "(" +
+             *SH.H->Param + "):");
+      else
+        line("continuation m3kh" + Id + "_" + std::to_string(I) + "():");
+      ++Indent;
+      genStmts(SH.H->Body);
+      line("goto " + Ctx.JoinLabel + ";");
+      --Indent;
+    }
+    Conts += Body;
+    Body = std::move(Saved);
+    Indent = SavedIndent;
+    line(Ctx.JoinLabel + ":");
+    return;
+  }
+
+  case ExnPolicy::NativeUnwinding: {
+    Ctx.RetCont = "m3kr" + Id;
+    Ctx.DispatchLabel = "Ldisp" + Id;
+    TryStack.push_back(Ctx);
+    genStmts(S.Body);
+    TryStack.pop_back();
+    line("goto " + Ctx.JoinLabel + ";");
+
+    // Dispatch code lives in the continuation; an enclosing TRY's dispatch
+    // is reached by goto when nothing here matches.
+    std::string Saved = std::move(Body);
+    Body.clear();
+    unsigned SavedIndent = Indent;
+    Indent = 0;
+    line("continuation " + Ctx.RetCont + "(m3_tag, m3_arg):");
+    line(Ctx.DispatchLabel + ":");
+    ++Indent;
+    for (const ScopedHandler &SH : Handlers) {
+      line("if m3_tag == " + std::to_string(SH.Tag) + " {");
+      ++Indent;
+      if (SH.H->Param)
+        line(*SH.H->Param + " = m3_arg;");
+      genStmts(SH.H->Body);
+      line("goto " + Ctx.JoinLabel + ";");
+      --Indent;
+      line("}");
+    }
+    if (!TryStack.empty()) {
+      line("goto " + TryStack.back().DispatchLabel + ";");
+    } else {
+      line("return <0/1> (m3_tag, m3_arg);");
+    }
+    --Indent;
+    Conts += Body;
+    Body = std::move(Saved);
+    Indent = SavedIndent;
+    line(Ctx.JoinLabel + ":");
+    return;
+  }
+  }
+  cmm_unreachable("unknown policy");
+}
+
+//===----------------------------------------------------------------------===//
+// Re-raise (stack cutting)
+//===----------------------------------------------------------------------===//
+
+void Codegen::genRaiseReRaise() {
+  line("m3kv = bits32[exn_top];");
+  line("exn_top = exn_top - 4;");
+  std::string Cut = "cut to m3kv(m3_tag, m3_arg)";
+  if (!AllCutConts.empty()) {
+    Cut += " also cuts to ";
+    for (size_t I = 0; I < AllCutConts.size(); ++I) {
+      if (I)
+        Cut += ", ";
+      Cut += AllCutConts[I];
+    }
+  }
+  line(Cut + ";");
+}
+
+//===----------------------------------------------------------------------===//
+// Procedures and the module
+//===----------------------------------------------------------------------===//
+
+void Codegen::genProc(const ProcDecl &P) {
+  CurProc = &P;
+  Body.clear();
+  Conts.clear();
+  Indent = 1;
+  NumTemps = 0;
+  NumLabels = 0;
+  NumTrys = 0;
+  CurLocals.clear();
+  TryStack.clear();
+  AllCutConts.clear();
+  OuterScope.clear();
+  NeedsProp = false;
+  CurMayRaise = MayRaise.count(P.Name) != 0;
+
+  std::set<std::string> ParamSet;
+  for (const std::string &Prm : P.Params) {
+    if (!ParamSet.insert(Prm).second)
+      Diags.error(P.Loc, "duplicate parameter '" + Prm + "'");
+    CurLocals.insert(Prm);
+  }
+  for (const std::string &L : P.Locals)
+    if (!CurLocals.insert(L).second)
+      Diags.error(P.Loc, "duplicate local '" + L + "'");
+
+  genStmts(P.Body);
+  genNormalReturn("0"); // falling off the end returns 0
+
+  if (NeedsProp && Policy == ExnPolicy::NativeUnwinding) {
+    Conts += "continuation m3prop(m3_tag, m3_arg):\n";
+    Conts += "  return <0/1> (m3_tag, m3_arg);\n";
+  }
+
+  // Assemble the procedure.
+  std::string Header = P.Name + "(";
+  for (size_t I = 0; I < P.Params.size(); ++I) {
+    if (I)
+      Header += ", ";
+    Header += "bits32 " + P.Params[I];
+  }
+  Header += ") {\n";
+  std::string Decls = "  bits32 m3_tag, m3_arg, m3kv;\n";
+  for (const std::string &V : CurLocals)
+    if (!ParamSet.count(V))
+      Decls += "  bits32 " + V + ";\n";
+  ModuleOut += Header + Decls + Body + Conts + "}\n";
+}
+
+void Codegen::emitWrapper() {
+  auto It = Procs.find("Main");
+  if (It == Procs.end()) {
+    Diags.error(SourceLoc(), "no procedure named Main");
+    return;
+  }
+  const ProcDecl *Main = It->second;
+  if (Main->Params.size() > 1) {
+    Diags.error(Main->Loc, "Main takes at most one INTEGER parameter");
+    return;
+  }
+  std::string CallArgs = Main->Params.empty() ? "" : "x";
+  bool MainRaises = MayRaise.count("Main") != 0;
+
+  switch (Policy) {
+  case ExnPolicy::StackCutting:
+    ModuleOut += "m3main(bits32 x) {\n"
+                 "  bits32 r, m3_tag, m3_arg;\n"
+                 "  exn_top = m3_exn_stack;\n"
+                 "  exn_top = exn_top + 4;\n"
+                 "  bits32[exn_top] = m3ku;\n"
+                 "  r = Main(" +
+                 CallArgs +
+                 ") also cuts to m3ku also aborts;\n"
+                 "  exn_top = exn_top - 4;\n"
+                 "  return (0, r);\n"
+                 "continuation m3ku(m3_tag, m3_arg):\n"
+                 "  return (1, m3_tag);\n"
+                 "}\n";
+    return;
+  case ExnPolicy::RuntimeUnwinding: {
+    // A catch-all descriptor: every declared exception unwinds to its own
+    // tiny continuation, which reports the tag.
+    std::vector<std::pair<std::string, uint64_t>> All(Tags.begin(),
+                                                      Tags.end());
+    ModuleOut += "data m3desc_catchall {\n";
+    ModuleOut += "  bits32 " + std::to_string(All.size()) + ";\n";
+    for (size_t I = 0; I < All.size(); ++I) {
+      ModuleOut += "  bits32 " + std::to_string(All[I].second) + ";\n";
+      ModuleOut += "  bits32 " + std::to_string(I) + ";\n";
+      ModuleOut += "  bits32 0;\n";
+    }
+    ModuleOut += "}\n";
+    ModuleOut += "m3main(bits32 x) {\n  bits32 r;\n  r = Main(" + CallArgs +
+                 ") also unwinds to ";
+    for (size_t I = 0; I < All.size(); ++I) {
+      if (I)
+        ModuleOut += ", ";
+      ModuleOut += "m3ku" + std::to_string(I);
+    }
+    ModuleOut += " also aborts descriptors m3desc_catchall;\n"
+                 "  return (0, r);\n";
+    for (size_t I = 0; I < All.size(); ++I)
+      ModuleOut += "continuation m3ku" + std::to_string(I) + "():\n" +
+                   "  return (1, " + std::to_string(All[I].second) + ");\n";
+    ModuleOut += "}\n";
+    return;
+  }
+  case ExnPolicy::NativeUnwinding:
+    if (!MainRaises) {
+      ModuleOut += "m3main(bits32 x) {\n  bits32 r;\n  r = Main(" +
+                   CallArgs + ");\n  return (0, r);\n}\n";
+      return;
+    }
+    ModuleOut += "m3main(bits32 x) {\n"
+                 "  bits32 r, m3_tag, m3_arg;\n"
+                 "  r = Main(" +
+                 CallArgs +
+                 ") also returns to m3ku;\n"
+                 "  return (0, r);\n"
+                 "continuation m3ku(m3_tag, m3_arg):\n"
+                 "  return (1, m3_tag);\n"
+                 "}\n";
+    return;
+  }
+  cmm_unreachable("unknown policy");
+}
+
+std::optional<M3Compiled> Codegen::run() {
+  // Reject identifiers that would collide with generated names or C--
+  // keywords.
+  static const std::set<std::string> CmmKeywords = {
+      "export", "import", "global", "register", "data", "if", "else",
+      "goto", "return", "jump", "cut", "to", "continuation", "also",
+      "cuts", "unwinds", "returns", "aborts", "descriptors", "sizeof",
+      "yield", "exn_top"};
+  auto CheckName = [&](const std::string &Name, SourceLoc Loc) {
+    if (Name.rfind("m3", 0) == 0 || CmmKeywords.count(Name) ||
+        Name.rfind("bits", 0) == 0 || Name.rfind("float", 0) == 0)
+      Diags.error(Loc, "identifier '" + Name +
+                           "' is reserved by the Mini-Modula-3 compiler");
+  };
+
+  assignTags();
+  for (const ExnDecl &E : Mod.Exceptions)
+    CheckName(E.Name, E.Loc);
+  for (const std::string &G : Mod.Globals) {
+    CheckName(G, SourceLoc());
+    if (!GlobalSet.insert(G).second)
+      Diags.error(SourceLoc(), "duplicate global '" + G + "'");
+  }
+  for (const ProcDecl &P : Mod.Procs) {
+    CheckName(P.Name, P.Loc);
+    for (const std::string &Prm : P.Params)
+      CheckName(Prm, P.Loc);
+    for (const std::string &L : P.Locals)
+      CheckName(L, P.Loc);
+    if (!Procs.emplace(P.Name, &P).second)
+      Diags.error(P.Loc, "duplicate procedure '" + P.Name + "'");
+  }
+  computeMayRaise();
+
+  ModuleOut = "/* generated by the Mini-Modula-3 front end; policy: " +
+              std::string(exnPolicyName(Policy)) + " */\n";
+  ModuleOut += "export m3main;\n";
+  if (Policy == ExnPolicy::StackCutting) {
+    ModuleOut += "global bits32 exn_top;\n";
+    ModuleOut += "data m3_exn_stack { bits32[256]; }\n";
+  }
+  for (const std::string &G : Mod.Globals)
+    ModuleOut += "global bits32 " + G + ";\n";
+
+  for (const ProcDecl &P : Mod.Procs)
+    genProc(P);
+  emitWrapper();
+
+  if (Diags.hasErrors())
+    return std::nullopt;
+  M3Compiled Out;
+  Out.CmmSource = std::move(ModuleOut);
+  Out.Policy = Policy;
+  for (const auto &[Name, Tag] : Tags)
+    Out.ExnTags.emplace_back(Name, Tag);
+  return Out;
+}
+
+} // namespace
+
+std::optional<M3Compiled> cmm::compileMiniM3(const std::string &Source,
+                                             ExnPolicy Policy,
+                                             DiagnosticEngine &Diags) {
+  std::optional<M3Module> Mod = m3::parseM3(Source, Diags);
+  if (!Mod)
+    return std::nullopt;
+  return Codegen(*Mod, Policy, Diags).run();
+}

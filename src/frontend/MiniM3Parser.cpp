@@ -1,0 +1,586 @@
+//===- frontend/MiniM3Parser.cpp ------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniM3Parser.h"
+
+#include <cctype>
+
+using namespace cmm;
+using namespace cmm::m3;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class Tk : uint8_t {
+  Eof, Ident, Int,
+  // keywords
+  Exception, Var, Integer, Procedure, Begin, End, If, Then, Elsif, Else,
+  While, Do, Return, Raise, Try, Except, AndKw, OrKw, NotKw, Div, Mod,
+  // punctuation
+  Semi, Colon, Comma, LParen, RParen, Assign, Arrow, Bar,
+  Eq, Ne, Lt, Le, Gt, Ge, Plus, Minus, Star,
+};
+
+struct M3Token {
+  Tk K = Tk::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t Int = 0;
+};
+
+class M3Lexer {
+public:
+  M3Lexer(const std::string &Src, DiagnosticEngine &Diags)
+      : Src(Src), Diags(Diags) {}
+
+  M3Token next() {
+    skip();
+    M3Token T;
+    T.Loc = here();
+    if (Pos >= Src.size())
+      return T;
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C))) {
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        T.Text += get();
+      T.K = keyword(T.Text);
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Num;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        Num += get();
+      T.K = Tk::Int;
+      T.Int = std::stoll(Num);
+      return T;
+    }
+    get();
+    switch (C) {
+    case ';': T.K = Tk::Semi; return T;
+    case ',': T.K = Tk::Comma; return T;
+    case '(': T.K = Tk::LParen; return T;
+    case ')': T.K = Tk::RParen; return T;
+    case '|': T.K = Tk::Bar; return T;
+    case '+': T.K = Tk::Plus; return T;
+    case '-': T.K = Tk::Minus; return T;
+    case '*': T.K = Tk::Star; return T;
+    case '#': T.K = Tk::Ne; return T;
+    case ':':
+      if (Pos < Src.size() && Src[Pos] == '=') {
+        get();
+        T.K = Tk::Assign;
+      } else {
+        T.K = Tk::Colon;
+      }
+      return T;
+    case '=':
+      if (Pos < Src.size() && Src[Pos] == '>') {
+        get();
+        T.K = Tk::Arrow;
+      } else {
+        T.K = Tk::Eq;
+      }
+      return T;
+    case '<':
+      if (Pos < Src.size() && Src[Pos] == '=') {
+        get();
+        T.K = Tk::Le;
+      } else {
+        T.K = Tk::Lt;
+      }
+      return T;
+    case '>':
+      if (Pos < Src.size() && Src[Pos] == '=') {
+        get();
+        T.K = Tk::Ge;
+      } else {
+        T.K = Tk::Gt;
+      }
+      return T;
+    default:
+      Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+private:
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+  char get() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  void skip() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        get();
+        continue;
+      }
+      // Modula-3 comments: (* ... *), nesting ignored for simplicity.
+      if (C == '(' && Pos + 1 < Src.size() && Src[Pos + 1] == '*') {
+        get();
+        get();
+        while (Pos + 1 < Src.size() &&
+               !(Src[Pos] == '*' && Src[Pos + 1] == ')'))
+          get();
+        if (Pos + 1 < Src.size()) {
+          get();
+          get();
+        }
+        continue;
+      }
+      break;
+    }
+  }
+  static Tk keyword(const std::string &S) {
+    if (S == "EXCEPTION") return Tk::Exception;
+    if (S == "VAR") return Tk::Var;
+    if (S == "INTEGER") return Tk::Integer;
+    if (S == "PROCEDURE") return Tk::Procedure;
+    if (S == "BEGIN") return Tk::Begin;
+    if (S == "END") return Tk::End;
+    if (S == "IF") return Tk::If;
+    if (S == "THEN") return Tk::Then;
+    if (S == "ELSIF") return Tk::Elsif;
+    if (S == "ELSE") return Tk::Else;
+    if (S == "WHILE") return Tk::While;
+    if (S == "DO") return Tk::Do;
+    if (S == "RETURN") return Tk::Return;
+    if (S == "RAISE") return Tk::Raise;
+    if (S == "TRY") return Tk::Try;
+    if (S == "EXCEPT") return Tk::Except;
+    if (S == "AND") return Tk::AndKw;
+    if (S == "OR") return Tk::OrKw;
+    if (S == "NOT") return Tk::NotKw;
+    if (S == "DIV") return Tk::Div;
+    if (S == "MOD") return Tk::Mod;
+    return Tk::Ident;
+  }
+
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class M3Parser {
+public:
+  M3Parser(const std::string &Src, DiagnosticEngine &Diags)
+      : Lex(Src, Diags), Diags(Diags) {
+    Cur = Lex.next();
+  }
+
+  std::optional<M3Module> run();
+
+private:
+  bool at(Tk K) const { return Cur.K == K; }
+  M3Token eat() {
+    M3Token T = std::move(Cur);
+    Cur = Lex.next();
+    return T;
+  }
+  bool accept(Tk K) {
+    if (!at(K))
+      return false;
+    eat();
+    return true;
+  }
+  bool expect(Tk K, const char *What) {
+    if (accept(K))
+      return true;
+    Diags.error(Cur.Loc, std::string("expected ") + What);
+    return false;
+  }
+  std::string expectIdent(const char *What) {
+    if (at(Tk::Ident))
+      return eat().Text;
+    Diags.error(Cur.Loc, std::string("expected ") + What);
+    return "_error_";
+  }
+
+  void parseProc(M3Module &Mod);
+  std::vector<StmtPtr> parseStmts();
+  StmtPtr parseStmt();
+  ExprPtr parseExpr() { return parseOr(); }
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseCmp();
+  ExprPtr parseAdd();
+  ExprPtr parseMul();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  bool atStmtStart() const {
+    switch (Cur.K) {
+    case Tk::Ident:
+    case Tk::If:
+    case Tk::While:
+    case Tk::Return:
+    case Tk::Raise:
+    case Tk::Try:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  M3Lexer Lex;
+  DiagnosticEngine &Diags;
+  M3Token Cur;
+};
+
+std::optional<M3Module> M3Parser::run() {
+  M3Module Mod;
+  while (!at(Tk::Eof)) {
+    if (accept(Tk::Exception)) {
+      ExnDecl E;
+      E.Loc = Cur.Loc;
+      E.Name = expectIdent("exception name");
+      if (accept(Tk::LParen)) {
+        expect(Tk::Integer, "INTEGER");
+        expect(Tk::RParen, "')'");
+        E.HasArg = true;
+      }
+      expect(Tk::Semi, "';'");
+      Mod.Exceptions.push_back(std::move(E));
+      continue;
+    }
+    if (accept(Tk::Var)) {
+      std::string Name = expectIdent("variable name");
+      expect(Tk::Colon, "':'");
+      expect(Tk::Integer, "INTEGER");
+      expect(Tk::Semi, "';'");
+      Mod.Globals.push_back(Name);
+      continue;
+    }
+    if (accept(Tk::Procedure)) {
+      parseProc(Mod);
+      continue;
+    }
+    Diags.error(Cur.Loc, "expected EXCEPTION, VAR, or PROCEDURE");
+    eat();
+  }
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Mod;
+}
+
+void M3Parser::parseProc(M3Module &Mod) {
+  ProcDecl P;
+  P.Loc = Cur.Loc;
+  P.Name = expectIdent("procedure name");
+  expect(Tk::LParen, "'('");
+  if (!at(Tk::RParen)) {
+    do {
+      std::string Name = expectIdent("parameter name");
+      expect(Tk::Colon, "':'");
+      expect(Tk::Integer, "INTEGER");
+      P.Params.push_back(Name);
+    } while (accept(Tk::Comma) || accept(Tk::Semi));
+  }
+  expect(Tk::RParen, "')'");
+  if (accept(Tk::Colon)) {
+    expect(Tk::Integer, "INTEGER");
+    P.HasResult = true;
+  }
+  expect(Tk::Eq, "'='");
+  while (accept(Tk::Var)) {
+    while (at(Tk::Ident)) {
+      P.Locals.push_back(eat().Text);
+      while (accept(Tk::Comma)) {
+        if (at(Tk::Ident))
+          P.Locals.push_back(eat().Text);
+        else
+          Diags.error(Cur.Loc, "expected variable name");
+      }
+      expect(Tk::Colon, "':'");
+      expect(Tk::Integer, "INTEGER");
+      expect(Tk::Semi, "';'");
+    }
+  }
+  expect(Tk::Begin, "BEGIN");
+  P.Body = parseStmts();
+  expect(Tk::End, "END");
+  std::string Closer = expectIdent("procedure name after END");
+  if (Closer != P.Name)
+    Diags.error(P.Loc, "END name does not match procedure name");
+  expect(Tk::Semi, "';'");
+  Mod.Procs.push_back(std::move(P));
+}
+
+std::vector<StmtPtr> M3Parser::parseStmts() {
+  std::vector<StmtPtr> Out;
+  while (atStmtStart()) {
+    StmtPtr S = parseStmt();
+    if (S)
+      Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+StmtPtr M3Parser::parseStmt() {
+  auto S = std::make_unique<Stmt>();
+  S->Loc = Cur.Loc;
+  switch (Cur.K) {
+  case Tk::Ident: {
+    std::string Name = eat().Text;
+    if (accept(Tk::Assign)) {
+      S->K = Stmt::Kind::Assign;
+      S->Name = Name;
+      S->Value = parseExpr();
+      expect(Tk::Semi, "';'");
+      return S;
+    }
+    // Call statement.
+    S->K = Stmt::Kind::Call;
+    auto Call = std::make_unique<Expr>();
+    Call->K = Expr::Kind::Call;
+    Call->Loc = S->Loc;
+    Call->Name = Name;
+    expect(Tk::LParen, "'('");
+    if (!at(Tk::RParen)) {
+      do
+        Call->Args.push_back(parseExpr());
+      while (accept(Tk::Comma));
+    }
+    expect(Tk::RParen, "')'");
+    expect(Tk::Semi, "';'");
+    S->Value = std::move(Call);
+    return S;
+  }
+  case Tk::If: {
+    eat();
+    S->K = Stmt::Kind::If;
+    ExprPtr Cond = parseExpr();
+    expect(Tk::Then, "THEN");
+    std::vector<StmtPtr> Body = parseStmts();
+    S->Arms.emplace_back(std::move(Cond), std::move(Body));
+    while (accept(Tk::Elsif)) {
+      ExprPtr C2 = parseExpr();
+      expect(Tk::Then, "THEN");
+      std::vector<StmtPtr> B2 = parseStmts();
+      S->Arms.emplace_back(std::move(C2), std::move(B2));
+    }
+    if (accept(Tk::Else))
+      S->Else = parseStmts();
+    expect(Tk::End, "END");
+    expect(Tk::Semi, "';'");
+    return S;
+  }
+  case Tk::While: {
+    eat();
+    S->K = Stmt::Kind::While;
+    S->Cond = parseExpr();
+    expect(Tk::Do, "DO");
+    S->Body = parseStmts();
+    expect(Tk::End, "END");
+    expect(Tk::Semi, "';'");
+    return S;
+  }
+  case Tk::Return: {
+    eat();
+    S->K = Stmt::Kind::Return;
+    if (!at(Tk::Semi))
+      S->Value = parseExpr();
+    expect(Tk::Semi, "';'");
+    return S;
+  }
+  case Tk::Raise: {
+    eat();
+    S->K = Stmt::Kind::Raise;
+    S->Name = expectIdent("exception name");
+    if (accept(Tk::LParen)) {
+      S->Value = parseExpr();
+      expect(Tk::RParen, "')'");
+    }
+    expect(Tk::Semi, "';'");
+    return S;
+  }
+  case Tk::Try: {
+    eat();
+    S->K = Stmt::Kind::Try;
+    S->Body = parseStmts();
+    expect(Tk::Except, "EXCEPT");
+    while (accept(Tk::Bar)) {
+      Handler H;
+      H.Loc = Cur.Loc;
+      H.ExnName = expectIdent("exception name");
+      if (accept(Tk::LParen)) {
+        H.Param = expectIdent("handler parameter");
+        expect(Tk::RParen, "')'");
+      }
+      expect(Tk::Arrow, "'=>'");
+      H.Body = parseStmts();
+      S->Handlers.push_back(std::move(H));
+    }
+    expect(Tk::End, "END");
+    expect(Tk::Semi, "';'");
+    return S;
+  }
+  default:
+    Diags.error(Cur.Loc, "expected statement");
+    eat();
+    return nullptr;
+  }
+}
+
+ExprPtr M3Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (at(Tk::OrKw)) {
+    SourceLoc Loc = eat().Loc;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Binary;
+    E->Loc = Loc;
+    E->O = Expr::Op::Or;
+    E->L = std::move(L);
+    E->R = parseAnd();
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr M3Parser::parseAnd() {
+  ExprPtr L = parseCmp();
+  while (at(Tk::AndKw)) {
+    SourceLoc Loc = eat().Loc;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Binary;
+    E->Loc = Loc;
+    E->O = Expr::Op::And;
+    E->L = std::move(L);
+    E->R = parseCmp();
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr M3Parser::parseCmp() {
+  ExprPtr L = parseAdd();
+  Expr::Op O;
+  switch (Cur.K) {
+  case Tk::Eq: O = Expr::Op::Eq; break;
+  case Tk::Ne: O = Expr::Op::Ne; break;
+  case Tk::Lt: O = Expr::Op::Lt; break;
+  case Tk::Le: O = Expr::Op::Le; break;
+  case Tk::Gt: O = Expr::Op::Gt; break;
+  case Tk::Ge: O = Expr::Op::Ge; break;
+  default:
+    return L;
+  }
+  SourceLoc Loc = eat().Loc;
+  auto E = std::make_unique<Expr>();
+  E->K = Expr::Kind::Binary;
+  E->Loc = Loc;
+  E->O = O;
+  E->L = std::move(L);
+  E->R = parseAdd();
+  return E;
+}
+
+ExprPtr M3Parser::parseAdd() {
+  ExprPtr L = parseMul();
+  while (at(Tk::Plus) || at(Tk::Minus)) {
+    Expr::Op O = at(Tk::Plus) ? Expr::Op::Add : Expr::Op::Sub;
+    SourceLoc Loc = eat().Loc;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Binary;
+    E->Loc = Loc;
+    E->O = O;
+    E->L = std::move(L);
+    E->R = parseMul();
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr M3Parser::parseMul() {
+  ExprPtr L = parseUnary();
+  while (at(Tk::Star) || at(Tk::Div) || at(Tk::Mod)) {
+    Expr::Op O = at(Tk::Star)  ? Expr::Op::Mul
+                 : at(Tk::Div) ? Expr::Op::Div
+                               : Expr::Op::Mod;
+    SourceLoc Loc = eat().Loc;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Binary;
+    E->Loc = Loc;
+    E->O = O;
+    E->L = std::move(L);
+    E->R = parseUnary();
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr M3Parser::parseUnary() {
+  if (at(Tk::Minus) || at(Tk::NotKw)) {
+    Expr::Op O = at(Tk::Minus) ? Expr::Op::Neg : Expr::Op::Not;
+    SourceLoc Loc = eat().Loc;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Unary;
+    E->Loc = Loc;
+    E->O = O;
+    E->L = parseUnary();
+    return E;
+  }
+  return parsePrimary();
+}
+
+ExprPtr M3Parser::parsePrimary() {
+  auto E = std::make_unique<Expr>();
+  E->Loc = Cur.Loc;
+  if (at(Tk::Int)) {
+    E->K = Expr::Kind::Int;
+    E->IntVal = eat().Int;
+    return E;
+  }
+  if (at(Tk::Ident)) {
+    E->Name = eat().Text;
+    if (accept(Tk::LParen)) {
+      E->K = Expr::Kind::Call;
+      if (!at(Tk::RParen)) {
+        do
+          E->Args.push_back(parseExpr());
+        while (accept(Tk::Comma));
+      }
+      expect(Tk::RParen, "')'");
+      return E;
+    }
+    E->K = Expr::Kind::Var;
+    return E;
+  }
+  if (accept(Tk::LParen)) {
+    ExprPtr Inner = parseExpr();
+    expect(Tk::RParen, "')'");
+    return Inner;
+  }
+  Diags.error(Cur.Loc, "expected expression");
+  eat();
+  E->K = Expr::Kind::Int;
+  return E;
+}
+
+} // namespace
+
+std::optional<M3Module> cmm::m3::parseM3(const std::string &Source,
+                                         DiagnosticEngine &Diags) {
+  return M3Parser(Source, Diags).run();
+}

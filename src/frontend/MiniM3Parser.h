@@ -1,0 +1,23 @@
+//===- frontend/MiniM3Parser.h - Mini-Modula-3 parser -----------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_FRONTEND_MINIM3PARSER_H
+#define CMM_FRONTEND_MINIM3PARSER_H
+
+#include "frontend/MiniM3Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace cmm::m3 {
+
+/// Parses Mini-Modula-3 source. Returns nullopt with diagnostics on error.
+std::optional<M3Module> parseM3(const std::string &Source,
+                                DiagnosticEngine &Diags);
+
+} // namespace cmm::m3
+
+#endif // CMM_FRONTEND_MINIM3PARSER_H

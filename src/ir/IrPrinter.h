@@ -1,0 +1,31 @@
+//===- ir/IrPrinter.h - Abstract C-- dumps ----------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual dumps of Abstract C-- graphs in the style of Figure 6, used by
+/// golden tests and the optimizer_tour example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_IR_IRPRINTER_H
+#define CMM_IR_IRPRINTER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace cmm {
+
+/// Renders one procedure's graph, one node per line in reachable
+/// depth-first order: "n3: x := n + 1 -> n4".
+std::string printProc(const IrProc &P, const Interner &Names);
+
+/// Renders every procedure of \p Prog.
+std::string printProgram(const IrProgram &Prog);
+
+} // namespace cmm
+
+#endif // CMM_IR_IRPRINTER_H

@@ -1,0 +1,35 @@
+//===- ir/Succ.cpp --------------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Succ.h"
+
+using namespace cmm;
+
+std::vector<Node *> cmm::reachableNodes(const IrProc &P) {
+  std::vector<Node *> Order;
+  if (!P.EntryPoint)
+    return Order;
+  std::vector<bool> Seen(P.Nodes.size(), false);
+  std::vector<Node *> Stack = {P.EntryPoint};
+  Seen[P.EntryPoint->Id] = true;
+  while (!Stack.empty()) {
+    Node *N = Stack.back();
+    Stack.pop_back();
+    Order.push_back(N);
+    // Collect successors, then push in reverse so DFS visits them in
+    // enumeration order.
+    std::vector<Node *> Succs;
+    forEachSucc(*N, [&](Node *S, EdgeKind) {
+      if (!Seen[S->Id]) {
+        Seen[S->Id] = true;
+        Succs.push_back(S);
+      }
+    });
+    for (auto It = Succs.rbegin(); It != Succs.rend(); ++It)
+      Stack.push_back(*It);
+  }
+  return Order;
+}

@@ -1,0 +1,632 @@
+//===- ir/Translate.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Translate.h"
+
+#include "support/Assert.h"
+#include "support/Casting.h"
+#include "syntax/Parser.h"
+
+#include <unordered_set>
+
+using namespace cmm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Per-procedure translation (Section 5.3)
+//===----------------------------------------------------------------------===//
+
+/// Where control currently flows: unfilled successor slots plus labels whose
+/// head is the next node to be emitted.
+struct OpenEnds {
+  std::vector<Node **> Slots;
+  std::vector<Symbol> Labels;
+
+  bool empty() const { return Slots.empty() && Labels.empty(); }
+  void clear() {
+    Slots.clear();
+    Labels.clear();
+  }
+  void merge(OpenEnds Other) {
+    for (Node **S : Other.Slots)
+      Slots.push_back(S);
+    for (Symbol L : Other.Labels)
+      Labels.push_back(L);
+  }
+};
+
+class ProcTranslator {
+public:
+  ProcTranslator(IrProgram &Prog, IrProc &P, const ProcDecl &Decl,
+                 const ProcInfo &Info, DiagnosticEngine &Diags)
+      : Prog(Prog), P(P), Decl(Decl), Info(Info), Diags(Diags) {}
+
+  void run();
+
+private:
+  void emit(Node *N, Node **NextSlot);
+  void translateList(const std::vector<StmtPtr> &Stmts);
+  void translateStmt(const Stmt *S);
+  void translateGoto(const GotoStmt *G);
+  void translateCall(const CallStmt *C);
+  CopyOutNode *emitCopyOut(const std::vector<ExprPtr> &Exprs, SourceLoc Loc);
+  void collectStrings(const Expr *E);
+  const Expr *constExpr(uint64_t Value, SourceLoc Loc);
+  void threadGotoBranches();
+
+  IrProgram &Prog;
+  IrProc &P;
+  const ProcDecl &Decl;
+  const ProcInfo &Info;
+  DiagnosticEngine &Diags;
+
+  std::unordered_map<Symbol, CopyInNode *> ContNodes;
+  std::unordered_map<Symbol, Node *> LabelHeads;
+  std::unordered_map<Symbol, std::vector<Node **>> PendingLabelRefs;
+  OpenEnds Open;
+  std::vector<BranchNode *> GotoBranches;
+};
+
+void ProcTranslator::run() {
+  auto *Entry = P.make<EntryNode>();
+  Entry->Loc = Decl.Loc;
+  P.EntryPoint = Entry;
+
+  // Pre-create each continuation's CopyIn so call-site bundles and cut
+  // annotations can reference it before its body is reached.
+  for (const StmtPtr &S : Decl.Body) {
+    const auto *C = dyn_cast<ContinuationStmt>(S.get());
+    if (!C)
+      continue;
+    auto *In = P.make<CopyInNode>();
+    In->Loc = C->loc();
+    In->Vars = C->Params;
+    ContNodes.emplace(C->Name, In);
+    Entry->Conts.emplace_back(C->Name, In);
+  }
+
+  // Entry -> CopyIn(params): "the values of parameters are bound later by a
+  // CopyIn node" (Section 5.2).
+  auto *ParamsIn = P.make<CopyInNode>();
+  ParamsIn->Loc = Decl.Loc;
+  for (const Param &Prm : Decl.Params)
+    ParamsIn->Vars.push_back(Prm.Name);
+  Entry->Next = ParamsIn;
+  Open.Slots.push_back(&ParamsIn->Next);
+
+  translateList(Decl.Body);
+
+  // Falling off the end of the body is an implicit "return <0/0> ();".
+  if (!Open.empty()) {
+    CopyOutNode *Out = emitCopyOut({}, Decl.Loc);
+    auto *Exit = P.make<ExitNode>();
+    Exit->Loc = Decl.Loc;
+    Out->Next = Exit;
+  }
+
+  for (const auto &[Label, Refs] : PendingLabelRefs)
+    if (!Refs.empty())
+      Diags.error(Decl.Loc, "internal: unresolved label '" +
+                                Prog.Names->spelling(Label) +
+                                "' after translation");
+  threadGotoBranches();
+}
+
+void ProcTranslator::emit(Node *N, Node **NextSlot) {
+  for (Node **S : Open.Slots)
+    *S = N;
+  for (Symbol L : Open.Labels) {
+    LabelHeads[L] = N;
+    auto It = PendingLabelRefs.find(L);
+    if (It != PendingLabelRefs.end()) {
+      for (Node **Ref : It->second)
+        *Ref = N;
+      It->second.clear();
+    }
+  }
+  Open.clear();
+  if (NextSlot)
+    Open.Slots.push_back(NextSlot);
+}
+
+void ProcTranslator::translateList(const std::vector<StmtPtr> &Stmts) {
+  for (const StmtPtr &S : Stmts)
+    translateStmt(S.get());
+}
+
+CopyOutNode *ProcTranslator::emitCopyOut(const std::vector<ExprPtr> &Exprs,
+                                         SourceLoc Loc) {
+  auto *Out = P.make<CopyOutNode>();
+  Out->Loc = Loc;
+  for (const ExprPtr &E : Exprs) {
+    collectStrings(E.get());
+    Out->Exprs.push_back(E.get());
+  }
+  emit(Out, &Out->Next);
+  return Out;
+}
+
+void ProcTranslator::collectStrings(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::StrLit: {
+    const auto *S = cast<StrLitExpr>(E);
+    if (Prog.StrAddrs.count(S))
+      return;
+    // Lay the bytes (NUL-terminated) into the data image.
+    uint64_t Addr = Prog.DataEnd;
+    Prog.StrAddrs.emplace(S, Addr);
+    for (char C : S->Value)
+      Prog.Image.Bytes.push_back(static_cast<uint8_t>(C));
+    Prog.Image.Bytes.push_back(0);
+    Prog.DataEnd = Prog.Image.Base + Prog.Image.Bytes.size();
+    // Keep subsequent blocks pointer-aligned.
+    while (Prog.DataEnd % 8 != 0) {
+      Prog.Image.Bytes.push_back(0);
+      ++Prog.DataEnd;
+    }
+    return;
+  }
+  case Expr::Kind::Load:
+    collectStrings(cast<LoadExpr>(E)->Addr.get());
+    return;
+  case Expr::Kind::Unary:
+    collectStrings(cast<UnaryExpr>(E)->Operand.get());
+    return;
+  case Expr::Kind::Binary:
+    collectStrings(cast<BinaryExpr>(E)->Lhs.get());
+    collectStrings(cast<BinaryExpr>(E)->Rhs.get());
+    return;
+  case Expr::Kind::Prim:
+    for (const ExprPtr &A : cast<PrimExpr>(E)->Args)
+      collectStrings(A.get());
+    return;
+  default:
+    return;
+  }
+}
+
+const Expr *ProcTranslator::constExpr(uint64_t Value, SourceLoc Loc) {
+  auto E = std::make_unique<IntLitExpr>(Loc, Value);
+  E->Ty = Type::bits(32);
+  const Expr *Raw = E.get();
+  P.ExprPool.push_back(std::move(E));
+  return Raw;
+}
+
+void ProcTranslator::translateGoto(const GotoStmt *G) {
+  // A goto becomes a constant branch; threadGotoBranches removes it again.
+  auto *B = P.make<BranchNode>();
+  B->Loc = G->loc();
+  B->Cond = constExpr(1, G->loc());
+  emit(B, nullptr);
+  GotoBranches.push_back(B);
+  auto It = LabelHeads.find(G->Target);
+  if (It != LabelHeads.end()) {
+    B->TrueDst = B->FalseDst = It->second;
+  } else {
+    PendingLabelRefs[G->Target].push_back(&B->TrueDst);
+    PendingLabelRefs[G->Target].push_back(&B->FalseDst);
+  }
+}
+
+void ProcTranslator::translateCall(const CallStmt *C) {
+  collectStrings(C->Callee.get());
+  for (const ExprPtr &D : C->Annots.Descriptors)
+    collectStrings(D.get());
+  emitCopyOut(C->Args, C->loc());
+
+  auto *Call = P.make<CallNode>();
+  Call->Loc = C->loc();
+  Call->Callee = C->Callee.get();
+  Call->NumArgs = static_cast<unsigned>(C->Args.size());
+  for (const ExprPtr &D : C->Annots.Descriptors)
+    Call->Descriptors.push_back(D.get());
+  Call->ReturnsToNames = C->Annots.ReturnsTo;
+  Call->UnwindsToNames = C->Annots.UnwindsTo;
+  Call->CutsToNames = C->Annots.CutsTo;
+  Call->Bundle.Abort = C->Annots.Aborts;
+  for (Symbol K : C->Annots.ReturnsTo)
+    Call->Bundle.ReturnsTo.push_back(ContNodes.at(K));
+  for (Symbol K : C->Annots.UnwindsTo)
+    Call->Bundle.UnwindsTo.push_back(ContNodes.at(K));
+  for (Symbol K : C->Annots.CutsTo)
+    Call->Bundle.CutsTo.push_back(ContNodes.at(K));
+
+  // Normal return continuation, always last in the bundle.
+  if (C->Results.empty()) {
+    Call->Bundle.ReturnsTo.push_back(nullptr);
+    emit(Call, &Call->Bundle.ReturnsTo.back());
+    return;
+  }
+  auto *ResultsIn = P.make<CopyInNode>();
+  ResultsIn->Loc = C->loc();
+  ResultsIn->Vars = C->Results;
+  Call->Bundle.ReturnsTo.push_back(ResultsIn);
+  emit(Call, nullptr);
+  Open.Slots.push_back(&ResultsIn->Next);
+}
+
+void ProcTranslator::translateStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::VarDecl:
+    return;
+
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    collectStrings(A->Value.get());
+    auto *N = P.make<AssignNode>();
+    N->Loc = A->loc();
+    N->Var = A->Target;
+    N->IsGlobal = !Info.Vars.count(A->Target);
+    N->Value = A->Value.get();
+    emit(N, &N->Next);
+    return;
+  }
+
+  case Stmt::Kind::MemAssign: {
+    const auto *M = cast<MemAssignStmt>(S);
+    collectStrings(M->Addr.get());
+    collectStrings(M->Value.get());
+    auto *N = P.make<StoreNode>();
+    N->Loc = M->loc();
+    N->AccessTy = M->AccessTy;
+    N->Addr = M->Addr.get();
+    N->Value = M->Value.get();
+    emit(N, &N->Next);
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    collectStrings(If->Cond.get());
+    auto *B = P.make<BranchNode>();
+    B->Loc = If->loc();
+    B->Cond = If->Cond.get();
+    emit(B, nullptr);
+    Open.Slots.push_back(&B->TrueDst);
+    translateList(If->Then);
+    OpenEnds ThenOpen = std::move(Open);
+    Open = OpenEnds();
+    Open.Slots.push_back(&B->FalseDst);
+    translateList(If->Else);
+    Open.merge(std::move(ThenOpen));
+    return;
+  }
+
+  case Stmt::Kind::Goto:
+    translateGoto(cast<GotoStmt>(S));
+    return;
+
+  case Stmt::Kind::Label:
+    Open.Labels.push_back(cast<LabelStmt>(S)->Name);
+    return;
+
+  case Stmt::Kind::Call:
+    translateCall(cast<CallStmt>(S));
+    return;
+
+  case Stmt::Kind::Jump: {
+    const auto *J = cast<JumpStmt>(S);
+    collectStrings(J->Callee.get());
+    emitCopyOut(J->Args, J->loc());
+    auto *N = P.make<JumpNode>();
+    N->Loc = J->loc();
+    N->Callee = J->Callee.get();
+    N->NumArgs = static_cast<unsigned>(J->Args.size());
+    emit(N, nullptr);
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    emitCopyOut(R->Values, R->loc());
+    auto *N = P.make<ExitNode>();
+    N->Loc = R->loc();
+    N->ContIndex = R->ContIndex;
+    N->AltCount = R->AltCount;
+    emit(N, nullptr);
+    return;
+  }
+
+  case Stmt::Kind::CutTo: {
+    const auto *C = cast<CutToStmt>(S);
+    collectStrings(C->Cont.get());
+    emitCopyOut(C->Args, C->loc());
+    auto *N = P.make<CutToNode>();
+    N->Loc = C->loc();
+    N->Cont = C->Cont.get();
+    N->NumArgs = static_cast<unsigned>(C->Args.size());
+    N->AlsoCutsToNames = C->AlsoCutsTo;
+    for (Symbol K : C->AlsoCutsTo)
+      N->AlsoCutsTo.push_back(ContNodes.at(K));
+    emit(N, nullptr);
+    return;
+  }
+
+  case Stmt::Kind::Continuation: {
+    const auto *C = cast<ContinuationStmt>(S);
+    CopyInNode *In = ContNodes.at(C->Name);
+    // Sema rejects fallthrough into a continuation, but be safe: bind any
+    // open ends to the CopyIn so the graph stays connected.
+    emit(In, &In->Next);
+    return;
+  }
+  }
+  cmm_unreachable("unknown statement kind");
+}
+
+/// Rewrites every edge that targets a goto-branch (constant condition, both
+/// destinations equal) to target its destination, then leaves the dead
+/// branch nodes unreachable.
+void ProcTranslator::threadGotoBranches() {
+  if (GotoBranches.empty())
+    return;
+  std::unordered_set<const Node *> GotoSet(GotoBranches.begin(),
+                                           GotoBranches.end());
+  auto Thread = [&](Node *N) -> Node * {
+    std::unordered_set<const Node *> Seen;
+    while (N && GotoSet.count(N) && Seen.insert(N).second)
+      N = cast<BranchNode>(N)->TrueDst;
+    return N;
+  };
+  for (const std::unique_ptr<Node> &Owned : P.Nodes) {
+    Node *N = Owned.get();
+    switch (N->kind()) {
+    case Node::Kind::Entry: {
+      auto *E = cast<EntryNode>(N);
+      E->Next = Thread(E->Next);
+      break;
+    }
+    case Node::Kind::CopyIn:
+      cast<CopyInNode>(N)->Next = Thread(cast<CopyInNode>(N)->Next);
+      break;
+    case Node::Kind::CopyOut:
+      cast<CopyOutNode>(N)->Next = Thread(cast<CopyOutNode>(N)->Next);
+      break;
+    case Node::Kind::CalleeSaves:
+      cast<CalleeSavesNode>(N)->Next = Thread(cast<CalleeSavesNode>(N)->Next);
+      break;
+    case Node::Kind::Assign:
+      cast<AssignNode>(N)->Next = Thread(cast<AssignNode>(N)->Next);
+      break;
+    case Node::Kind::Store:
+      cast<StoreNode>(N)->Next = Thread(cast<StoreNode>(N)->Next);
+      break;
+    case Node::Kind::Branch: {
+      auto *B = cast<BranchNode>(N);
+      B->TrueDst = Thread(B->TrueDst);
+      B->FalseDst = Thread(B->FalseDst);
+      break;
+    }
+    case Node::Kind::Call: {
+      auto *C = cast<CallNode>(N);
+      for (Node *&T : C->Bundle.ReturnsTo)
+        T = Thread(T);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Linking
+//===----------------------------------------------------------------------===//
+
+class Linker {
+public:
+  Linker(std::vector<AnalyzedModule> Mods, DiagnosticEngine &Diags)
+      : Mods(std::move(Mods)), Diags(Diags) {}
+
+  std::unique_ptr<IrProgram> run();
+
+private:
+  void layoutData(const DataDecl &D);
+  void checkImports();
+
+  std::vector<AnalyzedModule> Mods;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<IrProgram> Prog;
+};
+
+std::unique_ptr<IrProgram> Linker::run() {
+  if (Mods.empty()) {
+    Diags.error(SourceLoc(), "no modules to link");
+    return nullptr;
+  }
+  Prog = std::make_unique<IrProgram>();
+  Prog->Names = Mods.front().Mod->Names;
+  Prog->Image.Base = DataBase;
+  Prog->DataEnd = DataBase;
+
+  for (AnalyzedModule &AM : Mods) {
+    if (AM.Mod->Names != Prog->Names) {
+      Diags.error(SourceLoc(), "modules of one program must share an "
+                               "interner");
+      return nullptr;
+    }
+  }
+
+  // Install the intrinsic yield procedure: X(yield) is a bare Yield node.
+  {
+    auto YieldProc = std::make_unique<IrProc>();
+    YieldProc->Name = Prog->Names->intern("yield");
+    YieldProc->EntryPoint = YieldProc->make<YieldNode>();
+    Prog->ProcByName.emplace(YieldProc->Name, YieldProc.get());
+    Prog->Procs.push_back(std::move(YieldProc));
+  }
+
+  // Module-level namespace is program-wide: collect globals and data first
+  // (procedures reference data addresses only at run time).
+  for (AnalyzedModule &AM : Mods) {
+    for (const GlobalDecl &G : AM.Mod->Globals) {
+      if (!Prog->Globals.emplace(G.Name, G.Ty).second)
+        Diags.error(G.Loc, "global '" + Prog->Names->spelling(G.Name) +
+                               "' defined in more than one module");
+    }
+    for (const DataDecl &D : AM.Mod->Data) {
+      if (Prog->DataAddrs.count(D.Name)) {
+        Diags.error(D.Loc, "data block '" + Prog->Names->spelling(D.Name) +
+                               "' defined in more than one module");
+        continue;
+      }
+      layoutData(D);
+    }
+  }
+
+  // Translate procedures.
+  for (AnalyzedModule &AM : Mods) {
+    for (const ProcDecl &Decl : AM.Mod->Procs) {
+      if (Prog->ProcByName.count(Decl.Name)) {
+        Diags.error(Decl.Loc, "procedure '" +
+                                  Prog->Names->spelling(Decl.Name) +
+                                  "' defined in more than one module");
+        continue;
+      }
+      auto P = std::make_unique<IrProc>();
+      P->Name = Decl.Name;
+      P->Params = Decl.Params;
+      const ProcInfo &PI = AM.Info.Procs.at(&Decl);
+      P->VarTypes.reserve(PI.Vars.size() + PI.Continuations.size());
+      for (const auto &[Name, Ty] : PI.Vars)
+        P->VarTypes.emplace(Name, Ty);
+      // Continuation names denote per-activation values bound at Entry;
+      // for dataflow purposes they are locals of the native pointer type.
+      for (const auto &[Name, C] : PI.Continuations) {
+        (void)C;
+        P->VarTypes.emplace(Name, TargetInfo::nativePointer());
+      }
+      ProcTranslator(*Prog, *P, Decl, PI, Diags).run();
+      Prog->ProcByName.emplace(P->Name, P.get());
+      Prog->Procs.push_back(std::move(P));
+    }
+  }
+
+  checkImports();
+  if (Diags.hasErrors())
+    return nullptr;
+
+  // The program co-owns the modules: graphs reference their expressions.
+  for (AnalyzedModule &AM : Mods)
+    Prog->SourceModules.push_back(std::move(AM.Mod));
+  return std::move(Prog);
+}
+
+void Linker::layoutData(const DataDecl &D) {
+  // Align each block to 8 bytes.
+  while ((Prog->Image.Base + Prog->Image.Bytes.size()) % 8 != 0)
+    Prog->Image.Bytes.push_back(0);
+  uint64_t Addr = Prog->Image.Base + Prog->Image.Bytes.size();
+  Prog->DataAddrs.emplace(D.Name, Addr);
+
+  auto PutInt = [&](uint64_t V, unsigned Bytes) {
+    for (unsigned I = 0; I < Bytes; ++I)
+      Prog->Image.Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  for (const DataItem &Item : D.Items) {
+    switch (Item.K) {
+    case DataItem::Kind::Int:
+      PutInt(Item.IntValue, Item.Ty.sizeInBytes());
+      break;
+    case DataItem::Kind::Str:
+      for (char C : Item.StrValue)
+        Prog->Image.Bytes.push_back(static_cast<uint8_t>(C));
+      Prog->Image.Bytes.push_back(0);
+      break;
+    case DataItem::Kind::Name: {
+      uint64_t At = Prog->Image.Base + Prog->Image.Bytes.size();
+      Prog->Image.Relocs.push_back({At, Item.NameValue});
+      PutInt(0, TargetInfo::pointerBytes());
+      break;
+    }
+    case DataItem::Kind::Reserve:
+      for (uint64_t I = 0; I < Item.ReserveCount; ++I)
+        PutInt(0, Item.Ty.sizeInBytes());
+      break;
+    }
+  }
+  Prog->DataEnd = Prog->Image.Base + Prog->Image.Bytes.size();
+}
+
+void Linker::checkImports() {
+  for (AnalyzedModule &AM : Mods) {
+    for (Symbol S : AM.Mod->Imports) {
+      if (Prog->ProcByName.count(S) || Prog->DataAddrs.count(S) ||
+          Prog->Globals.count(S))
+        continue;
+      Diags.error(SourceLoc(), "unresolved import '" +
+                                   Prog->Names->spelling(S) + "'");
+    }
+  }
+  // Unresolved %%name references recorded as implicit imports by Sema.
+  for (AnalyzedModule &AM : Mods) {
+    for (Symbol S : AM.Info.ImportNames) {
+      if (Prog->ProcByName.count(S) || Prog->DataAddrs.count(S) ||
+          Prog->Globals.count(S))
+        continue;
+      Diags.error(SourceLoc(), "unresolved reference to '" +
+                                   Prog->Names->spelling(S) + "'");
+    }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<IrProgram>
+cmm::translateProgram(std::vector<AnalyzedModule> Mods,
+                      DiagnosticEngine &Diags) {
+  return Linker(std::move(Mods), Diags).run();
+}
+
+const char *cmm::stdLibSource() {
+  return R"(/* cmmex standard library: slow-but-solid primitives (Section 4.3).
+   Each maps failure into a yield; the front-end run-time system is expected
+   to unwind or cut the stack past the faulting activation. */
+export %%divu, %%divs, %%modu, %%mods;
+
+%%divu(bits32 p, bits32 q) {
+  if q == 0 { yield(53744) also aborts; }
+  return (%divu(p, q));
+}
+
+%%divs(bits32 p, bits32 q) {
+  if q == 0 { yield(53744) also aborts; }
+  return (%divs(p, q));
+}
+
+%%modu(bits32 p, bits32 q) {
+  if q == 0 { yield(53744) also aborts; }
+  return (%modu(p, q));
+}
+
+%%mods(bits32 p, bits32 q) {
+  if q == 0 { yield(53744) also aborts; }
+  return (%mods(p, q));
+}
+)";
+}
+
+std::unique_ptr<IrProgram>
+cmm::compileProgram(const std::vector<std::string> &Sources,
+                    DiagnosticEngine &Diags, bool IncludeStdLib) {
+  auto Names = std::make_shared<Interner>();
+  std::vector<AnalyzedModule> Mods;
+  auto AddSource = [&](const std::string &Src) {
+    Parser P(Src, Diags, Names);
+    auto Mod = std::make_shared<Module>(P.parseModule());
+    SemaInfo Info = analyze(*Mod, Diags);
+    Mods.push_back({std::move(Mod), std::move(Info)});
+  };
+  for (const std::string &Src : Sources)
+    AddSource(Src);
+  if (IncludeStdLib)
+    AddSource(stdLibSource());
+  if (Diags.hasErrors())
+    return nullptr;
+  return translateProgram(std::move(Mods), Diags);
+}

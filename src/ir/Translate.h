@@ -1,0 +1,56 @@
+//===- ir/Translate.h - C-- to Abstract C-- ---------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.3 translation from C-- source to Abstract C-- control-flow
+/// graphs, plus linking of multiple modules into one program (imports
+/// resolved, data laid out, the intrinsic `yield` procedure installed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_IR_TRANSLATE_H
+#define CMM_IR_TRANSLATE_H
+
+#include "ir/Ir.h"
+#include "support/Diagnostics.h"
+#include "syntax/Sema.h"
+
+#include <memory>
+#include <vector>
+
+namespace cmm {
+
+/// A parsed and analyzed module awaiting translation. All modules of one
+/// program must share one Interner.
+struct AnalyzedModule {
+  std::shared_ptr<Module> Mod;
+  SemaInfo Info;
+};
+
+/// Translates and links \p Mods into one Abstract C-- program. Returns null
+/// (with diagnostics) on errors: unresolved imports, cross-module name
+/// collisions, or mixed interners. The returned program co-owns the source
+/// modules, whose expressions the graphs reference.
+std::unique_ptr<IrProgram> translateProgram(std::vector<AnalyzedModule> Mods,
+                                            DiagnosticEngine &Diags);
+
+/// Convenience front door: parse, analyze, translate and link the given C--
+/// sources (plus the standard library unless \p IncludeStdLib is false).
+/// Returns null with diagnostics on any error.
+std::unique_ptr<IrProgram>
+compileProgram(const std::vector<std::string> &Sources,
+               DiagnosticEngine &Diags, bool IncludeStdLib = true);
+
+/// The C-- standard library: the slow-but-solid %%name procedures of
+/// Section 4.3, written in C-- on top of `yield`.
+const char *stdLibSource();
+
+/// The tag passed to `yield` by the %%div family on a zero divisor.
+inline constexpr uint64_t DivZeroYieldTag = 0xD1F0;
+
+} // namespace cmm
+
+#endif // CMM_IR_TRANSLATE_H

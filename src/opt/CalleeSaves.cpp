@@ -1,0 +1,97 @@
+//===- opt/CalleeSaves.cpp ------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CalleeSaves.h"
+
+using namespace cmm;
+
+CalleeSavesReport cmm::placeCalleeSaves(IrProc &P, const IrProgram &Prog,
+                                        const CalleeSavesOptions &Opts) {
+  CalleeSavesReport Report;
+  if (P.isYieldIntrinsic())
+    return Report;
+
+  LocUniverse U = LocUniverse::forProc(P, Prog);
+  Liveness L = computeLiveness(P, U,
+                               /*WithExceptionalEdges=*/Opts.RespectCutEdges);
+
+  // Snapshot the calls before we start inserting nodes.
+  std::vector<CallNode *> Calls;
+  for (Node *N : reachableNodes(P))
+    if (auto *C = dyn_cast<CallNode>(N))
+      Calls.push_back(C);
+
+  for (CallNode *C : Calls) {
+    // Variables whose values must survive into the normal continuation.
+    Node *Normal = C->Bundle.normalReturn();
+    BitVector LiveAcross = liveIntoContinuation(L, U, Normal);
+
+    // Only the procedure's own variables live in its frame or its
+    // callee-saves registers; globals are dedicated machine registers.
+    std::vector<unsigned> Candidates;
+    LiveAcross.forEach([&](size_t I) {
+      if (U.isVar(static_cast<unsigned>(I)) &&
+          P.VarTypes.count(U.varAt(static_cast<unsigned>(I))))
+        Candidates.push_back(static_cast<unsigned>(I));
+    });
+    if (Candidates.empty())
+      continue;
+
+    // A value needed by a cut continuation must not be in a callee-saves
+    // register across this call: the cut cannot restore it (Section 4.2).
+    // Unwind and alternate-return continuations impose no such constraint —
+    // those transfers restore callee-saves registers.
+    BitVector KilledByCuts(U.size());
+    if (Opts.RespectCutEdges)
+      for (Node *Cut : C->Bundle.CutsTo)
+        KilledByCuts.unionWith(liveIntoContinuation(L, U, Cut));
+
+    std::vector<Symbol> Chosen;
+    for (unsigned I : Candidates) {
+      if (KilledByCuts.test(I)) {
+        ++Report.VarsExcludedByCutEdges;
+        continue;
+      }
+      if (Chosen.size() >= Opts.NumRegisters) {
+        ++Report.VarsSpilledForPressure;
+        continue;
+      }
+      Chosen.push_back(U.varAt(I));
+    }
+    if (Chosen.empty())
+      continue;
+
+    auto *CS = P.make<CalleeSavesNode>();
+    CS->Loc = C->Loc;
+    CS->Saved = std::move(Chosen);
+    replaceAllSuccessorUses(P, C, CS);
+    CS->Next = C;
+    ++Report.CallsAnnotated;
+    Report.VarsPlaced += static_cast<unsigned>(CS->Saved.size());
+  }
+  return Report;
+}
+
+unsigned cmm::countKilledLiveValues(const IrProc &P, const IrProgram &Prog) {
+  if (P.isYieldIntrinsic())
+    return 0;
+  LocUniverse U = LocUniverse::forProc(P, Prog);
+  Liveness L = computeLiveness(P, U, /*WithExceptionalEdges=*/true);
+  std::vector<BitVector> Sigma = computeMaySigma(P, U);
+
+  unsigned Bugs = 0;
+  for (Node *N : reachableNodes(P)) {
+    const auto *C = dyn_cast<CallNode>(N);
+    if (!C)
+      continue;
+    for (Node *Cut : C->Bundle.CutsTo) {
+      BitVector Killed = Sigma[N->Id];
+      Killed.intersectWith(liveIntoContinuation(L, U, Cut));
+      Bugs += static_cast<unsigned>(Killed.count());
+    }
+  }
+  return Bugs;
+}

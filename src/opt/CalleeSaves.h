@@ -1,0 +1,59 @@
+//===- opt/CalleeSaves.h - Callee-saves placement ---------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization at the heart of Section 4.2's trade-off: keeping
+/// variables that are live across a call in callee-saves registers instead
+/// of the activation record. "Such code improvements must take into account
+/// control flow along also cuts to edges; such flow destroys values stored
+/// in callee-saves registers" — the stack-cutting technique cannot restore
+/// them. This pass inserts CalleeSaves nodes before calls; with
+/// RespectCutEdges=false it reproduces the classic miscompilation (a
+/// handler-live variable placed in a register the cut kills), which the
+/// abstract machine then reports as "use of unbound variable".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_CALLEESAVES_H
+#define CMM_OPT_CALLEESAVES_H
+
+#include "opt/Liveness.h"
+
+namespace cmm {
+
+/// Pass configuration.
+struct CalleeSavesOptions {
+  /// Callee-saves registers available on the target.
+  unsigned NumRegisters = 8;
+  /// When false, liveness ignores the exceptional edges and no variable is
+  /// excluded on account of cut edges: the unsound ablation.
+  bool RespectCutEdges = true;
+};
+
+/// What the pass did, for the Section 4.2 benchmark.
+struct CalleeSavesReport {
+  unsigned CallsAnnotated = 0;
+  unsigned VarsPlaced = 0;
+  /// Variables that were live across a call but had to stay in the frame
+  /// because a cut edge would kill them.
+  unsigned VarsExcludedByCutEdges = 0;
+  /// Variables that could not be placed for lack of registers (spills).
+  unsigned VarsSpilledForPressure = 0;
+};
+
+/// Places CalleeSaves nodes before every call of \p P.
+CalleeSavesReport placeCalleeSaves(IrProc &P, const IrProgram &Prog,
+                                   const CalleeSavesOptions &Opts);
+
+/// Post-placement soundness check: reports (as a count) every variable that
+/// may be in callee-saves registers at a call and is live into one of that
+/// call's cut continuations — exactly the killed-live-value bug. A sound
+/// placement yields zero.
+unsigned countKilledLiveValues(const IrProc &P, const IrProgram &Prog);
+
+} // namespace cmm
+
+#endif // CMM_OPT_CALLEESAVES_H

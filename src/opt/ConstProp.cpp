@@ -1,0 +1,410 @@
+//===- opt/ConstProp.cpp --------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstProp.h"
+
+#include "support/Assert.h"
+#include "syntax/PrimOps.h"
+
+#include <functional>
+
+using namespace cmm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Folding
+//===----------------------------------------------------------------------===//
+
+using LookupFn = std::function<std::optional<Value>(Symbol)>;
+
+/// Evaluates \p E when all leaves are known and evaluation cannot fail.
+std::optional<Value> fold(const Expr *E, const LookupFn &Lookup,
+                          const Interner &Names) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Value::bits(E->Ty.Width, cast<IntLitExpr>(E)->Value);
+  case Expr::Kind::FloatLit:
+    return Value::flt(E->Ty.Width, cast<FloatLitExpr>(E)->Value);
+  case Expr::Kind::Sizeof:
+    return Value::bits(32, cast<SizeofExpr>(E)->SizeInBytes);
+  case Expr::Kind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (N->Ref == RefKind::Local || N->Ref == RefKind::Global)
+      return Lookup(N->Name);
+    return std::nullopt; // procedure/data addresses stay symbolic
+  }
+  case Expr::Kind::StrLit:
+  case Expr::Kind::Load:
+    return std::nullopt;
+
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::optional<Value> V = fold(U->Operand.get(), Lookup, Names);
+    if (!V)
+      return std::nullopt;
+    switch (U->Op) {
+    case UnOp::Neg:
+      if (V->isFloat())
+        return Value::flt(V->Width, -V->F);
+      return Value::bits(V->Width, 0 - V->Raw);
+    case UnOp::Com:
+      if (!V->isBits())
+        return std::nullopt;
+      return Value::bits(V->Width, ~V->Raw);
+    case UnOp::Not:
+      if (!V->isBits())
+        return std::nullopt;
+      return Value::bits(32, V->Raw == 0 ? 1 : 0);
+    }
+    return std::nullopt;
+  }
+
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::optional<Value> L = fold(B->Lhs.get(), Lookup, Names);
+    std::optional<Value> R = fold(B->Rhs.get(), Lookup, Names);
+    if (!L || !R)
+      return std::nullopt;
+    if (L->isFloat() || R->isFloat()) {
+      if (!(L->isFloat() && R->isFloat()))
+        return std::nullopt;
+      switch (B->Op) {
+      case BinOp::Add: return Value::flt(L->Width, L->F + R->F);
+      case BinOp::Sub: return Value::flt(L->Width, L->F - R->F);
+      case BinOp::Mul: return Value::flt(L->Width, L->F * R->F);
+      case BinOp::Div: return Value::flt(L->Width, L->F / R->F);
+      case BinOp::Eq: return Value::bits(32, L->F == R->F);
+      case BinOp::Ne: return Value::bits(32, L->F != R->F);
+      case BinOp::LtS: return Value::bits(32, L->F < R->F);
+      case BinOp::LeS: return Value::bits(32, L->F <= R->F);
+      case BinOp::GtS: return Value::bits(32, L->F > R->F);
+      case BinOp::GeS: return Value::bits(32, L->F >= R->F);
+      default: return std::nullopt;
+      }
+    }
+    if (!L->isBits() || !R->isBits() || L->Width != R->Width)
+      return std::nullopt;
+    unsigned W = L->Width;
+    uint64_t X = L->Raw, Y = R->Raw;
+    int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
+    switch (B->Op) {
+    case BinOp::Add: return Value::bits(W, X + Y);
+    case BinOp::Sub: return Value::bits(W, X - Y);
+    case BinOp::Mul: return Value::bits(W, X * Y);
+    case BinOp::Div:
+      // Fold only when the division provably succeeds: the failure
+      // behaviour of the fast variant is unspecified and must be preserved.
+      if (SY == 0 || (SX == signExtend(signedMin(W), W) && SY == -1))
+        return std::nullopt;
+      return Value::bits(W, static_cast<uint64_t>(SX / SY));
+    case BinOp::Mod:
+      if (SY == 0 || (SX == signExtend(signedMin(W), W) && SY == -1))
+        return std::nullopt;
+      return Value::bits(W, static_cast<uint64_t>(SX % SY));
+    case BinOp::And: return Value::bits(W, X & Y);
+    case BinOp::Or: return Value::bits(W, X | Y);
+    case BinOp::Xor: return Value::bits(W, X ^ Y);
+    case BinOp::Shl: return Value::bits(W, Y >= W ? 0 : X << Y);
+    case BinOp::Shr: return Value::bits(W, Y >= W ? 0 : X >> Y);
+    case BinOp::Eq: return Value::bits(32, X == Y);
+    case BinOp::Ne: return Value::bits(32, X != Y);
+    case BinOp::LtS: return Value::bits(32, SX < SY);
+    case BinOp::LeS: return Value::bits(32, SX <= SY);
+    case BinOp::GtS: return Value::bits(32, SX > SY);
+    case BinOp::GeS: return Value::bits(32, SX >= SY);
+    }
+    return std::nullopt;
+  }
+
+  case Expr::Kind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    std::optional<PrimKind> K = lookupPrim(Names.spelling(P->Name));
+    if (!K)
+      return std::nullopt;
+    std::vector<Value> Args;
+    for (const ExprPtr &AE : P->Args) {
+      std::optional<Value> V = fold(AE.get(), Lookup, Names);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(*V);
+    }
+    unsigned W = Args.empty() ? 32 : Args[0].Width;
+    switch (*K) {
+    case PrimKind::DivU:
+      if (Args[1].Raw == 0)
+        return std::nullopt;
+      return Value::bits(W, Args[0].Raw / Args[1].Raw);
+    case PrimKind::ModU:
+      if (Args[1].Raw == 0)
+        return std::nullopt;
+      return Value::bits(W, Args[0].Raw % Args[1].Raw);
+    case PrimKind::LtU: return Value::bits(32, Args[0].Raw < Args[1].Raw);
+    case PrimKind::LeU: return Value::bits(32, Args[0].Raw <= Args[1].Raw);
+    case PrimKind::GtU: return Value::bits(32, Args[0].Raw > Args[1].Raw);
+    case PrimKind::GeU: return Value::bits(32, Args[0].Raw >= Args[1].Raw);
+    case PrimKind::Zx64: return Value::bits(64, Args[0].Raw);
+    case PrimKind::Sx64:
+      return Value::bits(64,
+                         static_cast<uint64_t>(signExtend(Args[0].Raw, 32)));
+    case PrimKind::Lo32: return Value::bits(32, Args[0].Raw);
+    case PrimKind::Hi32: return Value::bits(32, Args[0].Raw >> 32);
+    default:
+      // Signed division, shifts and float primitives: folded rarely enough
+      // that the conservative answer costs nothing.
+      return std::nullopt;
+    }
+  }
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// The lattice
+//===----------------------------------------------------------------------===//
+
+/// Lattice cell per variable: Top (no information yet, optimistic), a known
+/// constant, or NAC (not a constant).
+struct Cell {
+  enum class Kind : uint8_t { Top, Const, Nac };
+  Kind K = Kind::Top;
+  Value V;
+
+  static Cell nac() { return {Kind::Nac, Value()}; }
+  static Cell constant(Value V) { return {Kind::Const, V}; }
+
+  friend bool operator==(const Cell &A, const Cell &B) {
+    if (A.K != B.K)
+      return false;
+    return A.K != Kind::Const || A.V == B.V;
+  }
+};
+
+Cell meet(const Cell &A, const Cell &B) {
+  if (A.K == Cell::Kind::Top)
+    return B;
+  if (B.K == Cell::Kind::Top)
+    return A;
+  if (A.K == Cell::Kind::Const && B.K == Cell::Kind::Const && A.V == B.V)
+    return A;
+  return Cell::nac();
+}
+
+using State = std::vector<Cell>; // indexed by variable index in the universe
+
+class ConstPropImpl {
+public:
+  ConstPropImpl(IrProc &P, const IrProgram &Prog, bool WithExceptionalEdges)
+      : P(P), Prog(Prog), Names(*Prog.Names),
+        WithExceptional(WithExceptionalEdges),
+        U(LocUniverse::forProc(P, Prog)) {}
+
+  ConstPropReport run();
+
+private:
+  std::optional<Value> lookupIn(const State &S, Symbol V) const {
+    std::optional<unsigned> I = U.varIndex(V);
+    if (!I || !U.isVar(*I))
+      return std::nullopt;
+    if (S[*I].K != Cell::Kind::Const)
+      return std::nullopt;
+    return S[*I].V;
+  }
+
+  /// Applies \p N's effect to \p S (variables only; A and M are not
+  /// tracked). \p EdgeIsCut marks transfer along a cut edge.
+  void transfer(const Node *N, State &S) const;
+  void clobberOnEdge(const Node *N, EdgeKind Kind, State &S) const;
+
+  const Expr *rewriteExpr(const Expr *E, const State &S, bool &Changed);
+  const Expr *makeLiteral(const Value &V, SourceLoc Loc);
+
+  IrProc &P;
+  const IrProgram &Prog;
+  const Interner &Names;
+  bool WithExceptional;
+  LocUniverse U;
+  std::vector<BitVector> MaySigma;
+  ConstPropReport Report;
+};
+
+void ConstPropImpl::transfer(const Node *N, State &S) const {
+  switch (N->kind()) {
+  case Node::Kind::Entry:
+    // Continuation values are per-activation, never compile-time constants.
+    for (const auto &[Name, Target] : cast<EntryNode>(N)->Conts) {
+      (void)Target;
+      if (std::optional<unsigned> I = U.varIndex(Name))
+        S[*I] = Cell::nac();
+    }
+    return;
+  case Node::Kind::CopyIn:
+    for (Symbol V : cast<CopyInNode>(N)->Vars)
+      if (std::optional<unsigned> I = U.varIndex(V))
+        S[*I] = Cell::nac();
+    return;
+  case Node::Kind::Assign: {
+    const auto *A = cast<AssignNode>(N);
+    std::optional<unsigned> I = U.varIndex(A->Var);
+    if (!I)
+      return;
+    auto Lookup = [&](Symbol V) { return lookupIn(S, V); };
+    if (std::optional<Value> V = fold(A->Value, Lookup, Names))
+      S[*I] = Cell::constant(*V);
+    else
+      S[*I] = Cell::nac();
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void ConstPropImpl::clobberOnEdge(const Node *N, EdgeKind Kind,
+                                  State &S) const {
+  if (!isa<CallNode>(N))
+    return;
+  // A call may assign any global register.
+  for (unsigned I = 0; I < U.numVars(); ++I)
+    if (!P.VarTypes.count(U.varAt(I)))
+      S[I] = Cell::nac();
+  // Along a cut edge, values in callee-saves registers are destroyed.
+  if (Kind == EdgeKind::Cut && N->Id < MaySigma.size())
+    MaySigma[N->Id].forEach([&](size_t I) {
+      if (U.isVar(static_cast<unsigned>(I)))
+        S[I] = Cell::nac();
+    });
+}
+
+const Expr *ConstPropImpl::makeLiteral(const Value &V, SourceLoc Loc) {
+  if (V.isFloat()) {
+    auto E = std::make_unique<FloatLitExpr>(Loc, V.F);
+    E->Ty = Type::flt(V.Width);
+    const Expr *Raw = E.get();
+    P.ExprPool.push_back(std::move(E));
+    return Raw;
+  }
+  auto E = std::make_unique<IntLitExpr>(Loc, V.Raw);
+  E->Ty = Type::bits(V.Width);
+  const Expr *Raw = E.get();
+  P.ExprPool.push_back(std::move(E));
+  return Raw;
+}
+
+const Expr *ConstPropImpl::rewriteExpr(const Expr *E, const State &S,
+                                       bool &Changed) {
+  if (isa<IntLitExpr>(E) || isa<FloatLitExpr>(E))
+    return E;
+  auto Lookup = [&](Symbol V) { return lookupIn(S, V); };
+  if (std::optional<Value> V = fold(E, Lookup, Names)) {
+    // Fold only bits/float results; code and continuation values must stay
+    // symbolic.
+    if (V->isBits() || V->isFloat()) {
+      Changed = true;
+      ++Report.ExprsRewritten;
+      return makeLiteral(*V, E->loc());
+    }
+  }
+  return E;
+}
+
+ConstPropReport ConstPropImpl::run() {
+  MaySigma = computeMaySigma(P, U);
+  std::vector<Node *> Order = reachableNodes(P);
+
+  std::vector<State> In(P.Nodes.size(), State(U.numVars()));
+  std::vector<bool> Reached(P.Nodes.size(), false);
+  Reached[P.EntryPoint->Id] = true;
+  // Parameters and globals are unknown at entry.
+  for (Cell &C : In[P.EntryPoint->Id])
+    C = Cell::nac();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Node *N : Order) {
+      if (!Reached[N->Id])
+        continue;
+      State OutBase = In[N->Id];
+      transfer(N, OutBase);
+      forEachSucc(
+          *N,
+          [&](Node *SNode, EdgeKind Kind) {
+            State Out = OutBase;
+            clobberOnEdge(N, Kind, Out);
+            if (!Reached[SNode->Id]) {
+              Reached[SNode->Id] = true;
+              In[SNode->Id] = Out;
+              Changed = true;
+              return;
+            }
+            for (size_t I = 0; I < Out.size(); ++I) {
+              Cell M = meet(In[SNode->Id][I], Out[I]);
+              if (!(M == In[SNode->Id][I])) {
+                In[SNode->Id][I] = M;
+                Changed = true;
+              }
+            }
+          },
+          WithExceptional);
+    }
+  }
+
+  // Rewrite expressions with the solved facts.
+  bool Dummy = false;
+  for (Node *N : Order) {
+    if (!Reached[N->Id])
+      continue;
+    const State &S = In[N->Id];
+    switch (N->kind()) {
+    case Node::Kind::Assign: {
+      auto *A = cast<AssignNode>(N);
+      A->Value = rewriteExpr(A->Value, S, Dummy);
+      break;
+    }
+    case Node::Kind::Store: {
+      auto *St = cast<StoreNode>(N);
+      St->Addr = rewriteExpr(St->Addr, S, Dummy);
+      St->Value = rewriteExpr(St->Value, S, Dummy);
+      break;
+    }
+    case Node::Kind::CopyOut: {
+      auto *C = cast<CopyOutNode>(N);
+      for (const Expr *&E : C->Exprs)
+        E = rewriteExpr(E, S, Dummy);
+      break;
+    }
+    case Node::Kind::Branch: {
+      auto *B = cast<BranchNode>(N);
+      B->Cond = rewriteExpr(B->Cond, S, Dummy);
+      if (const auto *Lit = dyn_cast<IntLitExpr>(B->Cond)) {
+        Node *Taken = Lit->Value != 0 ? B->TrueDst : B->FalseDst;
+        if (B->TrueDst != B->FalseDst) {
+          B->TrueDst = B->FalseDst = Taken;
+          ++Report.BranchesResolved;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return Report;
+}
+
+} // namespace
+
+ConstPropReport cmm::propagateConstants(IrProc &P, const IrProgram &Prog,
+                                        bool WithExceptionalEdges) {
+  if (P.isYieldIntrinsic())
+    return ConstPropReport();
+  return ConstPropImpl(P, Prog, WithExceptionalEdges).run();
+}
+
+std::optional<Value> cmm::foldConstExpr(const Expr *E, const Interner &Names) {
+  return fold(E, [](Symbol) { return std::optional<Value>(); }, Names);
+}

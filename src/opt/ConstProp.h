@@ -1,0 +1,41 @@
+//===- opt/ConstProp.h - Constant propagation -------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative constant propagation and folding over Abstract C-- graphs —
+/// one of the "standard optimizations" Table 3's dataflow information is
+/// meant to enable without treating exceptions as a special case. Calls
+/// invalidate global registers; cut edges additionally invalidate variables
+/// that may sit in callee-saves registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_CONSTPROP_H
+#define CMM_OPT_CONSTPROP_H
+
+#include "opt/Dataflow.h"
+#include "sem/Value.h"
+
+namespace cmm {
+
+/// What the pass changed.
+struct ConstPropReport {
+  unsigned ExprsRewritten = 0;
+  unsigned BranchesResolved = 0;
+};
+
+/// Propagates and folds constants in \p P. \p WithExceptionalEdges selects
+/// whether the `also` edges participate (the ablation switch).
+ConstPropReport propagateConstants(IrProc &P, const IrProgram &Prog,
+                                   bool WithExceptionalEdges = true);
+
+/// Folds \p E to a constant when every leaf is a literal; used by tests.
+/// Never folds expressions whose evaluation could fail.
+std::optional<Value> foldConstExpr(const Expr *E, const Interner &Names);
+
+} // namespace cmm
+
+#endif // CMM_OPT_CONSTPROP_H

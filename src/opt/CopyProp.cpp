@@ -1,0 +1,225 @@
+//===- opt/CopyProp.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CopyProp.h"
+
+#include "support/Assert.h"
+
+using namespace cmm;
+
+namespace {
+
+/// Per-variable lattice value: Top (no information yet), NoCopy, or the
+/// index of the variable it copies.
+constexpr unsigned TopVal = ~0u;
+constexpr unsigned NoCopy = ~0u - 1;
+
+using State = std::vector<unsigned>;
+
+unsigned meetCell(unsigned A, unsigned B) {
+  if (A == TopVal)
+    return B;
+  if (B == TopVal)
+    return A;
+  return A == B ? A : NoCopy;
+}
+
+class CopyPropImpl {
+public:
+  CopyPropImpl(IrProc &P, const IrProgram &Prog, bool WithExceptionalEdges)
+      : P(P), Prog(Prog), WithExceptional(WithExceptionalEdges),
+        U(LocUniverse::forProc(P, Prog)) {}
+
+  CopyPropReport run();
+
+private:
+  /// Removes every copy fact involving \p V, as source or destination.
+  static void killVar(State &S, unsigned V) {
+    S[V] = NoCopy;
+    for (unsigned &Cell : S)
+      if (Cell == V)
+        Cell = NoCopy;
+  }
+
+  void transfer(const Node *N, State &S) const;
+  void clobberOnEdge(const Node *N, EdgeKind Kind, State &S) const;
+
+  /// Clones \p E with every propagatable variable use replaced.
+  const Expr *rewriteExpr(const Expr *E, const State &S);
+
+  IrProc &P;
+  const IrProgram &Prog;
+  bool WithExceptional;
+  LocUniverse U;
+  std::vector<BitVector> MaySigma;
+  CopyPropReport Report;
+};
+
+void CopyPropImpl::transfer(const Node *N, State &S) const {
+  switch (N->kind()) {
+  case Node::Kind::Entry:
+    for (const auto &[Name, Target] : cast<EntryNode>(N)->Conts) {
+      (void)Target;
+      if (std::optional<unsigned> I = U.varIndex(Name))
+        killVar(S, *I);
+    }
+    return;
+  case Node::Kind::CopyIn:
+    for (Symbol V : cast<CopyInNode>(N)->Vars)
+      if (std::optional<unsigned> I = U.varIndex(V))
+        killVar(S, *I);
+    return;
+  case Node::Kind::Assign: {
+    const auto *A = cast<AssignNode>(N);
+    std::optional<unsigned> Dst = U.varIndex(A->Var);
+    if (!Dst)
+      return;
+    killVar(S, *Dst);
+    if (const auto *Src = dyn_cast<NameExpr>(A->Value)) {
+      if (Src->Ref != RefKind::Local && Src->Ref != RefKind::Global)
+        return;
+      std::optional<unsigned> SrcI = U.varIndex(Src->Name);
+      // Record only same-typed variable-to-variable copies.
+      if (SrcI && *SrcI != *Dst && Src->Ty == A->Value->Ty)
+        S[*Dst] = *SrcI;
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void CopyPropImpl::clobberOnEdge(const Node *N, EdgeKind Kind,
+                                 State &S) const {
+  if (!isa<CallNode>(N))
+    return;
+  // The callee may assign any global register: kill copies touching them.
+  for (unsigned I = 0; I < U.numVars(); ++I)
+    if (U.isGlobalVar(I))
+      killVar(S, I);
+  if (Kind == EdgeKind::Cut && N->Id < MaySigma.size())
+    MaySigma[N->Id].forEach([&](size_t I) {
+      if (U.isVar(static_cast<unsigned>(I)))
+        killVar(S, static_cast<unsigned>(I));
+    });
+}
+
+const Expr *CopyPropImpl::rewriteExpr(const Expr *E, const State &S) {
+  switch (E->kind()) {
+  case Expr::Kind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (N->Ref != RefKind::Local && N->Ref != RefKind::Global)
+      return E;
+    std::optional<unsigned> I = U.varIndex(N->Name);
+    if (!I || S[*I] == NoCopy || S[*I] == TopVal || !U.isVar(S[*I]))
+      return E;
+    Symbol Src = U.varAt(S[*I]);
+    auto New = std::make_unique<NameExpr>(N->loc(), Src);
+    New->Ty = N->Ty;
+    New->Ref = P.VarTypes.count(Src) ? RefKind::Local : RefKind::Global;
+    const Expr *Raw = New.get();
+    P.ExprPool.push_back(std::move(New));
+    ++Report.UsesRewritten;
+    return Raw;
+  }
+  default:
+    // Whole-expression uses only: nested occurrences are caught on later
+    // pipeline rounds once constant propagation and dead-code elimination
+    // shrink the trees. Rewriting inside shared subtrees would require
+    // cloning whole expressions; not worth it here.
+    return E;
+  }
+}
+
+CopyPropReport CopyPropImpl::run() {
+  MaySigma = computeMaySigma(P, U);
+  std::vector<Node *> Order = reachableNodes(P);
+
+  std::vector<State> In(P.Nodes.size(), State(U.numVars(), TopVal));
+  std::vector<bool> Reached(P.Nodes.size(), false);
+  Reached[P.EntryPoint->Id] = true;
+  for (unsigned &Cell : In[P.EntryPoint->Id])
+    Cell = NoCopy;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Node *N : Order) {
+      if (!Reached[N->Id])
+        continue;
+      State OutBase = In[N->Id];
+      transfer(N, OutBase);
+      forEachSucc(
+          *N,
+          [&](Node *SNode, EdgeKind Kind) {
+            State Out = OutBase;
+            clobberOnEdge(N, Kind, Out);
+            if (!Reached[SNode->Id]) {
+              Reached[SNode->Id] = true;
+              In[SNode->Id] = Out;
+              Changed = true;
+              return;
+            }
+            for (size_t I = 0; I < Out.size(); ++I) {
+              unsigned M = meetCell(In[SNode->Id][I], Out[I]);
+              if (M != In[SNode->Id][I]) {
+                In[SNode->Id][I] = M;
+                Changed = true;
+              }
+            }
+          },
+          WithExceptional);
+    }
+  }
+
+  // Rewrite top-level variable uses. Only whole-expression Name uses and
+  // direct children that are Names are rewritten; nested occurrences are
+  // picked up by iterating the pass (the pipeline runs multiple rounds).
+  for (Node *N : Order) {
+    if (!Reached[N->Id])
+      continue;
+    const State &S = In[N->Id];
+    auto Rw = [&](const Expr *&Slot) { Slot = rewriteExpr(Slot, S); };
+    switch (N->kind()) {
+    case Node::Kind::Assign:
+      Rw(cast<AssignNode>(N)->Value);
+      break;
+    case Node::Kind::Store:
+      Rw(cast<StoreNode>(N)->Addr);
+      Rw(cast<StoreNode>(N)->Value);
+      break;
+    case Node::Kind::Branch:
+      Rw(cast<BranchNode>(N)->Cond);
+      break;
+    case Node::Kind::CopyOut:
+      for (const Expr *&E : cast<CopyOutNode>(N)->Exprs)
+        Rw(E);
+      break;
+    case Node::Kind::Call:
+      Rw(cast<CallNode>(N)->Callee);
+      break;
+    case Node::Kind::Jump:
+      Rw(cast<JumpNode>(N)->Callee);
+      break;
+    case Node::Kind::CutTo:
+      Rw(cast<CutToNode>(N)->Cont);
+      break;
+    default:
+      break;
+    }
+  }
+  return Report;
+}
+
+} // namespace
+
+CopyPropReport cmm::propagateCopies(IrProc &P, const IrProgram &Prog,
+                                    bool WithExceptionalEdges) {
+  if (P.isYieldIntrinsic())
+    return CopyPropReport();
+  return CopyPropImpl(P, Prog, WithExceptionalEdges).run();
+}

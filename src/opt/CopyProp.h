@@ -1,0 +1,35 @@
+//===- opt/CopyProp.h - Copy propagation ------------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global copy propagation over Abstract C-- graphs — another of the
+/// "standard optimizations" Table 3's facts enable (the CopyIn/CopyOut
+/// copies are first-class in the fact layer precisely so passes like this
+/// one can see through the value-passing area). Calls kill copies involving
+/// global registers; cut edges additionally kill copies involving variables
+/// that may sit in callee-saves registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_COPYPROP_H
+#define CMM_OPT_COPYPROP_H
+
+#include "opt/Dataflow.h"
+
+namespace cmm {
+
+/// What the pass changed.
+struct CopyPropReport {
+  unsigned UsesRewritten = 0;
+};
+
+/// Replaces uses of x with y wherever the copy x := y is available.
+CopyPropReport propagateCopies(IrProc &P, const IrProgram &Prog,
+                               bool WithExceptionalEdges = true);
+
+} // namespace cmm
+
+#endif // CMM_OPT_COPYPROP_H

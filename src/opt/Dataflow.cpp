@@ -1,0 +1,429 @@
+//===- opt/Dataflow.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Dataflow.h"
+
+#include "support/Assert.h"
+#include "syntax/PrimOps.h"
+
+#include <functional>
+
+using namespace cmm;
+
+//===----------------------------------------------------------------------===//
+// LocUniverse
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void collectExprVars(const Expr *E, std::vector<Symbol> &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (N->Ref == RefKind::Local || N->Ref == RefKind::Global ||
+        N->Ref == RefKind::Continuation)
+      Out.push_back(N->Name);
+    return;
+  }
+  case Expr::Kind::Load:
+    collectExprVars(cast<LoadExpr>(E)->Addr.get(), Out);
+    return;
+  case Expr::Kind::Unary:
+    collectExprVars(cast<UnaryExpr>(E)->Operand.get(), Out);
+    return;
+  case Expr::Kind::Binary:
+    collectExprVars(cast<BinaryExpr>(E)->Lhs.get(), Out);
+    collectExprVars(cast<BinaryExpr>(E)->Rhs.get(), Out);
+    return;
+  case Expr::Kind::Prim:
+    for (const ExprPtr &A : cast<PrimExpr>(E)->Args)
+      collectExprVars(A.get(), Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void forEachNodeExpr(const Node &N,
+                     const std::function<void(const Expr *)> &F) {
+  switch (N.kind()) {
+  case Node::Kind::CopyOut:
+    for (const Expr *E : cast<CopyOutNode>(&N)->Exprs)
+      F(E);
+    return;
+  case Node::Kind::Assign:
+    F(cast<AssignNode>(&N)->Value);
+    return;
+  case Node::Kind::Store:
+    F(cast<StoreNode>(&N)->Addr);
+    F(cast<StoreNode>(&N)->Value);
+    return;
+  case Node::Kind::Branch:
+    F(cast<BranchNode>(&N)->Cond);
+    return;
+  case Node::Kind::Call:
+    F(cast<CallNode>(&N)->Callee);
+    return;
+  case Node::Kind::Jump:
+    F(cast<JumpNode>(&N)->Callee);
+    return;
+  case Node::Kind::CutTo:
+    F(cast<CutToNode>(&N)->Cont);
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+LocUniverse LocUniverse::forProc(const IrProc &P, const IrProgram &Prog) {
+  (void)Prog;
+  LocUniverse U;
+  auto AddVar = [&](Symbol V) {
+    if (U.Index.emplace(V, U.Vars.size()).second) {
+      U.Vars.push_back(V);
+      U.Globals.push_back(!P.VarTypes.count(V));
+    }
+  };
+  for (const auto &[V, Ty] : P.VarTypes) {
+    (void)Ty;
+    AddVar(V);
+  }
+
+  unsigned MaxA = static_cast<unsigned>(P.Params.size());
+  for (const std::unique_ptr<Node> &N : P.Nodes) {
+    // Referenced globals and continuation names become locations too.
+    std::vector<Symbol> Vars;
+    forEachNodeExpr(*N, [&](const Expr *E) { collectExprVars(E, Vars); });
+    if (const auto *A = dyn_cast<AssignNode>(N.get()))
+      Vars.push_back(A->Var);
+    if (const auto *C = dyn_cast<CopyInNode>(N.get())) {
+      for (Symbol V : C->Vars)
+        Vars.push_back(V);
+      MaxA = std::max(MaxA, static_cast<unsigned>(C->Vars.size()));
+    }
+    if (const auto *C = dyn_cast<CopyOutNode>(N.get()))
+      MaxA = std::max(MaxA, static_cast<unsigned>(C->Exprs.size()));
+    if (const auto *C = dyn_cast<CallNode>(N.get()))
+      MaxA = std::max(MaxA, C->NumArgs);
+    if (const auto *J = dyn_cast<JumpNode>(N.get()))
+      MaxA = std::max(MaxA, J->NumArgs);
+    if (const auto *C = dyn_cast<CutToNode>(N.get()))
+      MaxA = std::max(MaxA, C->NumArgs);
+    if (const auto *E = dyn_cast<EntryNode>(N.get()))
+      for (const auto &[Name, Target] : E->Conts) {
+        (void)Target;
+        Vars.push_back(Name);
+      }
+    for (Symbol V : Vars)
+      AddVar(V);
+  }
+  U.MaxArgs = MaxA;
+  return U;
+}
+
+std::string LocUniverse::describe(unsigned I, const Interner &Names) const {
+  if (I < Vars.size())
+    return Names.spelling(Vars[I]);
+  if (I == memIndex())
+    return "M";
+  return "A[" + std::to_string(I - memIndex() - 1) + "]";
+}
+
+void cmm::addFreeVars(const Expr *E, const LocUniverse &U, BitVector &Out) {
+  if (E->kind() == Expr::Kind::Load)
+    Out.set(U.memIndex());
+  std::vector<Symbol> Vars;
+  collectExprVars(E, Vars);
+  // Loads may be nested anywhere; re-scan for them.
+  struct LoadScan {
+    static bool hasLoad(const Expr *E) {
+      switch (E->kind()) {
+      case Expr::Kind::Load:
+        return true;
+      case Expr::Kind::Unary:
+        return hasLoad(cast<UnaryExpr>(E)->Operand.get());
+      case Expr::Kind::Binary:
+        return hasLoad(cast<BinaryExpr>(E)->Lhs.get()) ||
+               hasLoad(cast<BinaryExpr>(E)->Rhs.get());
+      case Expr::Kind::Prim:
+        for (const ExprPtr &A : cast<PrimExpr>(E)->Args)
+          if (hasLoad(A.get()))
+            return true;
+        return false;
+      default:
+        return false;
+      }
+    }
+  };
+  if (LoadScan::hasLoad(E))
+    Out.set(U.memIndex());
+  for (Symbol V : Vars)
+    if (std::optional<unsigned> I = U.varIndex(V))
+      Out.set(*I);
+}
+
+bool cmm::exprCanFail(const Expr *E, const Interner &Names) {
+  switch (E->kind()) {
+  case Expr::Kind::Unary:
+    return exprCanFail(cast<UnaryExpr>(E)->Operand.get(), Names);
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if ((B->Op == BinOp::Div || B->Op == BinOp::Mod) && B->Lhs->Ty.isBits())
+      return true;
+    return exprCanFail(B->Lhs.get(), Names) || exprCanFail(B->Rhs.get(), Names);
+  }
+  case Expr::Kind::Prim: {
+    const auto *P = cast<PrimExpr>(E);
+    if (std::optional<PrimKind> K = lookupPrim(Names.spelling(P->Name)))
+      if (primCanFail(*K))
+        return true;
+    for (const ExprPtr &A : P->Args)
+      if (exprCanFail(A.get(), Names))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Load:
+    return exprCanFail(cast<LoadExpr>(E)->Addr.get(), Names);
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-node facts (Table 3)
+//===----------------------------------------------------------------------===//
+
+NodeFacts cmm::computeFacts(const Node &N, const LocUniverse &U) {
+  NodeFacts F;
+  F.Use = BitVector(U.size());
+  F.Def = BitVector(U.size());
+  auto DefAllArgs = [&] {
+    for (unsigned I = 0; I < U.maxArgs(); ++I)
+      F.Def.set(U.argIndex(I));
+  };
+  auto UseArgs = [&](unsigned Count) {
+    for (unsigned I = 0; I < Count && I < U.maxArgs(); ++I)
+      F.Use.set(U.argIndex(I));
+  };
+  // Global registers escape the procedure: every exit leaves them live for
+  // the caller, and a call may read or write any of them.
+  auto UseGlobals = [&] {
+    for (unsigned I = 0; I < U.numVars(); ++I)
+      if (U.isGlobalVar(I))
+        F.Use.set(I);
+  };
+  auto DefGlobals = [&] {
+    for (unsigned I = 0; I < U.numVars(); ++I)
+      if (U.isGlobalVar(I))
+        F.Def.set(I);
+  };
+
+  switch (N.kind()) {
+  case Node::Kind::Entry: {
+    // Parameters arrive in A; continuations are bound; memory is live-in.
+    const auto *E = cast<EntryNode>(&N);
+    DefAllArgs();
+    F.Def.set(U.memIndex());
+    for (const auto &[Name, Target] : E->Conts) {
+      (void)Target;
+      if (std::optional<unsigned> I = U.varIndex(Name))
+        F.Def.set(*I);
+    }
+    return F;
+  }
+  case Node::Kind::Exit:
+    // use M; use A[i] for the procedure's results. The exact result count
+    // depends on the reaching CopyOut; using every slot is conservative.
+    F.Use.set(U.memIndex());
+    UseArgs(U.maxArgs());
+    UseGlobals();
+    return F;
+  case Node::Kind::CopyIn: {
+    const auto *C = cast<CopyInNode>(&N);
+    for (size_t I = 0; I < C->Vars.size(); ++I) {
+      std::optional<unsigned> VI = U.varIndex(C->Vars[I]);
+      if (!VI)
+        continue;
+      F.Def.set(*VI);
+      unsigned AI = U.argIndex(static_cast<unsigned>(I));
+      F.Use.set(AI);
+      F.Copies.emplace_back(*VI, AI);
+    }
+    return F;
+  }
+  case Node::Kind::CopyOut: {
+    const auto *C = cast<CopyOutNode>(&N);
+    // CopyOut may overwrite the whole area: every slot is defined.
+    DefAllArgs();
+    for (size_t I = 0; I < C->Exprs.size(); ++I) {
+      addFreeVars(C->Exprs[I], U, F.Use);
+      if (const auto *Name = dyn_cast<NameExpr>(C->Exprs[I]))
+        if (std::optional<unsigned> VI = U.varIndex(Name->Name))
+          F.Copies.emplace_back(U.argIndex(static_cast<unsigned>(I)), *VI);
+    }
+    return F;
+  }
+  case Node::Kind::CalleeSaves:
+    // "No effect on dataflow."
+    return F;
+  case Node::Kind::Assign: {
+    const auto *A = cast<AssignNode>(&N);
+    addFreeVars(A->Value, U, F.Use);
+    if (std::optional<unsigned> VI = U.varIndex(A->Var)) {
+      F.Def.set(*VI);
+      if (const auto *Src = dyn_cast<NameExpr>(A->Value))
+        if (std::optional<unsigned> SI = U.varIndex(Src->Name))
+          F.Copies.emplace_back(*VI, *SI);
+    }
+    return F;
+  }
+  case Node::Kind::Store: {
+    const auto *St = cast<StoreNode>(&N);
+    addFreeVars(St->Addr, U, F.Use);
+    addFreeVars(St->Value, U, F.Use);
+    // A store both reads and writes the memory pseudo-variable: other
+    // addresses keep their contents.
+    F.Use.set(U.memIndex());
+    F.Def.set(U.memIndex());
+    return F;
+  }
+  case Node::Kind::Branch:
+    addFreeVars(cast<BranchNode>(&N)->Cond, U, F.Use);
+    return F;
+  case Node::Kind::Call: {
+    const auto *C = cast<CallNode>(&N);
+    addFreeVars(C->Callee, U, F.Use);
+    F.Use.set(U.memIndex());
+    F.Def.set(U.memIndex());
+    UseArgs(C->NumArgs);
+    UseGlobals();
+    DefGlobals();
+    if (C->Bundle.Abort) {
+      // Table 3: "if abort is True, place use A[i] ... along the edge to
+      // the exit node"; attaching the uses to the node is conservative.
+      UseArgs(U.maxArgs());
+    }
+    return F;
+  }
+  case Node::Kind::Jump: {
+    const auto *J = cast<JumpNode>(&N);
+    addFreeVars(J->Callee, U, F.Use);
+    F.Use.set(U.memIndex());
+    UseArgs(J->NumArgs);
+    UseGlobals();
+    return F;
+  }
+  case Node::Kind::CutTo: {
+    const auto *C = cast<CutToNode>(&N);
+    addFreeVars(C->Cont, U, F.Use);
+    F.Use.set(U.memIndex());
+    UseArgs(C->NumArgs);
+    UseGlobals();
+    return F;
+  }
+  case Node::Kind::Yield:
+    // "Not in any optimized procedure."
+    return F;
+  }
+  cmm_unreachable("unknown node kind");
+}
+
+//===----------------------------------------------------------------------===//
+// May-σ analysis
+//===----------------------------------------------------------------------===//
+
+std::vector<BitVector> cmm::computeMaySigma(const IrProc &P,
+                                            const LocUniverse &U) {
+  std::vector<BitVector> In(P.Nodes.size(), BitVector(U.size()));
+  std::vector<BitVector> Out(P.Nodes.size(), BitVector(U.size()));
+  std::vector<Node *> Order = reachableNodes(P);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Node *N : Order) {
+      BitVector NewOut = In[N->Id];
+      if (const auto *CS = dyn_cast<CalleeSavesNode>(N)) {
+        NewOut.clear();
+        for (Symbol V : CS->Saved)
+          if (std::optional<unsigned> I = U.varIndex(V))
+            NewOut.set(*I);
+      }
+      if (!(NewOut == Out[N->Id])) {
+        Out[N->Id] = NewOut;
+        Changed = true;
+      }
+      forEachSucc(*N, [&](Node *S, EdgeKind) {
+        if (In[S->Id].unionWith(Out[N->Id]))
+          Changed = true;
+      });
+    }
+  }
+  return In;
+}
+
+//===----------------------------------------------------------------------===//
+// Edge rewiring
+//===----------------------------------------------------------------------===//
+
+void cmm::replaceAllSuccessorUses(IrProc &P, Node *From, Node *To) {
+  for (const std::unique_ptr<Node> &Owned : P.Nodes) {
+    Node *N = Owned.get();
+    auto Fix = [&](Node *&Slot) {
+      if (Slot == From)
+        Slot = To;
+    };
+    switch (N->kind()) {
+    case Node::Kind::Entry: {
+      auto *E = cast<EntryNode>(N);
+      Fix(E->Next);
+      for (auto &[Name, Target] : E->Conts) {
+        (void)Name;
+        Fix(Target);
+      }
+      break;
+    }
+    case Node::Kind::CopyIn:
+      Fix(cast<CopyInNode>(N)->Next);
+      break;
+    case Node::Kind::CopyOut:
+      Fix(cast<CopyOutNode>(N)->Next);
+      break;
+    case Node::Kind::CalleeSaves:
+      Fix(cast<CalleeSavesNode>(N)->Next);
+      break;
+    case Node::Kind::Assign:
+      Fix(cast<AssignNode>(N)->Next);
+      break;
+    case Node::Kind::Store:
+      Fix(cast<StoreNode>(N)->Next);
+      break;
+    case Node::Kind::Branch:
+      Fix(cast<BranchNode>(N)->TrueDst);
+      Fix(cast<BranchNode>(N)->FalseDst);
+      break;
+    case Node::Kind::Call: {
+      auto *C = cast<CallNode>(N);
+      for (Node *&T : C->Bundle.ReturnsTo)
+        Fix(T);
+      for (Node *&T : C->Bundle.UnwindsTo)
+        Fix(T);
+      for (Node *&T : C->Bundle.CutsTo)
+        Fix(T);
+      break;
+    }
+    case Node::Kind::CutTo:
+      for (Node *&T : cast<CutToNode>(N)->AlsoCutsTo)
+        Fix(T);
+      break;
+    default:
+      break;
+    }
+  }
+  if (P.EntryPoint == From)
+    P.EntryPoint = To;
+}

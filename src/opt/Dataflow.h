@@ -1,0 +1,105 @@
+//===- opt/Dataflow.h - Table 3 dataflow facts ------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataflow rules of Table 3, "in terms of definitions, uses, copies,
+/// and kills". The location domain has three kinds: ordinary variables
+/// (locals and global registers), the memory pseudo-variable M, and the
+/// argument-passing-area slots A[i]. "This information is enough to enable
+/// standard optimizations ... the optimizer can perform all the usual
+/// rearrangements, provided it respects the dataflow and it doesn't insert
+/// code after Exit, Jump, CutTo, or the abort part of a continuation
+/// bundle."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_DATAFLOW_H
+#define CMM_OPT_DATAFLOW_H
+
+#include "ir/Succ.h"
+#include "support/BitVector.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cmm {
+
+/// Dense numbering of the dataflow locations of one procedure: its
+/// variables (including referenced globals), then M, then A[0..MaxArgs).
+class LocUniverse {
+public:
+  static LocUniverse forProc(const IrProc &P, const IrProgram &Prog);
+
+  unsigned size() const {
+    return static_cast<unsigned>(Vars.size()) + 1 + MaxArgs;
+  }
+  unsigned memIndex() const { return static_cast<unsigned>(Vars.size()); }
+  unsigned argIndex(unsigned I) const { return memIndex() + 1 + I; }
+  unsigned maxArgs() const { return MaxArgs; }
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+
+  std::optional<unsigned> varIndex(Symbol V) const {
+    auto It = Index.find(V);
+    if (It == Index.end())
+      return std::nullopt;
+    return It->second;
+  }
+  Symbol varAt(unsigned I) const { return Vars[I]; }
+  bool isVar(unsigned I) const { return I < Vars.size(); }
+  bool isArg(unsigned I) const { return I > memIndex(); }
+  /// True when location \p I is a global register rather than a local of
+  /// the procedure. Globals escape: calls may read and write them, and they
+  /// are live at every procedure exit.
+  bool isGlobalVar(unsigned I) const {
+    return I < Globals.size() && Globals[I];
+  }
+
+  /// Human-readable location name for dumps.
+  std::string describe(unsigned I, const Interner &Names) const;
+
+private:
+  std::vector<Symbol> Vars;
+  std::vector<bool> Globals; ///< parallel to Vars
+  std::unordered_map<Symbol, unsigned> Index;
+  unsigned MaxArgs = 0;
+};
+
+/// Node-local facts. Edge-located facts (the A[i] definitions along call
+/// edges and the callee-saves kills along cut edges) are handled by the
+/// solvers, which know the edges.
+struct NodeFacts {
+  BitVector Use, Def;
+  /// dst <- src pairs for CopyIn (v[i] = A[i]) and CopyOut (A[i] = e when e
+  /// is a plain variable); used by copy propagation and coalescing.
+  std::vector<std::pair<unsigned, unsigned>> Copies;
+};
+
+/// Computes the Table 3 facts for \p N.
+NodeFacts computeFacts(const Node &N, const LocUniverse &U);
+
+/// Adds the variables free in \p E (including the M pseudo-variable for
+/// loads) to \p Out.
+void addFreeVars(const Expr *E, const LocUniverse &U, BitVector &Out);
+
+/// True when evaluating \p E can make the machine go wrong (the fast-but-
+/// dangerous division family); such expressions must not be duplicated or
+/// deleted by the optimizer.
+bool exprCanFail(const Expr *E, const Interner &Names);
+
+/// Forward may-analysis: the variables that *could be* in callee-saves
+/// registers (σ) when each node executes, per the CalleeSaves nodes placed
+/// by the optimizer. Index by Node::Id.
+std::vector<BitVector> computeMaySigma(const IrProc &P, const LocUniverse &U);
+
+/// Rewires every control-flow edge of \p P that targets \p From to target
+/// \p To instead (used to insert or delete nodes).
+void replaceAllSuccessorUses(IrProc &P, Node *From, Node *To);
+
+} // namespace cmm
+
+#endif // CMM_OPT_DATAFLOW_H

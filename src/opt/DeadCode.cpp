@@ -1,0 +1,40 @@
+//===- opt/DeadCode.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/DeadCode.h"
+
+using namespace cmm;
+
+DeadCodeReport cmm::eliminateDeadCode(IrProc &P, const IrProgram &Prog,
+                                      bool WithExceptionalEdges) {
+  DeadCodeReport Report;
+  if (P.isYieldIntrinsic())
+    return Report;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    LocUniverse U = LocUniverse::forProc(P, Prog);
+    Liveness L = computeLiveness(P, U, WithExceptionalEdges);
+    for (Node *N : reachableNodes(P)) {
+      auto *A = dyn_cast<AssignNode>(N);
+      if (!A)
+        continue;
+      std::optional<unsigned> I = U.varIndex(A->Var);
+      if (!I || L.LiveOut[N->Id].test(*I))
+        continue;
+      // Evaluating the right-hand side must not be observable: expressions
+      // are pure, but the fast-but-dangerous primitives can make the
+      // machine go wrong, and that behaviour must be preserved.
+      if (exprCanFail(A->Value, *Prog.Names))
+        continue;
+      replaceAllSuccessorUses(P, A, A->Next);
+      ++Report.AssignsRemoved;
+      Changed = true;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,35 @@
+//===- opt/DeadCode.h - Dead-assignment elimination -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes assignments whose target is dead. With the exceptional edges in
+/// the liveness problem this is safe in the presence of exceptions — "a
+/// variable mentioned in a handler" stays live across the calls that can
+/// reach the handler. Without them (the ablation) it deletes exactly the
+/// assignments Hennessy (1981) warns about, and the abstract machine
+/// observes the damage as a use of an unbound variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_DEADCODE_H
+#define CMM_OPT_DEADCODE_H
+
+#include "opt/Liveness.h"
+
+namespace cmm {
+
+/// What the pass removed.
+struct DeadCodeReport {
+  unsigned AssignsRemoved = 0;
+};
+
+/// Removes dead assignments from \p P; iterates to a fixpoint.
+DeadCodeReport eliminateDeadCode(IrProc &P, const IrProgram &Prog,
+                                 bool WithExceptionalEdges = true);
+
+} // namespace cmm
+
+#endif // CMM_OPT_DEADCODE_H

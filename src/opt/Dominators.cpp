@@ -1,0 +1,124 @@
+//===- opt/Dominators.cpp -------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Dominators.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace cmm;
+
+bool DomInfo::dominates(const Node *A, const Node *B) const {
+  assert(isReachable(A) && isReachable(B) && "unreachable node");
+  const Node *N = B;
+  while (true) {
+    if (N == A)
+      return true;
+    const Node *Up = Idom[N->Id];
+    if (Up == N)
+      return false; // reached the entry
+    N = Up;
+  }
+}
+
+DomInfo cmm::computeDominators(const IrProc &P) {
+  DomInfo D;
+
+  // Post-order DFS, then reverse.
+  std::vector<Node *> Post;
+  std::vector<uint8_t> State(P.Nodes.size(), 0); // 0 new, 1 open, 2 done
+  std::vector<std::pair<Node *, size_t>> Stack;
+  std::vector<std::vector<Node *>> Succs(P.Nodes.size());
+  if (P.EntryPoint) {
+    Stack.push_back({P.EntryPoint, 0});
+    State[P.EntryPoint->Id] = 1;
+    forEachSucc(*P.EntryPoint, [&](Node *S, EdgeKind) {
+      Succs[P.EntryPoint->Id].push_back(S);
+    });
+  }
+  while (!Stack.empty()) {
+    auto &[N, Next] = Stack.back();
+    if (Next < Succs[N->Id].size()) {
+      Node *S = Succs[N->Id][Next++];
+      if (State[S->Id] == 0) {
+        State[S->Id] = 1;
+        forEachSucc(*S,
+                    [&](Node *T, EdgeKind) { Succs[S->Id].push_back(T); });
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[N->Id] = 2;
+    Post.push_back(N);
+    Stack.pop_back();
+  }
+
+  D.Rpo.assign(Post.rbegin(), Post.rend());
+  D.RpoIndex.assign(P.Nodes.size(), ~0u);
+  for (unsigned I = 0; I < D.Rpo.size(); ++I)
+    D.RpoIndex[D.Rpo[I]->Id] = I;
+
+  // Predecessors (reachable only).
+  D.Preds.assign(P.Nodes.size(), {});
+  for (Node *N : D.Rpo)
+    for (Node *S : Succs[N->Id])
+      D.Preds[S->Id].push_back(N);
+
+  // Cooper-Harvey-Kennedy.
+  D.Idom.assign(P.Nodes.size(), nullptr);
+  Node *Entry = P.EntryPoint;
+  D.Idom[Entry->Id] = Entry;
+  auto Intersect = [&](Node *A, Node *B) {
+    while (A != B) {
+      while (D.RpoIndex[A->Id] > D.RpoIndex[B->Id])
+        A = D.Idom[A->Id];
+      while (D.RpoIndex[B->Id] > D.RpoIndex[A->Id])
+        B = D.Idom[B->Id];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Node *N : D.Rpo) {
+      if (N == Entry)
+        continue;
+      Node *NewIdom = nullptr;
+      for (Node *Pred : D.Preds[N->Id]) {
+        if (!D.Idom[Pred->Id])
+          continue;
+        NewIdom = NewIdom ? Intersect(NewIdom, Pred) : Pred;
+      }
+      if (NewIdom && D.Idom[N->Id] != NewIdom) {
+        D.Idom[N->Id] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  D.DomChildren.assign(P.Nodes.size(), {});
+  for (Node *N : D.Rpo)
+    if (N != Entry)
+      D.DomChildren[D.Idom[N->Id]->Id].push_back(N);
+
+  // Dominance frontiers (Cytron et al.).
+  D.Frontier.assign(P.Nodes.size(), {});
+  for (Node *N : D.Rpo) {
+    if (D.Preds[N->Id].size() < 2)
+      continue;
+    for (Node *Pred : D.Preds[N->Id]) {
+      Node *Runner = Pred;
+      while (Runner != D.Idom[N->Id]) {
+        auto &F = D.Frontier[Runner->Id];
+        if (std::find(F.begin(), F.end(), N) == F.end())
+          F.push_back(N);
+        Runner = D.Idom[Runner->Id];
+      }
+    }
+  }
+  return D;
+}

@@ -1,0 +1,51 @@
+//===- opt/Dominators.h - Dominator tree and frontiers ----------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree (Cooper-Harvey-Kennedy iterative algorithm) and dominance
+/// frontiers over Abstract C-- graphs, exceptional edges included; the
+/// substrate for the Figure 6 SSA numbering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_DOMINATORS_H
+#define CMM_OPT_DOMINATORS_H
+
+#include "ir/Succ.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace cmm {
+
+/// Dominance information for one procedure. Only reachable nodes appear.
+struct DomInfo {
+  /// Reachable nodes in reverse post-order.
+  std::vector<Node *> Rpo;
+  /// Position of each node in Rpo, by Node::Id (~0u when unreachable).
+  std::vector<unsigned> RpoIndex;
+  /// Immediate dominator by Node::Id (the entry maps to itself).
+  std::vector<Node *> Idom;
+  /// Dominator-tree children by Node::Id.
+  std::vector<std::vector<Node *>> DomChildren;
+  /// Dominance frontier by Node::Id.
+  std::vector<std::vector<Node *>> Frontier;
+  /// CFG predecessors by Node::Id (edge order follows forEachSucc).
+  std::vector<std::vector<Node *>> Preds;
+
+  bool isReachable(const Node *N) const {
+    return N->Id < RpoIndex.size() && RpoIndex[N->Id] != ~0u;
+  }
+  /// True when \p A dominates \p B.
+  bool dominates(const Node *A, const Node *B) const;
+};
+
+/// Computes dominance information for \p P.
+DomInfo computeDominators(const IrProc &P);
+
+} // namespace cmm
+
+#endif // CMM_OPT_DOMINATORS_H

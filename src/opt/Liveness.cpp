@@ -1,0 +1,65 @@
+//===- opt/Liveness.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Liveness.h"
+
+using namespace cmm;
+
+Liveness cmm::computeLiveness(const IrProc &P, const LocUniverse &U,
+                              bool WithExceptionalEdges) {
+  Liveness L;
+  L.LiveIn.assign(P.Nodes.size(), BitVector(U.size()));
+  L.LiveOut.assign(P.Nodes.size(), BitVector(U.size()));
+
+  std::vector<Node *> Order = reachableNodes(P);
+  std::vector<NodeFacts> Facts(P.Nodes.size());
+  for (Node *N : Order)
+    Facts[N->Id] = computeFacts(*N, U);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Backward problem: visit in reverse DFS order.
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      Node *N = *It;
+      BitVector Out(U.size());
+      bool IsCall = isa<CallNode>(N);
+      forEachSucc(
+          *N,
+          [&](Node *S, EdgeKind) {
+            BitVector Contribution = L.LiveIn[S->Id];
+            if (IsCall) {
+              // Every outgoing edge of a call redefines the whole
+              // argument-passing area (results or continuation parameters).
+              for (unsigned I = 0; I < U.maxArgs(); ++I)
+                Contribution.reset(U.argIndex(I));
+            }
+            Out.unionWith(Contribution);
+          },
+          WithExceptionalEdges);
+      if (!(Out == L.LiveOut[N->Id])) {
+        L.LiveOut[N->Id] = Out;
+        Changed = true;
+      }
+      BitVector In = Out;
+      In.subtract(Facts[N->Id].Def);
+      In.unionWith(Facts[N->Id].Use);
+      if (!(In == L.LiveIn[N->Id])) {
+        L.LiveIn[N->Id] = In;
+        Changed = true;
+      }
+    }
+  }
+  return L;
+}
+
+BitVector cmm::liveIntoContinuation(const Liveness &L, const LocUniverse &U,
+                                    const Node *Target) {
+  BitVector Live = L.LiveIn[Target->Id];
+  for (unsigned I = 0; I < U.maxArgs(); ++I)
+    Live.reset(U.argIndex(I));
+  return Live;
+}

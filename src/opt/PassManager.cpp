@@ -1,0 +1,55 @@
+//===- opt/PassManager.cpp ------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+using namespace cmm;
+
+OptReport cmm::optimizeProc(IrProc &P, const IrProgram &Prog,
+                            const OptOptions &Opts) {
+  OptReport R;
+  if (P.isYieldIntrinsic())
+    return R;
+  for (unsigned Round = 0; Round < Opts.Rounds; ++Round) {
+    ConstPropReport CP =
+        propagateConstants(P, Prog, Opts.WithExceptionalEdges);
+    R.ConstProp.ExprsRewritten += CP.ExprsRewritten;
+    R.ConstProp.BranchesResolved += CP.BranchesResolved;
+    CopyPropReport CopyP = propagateCopies(P, Prog, Opts.WithExceptionalEdges);
+    R.CopyProp.UsesRewritten += CopyP.UsesRewritten;
+    DeadCodeReport DC = eliminateDeadCode(P, Prog, Opts.WithExceptionalEdges);
+    R.DeadCode.AssignsRemoved += DC.AssignsRemoved;
+    if (CP.ExprsRewritten == 0 && CP.BranchesResolved == 0 &&
+        CopyP.UsesRewritten == 0 && DC.AssignsRemoved == 0)
+      break;
+  }
+  if (Opts.PlaceCalleeSaves) {
+    CalleeSavesOptions CS = Opts.CalleeSaves;
+    CS.RespectCutEdges = CS.RespectCutEdges && Opts.WithExceptionalEdges;
+    if (!Opts.WithExceptionalEdges)
+      CS.RespectCutEdges = false;
+    R.CalleeSaves = placeCalleeSaves(P, Prog, CS);
+  }
+  return R;
+}
+
+OptReport cmm::optimizeProgram(IrProgram &Prog, const OptOptions &Opts) {
+  OptReport Total;
+  for (const std::unique_ptr<IrProc> &P : Prog.Procs) {
+    OptReport R = optimizeProc(*P, Prog, Opts);
+    Total.ConstProp.ExprsRewritten += R.ConstProp.ExprsRewritten;
+    Total.ConstProp.BranchesResolved += R.ConstProp.BranchesResolved;
+    Total.CopyProp.UsesRewritten += R.CopyProp.UsesRewritten;
+    Total.DeadCode.AssignsRemoved += R.DeadCode.AssignsRemoved;
+    Total.CalleeSaves.CallsAnnotated += R.CalleeSaves.CallsAnnotated;
+    Total.CalleeSaves.VarsPlaced += R.CalleeSaves.VarsPlaced;
+    Total.CalleeSaves.VarsExcludedByCutEdges +=
+        R.CalleeSaves.VarsExcludedByCutEdges;
+    Total.CalleeSaves.VarsSpilledForPressure +=
+        R.CalleeSaves.VarsSpilledForPressure;
+  }
+  return Total;
+}

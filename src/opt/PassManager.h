@@ -1,0 +1,56 @@
+//===- opt/PassManager.h - Optimization pipeline ----------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "single optimizer [that] should suffice for all C-- programs,
+/// regardless of the original source language" (Section 1). One pipeline,
+/// driven purely by the Table 3 dataflow facts and the annotation edges; no
+/// pass knows anything about any source language's exception semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_PASSMANAGER_H
+#define CMM_OPT_PASSMANAGER_H
+
+#include "opt/CalleeSaves.h"
+#include "opt/ConstProp.h"
+#include "opt/CopyProp.h"
+#include "opt/DeadCode.h"
+
+namespace cmm {
+
+/// Pipeline configuration.
+struct OptOptions {
+  /// Include the `also`-annotation flow edges in every analysis. False is
+  /// the unsound ablation the Table 3 benchmark measures.
+  bool WithExceptionalEdges = true;
+  /// Rounds of constant propagation + dead-code elimination.
+  unsigned Rounds = 2;
+  /// Run the callee-saves placement pass after scalar cleanup.
+  bool PlaceCalleeSaves = false;
+  CalleeSavesOptions CalleeSaves;
+};
+
+/// Aggregate pass statistics.
+struct OptReport {
+  ConstPropReport ConstProp;
+  CopyPropReport CopyProp;
+  DeadCodeReport DeadCode;
+  CalleeSavesReport CalleeSaves;
+};
+
+/// Optimizes one procedure.
+OptReport optimizeProc(IrProc &P, const IrProgram &Prog,
+                       const OptOptions &Opts = OptOptions());
+
+/// Optimizes every procedure of \p Prog (the yield intrinsic is skipped:
+/// "Yield: not in any optimized procedure").
+OptReport optimizeProgram(IrProgram &Prog,
+                          const OptOptions &Opts = OptOptions());
+
+} // namespace cmm
+
+#endif // CMM_OPT_PASSMANAGER_H

@@ -1,0 +1,186 @@
+//===- opt/Ssa.cpp --------------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Ssa.h"
+
+#include "ir/IrPrinter.h"
+#include "support/Assert.h"
+
+#include <unordered_set>
+
+using namespace cmm;
+
+namespace {
+
+class SsaBuilder {
+public:
+  SsaBuilder(const IrProc &P, const IrProgram &Prog)
+      : P(P), U(LocUniverse::forProc(P, Prog)), D(computeDominators(P)) {}
+
+  SsaNumbering run();
+
+private:
+  /// The Table 3 defs of \p N, with the per-edge A definitions of calls
+  /// folded into the node.
+  BitVector nodeDefs(const Node *N, const NodeFacts &F) const;
+  void rename(Node *N, std::vector<std::vector<unsigned>> &VersionStack);
+
+  const IrProc &P;
+  LocUniverse U;
+  DomInfo D;
+  std::vector<NodeFacts> Facts;
+  SsaNumbering Out;
+  std::vector<unsigned> NextVersion;
+  std::vector<uint8_t> Visited;
+};
+
+BitVector SsaBuilder::nodeDefs(const Node *N, const NodeFacts &F) const {
+  BitVector Defs = F.Def;
+  if (isa<CallNode>(N)) {
+    // Every outgoing edge of a call redefines the value-passing area; fold
+    // the edge definitions into the node for numbering purposes.
+    for (unsigned I = 0; I < U.maxArgs(); ++I)
+      Defs.set(U.argIndex(I));
+  }
+  return Defs;
+}
+
+SsaNumbering SsaBuilder::run() {
+  Out.Universe = U;
+  Out.Dom = D;
+  Out.Phis.assign(P.Nodes.size(), {});
+  Out.Defs.assign(P.Nodes.size(), {});
+  Out.Uses.assign(P.Nodes.size(), {});
+  NextVersion.assign(U.size(), 0);
+  Facts.resize(P.Nodes.size());
+  for (Node *N : D.Rpo)
+    Facts[N->Id] = computeFacts(*N, U);
+
+  // Phi placement: iterated dominance frontiers of each location's defs.
+  for (unsigned Loc = 0; Loc < U.size(); ++Loc) {
+    std::vector<Node *> Work;
+    for (Node *N : D.Rpo)
+      if (nodeDefs(N, Facts[N->Id]).test(Loc))
+        Work.push_back(N);
+    std::unordered_set<const Node *> HasPhi;
+    while (!Work.empty()) {
+      Node *N = Work.back();
+      Work.pop_back();
+      for (Node *F : D.Frontier[N->Id]) {
+        if (!HasPhi.insert(F).second)
+          continue;
+        SsaNumbering::Phi Phi;
+        Phi.Loc = Loc;
+        Phi.Result = 0; // assigned during renaming
+        Phi.Args.assign(D.Preds[F->Id].size(), 0);
+        Out.Phis[F->Id].push_back(Phi);
+        Work.push_back(F);
+      }
+    }
+  }
+
+  // Renaming over the dominator tree.
+  std::vector<std::vector<unsigned>> VersionStack(U.size());
+  for (unsigned Loc = 0; Loc < U.size(); ++Loc)
+    VersionStack[Loc].push_back(0); // version 0 = "live-in/undefined"
+  Visited.assign(P.Nodes.size(), 0);
+  rename(P.EntryPoint, VersionStack);
+  return std::move(Out);
+}
+
+void SsaBuilder::rename(Node *N,
+                        std::vector<std::vector<unsigned>> &VersionStack) {
+  std::vector<unsigned> Pushed; // locations we pushed, for unwinding
+
+  // Phi results are defined before the node's own uses.
+  for (SsaNumbering::Phi &Phi : Out.Phis[N->Id]) {
+    Phi.Result = ++NextVersion[Phi.Loc];
+    VersionStack[Phi.Loc].push_back(Phi.Result);
+    Pushed.push_back(Phi.Loc);
+  }
+
+  // Uses see the versions on top of the stacks.
+  Facts[N->Id].Use.forEach([&](size_t Loc) {
+    Out.Uses[N->Id].emplace_back(static_cast<unsigned>(Loc),
+                                 VersionStack[Loc].back());
+  });
+
+  // Definitions create fresh versions.
+  nodeDefs(N, Facts[N->Id]).forEach([&](size_t Loc) {
+    unsigned V = ++NextVersion[Loc];
+    Out.Defs[N->Id].emplace_back(static_cast<unsigned>(Loc), V);
+    VersionStack[Loc].push_back(static_cast<unsigned>(V));
+    Pushed.push_back(static_cast<unsigned>(Loc));
+  });
+
+  // Fill φ arguments of successors.
+  forEachSucc(*N, [&](Node *S, EdgeKind) {
+    if (!D.isReachable(S))
+      return;
+    // Which predecessor of S are we?
+    const std::vector<Node *> &Preds = D.Preds[S->Id];
+    for (size_t PI = 0; PI < Preds.size(); ++PI) {
+      if (Preds[PI] != N)
+        continue;
+      for (SsaNumbering::Phi &Phi : Out.Phis[S->Id])
+        Phi.Args[PI] = VersionStack[Phi.Loc].back();
+    }
+  });
+
+  // Recurse into dominator-tree children.
+  for (Node *C : D.DomChildren[N->Id])
+    rename(C, VersionStack);
+
+  for (auto It = Pushed.rbegin(); It != Pushed.rend(); ++It)
+    VersionStack[*It].pop_back();
+}
+
+} // namespace
+
+SsaNumbering cmm::computeSsa(const IrProc &P, const IrProgram &Prog) {
+  return SsaBuilder(P, Prog).run();
+}
+
+std::string SsaNumbering::print(const IrProc &P,
+                                const Interner &Names) const {
+  std::string Out;
+  for (const Node *N : Dom.Rpo) {
+    Out += "n" + std::to_string(N->Id) + ":";
+    for (const Phi &Phi : Phis[N->Id]) {
+      Out += " " + Universe.describe(Phi.Loc, Names) + "_" +
+             std::to_string(Phi.Result) + "=phi(";
+      for (size_t I = 0; I < Phi.Args.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += std::to_string(Phi.Args[I]);
+      }
+      Out += ")";
+    }
+    if (!Uses[N->Id].empty()) {
+      Out += " use[";
+      for (size_t I = 0; I < Uses[N->Id].size(); ++I) {
+        if (I)
+          Out += " ";
+        Out += Universe.describe(Uses[N->Id][I].first, Names) + "_" +
+               std::to_string(Uses[N->Id][I].second);
+      }
+      Out += "]";
+    }
+    if (!Defs[N->Id].empty()) {
+      Out += " def[";
+      for (size_t I = 0; I < Defs[N->Id].size(); ++I) {
+        if (I)
+          Out += " ";
+        Out += Universe.describe(Defs[N->Id][I].first, Names) + "_" +
+               std::to_string(Defs[N->Id][I].second);
+      }
+      Out += "]";
+    }
+    Out += "\n";
+  }
+  (void)P;
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- opt/Ssa.h - SSA numbering (Figure 6) ---------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The dataflow information is expressed as a static single-assignment
+/// numbering of the variables" (Section 6, Figure 6). SSA here is an
+/// *overlay*: the graph keeps the Table 2 node kinds, and this analysis
+/// assigns a version to every definition and use — including the elements
+/// of the value-passing area A and the memory pseudo-variable M — with
+/// φ-functions recorded at join points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OPT_SSA_H
+#define CMM_OPT_SSA_H
+
+#include "opt/Dataflow.h"
+#include "opt/Dominators.h"
+
+namespace cmm {
+
+/// SSA numbering of one procedure.
+struct SsaNumbering {
+  /// A φ-function at a join node.
+  struct Phi {
+    unsigned Loc;                ///< location index in the universe
+    unsigned Result;             ///< version defined by the φ
+    std::vector<unsigned> Args;  ///< versions per predecessor (Preds order)
+  };
+
+  LocUniverse Universe;
+  DomInfo Dom;
+  std::vector<std::vector<Phi>> Phis;   ///< by Node::Id
+  /// Versions defined at each node: (loc, version).
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> Defs;
+  /// Versions used at each node: (loc, version).
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> Uses;
+
+  /// Renders the numbering in the style of Figure 6, one node per line.
+  std::string print(const IrProc &P, const Interner &Names) const;
+};
+
+/// Computes the SSA numbering of \p P (exceptional edges included, so the
+/// φ-functions at handler continuations reflect the extra flow edges the
+/// annotations introduce).
+SsaNumbering computeSsa(const IrProc &P, const IrProgram &Prog);
+
+} // namespace cmm
+
+#endif // CMM_OPT_SSA_H

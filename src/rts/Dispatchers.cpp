@@ -1,0 +1,91 @@
+//===- rts/Dispatchers.cpp ------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rts/Dispatchers.h"
+
+using namespace cmm;
+
+YieldRequest cmm::readYieldRequest(const Machine &T) {
+  YieldRequest R;
+  if (T.status() != MachineStatus::Suspended)
+    return R;
+  const std::vector<Value> &A = T.argArea();
+  if (A.empty() || !A[0].isBits())
+    return R;
+  R.Tag = A[0].Raw;
+  if (A.size() >= 2) {
+    R.Arg = A[1];
+    R.HasArg = true;
+  }
+  R.Valid = true;
+  return R;
+}
+
+DispatchResult UnwindingDispatcher::dispatch() {
+  YieldRequest Req = readYieldRequest(T);
+  if (!Req.Valid)
+    return DispatchResult::NotAnExn;
+  ++Dispatches;
+
+  // The Figure 9 loop: walk activations, map each to its exception
+  // descriptor, and unwind to the first handler whose tag matches.
+  CmmRuntime Rt(T);
+  Activation A;
+  if (!Rt.firstActivation(A))
+    return DispatchResult::Unhandled;
+  do {
+    std::optional<Value> Desc = Rt.getDescriptor(A, 0);
+    if (!Desc)
+      continue;
+    for (const ExnHandler &H :
+         readExnDescriptor(T.memory(), Desc->Raw)) {
+      if (H.ExnTag != Req.Tag)
+        continue;
+      if (!Rt.setActivation(A))
+        return DispatchResult::Unhandled;
+      if (!Rt.setUnwindCont(H.ContNum))
+        return DispatchResult::Unhandled;
+      if (H.TakesArg) {
+        Value *Slot = Rt.findContParam(0);
+        if (!Slot)
+          return DispatchResult::Unhandled;
+        *Slot = Req.HasArg ? Req.Arg : Value::bits(32, 0);
+      }
+      if (!Rt.resume())
+        return DispatchResult::Unhandled;
+      accumulate(Rt.stats());
+      return DispatchResult::Handled;
+    }
+  } while (Rt.nextActivation(A));
+  accumulate(Rt.stats());
+  return DispatchResult::Unhandled; // Figure 9: abort(); dump core
+}
+
+DispatchResult CuttingDispatcher::dispatch() {
+  YieldRequest Req = readYieldRequest(T);
+  if (!Req.Valid)
+    return DispatchResult::NotAnExn;
+  ++Dispatches;
+
+  // Pop the topmost handler continuation from the in-memory handler stack.
+  std::optional<Value> Top = T.getGlobal(ExnTopGlobal);
+  if (!Top || Top->Raw == 0)
+    return DispatchResult::Unhandled;
+  Value K = Value::bits(32, T.memory().loadBits(Top->Raw, 4));
+  T.setGlobal(ExnTopGlobal,
+              Value::bits(Top->Width, Top->Raw - TargetInfo::pointerBytes()));
+
+  CmmRuntime Rt(T);
+  if (!Rt.setCutToCont(K))
+    return DispatchResult::Unhandled;
+  if (Value *P0 = Rt.findContParam(0))
+    *P0 = Value::bits(32, Req.Tag);
+  if (Value *P1 = Rt.findContParam(1))
+    *P1 = Req.HasArg ? Req.Arg : Value::bits(32, 0);
+  if (!Rt.resume())
+    return DispatchResult::Unhandled;
+  return DispatchResult::Handled;
+}

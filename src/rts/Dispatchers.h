@@ -1,0 +1,110 @@
+//===- rts/Dispatchers.h - Front-end exception dispatchers ------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Front-end run-time systems built on the Table 1 interface. These are the
+/// "(probably large) front-end run-time system" of Section 3.3, here written
+/// in C++ as the paper's examples are written in C:
+///
+///  - UnwindingDispatcher is the Figure 9 dispatcher: it walks the stack one
+///    activation at a time, consults each activation's static descriptor,
+///    and unwinds to the first matching handler (run-time stack unwinding:
+///    zero cost to enter a handler scope, O(depth) to raise).
+///
+///  - CuttingDispatcher implements the SetCutToCont column of Figure 2: the
+///    program keeps a stack of handler continuations in memory (pointed to
+///    by a global register); raising pops the topmost and cuts to it in
+///    constant time.
+///
+/// Yield convention shared with the generated code and the standard library:
+/// the arguments of the yield(...) call are (tag) or (tag, argument), where
+/// the tag identifies the source-language exception. The %%div family yields
+/// tag DivZeroYieldTag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_RTS_DISPATCHERS_H
+#define CMM_RTS_DISPATCHERS_H
+
+#include "rts/ExnFormat.h"
+#include "rts/RuntimeInterface.h"
+
+#include <string>
+
+namespace cmm {
+
+/// Outcome of one dispatch attempt.
+enum class DispatchResult : uint8_t {
+  Handled,   ///< a handler was found and the thread resumed
+  Unhandled, ///< no activation handles this exception
+  NotAnExn,  ///< the yield was not an exception request
+};
+
+/// The Figure 9 exception dispatcher (run-time stack unwinding).
+class UnwindingDispatcher {
+public:
+  explicit UnwindingDispatcher(Machine &T) : T(T) {}
+
+  /// Services the current suspension: reads (tag, arg?) from the argument
+  /// area, walks the stack, and resumes at the matching handler.
+  DispatchResult dispatch();
+
+  /// Adapter for runWithRuntime.
+  bool operator()(Machine &) { return dispatch() == DispatchResult::Handled; }
+
+  /// Cumulative walk statistics over every dispatch this object serviced.
+  const RtStats &walkStats() const { return Walk; }
+  uint64_t dispatches() const { return Dispatches; }
+
+private:
+  void accumulate(const RtStats &S) {
+    Walk.ActivationsVisited += S.ActivationsVisited;
+    Walk.DescriptorReads += S.DescriptorReads;
+    Walk.Resumes += S.Resumes;
+  }
+
+  Machine &T;
+  RtStats Walk;
+  uint64_t Dispatches = 0;
+};
+
+/// A constant-time dispatcher using SetCutToCont (Figure 2, bottom-left).
+/// The generated code maintains a stack of handler continuation values in
+/// memory; a global register holds the address of the topmost slot. Raising
+/// pops that continuation and cuts to it, passing (tag, arg).
+class CuttingDispatcher {
+public:
+  /// \p ExnTopGlobal names the global register holding the address of the
+  /// topmost handler-continuation slot (0 when no handler is active).
+  CuttingDispatcher(Machine &T, std::string ExnTopGlobal = "exn_top")
+      : T(T), ExnTopGlobal(std::move(ExnTopGlobal)) {}
+
+  DispatchResult dispatch();
+
+  bool operator()(Machine &) { return dispatch() == DispatchResult::Handled; }
+
+  uint64_t dispatches() const { return Dispatches; }
+
+private:
+  Machine &T;
+  std::string ExnTopGlobal;
+  uint64_t Dispatches = 0;
+};
+
+/// Decodes the yield arguments under the shared convention.
+struct YieldRequest {
+  uint64_t Tag = 0;
+  Value Arg;     ///< meaningful only when HasArg
+  bool HasArg = false;
+  bool Valid = false;
+};
+
+/// Reads the yield request of a suspended machine.
+YieldRequest readYieldRequest(const Machine &T);
+
+} // namespace cmm
+
+#endif // CMM_RTS_DISPATCHERS_H

@@ -1,0 +1,78 @@
+//===- rts/ExnFormat.h - Exception descriptor encoding ----------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static exception-descriptor format shared between the front end
+/// (which emits descriptors as C-- data blocks attached to call sites) and
+/// the unwinding dispatcher (which parses them out of machine memory). It
+/// mirrors Figure 9's struct exn_descriptor:
+///
+///   struct exn_descriptor {
+///     bits32 handler_count;
+///     struct { bits32 exn_tag; bits32 cont_num; bits32 takes_arg; }
+///       handlers[handler_count];
+///   };
+///
+/// cont_num indexes the `also unwinds to` list of the call site, counting
+/// from zero, as required by SetUnwindCont.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_RTS_EXNFORMAT_H
+#define CMM_RTS_EXNFORMAT_H
+
+#include "sem/Memory.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmm {
+
+/// One handler entry of a descriptor.
+struct ExnHandler {
+  uint64_t ExnTag = 0;
+  unsigned ContNum = 0;
+  bool TakesArg = false;
+};
+
+/// Renders a descriptor as a C-- data block named \p Name.
+inline std::string emitExnDescriptor(const std::string &Name,
+                                     const std::vector<ExnHandler> &Handlers) {
+  std::string Out = "data " + Name + " {\n";
+  Out += "  bits32 " + std::to_string(Handlers.size()) + ";\n";
+  for (const ExnHandler &H : Handlers) {
+    Out += "  bits32 " + std::to_string(H.ExnTag) + ";\n";
+    Out += "  bits32 " + std::to_string(H.ContNum) + ";\n";
+    Out += "  bits32 " + std::to_string(H.TakesArg ? 1 : 0) + ";\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+/// Parses a descriptor from machine memory at \p Addr.
+inline std::vector<ExnHandler> readExnDescriptor(const Memory &Mem,
+                                                 uint64_t Addr) {
+  std::vector<ExnHandler> Handlers;
+  uint64_t Count = Mem.loadBits(Addr, 4);
+  // Guard against corrupted descriptors: a handler table larger than this
+  // is certainly not one the front end emitted.
+  if (Count > 4096)
+    return Handlers;
+  for (uint64_t I = 0; I < Count; ++I) {
+    uint64_t Entry = Addr + 4 + I * 12;
+    ExnHandler H;
+    H.ExnTag = Mem.loadBits(Entry, 4);
+    H.ContNum = static_cast<unsigned>(Mem.loadBits(Entry + 4, 4));
+    H.TakesArg = Mem.loadBits(Entry + 8, 4) != 0;
+    Handlers.push_back(H);
+  }
+  return Handlers;
+}
+
+} // namespace cmm
+
+#endif // CMM_RTS_EXNFORMAT_H

@@ -1,0 +1,138 @@
+//===- rts/RuntimeInterface.cpp -------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rts/RuntimeInterface.h"
+
+#include "support/Casting.h"
+
+using namespace cmm;
+
+bool CmmRuntime::firstActivation(Activation &A) {
+  if (T.status() != MachineStatus::Suspended || T.stackDepth() == 0) {
+    A.Valid = false;
+    return false;
+  }
+  A.IndexFromTop = 0;
+  A.Valid = true;
+  ++S.ActivationsVisited;
+  return true;
+}
+
+bool CmmRuntime::nextActivation(Activation &A) {
+  if (!A.Valid)
+    return false;
+  if (A.IndexFromTop + 1 >= T.stackDepth()) {
+    A.Valid = false;
+    return false;
+  }
+  ++A.IndexFromTop;
+  ++S.ActivationsVisited;
+  return true;
+}
+
+const IrProc *CmmRuntime::activationProc(const Activation &A) const {
+  if (!A.Valid || A.IndexFromTop >= T.stackDepth())
+    return nullptr;
+  return T.frameFromTop(A.IndexFromTop).Proc;
+}
+
+const CallNode *CmmRuntime::activationCallSite(const Activation &A) const {
+  if (!A.Valid || A.IndexFromTop >= T.stackDepth())
+    return nullptr;
+  return T.frameFromTop(A.IndexFromTop).CallSite;
+}
+
+std::optional<Value> CmmRuntime::getDescriptor(const Activation &A,
+                                               unsigned N) {
+  const CallNode *Site = activationCallSite(A);
+  if (!Site || N >= Site->Descriptors.size())
+    return std::nullopt;
+  ++S.DescriptorReads;
+  return T.evalConstExpr(Site->Descriptors[N]);
+}
+
+bool CmmRuntime::setActivation(const Activation &A) {
+  if (!A.Valid || A.IndexFromTop >= T.stackDepth())
+    return false;
+  TargetIndex = A.IndexFromTop;
+  // Default resumption point: the normal return continuation.
+  ChoiceIsCut = ChoiceIsUnwind = false;
+  const Frame &F = T.frameFromTop(TargetIndex);
+  ChoiceIndex = static_cast<unsigned>(F.CallSite->Bundle.ReturnsTo.size()) - 1;
+  refreshParams();
+  return true;
+}
+
+bool CmmRuntime::setUnwindCont(unsigned N) {
+  if (TargetIndex >= T.stackDepth())
+    return false;
+  const Frame &F = T.frameFromTop(TargetIndex);
+  if (N >= F.CallSite->Bundle.UnwindsTo.size())
+    return false;
+  ChoiceIsUnwind = true;
+  ChoiceIsCut = false;
+  ChoiceIndex = N;
+  refreshParams();
+  return true;
+}
+
+bool CmmRuntime::setCutToCont(Value K) {
+  if (!T.decodeCont(K))
+    return false;
+  ChoiceIsCut = true;
+  ChoiceIsUnwind = false;
+  CutValue = K;
+  refreshParams();
+  return true;
+}
+
+const Frame *CmmRuntime::targetFrame() const {
+  if (TargetIndex >= T.stackDepth())
+    return nullptr;
+  return &T.frameFromTop(TargetIndex);
+}
+
+void CmmRuntime::refreshParams() {
+  const Node *Target = nullptr;
+  if (ChoiceIsCut) {
+    if (const ContRecord *Rec = T.decodeCont(CutValue))
+      Target = Rec->Target;
+  } else if (const Frame *F = targetFrame()) {
+    const ContBundle &B = F->CallSite->Bundle;
+    if (ChoiceIsUnwind) {
+      if (ChoiceIndex < B.UnwindsTo.size())
+        Target = B.UnwindsTo[ChoiceIndex];
+    } else if (ChoiceIndex < B.ReturnsTo.size()) {
+      Target = B.ReturnsTo[ChoiceIndex];
+    }
+  }
+  size_t Count = 0;
+  if (Target)
+    if (const auto *In = dyn_cast<CopyInNode>(Target))
+      Count = In->Vars.size();
+  Params.assign(Count, Value::bits(32, 0));
+}
+
+Value *CmmRuntime::findContParam(unsigned N) {
+  if (N >= Params.size())
+    return nullptr;
+  return &Params[N];
+}
+
+bool CmmRuntime::resume() {
+  ++S.Resumes;
+  if (ChoiceIsCut) {
+    // SetCutToCont: the cut itself truncates the stack (with the abort
+    // checks of the formal rules); no explicit unwinding first.
+    return T.rtResume(ResumeChoice::cut(CutValue), Params);
+  }
+  if (!T.rtUnwindTop(TargetIndex))
+    return false;
+  TargetIndex = 0;
+  ResumeChoice C = ChoiceIsUnwind ? ResumeChoice::unwind(ChoiceIndex)
+                                  : ResumeChoice::ret(ChoiceIndex);
+  return T.rtResume(C, Params);
+}

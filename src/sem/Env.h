@@ -1,0 +1,69 @@
+//===- sem/Env.h - Local environments ---------------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The local environment ρ of the abstract machine: a partial map from
+/// names to values. Procedures have few variables, so a flat vector with
+/// linear search beats hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SEM_ENV_H
+#define CMM_SEM_ENV_H
+
+#include "sem/Value.h"
+#include "support/Interner.h"
+
+#include <vector>
+
+namespace cmm {
+
+/// A partial function from names to values (Section 5.1).
+class Env {
+public:
+  /// ρ(v): null when v is unbound.
+  const Value *lookup(Symbol V) const {
+    for (const auto &[Name, Val] : Slots)
+      if (Name == V)
+        return &Val;
+    return nullptr;
+  }
+
+  /// ρ[v ↦ e].
+  void bind(Symbol V, const Value &Val) {
+    for (auto &[Name, Existing] : Slots) {
+      if (Name == V) {
+        Existing = Val;
+        return;
+      }
+    }
+    Slots.emplace_back(V, Val);
+  }
+
+  /// ρ \ s: removes every variable in \p Vars. Models the loss of
+  /// callee-saves registers along cut edges (Section 4.2).
+  void erase(const std::vector<Symbol> &Vars) {
+    for (Symbol V : Vars)
+      for (size_t I = 0; I < Slots.size(); ++I)
+        if (Slots[I].first == V) {
+          Slots[I] = Slots.back();
+          Slots.pop_back();
+          break;
+        }
+  }
+
+  void clear() { Slots.clear(); }
+  size_t size() const { return Slots.size(); }
+  auto begin() const { return Slots.begin(); }
+  auto end() const { return Slots.end(); }
+
+private:
+  std::vector<std::pair<Symbol, Value>> Slots;
+};
+
+} // namespace cmm
+
+#endif // CMM_SEM_ENV_H

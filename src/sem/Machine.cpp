@@ -1,0 +1,876 @@
+//===- sem/Machine.cpp ----------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Machine.h"
+
+#include "support/Assert.h"
+#include "support/Casting.h"
+#include "syntax/PrimOps.h"
+
+#include <algorithm>
+
+using namespace cmm;
+
+Machine::Machine(const IrProgram &Prog) : Prog(Prog) {
+  CodeTable.reserve(Prog.Procs.size());
+  for (const auto &P : Prog.Procs) {
+    CodeIndex.emplace(P.get(), CodeTable.size());
+    CodeTable.push_back(P.get());
+  }
+}
+
+void Machine::goWrong(std::string Reason, SourceLoc Loc) {
+  if (St == MachineStatus::Wrong)
+    return; // keep the first reason
+  St = MachineStatus::Wrong;
+  WrongReason = std::move(Reason);
+  WrongLoc = Loc;
+}
+
+Value Machine::codeValue(const IrProc *P) const {
+  auto It = CodeIndex.find(P);
+  assert(It != CodeIndex.end() && "procedure not in this program");
+  return Value::code(It->second);
+}
+
+void Machine::start(std::string_view ProcName, std::vector<Value> Args) {
+  Symbol S = Prog.Names->lookup(ProcName);
+  if (!S) {
+    goWrong("unknown start procedure '" + std::string(ProcName) + "'",
+            SourceLoc());
+    return;
+  }
+  start(S, std::move(Args));
+}
+
+void Machine::start(Symbol ProcName, std::vector<Value> Args) {
+  // Reset all mutable state so a Machine can be restarted.
+  Rho.clear();
+  Sigma.clear();
+  Stack.clear();
+  ContTable.clear();
+  GlobalEnv.clear();
+  Mem = Memory();
+  NextUid = 1;
+  WrongReason.clear();
+  St = MachineStatus::Running;
+
+  // Load the static data image.
+  for (size_t I = 0; I < Prog.Image.Bytes.size(); ++I)
+    Mem.storeByte(Prog.Image.Base + I, Prog.Image.Bytes[I]);
+  for (const DataImage::Reloc &R : Prog.Image.Relocs) {
+    uint64_t V = 0;
+    if (const IrProc *P = Prog.findProc(R.Target)) {
+      V = codeValue(P).Raw;
+    } else {
+      auto It = Prog.DataAddrs.find(R.Target);
+      if (It == Prog.DataAddrs.end()) {
+        goWrong("unresolved data relocation '" +
+                    Prog.Names->spelling(R.Target) + "'",
+                SourceLoc());
+        return;
+      }
+      V = It->second;
+    }
+    Mem.storeBits(R.Addr, TargetInfo::pointerBytes(), V);
+  }
+
+  // Zero-initialize the global registers.
+  for (const auto &[Name, Ty] : Prog.Globals)
+    GlobalEnv.bind(Name, Ty.isFloat() ? Value::flt(Ty.Width, 0)
+                                      : Value::bits(Ty.Width, 0));
+
+  const IrProc *P = Prog.findProc(ProcName);
+  if (!P) {
+    goWrong("unknown start procedure '" + Prog.Names->spelling(ProcName) +
+                "'",
+            SourceLoc());
+    return;
+  }
+  A = std::move(Args);
+  enterProc(P, SourceLoc());
+}
+
+void Machine::enterProc(const IrProc *P, SourceLoc Loc) {
+  if (!P->EntryPoint) {
+    goWrong("procedure '" + Prog.Names->spelling(P->Name) + "' has no body",
+            Loc);
+    return;
+  }
+  Control = P->EntryPoint;
+  CurProc = P;
+  Uid = NextUid++;
+  Rho.clear();
+  Sigma.clear();
+}
+
+void Machine::pushFrame(const CallNode *Site) {
+  Frame F;
+  F.CallSite = Site;
+  F.Proc = CurProc;
+  F.SavedEnv = std::move(Rho);
+  F.SavedSigma = std::move(Sigma);
+  F.Uid = Uid;
+  Stack.push_back(std::move(F));
+  Rho = Env();
+  Sigma.clear();
+  S.MaxStackDepth = std::max<uint64_t>(S.MaxStackDepth, Stack.size());
+}
+
+uint64_t Machine::newCont(Node *Target, uint64_t ContUid,
+                          const IrProc *Proc) {
+  ContTable.push_back({Target, ContUid, Proc});
+  ++S.ContsBound;
+  return ContTable.size() - 1;
+}
+
+const ContRecord *Machine::decodeCont(const Value &V) const {
+  uint64_t Raw;
+  if (V.isCont()) {
+    Raw = V.Raw;
+  } else if (V.isBits() && Value::rawIsCont(V.Raw)) {
+    Raw = V.Raw;
+  } else {
+    return nullptr;
+  }
+  if ((Raw - ContBase) % ContStride != 0)
+    return nullptr;
+  uint64_t Handle = (Raw - ContBase) / ContStride;
+  if (Handle >= ContTable.size())
+    return nullptr;
+  return &ContTable[Handle];
+}
+
+const ContRecord *Machine::requireCont(const Value &V, SourceLoc Loc) {
+  const ContRecord *R = decodeCont(V);
+  if (!R)
+    goWrong("cut to a value that is not a continuation (" + V.str() + ")",
+            Loc);
+  return R;
+}
+
+void Machine::bindVar(Symbol V, const Value &Val) {
+  if (CurProc && CurProc->VarTypes.count(V)) {
+    Rho.bind(V, Val);
+    return;
+  }
+  if (Prog.Globals.count(V)) {
+    GlobalEnv.bind(V, Val);
+    return;
+  }
+  Rho.bind(V, Val);
+}
+
+std::optional<Value> Machine::getGlobal(std::string_view Name) const {
+  Symbol Sym = Prog.Names->lookup(Name);
+  if (!Sym)
+    return std::nullopt;
+  const Value *V = GlobalEnv.lookup(Sym);
+  if (!V)
+    return std::nullopt;
+  return *V;
+}
+
+void Machine::setGlobal(std::string_view Name, const Value &V) {
+  Symbol Sym = Prog.Names->lookup(Name);
+  assert(Sym && "unknown global");
+  GlobalEnv.bind(Sym, V);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation: E[[e]] ρ M  (Section 5.1)
+//===----------------------------------------------------------------------===//
+
+std::optional<Value> Machine::evalConstExpr(const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Value::bits(E->Ty.Width, cast<IntLitExpr>(E)->Value);
+  case Expr::Kind::StrLit: {
+    auto It = Prog.StrAddrs.find(cast<StrLitExpr>(E));
+    if (It == Prog.StrAddrs.end())
+      return std::nullopt;
+    return Value::bits(TargetInfo::nativePointer().Width, It->second);
+  }
+  case Expr::Kind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (N->Ref == RefKind::DataLabel) {
+      auto It = Prog.DataAddrs.find(N->Name);
+      if (It == Prog.DataAddrs.end())
+        return std::nullopt;
+      return Value::bits(TargetInfo::nativePointer().Width, It->second);
+    }
+    if (N->Ref == RefKind::Proc || N->Ref == RefKind::Import) {
+      if (const IrProc *P = Prog.findProc(N->Name))
+        return codeValue(P);
+      auto It = Prog.DataAddrs.find(N->Name);
+      if (It != Prog.DataAddrs.end())
+        return Value::bits(TargetInfo::nativePointer().Width, It->second);
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Value> Machine::evalName(const NameExpr *N) {
+  switch (N->Ref) {
+  case RefKind::Local:
+  case RefKind::Continuation: {
+    const Value *V = Rho.lookup(N->Name);
+    if (!V) {
+      goWrong("use of unbound variable '" + Prog.Names->spelling(N->Name) +
+                  "' (never assigned, or killed along a cut edge)",
+              N->loc());
+      return std::nullopt;
+    }
+    return *V;
+  }
+  case RefKind::Global: {
+    const Value *V = GlobalEnv.lookup(N->Name);
+    if (!V) {
+      goWrong("use of unknown global '" + Prog.Names->spelling(N->Name) +
+                  "'",
+              N->loc());
+      return std::nullopt;
+    }
+    return *V;
+  }
+  case RefKind::Proc:
+  case RefKind::DataLabel:
+  case RefKind::Import: {
+    std::optional<Value> V = evalConstExpr(N);
+    if (!V) {
+      // Imports may also name globals of another module.
+      if (const Value *G = GlobalEnv.lookup(N->Name))
+        return *G;
+      goWrong("unresolved name '" + Prog.Names->spelling(N->Name) + "'",
+              N->loc());
+    }
+    return V;
+  }
+  case RefKind::Unresolved:
+    break;
+  }
+  goWrong("internal: unresolved name reached the evaluator", N->loc());
+  return std::nullopt;
+}
+
+std::optional<Value> Machine::evalUnary(const UnaryExpr *U) {
+  std::optional<Value> V = evalExpr(U->Operand.get());
+  if (!V)
+    return std::nullopt;
+  switch (U->Op) {
+  case UnOp::Neg:
+    if (V->isFloat())
+      return Value::flt(V->Width, -V->F);
+    return Value::bits(V->Width, 0 - V->Raw);
+  case UnOp::Com:
+    return Value::bits(V->Width, ~V->Raw);
+  case UnOp::Not:
+    return Value::bits(32, V->Raw == 0 ? 1 : 0);
+  }
+  cmm_unreachable("unknown unary operator");
+}
+
+std::optional<Value> Machine::evalBinary(const BinaryExpr *B) {
+  std::optional<Value> L = evalExpr(B->Lhs.get());
+  if (!L)
+    return std::nullopt;
+  std::optional<Value> R = evalExpr(B->Rhs.get());
+  if (!R)
+    return std::nullopt;
+
+  if (L->isFloat() || R->isFloat()) {
+    double X = L->F, Y = R->F;
+    switch (B->Op) {
+    case BinOp::Add: return Value::flt(L->Width, X + Y);
+    case BinOp::Sub: return Value::flt(L->Width, X - Y);
+    case BinOp::Mul: return Value::flt(L->Width, X * Y);
+    case BinOp::Div: return Value::flt(L->Width, X / Y);
+    case BinOp::Eq: return Value::bits(32, X == Y);
+    case BinOp::Ne: return Value::bits(32, X != Y);
+    case BinOp::LtS: return Value::bits(32, X < Y);
+    case BinOp::LeS: return Value::bits(32, X <= Y);
+    case BinOp::GtS: return Value::bits(32, X > Y);
+    case BinOp::GeS: return Value::bits(32, X >= Y);
+    default:
+      goWrong("bit operation on floating-point operands", B->loc());
+      return std::nullopt;
+    }
+  }
+
+  unsigned W = L->Width;
+  uint64_t X = L->Raw, Y = R->Raw;
+  int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
+  switch (B->Op) {
+  case BinOp::Add: return Value::bits(W, X + Y);
+  case BinOp::Sub: return Value::bits(W, X - Y);
+  case BinOp::Mul: return Value::bits(W, X * Y);
+  case BinOp::Div:
+    // The fast-but-dangerous signed divide (Section 4.3): failure behaviour
+    // is unspecified, which the abstract machine models as going wrong.
+    if (SY == 0) {
+      goWrong("unspecified: signed division by zero (use %%divs for the "
+              "checked variant)",
+              B->loc());
+      return std::nullopt;
+    }
+    if (SX == signExtend(signedMin(W), W) && SY == -1) {
+      goWrong("unspecified: signed division overflow", B->loc());
+      return std::nullopt;
+    }
+    return Value::bits(W, static_cast<uint64_t>(SX / SY));
+  case BinOp::Mod:
+    if (SY == 0) {
+      goWrong("unspecified: signed modulus by zero (use %%mods for the "
+              "checked variant)",
+              B->loc());
+      return std::nullopt;
+    }
+    if (SX == signExtend(signedMin(W), W) && SY == -1)
+      return Value::bits(W, 0);
+    return Value::bits(W, static_cast<uint64_t>(SX % SY));
+  case BinOp::And: return Value::bits(W, X & Y);
+  case BinOp::Or: return Value::bits(W, X | Y);
+  case BinOp::Xor: return Value::bits(W, X ^ Y);
+  case BinOp::Shl:
+    return Value::bits(W, Y >= W ? 0 : X << Y);
+  case BinOp::Shr:
+    return Value::bits(W, Y >= W ? 0 : X >> Y);
+  case BinOp::Eq: return Value::bits(32, X == Y);
+  case BinOp::Ne: return Value::bits(32, X != Y);
+  case BinOp::LtS: return Value::bits(32, SX < SY);
+  case BinOp::LeS: return Value::bits(32, SX <= SY);
+  case BinOp::GtS: return Value::bits(32, SX > SY);
+  case BinOp::GeS: return Value::bits(32, SX >= SY);
+  }
+  cmm_unreachable("unknown binary operator");
+}
+
+std::optional<Value> Machine::evalPrim(const PrimExpr *P) {
+  std::optional<PrimKind> K = lookupPrim(Prog.Names->spelling(P->Name));
+  if (!K) {
+    goWrong("unknown primitive", P->loc());
+    return std::nullopt;
+  }
+  std::vector<Value> Args;
+  for (const ExprPtr &AE : P->Args) {
+    std::optional<Value> V = evalExpr(AE.get());
+    if (!V)
+      return std::nullopt;
+    Args.push_back(*V);
+  }
+  auto WrongZero = [&]() {
+    goWrong(std::string("unspecified: ") + primName(*K) +
+                " with zero divisor (use the %% variant)",
+            P->loc());
+    return std::optional<Value>();
+  };
+  unsigned W = Args.empty() ? 32 : Args[0].Width;
+  switch (*K) {
+  case PrimKind::DivU:
+    if (Args[1].Raw == 0)
+      return WrongZero();
+    return Value::bits(W, Args[0].Raw / Args[1].Raw);
+  case PrimKind::ModU:
+    if (Args[1].Raw == 0)
+      return WrongZero();
+    return Value::bits(W, Args[0].Raw % Args[1].Raw);
+  case PrimKind::DivS: {
+    int64_t X = signExtend(Args[0].Raw, W), Y = signExtend(Args[1].Raw, W);
+    if (Y == 0)
+      return WrongZero();
+    if (X == signExtend(signedMin(W), W) && Y == -1) {
+      goWrong("unspecified: %divs overflow", P->loc());
+      return std::nullopt;
+    }
+    return Value::bits(W, static_cast<uint64_t>(X / Y));
+  }
+  case PrimKind::ModS: {
+    int64_t X = signExtend(Args[0].Raw, W), Y = signExtend(Args[1].Raw, W);
+    if (Y == 0)
+      return WrongZero();
+    if (X == signExtend(signedMin(W), W) && Y == -1)
+      return Value::bits(W, 0);
+    return Value::bits(W, static_cast<uint64_t>(X % Y));
+  }
+  case PrimKind::LtU: return Value::bits(32, Args[0].Raw < Args[1].Raw);
+  case PrimKind::LeU: return Value::bits(32, Args[0].Raw <= Args[1].Raw);
+  case PrimKind::GtU: return Value::bits(32, Args[0].Raw > Args[1].Raw);
+  case PrimKind::GeU: return Value::bits(32, Args[0].Raw >= Args[1].Raw);
+  case PrimKind::ShrA: {
+    int64_t X = signExtend(Args[0].Raw, W);
+    uint64_t C = Args[1].Raw;
+    if (C >= W)
+      return Value::bits(W, X < 0 ? ~uint64_t(0) : 0);
+    return Value::bits(W, static_cast<uint64_t>(X >> C));
+  }
+  case PrimKind::Zx64: return Value::bits(64, Args[0].Raw);
+  case PrimKind::Sx64:
+    return Value::bits(64, static_cast<uint64_t>(signExtend(Args[0].Raw, 32)));
+  case PrimKind::Lo32: return Value::bits(32, Args[0].Raw);
+  case PrimKind::Hi32: return Value::bits(32, Args[0].Raw >> 32);
+  case PrimKind::FAdd: return Value::flt(Args[0].Width, Args[0].F + Args[1].F);
+  case PrimKind::FSub: return Value::flt(Args[0].Width, Args[0].F - Args[1].F);
+  case PrimKind::FMul: return Value::flt(Args[0].Width, Args[0].F * Args[1].F);
+  case PrimKind::FDiv: return Value::flt(Args[0].Width, Args[0].F / Args[1].F);
+  case PrimKind::FNeg: return Value::flt(Args[0].Width, -Args[0].F);
+  case PrimKind::FEq: return Value::bits(32, Args[0].F == Args[1].F);
+  case PrimKind::FNe: return Value::bits(32, Args[0].F != Args[1].F);
+  case PrimKind::FLt: return Value::bits(32, Args[0].F < Args[1].F);
+  case PrimKind::FLe: return Value::bits(32, Args[0].F <= Args[1].F);
+  case PrimKind::I2F:
+    return Value::flt(64, static_cast<double>(signExtend(Args[0].Raw, 32)));
+  case PrimKind::F2I: {
+    double D = Args[0].F;
+    if (!(D >= -2147483648.0 && D < 2147483648.0)) {
+      goWrong("unspecified: %f2i out of range", P->loc());
+      return std::nullopt;
+    }
+    return Value::bits(32, static_cast<uint64_t>(static_cast<int64_t>(D)));
+  }
+  }
+  cmm_unreachable("unknown primitive kind");
+}
+
+std::optional<Value> Machine::evalExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Value::bits(E->Ty.Width, cast<IntLitExpr>(E)->Value);
+  case Expr::Kind::FloatLit:
+    return Value::flt(E->Ty.Width, cast<FloatLitExpr>(E)->Value);
+  case Expr::Kind::StrLit: {
+    std::optional<Value> V = evalConstExpr(E);
+    if (!V)
+      goWrong("string literal without a data address", E->loc());
+    return V;
+  }
+  case Expr::Kind::Name:
+    return evalName(cast<NameExpr>(E));
+  case Expr::Kind::Load: {
+    const auto *L = cast<LoadExpr>(E);
+    std::optional<Value> Addr = evalExpr(L->Addr.get());
+    if (!Addr)
+      return std::nullopt;
+    ++S.Loads;
+    if (L->AccessTy.isFloat())
+      return Value::flt(L->AccessTy.Width,
+                        Mem.loadFloat(Addr->Raw, L->AccessTy.sizeInBytes()));
+    return Value::bits(L->AccessTy.Width,
+                       Mem.loadBits(Addr->Raw, L->AccessTy.sizeInBytes()));
+  }
+  case Expr::Kind::Unary:
+    return evalUnary(cast<UnaryExpr>(E));
+  case Expr::Kind::Binary:
+    return evalBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Prim:
+    return evalPrim(cast<PrimExpr>(E));
+  case Expr::Kind::Sizeof:
+    return Value::bits(32, cast<SizeofExpr>(E)->SizeInBytes);
+  }
+  cmm_unreachable("unknown expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Transitions (Section 5.2)
+//===----------------------------------------------------------------------===//
+
+bool Machine::step() {
+  if (St != MachineStatus::Running)
+    return false;
+  assert(Control && "running without control");
+  ++S.Steps;
+
+  switch (Control->kind()) {
+  case Node::Kind::Entry: {
+    // Entry binds the procedure's continuations into an empty environment;
+    // the incoming environment is discarded.
+    const auto *E = cast<EntryNode>(Control);
+    Rho.clear();
+    Sigma.clear();
+    for (const auto &[Name, Target] : E->Conts) {
+      uint64_t Handle = newCont(Target, Uid, CurProc);
+      Rho.bind(Name, Value::cont(Handle));
+    }
+    Control = E->Next;
+    return true;
+  }
+
+  case Node::Kind::Exit: {
+    const auto *E = cast<ExitNode>(Control);
+    if (Stack.empty()) {
+      if (E->ContIndex == 0 && E->AltCount == 0) {
+        St = MachineStatus::Halted; // terminated normally
+      } else {
+        goWrong("abnormal return with an empty stack", E->Loc);
+      }
+      return false;
+    }
+    Frame F = std::move(Stack.back());
+    Stack.pop_back();
+    const ContBundle &B = F.CallSite->Bundle;
+    if (B.ReturnsTo.size() != size_t(E->AltCount) + 1) {
+      goWrong("return <" + std::to_string(E->ContIndex) + "/" +
+                  std::to_string(E->AltCount) + "> at a call site with " +
+                  std::to_string(B.ReturnsTo.size() - 1) +
+                  " alternate return continuations",
+              E->Loc);
+      return false;
+    }
+    if (E->ContIndex >= B.ReturnsTo.size()) {
+      goWrong("return continuation index out of range", E->Loc);
+      return false;
+    }
+    Control = B.ReturnsTo[E->ContIndex];
+    Rho = std::move(F.SavedEnv);
+    Sigma = std::move(F.SavedSigma);
+    Uid = F.Uid;
+    CurProc = F.Proc;
+    ++S.Returns;
+    return true;
+  }
+
+  case Node::Kind::CopyIn: {
+    const auto *C = cast<CopyInNode>(Control);
+    if (A.size() < C->Vars.size()) {
+      goWrong("too few values in the argument-passing area: need " +
+                  std::to_string(C->Vars.size()) + ", have " +
+                  std::to_string(A.size()),
+              C->Loc);
+      return false;
+    }
+    for (size_t I = 0; I < C->Vars.size(); ++I)
+      bindVar(C->Vars[I], A[I]);
+    A.clear(); // CopyIn replaces A by the empty list
+    Control = C->Next;
+    return true;
+  }
+
+  case Node::Kind::CopyOut: {
+    const auto *C = cast<CopyOutNode>(Control);
+    std::vector<Value> NewA;
+    NewA.reserve(C->Exprs.size());
+    for (const Expr *E : C->Exprs) {
+      std::optional<Value> V = evalExpr(E);
+      if (!V)
+        return false;
+      NewA.push_back(*V);
+    }
+    A = std::move(NewA);
+    Control = C->Next;
+    return true;
+  }
+
+  case Node::Kind::CalleeSaves: {
+    const auto *C = cast<CalleeSavesNode>(Control);
+    // Cost model: each variable entering or leaving the callee-saves set is
+    // one register move (spill or reload).
+    for (Symbol V : C->Saved)
+      if (std::find(Sigma.begin(), Sigma.end(), V) == Sigma.end())
+        ++S.CalleeSaveMoves;
+    for (Symbol V : Sigma)
+      if (std::find(C->Saved.begin(), C->Saved.end(), V) == C->Saved.end())
+        ++S.CalleeSaveMoves;
+    Sigma = C->Saved;
+    Control = C->Next;
+    return true;
+  }
+
+  case Node::Kind::Assign: {
+    const auto *N = cast<AssignNode>(Control);
+    std::optional<Value> V = evalExpr(N->Value);
+    if (!V)
+      return false;
+    if (N->IsGlobal)
+      GlobalEnv.bind(N->Var, *V);
+    else
+      Rho.bind(N->Var, *V);
+    Control = N->Next;
+    return true;
+  }
+
+  case Node::Kind::Store: {
+    const auto *N = cast<StoreNode>(Control);
+    std::optional<Value> Addr = evalExpr(N->Addr);
+    if (!Addr)
+      return false;
+    std::optional<Value> V = evalExpr(N->Value);
+    if (!V)
+      return false;
+    ++S.Stores;
+    if (N->AccessTy.isFloat())
+      Mem.storeFloat(Addr->Raw, N->AccessTy.sizeInBytes(), V->F);
+    else
+      Mem.storeBits(Addr->Raw, N->AccessTy.sizeInBytes(), V->Raw);
+    Control = N->Next;
+    return true;
+  }
+
+  case Node::Kind::Branch: {
+    const auto *B = cast<BranchNode>(Control);
+    std::optional<Value> C = evalExpr(B->Cond);
+    if (!C)
+      return false;
+    Control = C->isTruthy() ? B->TrueDst : B->FalseDst;
+    return true;
+  }
+
+  case Node::Kind::Call: {
+    const auto *C = cast<CallNode>(Control);
+    std::optional<Value> Callee = evalExpr(C->Callee);
+    if (!Callee)
+      return false;
+    const IrProc *Target = nullptr;
+    if ((Callee->isCode() || Callee->isBits()) &&
+        Value::rawIsCode(Callee->Raw)) {
+      uint64_t Idx = Callee->codeIndex();
+      if ((Callee->Raw - CodeBase) % CodeStride == 0 &&
+          Idx < CodeTable.size())
+        Target = CodeTable[Idx];
+    }
+    if (!Target) {
+      goWrong("call target is not code (" + Callee->str() + ")", C->Loc);
+      return false;
+    }
+    pushFrame(C);
+    enterProc(Target, C->Loc);
+    ++S.Calls;
+    return true;
+  }
+
+  case Node::Kind::Jump: {
+    const auto *J = cast<JumpNode>(Control);
+    std::optional<Value> Callee = evalExpr(J->Callee);
+    if (!Callee)
+      return false;
+    const IrProc *Target = nullptr;
+    if ((Callee->isCode() || Callee->isBits()) &&
+        Value::rawIsCode(Callee->Raw)) {
+      uint64_t Idx = Callee->codeIndex();
+      if ((Callee->Raw - CodeBase) % CodeStride == 0 &&
+          Idx < CodeTable.size())
+        Target = CodeTable[Idx];
+    }
+    if (!Target) {
+      goWrong("jump target is not code (" + Callee->str() + ")", J->Loc);
+      return false;
+    }
+    // Tail call: the caller's resources are deallocated before the call;
+    // the continuation bundle on the stack is reused.
+    enterProc(Target, J->Loc);
+    ++S.Jumps;
+    return true;
+  }
+
+  case Node::Kind::CutTo: {
+    const auto *C = cast<CutToNode>(Control);
+    std::optional<Value> V = evalExpr(C->Cont);
+    if (!V)
+      return false;
+    return doCutTo(*V, C);
+  }
+
+  case Node::Kind::Yield:
+    // Execution passes to the run-time system. Undo the step count: the
+    // suspension itself is not a transition.
+    --S.Steps;
+    ++S.Yields;
+    St = MachineStatus::Suspended;
+    return false;
+  }
+  cmm_unreachable("unknown node kind");
+}
+
+bool Machine::doCutTo(const Value &ContVal, const CutToNode *FromNode) {
+  SourceLoc Loc = FromNode ? FromNode->Loc : SourceLoc();
+  const ContRecord *Rec = requireCont(ContVal, Loc);
+  if (!Rec)
+    return false;
+
+  // Cut to a continuation of the current activation: permitted only when the
+  // cut to statement itself carries an `also cuts to` naming it.
+  if (FromNode && Rec->Uid == Uid) {
+    bool Listed = std::find(FromNode->AlsoCutsTo.begin(),
+                            FromNode->AlsoCutsTo.end(),
+                            Rec->Target) != FromNode->AlsoCutsTo.end();
+    if (!Listed) {
+      goWrong("cut to a continuation of the current activation that is not "
+              "named in this statement's also cuts to",
+              Loc);
+      return false;
+    }
+    Rho.erase(Sigma); // callee-saves values are not restored by a cut
+    Sigma.clear();
+    Control = Rec->Target;
+    ++S.Cuts;
+    return true;
+  }
+
+  // Remove activations until the target's frame is on top. Each removed
+  // frame's suspended call must be annotated `also aborts`.
+  while (!Stack.empty() && Stack.back().Uid != Rec->Uid) {
+    if (!Stack.back().CallSite->Bundle.Abort) {
+      goWrong("cut truncates the stack past a call site that lacks an "
+              "also aborts annotation",
+              Loc);
+      return false;
+    }
+    Stack.pop_back();
+    ++S.FramesCutOver;
+  }
+  if (Stack.empty()) {
+    goWrong("cut to a dead continuation (its activation is no longer on "
+            "the stack)",
+            Loc);
+    return false;
+  }
+
+  Frame F = std::move(Stack.back());
+  Stack.pop_back();
+  const ContBundle &B = F.CallSite->Bundle;
+  if (std::find(B.CutsTo.begin(), B.CutsTo.end(), Rec->Target) ==
+      B.CutsTo.end()) {
+    goWrong("cut to a continuation that is not listed in the suspended "
+            "call site's also cuts to",
+            Loc);
+    return false;
+  }
+  Control = Rec->Target;
+  Rho = std::move(F.SavedEnv);
+  Rho.erase(F.SavedSigma); // cuts do not restore callee-saves registers
+  Sigma.clear();
+  Uid = F.Uid;
+  CurProc = F.Proc;
+  ++S.Cuts;
+  return true;
+}
+
+MachineStatus Machine::run(uint64_t MaxSteps) {
+  uint64_t Budget = MaxSteps;
+  while (St == MachineStatus::Running && Budget != 0) {
+    step();
+    --Budget;
+  }
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Run-time-system substrate (the checked Yield transitions)
+//===----------------------------------------------------------------------===//
+
+bool Machine::rtUnwindTop(size_t Count) {
+  if (St != MachineStatus::Suspended) {
+    goWrong("run-time system acted on a machine that is not suspended",
+            SourceLoc());
+    return false;
+  }
+  for (size_t I = 0; I < Count; ++I) {
+    if (Stack.empty()) {
+      goWrong("run-time system unwound past the bottom of the stack",
+              SourceLoc());
+      return false;
+    }
+    if (!Stack.back().CallSite->Bundle.Abort) {
+      goWrong("run-time system unwound past a call site that lacks an "
+              "also aborts annotation",
+              Stack.back().CallSite->Loc);
+      return false;
+    }
+    Stack.pop_back();
+    ++S.UnwindPops;
+  }
+  return true;
+}
+
+std::optional<unsigned>
+Machine::resumeParamCount(const ResumeChoice &Choice) const {
+  const Node *Target = nullptr;
+  switch (Choice.K) {
+  case ResumeChoice::Kind::Return: {
+    if (Stack.empty())
+      return std::nullopt;
+    const ContBundle &B = Stack.back().CallSite->Bundle;
+    if (Choice.Index >= B.ReturnsTo.size())
+      return std::nullopt;
+    Target = B.ReturnsTo[Choice.Index];
+    break;
+  }
+  case ResumeChoice::Kind::Unwind: {
+    if (Stack.empty())
+      return std::nullopt;
+    const ContBundle &B = Stack.back().CallSite->Bundle;
+    if (Choice.Index >= B.UnwindsTo.size())
+      return std::nullopt;
+    Target = B.UnwindsTo[Choice.Index];
+    break;
+  }
+  case ResumeChoice::Kind::Cut: {
+    const ContRecord *Rec = decodeCont(Choice.ContValue);
+    if (!Rec)
+      return std::nullopt;
+    Target = Rec->Target;
+    break;
+  }
+  }
+  if (const auto *In = dyn_cast<CopyInNode>(Target))
+    return static_cast<unsigned>(In->Vars.size());
+  return 0;
+}
+
+bool Machine::rtResume(const ResumeChoice &Choice,
+                       std::vector<Value> Params) {
+  if (St != MachineStatus::Suspended) {
+    goWrong("run-time system resumed a machine that is not suspended",
+            SourceLoc());
+    return false;
+  }
+  std::optional<unsigned> Expected = resumeParamCount(Choice);
+  if (!Expected) {
+    goWrong("run-time system chose an invalid resumption continuation",
+            SourceLoc());
+    return false;
+  }
+  if (Params.size() != *Expected) {
+    goWrong("run-time system passed " + std::to_string(Params.size()) +
+                " continuation parameters where " +
+                std::to_string(*Expected) + " are expected",
+            SourceLoc());
+    return false;
+  }
+
+  if (Choice.K == ResumeChoice::Kind::Cut) {
+    St = MachineStatus::Running; // doCutTo acts from the running state
+    if (!doCutTo(Choice.ContValue, nullptr))
+      return false;
+    A = std::move(Params);
+    return true;
+  }
+
+  if (Stack.empty()) {
+    goWrong("run-time system resumed with an empty stack", SourceLoc());
+    return false;
+  }
+  Frame F = std::move(Stack.back());
+  Stack.pop_back();
+  const ContBundle &B = F.CallSite->Bundle;
+  Node *Target = Choice.K == ResumeChoice::Kind::Return
+                     ? B.ReturnsTo[Choice.Index]
+                     : B.UnwindsTo[Choice.Index];
+  // This transition restores callee-saves registers: the full saved
+  // environment comes back.
+  Control = Target;
+  Rho = std::move(F.SavedEnv);
+  Sigma = std::move(F.SavedSigma);
+  Uid = F.Uid;
+  CurProc = F.Proc;
+  A = std::move(Params);
+  if (Choice.K == ResumeChoice::Kind::Unwind)
+    ++S.UnwindPops;
+  St = MachineStatus::Running;
+  return true;
+}

@@ -1,0 +1,213 @@
+//===- sem/Machine.h - The Abstract C-- machine -----------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operational semantics of Section 5.2 as an executable machine. The
+/// mutable state has the paper's seven components:
+///
+///   ⟨ p, ρ, σ, uid, M, A, S ⟩
+///
+///   p    the control (current node)            — Control
+///   ρ    the local environment                 — Rho
+///   σ    variables in callee-saves registers   — Sigma
+///   uid  unique id of the current activation   — Uid
+///   M    memory                                — Mem
+///   A    the argument-passing area             — A
+///   S    the stack of suspended activations    — Stack
+///
+/// The machine "goes wrong" exactly where the paper says an execution has no
+/// permitted transition: invoking a dead continuation (uid check), cutting
+/// past a call site without `also aborts`, cutting to a continuation not
+/// listed in the call site's `also cuts to`, a return <i/n> arity mismatch,
+/// or an unspecified primitive failure such as %divu(x, 0).
+///
+/// The underspecified Yield transitions are exposed as the rtUnwindTop /
+/// rtResume operations, on which src/rts builds the Table 1 run-time
+/// interface; every run-time-system action is validated against the formal
+/// Yield rules, so no front-end runtime can express an unsound transition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SEM_MACHINE_H
+#define CMM_SEM_MACHINE_H
+
+#include "ir/Ir.h"
+#include "sem/Env.h"
+#include "sem/Memory.h"
+#include "sem/Stats.h"
+#include "sem/Value.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cmm {
+
+/// Lifecycle of a machine.
+enum class MachineStatus : uint8_t {
+  Idle,      ///< constructed, not started
+  Running,   ///< transitions available
+  Suspended, ///< at a Yield node: the run-time system has control
+  Halted,    ///< normal termination: Exit <0/0> with an empty stack
+  Wrong,     ///< no permitted transition ("the program has gone wrong")
+};
+
+/// One suspended activation on the abstract stack: (Γ, ρ, σ, uid) plus the
+/// procedure it belongs to. Γ is the continuation bundle of the call site at
+/// which the activation is suspended.
+struct Frame {
+  const CallNode *CallSite = nullptr;
+  const IrProc *Proc = nullptr;
+  Env SavedEnv;
+  std::vector<Symbol> SavedSigma;
+  uint64_t Uid = 0;
+};
+
+/// Decoded continuation value: Cont(p, u) of Section 5.1.
+struct ContRecord {
+  Node *Target = nullptr;
+  uint64_t Uid = 0;
+  const IrProc *Proc = nullptr;
+};
+
+/// How the run-time system resumes a suspended machine (the Yield rules).
+struct ResumeChoice {
+  enum class Kind : uint8_t { Return, Unwind, Cut };
+  Kind K = Kind::Return;
+  /// For Return: index into the bundle's returns list (normal return is the
+  /// last). For Unwind: index into the `also unwinds to` list.
+  unsigned Index = 0;
+  /// For Cut: the continuation value to cut to.
+  Value ContValue;
+
+  static ResumeChoice ret(unsigned Index) {
+    return {Kind::Return, Index, Value()};
+  }
+  static ResumeChoice unwind(unsigned Index) {
+    return {Kind::Unwind, Index, Value()};
+  }
+  static ResumeChoice cut(Value V) { return {Kind::Cut, 0, V}; }
+};
+
+/// The executable abstract machine. One Machine is one C-- thread.
+class Machine {
+public:
+  explicit Machine(const IrProgram &Prog);
+
+  /// Initializes memory from the program image and enters \p ProcName with
+  /// \p Args in the argument-passing area.
+  void start(std::string_view ProcName, std::vector<Value> Args = {});
+  void start(Symbol ProcName, std::vector<Value> Args = {});
+
+  MachineStatus status() const { return St; }
+
+  /// Performs one transition. Returns false when the machine is not
+  /// Running (suspended machines must be resumed through rtResume).
+  bool step();
+
+  /// Steps until the machine stops running or \p MaxSteps transitions have
+  /// executed; returns the final status (Running on step-limit).
+  MachineStatus run(uint64_t MaxSteps = ~uint64_t(0));
+
+  /// The argument-passing area A: procedure results after Halted, the
+  /// arguments of the yield(...) call while Suspended.
+  const std::vector<Value> &argArea() const { return A; }
+
+  /// Why the machine went wrong (valid after status() == Wrong).
+  const std::string &wrongReason() const { return WrongReason; }
+  SourceLoc wrongLoc() const { return WrongLoc; }
+
+  const Stats &stats() const { return S; }
+  void resetStats() { S.reset(); }
+
+  Memory &memory() { return Mem; }
+  const Memory &memory() const { return Mem; }
+  const IrProgram &program() const { return Prog; }
+
+  /// Global register access (globals model machine registers shared by all
+  /// activations; they are never callee-saves and unaffected by cuts).
+  std::optional<Value> getGlobal(std::string_view Name) const;
+  void setGlobal(std::string_view Name, const Value &V);
+
+  /// The Code value denoting \p P.
+  Value codeValue(const IrProc *P) const;
+
+  /// Decodes a value as a continuation; null when it is not one.
+  const ContRecord *decodeCont(const Value &V) const;
+
+  /// Evaluates a link-time-constant expression (descriptors). Returns
+  /// nullopt for non-constant expressions.
+  std::optional<Value> evalConstExpr(const Expr *E) const;
+
+  //===--------------------------------------------------------------------===//
+  // Substrate for the run-time system (Table 1 lives in src/rts)
+  //===--------------------------------------------------------------------===//
+
+  size_t stackDepth() const { return Stack.size(); }
+  /// \p I = 0 is the topmost suspended activation.
+  const Frame &frameFromTop(size_t I) const {
+    return Stack[Stack.size() - 1 - I];
+  }
+  const IrProc *currentProc() const { return CurProc; }
+  const Node *control() const { return Control; }
+
+  /// Yield unwind rule: pops \p Count frames; every popped frame's call site
+  /// must be annotated `also aborts`, else the machine goes wrong. Only
+  /// legal while Suspended.
+  bool rtUnwindTop(size_t Count);
+
+  /// Yield resume rules: pops the top frame and transfers control to the
+  /// chosen continuation of its bundle (or cuts the stack for Kind::Cut),
+  /// passing \p Params through the argument area. Only legal while
+  /// Suspended. Returns false (machine Wrong) on any rule violation.
+  bool rtResume(const ResumeChoice &Choice, std::vector<Value> Params);
+
+  /// Number of parameters the chosen continuation expects; nullopt when the
+  /// choice is invalid. Used by FindContParam.
+  std::optional<unsigned> resumeParamCount(const ResumeChoice &Choice) const;
+
+private:
+  void goWrong(std::string Reason, SourceLoc Loc);
+  void pushFrame(const CallNode *Site);
+  void enterProc(const IrProc *P, SourceLoc Loc);
+  bool doCutTo(const Value &ContVal, const CutToNode *FromNode);
+  const ContRecord *requireCont(const Value &V, SourceLoc Loc);
+  uint64_t newCont(Node *Target, uint64_t Uid, const IrProc *Proc);
+  void bindVar(Symbol V, const Value &Val);
+
+  std::optional<Value> evalExpr(const Expr *E);
+  std::optional<Value> evalName(const NameExpr *N);
+  std::optional<Value> evalBinary(const BinaryExpr *B);
+  std::optional<Value> evalUnary(const UnaryExpr *U);
+  std::optional<Value> evalPrim(const PrimExpr *P);
+
+  const IrProgram &Prog;
+
+  // The seven state components.
+  const Node *Control = nullptr;
+  Env Rho;
+  std::vector<Symbol> Sigma;
+  uint64_t Uid = 0;
+  Memory Mem;
+  std::vector<Value> A;
+  std::vector<Frame> Stack;
+
+  // Bookkeeping beyond the formal state.
+  const IrProc *CurProc = nullptr;
+  Env GlobalEnv;
+  uint64_t NextUid = 1;
+  std::vector<ContRecord> ContTable;
+  std::unordered_map<const IrProc *, uint64_t> CodeIndex;
+  std::vector<const IrProc *> CodeTable;
+  MachineStatus St = MachineStatus::Idle;
+  std::string WrongReason;
+  SourceLoc WrongLoc;
+  Stats S;
+};
+
+} // namespace cmm
+
+#endif // CMM_SEM_MACHINE_H

@@ -1,0 +1,96 @@
+//===- sem/Memory.h - Byte-addressed memory ---------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory M of the abstract machine: sparse, byte-addressed,
+/// little-endian (the "native byte order of the target machine",
+/// Section 5.1). Reads of never-written bytes yield zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SEM_MEMORY_H
+#define CMM_SEM_MEMORY_H
+
+#include "sem/Value.h"
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+namespace cmm {
+
+/// Sparse paged memory.
+class Memory {
+public:
+  uint8_t loadByte(uint64_t Addr) const {
+    auto It = Pages.find(Addr / PageSize);
+    if (It == Pages.end())
+      return 0;
+    return It->second[Addr % PageSize];
+  }
+
+  void storeByte(uint64_t Addr, uint8_t V) {
+    page(Addr)[Addr % PageSize] = V;
+  }
+
+  /// loadtype(M, addr) for bits values: little-endian.
+  uint64_t loadBits(uint64_t Addr, unsigned Bytes) const {
+    uint64_t V = 0;
+    for (unsigned I = 0; I < Bytes; ++I)
+      V |= uint64_t(loadByte(Addr + I)) << (8 * I);
+    return V;
+  }
+
+  /// storetype(M, addr, v) for bits values.
+  void storeBits(uint64_t Addr, unsigned Bytes, uint64_t V) {
+    for (unsigned I = 0; I < Bytes; ++I)
+      storeByte(Addr + I, static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  double loadFloat(uint64_t Addr, unsigned Bytes) const {
+    if (Bytes == 4) {
+      uint32_t Raw = static_cast<uint32_t>(loadBits(Addr, 4));
+      float F;
+      std::memcpy(&F, &Raw, 4);
+      return F;
+    }
+    uint64_t Raw = loadBits(Addr, 8);
+    double D;
+    std::memcpy(&D, &Raw, 8);
+    return D;
+  }
+
+  void storeFloat(uint64_t Addr, unsigned Bytes, double V) {
+    if (Bytes == 4) {
+      float F = static_cast<float>(V);
+      uint32_t Raw;
+      std::memcpy(&Raw, &F, 4);
+      storeBits(Addr, 4, Raw);
+      return;
+    }
+    uint64_t Raw;
+    std::memcpy(&Raw, &V, 8);
+    storeBits(Addr, 8, Raw);
+  }
+
+  size_t pageCount() const { return Pages.size(); }
+
+private:
+  static constexpr uint64_t PageSize = 4096;
+
+  std::array<uint8_t, PageSize> &page(uint64_t Addr) {
+    auto [It, Fresh] = Pages.try_emplace(Addr / PageSize);
+    if (Fresh)
+      It->second.fill(0);
+    return It->second;
+  }
+
+  std::unordered_map<uint64_t, std::array<uint8_t, PageSize>> Pages;
+};
+
+} // namespace cmm
+
+#endif // CMM_SEM_MEMORY_H

@@ -1,0 +1,45 @@
+//===- sem/Stats.h - Execution cost counters --------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation counters. These are the cost model of the reproduction:
+/// the paper's claims about the four exception-dispatch techniques
+/// (Figure 2) are claims about how these quantities scale, not about cycle
+/// counts of a particular CPU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SEM_STATS_H
+#define CMM_SEM_STATS_H
+
+#include <cstdint>
+
+namespace cmm {
+
+/// Counters accumulated by a Machine while it runs.
+struct Stats {
+  uint64_t Steps = 0;         ///< abstract-machine transitions
+  uint64_t Calls = 0;         ///< Call transitions (frames pushed)
+  uint64_t Jumps = 0;         ///< Jump transitions (tail calls)
+  uint64_t Returns = 0;       ///< Exit transitions (frames popped)
+  uint64_t Cuts = 0;          ///< successful cut-to transfers
+  uint64_t FramesCutOver = 0; ///< frames discarded by cuts (constant-time on
+                              ///< real hardware; counted to show the stack
+                              ///< walk the cut avoids)
+  uint64_t Yields = 0;        ///< suspensions into the run-time system
+  uint64_t UnwindPops = 0;    ///< frames popped by the run-time system
+  uint64_t ContsBound = 0;    ///< continuation values created at Entry
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t CalleeSaveMoves = 0; ///< spills/reloads implied by CalleeSaves
+  uint64_t MaxStackDepth = 0;
+
+  void reset() { *this = Stats(); }
+};
+
+} // namespace cmm
+
+#endif // CMM_SEM_STATS_H

@@ -1,0 +1,122 @@
+//===- sem/Value.h - Abstract machine values --------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Values of the Abstract C-- machine (Section 5.1): Bits-n k, Code p, and
+/// Cont(p, u). Code and Cont values carry stable numeric encodings in
+/// reserved address regions so they can round-trip through registers and
+/// byte-addressed memory exactly as on a real machine, while the evaluator
+/// retains the formal tags needed for side conditions such as the dead-
+/// continuation uid check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SEM_VALUE_H
+#define CMM_SEM_VALUE_H
+
+#include "support/Bits.h"
+#include "syntax/Type.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cmm {
+
+/// Address-space layout of the reference machine. Static data starts at
+/// DataBase (ir/Ir.h); procedure "addresses" and continuation values live in
+/// their own regions so a Bits value loaded from memory can be decoded back
+/// to Code or Cont.
+inline constexpr uint64_t CodeBase = 0x40000000;
+inline constexpr uint64_t ContBase = 0xC0000000;
+inline constexpr uint64_t CodeStride = 16;
+inline constexpr uint64_t ContStride = 8;
+
+/// One machine value.
+struct Value {
+  enum class Kind : uint8_t { Bits, Float, Code, Cont };
+
+  Kind K = Kind::Bits;
+  uint8_t Width = 32; ///< bit width for Bits/Float; pointer width otherwise
+  uint64_t Raw = 0;   ///< bit pattern / encoded address
+  double F = 0;       ///< payload for Float
+
+  static Value bits(unsigned Width, uint64_t V) {
+    Value R;
+    R.K = Kind::Bits;
+    R.Width = static_cast<uint8_t>(Width);
+    R.Raw = truncateToWidth(V, Width);
+    return R;
+  }
+  static Value flt(unsigned Width, double V) {
+    Value R;
+    R.K = Kind::Float;
+    R.Width = static_cast<uint8_t>(Width);
+    R.F = V;
+    return R;
+  }
+  /// Code value for the procedure with table index \p ProcIndex.
+  static Value code(uint64_t ProcIndex) {
+    Value R;
+    R.K = Kind::Code;
+    R.Width = static_cast<uint8_t>(TargetInfo::nativeCode().Width);
+    R.Raw = CodeBase + ProcIndex * CodeStride;
+    return R;
+  }
+  /// Continuation value for the handle with table index \p Handle.
+  static Value cont(uint64_t Handle) {
+    Value R;
+    R.K = Kind::Cont;
+    R.Width = static_cast<uint8_t>(TargetInfo::nativePointer().Width);
+    R.Raw = ContBase + Handle * ContStride;
+    return R;
+  }
+
+  bool isBits() const { return K == Kind::Bits; }
+  bool isFloat() const { return K == Kind::Float; }
+  bool isCode() const { return K == Kind::Code; }
+  bool isCont() const { return K == Kind::Cont; }
+
+  /// True when the bit pattern (for Bits/Code/Cont) is in the code region.
+  static bool rawIsCode(uint64_t Raw) {
+    return Raw >= CodeBase && Raw < DataEndOfCode;
+  }
+  static bool rawIsCont(uint64_t Raw) { return Raw >= ContBase; }
+
+  uint64_t codeIndex() const { return (Raw - CodeBase) / CodeStride; }
+  uint64_t contHandle() const { return (Raw - ContBase) / ContStride; }
+
+  /// Truth of a value as a branch condition: nonzero bits.
+  bool isTruthy() const { return isBits() ? Raw != 0 : Raw != 0 || F != 0; }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Bits:
+      return "bits" + std::to_string(unsigned(Width)) + " " +
+             std::to_string(Raw);
+    case Kind::Float:
+      return "float" + std::to_string(unsigned(Width)) + " " +
+             std::to_string(F);
+    case Kind::Code:
+      return "code@" + std::to_string(Raw);
+    case Kind::Cont:
+      return "cont@" + std::to_string(Raw);
+    }
+    return "<value>";
+  }
+
+  friend bool operator==(const Value &X, const Value &Y) {
+    if (X.K != Y.K || X.Width != Y.Width)
+      return false;
+    return X.isFloat() ? X.F == Y.F : X.Raw == Y.Raw;
+  }
+
+private:
+  static constexpr uint64_t DataEndOfCode = ContBase;
+};
+
+} // namespace cmm
+
+#endif // CMM_SEM_VALUE_H

@@ -1,0 +1,31 @@
+//===- support/Assert.h - Internal-error reporting --------------*- C++ -*-===//
+//
+// Part of cmmex, a reproduction of Ramsey & Peyton Jones, "A single
+// intermediate language that supports multiple implementations of
+// exceptions" (PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers. The library is built with -fno-exceptions, so internal
+/// invariant violations abort via these macros rather than throwing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_ASSERT_H
+#define CMM_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be reached if the program
+/// invariants hold. Always aborts, even in release builds.
+#define cmm_unreachable(Msg)                                                   \
+  do {                                                                         \
+    std::fprintf(stderr, "cmmex: unreachable at %s:%d: %s\n", __FILE__,        \
+                 __LINE__, Msg);                                               \
+    std::abort();                                                              \
+  } while (false)
+
+#endif // CMM_SUPPORT_ASSERT_H

@@ -1,0 +1,102 @@
+//===- support/BitVector.h - Dense bit vectors ------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size dense bit vector for dataflow sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_BITVECTOR_H
+#define CMM_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cmm {
+
+/// Dense bit set with the operations dataflow solvers need.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t Size) : NumBits(Size), Words((Size + 63) / 64) {}
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  void set(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+  void reset(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= Other. Returns true when any bit changed.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I < Words.size(); ++I) {
+      uint64_t New = Words[I] | Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// this &= ~Other.
+  void subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  /// this &= Other.
+  void intersectWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  friend bool operator==(const BitVector &X, const BitVector &Y) {
+    return X.NumBits == Y.NumBits && X.Words == Y.Words;
+  }
+
+  /// Calls \p F(index) for every set bit.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned B = static_cast<unsigned>(__builtin_ctzll(Bits));
+        F(W * 64 + B);
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_BITVECTOR_H

@@ -1,0 +1,52 @@
+//===- support/Bits.h - N-bit word arithmetic -------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arithmetic on the C-- bitsN value types (Section 3.1 of the paper). All
+/// operations wrap modulo 2^N, matching machine words; signed variants
+/// reinterpret the two's-complement pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_BITS_H
+#define CMM_SUPPORT_BITS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cmm {
+
+/// Masks \p V to the low \p Width bits. \p Width must be in [1, 64].
+inline uint64_t truncateToWidth(uint64_t V, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "unsupported bits width");
+  if (Width == 64)
+    return V;
+  return V & ((uint64_t(1) << Width) - 1);
+}
+
+/// Sign-extends the low \p Width bits of \p V to a signed 64-bit value.
+inline int64_t signExtend(uint64_t V, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "unsupported bits width");
+  if (Width == 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  uint64_t Masked = truncateToWidth(V, Width);
+  return static_cast<int64_t>((Masked ^ SignBit) - SignBit);
+}
+
+/// True iff the low \p Width bits of \p V are all zero.
+inline bool isZeroAtWidth(uint64_t V, unsigned Width) {
+  return truncateToWidth(V, Width) == 0;
+}
+
+/// Signed minimum value (bit pattern) at \p Width, e.g. 0x80000000 for 32.
+inline uint64_t signedMin(unsigned Width) {
+  return uint64_t(1) << (Width - 1);
+}
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_BITS_H

@@ -1,0 +1,49 @@
+//===- support/Casting.h - isa/cast/dyn_cast --------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. The project is built with -fno-rtti;
+/// class hierarchies carry a Kind tag and a static classof, and these
+/// templates provide checked downcasts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_CASTING_H
+#define CMM_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace cmm {
+
+/// True iff \p V points to an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible kind");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible kind");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns null on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_CASTING_H

@@ -1,0 +1,33 @@
+//===- support/Interner.cpp -----------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include "support/Assert.h"
+
+using namespace cmm;
+
+Symbol Interner::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return Symbol(It->second);
+  uint32_t Id = static_cast<uint32_t>(Strings.size());
+  Strings.emplace_back(Text);
+  Index.emplace(std::string_view(Strings.back()), Id);
+  return Symbol(Id);
+}
+
+Symbol Interner::lookup(std::string_view Text) const {
+  auto It = Index.find(Text);
+  if (It == Index.end())
+    return Symbol();
+  return Symbol(It->second);
+}
+
+const std::string &Interner::spelling(Symbol S) const {
+  assert(S.isValid() && S.Id < Strings.size() && "invalid symbol");
+  return Strings[S.Id];
+}

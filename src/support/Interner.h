@@ -1,0 +1,73 @@
+//===- support/Interner.h - String interning --------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers. Symbols are small integer handles into a per-module
+/// string table, so name comparisons during translation and interpretation
+/// are integer compares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_INTERNER_H
+#define CMM_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cmm {
+
+/// An interned identifier. Value 0 is the invalid symbol.
+struct Symbol {
+  uint32_t Id = 0;
+
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != 0; }
+  explicit operator bool() const { return isValid(); }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+};
+
+/// Owns the interned strings and hands out Symbols.
+class Interner {
+public:
+  Interner() { Strings.emplace_back(); } // slot 0 = invalid
+
+  /// Returns the symbol for \p Text, interning it on first use.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the symbol for \p Text if already interned, else the invalid
+  /// symbol. Never allocates.
+  Symbol lookup(std::string_view Text) const;
+
+  /// The spelling of \p S. \p S must be valid and from this interner.
+  const std::string &spelling(Symbol S) const;
+
+  size_t size() const { return Strings.size() - 1; }
+
+private:
+  // Deque: element addresses are stable, so the string_view keys in Index
+  // (which point into the stored strings) never dangle.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace cmm
+
+/// Hashing so Symbol works as a key in unordered containers.
+template <> struct std::hash<cmm::Symbol> {
+  size_t operator()(cmm::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.Id);
+  }
+};
+
+#endif // CMM_SUPPORT_INTERNER_H

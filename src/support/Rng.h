@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic PRNG (splitmix64) for property tests and workload
+/// generators. Deterministic seeding keeps test failures reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_RNG_H
+#define CMM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cmm {
+
+/// splitmix64 generator. Not for cryptography; for reproducible workloads.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_RNG_H

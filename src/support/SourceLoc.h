@@ -1,0 +1,45 @@
+//===- support/SourceLoc.h - Source positions -------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations used by the C-- and Mini-Modula-3 front ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_SOURCELOC_H
+#define CMM_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cmm {
+
+/// A position in a source buffer. Line and column are 1-based; a
+/// default-constructed location (line 0) means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:col", or "<unknown>" for invalid locations.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_SOURCELOC_H

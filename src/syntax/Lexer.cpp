@@ -1,0 +1,334 @@
+//===- syntax/Lexer.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Lexer.h"
+
+#include "support/Assert.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace cmm;
+
+const char *cmm::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "end of input";
+  case TokKind::Ident: return "identifier";
+  case TokKind::PrimName: return "primitive name";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::FloatLit: return "float literal";
+  case TokKind::StrLit: return "string literal";
+  case TokKind::KwExport: return "'export'";
+  case TokKind::KwImport: return "'import'";
+  case TokKind::KwGlobal: return "'global'";
+  case TokKind::KwRegister: return "'register'";
+  case TokKind::KwData: return "'data'";
+  case TokKind::KwBits8: return "'bits8'";
+  case TokKind::KwBits16: return "'bits16'";
+  case TokKind::KwBits32: return "'bits32'";
+  case TokKind::KwBits64: return "'bits64'";
+  case TokKind::KwFloat32: return "'float32'";
+  case TokKind::KwFloat64: return "'float64'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwGoto: return "'goto'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwJump: return "'jump'";
+  case TokKind::KwCut: return "'cut'";
+  case TokKind::KwTo: return "'to'";
+  case TokKind::KwContinuation: return "'continuation'";
+  case TokKind::KwAlso: return "'also'";
+  case TokKind::KwCuts: return "'cuts'";
+  case TokKind::KwUnwinds: return "'unwinds'";
+  case TokKind::KwReturns: return "'returns'";
+  case TokKind::KwAborts: return "'aborts'";
+  case TokKind::KwDescriptors: return "'descriptors'";
+  case TokKind::KwSizeof: return "'sizeof'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Comma: return "','";
+  case TokKind::Semi: return "';'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Assign: return "'='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::NotEq: return "'!='";
+  case TokKind::Less: return "'<'";
+  case TokKind::LessEq: return "'<='";
+  case TokKind::Greater: return "'>'";
+  case TokKind::GreaterEq: return "'>='";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Shl: return "'<<'";
+  case TokKind::Shr: return "'>>'";
+  case TokKind::Tilde: return "'~'";
+  case TokKind::Bang: return "'!'";
+  }
+  return "token";
+}
+
+static TokKind keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"export", TokKind::KwExport},
+      {"import", TokKind::KwImport},
+      {"global", TokKind::KwGlobal},
+      {"register", TokKind::KwRegister},
+      {"data", TokKind::KwData},
+      {"bits8", TokKind::KwBits8},
+      {"bits16", TokKind::KwBits16},
+      {"bits32", TokKind::KwBits32},
+      {"bits64", TokKind::KwBits64},
+      {"float32", TokKind::KwFloat32},
+      {"float64", TokKind::KwFloat64},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"goto", TokKind::KwGoto},
+      {"return", TokKind::KwReturn},
+      {"jump", TokKind::KwJump},
+      {"cut", TokKind::KwCut},
+      {"to", TokKind::KwTo},
+      {"continuation", TokKind::KwContinuation},
+      {"also", TokKind::KwAlso},
+      {"cuts", TokKind::KwCuts},
+      {"unwinds", TokKind::KwUnwinds},
+      {"returns", TokKind::KwReturns},
+      {"aborts", TokKind::KwAborts},
+      {"descriptors", TokKind::KwDescriptors},
+      {"sizeof", TokKind::KwSizeof},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokKind::Ident : It->second;
+}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advance past end");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(TokKind Kind, SourceLoc Loc) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexIdentOrKeyword() {
+  SourceLoc Loc = here();
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  Token T = make(keywordKind(Text), Loc);
+  if (T.Kind == TokKind::Ident)
+    T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexPrimName() {
+  SourceLoc Loc = here();
+  std::string Text;
+  Text += advance(); // first '%'
+  if (peek() == '%')
+    Text += advance(); // "%%" slow-but-solid spelling
+  if (!std::isalpha(static_cast<unsigned char>(peek()))) {
+    // A lone '%' is the modulus operator.
+    Token T = make(TokKind::Percent, Loc);
+    return T;
+  }
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  Token T = make(TokKind::PrimName, Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Loc = here();
+  std::string Text;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Text += advance();
+    Text += advance();
+    IsHex = true;
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      Text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+      if (peek() == 'e' || peek() == 'E') {
+        Text += advance();
+        if (peek() == '+' || peek() == '-')
+          Text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+      Token T = make(TokKind::FloatLit, Loc);
+      T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      return T;
+    }
+  }
+  Token T = make(TokKind::IntLit, Loc);
+  T.IntValue = std::strtoull(Text.c_str(), nullptr, IsHex ? 16 : 10);
+  return T;
+}
+
+Token Lexer::lexString() {
+  SourceLoc Loc = here();
+  advance(); // opening quote
+  std::string Text;
+  while (Pos < Source.size() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && Pos < Source.size()) {
+      char E = advance();
+      switch (E) {
+      case 'n': Text += '\n'; break;
+      case 't': Text += '\t'; break;
+      case '0': Text += '\0'; break;
+      case '\\': Text += '\\'; break;
+      case '"': Text += '"'; break;
+      default:
+        Diags.error(here(), std::string("unknown escape '\\") + E + "'");
+      }
+      continue;
+    }
+    Text += C;
+  }
+  if (Pos >= Source.size()) {
+    Diags.error(Loc, "unterminated string literal");
+  } else {
+    advance(); // closing quote
+  }
+  Token T = make(TokKind::StrLit, Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  if (Pos >= Source.size())
+    return make(TokKind::Eof, Loc);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '%')
+    return lexPrimName();
+  if (C == '"')
+    return lexString();
+
+  advance();
+  switch (C) {
+  case '{': return make(TokKind::LBrace, Loc);
+  case '}': return make(TokKind::RBrace, Loc);
+  case '(': return make(TokKind::LParen, Loc);
+  case ')': return make(TokKind::RParen, Loc);
+  case '[': return make(TokKind::LBracket, Loc);
+  case ']': return make(TokKind::RBracket, Loc);
+  case ',': return make(TokKind::Comma, Loc);
+  case ';': return make(TokKind::Semi, Loc);
+  case ':': return make(TokKind::Colon, Loc);
+  case '+': return make(TokKind::Plus, Loc);
+  case '-': return make(TokKind::Minus, Loc);
+  case '*': return make(TokKind::Star, Loc);
+  case '/': return make(TokKind::Slash, Loc);
+  case '&': return make(TokKind::Amp, Loc);
+  case '|': return make(TokKind::Pipe, Loc);
+  case '^': return make(TokKind::Caret, Loc);
+  case '~': return make(TokKind::Tilde, Loc);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::EqEq, Loc);
+    }
+    return make(TokKind::Assign, Loc);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::NotEq, Loc);
+    }
+    return make(TokKind::Bang, Loc);
+  case '<':
+    if (peek() == '<') {
+      advance();
+      return make(TokKind::Shl, Loc);
+    }
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::LessEq, Loc);
+    }
+    return make(TokKind::Less, Loc);
+  case '>':
+    if (peek() == '>') {
+      advance();
+      return make(TokKind::Shr, Loc);
+    }
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::GreaterEq, Loc);
+    }
+    return make(TokKind::Greater, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}

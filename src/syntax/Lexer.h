@@ -1,0 +1,55 @@
+//===- syntax/Lexer.h - C-- lexer -------------------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for C--. Comments are /* ... */ and // to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SYNTAX_LEXER_H
+#define CMM_SYNTAX_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "syntax/Token.h"
+
+#include <string_view>
+
+namespace cmm {
+
+/// Produces a token stream from a source buffer. Does not own the buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes and returns the next token. After end of input, repeatedly
+  /// returns Eof.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  Token lexIdentOrKeyword();
+  Token lexPrimName();
+  Token lexNumber();
+  Token lexString();
+  Token make(TokKind Kind, SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace cmm
+
+#endif // CMM_SYNTAX_LEXER_H

@@ -1,0 +1,698 @@
+//===- syntax/Parser.cpp --------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Parser.h"
+
+#include "support/Assert.h"
+
+using namespace cmm;
+
+Token Parser::consume() {
+  Token T = std::move(Buf[0]);
+  Buf[0] = std::move(Buf[1]);
+  Buf[1] = Lex.next();
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!at(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(tok().Loc, std::string("expected ") + tokKindName(K) + " " +
+                             Context + ", found " + tokKindName(tok().Kind));
+  return false;
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!at(TokKind::Eof) && !at(TokKind::Semi) && !at(TokKind::RBrace))
+    consume();
+  accept(TokKind::Semi);
+}
+
+bool Parser::atType() const {
+  switch (tok().Kind) {
+  case TokKind::KwBits8:
+  case TokKind::KwBits16:
+  case TokKind::KwBits32:
+  case TokKind::KwBits64:
+  case TokKind::KwFloat32:
+  case TokKind::KwFloat64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<Type> Parser::parseTypeOpt() {
+  switch (tok().Kind) {
+  case TokKind::KwBits8: consume(); return Type::bits(8);
+  case TokKind::KwBits16: consume(); return Type::bits(16);
+  case TokKind::KwBits32: consume(); return Type::bits(32);
+  case TokKind::KwBits64: consume(); return Type::bits(64);
+  case TokKind::KwFloat32: consume(); return Type::flt(32);
+  case TokKind::KwFloat64: consume(); return Type::flt(64);
+  default:
+    return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+Module Parser::parseModule() {
+  while (!at(TokKind::Eof))
+    parseTopDecl();
+  return std::move(Mod);
+}
+
+void Parser::parseTopDecl() {
+  SourceLoc Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokKind::KwExport:
+    consume();
+    parseExportImport(/*IsExport=*/true);
+    return;
+  case TokKind::KwImport:
+    consume();
+    parseExportImport(/*IsExport=*/false);
+    return;
+  case TokKind::KwGlobal:
+  case TokKind::KwRegister:
+    consume();
+    parseGlobal();
+    return;
+  case TokKind::KwData:
+    consume();
+    parseData();
+    return;
+  case TokKind::Ident: {
+    Token Name = consume();
+    parseProc(intern(Name.Text), Loc);
+    return;
+  }
+  case TokKind::PrimName: {
+    // The standard library defines the slow-but-solid %%name procedures
+    // (Section 4.3) as ordinary C-- procedures.
+    Token Name = consume();
+    if (Name.Text.rfind("%%", 0) != 0)
+      Diags.error(Loc, "'" + Name.Text +
+                           "' is a primitive; only %%names may be defined "
+                           "as procedures");
+    parseProc(intern(Name.Text), Loc);
+    return;
+  }
+  default:
+    Diags.error(Loc, std::string("expected top-level declaration, found ") +
+                         tokKindName(tok().Kind));
+    consume();
+  }
+}
+
+void Parser::parseExportImport(bool IsExport) {
+  do {
+    if (!at(TokKind::Ident) && !at(TokKind::PrimName)) {
+      Diags.error(tok().Loc, "expected name in export/import list");
+      break;
+    }
+    Symbol S = intern(consume().Text);
+    (IsExport ? Mod.Exports : Mod.Imports).push_back(S);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Semi, "after export/import list");
+}
+
+void Parser::parseGlobal() {
+  SourceLoc Loc = tok().Loc;
+  std::optional<Type> Ty = parseTypeOpt();
+  if (!Ty) {
+    Diags.error(Loc, "expected type in global declaration");
+    syncToStmtBoundary();
+    return;
+  }
+  do {
+    if (!at(TokKind::Ident)) {
+      Diags.error(tok().Loc, "expected name in global declaration");
+      break;
+    }
+    Token Name = consume();
+    Mod.Globals.push_back({Name.Loc, *Ty, intern(Name.Text)});
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Semi, "after global declaration");
+}
+
+void Parser::parseData() {
+  DataDecl D;
+  D.Loc = tok().Loc;
+  if (!at(TokKind::Ident)) {
+    Diags.error(tok().Loc, "expected data block name");
+    syncToStmtBoundary();
+    return;
+  }
+  D.Name = intern(consume().Text);
+  if (!expect(TokKind::LBrace, "to open data block"))
+    return;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    SourceLoc ItemLoc = tok().Loc;
+    std::optional<Type> Ty = parseTypeOpt();
+    if (!Ty) {
+      Diags.error(ItemLoc, "expected type in data item");
+      syncToStmtBoundary();
+      continue;
+    }
+    if (accept(TokKind::LBracket)) {
+      // "bits32[10];" reserves 10 zeroed cells.
+      DataItem Item;
+      Item.K = DataItem::Kind::Reserve;
+      Item.Ty = *Ty;
+      if (at(TokKind::IntLit))
+        Item.ReserveCount = consume().IntValue;
+      else
+        Diags.error(tok().Loc, "expected cell count in data reservation");
+      expect(TokKind::RBracket, "after data reservation count");
+      expect(TokKind::Semi, "after data item");
+      D.Items.push_back(std::move(Item));
+      continue;
+    }
+    do {
+      DataItem Item;
+      Item.Ty = *Ty;
+      if (at(TokKind::IntLit)) {
+        Item.K = DataItem::Kind::Int;
+        Item.IntValue = consume().IntValue;
+      } else if (at(TokKind::StrLit)) {
+        Item.K = DataItem::Kind::Str;
+        Item.StrValue = consume().Text;
+      } else if (at(TokKind::Ident)) {
+        Item.K = DataItem::Kind::Name;
+        Item.NameValue = intern(consume().Text);
+      } else {
+        Diags.error(tok().Loc, "expected data value");
+        break;
+      }
+      D.Items.push_back(std::move(Item));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semi, "after data item");
+  }
+  expect(TokKind::RBrace, "to close data block");
+  Mod.Data.push_back(std::move(D));
+}
+
+void Parser::parseProc(Symbol Name, SourceLoc Loc) {
+  ProcDecl P;
+  P.Loc = Loc;
+  P.Name = Name;
+  if (!expect(TokKind::LParen, "after procedure name"))
+    return;
+  if (!at(TokKind::RParen)) {
+    do {
+      SourceLoc PLoc = tok().Loc;
+      std::optional<Type> Ty = parseTypeOpt();
+      if (!Ty) {
+        Diags.error(PLoc, "expected parameter type");
+        break;
+      }
+      if (!at(TokKind::Ident)) {
+        Diags.error(tok().Loc, "expected parameter name");
+        break;
+      }
+      P.Params.push_back({*Ty, intern(consume().Text)});
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "after parameter list");
+  if (!expect(TokKind::LBrace, "to open procedure body"))
+    return;
+  P.Body = parseBlock();
+  Mod.Procs.push_back(std::move(P));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::vector<StmtPtr> Parser::parseBlock() {
+  std::vector<StmtPtr> Stmts;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (S)
+      Stmts.push_back(std::move(S));
+  }
+  expect(TokKind::RBrace, "to close block");
+  return Stmts;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokKind::KwIf:
+    consume();
+    return parseIf(Loc);
+  case TokKind::KwGoto: {
+    consume();
+    Symbol Target;
+    if (at(TokKind::Ident))
+      Target = intern(consume().Text);
+    else
+      Diags.error(tok().Loc, "expected label after 'goto'");
+    expect(TokKind::Semi, "after goto");
+    return std::make_unique<GotoStmt>(Loc, Target);
+  }
+  case TokKind::KwReturn:
+    consume();
+    return parseReturn(Loc);
+  case TokKind::KwJump:
+    consume();
+    return parseJump(Loc);
+  case TokKind::KwCut:
+    consume();
+    expect(TokKind::KwTo, "after 'cut'");
+    return parseCutTo(Loc);
+  case TokKind::KwContinuation:
+    consume();
+    return parseContinuation(Loc);
+  case TokKind::Ident:
+  case TokKind::PrimName:
+    return parseIdentStmt();
+  default:
+    break;
+  }
+
+  if (atType()) {
+    Type Ty = *parseTypeOpt();
+    if (accept(TokKind::LBracket)) {
+      // Memory store: "type[addr] = e;"
+      ExprPtr Addr = parseExpr();
+      expect(TokKind::RBracket, "after store address");
+      expect(TokKind::Assign, "in memory store");
+      ExprPtr Value = parseExpr();
+      expect(TokKind::Semi, "after memory store");
+      return std::make_unique<MemAssignStmt>(Loc, Ty, std::move(Addr),
+                                             std::move(Value));
+    }
+    // Local variable declaration.
+    std::vector<Symbol> Names;
+    do {
+      if (!at(TokKind::Ident)) {
+        Diags.error(tok().Loc, "expected variable name in declaration");
+        break;
+      }
+      Names.push_back(intern(consume().Text));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semi, "after variable declaration");
+    return std::make_unique<VarDeclStmt>(Loc, Ty, std::move(Names));
+  }
+
+  Diags.error(Loc, std::string("expected statement, found ") +
+                       tokKindName(tok().Kind));
+  syncToStmtBoundary();
+  return nullptr;
+}
+
+StmtPtr Parser::parseIf(SourceLoc Loc) {
+  ExprPtr Cond = parseExpr();
+  expect(TokKind::LBrace, "to open 'if' body");
+  std::vector<StmtPtr> Then = parseBlock();
+  std::vector<StmtPtr> Else;
+  if (accept(TokKind::KwElse)) {
+    if (at(TokKind::KwIf)) {
+      SourceLoc ElifLoc = tok().Loc;
+      consume();
+      Else.push_back(parseIf(ElifLoc));
+    } else {
+      expect(TokKind::LBrace, "to open 'else' body");
+      Else = parseBlock();
+    }
+  }
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Parser::parseReturn(SourceLoc Loc) {
+  unsigned ContIndex = 0, AltCount = 0;
+  if (accept(TokKind::Less)) {
+    if (at(TokKind::IntLit))
+      ContIndex = static_cast<unsigned>(consume().IntValue);
+    else
+      Diags.error(tok().Loc, "expected continuation index in return <i/n>");
+    expect(TokKind::Slash, "in return <i/n>");
+    if (at(TokKind::IntLit))
+      AltCount = static_cast<unsigned>(consume().IntValue);
+    else
+      Diags.error(tok().Loc, "expected continuation count in return <i/n>");
+    expect(TokKind::Greater, "in return <i/n>");
+  }
+  std::vector<ExprPtr> Values;
+  if (accept(TokKind::LParen)) {
+    if (!at(TokKind::RParen))
+      Values = parseArgs();
+    expect(TokKind::RParen, "after return values");
+  }
+  expect(TokKind::Semi, "after return");
+  return std::make_unique<ReturnStmt>(Loc, ContIndex, AltCount,
+                                      std::move(Values));
+}
+
+StmtPtr Parser::parseJump(SourceLoc Loc) {
+  ExprPtr Callee = parsePrimary();
+  expect(TokKind::LParen, "after jump target");
+  std::vector<ExprPtr> Args;
+  if (!at(TokKind::RParen))
+    Args = parseArgs();
+  expect(TokKind::RParen, "after jump arguments");
+  expect(TokKind::Semi, "after jump");
+  return std::make_unique<JumpStmt>(Loc, std::move(Callee), std::move(Args));
+}
+
+StmtPtr Parser::parseCutTo(SourceLoc Loc) {
+  ExprPtr Cont = parsePrimary();
+  expect(TokKind::LParen, "after cut to target");
+  std::vector<ExprPtr> Args;
+  if (!at(TokKind::RParen))
+    Args = parseArgs();
+  expect(TokKind::RParen, "after cut to arguments");
+  Annotations Annots = parseAnnotations();
+  if (!Annots.UnwindsTo.empty() || !Annots.ReturnsTo.empty() || Annots.Aborts)
+    Diags.error(Loc, "only 'also cuts to' may annotate a cut to statement");
+  expect(TokKind::Semi, "after cut to");
+  return std::make_unique<CutToStmt>(Loc, std::move(Cont), std::move(Args),
+                                     std::move(Annots.CutsTo));
+}
+
+StmtPtr Parser::parseContinuation(SourceLoc Loc) {
+  if (!at(TokKind::Ident)) {
+    Diags.error(tok().Loc, "expected continuation name");
+    syncToStmtBoundary();
+    return nullptr;
+  }
+  Symbol Name = intern(consume().Text);
+  std::vector<Symbol> Params;
+  if (accept(TokKind::LParen)) {
+    if (!at(TokKind::RParen)) {
+      do {
+        if (!at(TokKind::Ident)) {
+          Diags.error(tok().Loc, "expected continuation parameter name");
+          break;
+        }
+        Params.push_back(intern(consume().Text));
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after continuation parameters");
+  }
+  expect(TokKind::Colon, "after continuation header");
+  return std::make_unique<ContinuationStmt>(Loc, Name, std::move(Params));
+}
+
+/// Statements that start with an identifier: label, call, or assignment.
+StmtPtr Parser::parseIdentStmt() {
+  SourceLoc Loc = tok().Loc;
+
+  // "%%divu(...)" call statement (no results).
+  if (at(TokKind::PrimName)) {
+    Token Callee = consume();
+    if (Callee.Text.rfind("%%", 0) != 0)
+      Diags.error(Loc, "primitive '" + Callee.Text +
+                           "' cannot be used as a statement; only %%names "
+                           "denote callable procedures");
+    auto CalleeExpr = std::make_unique<NameExpr>(Loc, intern(Callee.Text));
+    return parseCallTail(Loc, {}, std::move(CalleeExpr));
+  }
+
+  // Label?
+  if (tok(1).is(TokKind::Colon)) {
+    Symbol Name = intern(consume().Text);
+    consume(); // ':'
+    return std::make_unique<LabelStmt>(Loc, Name);
+  }
+
+  // Call without results: "f(args) annots;"
+  if (tok(1).is(TokKind::LParen)) {
+    Symbol Callee = intern(consume().Text);
+    auto CalleeExpr = std::make_unique<NameExpr>(Loc, Callee);
+    return parseCallTail(Loc, {}, std::move(CalleeExpr));
+  }
+
+  // Otherwise: "x = e;", "x, y = f(...);"
+  std::vector<Symbol> Lhs;
+  do {
+    if (!at(TokKind::Ident)) {
+      Diags.error(tok().Loc, "expected variable on left-hand side");
+      syncToStmtBoundary();
+      return nullptr;
+    }
+    Lhs.push_back(intern(consume().Text));
+  } while (accept(TokKind::Comma));
+  if (!expect(TokKind::Assign, "in assignment")) {
+    syncToStmtBoundary();
+    return nullptr;
+  }
+
+  // Call on the right-hand side? Calls are statements, not expressions, so
+  // detect "name (" / "%%name (" here.
+  bool IsCall =
+      (at(TokKind::Ident) && tok(1).is(TokKind::LParen)) ||
+      (at(TokKind::PrimName) && tok().Text.rfind("%%", 0) == 0);
+  if (IsCall) {
+    Token CalleeTok = consume();
+    auto CalleeExpr =
+        std::make_unique<NameExpr>(CalleeTok.Loc, intern(CalleeTok.Text));
+    return parseCallTail(Loc, std::move(Lhs), std::move(CalleeExpr));
+  }
+
+  if (Lhs.size() != 1)
+    Diags.error(Loc, "multiple assignment targets require a call on the "
+                     "right-hand side");
+  ExprPtr Value = parseExpr();
+  expect(TokKind::Semi, "after assignment");
+  return std::make_unique<AssignStmt>(Loc, Lhs.front(), std::move(Value));
+}
+
+StmtPtr Parser::parseCallTail(SourceLoc Loc, std::vector<Symbol> Results,
+                              ExprPtr Callee) {
+  expect(TokKind::LParen, "after callee");
+  std::vector<ExprPtr> Args;
+  if (!at(TokKind::RParen))
+    Args = parseArgs();
+  expect(TokKind::RParen, "after call arguments");
+  Annotations Annots = parseAnnotations();
+  expect(TokKind::Semi, "after call");
+  return std::make_unique<CallStmt>(Loc, std::move(Results), std::move(Callee),
+                                    std::move(Args), std::move(Annots));
+}
+
+Annotations Parser::parseAnnotations() {
+  Annotations A;
+  while (true) {
+    if (accept(TokKind::KwAlso)) {
+      if (accept(TokKind::KwCuts)) {
+        expect(TokKind::KwTo, "after 'also cuts'");
+        for (Symbol S : parseNameList("in also cuts to"))
+          A.CutsTo.push_back(S);
+      } else if (accept(TokKind::KwUnwinds)) {
+        expect(TokKind::KwTo, "after 'also unwinds'");
+        for (Symbol S : parseNameList("in also unwinds to"))
+          A.UnwindsTo.push_back(S);
+      } else if (accept(TokKind::KwReturns)) {
+        expect(TokKind::KwTo, "after 'also returns'");
+        for (Symbol S : parseNameList("in also returns to"))
+          A.ReturnsTo.push_back(S);
+      } else if (accept(TokKind::KwAborts)) {
+        A.Aborts = true;
+      } else {
+        Diags.error(tok().Loc,
+                    "expected 'cuts to', 'unwinds to', 'returns to', or "
+                    "'aborts' after 'also'");
+        break;
+      }
+      continue;
+    }
+    if (accept(TokKind::KwDescriptors)) {
+      do
+        A.Descriptors.push_back(parseExpr());
+      while (accept(TokKind::Comma));
+      continue;
+    }
+    break;
+  }
+  return A;
+}
+
+std::vector<Symbol> Parser::parseNameList(const char *Context) {
+  std::vector<Symbol> Names;
+  do {
+    if (!at(TokKind::Ident)) {
+      Diags.error(tok().Loc, std::string("expected continuation name ") +
+                                 Context);
+      break;
+    }
+    Names.push_back(intern(consume().Text));
+  } while (accept(TokKind::Comma));
+  return Names;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Binding strength of a binary operator token; 0 = not a binary operator.
+unsigned binPrec(TokKind K) {
+  switch (K) {
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Less:
+  case TokKind::LessEq:
+  case TokKind::Greater:
+  case TokKind::GreaterEq:
+    return 7;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Pipe:
+    return 3;
+  default:
+    return 0;
+  }
+}
+
+BinOp binOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::Star: return BinOp::Mul;
+  case TokKind::Slash: return BinOp::Div;
+  case TokKind::Percent: return BinOp::Mod;
+  case TokKind::Plus: return BinOp::Add;
+  case TokKind::Minus: return BinOp::Sub;
+  case TokKind::Shl: return BinOp::Shl;
+  case TokKind::Shr: return BinOp::Shr;
+  case TokKind::Less: return BinOp::LtS;
+  case TokKind::LessEq: return BinOp::LeS;
+  case TokKind::Greater: return BinOp::GtS;
+  case TokKind::GreaterEq: return BinOp::GeS;
+  case TokKind::EqEq: return BinOp::Eq;
+  case TokKind::NotEq: return BinOp::Ne;
+  case TokKind::Amp: return BinOp::And;
+  case TokKind::Caret: return BinOp::Xor;
+  case TokKind::Pipe: return BinOp::Or;
+  default: cmm_unreachable("not a binary operator token");
+  }
+}
+} // namespace
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseUnary();
+  return parseBinaryRhs(1, std::move(Lhs));
+}
+
+ExprPtr Parser::parseBinaryRhs(unsigned MinPrec, ExprPtr Lhs) {
+  while (true) {
+    unsigned Prec = binPrec(tok().Kind);
+    if (Prec < MinPrec)
+      return Lhs;
+    Token Op = consume();
+    ExprPtr Rhs = parseUnary();
+    // Left-associative: bind tighter operators into Rhs first.
+    while (binPrec(tok().Kind) > Prec)
+      Rhs = parseBinaryRhs(binPrec(tok().Kind), std::move(Rhs));
+    Lhs = std::make_unique<BinaryExpr>(Op.Loc, binOpFor(Op.Kind),
+                                       std::move(Lhs), std::move(Rhs));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = tok().Loc;
+  if (accept(TokKind::Minus))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::Neg, parseUnary());
+  if (accept(TokKind::Tilde))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::Com, parseUnary());
+  if (accept(TokKind::Bang))
+    return std::make_unique<UnaryExpr>(Loc, UnOp::Not, parseUnary());
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokKind::IntLit:
+    return std::make_unique<IntLitExpr>(Loc, consume().IntValue);
+  case TokKind::FloatLit:
+    return std::make_unique<FloatLitExpr>(Loc, consume().FloatValue);
+  case TokKind::StrLit:
+    return std::make_unique<StrLitExpr>(Loc, consume().Text);
+  case TokKind::Ident:
+    return std::make_unique<NameExpr>(Loc, intern(consume().Text));
+  case TokKind::PrimName: {
+    Token Prim = consume();
+    if (Prim.Text.rfind("%%", 0) == 0) {
+      Diags.error(Loc, "'" + Prim.Text +
+                           "' is a procedure and must be called as a "
+                           "statement, not used in an expression");
+    }
+    expect(TokKind::LParen, "after primitive name");
+    std::vector<ExprPtr> Args;
+    if (!at(TokKind::RParen))
+      Args = parseArgs();
+    expect(TokKind::RParen, "after primitive arguments");
+    return std::make_unique<PrimExpr>(Loc, intern(Prim.Text),
+                                      std::move(Args));
+  }
+  case TokKind::KwSizeof: {
+    consume();
+    expect(TokKind::LParen, "after sizeof");
+    Symbol Name;
+    if (at(TokKind::Ident))
+      Name = intern(consume().Text);
+    else
+      Diags.error(tok().Loc, "expected name in sizeof");
+    expect(TokKind::RParen, "after sizeof operand");
+    return std::make_unique<SizeofExpr>(Loc, Name);
+  }
+  case TokKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  default:
+    break;
+  }
+
+  if (atType()) {
+    Type Ty = *parseTypeOpt();
+    expect(TokKind::LBracket, "after type in memory load");
+    ExprPtr Addr = parseExpr();
+    expect(TokKind::RBracket, "after load address");
+    return std::make_unique<LoadExpr>(Loc, Ty, std::move(Addr));
+  }
+
+  Diags.error(Loc, std::string("expected expression, found ") +
+                       tokKindName(tok().Kind));
+  consume();
+  return std::make_unique<IntLitExpr>(Loc, 0);
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  do
+    Args.push_back(parseExpr());
+  while (accept(TokKind::Comma));
+  return Args;
+}

@@ -1,0 +1,91 @@
+//===- syntax/Parser.h - C-- parser -----------------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for C--. Produces a Module; callers should run
+/// Sema afterwards to resolve names and check the annotation rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SYNTAX_PARSER_H
+#define CMM_SYNTAX_PARSER_H
+
+#include "support/Diagnostics.h"
+#include "syntax/Ast.h"
+#include "syntax/Lexer.h"
+
+#include <optional>
+
+namespace cmm {
+
+/// Parses one C-- compilation unit.
+class Parser {
+public:
+  /// \p Names optionally supplies a shared interner so several modules of
+  /// one program agree on Symbol identities; by default the module gets a
+  /// fresh interner.
+  Parser(std::string_view Source, DiagnosticEngine &Diags,
+         std::shared_ptr<Interner> Names = nullptr)
+      : Lex(Source, Diags), Diags(Diags) {
+    if (Names)
+      Mod.Names = std::move(Names);
+    Buf[0] = Lex.next();
+    Buf[1] = Lex.next();
+  }
+
+  /// Parses the whole buffer. On syntax errors the returned module is
+  /// partial and Diags has errors.
+  Module parseModule();
+
+private:
+  const Token &tok(unsigned Ahead = 0) const { return Buf[Ahead]; }
+  Token consume();
+  bool at(TokKind K) const { return tok().Kind == K; }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void syncToStmtBoundary();
+  Symbol intern(const std::string &Text) { return Mod.Names->intern(Text); }
+
+  std::optional<Type> parseTypeOpt();
+  bool atType() const;
+
+  // Top level.
+  void parseTopDecl();
+  void parseExportImport(bool IsExport);
+  void parseGlobal();
+  void parseData();
+  void parseProc(Symbol Name, SourceLoc Loc);
+
+  // Statements.
+  std::vector<StmtPtr> parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseIf(SourceLoc Loc);
+  StmtPtr parseReturn(SourceLoc Loc);
+  StmtPtr parseJump(SourceLoc Loc);
+  StmtPtr parseCutTo(SourceLoc Loc);
+  StmtPtr parseContinuation(SourceLoc Loc);
+  StmtPtr parseIdentStmt();
+  StmtPtr parseCallTail(SourceLoc Loc, std::vector<Symbol> Results,
+                        ExprPtr Callee);
+  Annotations parseAnnotations();
+  std::vector<Symbol> parseNameList(const char *Context);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRhs(unsigned MinPrec, ExprPtr Lhs);
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Buf[2];
+  Module Mod;
+};
+
+} // namespace cmm
+
+#endif // CMM_SYNTAX_PARSER_H

@@ -1,0 +1,168 @@
+//===- syntax/PrimOps.cpp -------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/PrimOps.h"
+
+#include "support/Assert.h"
+
+#include <unordered_map>
+
+using namespace cmm;
+
+std::optional<PrimKind> cmm::lookupPrim(std::string_view Name) {
+  static const std::unordered_map<std::string_view, PrimKind> Table = {
+      {"%divu", PrimKind::DivU}, {"%divs", PrimKind::DivS},
+      {"%modu", PrimKind::ModU}, {"%mods", PrimKind::ModS},
+      {"%ltu", PrimKind::LtU},   {"%leu", PrimKind::LeU},
+      {"%gtu", PrimKind::GtU},   {"%geu", PrimKind::GeU},
+      {"%shra", PrimKind::ShrA}, {"%zx64", PrimKind::Zx64},
+      {"%sx64", PrimKind::Sx64}, {"%lo32", PrimKind::Lo32},
+      {"%hi32", PrimKind::Hi32}, {"%fadd", PrimKind::FAdd},
+      {"%fsub", PrimKind::FSub}, {"%fmul", PrimKind::FMul},
+      {"%fdiv", PrimKind::FDiv}, {"%fneg", PrimKind::FNeg},
+      {"%feq", PrimKind::FEq},   {"%fne", PrimKind::FNe},
+      {"%flt", PrimKind::FLt},   {"%fle", PrimKind::FLe},
+      {"%i2f", PrimKind::I2F},   {"%f2i", PrimKind::F2I},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const char *cmm::primName(PrimKind K) {
+  switch (K) {
+  case PrimKind::DivU: return "%divu";
+  case PrimKind::DivS: return "%divs";
+  case PrimKind::ModU: return "%modu";
+  case PrimKind::ModS: return "%mods";
+  case PrimKind::LtU: return "%ltu";
+  case PrimKind::LeU: return "%leu";
+  case PrimKind::GtU: return "%gtu";
+  case PrimKind::GeU: return "%geu";
+  case PrimKind::ShrA: return "%shra";
+  case PrimKind::Zx64: return "%zx64";
+  case PrimKind::Sx64: return "%sx64";
+  case PrimKind::Lo32: return "%lo32";
+  case PrimKind::Hi32: return "%hi32";
+  case PrimKind::FAdd: return "%fadd";
+  case PrimKind::FSub: return "%fsub";
+  case PrimKind::FMul: return "%fmul";
+  case PrimKind::FDiv: return "%fdiv";
+  case PrimKind::FNeg: return "%fneg";
+  case PrimKind::FEq: return "%feq";
+  case PrimKind::FNe: return "%fne";
+  case PrimKind::FLt: return "%flt";
+  case PrimKind::FLe: return "%fle";
+  case PrimKind::I2F: return "%i2f";
+  case PrimKind::F2I: return "%f2i";
+  }
+  cmm_unreachable("unknown primitive kind");
+}
+
+unsigned cmm::primArity(PrimKind K) {
+  switch (K) {
+  case PrimKind::Zx64:
+  case PrimKind::Sx64:
+  case PrimKind::Lo32:
+  case PrimKind::Hi32:
+  case PrimKind::FNeg:
+  case PrimKind::I2F:
+  case PrimKind::F2I:
+    return 1;
+  default:
+    return 2;
+  }
+}
+
+Type cmm::primResultType(PrimKind K, Type Arg0) {
+  switch (K) {
+  case PrimKind::DivU:
+  case PrimKind::DivS:
+  case PrimKind::ModU:
+  case PrimKind::ModS:
+  case PrimKind::ShrA:
+    return Arg0;
+  case PrimKind::LtU:
+  case PrimKind::LeU:
+  case PrimKind::GtU:
+  case PrimKind::GeU:
+  case PrimKind::FEq:
+  case PrimKind::FNe:
+  case PrimKind::FLt:
+  case PrimKind::FLe:
+    return Type::bits(32);
+  case PrimKind::Zx64:
+  case PrimKind::Sx64:
+    return Type::bits(64);
+  case PrimKind::Lo32:
+  case PrimKind::Hi32:
+    return Type::bits(32);
+  case PrimKind::FAdd:
+  case PrimKind::FSub:
+  case PrimKind::FMul:
+  case PrimKind::FDiv:
+  case PrimKind::FNeg:
+    return Arg0;
+  case PrimKind::I2F:
+    return Type::flt(64);
+  case PrimKind::F2I:
+    return Type::bits(32);
+  }
+  cmm_unreachable("unknown primitive kind");
+}
+
+bool cmm::primOperandsOk(PrimKind K, const Type *ArgTys, unsigned NumArgs) {
+  if (NumArgs != primArity(K))
+    return false;
+  switch (K) {
+  case PrimKind::DivU:
+  case PrimKind::DivS:
+  case PrimKind::ModU:
+  case PrimKind::ModS:
+  case PrimKind::ShrA:
+  case PrimKind::LtU:
+  case PrimKind::LeU:
+  case PrimKind::GtU:
+  case PrimKind::GeU:
+    return ArgTys[0].isBits() && ArgTys[1] == ArgTys[0];
+  case PrimKind::Zx64:
+  case PrimKind::Sx64:
+    return ArgTys[0] == Type::bits(32);
+  case PrimKind::Lo32:
+  case PrimKind::Hi32:
+    return ArgTys[0] == Type::bits(64);
+  case PrimKind::FAdd:
+  case PrimKind::FSub:
+  case PrimKind::FMul:
+  case PrimKind::FDiv:
+  case PrimKind::FEq:
+  case PrimKind::FNe:
+  case PrimKind::FLt:
+  case PrimKind::FLe:
+    return ArgTys[0].isFloat() && ArgTys[1] == ArgTys[0];
+  case PrimKind::FNeg:
+    return ArgTys[0].isFloat();
+  case PrimKind::I2F:
+    return ArgTys[0] == Type::bits(32);
+  case PrimKind::F2I:
+    return ArgTys[0] == Type::flt(64);
+  }
+  cmm_unreachable("unknown primitive kind");
+}
+
+bool cmm::primCanFail(PrimKind K) {
+  switch (K) {
+  case PrimKind::DivU:
+  case PrimKind::DivS:
+  case PrimKind::ModU:
+  case PrimKind::ModS:
+  case PrimKind::F2I:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,510 @@
+//===- syntax/Sema.cpp ----------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Sema.h"
+
+#include "support/Assert.h"
+#include "support/Casting.h"
+#include "syntax/PrimOps.h"
+
+using namespace cmm;
+
+namespace {
+
+class SemaImpl {
+public:
+  SemaImpl(Module &Mod, DiagnosticEngine &Diags) : Mod(Mod), Diags(Diags) {
+    YieldSym = Mod.Names->intern("yield");
+  }
+
+  SemaInfo run();
+
+private:
+  std::string spell(Symbol S) { return Mod.Names->spelling(S); }
+
+  void collectModuleNames();
+  void collectProcNames(const ProcDecl &P, ProcInfo &PI);
+  void collectStmtNames(const Stmt *S, ProcInfo &PI, bool TopLevel);
+
+  void checkProc(const ProcDecl &P, ProcInfo &PI);
+  void checkStmts(const std::vector<StmtPtr> &Stmts, ProcInfo &PI,
+                  bool TopLevel);
+  void checkStmt(Stmt *S, ProcInfo &PI, bool TopLevel);
+  void checkAnnotations(Annotations &A, ProcInfo &PI, SourceLoc Loc);
+  bool stmtTerminates(const Stmt *S) const;
+
+  /// Resolves \p E; \p Expected is the type the context wants, used to give
+  /// integer literals a width. Null means "no expectation".
+  void resolveExpr(Expr *E, const Type *Expected, ProcInfo &PI);
+  void resolveCallee(Expr *E, ProcInfo &PI);
+
+  Module &Mod;
+  DiagnosticEngine &Diags;
+  SemaInfo Info;
+  Symbol YieldSym;
+};
+
+SemaInfo SemaImpl::run() {
+  collectModuleNames();
+  for (ProcDecl &P : Mod.Procs) {
+    ProcInfo &PI = Info.Procs[&P];
+    collectProcNames(P, PI);
+  }
+  for (ProcDecl &P : Mod.Procs)
+    checkProc(P, Info.Procs[&P]);
+  return std::move(Info);
+}
+
+void SemaImpl::collectModuleNames() {
+  auto DefineTop = [&](Symbol Name, SourceLoc Loc) {
+    bool Fresh = !Info.ProcNames.count(Name) && !Info.DataLabels.count(Name) &&
+                 !Info.Globals.count(Name);
+    if (!Fresh)
+      Diags.error(Loc, "redefinition of '" + spell(Name) + "'");
+    return Fresh;
+  };
+  for (const GlobalDecl &G : Mod.Globals)
+    if (DefineTop(G.Name, G.Loc))
+      Info.Globals.emplace(G.Name, G.Ty);
+  for (const DataDecl &D : Mod.Data)
+    if (DefineTop(D.Name, D.Loc))
+      Info.DataLabels.insert(D.Name);
+  for (const ProcDecl &P : Mod.Procs) {
+    if (P.Name == YieldSym)
+      Diags.error(P.Loc, "'yield' is reserved for the run-time system and "
+                         "cannot be defined");
+    if (DefineTop(P.Name, P.Loc))
+      Info.ProcNames.insert(P.Name);
+  }
+  for (Symbol S : Mod.Imports) {
+    if (Info.ProcNames.count(S) || Info.Globals.count(S) ||
+        Info.DataLabels.count(S))
+      Diags.error(SourceLoc(), "import '" + spell(S) +
+                                   "' collides with a definition");
+    else
+      Info.ImportNames.insert(S);
+  }
+}
+
+void SemaImpl::collectProcNames(const ProcDecl &P, ProcInfo &PI) {
+  for (const Param &Prm : P.Params) {
+    if (!PI.Vars.emplace(Prm.Name, Prm.Ty).second)
+      Diags.error(P.Loc, "duplicate parameter '" + spell(Prm.Name) + "'");
+  }
+  for (const StmtPtr &S : P.Body)
+    collectStmtNames(S.get(), PI, /*TopLevel=*/true);
+}
+
+void SemaImpl::collectStmtNames(const Stmt *S, ProcInfo &PI, bool TopLevel) {
+  if (const auto *VD = dyn_cast<VarDeclStmt>(S)) {
+    for (Symbol Name : VD->Names) {
+      if (PI.Continuations.count(Name)) {
+        Diags.error(VD->loc(), "variable '" + spell(Name) +
+                                   "' collides with a continuation");
+        continue;
+      }
+      if (!PI.Vars.emplace(Name, VD->DeclTy).second)
+        Diags.error(VD->loc(), "redeclaration of variable '" + spell(Name) +
+                                   "'");
+    }
+    return;
+  }
+  if (const auto *L = dyn_cast<LabelStmt>(S)) {
+    if (!PI.Labels.insert(L->Name).second)
+      Diags.error(L->loc(), "duplicate label '" + spell(L->Name) + "'");
+    return;
+  }
+  if (const auto *C = dyn_cast<ContinuationStmt>(S)) {
+    if (!TopLevel)
+      Diags.error(C->loc(), "continuations may be declared only at the top "
+                            "level of a procedure body");
+    if (PI.Vars.count(C->Name))
+      Diags.error(C->loc(), "continuation '" + spell(C->Name) +
+                                "' collides with a variable");
+    if (!PI.Continuations.emplace(C->Name, C).second)
+      Diags.error(C->loc(),
+                  "duplicate continuation '" + spell(C->Name) + "'");
+    return;
+  }
+  if (const auto *If = dyn_cast<IfStmt>(S)) {
+    for (const StmtPtr &T : If->Then)
+      collectStmtNames(T.get(), PI, /*TopLevel=*/false);
+    for (const StmtPtr &E : If->Else)
+      collectStmtNames(E.get(), PI, /*TopLevel=*/false);
+  }
+}
+
+bool SemaImpl::stmtTerminates(const Stmt *S) const {
+  switch (S->kind()) {
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Jump:
+  case Stmt::Kind::CutTo:
+  case Stmt::Kind::Goto:
+    return true;
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    if (If->Then.empty() || If->Else.empty())
+      return false;
+    return stmtTerminates(If->Then.back().get()) &&
+           stmtTerminates(If->Else.back().get());
+  }
+  default:
+    return false;
+  }
+}
+
+void SemaImpl::checkProc(const ProcDecl &P, ProcInfo &PI) {
+  // Control must not fall through into a continuation's CopyIn: the argument
+  // area would hold stale values. Require the preceding statement to leave.
+  const Stmt *Prev = nullptr;
+  for (const StmtPtr &S : P.Body) {
+    if (isa<ContinuationStmt>(S.get())) {
+      if (!Prev || !stmtTerminates(Prev))
+        Diags.error(S->loc(), "control may fall through into continuation "
+                              "'" +
+                                  spell(cast<ContinuationStmt>(S.get())->Name) +
+                                  "'");
+    }
+    if (!isa<VarDeclStmt>(S.get()))
+      Prev = S.get();
+  }
+  checkStmts(P.Body, PI, /*TopLevel=*/true);
+}
+
+void SemaImpl::checkStmts(const std::vector<StmtPtr> &Stmts, ProcInfo &PI,
+                          bool TopLevel) {
+  for (const StmtPtr &S : Stmts)
+    checkStmt(S.get(), PI, TopLevel);
+}
+
+void SemaImpl::checkAnnotations(Annotations &A, ProcInfo &PI, SourceLoc Loc) {
+  auto CheckConts = [&](const std::vector<Symbol> &Names, const char *What) {
+    for (Symbol Name : Names)
+      if (!PI.Continuations.count(Name))
+        Diags.error(Loc, std::string("'") + spell(Name) + "' in '" + What +
+                             "' is not a continuation of this procedure");
+  };
+  CheckConts(A.CutsTo, "also cuts to");
+  CheckConts(A.UnwindsTo, "also unwinds to");
+  CheckConts(A.ReturnsTo, "also returns to");
+  for (ExprPtr &D : A.Descriptors) {
+    resolveExpr(D.get(), nullptr, PI);
+    bool Constant = isa<IntLitExpr>(D.get()) || isa<StrLitExpr>(D.get());
+    if (const auto *N = dyn_cast<NameExpr>(D.get()))
+      Constant = N->Ref == RefKind::DataLabel || N->Ref == RefKind::Proc ||
+                 N->Ref == RefKind::Import;
+    if (!Constant)
+      Diags.error(D->loc(), "call-site descriptors must be link-time "
+                            "constants");
+  }
+}
+
+void SemaImpl::checkStmt(Stmt *S, ProcInfo &PI, bool TopLevel) {
+  switch (S->kind()) {
+  case Stmt::Kind::VarDecl:
+    return; // collected earlier
+
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    Type TargetTy;
+    auto It = PI.Vars.find(A->Target);
+    if (It != PI.Vars.end()) {
+      TargetTy = It->second;
+    } else {
+      auto GIt = Info.Globals.find(A->Target);
+      if (GIt != Info.Globals.end()) {
+        TargetTy = GIt->second;
+      } else {
+        Diags.error(A->loc(), "assignment to undeclared variable '" +
+                                  spell(A->Target) + "'");
+        TargetTy = Type::bits(32);
+      }
+    }
+    resolveExpr(A->Value.get(), &TargetTy, PI);
+    if (A->Value->Ty != TargetTy)
+      Diags.error(A->loc(), "assigning " + A->Value->Ty.str() + " value to " +
+                                TargetTy.str() + " variable '" +
+                                spell(A->Target) + "'");
+    return;
+  }
+
+  case Stmt::Kind::MemAssign: {
+    auto *M = cast<MemAssignStmt>(S);
+    Type PtrTy = TargetInfo::nativePointer();
+    resolveExpr(M->Addr.get(), &PtrTy, PI);
+    resolveExpr(M->Value.get(), &M->AccessTy, PI);
+    if (M->Addr->Ty != PtrTy)
+      Diags.error(M->loc(), "store address must have the native data-pointer "
+                            "type " +
+                                PtrTy.str());
+    if (M->Value->Ty != M->AccessTy)
+      Diags.error(M->loc(), "storing " + M->Value->Ty.str() + " value as " +
+                                M->AccessTy.str());
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(S);
+    resolveExpr(If->Cond.get(), nullptr, PI);
+    if (!If->Cond->Ty.isBits())
+      Diags.error(If->Cond->loc(), "condition must be a bits value");
+    checkStmts(If->Then, PI, /*TopLevel=*/false);
+    checkStmts(If->Else, PI, /*TopLevel=*/false);
+    return;
+  }
+
+  case Stmt::Kind::Goto: {
+    auto *G = cast<GotoStmt>(S);
+    if (G->Target && !PI.Labels.count(G->Target))
+      Diags.error(G->loc(), "goto target '" + spell(G->Target) +
+                                "' is not a label in this procedure");
+    return;
+  }
+
+  case Stmt::Kind::Label:
+    return;
+
+  case Stmt::Kind::Call: {
+    auto *C = cast<CallStmt>(S);
+    resolveCallee(C->Callee.get(), PI);
+    for (ExprPtr &Arg : C->Args)
+      resolveExpr(Arg.get(), nullptr, PI);
+    for (Symbol R : C->Results)
+      if (!PI.Vars.count(R) && !Info.Globals.count(R))
+        Diags.error(C->loc(), "call result '" + spell(R) +
+                                  "' is not a declared variable");
+    checkAnnotations(C->Annots, PI, C->loc());
+    return;
+  }
+
+  case Stmt::Kind::Jump: {
+    auto *J = cast<JumpStmt>(S);
+    resolveCallee(J->Callee.get(), PI);
+    for (ExprPtr &Arg : J->Args)
+      resolveExpr(Arg.get(), nullptr, PI);
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->ContIndex > R->AltCount)
+      Diags.error(R->loc(), "return continuation index exceeds count in "
+                            "return <i/n>");
+    for (ExprPtr &V : R->Values)
+      resolveExpr(V.get(), nullptr, PI);
+    return;
+  }
+
+  case Stmt::Kind::CutTo: {
+    auto *C = cast<CutToStmt>(S);
+    Type PtrTy = TargetInfo::nativePointer();
+    resolveExpr(C->Cont.get(), &PtrTy, PI);
+    for (ExprPtr &Arg : C->Args)
+      resolveExpr(Arg.get(), nullptr, PI);
+    for (Symbol K : C->AlsoCutsTo)
+      if (!PI.Continuations.count(K))
+        Diags.error(C->loc(), "'" + spell(K) + "' in 'also cuts to' is not "
+                                                "a continuation of this "
+                                                "procedure");
+    return;
+  }
+
+  case Stmt::Kind::Continuation: {
+    auto *C = cast<ContinuationStmt>(S);
+    (void)TopLevel; // nesting reported during collection
+    for (Symbol Prm : C->Params)
+      if (!PI.Vars.count(Prm))
+        Diags.error(C->loc(),
+                    "continuation parameter '" + spell(Prm) +
+                        "' must be a variable of the enclosing procedure");
+    return;
+  }
+  }
+  cmm_unreachable("unknown statement kind");
+}
+
+void SemaImpl::resolveCallee(Expr *E, ProcInfo &PI) {
+  auto *N = dyn_cast<NameExpr>(E);
+  if (!N) {
+    Diags.error(E->loc(), "call target must be a name");
+    return;
+  }
+  if (N->Name == YieldSym) {
+    N->Ref = RefKind::Proc;
+    N->Ty = TargetInfo::nativeCode();
+    return;
+  }
+  const std::string &Spelling = spell(N->Name);
+  if (Spelling.rfind("%%", 0) == 0 && !Info.ProcNames.count(N->Name)) {
+    // Slow-but-solid primitives are supplied by the standard library; treat
+    // unresolved uses as imports bound at link time.
+    Info.ImportNames.insert(N->Name);
+    N->Ref = RefKind::Import;
+    N->Ty = TargetInfo::nativeCode();
+    return;
+  }
+  resolveExpr(E, nullptr, PI);
+}
+
+void SemaImpl::resolveExpr(Expr *E, const Type *Expected, ProcInfo &PI) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    E->Ty = (Expected && Expected->isBits()) ? *Expected : Type::bits(32);
+    return;
+  case Expr::Kind::FloatLit:
+    E->Ty = (Expected && Expected->isFloat()) ? *Expected : Type::flt(64);
+    return;
+  case Expr::Kind::StrLit:
+    E->Ty = TargetInfo::nativePointer();
+    return;
+
+  case Expr::Kind::Name: {
+    auto *N = cast<NameExpr>(E);
+    auto VIt = PI.Vars.find(N->Name);
+    if (VIt != PI.Vars.end()) {
+      N->Ref = RefKind::Local;
+      N->Ty = VIt->second;
+      return;
+    }
+    if (PI.Continuations.count(N->Name)) {
+      N->Ref = RefKind::Continuation;
+      N->Ty = TargetInfo::nativePointer();
+      return;
+    }
+    auto GIt = Info.Globals.find(N->Name);
+    if (GIt != Info.Globals.end()) {
+      N->Ref = RefKind::Global;
+      N->Ty = GIt->second;
+      return;
+    }
+    if (Info.DataLabels.count(N->Name)) {
+      N->Ref = RefKind::DataLabel;
+      N->Ty = TargetInfo::nativePointer();
+      return;
+    }
+    if (Info.ProcNames.count(N->Name) || N->Name == YieldSym) {
+      N->Ref = RefKind::Proc;
+      N->Ty = TargetInfo::nativeCode();
+      return;
+    }
+    if (Info.ImportNames.count(N->Name)) {
+      N->Ref = RefKind::Import;
+      N->Ty = TargetInfo::nativePointer();
+      return;
+    }
+    Diags.error(N->loc(), "use of undeclared name '" + spell(N->Name) + "'");
+    N->Ty = Type::bits(32);
+    return;
+  }
+
+  case Expr::Kind::Load: {
+    auto *L = cast<LoadExpr>(E);
+    Type PtrTy = TargetInfo::nativePointer();
+    resolveExpr(L->Addr.get(), &PtrTy, PI);
+    if (L->Addr->Ty != PtrTy)
+      Diags.error(L->loc(), "load address must have the native data-pointer "
+                            "type " +
+                                PtrTy.str());
+    L->Ty = L->AccessTy;
+    return;
+  }
+
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    resolveExpr(U->Operand.get(), Expected, PI);
+    switch (U->Op) {
+    case UnOp::Neg:
+      U->Ty = U->Operand->Ty;
+      return;
+    case UnOp::Com:
+      if (!U->Operand->Ty.isBits())
+        Diags.error(U->loc(), "bitwise complement requires a bits operand");
+      U->Ty = U->Operand->Ty;
+      return;
+    case UnOp::Not:
+      if (!U->Operand->Ty.isBits())
+        Diags.error(U->loc(), "logical not requires a bits operand");
+      U->Ty = Type::bits(32);
+      return;
+    }
+    cmm_unreachable("unknown unary operator");
+  }
+
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    bool IsCompare = B->Op >= BinOp::Eq;
+    const Type *OperandExpect = IsCompare ? nullptr : Expected;
+    resolveExpr(B->Lhs.get(), OperandExpect, PI);
+    // Let a literal on the left adopt the width of a resolved right side.
+    resolveExpr(B->Rhs.get(), &B->Lhs->Ty, PI);
+    if (isa<IntLitExpr>(B->Lhs.get()) && !isa<IntLitExpr>(B->Rhs.get()))
+      B->Lhs->Ty = B->Rhs->Ty;
+    if (B->Lhs->Ty != B->Rhs->Ty)
+      Diags.error(B->loc(), "operand types differ: " + B->Lhs->Ty.str() +
+                                " vs " + B->Rhs->Ty.str());
+    bool BitsOnly = B->Op == BinOp::Mod || B->Op == BinOp::And ||
+                    B->Op == BinOp::Or || B->Op == BinOp::Xor ||
+                    B->Op == BinOp::Shl || B->Op == BinOp::Shr;
+    if (BitsOnly && !B->Lhs->Ty.isBits())
+      Diags.error(B->loc(), "operator requires bits operands");
+    B->Ty = IsCompare ? Type::bits(32) : B->Lhs->Ty;
+    return;
+  }
+
+  case Expr::Kind::Prim: {
+    auto *P = cast<PrimExpr>(E);
+    const std::string &Name = spell(P->Name);
+    std::optional<PrimKind> K = lookupPrim(Name);
+    if (!K) {
+      Diags.error(P->loc(), "unknown primitive '" + Name + "'");
+      P->Ty = Type::bits(32);
+      return;
+    }
+    std::vector<Type> ArgTys;
+    for (size_t I = 0; I < P->Args.size(); ++I) {
+      const Type *ArgExpect = I == 0 ? nullptr : &ArgTys[0];
+      resolveExpr(P->Args[I].get(), ArgExpect, PI);
+      ArgTys.push_back(P->Args[I]->Ty);
+    }
+    if (!primOperandsOk(*K, ArgTys.data(),
+                        static_cast<unsigned>(ArgTys.size())))
+      Diags.error(P->loc(), "bad operands for primitive '" + Name + "'");
+    P->Ty = ArgTys.empty() ? Type::bits(32) : primResultType(*K, ArgTys[0]);
+    return;
+  }
+
+  case Expr::Kind::Sizeof: {
+    auto *Sz = cast<SizeofExpr>(E);
+    Sz->Ty = Type::bits(32);
+    auto VIt = PI.Vars.find(Sz->Name);
+    if (VIt != PI.Vars.end()) {
+      Sz->SizeInBytes = VIt->second.sizeInBytes();
+      return;
+    }
+    if (PI.Continuations.count(Sz->Name)) {
+      // A continuation value is one native data pointer (Section 5.4).
+      Sz->SizeInBytes = TargetInfo::pointerBytes();
+      return;
+    }
+    auto GIt = Info.Globals.find(Sz->Name);
+    if (GIt != Info.Globals.end()) {
+      Sz->SizeInBytes = GIt->second.sizeInBytes();
+      return;
+    }
+    Diags.error(Sz->loc(), "sizeof of unknown name '" + spell(Sz->Name) +
+                               "'");
+    Sz->SizeInBytes = TargetInfo::pointerBytes();
+    return;
+  }
+  }
+  cmm_unreachable("unknown expression kind");
+}
+
+} // namespace
+
+SemaInfo cmm::analyze(Module &Mod, DiagnosticEngine &Diags) {
+  return SemaImpl(Mod, Diags).run();
+}

@@ -1,0 +1,51 @@
+//===- syntax/Sema.h - C-- semantic checks ----------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and the static checks of the paper: annotation names must
+/// be continuations declared in the same procedure as the call site
+/// (Section 4.4), continuation "parameters" must be variables of the
+/// enclosing procedure (Section 4.1), goto targets must be labels in the same
+/// procedure (Section 3.2). Also performs the modest width checking the C--
+/// type system calls for — it directs machine resources, it protects nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SYNTAX_SEMA_H
+#define CMM_SYNTAX_SEMA_H
+
+#include "support/Diagnostics.h"
+#include "syntax/Ast.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cmm {
+
+/// Per-procedure name tables built by Sema and reused by the translator.
+struct ProcInfo {
+  std::unordered_map<Symbol, Type> Vars; ///< params and locals
+  std::unordered_map<Symbol, const ContinuationStmt *> Continuations;
+  std::unordered_set<Symbol> Labels;
+};
+
+/// Module-wide resolution results.
+struct SemaInfo {
+  std::unordered_map<const ProcDecl *, ProcInfo> Procs;
+  std::unordered_map<Symbol, Type> Globals;
+  std::unordered_set<Symbol> DataLabels;
+  std::unordered_set<Symbol> ProcNames;
+  std::unordered_set<Symbol> ImportNames;
+};
+
+/// Resolves and checks \p Mod, mutating NameExpr::Ref, Expr::Ty and
+/// SizeofExpr::SizeInBytes in place. Returns the tables; on error Diags has
+/// errors and the module must not be translated.
+SemaInfo analyze(Module &Mod, DiagnosticEngine &Diags);
+
+} // namespace cmm
+
+#endif // CMM_SYNTAX_SEMA_H

@@ -1,0 +1,107 @@
+//===- syntax/Token.h - C-- tokens ------------------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the concrete C-- language of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SYNTAX_TOKEN_H
+#define CMM_SYNTAX_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cmm {
+
+/// Lexical token kinds.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,    ///< plain identifier
+  PrimName, ///< %name — fast-but-dangerous primitive (Section 4.3)
+  IntLit,
+  FloatLit,
+  StrLit,
+
+  // Keywords.
+  KwExport,
+  KwImport,
+  KwGlobal,
+  KwRegister, ///< synonym for global (Figure 10 declares "register bits32")
+  KwData,
+  KwBits8,
+  KwBits16,
+  KwBits32,
+  KwBits64,
+  KwFloat32,
+  KwFloat64,
+  KwIf,
+  KwElse,
+  KwGoto,
+  KwReturn,
+  KwJump,
+  KwCut,
+  KwTo,
+  KwContinuation,
+  KwAlso,
+  KwCuts,
+  KwUnwinds,
+  KwReturns,
+  KwAborts,
+  KwDescriptors,
+  KwSizeof,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Assign,   ///< =
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,      ///< <<
+  Shr,      ///< >>
+  Tilde,
+  Bang,
+};
+
+/// One lexed token. Identifier/literal payloads are stored as text; the
+/// parser interns identifiers and parses numbers.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< spelling for Ident/PrimName/StrLit
+  uint64_t IntValue = 0;
+  double FloatValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace cmm
+
+#endif // CMM_SYNTAX_TOKEN_H

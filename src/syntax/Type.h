@@ -1,0 +1,68 @@
+//===- syntax/Type.h - The C-- type system ----------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "extremely modest" C-- type system of Section 3.1: words and
+/// floating-point values of various sizes. Types direct the compiler's use of
+/// machine resources; they protect nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SYNTAX_TYPE_H
+#define CMM_SYNTAX_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace cmm {
+
+/// One C-- value type: bitsN or floatN.
+struct Type {
+  enum class Kind : uint8_t { Bits, Float };
+
+  Kind K = Kind::Bits;
+  uint8_t Width = 32; ///< In bits: 8/16/32/64 for Bits, 32/64 for Float.
+
+  constexpr Type() = default;
+  constexpr Type(Kind K, uint8_t Width) : K(K), Width(Width) {}
+
+  static constexpr Type bits(uint8_t Width) {
+    return Type(Kind::Bits, Width);
+  }
+  static constexpr Type flt(uint8_t Width) {
+    return Type(Kind::Float, Width);
+  }
+
+  bool isBits() const { return K == Kind::Bits; }
+  bool isFloat() const { return K == Kind::Float; }
+  unsigned sizeInBytes() const { return Width / 8; }
+
+  /// Renders as "bits32" / "float64".
+  std::string str() const {
+    return (isBits() ? "bits" : "float") + std::to_string(unsigned(Width));
+  }
+
+  friend bool operator==(Type A, Type B) {
+    return A.K == B.K && A.Width == B.Width;
+  }
+  friend bool operator!=(Type A, Type B) { return !(A == B); }
+};
+
+/// Target parameters of the reference implementation. Each C-- implementation
+/// designates a native data-pointer type and a native code-pointer type
+/// (Section 3.1); ours is a 32-bit machine, matching the paper's examples.
+struct TargetInfo {
+  /// The native data-pointer type: the type of continuation values, data
+  /// labels, and string literals.
+  static constexpr Type nativePointer() { return Type::bits(32); }
+  /// The native code-pointer type: the type of procedure names.
+  static constexpr Type nativeCode() { return Type::bits(32); }
+  static constexpr unsigned pointerBytes() { return 4; }
+};
+
+} // namespace cmm
+
+#endif // CMM_SYNTAX_TYPE_H

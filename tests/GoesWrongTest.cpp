@@ -1,0 +1,417 @@
+//===- tests/GoesWrongTest.cpp - Section 5.2's stuck states ---------------===//
+//
+// Part of cmmex (see DESIGN.md). "The machine makes transitions until it
+// reaches a state in which no transitions are possible. If, in that state,
+// the control is Exit<0/0> and the stack is empty, we say the program has
+// terminated normally; otherwise it has gone wrong." Every way a program
+// can go wrong is pinned down here, because the formal semantics exists
+// precisely so these cases are unambiguous.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "rts/RuntimeInterface.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+/// Runs main(args) and expects Wrong with \p ReasonFragment in the reason.
+void expectWrong(const char *Src, std::vector<Value> Args,
+                 const char *ReasonFragment) {
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  M.start("main", std::move(Args));
+  EXPECT_EQ(M.run(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find(ReasonFragment), std::string::npos)
+      << "actual reason: " << M.wrongReason();
+}
+
+//===----------------------------------------------------------------------===//
+// Dead continuations: the uid check
+//===----------------------------------------------------------------------===//
+
+TEST(GoesWrong, CutToDeadContinuation) {
+  // make_k returns its continuation value; by then the activation is dead.
+  // "Once an activation dies, its continuations die too. Invoking a dead
+  // continuation is an unchecked run-time error" (Section 4.1) — which the
+  // abstract machine's uid check turns into a definite wrong state.
+  const char *Src = R"(
+export main;
+make_k() {
+  bits32 t;
+  return (k);
+continuation k(t):
+  return (99);
+}
+use_k(bits32 kv) {
+  cut to kv(1);
+}
+main() {
+  bits32 kv, r;
+  kv = make_k();
+  r = use_k(kv) also aborts;
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "dead continuation");
+}
+
+TEST(GoesWrong, DeadContinuationOfRecursiveSibling) {
+  // A continuation captured in one recursive activation is dead in a
+  // *different* activation of the same procedure: same node, wrong uid.
+  const char *Src = R"(
+export main;
+global bits32 saved;
+
+capture(bits32 depth) {
+  bits32 t, r;
+  if depth == 0 {
+    saved = k;       /* capture in this activation... */
+    return (0);
+  }
+  r = capture(depth - 1) also aborts;
+  /* ...then try to cut to it from a sibling activation whose own k is a
+     different continuation value. */
+  cut to saved(7) also cuts to k;
+continuation k(t):
+  return (t);
+}
+
+main() {
+  bits32 r;
+  r = capture(1) also aborts;
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "dead continuation");
+}
+
+//===----------------------------------------------------------------------===//
+// Annotation violations
+//===----------------------------------------------------------------------===//
+
+TEST(GoesWrong, CutPastCallSiteWithoutAlsoAborts) {
+  const char *Src = R"(
+export main;
+raiser() {
+  bits32 kv;
+  kv = bits32[4096];
+  cut to kv(1, 2);
+}
+middle() {
+  raiser();   /* no also aborts: the cut may not pass this frame */
+  return;
+}
+main() {
+  bits32 t, a;
+  bits32[4096] = k;
+  middle() also cuts to k also aborts;
+  return (0);
+continuation k(t, a):
+  return (t + a);
+}
+)";
+  expectWrong(Src, {}, "also aborts");
+}
+
+TEST(GoesWrong, CutToContinuationNotInCallSiteAnnotation) {
+  const char *Src = R"(
+export main;
+raiser() {
+  bits32 kv;
+  kv = bits32[4096];
+  cut to kv(1, 2);
+}
+main() {
+  bits32 t, a;
+  bits32[4096] = k;
+  raiser() also aborts;   /* k is NOT listed in also cuts to */
+  return (0);
+continuation k(t, a):
+  return (t + a);
+}
+)";
+  expectWrong(Src, {}, "also cuts to");
+}
+
+TEST(GoesWrong, SameActivationCutWithoutAnnotation) {
+  // "If the cut to could transfer control to a continuation in the same
+  // procedure, it must have an also cuts to annotation naming that
+  // continuation" (Section 4.4).
+  const char *Src = R"(
+export main;
+main() {
+  bits32 t;
+  cut to k(5);   /* missing: also cuts to k */
+continuation k(t):
+  return (t);
+}
+)";
+  expectWrong(Src, {}, "also cuts to");
+}
+
+TEST(SameActivationCut, WorksWithAnnotation) {
+  const char *Src = R"(
+export main;
+main() {
+  bits32 t;
+  cut to k(5) also cuts to k;
+continuation k(t):
+  return (t + 1);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  EXPECT_EQ(runToHalt(M, "main")[0], b32(6));
+  EXPECT_EQ(M.stats().Cuts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Return arity: Exit j n vs the call site's bundle
+//===----------------------------------------------------------------------===//
+
+TEST(GoesWrong, AlternateReturnAtPlainCallSite) {
+  const char *Src = R"(
+export main;
+f() {
+  return <0/1> (7);
+}
+main() {
+  bits32 r;
+  r = f();   /* no also returns to: the callee's <i/1> does not match */
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "alternate return");
+}
+
+TEST(GoesWrong, PlainReturnAtAnnotatedCallSite) {
+  const char *Src = R"(
+export main;
+f() {
+  return (7);   /* <0/0>, but the call site promises 1 alternate */
+}
+main() {
+  bits32 r, t;
+  r = f() also returns to k;
+  return (r);
+continuation k(t):
+  return (t);
+}
+)";
+  expectWrong(Src, {}, "alternate return");
+}
+
+TEST(GoesWrong, AbnormalReturnWithEmptyStack) {
+  const char *Src = R"(
+export main;
+main() {
+  return <0/1> (1);
+}
+)";
+  expectWrong(Src, {}, "empty stack");
+}
+
+//===----------------------------------------------------------------------===//
+// Values that are not what control transfer needs
+//===----------------------------------------------------------------------===//
+
+TEST(GoesWrong, CallTargetIsNotCode) {
+  const char *Src = R"(
+export main;
+main() {
+  bits32 f, r;
+  f = 12345;
+  r = f();
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "not code");
+}
+
+TEST(GoesWrong, JumpTargetIsNotCode) {
+  const char *Src = R"(
+export main;
+main() {
+  bits32 f;
+  f = 12345;
+  jump f();
+}
+)";
+  expectWrong(Src, {}, "not code");
+}
+
+TEST(GoesWrong, CutToNonContinuationValue) {
+  const char *Src = R"(
+export main;
+main() {
+  bits32 kv;
+  kv = 12345;
+  cut to kv(1);
+}
+)";
+  expectWrong(Src, {}, "not a continuation");
+}
+
+TEST(GoesWrong, UnboundVariable) {
+  const char *Src = R"(
+export main;
+main() {
+  bits32 x, y;
+  y = x + 1;   /* x never assigned */
+  return (y);
+}
+)";
+  expectWrong(Src, {}, "unbound");
+}
+
+TEST(GoesWrong, TooFewArguments) {
+  // "C-- does not check the number or types of arguments passed to a
+  // procedure" — statically. Dynamically, a CopyIn finding too few values
+  // in A is a stuck state.
+  const char *Src = R"(
+export main;
+f(bits32 a, bits32 b) {
+  return (a + b);
+}
+main() {
+  bits32 r;
+  r = f(1);
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "too few");
+}
+
+TEST(ExtraArgumentsAreIgnored, UncheckedButDefined) {
+  const char *Src = R"(
+export main;
+f(bits32 a) {
+  return (a);
+}
+main() {
+  bits32 r;
+  r = f(1, 2, 3);
+  return (r);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  EXPECT_EQ(runToHalt(M, "main")[0], b32(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Unspecified primitives (Section 4.3)
+//===----------------------------------------------------------------------===//
+
+struct DivCase {
+  const char *Expr;
+  uint64_t A, B;
+};
+
+class DivWrongTest : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(DivWrongTest, UnspecifiedFailure) {
+  const DivCase &C = GetParam();
+  std::string Src = std::string("export main;\nmain(bits32 a, bits32 b) {\n"
+                                "  return (") +
+                    C.Expr + ");\n}\n";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  M.start("main", {b32(C.A), b32(C.B)});
+  EXPECT_EQ(M.run(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find("unspecified"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Section43, DivWrongTest,
+    ::testing::Values(DivCase{"a / b", 1, 0}, DivCase{"a % b", 1, 0},
+                      DivCase{"%divu(a, b)", 1, 0},
+                      DivCase{"%divs(a, b)", 1, 0},
+                      DivCase{"%modu(a, b)", 1, 0},
+                      DivCase{"%mods(a, b)", 1, 0},
+                      // INT_MIN / -1 overflows.
+                      DivCase{"a / b", 0x80000000, 0xFFFFFFFF},
+                      DivCase{"%divs(a, b)", 0x80000000, 0xFFFFFFFF}),
+    [](const ::testing::TestParamInfo<DivCase> &I) {
+      return "case" + std::to_string(I.index);
+    });
+
+//===----------------------------------------------------------------------===//
+// Run-time system misbehaviour is also checked
+//===----------------------------------------------------------------------===//
+
+TEST(GoesWrong, RuntimeUnwindPastFrameWithoutAborts) {
+  const char *Src = R"(
+export main;
+f() {
+  yield(1) also aborts;
+  return;
+}
+g() {
+  f();          /* no also aborts */
+  return;
+}
+main() {
+  g() also aborts;
+  return (0);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  M.start("main");
+  ASSERT_EQ(M.run(), MachineStatus::Suspended);
+  // Frame 0 (f's caller is g... the yield call site inside f has aborts);
+  // unwinding one frame is fine, the second (g's call to f... g's call
+  // site lacks aborts) must fail.
+  EXPECT_TRUE(M.rtUnwindTop(1));
+  EXPECT_FALSE(M.rtUnwindTop(1));
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find("also aborts"), std::string::npos);
+}
+
+TEST(GoesWrong, RuntimeResumeWithWrongParameterCount) {
+  const char *Src = R"(
+export main;
+f() {
+  yield(1) also aborts;
+  return;
+}
+main() {
+  bits32 a, b;
+  f() also unwinds to k also aborts;
+  return (0);
+continuation k(a, b):
+  return (a + b);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  M.start("main");
+  ASSERT_EQ(M.run(), MachineStatus::Suspended);
+  ASSERT_TRUE(M.rtUnwindTop(1)); // pop f's frame
+  // k expects two parameters; pass one.
+  EXPECT_FALSE(M.rtResume(ResumeChoice::unwind(0), {b32(1)}));
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+}
+
+TEST(GoesWrong, RuntimeResumeWhileRunning) {
+  const char *Src = "export main;\nmain() { return (1); }\n";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  M.start("main");
+  EXPECT_FALSE(M.rtResume(ResumeChoice::ret(0), {}));
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+}
+
+} // namespace

@@ -1,0 +1,299 @@
+//===- tests/MiniM3ErrorsTest.cpp - Front-end diagnostics -----------------===//
+//
+// Part of cmmex (see DESIGN.md). The Mini-Modula-3 compiler's own static
+// checks, plus a few richer programs exercising recursion, mutual
+// recursion and handler re-raising across all three policies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/M3Driver.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+std::string m3Error(const std::string &Src,
+                    ExnPolicy P = ExnPolicy::StackCutting) {
+  DiagnosticEngine Diags;
+  std::optional<M3Compiled> R = compileMiniM3(Src, P, Diags);
+  EXPECT_FALSE(R.has_value()) << "expected a compile error";
+  return Diags.str();
+}
+
+TEST(M3Errors, UndeclaredVariable) {
+  std::string E = m3Error(R"(
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RETURN y;
+END Main;
+)");
+  EXPECT_NE(E.find("undeclared variable"), std::string::npos) << E;
+}
+
+TEST(M3Errors, UndeclaredProcedureAndArity) {
+  std::string E1 = m3Error(R"(
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RETURN Nope(x);
+END Main;
+)");
+  EXPECT_NE(E1.find("undeclared procedure"), std::string::npos) << E1;
+
+  std::string E2 = m3Error(R"(
+PROCEDURE F(a: INTEGER, b: INTEGER): INTEGER =
+BEGIN
+  RETURN a + b;
+END F;
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RETURN F(x);
+END Main;
+)");
+  EXPECT_NE(E2.find("wrong number of arguments"), std::string::npos) << E2;
+}
+
+TEST(M3Errors, UndeclaredExceptionInRaiseAndHandler) {
+  std::string E1 = m3Error(R"(
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RAISE Nope;
+END Main;
+)");
+  EXPECT_NE(E1.find("undeclared exception"), std::string::npos) << E1;
+
+  std::string E2 = m3Error(R"(
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  TRY
+    RETURN 1;
+  EXCEPT
+  | Nope => RETURN 2;
+  END;
+END Main;
+)");
+  EXPECT_NE(E2.find("undeclared exception"), std::string::npos) << E2;
+}
+
+TEST(M3Errors, ExceptionArgumentArity) {
+  std::string E1 = m3Error(R"(
+EXCEPTION E;
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RAISE E(1);
+END Main;
+)");
+  EXPECT_NE(E1.find("takes no argument"), std::string::npos) << E1;
+
+  std::string E2 = m3Error(R"(
+EXCEPTION E(INTEGER);
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RAISE E;
+END Main;
+)");
+  EXPECT_NE(E2.find("requires an argument"), std::string::npos) << E2;
+
+  std::string E3 = m3Error(R"(
+EXCEPTION E;
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  TRY
+    RAISE E;
+  EXCEPT
+  | E(w) => RETURN w;
+  END;
+END Main;
+)");
+  EXPECT_NE(E3.find("carries no value"), std::string::npos) << E3;
+}
+
+TEST(M3Errors, MissingMainAndReservedNames) {
+  std::string E1 = m3Error(R"(
+PROCEDURE NotMain(x: INTEGER): INTEGER =
+BEGIN
+  RETURN x;
+END NotMain;
+)");
+  EXPECT_NE(E1.find("Main"), std::string::npos) << E1;
+
+  std::string E2 = m3Error(R"(
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR m3temp: INTEGER;
+BEGIN
+  RETURN x;
+END Main;
+)");
+  EXPECT_NE(E2.find("reserved"), std::string::npos) << E2;
+}
+
+TEST(M3Errors, ReturnValueInProperProcedure) {
+  std::string E = m3Error(R"(
+PROCEDURE P() =
+BEGIN
+  RETURN 5;
+END P;
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  P();
+  RETURN x;
+END Main;
+)");
+  EXPECT_NE(E.find("proper procedure"), std::string::npos) << E;
+}
+
+//===----------------------------------------------------------------------===//
+// Richer cross-policy programs
+//===----------------------------------------------------------------------===//
+
+const ExnPolicy AllPolicies[] = {ExnPolicy::StackCutting,
+                                 ExnPolicy::RuntimeUnwinding,
+                                 ExnPolicy::NativeUnwinding};
+
+uint64_t runM3Value(const char *Src, ExnPolicy P, uint64_t X) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<M3Program> Prog = buildM3(Src, P, Diags);
+  if (!Prog) {
+    ADD_FAILURE() << Diags.str();
+    return ~0ull;
+  }
+  M3RunResult R = runM3(*Prog, X);
+  if (!R.Ok) {
+    ADD_FAILURE() << exnPolicyName(P) << ": " << R.WrongReason;
+    return ~0ull;
+  }
+  return R.Value;
+}
+
+class M3ProgramsTest : public ::testing::TestWithParam<ExnPolicy> {};
+
+TEST_P(M3ProgramsTest, MutualRecursionWithExceptions) {
+  const char *Src = R"(
+EXCEPTION Odd(INTEGER);
+
+PROCEDURE IsEven(n: INTEGER): INTEGER =
+BEGIN
+  IF n = 0 THEN RETURN 1; END;
+  RETURN IsOdd(n - 1);
+END IsEven;
+
+PROCEDURE IsOdd(n: INTEGER): INTEGER =
+BEGIN
+  IF n = 0 THEN RAISE Odd(n); END;
+  RETURN IsEven(n - 1);
+END IsOdd;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  TRY
+    RETURN 100 + IsEven(x);
+  EXCEPT
+  | Odd(w) => RETURN 200 + w;
+  END;
+END Main;
+)";
+  // Even x: IsEven eventually returns 1 -> 101. Odd x: the chain bottoms
+  // out in IsOdd(0) and raises -> 200.
+  EXPECT_EQ(runM3Value(Src, GetParam(), 6), 101u);
+  EXPECT_EQ(runM3Value(Src, GetParam(), 7), 200u);
+}
+
+TEST_P(M3ProgramsTest, HandlerReRaisesToOuterScope) {
+  const char *Src = R"(
+EXCEPTION A(INTEGER);
+EXCEPTION B(INTEGER);
+
+PROCEDURE Boom(v: INTEGER) =
+BEGIN
+  RAISE A(v);
+END Boom;
+
+PROCEDURE Middle(v: INTEGER): INTEGER =
+BEGIN
+  TRY
+    Boom(v);
+  EXCEPT
+  | A(w) => RAISE B(w + 1);   (* translate A into B *)
+  END;
+  RETURN 0;
+END Middle;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  TRY
+    RETURN Middle(x);
+  EXCEPT
+  | B(w) => RETURN 500 + w;
+  | A(w) => RETURN 900 + w;
+  END;
+END Main;
+)";
+  EXPECT_EQ(runM3Value(Src, GetParam(), 3), 504u);
+}
+
+TEST_P(M3ProgramsTest, FibonacciSanity) {
+  const char *Src = R"(
+PROCEDURE Fib(n: INTEGER): INTEGER =
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN Fib(n - 1) + Fib(n - 2);
+END Fib;
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RETURN Fib(x);
+END Main;
+)";
+  EXPECT_EQ(runM3Value(Src, GetParam(), 10), 55u);
+  EXPECT_EQ(runM3Value(Src, GetParam(), 15), 610u);
+}
+
+TEST_P(M3ProgramsTest, GlobalsSurviveExceptions) {
+  const char *Src = R"(
+EXCEPTION E;
+VAR count: INTEGER;
+
+PROCEDURE Work(n: INTEGER): INTEGER =
+BEGIN
+  count := count + 1;
+  IF n MOD 3 = 0 THEN RAISE E; END;
+  RETURN n;
+END Work;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR i: INTEGER;
+VAR acc: INTEGER;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < x DO
+    TRY
+      acc := acc + Work(i);
+    EXCEPT
+    | E => acc := acc + 1000;
+    END;
+    i := i + 1;
+  END;
+  RETURN acc * 100 + count;
+END Main;
+)";
+  // i in 0..5: raises at 0, 3; otherwise adds i. acc = 1000+1+2+1000+4 =
+  // 2007... plus i=5 -> 2012? i ranges 0..4 for x=5: 1000,1,2,1000,4 ->
+  // 2007; count = 5.
+  EXPECT_EQ(runM3Value(Src, GetParam(), 5), 2007u * 100 + 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, M3ProgramsTest,
+                         ::testing::ValuesIn(AllPolicies),
+                         [](const ::testing::TestParamInfo<ExnPolicy> &I) {
+                           switch (I.param) {
+                           case ExnPolicy::StackCutting: return "cutting";
+                           case ExnPolicy::RuntimeUnwinding:
+                             return "unwinding";
+                           case ExnPolicy::NativeUnwinding: return "native";
+                           }
+                           return "unknown";
+                         });
+
+} // namespace

@@ -1,0 +1,387 @@
+//===- tests/MiniM3Test.cpp - One source language, three policies ---------===//
+//
+// Part of cmmex (see DESIGN.md). The paper's thesis made executable: the
+// same Mini-Modula-3 source compiles under three exception-handling
+// policies (Figures 8/9, Figure 10, and Section 4.2's compiled unwinding),
+// with identical observable behaviour and the cost profiles Figure 2
+// predicts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "frontend/M3Driver.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+const ExnPolicy AllPolicies[] = {ExnPolicy::StackCutting,
+                                 ExnPolicy::RuntimeUnwinding,
+                                 ExnPolicy::NativeUnwinding};
+
+std::string policyName(const ::testing::TestParamInfo<ExnPolicy> &I) {
+  switch (I.param) {
+  case ExnPolicy::StackCutting: return "cutting";
+  case ExnPolicy::RuntimeUnwinding: return "unwinding";
+  case ExnPolicy::NativeUnwinding: return "native";
+  }
+  return "unknown";
+}
+
+M3RunResult build_and_run(const std::string &Src, ExnPolicy P, uint64_t X,
+                          bool Optimize = false) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<M3Program> Prog = buildM3(Src, P, Diags, Optimize);
+  if (!Prog) {
+    ADD_FAILURE() << "build failed: " << Diags.str();
+    return {};
+  }
+  M3RunResult R = runM3(*Prog, X);
+  if (!R.Ok)
+    ADD_FAILURE() << "run failed (" << exnPolicyName(P)
+                  << "): " << R.WrongReason << "\n"
+                  << Prog->CmmSource;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The Figure 7 game program
+//===----------------------------------------------------------------------===//
+
+/// A faithful Mini-Modula-3 rendition of Figure 7's TryAMove, with the
+/// board logic stubbed by arithmetic: moves 0..6 succeed, 7 raises BadMove
+/// with the offending square, 9 raises NoMoreTiles.
+const char *tryAMoveSource() {
+  return R"(
+EXCEPTION BadMove(INTEGER);
+EXCEPTION NoMoreTiles;
+VAR movesTried: INTEGER;
+VAR lastPenalty: INTEGER;
+
+PROCEDURE GetMove(player: INTEGER): INTEGER =
+BEGIN
+  RETURN player * 2 + 1;
+END GetMove;
+
+PROCEDURE MakeMove(move: INTEGER) =
+BEGIN
+  IF move = 7 THEN RAISE BadMove(move); END;
+  IF move = 9 THEN RAISE NoMoreTiles; END;
+END MakeMove;
+
+PROCEDURE BadMovePenalty(why: INTEGER): INTEGER =
+BEGIN
+  RETURN 100 + why;
+END BadMovePenalty;
+
+PROCEDURE TryAMove(player: INTEGER): INTEGER =
+VAR result: INTEGER;
+BEGIN
+  result := 0;
+  TRY
+    MakeMove(GetMove(player));
+    result := 1;
+  EXCEPT
+  | BadMove(why) => lastPenalty := BadMovePenalty(why); result := 2;
+  | NoMoreTiles => result := 3;
+  END;
+  movesTried := movesTried + 1;
+  RETURN result;
+END TryAMove;
+
+PROCEDURE Main(player: INTEGER): INTEGER =
+VAR r: INTEGER;
+BEGIN
+  r := TryAMove(player);
+  RETURN r * 1000 + movesTried * 100 + lastPenalty;
+END Main;
+)";
+}
+
+class TryAMoveTest : public ::testing::TestWithParam<ExnPolicy> {};
+
+TEST_P(TryAMoveTest, NormalMove) {
+  M3RunResult R = build_and_run(tryAMoveSource(), GetParam(), 1);
+  EXPECT_FALSE(R.UnhandledExn);
+  EXPECT_EQ(R.Value, 1100u); // result 1, movesTried 1, no penalty
+}
+
+TEST_P(TryAMoveTest, BadMoveHandlerReceivesArgument) {
+  M3RunResult R = build_and_run(tryAMoveSource(), GetParam(), 3); // move 7
+  EXPECT_FALSE(R.UnhandledExn);
+  EXPECT_EQ(R.Value, 2100u + 107u); // result 2, movesTried 1, penalty 107
+}
+
+TEST_P(TryAMoveTest, NoMoreTilesHandler) {
+  M3RunResult R = build_and_run(tryAMoveSource(), GetParam(), 4); // move 9
+  EXPECT_FALSE(R.UnhandledExn);
+  EXPECT_EQ(R.Value, 3100u);
+}
+
+TEST_P(TryAMoveTest, SurvivesTheOptimizer) {
+  for (uint64_t X : {1, 3, 4}) {
+    M3RunResult Plain = build_and_run(tryAMoveSource(), GetParam(), X);
+    M3RunResult Opt =
+        build_and_run(tryAMoveSource(), GetParam(), X, /*Optimize=*/true);
+    EXPECT_EQ(Plain.Value, Opt.Value) << "input " << X;
+    EXPECT_EQ(Plain.UnhandledExn, Opt.UnhandledExn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, TryAMoveTest,
+                         ::testing::ValuesIn(AllPolicies), policyName);
+
+//===----------------------------------------------------------------------===//
+// Cross-policy agreement on richer programs
+//===----------------------------------------------------------------------===//
+
+const char *nestedSource() {
+  return R"(
+EXCEPTION Inner(INTEGER);
+EXCEPTION Outer(INTEGER);
+
+PROCEDURE Boom(sel: INTEGER, v: INTEGER): INTEGER =
+BEGIN
+  IF sel = 1 THEN RAISE Inner(v); END;
+  IF sel = 2 THEN RAISE Outer(v); END;
+  RETURN v;
+END Boom;
+
+PROCEDURE Middle(sel: INTEGER, v: INTEGER): INTEGER =
+BEGIN
+  RETURN Boom(sel, v) + 1;
+END Middle;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR r: INTEGER;
+VAR acc: INTEGER;
+BEGIN
+  acc := 0;
+  TRY
+    TRY
+      r := Middle(x, 10);
+      acc := r;
+    EXCEPT
+    | Inner(w) => acc := 500 + w;
+    END;
+    acc := acc + 1;
+  EXCEPT
+  | Outer(w) => acc := 900 + w;
+  END;
+  RETURN acc;
+END Main;
+)";
+}
+
+class NestedTryTest : public ::testing::TestWithParam<ExnPolicy> {};
+
+TEST_P(NestedTryTest, NoRaise) {
+  // Boom returns 10, Middle 11, inner TRY completes, acc = 12.
+  EXPECT_EQ(build_and_run(nestedSource(), GetParam(), 0).Value, 12u);
+}
+
+TEST_P(NestedTryTest, InnerHandlerCatchesAndOuterCodeRuns) {
+  // Inner(10): caught by the inner handler (510), then acc+1 = 511.
+  EXPECT_EQ(build_and_run(nestedSource(), GetParam(), 1).Value, 511u);
+}
+
+TEST_P(NestedTryTest, OuterExceptionSkipsInnerHandler) {
+  // Outer(10): the inner TRY has no handler for it; the outer one catches
+  // it, and the "acc := acc + 1" between the TRYs must NOT run.
+  EXPECT_EQ(build_and_run(nestedSource(), GetParam(), 2).Value, 910u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NestedTryTest,
+                         ::testing::ValuesIn(AllPolicies), policyName);
+
+//===----------------------------------------------------------------------===//
+// DivZero, loops, recursion, and unhandled exceptions
+//===----------------------------------------------------------------------===//
+
+const char *divSource() {
+  return R"(
+PROCEDURE Div(a: INTEGER, b: INTEGER): INTEGER =
+BEGIN
+  RETURN a DIV b;
+END Div;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR r: INTEGER;
+BEGIN
+  TRY
+    r := Div(100, x);
+  EXCEPT
+  | DivZero => r := 77777;
+  END;
+  RETURN r;
+END Main;
+)";
+}
+
+class DivZeroTest : public ::testing::TestWithParam<ExnPolicy> {};
+
+TEST_P(DivZeroTest, DividesNormally) {
+  EXPECT_EQ(build_and_run(divSource(), GetParam(), 4).Value, 25u);
+}
+
+TEST_P(DivZeroTest, CatchesDivZero) {
+  EXPECT_EQ(build_and_run(divSource(), GetParam(), 0).Value, 77777u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DivZeroTest,
+                         ::testing::ValuesIn(AllPolicies), policyName);
+
+const char *unhandledSource() {
+  return R"(
+EXCEPTION Boom(INTEGER);
+PROCEDURE Deep(n: INTEGER): INTEGER =
+BEGIN
+  IF n = 0 THEN RAISE Boom(42); END;
+  RETURN Deep(n - 1);
+END Deep;
+PROCEDURE Main(x: INTEGER): INTEGER =
+BEGIN
+  RETURN Deep(x);
+END Main;
+)";
+}
+
+class UnhandledTest : public ::testing::TestWithParam<ExnPolicy> {};
+
+TEST_P(UnhandledTest, ReportsTheTag) {
+  M3RunResult R = build_and_run(unhandledSource(), GetParam(), 6);
+  EXPECT_TRUE(R.UnhandledExn);
+  EXPECT_EQ(R.Value, 1001u); // Boom's tag
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, UnhandledTest,
+                         ::testing::ValuesIn(AllPolicies), policyName);
+
+const char *loopSource() {
+  return R"(
+EXCEPTION Stop(INTEGER);
+
+PROCEDURE Step(i: INTEGER, acc: INTEGER): INTEGER =
+BEGIN
+  IF acc > 100 THEN RAISE Stop(acc); END;
+  RETURN acc + i;
+END Step;
+
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR i: INTEGER;
+VAR acc: INTEGER;
+BEGIN
+  i := 0;
+  acc := 0;
+  TRY
+    WHILE i < x DO
+      acc := Step(i, acc);
+      i := i + 1;
+    END;
+  EXCEPT
+  | Stop(v) => RETURN 10000 + v;
+  END;
+  RETURN acc;
+END Main;
+)";
+}
+
+class LoopTest : public ::testing::TestWithParam<ExnPolicy> {};
+
+TEST_P(LoopTest, LoopCompletesWithoutRaise) {
+  // 0+1+..+9 = 45, never exceeds 100.
+  EXPECT_EQ(build_and_run(loopSource(), GetParam(), 10).Value, 45u);
+}
+
+TEST_P(LoopTest, RaiseEscapesTheLoop) {
+  // acc grows past 100 around i=14; the handler returns 10000+acc.
+  M3RunResult R = build_and_run(loopSource(), GetParam(), 50);
+  EXPECT_GT(R.Value, 10100u);
+  EXPECT_LT(R.Value, 10121u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LoopTest,
+                         ::testing::ValuesIn(AllPolicies), policyName);
+
+//===----------------------------------------------------------------------===//
+// Cost-profile shape checks (Figure 2)
+//===----------------------------------------------------------------------===//
+
+const char *costSource() {
+  return R"(
+EXCEPTION E;
+PROCEDURE Deep(n: INTEGER, raise: INTEGER): INTEGER =
+BEGIN
+  IF n = 0 THEN
+    IF raise = 1 THEN RAISE E; END;
+    RETURN 1;
+  END;
+  RETURN Deep(n - 1, raise);
+END Deep;
+PROCEDURE Main(x: INTEGER): INTEGER =
+VAR r: INTEGER;
+BEGIN
+  TRY
+    r := Deep(x, x MOD 2);
+  EXCEPT
+  | E => r := 2;
+  END;
+  RETURN r;
+END Main;
+)";
+}
+
+TEST(PolicyCostShape, UnwindingPaysPerDepthOnRaise) {
+  DiagnosticEngine Diags;
+  auto P = buildM3(costSource(), ExnPolicy::RuntimeUnwinding, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  M3RunResult Shallow = runM3(*P, 5);  // odd: raises at depth 5
+  M3RunResult Deep = runM3(*P, 41);    // odd: raises at depth 41
+  ASSERT_TRUE(Shallow.Ok && Deep.Ok);
+  EXPECT_EQ(Shallow.Value, 2u);
+  EXPECT_EQ(Deep.Value, 2u);
+  // The dispatcher's walk grows linearly with the raise depth.
+  EXPECT_GE(Deep.ActivationsWalked, Shallow.ActivationsWalked + 30);
+}
+
+TEST(PolicyCostShape, UnwindingIsFreeWhenNothingRaises) {
+  DiagnosticEngine Diags;
+  auto P = buildM3(costSource(), ExnPolicy::RuntimeUnwinding, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  M3RunResult R = runM3(*P, 40); // even: no raise
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.DispatcherRuns, 0u);
+  EXPECT_EQ(R.MachineStats.Yields, 0u);
+}
+
+TEST(PolicyCostShape, CuttingRaiseCostIsDepthIndependent) {
+  DiagnosticEngine Diags;
+  auto P = buildM3(costSource(), ExnPolicy::StackCutting, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  M3RunResult Shallow = runM3(*P, 5);
+  M3RunResult Deep = runM3(*P, 41);
+  ASSERT_TRUE(Shallow.Ok && Deep.Ok);
+  // Constant-time dispatch: exactly one cut either way and no yields; the
+  // only depth-dependent cost is the frames the cut discards, which a real
+  // implementation skips in one stack-pointer assignment.
+  EXPECT_EQ(Shallow.MachineStats.Cuts, 1u);
+  EXPECT_EQ(Deep.MachineStats.Cuts, 1u);
+  EXPECT_EQ(Deep.MachineStats.Yields, 0u);
+}
+
+TEST(PolicyCostShape, CuttingPaysOnScopeEntryNativeDoesNot) {
+  DiagnosticEngine Diags;
+  auto Cut = buildM3(costSource(), ExnPolicy::StackCutting, Diags);
+  auto Native = buildM3(costSource(), ExnPolicy::NativeUnwinding, Diags);
+  ASSERT_TRUE(Cut && Native) << Diags.str();
+  // Run without any raise: cutting still pushes/pops the handler stack
+  // (memory traffic); native unwinding's normal path stores nothing.
+  M3RunResult C = runM3(*Cut, 40);
+  M3RunResult N = runM3(*Native, 40);
+  ASSERT_TRUE(C.Ok && N.Ok);
+  EXPECT_GT(C.MachineStats.Stores, N.MachineStats.Stores);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+//===- tests/PropertiesTest.cpp - Cross-cutting invariants ----------------===//
+//
+// Part of cmmex (see DESIGN.md). Properties that hold across the whole
+// pipeline, checked over the randomized program corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "costmodel/RandomProgram.h"
+#include "ir/IrPrinter.h"
+#include "opt/PassManager.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+class PropertiesTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertiesTest, ExecutionIsDeterministic) {
+  std::string Src = generateRandomProgram(GetParam());
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  for (uint64_t In : {1, 7}) {
+    Machine A(*Prog), B(*Prog);
+    A.start("main", {b32(In)});
+    B.start("main", {b32(In)});
+    A.run(1'000'000);
+    B.run(1'000'000);
+    EXPECT_EQ(A.status(), B.status());
+    EXPECT_EQ(A.stats().Steps, B.stats().Steps);
+    EXPECT_EQ(A.stats().Cuts, B.stats().Cuts);
+    if (A.status() == MachineStatus::Halted)
+      EXPECT_TRUE(A.argArea() == B.argArea());
+  }
+}
+
+TEST_P(PropertiesTest, OptimizerReachesAFixpoint) {
+  std::string Src = generateRandomProgram(GetParam());
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  OptOptions Opts;
+  Opts.Rounds = 8;
+  optimizeProgram(*Prog, Opts);
+  std::string After = printProgram(*Prog);
+  // Optimizing an already optimized program changes nothing (the
+  // callee-saves pass is excluded: it is placement, not cleanup, and is
+  // idempotent only up to node identity).
+  OptReport Second = optimizeProgram(*Prog, Opts);
+  EXPECT_EQ(Second.ConstProp.ExprsRewritten, 0u);
+  EXPECT_EQ(Second.CopyProp.UsesRewritten, 0u);
+  EXPECT_EQ(Second.DeadCode.AssignsRemoved, 0u);
+  EXPECT_EQ(printProgram(*Prog), After);
+}
+
+TEST_P(PropertiesTest, OptimizationNeverIncreasesSteps) {
+  std::string Src = generateRandomProgram(GetParam());
+  auto Ref = compile({Src});
+  auto Opt = compile({Src});
+  ASSERT_TRUE(Ref && Opt);
+  optimizeProgram(*Opt);
+  for (uint64_t In : {1, 7, 12}) {
+    Machine A(*Ref), B(*Opt);
+    A.start("main", {b32(In)});
+    B.start("main", {b32(In)});
+    MachineStatus SA = A.run(1'000'000);
+    MachineStatus SB = B.run(1'000'000);
+    ASSERT_EQ(SA, SB);
+    if (SA == MachineStatus::Halted)
+      EXPECT_LE(B.stats().Steps, A.stats().Steps) << "input " << In;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertiesTest,
+                         ::testing::Range<uint64_t>(200, 215));
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/RuntimeInterfaceTest.cpp - Table 1 operations ----------------===//
+//
+// Part of cmmex (see DESIGN.md). The C-- run-time interface, operation by
+// operation, against the formal Yield rules it must respect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "rts/RuntimeInterface.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+/// A thread suspended three frames deep: main -> mid -> leaf -> yield.
+const char *towers() {
+  return R"(
+export main;
+data d_main { bits32 1; bits32 7; bits32 0; bits32 1; }
+data d_mid  { bits32 1; bits32 8; bits32 0; bits32 0; }
+
+leaf(bits32 x) {
+  yield(7, x) also aborts;
+  return (0);
+}
+mid(bits32 x) {
+  bits32 r;
+  r = leaf(x) also unwinds to km also aborts descriptors d_mid;
+  return (r);
+continuation km:
+  return (222);
+}
+main(bits32 x) {
+  bits32 r, a;
+  r = mid(x) also unwinds to k0, k1 also aborts descriptors d_main;
+  return (r);
+continuation k0(a):
+  return (1000 + a);
+continuation k1:
+  return (2000);
+}
+)";
+}
+
+class RtiTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Prog = compile({towers()});
+    ASSERT_TRUE(Prog);
+    M = std::make_unique<Machine>(*Prog);
+    M->start("main", {b32(5)});
+    ASSERT_EQ(M->run(), MachineStatus::Suspended);
+  }
+
+  std::unique_ptr<IrProgram> Prog;
+  std::unique_ptr<Machine> M;
+};
+
+TEST_F(RtiTest, FirstAndNextWalkTheStack) {
+  CmmRuntime Rt(*M);
+  Activation A;
+  ASSERT_TRUE(Rt.firstActivation(A));
+  // The "currently executing" activation is leaf, suspended at the yield.
+  EXPECT_EQ(Prog->Names->spelling(Rt.activationProc(A)->Name), "leaf");
+  ASSERT_TRUE(Rt.nextActivation(A));
+  EXPECT_EQ(Prog->Names->spelling(Rt.activationProc(A)->Name), "mid");
+  ASSERT_TRUE(Rt.nextActivation(A));
+  EXPECT_EQ(Prog->Names->spelling(Rt.activationProc(A)->Name), "main");
+  EXPECT_FALSE(Rt.nextActivation(A)); // bottom of the stack
+  EXPECT_FALSE(A.Valid);
+}
+
+TEST_F(RtiTest, GetDescriptorReadsCallSiteData) {
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  // leaf's yield call site carries no descriptors.
+  EXPECT_FALSE(Rt.getDescriptor(A, 0).has_value());
+  Rt.nextActivation(A); // mid, suspended at the leaf(...) call
+  std::optional<Value> D = Rt.getDescriptor(A, 0);
+  ASSERT_TRUE(D.has_value());
+  // The descriptor is the address of d_mid; its first word is the count.
+  EXPECT_EQ(M->memory().loadBits(D->Raw, 4), 1u);
+  EXPECT_EQ(M->memory().loadBits(D->Raw + 4, 4), 8u); // tag
+  // Out-of-range descriptor index.
+  EXPECT_FALSE(Rt.getDescriptor(A, 1).has_value());
+}
+
+TEST_F(RtiTest, YieldArgumentsAreVisibleInTheArgumentArea) {
+  ASSERT_EQ(M->argArea().size(), 2u);
+  EXPECT_EQ(M->argArea()[0], b32(7)); // tag
+  EXPECT_EQ(M->argArea()[1], b32(5)); // payload (main's x)
+}
+
+TEST_F(RtiTest, SetUnwindContChoosesByIndex) {
+  // Unwind to main's k1 (index 1, no parameters).
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  Rt.nextActivation(A);
+  Rt.nextActivation(A); // main
+  ASSERT_TRUE(Rt.setActivation(A));
+  ASSERT_TRUE(Rt.setUnwindCont(1));
+  EXPECT_EQ(Rt.findContParam(0), nullptr); // k1 takes nothing
+  ASSERT_TRUE(Rt.resume());
+  ASSERT_EQ(M->run(), MachineStatus::Halted);
+  EXPECT_EQ(M->argArea()[0], b32(2000));
+}
+
+TEST_F(RtiTest, FindContParamFeedsTheContinuation) {
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  Rt.nextActivation(A);
+  Rt.nextActivation(A); // main
+  ASSERT_TRUE(Rt.setActivation(A));
+  ASSERT_TRUE(Rt.setUnwindCont(0)); // k0(a)
+  Value *P0 = Rt.findContParam(0);
+  ASSERT_NE(P0, nullptr);
+  *P0 = b32(77);
+  EXPECT_EQ(Rt.findContParam(1), nullptr);
+  ASSERT_TRUE(Rt.resume());
+  ASSERT_EQ(M->run(), MachineStatus::Halted);
+  EXPECT_EQ(M->argArea()[0], b32(1077));
+}
+
+TEST_F(RtiTest, SetActivationAloneResumesAtNormalReturn) {
+  // "SetActivation(t, a): arranges for thread t to resume execution with
+  // activation a" — without SetUnwindCont, that is its normal return
+  // point.
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  Rt.nextActivation(A); // mid
+  ASSERT_TRUE(Rt.setActivation(A));
+  Value *P0 = Rt.findContParam(0); // mid's normal return binds r
+  ASSERT_NE(P0, nullptr);
+  *P0 = b32(55);
+  ASSERT_TRUE(Rt.resume());
+  ASSERT_EQ(M->run(), MachineStatus::Halted);
+  EXPECT_EQ(M->argArea()[0], b32(55));
+}
+
+TEST_F(RtiTest, MidLevelHandlerShadowsOuterOne) {
+  // Resume at mid's km instead of walking to main.
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  Rt.nextActivation(A); // mid
+  ASSERT_TRUE(Rt.setActivation(A));
+  ASSERT_TRUE(Rt.setUnwindCont(0));
+  ASSERT_TRUE(Rt.resume());
+  ASSERT_EQ(M->run(), MachineStatus::Halted);
+  EXPECT_EQ(M->argArea()[0], b32(222));
+}
+
+TEST_F(RtiTest, ResumeRestoresCalleeSavedEnvironment) {
+  // After resumption at k0, main's full environment (here: x) must be back:
+  // the unwinding transition restores callee-saves registers.
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  while (Rt.nextActivation(A)) {
+  }
+  A.Valid = true;
+  A.IndexFromTop = Rt.stackDepth() - 1;
+  ASSERT_TRUE(Rt.setActivation(A));
+  ASSERT_TRUE(Rt.setUnwindCont(0));
+  *Rt.findContParam(0) = b32(1);
+  ASSERT_TRUE(Rt.resume());
+  EXPECT_EQ(M->run(), MachineStatus::Halted);
+  EXPECT_EQ(M->argArea()[0], b32(1001));
+}
+
+TEST_F(RtiTest, RuntimeMayChangeMemoryWhileSuspended) {
+  // The Yield rules allow M' to differ: a garbage collector, for example.
+  M->memory().storeBits(0x9000, 4, 12345);
+  EXPECT_EQ(M->memory().loadBits(0x9000, 4), 12345u);
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  Rt.nextActivation(A);
+  ASSERT_TRUE(Rt.setActivation(A));
+  ASSERT_TRUE(Rt.setUnwindCont(0));
+  ASSERT_TRUE(Rt.resume());
+  EXPECT_EQ(M->run(), MachineStatus::Halted);
+  EXPECT_EQ(M->memory().loadBits(0x9000, 4), 12345u);
+}
+
+TEST_F(RtiTest, InterfaceRefusesInvalidStaging) {
+  CmmRuntime Rt(*M);
+  Activation A;
+  Rt.firstActivation(A);
+  Rt.nextActivation(A); // mid: one unwind continuation
+  ASSERT_TRUE(Rt.setActivation(A));
+  EXPECT_FALSE(Rt.setUnwindCont(5)); // out of range
+  Activation Bogus;
+  EXPECT_FALSE(Rt.setActivation(Bogus)); // invalid handle
+  EXPECT_FALSE(Rt.setCutToCont(b32(12345))); // not a continuation
+}
+
+} // namespace

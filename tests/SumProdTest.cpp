@@ -1,0 +1,128 @@
+//===- tests/SumProdTest.cpp - Figure 1 programs --------------------------===//
+//
+// Part of cmmex (see DESIGN.md). Experiment F1: the three sum-and-product
+// procedures of Figure 1 — ordinary recursion with multiple results, tail
+// recursion through `jump`, and an explicit loop with `goto`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+const char *sumProdSource() {
+  return R"(
+/* Ordinary recursion */
+export sp1;
+sp1(bits32 n) {
+  bits32 s, p;
+  if n == 1 {
+    return (1, 1);
+  } else {
+    s, p = sp1(n - 1);
+    return (s + n, p * n);
+  }
+}
+
+/* Tail recursion */
+export sp2;
+sp2(bits32 n) {
+  jump sp2_help(n, 1, 1);
+}
+sp2_help(bits32 n, bits32 s, bits32 p) {
+  if n == 1 {
+    return (s, p);
+  } else {
+    jump sp2_help(n - 1, s + n, p * n);
+  }
+}
+
+/* Loops */
+export sp3;
+sp3(bits32 n) {
+  bits32 s, p;
+  s = 1; p = 1;
+loop:
+  if n == 1 {
+    return (s, p);
+  } else {
+    s = s + n;
+    p = p * n;
+    n = n - 1;
+    goto loop;
+  }
+}
+)";
+}
+
+struct SumProdCase {
+  const char *Proc;
+  uint64_t N, Sum, Product;
+
+  friend void PrintTo(const SumProdCase &C, std::ostream *Os) {
+    *Os << C.Proc << "_n" << C.N;
+  }
+};
+
+class SumProdTest : public ::testing::TestWithParam<SumProdCase> {};
+
+TEST_P(SumProdTest, ComputesSumAndProduct) {
+  auto Prog = compile({sumProdSource()});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  const SumProdCase &C = GetParam();
+  std::vector<Value> R = runToHalt(M, C.Proc, {b32(C.N)});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], b32(C.Sum)) << C.Proc << "(" << C.N << ") sum";
+  EXPECT_EQ(R[1], b32(C.Product)) << C.Proc << "(" << C.N << ") product";
+}
+
+std::vector<SumProdCase> allCases() {
+  std::vector<SumProdCase> Cases;
+  for (const char *Proc : {"sp1", "sp2", "sp3"}) {
+    uint64_t Sum = 0, Product = 1;
+    for (uint64_t N = 1; N <= 12; ++N) {
+      Sum += N;
+      Product *= N;
+      // The paper's procedures compute sum/product of 1..n.
+      Cases.push_back({Proc, N, N == 1 ? 1 : Sum,
+                       N == 1 ? 1 : Product});
+    }
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure1, SumProdTest,
+                         ::testing::ValuesIn(allCases()),
+                         [](const ::testing::TestParamInfo<SumProdCase> &I) {
+                           return std::string(I.param.Proc) + "_n" +
+                                  std::to_string(I.param.N);
+                         });
+
+TEST(SumProdShape, TailCallsDoNotGrowTheStack) {
+  auto Prog = compile({sumProdSource()});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  runToHalt(M, "sp2", {b32(200)});
+  // sp2 jumps to sp2_help which jumps to itself: one activation, ever.
+  EXPECT_EQ(M.stats().Jumps, 200u);
+  EXPECT_LE(M.stats().MaxStackDepth, 1u);
+
+  Machine M2(*Prog);
+  runToHalt(M2, "sp1", {b32(200)});
+  EXPECT_GE(M2.stats().MaxStackDepth, 199u);
+}
+
+TEST(SumProdShape, LoopUsesNoCallsAtAll) {
+  auto Prog = compile({sumProdSource()});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  runToHalt(M, "sp3", {b32(100)});
+  EXPECT_EQ(M.stats().Calls, 0u);
+  EXPECT_EQ(M.stats().Jumps, 0u);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_TESTS_TESTUTIL_H
+#define CMM_TESTS_TESTUTIL_H
+
+#include "ir/Translate.h"
+#include "ir/Validate.h"
+#include "sem/Machine.h"
+
+#include <gtest/gtest.h>
+
+namespace cmm::test {
+
+/// Compiles \p Sources (plus the standard library); fails the test and
+/// returns null on any diagnostic.
+inline std::unique_ptr<IrProgram>
+compile(const std::vector<std::string> &Sources, bool IncludeStdLib = true) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog =
+      compileProgram(Sources, Diags, IncludeStdLib);
+  if (!Prog || Diags.hasErrors()) {
+    ADD_FAILURE() << "compilation failed:\n" << Diags.str();
+    return nullptr;
+  }
+  DiagnosticEngine VDiags;
+  if (!validateProgram(*Prog, VDiags)) {
+    ADD_FAILURE() << "IR validation failed:\n" << VDiags.str();
+    return nullptr;
+  }
+  return Prog;
+}
+
+/// Expects compilation of \p Source to fail and returns the diagnostics.
+inline std::string compileError(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog = compileProgram({Source}, Diags);
+  EXPECT_TRUE(Diags.hasErrors()) << "expected compilation to fail";
+  return Diags.str();
+}
+
+/// Runs \p Proc to completion and returns the result values; fails the test
+/// if the machine does not halt normally.
+inline std::vector<Value> runToHalt(Machine &M, std::string_view Proc,
+                                    std::vector<Value> Args = {},
+                                    uint64_t MaxSteps = 10'000'000) {
+  M.start(Proc, std::move(Args));
+  MachineStatus St = M.run(MaxSteps);
+  if (St != MachineStatus::Halted) {
+    ADD_FAILURE() << "machine did not halt; status="
+                  << static_cast<int>(St) << " reason=" << M.wrongReason();
+    return {};
+  }
+  return M.argArea();
+}
+
+/// Shorthand for a bits32 value.
+inline Value b32(uint64_t V) { return Value::bits(32, V); }
+
+} // namespace cmm::test
+
+#endif // CMM_TESTS_TESTUTIL_H

@@ -1,0 +1,236 @@
+//===- tests/TranslateTest.cpp - Section 5.3 translation shapes -----------===//
+//
+// Part of cmmex (see DESIGN.md). Structural tests of the C-- to Abstract
+// C-- translation, the verifier, and the graph printer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/IrPrinter.h"
+#include "ir/Succ.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+unsigned countKind(const IrProc &P, Node::Kind K) {
+  unsigned N = 0;
+  for (Node *Node : reachableNodes(P))
+    if (Node->kind() == K)
+      ++N;
+  return N;
+}
+
+TEST(Translate, EntryThenParamCopyIn) {
+  auto Prog = compile({"export f;\nf(bits32 a, bits32 b) {\n"
+                       "  return (a + b);\n}\n"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  ASSERT_TRUE(F);
+  auto *Entry = dyn_cast<EntryNode>(F->EntryPoint);
+  ASSERT_TRUE(Entry);
+  // "The values of parameters are bound later by a CopyIn node."
+  auto *ParamsIn = dyn_cast<CopyInNode>(Entry->Next);
+  ASSERT_TRUE(ParamsIn);
+  ASSERT_EQ(ParamsIn->Vars.size(), 2u);
+  EXPECT_EQ(Prog->Names->spelling(ParamsIn->Vars[0]), "a");
+  EXPECT_EQ(Prog->Names->spelling(ParamsIn->Vars[1]), "b");
+  // return (a+b) is CopyOut then Exit <0/0>.
+  auto *Out = dyn_cast<CopyOutNode>(ParamsIn->Next);
+  ASSERT_TRUE(Out);
+  ASSERT_EQ(Out->Exprs.size(), 1u);
+  auto *Exit = dyn_cast<ExitNode>(Out->Next);
+  ASSERT_TRUE(Exit);
+  EXPECT_EQ(Exit->ContIndex, 0u);
+  EXPECT_EQ(Exit->AltCount, 0u);
+}
+
+TEST(Translate, EveryCallHasCopyOutAndBundle) {
+  auto Prog = compile({R"(
+export f;
+g() { return; }
+f() {
+  bits32 t;
+  g() also aborts;
+  goto done;
+continuation k(t):
+  return;
+done:
+  return;
+}
+)"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  ASSERT_TRUE(F);
+  for (Node *N : reachableNodes(*F)) {
+    auto *C = dyn_cast<CallNode>(N);
+    if (!C)
+      continue;
+    EXPECT_TRUE(C->Bundle.Abort);
+    EXPECT_EQ(C->Bundle.ReturnsTo.size(), 1u);
+    EXPECT_NE(C->Bundle.normalReturn(), nullptr);
+  }
+  // The continuation is registered on the Entry node.
+  auto *Entry = cast<EntryNode>(F->EntryPoint);
+  ASSERT_EQ(Entry->Conts.size(), 1u);
+  EXPECT_EQ(Prog->Names->spelling(Entry->Conts[0].first), "k");
+  EXPECT_TRUE(isa<CopyInNode>(Entry->Conts[0].second));
+}
+
+TEST(Translate, GotoBranchesAreThreadedAway) {
+  // Straight-line gotos leave no constant branches behind.
+  auto Prog = compile({R"(
+export f;
+f(bits32 n) {
+  bits32 s;
+  s = 1;
+  goto a;
+a:
+  goto b;
+b:
+  s = s + 1;
+  return (s);
+}
+)"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  EXPECT_EQ(countKind(*F, Node::Kind::Branch), 0u);
+  Machine M(*Prog);
+  EXPECT_EQ(runToHalt(M, "f", {b32(0)})[0], b32(2));
+}
+
+TEST(Translate, LoopKeepsOneBranch) {
+  auto Prog = compile({R"(
+export f;
+f(bits32 n) {
+loop:
+  if n == 0 { return (7); }
+  n = n - 1;
+  goto loop;
+}
+)"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  EXPECT_EQ(countKind(*F, Node::Kind::Branch), 1u);
+  Machine M(*Prog);
+  EXPECT_EQ(runToHalt(M, "f", {b32(5)})[0], b32(7));
+}
+
+TEST(Translate, EmptyInfiniteLoopIsRepresentable) {
+  // `L: goto L;` — a pathological but legal program: it must not fold to
+  // nothing, and must spin forever.
+  auto Prog = compile({"export f;\nf() {\nL:\n  goto L;\n}\n"});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  M.start("f");
+  EXPECT_EQ(M.run(10'000), MachineStatus::Running);
+}
+
+TEST(Translate, FallingOffTheEndReturnsNothing) {
+  auto Prog = compile({"export f;\nf() { bits32 a;\n  a = 1;\n}\n"});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  std::vector<Value> R = runToHalt(M, "f");
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(Translate, BundleOrderNormalReturnLast) {
+  auto Prog = compile({R"(
+export f;
+g() { return <2/2> (0); }
+f() {
+  bits32 r, t;
+  r = g() also returns to k0, k1;
+  return (r);
+continuation k0(t):
+  return (t);
+continuation k1(t):
+  return (t);
+}
+)"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  for (Node *N : reachableNodes(*F)) {
+    auto *C = dyn_cast<CallNode>(N);
+    if (!C)
+      continue;
+    ASSERT_EQ(C->Bundle.ReturnsTo.size(), 3u);
+    EXPECT_EQ(C->Bundle.altReturnCount(), 2u);
+    // Alternates are the declared continuations (CopyIn nodes bound on the
+    // Entry); the normal return is the CopyIn binding r.
+    EXPECT_TRUE(isa<CopyInNode>(C->Bundle.ReturnsTo[0]));
+    EXPECT_TRUE(isa<CopyInNode>(C->Bundle.ReturnsTo[1]));
+    auto *Normal = dyn_cast<CopyInNode>(C->Bundle.normalReturn());
+    ASSERT_TRUE(Normal);
+    ASSERT_EQ(Normal->Vars.size(), 1u);
+    EXPECT_EQ(Prog->Names->spelling(Normal->Vars[0]), "r");
+  }
+}
+
+TEST(Translate, MultipleModulesLinkAndShareData) {
+  const char *ModA = R"(
+export shared_data, get;
+data shared_data { bits32 5, 6; }
+get(bits32 i) {
+  return (bits32[shared_data + i * 4]);
+}
+)";
+  const char *ModB = R"(
+export main;
+import shared_data, get;
+main() {
+  bits32 a, b;
+  a = get(0);
+  b = bits32[shared_data + 4];
+  return (a + b);
+}
+)";
+  auto Prog = compile({ModA, ModB});
+  ASSERT_TRUE(Prog);
+  Machine M(*Prog);
+  EXPECT_EQ(runToHalt(M, "main")[0], b32(11));
+}
+
+TEST(Validate, AcceptsEverythingTheSuiteCompiles) {
+  // compile() already validates; this pins a direct corruption case.
+  auto Prog = compile({"export f;\nf() { return; }\n"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  // Break the graph: null out the entry successor.
+  cast<EntryNode>(F->EntryPoint)->Next = nullptr;
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(validateProc(*F, *Prog->Names, Diags));
+  EXPECT_NE(Diags.str().find("null"), std::string::npos);
+}
+
+TEST(IrPrinterOutput, MentionsEveryReachableNodeOnce) {
+  auto Prog = compile({R"(
+export f;
+g() { return (0); }
+f(bits32 a) {
+  bits32 r, t;
+  r = g() also unwinds to k also aborts;
+  return (r + a);
+continuation k(t):
+  cut to t(a) also cuts to k;
+}
+)"});
+  ASSERT_TRUE(Prog);
+  IrProc *F = Prog->findProc("f");
+  std::string Dump = printProc(*F, *Prog->Names);
+  for (Node *N : reachableNodes(*F)) {
+    std::string Tag = "n" + std::to_string(N->Id) + ":";
+    size_t First = Dump.find("\n  " + Tag);
+    EXPECT_NE(First, std::string::npos) << Tag << "\n" << Dump;
+    EXPECT_EQ(Dump.find("\n  " + Tag, First + 1), std::string::npos)
+        << Tag << " printed twice";
+  }
+  // Annotation structure is visible.
+  EXPECT_NE(Dump.find("unwinds["), std::string::npos);
+  EXPECT_NE(Dump.find("aborts"), std::string::npos);
+  EXPECT_NE(Dump.find("CutTo"), std::string::npos);
+}
+
+} // namespace

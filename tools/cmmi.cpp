@@ -1,0 +1,188 @@
+//===- tools/cmmi.cpp - The C-- interpreter CLI ---------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Compile and run C-- source files on the Abstract C-- machine:
+//
+//   cmmi [options] file.cmm... [-- arg...]
+//
+//   --entry NAME     procedure to run (default: main)
+//   --dispatcher D   front-end runtime for yields: none|unwind|cut
+//                    (default: unwind)
+//   --optimize       run the optimizer pipeline first
+//   --no-stdlib      do not link the %%div standard library
+//   --dump-ir        print the Abstract C-- graphs and exit
+//   --stats          print machine counters after the run
+//
+// Exit status: 0 on normal termination, 1 on compile errors, 2 when the
+// program goes wrong, 3 on an unhandled yield.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+#include "ir/Translate.h"
+#include "ir/Validate.h"
+#include "opt/PassManager.h"
+#include "rts/Dispatchers.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace cmm;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cmmi [options] file.cmm... [-- arg...]\n"
+      "  --entry NAME     procedure to run (default: main)\n"
+      "  --dispatcher D   none|unwind|cut (default: unwind)\n"
+      "  --optimize       run the optimizer pipeline first\n"
+      "  --no-stdlib      do not link the %%%%div standard library\n"
+      "  --dump-ir        print the Abstract C-- graphs and exit\n"
+      "  --stats          print machine counters after the run\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Entry = "main";
+  std::string Dispatcher = "unwind";
+  bool Optimize = false, StdLib = true, DumpIr = false, ShowStats = false;
+  std::vector<std::string> Files;
+  std::vector<Value> Args;
+
+  int I = 1;
+  for (; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--") {
+      ++I;
+      break;
+    }
+    if (A == "--entry" && I + 1 < Argc) {
+      Entry = Argv[++I];
+    } else if (A == "--dispatcher" && I + 1 < Argc) {
+      Dispatcher = Argv[++I];
+    } else if (A == "--optimize") {
+      Optimize = true;
+    } else if (A == "--no-stdlib") {
+      StdLib = false;
+    } else if (A == "--dump-ir") {
+      DumpIr = true;
+    } else if (A == "--stats") {
+      ShowStats = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "cmmi: unknown option '%s'\n", A.c_str());
+      usage();
+      return 1;
+    } else {
+      Files.push_back(A);
+    }
+  }
+  for (; I < Argc; ++I)
+    Args.push_back(Value::bits(32, std::strtoull(Argv[I], nullptr, 0)));
+
+  if (Files.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::vector<std::string> Sources;
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cmmi: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Sources.push_back(Buf.str());
+  }
+
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog = compileProgram(Sources, Diags, StdLib);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (Optimize) {
+    OptOptions Opts;
+    Opts.PlaceCalleeSaves = true;
+    optimizeProgram(*Prog, Opts);
+    DiagnosticEngine VDiags;
+    if (!validateProgram(*Prog, VDiags)) {
+      std::fprintf(stderr, "internal: optimizer broke the graph\n%s",
+                   VDiags.str().c_str());
+      return 1;
+    }
+  }
+  if (DumpIr) {
+    std::printf("%s", printProgram(*Prog).c_str());
+    return 0;
+  }
+
+  Machine M(*Prog);
+  M.start(Entry, std::move(Args));
+
+  MachineStatus St;
+  if (Dispatcher == "unwind") {
+    UnwindingDispatcher D(M);
+    St = runWithRuntime(M, std::ref(D));
+  } else if (Dispatcher == "cut") {
+    CuttingDispatcher D(M);
+    St = runWithRuntime(M, std::ref(D));
+  } else if (Dispatcher == "none") {
+    St = M.run();
+  } else {
+    std::fprintf(stderr, "cmmi: unknown dispatcher '%s'\n",
+                 Dispatcher.c_str());
+    return 1;
+  }
+
+  int Exit = 0;
+  switch (St) {
+  case MachineStatus::Halted: {
+    std::string Sep;
+    std::printf("%s returned (", Entry.c_str());
+    for (const Value &V : M.argArea()) {
+      std::printf("%s%s", Sep.c_str(), V.str().c_str());
+      Sep = ", ";
+    }
+    std::printf(")\n");
+    break;
+  }
+  case MachineStatus::Wrong:
+    std::fprintf(stderr, "cmmi: program went wrong at %s: %s\n",
+                 M.wrongLoc().str().c_str(), M.wrongReason().c_str());
+    Exit = 2;
+    break;
+  case MachineStatus::Suspended:
+    std::fprintf(stderr, "cmmi: unhandled yield (tag %llu)\n",
+                 static_cast<unsigned long long>(
+                     M.argArea().empty() ? 0 : M.argArea()[0].Raw));
+    Exit = 3;
+    break;
+  default:
+    std::fprintf(stderr, "cmmi: machine did not finish\n");
+    Exit = 2;
+  }
+
+  if (ShowStats) {
+    const Stats &S = M.stats();
+    std::fprintf(stderr,
+                 "steps=%llu calls=%llu jumps=%llu returns=%llu cuts=%llu "
+                 "yields=%llu loads=%llu stores=%llu max_depth=%llu\n",
+                 (unsigned long long)S.Steps, (unsigned long long)S.Calls,
+                 (unsigned long long)S.Jumps, (unsigned long long)S.Returns,
+                 (unsigned long long)S.Cuts, (unsigned long long)S.Yields,
+                 (unsigned long long)S.Loads, (unsigned long long)S.Stores,
+                 (unsigned long long)S.MaxStackDepth);
+  }
+  return Exit;
+}
