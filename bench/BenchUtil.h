@@ -8,12 +8,14 @@
 #define CMM_BENCH_BENCHUTIL_H
 
 #include "ir/Translate.h"
+#include "obs/Json.h"
 #include "sem/Machine.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace cmm::bench {
 
@@ -33,6 +35,73 @@ compileOrDie(const std::vector<std::string> &Sources) {
 
 inline Value b32(uint64_t V) { return Value::bits(32, V); }
 
+/// A console reporter that additionally captures every run so the binary can
+/// write a machine-readable BENCH_<suite>.json next to the usual table (the
+/// bench harness and CI diff these instead of scraping stdout).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      Captured.push_back(R);
+    benchmark::ConsoleReporter::ReportRuns(Runs);
+  }
+
+  /// Renders the captured runs: per-run wall time, iterations, and every
+  /// user counter (machine Stats exported via benchmark::State::counters).
+  std::string json(const std::string &Suite) const {
+    JsonWriter W;
+    W.beginObject();
+    W.field("suite", std::string_view(Suite));
+    W.key("benchmarks");
+    W.beginArray();
+    for (const Run &R : Captured) {
+      W.beginObject();
+      W.field("name", std::string_view(R.benchmark_name()));
+      W.field("iterations", uint64_t(R.iterations));
+      W.field("real_time_sec", R.real_accumulated_time);
+      W.field("cpu_time_sec", R.cpu_accumulated_time);
+      W.field("error", R.error_occurred);
+      W.key("counters");
+      W.beginObject();
+      for (const auto &[Name, C] : R.counters)
+        W.field(std::string_view(Name), double(C));
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    return W.take();
+  }
+
+  bool writeJsonFile(const std::string &Suite) const {
+    std::string Path = "BENCH_" + Suite + ".json";
+    std::ofstream Out(Path);
+    if (!Out)
+      return false;
+    Out << json(Suite) << '\n';
+    return bool(Out);
+  }
+
+private:
+  std::vector<Run> Captured;
+};
+
 } // namespace cmm::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes
+/// BENCH_<suite>.json into the working directory.
+#define CMM_BENCH_MAIN(suite)                                                  \
+  int main(int argc, char **argv) {                                            \
+    ::benchmark::Initialize(&argc, argv);                                      \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))                  \
+      return 1;                                                                \
+    ::cmm::bench::JsonCaptureReporter Reporter;                                \
+    ::benchmark::RunSpecifiedBenchmarks(&Reporter);                            \
+    if (!Reporter.writeJsonFile(#suite))                                       \
+      std::fprintf(stderr, "warning: could not write BENCH_" #suite ".json\n");\
+    ::benchmark::Shutdown();                                                   \
+    return 0;                                                                  \
+  }                                                                            \
+  int main(int, char **)
 
 #endif // CMM_BENCH_BENCHUTIL_H

@@ -94,4 +94,4 @@ BENCHMARK(BM_sp1_opt)->Arg(1000);
 BENCHMARK(BM_sp2_opt)->Arg(1000);
 BENCHMARK(BM_sp3_opt)->Arg(1000);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(fig1_sumprod);

@@ -120,4 +120,4 @@ static void sweepArgs(benchmark::internal::Benchmark *B) {
 }
 BENCHMARK(BM_sweep)->Apply(sweepArgs);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(fig2_design_space);

@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "costmodel/CallSiteModel.h"
 
 #include <benchmark/benchmark.h>
@@ -59,4 +61,4 @@ static void schemes(benchmark::internal::Benchmark *B) {
 }
 BENCHMARK(BM_call_site)->Apply(schemes);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(fig3_fig4_branch_table);

@@ -129,4 +129,4 @@ static void gameArgs(benchmark::internal::Benchmark *B) {
 }
 BENCHMARK(BM_try_a_move)->Apply(gameArgs);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(fig7_10_modula3);

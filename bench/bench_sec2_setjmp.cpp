@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "costmodel/SetjmpModel.h"
 
 #include <benchmark/benchmark.h>
@@ -47,4 +49,4 @@ static void profiles(benchmark::internal::Benchmark *B) {
 }
 BENCHMARK(BM_setjmp_vs_cutter)->Apply(profiles);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(sec2_setjmp);

@@ -107,4 +107,4 @@ continuation k(s):
 BENCHMARK(BM_placement)->Arg(1)->Arg(0)->Iterations(1);
 BENCHMARK(BM_unwind_only_placement);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(sec42_callee_saves);

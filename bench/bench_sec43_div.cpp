@@ -111,4 +111,4 @@ static void divArgs(benchmark::internal::Benchmark *B) {
 BENCHMARK(BM_div)->Apply(divArgs);
 BENCHMARK(BM_div_failure_dispatch);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(sec43_div);

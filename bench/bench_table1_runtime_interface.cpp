@@ -129,4 +129,4 @@ void BM_unwind_and_resume(benchmark::State &State) {
 BENCHMARK(BM_stack_walk)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_unwind_and_resume)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(table1_runtime_interface);

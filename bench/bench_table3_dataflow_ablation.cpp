@@ -115,4 +115,4 @@ void BM_soundness(benchmark::State &State) {
 BENCHMARK(BM_optimize_throughput)->Arg(1)->Arg(0);
 BENCHMARK(BM_soundness)->Arg(1)->Arg(0)->Iterations(1);
 
-BENCHMARK_MAIN();
+CMM_BENCH_MAIN(table3_dataflow_ablation);

@@ -1,0 +1,57 @@
+//===- obs/Json.cpp -------------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace cmm;
+
+std::string cmm::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C & 0x1f);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  comma();
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no Inf/NaN
+    return *this;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+  return *this;
+}

@@ -1,0 +1,112 @@
+//===- obs/Json.h - Minimal JSON emission -----------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny append-only JSON writer shared by the trace sinks, the profiler,
+/// the stats writers and the benchmark reporters. No parsing, no DOM, no
+/// allocation beyond the output string; enough structure that every emitter
+/// in the repo produces syntactically valid JSON the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OBS_JSON_H
+#define CMM_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cmm {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(std::string_view S);
+
+/// Streaming writer for one JSON value. Keys and values must be emitted in
+/// a legal order (object -> key -> value ...); commas are inserted
+/// automatically. The writer never fails: misuse shows up as malformed
+/// output, which the golden-file tests catch.
+class JsonWriter {
+public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  JsonWriter &key(std::string_view K) {
+    comma();
+    Out += '"';
+    Out += jsonEscape(K);
+    Out += "\":";
+    JustWroteKey = true;
+    return *this;
+  }
+
+  JsonWriter &value(std::string_view S) {
+    comma();
+    Out += '"';
+    Out += jsonEscape(S);
+    Out += '"';
+    return *this;
+  }
+  JsonWriter &value(const char *S) { return value(std::string_view(S)); }
+  JsonWriter &value(uint64_t V) {
+    comma();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &value(int64_t V) {
+    comma();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &value(unsigned V) { return value(uint64_t(V)); }
+  JsonWriter &value(int V) { return value(int64_t(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+
+  /// key(K) followed by value(V), for the common case.
+  template <typename T> JsonWriter &field(std::string_view K, T V) {
+    key(K);
+    return value(V);
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void open(char C) {
+    comma();
+    Out += C;
+    NeedComma = false;
+  }
+  void close(char C) {
+    Out += C;
+    NeedComma = true;
+    JustWroteKey = false;
+  }
+  void comma() {
+    if (JustWroteKey) {
+      JustWroteKey = false;
+      return;
+    }
+    if (NeedComma)
+      Out += ',';
+    NeedComma = true;
+  }
+
+  std::string Out;
+  bool NeedComma = false;
+  bool JustWroteKey = false;
+};
+
+} // namespace cmm
+
+#endif // CMM_OBS_JSON_H

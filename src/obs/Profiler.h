@@ -1,0 +1,134 @@
+//===- obs/Profiler.h - Per-procedure / per-call-site profiling -*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MachineObserver that aggregates the machine's event stream into the
+/// quantities the paper's Figure 2 design space is about, attributed to
+/// where they arise:
+///
+///  - per procedure: abstract-machine steps executed while the procedure
+///    held control, calls in/out, tail calls, returns, cuts landed,
+///    frames discarded, unwind pops, yields raised;
+///
+///  - per call site: calls made, normal and alternate returns taken,
+///    frames cut over while suspended here, unwind pops while suspended
+///    here — the "dispatch cost lands at this call site" view;
+///
+///  - per dispatch: a histogram of unwind pops per dispatch and the
+///    dispatcher's interpretive walk cost (activations visited). The
+///    machine's step clock is stopped while the run-time system works, so
+///    yield-to-handler latency is measured in run-time-system events, not
+///    steps.
+///
+/// The profiler's totals agree exactly with Machine::stats(): the guard
+/// test in tests/ObserverTest.cpp relies on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OBS_PROFILER_H
+#define CMM_OBS_PROFILER_H
+
+#include "sem/Observer.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace cmm {
+
+class JsonWriter;
+
+/// Counters attributed to one procedure.
+struct ProcProfile {
+  uint64_t Steps = 0;     ///< transitions executed while in control
+  uint64_t CallsIn = 0;   ///< times entered by a Call
+  uint64_t CallsOut = 0;  ///< Call transitions executed
+  uint64_t JumpsIn = 0;   ///< times entered by a Jump (tail call)
+  uint64_t JumpsOut = 0;  ///< Jump transitions executed
+  uint64_t Returns = 0;   ///< Exit transitions executed
+  uint64_t CutsLanded = 0;      ///< cuts that resumed a continuation here
+  uint64_t FramesDiscarded = 0; ///< this procedure's frames cut over
+  uint64_t UnwindPops = 0;      ///< this procedure's frames unwind-popped
+  uint64_t Yields = 0;          ///< yields raised from this procedure
+};
+
+/// Counters attributed to one call site.
+struct CallSiteProfile {
+  std::string Owner;  ///< procedure containing the call
+  std::string Callee; ///< last observed callee (call targets are values)
+  SourceLoc Loc;
+  uint64_t Calls = 0;
+  uint64_t Returns = 0;    ///< normal returns through this site
+  uint64_t AltReturns = 0; ///< return <i/n> with i > 0
+  uint64_t CutsOver = 0;   ///< frames discarded while suspended here
+  uint64_t UnwindPops = 0; ///< unwind pops while suspended here
+};
+
+/// Aggregate dispatcher-side costs.
+struct DispatchProfile {
+  uint64_t Dispatches = 0;
+  uint64_t Handled = 0;
+  uint64_t ActivationsVisited = 0; ///< total interpretive walk length
+  uint64_t ActivationsMax = 0;
+  /// unwind pops per dispatch window -> number of dispatches.
+  std::map<uint64_t, uint64_t> UnwindPopHistogram;
+};
+
+/// Aggregating observer. Attach with Machine::setObserver (possibly behind
+/// a MultiObserver) and read the report after the run.
+class Profiler final : public MachineObserver {
+public:
+  /// Renders the sorted text report (procedures by steps, call sites by
+  /// calls, then the dispatch section).
+  std::string report() const;
+
+  /// Emits the same data as a JSON object onto \p W.
+  void writeJson(JsonWriter &W) const;
+
+  const DispatchProfile &dispatchProfile() const { return Dispatch; }
+  const std::unordered_map<const IrProc *, ProcProfile> &procs() const {
+    return Procs;
+  }
+  const std::unordered_map<const CallNode *, CallSiteProfile> &sites() const {
+    return Sites;
+  }
+
+  // MachineObserver
+  void onStep(const Machine &M, const Node *N) override;
+  void onCall(const Machine &M, const CallNode *Site, const IrProc *Caller,
+              const IrProc *Callee) override;
+  void onJump(const Machine &M, const JumpNode *Site, const IrProc *Caller,
+              const IrProc *Callee) override;
+  void onReturn(const Machine &M, const CallNode *Site, const IrProc *Callee,
+                const IrProc *Caller, unsigned ContIndex) override;
+  void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+                           const IrProc *Owner) override;
+  void onCut(const Machine &M, const CutToNode *From, const IrProc *Target,
+             uint64_t FramesDiscarded, bool SameActivation) override;
+  void onYield(const Machine &M) override;
+  void onUnwindPop(const Machine &M, const CallNode *Site,
+                   const IrProc *Owner, bool Resumed) override;
+  void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+                       uint64_t Tag) override;
+  void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+                     bool Handled, uint64_t ActivationsVisited) override;
+
+private:
+  std::string procName(const Machine &M, const IrProc *P);
+  CallSiteProfile &site(const Machine &M, const CallNode *Site,
+                        const IrProc *Owner);
+
+  std::unordered_map<const IrProc *, ProcProfile> Procs;
+  std::unordered_map<const IrProc *, std::string> ProcNames;
+  std::unordered_map<const CallNode *, CallSiteProfile> Sites;
+  DispatchProfile Dispatch;
+  uint64_t PopsThisDispatch = 0;
+  bool InDispatch = false;
+};
+
+} // namespace cmm
+
+#endif // CMM_OBS_PROFILER_H

@@ -1,0 +1,77 @@
+//===- obs/StatsJson.cpp --------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsJson.h"
+
+using namespace cmm;
+
+void cmm::writeStatsJson(JsonWriter &W, const Stats &S) {
+  W.beginObject();
+  W.field("steps", S.Steps);
+  W.field("calls", S.Calls);
+  W.field("jumps", S.Jumps);
+  W.field("returns", S.Returns);
+  W.field("cuts", S.Cuts);
+  W.field("frames_cut_over", S.FramesCutOver);
+  W.field("yields", S.Yields);
+  W.field("unwind_pops", S.UnwindPops);
+  W.field("conts_bound", S.ContsBound);
+  W.field("loads", S.Loads);
+  W.field("stores", S.Stores);
+  W.field("callee_save_moves", S.CalleeSaveMoves);
+  W.field("max_stack_depth", S.MaxStackDepth);
+  W.endObject();
+}
+
+std::string cmm::statsToJson(const Stats &S) {
+  JsonWriter W;
+  writeStatsJson(W, S);
+  return W.take();
+}
+
+void cmm::writeOptReportJson(JsonWriter &W, const OptReport &R) {
+  W.beginObject();
+  W.key("passes");
+  W.beginArray();
+  for (size_t I = 0; I < NumPassIds; ++I) {
+    const PassStat &S = R.Passes[I];
+    W.beginObject();
+    W.field("pass", passName(static_cast<PassId>(I)));
+    W.field("runs", S.Runs);
+    W.field("millis", S.Millis);
+    W.field("changes", S.Changes);
+    W.field("nodes_delta", S.NodesDelta);
+    W.field("also_edges_delta", S.AlsoEdgesDelta);
+    W.endObject();
+  }
+  W.endArray();
+  W.field("total_millis", R.TotalMillis);
+  W.key("rewrites");
+  W.beginObject();
+  W.field("constprop_exprs", uint64_t(R.ConstProp.ExprsRewritten));
+  W.field("constprop_branches", uint64_t(R.ConstProp.BranchesResolved));
+  W.field("copyprop_uses", uint64_t(R.CopyProp.UsesRewritten));
+  W.field("deadcode_assigns", uint64_t(R.DeadCode.AssignsRemoved));
+  W.field("calleesaves_calls_annotated",
+          uint64_t(R.CalleeSaves.CallsAnnotated));
+  W.field("calleesaves_vars_placed", uint64_t(R.CalleeSaves.VarsPlaced));
+  W.field("calleesaves_vars_excluded_by_cut_edges",
+          uint64_t(R.CalleeSaves.VarsExcludedByCutEdges));
+  W.field("calleesaves_vars_spilled_for_pressure",
+          uint64_t(R.CalleeSaves.VarsSpilledForPressure));
+  W.endObject();
+  W.endObject();
+}
+
+void cmm::writeRtStatsJson(JsonWriter &W, const RtStats &S,
+                           uint64_t Dispatches) {
+  W.beginObject();
+  W.field("dispatches", Dispatches);
+  W.field("activations_visited", S.ActivationsVisited);
+  W.field("descriptor_reads", S.DescriptorReads);
+  W.field("resumes", S.Resumes);
+  W.endObject();
+}

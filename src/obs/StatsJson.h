@@ -1,0 +1,40 @@
+//===- obs/StatsJson.h - Machine-readable stats writers ---------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON renderings of the repo's counter structs: the machine's Stats (all
+/// thirteen fields — the cost model of the reproduction), the optimizer's
+/// OptReport (per-pass wall time and IR deltas), and the dispatchers' walk
+/// statistics. Shared by `cmmi --stats-json`, the benchmark JSON emitters
+/// and the tests, so every tool spells the field names the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OBS_STATSJSON_H
+#define CMM_OBS_STATSJSON_H
+
+#include "obs/Json.h"
+#include "opt/PassManager.h"
+#include "rts/RuntimeInterface.h"
+#include "sem/Stats.h"
+
+namespace cmm {
+
+/// Emits \p S as a JSON object (all 13 counters) onto \p W.
+void writeStatsJson(JsonWriter &W, const Stats &S);
+
+/// Convenience: \p S as a standalone JSON object string.
+std::string statsToJson(const Stats &S);
+
+/// Emits \p R (per-pass instrumentation included) as a JSON object.
+void writeOptReportJson(JsonWriter &W, const OptReport &R);
+
+/// Emits dispatcher-side walk statistics as a JSON object.
+void writeRtStatsJson(JsonWriter &W, const RtStats &S, uint64_t Dispatches);
+
+} // namespace cmm
+
+#endif // CMM_OBS_STATSJSON_H

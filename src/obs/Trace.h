@@ -1,0 +1,123 @@
+//===- obs/Trace.h - Machine event trace sinks ------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceSink streams MachineObserver events to an output stream in one of
+/// two formats:
+///
+///  - JSONL: one self-describing JSON object per line (the schema is
+///    documented in docs/OBSERVABILITY.md), suitable for jq/grep and for
+///    the golden-file tests;
+///
+///  - Chrome trace_event JSON: open the file directly in chrome://tracing
+///    or https://ui.perfetto.dev. Mutator activations become B/E duration
+///    spans on track 0 (the abstract-machine step counter is the
+///    timestamp), dispatcher work appears as spans on track 1, and yields,
+///    cuts and wrong-states become instant events.
+///
+/// A bounded ring-buffer mode (TraceOptions::RingCapacity) keeps only the
+/// last N events in memory and writes them at finish(), so long runs can be
+/// traced with O(1) memory — the usual "flight recorder" arrangement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OBS_TRACE_H
+#define CMM_OBS_TRACE_H
+
+#include "sem/Observer.h"
+
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmm {
+
+/// Configures a TraceSink.
+struct TraceOptions {
+  enum class Format : uint8_t { Jsonl, Chrome };
+  Format Fmt = Format::Jsonl;
+  /// Emit one event per machine transition. Off by default: a step event
+  /// per transition multiplies trace volume by ~10x.
+  bool IncludeSteps = false;
+  /// Keep only the newest N events, written at finish(). 0 streams every
+  /// event immediately (unbounded).
+  size_t RingCapacity = 0;
+};
+
+/// Streams machine events to \p OS. Call finish() (or destroy the sink)
+/// after the run to close open spans and complete the output; for the
+/// Chrome format the file is not valid JSON until then.
+class TraceSink final : public MachineObserver {
+public:
+  explicit TraceSink(std::ostream &OS, TraceOptions Opts = {});
+  ~TraceSink() override;
+
+  /// Flushes the ring buffer, closes still-open spans (machine still
+  /// running, or wrong) and completes the JSON document. Idempotent.
+  void finish();
+
+  uint64_t eventsEmitted() const { return Emitted; }
+  uint64_t eventsDropped() const { return Dropped; }
+
+  // MachineObserver
+  void onStart(const Machine &M, const IrProc *Entry) override;
+  void onHalt(const Machine &M) override;
+  void onStep(const Machine &M, const Node *N) override;
+  void onCall(const Machine &M, const CallNode *Site, const IrProc *Caller,
+              const IrProc *Callee) override;
+  void onJump(const Machine &M, const JumpNode *Site, const IrProc *Caller,
+              const IrProc *Callee) override;
+  void onReturn(const Machine &M, const CallNode *Site, const IrProc *Callee,
+                const IrProc *Caller, unsigned ContIndex) override;
+  void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+                           const IrProc *Owner) override;
+  void onCut(const Machine &M, const CutToNode *From, const IrProc *Target,
+             uint64_t FramesDiscarded, bool SameActivation) override;
+  void onYield(const Machine &M) override;
+  void onUnwindPop(const Machine &M, const CallNode *Site,
+                   const IrProc *Owner, bool Resumed) override;
+  void onResume(const Machine &M, ResumeChoice::Kind K,
+                unsigned Index) override;
+  void onWrong(const Machine &M, const std::string &Reason,
+               SourceLoc Loc) override;
+  void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+                       uint64_t Tag) override;
+  void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+                     bool Handled, uint64_t ActivationsVisited) override;
+
+private:
+  bool jsonl() const { return Opts.Fmt == TraceOptions::Format::Jsonl; }
+  /// Routes one formatted event line to the ring or the stream.
+  void emit(std::string Line);
+  void writeDirect(const std::string &Line);
+
+  // Chrome-format span helpers (track 0 = mutator, track 1 = rts).
+  void spanBegin(const Machine &M, std::string Name, const char *Cat,
+                 std::string Args, unsigned Tid = 0);
+  void spanEnd(const Machine &M, unsigned Tid = 0);
+  void instant(const Machine &M, std::string_view Name, const char *Cat,
+               std::string Args, unsigned Tid = 0);
+
+  std::ostream &OS;
+  TraceOptions Opts;
+  std::deque<std::string> Ring;
+  std::vector<std::string> MutatorSpans; ///< open B spans on track 0
+  unsigned RtsSpans = 0;                 ///< open B spans on track 1
+  uint64_t Emitted = 0;
+  uint64_t Dropped = 0;
+  uint64_t LastStep = 0;
+  bool WroteHeader = false;
+  bool WroteAnyEvent = false;
+  bool Finished = false;
+};
+
+/// Printable name of a node kind (used in step events and diagnostics).
+const char *nodeKindName(Node::Kind K);
+
+} // namespace cmm
+
+#endif // CMM_OBS_TRACE_H

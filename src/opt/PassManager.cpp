@@ -6,7 +6,102 @@
 
 #include "opt/PassManager.h"
 
+#include "ir/Succ.h"
+
+#include <chrono>
+#include <cstdio>
+
 using namespace cmm;
+
+const char *cmm::passName(PassId Id) {
+  switch (Id) {
+  case PassId::ConstProp:
+    return "constprop";
+  case PassId::CopyProp:
+    return "copyprop";
+  case PassId::DeadCode:
+    return "deadcode";
+  case PassId::CalleeSaves:
+    return "calleesaves";
+  }
+  return "?";
+}
+
+uint64_t cmm::countAlsoEdges(const IrProc &P) {
+  uint64_t Edges = 0;
+  if (!P.EntryPoint || P.isYieldIntrinsic())
+    return 0;
+  for (const Node *N : reachableNodes(P))
+    forEachSucc(*N, [&](Node *, EdgeKind K) {
+      if (isExceptionalEdge(K))
+        ++Edges;
+    });
+  return Edges;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Times one pass execution over one procedure and records the IR delta.
+/// \p Run returns the pass's own change count.
+template <typename Fn>
+void instrumented(OptReport &R, PassId Id, IrProc &P, const IrProgram &Prog,
+                  const OptOptions &Opts, Fn Run) {
+  uint64_t NodesBefore = reachableNodes(P).size();
+  uint64_t EdgesBefore = countAlsoEdges(P);
+  Clock::time_point T0 = Clock::now();
+  uint64_t Changes = Run();
+  double Ms = std::chrono::duration<double, std::milli>(Clock::now() - T0)
+                  .count();
+  uint64_t NodesAfter = reachableNodes(P).size();
+  uint64_t EdgesAfter = countAlsoEdges(P);
+
+  PassStat &S = R.pass(Id);
+  ++S.Runs;
+  S.Millis += Ms;
+  S.Changes += Changes;
+  S.NodesDelta +=
+      static_cast<int64_t>(NodesAfter) - static_cast<int64_t>(NodesBefore);
+  S.AlsoEdgesDelta +=
+      static_cast<int64_t>(EdgesAfter) - static_cast<int64_t>(EdgesBefore);
+  R.TotalMillis += Ms;
+
+  if (Opts.Verbose)
+    std::fprintf(stderr,
+                 "[opt] %-11s %-20s %8.3f ms  changes=%-6llu "
+                 "nodes=%llu->%llu also-edges=%llu->%llu\n",
+                 passName(Id), Prog.Names->spelling(P.Name).c_str(), Ms,
+                 (unsigned long long)Changes, (unsigned long long)NodesBefore,
+                 (unsigned long long)NodesAfter,
+                 (unsigned long long)EdgesBefore,
+                 (unsigned long long)EdgesAfter);
+}
+
+} // namespace
+
+std::string cmm::optReportText(const OptReport &R) {
+  std::string Out = "=== optimizer passes ===\n";
+  Out += "        pass      runs    time(ms)   changes     nodes"
+         "  also-edges\n";
+  char Buf[160];
+  for (size_t I = 0; I < NumPassIds; ++I) {
+    const PassStat &S = R.Passes[I];
+    std::snprintf(Buf, sizeof(Buf), "%12s %9llu %11.3f %9llu %+9lld %+11lld\n",
+                  passName(static_cast<PassId>(I)),
+                  (unsigned long long)S.Runs, S.Millis,
+                  (unsigned long long)S.Changes, (long long)S.NodesDelta,
+                  (long long)S.AlsoEdgesDelta);
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "total: %.3f ms, rewrites: cp=%u+%u "
+                "copy=%u dce=%u cs=%u\n",
+                R.TotalMillis, R.ConstProp.ExprsRewritten,
+                R.ConstProp.BranchesResolved, R.CopyProp.UsesRewritten,
+                R.DeadCode.AssignsRemoved, R.CalleeSaves.VarsPlaced);
+  Out += Buf;
+  return Out;
+}
 
 OptReport cmm::optimizeProc(IrProc &P, const IrProgram &Prog,
                             const OptOptions &Opts) {
@@ -14,14 +109,28 @@ OptReport cmm::optimizeProc(IrProc &P, const IrProgram &Prog,
   if (P.isYieldIntrinsic())
     return R;
   for (unsigned Round = 0; Round < Opts.Rounds; ++Round) {
-    ConstPropReport CP =
-        propagateConstants(P, Prog, Opts.WithExceptionalEdges);
+    ConstPropReport CP;
+    instrumented(R, PassId::ConstProp, P, Prog, Opts, [&] {
+      CP = propagateConstants(P, Prog, Opts.WithExceptionalEdges);
+      return uint64_t(CP.ExprsRewritten) + CP.BranchesResolved;
+    });
     R.ConstProp.ExprsRewritten += CP.ExprsRewritten;
     R.ConstProp.BranchesResolved += CP.BranchesResolved;
-    CopyPropReport CopyP = propagateCopies(P, Prog, Opts.WithExceptionalEdges);
+
+    CopyPropReport CopyP;
+    instrumented(R, PassId::CopyProp, P, Prog, Opts, [&] {
+      CopyP = propagateCopies(P, Prog, Opts.WithExceptionalEdges);
+      return uint64_t(CopyP.UsesRewritten);
+    });
     R.CopyProp.UsesRewritten += CopyP.UsesRewritten;
-    DeadCodeReport DC = eliminateDeadCode(P, Prog, Opts.WithExceptionalEdges);
+
+    DeadCodeReport DC;
+    instrumented(R, PassId::DeadCode, P, Prog, Opts, [&] {
+      DC = eliminateDeadCode(P, Prog, Opts.WithExceptionalEdges);
+      return uint64_t(DC.AssignsRemoved);
+    });
     R.DeadCode.AssignsRemoved += DC.AssignsRemoved;
+
     if (CP.ExprsRewritten == 0 && CP.BranchesResolved == 0 &&
         CopyP.UsesRewritten == 0 && DC.AssignsRemoved == 0)
       break;
@@ -31,7 +140,10 @@ OptReport cmm::optimizeProc(IrProc &P, const IrProgram &Prog,
     CS.RespectCutEdges = CS.RespectCutEdges && Opts.WithExceptionalEdges;
     if (!Opts.WithExceptionalEdges)
       CS.RespectCutEdges = false;
-    R.CalleeSaves = placeCalleeSaves(P, Prog, CS);
+    instrumented(R, PassId::CalleeSaves, P, Prog, Opts, [&] {
+      R.CalleeSaves = placeCalleeSaves(P, Prog, CS);
+      return uint64_t(R.CalleeSaves.VarsPlaced);
+    });
   }
   return R;
 }
@@ -50,6 +162,14 @@ OptReport cmm::optimizeProgram(IrProgram &Prog, const OptOptions &Opts) {
         R.CalleeSaves.VarsExcludedByCutEdges;
     Total.CalleeSaves.VarsSpilledForPressure +=
         R.CalleeSaves.VarsSpilledForPressure;
+    for (size_t I = 0; I < NumPassIds; ++I) {
+      Total.Passes[I].Runs += R.Passes[I].Runs;
+      Total.Passes[I].Millis += R.Passes[I].Millis;
+      Total.Passes[I].Changes += R.Passes[I].Changes;
+      Total.Passes[I].NodesDelta += R.Passes[I].NodesDelta;
+      Total.Passes[I].AlsoEdgesDelta += R.Passes[I].AlsoEdgesDelta;
+    }
+    Total.TotalMillis += R.TotalMillis;
   }
   return Total;
 }

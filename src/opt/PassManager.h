@@ -20,6 +20,9 @@
 #include "opt/CopyProp.h"
 #include "opt/DeadCode.h"
 
+#include <array>
+#include <string>
+
 namespace cmm {
 
 /// Pipeline configuration.
@@ -32,6 +35,28 @@ struct OptOptions {
   /// Run the callee-saves placement pass after scalar cleanup.
   bool PlaceCalleeSaves = false;
   CalleeSavesOptions CalleeSaves;
+  /// Print one line per pass execution (procedure, wall time, IR delta) to
+  /// stderr as the pipeline runs. Machine-readable stats are always
+  /// collected in OptReport::Passes regardless of this flag.
+  bool Verbose = false;
+};
+
+/// Identifies a pipeline pass in OptReport::Passes.
+enum class PassId : uint8_t { ConstProp, CopyProp, DeadCode, CalleeSaves };
+inline constexpr size_t NumPassIds = 4;
+const char *passName(PassId Id);
+
+/// Per-pass instrumentation, aggregated over every execution of the pass
+/// (all rounds, all procedures).
+struct PassStat {
+  uint64_t Runs = 0;       ///< executions (procedures x rounds)
+  double Millis = 0;       ///< total wall time
+  uint64_t Changes = 0;    ///< pass-specific rewrite count
+  /// Reachable-node and `also`-edge deltas (after - before), summed. The
+  /// also-edge count is the number of annotation-induced flow edges of
+  /// Table 3 (alt-return + unwind + cut edges over the reachable graph).
+  int64_t NodesDelta = 0;
+  int64_t AlsoEdgesDelta = 0;
 };
 
 /// Aggregate pass statistics.
@@ -40,7 +65,22 @@ struct OptReport {
   CopyPropReport CopyProp;
   DeadCodeReport DeadCode;
   CalleeSavesReport CalleeSaves;
+  /// Indexed by PassId.
+  std::array<PassStat, NumPassIds> Passes;
+  double TotalMillis = 0;
+
+  PassStat &pass(PassId Id) { return Passes[static_cast<size_t>(Id)]; }
+  const PassStat &pass(PassId Id) const {
+    return Passes[static_cast<size_t>(Id)];
+  }
 };
+
+/// Renders \p R as a short human-readable per-pass table.
+std::string optReportText(const OptReport &R);
+
+/// Number of `also`-annotation flow edges over the reachable graph of
+/// \p P (the Table 3 edge count; used for pass IR deltas and tests).
+uint64_t countAlsoEdges(const IrProc &P);
 
 /// Optimizes one procedure.
 OptReport optimizeProc(IrProc &P, const IrProgram &Prog,

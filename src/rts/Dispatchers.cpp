@@ -6,6 +6,8 @@
 
 #include "rts/Dispatchers.h"
 
+#include "sem/Observer.h"
+
 using namespace cmm;
 
 YieldRequest cmm::readYieldRequest(const Machine &T) {
@@ -30,12 +32,25 @@ DispatchResult UnwindingDispatcher::dispatch() {
     return DispatchResult::NotAnExn;
   ++Dispatches;
 
+  // Annotate the yield so traces separate dispatcher work from mutator
+  // work (the observer shows a "dispatch:unwind" span on its own track).
+  MachineObserver *Obs = T.observer();
+  if (Obs)
+    Obs->onDispatchBegin(T, "unwind", Req.Tag);
+
   // The Figure 9 loop: walk activations, map each to its exception
   // descriptor, and unwind to the first handler whose tag matches.
   CmmRuntime Rt(T);
+  auto Done = [&](DispatchResult R) {
+    accumulate(Rt.stats());
+    if (Obs)
+      Obs->onDispatchEnd(T, "unwind", R == DispatchResult::Handled,
+                         Rt.stats().ActivationsVisited);
+    return R;
+  };
   Activation A;
   if (!Rt.firstActivation(A))
-    return DispatchResult::Unhandled;
+    return Done(DispatchResult::Unhandled);
   do {
     std::optional<Value> Desc = Rt.getDescriptor(A, 0);
     if (!Desc)
@@ -45,23 +60,21 @@ DispatchResult UnwindingDispatcher::dispatch() {
       if (H.ExnTag != Req.Tag)
         continue;
       if (!Rt.setActivation(A))
-        return DispatchResult::Unhandled;
+        return Done(DispatchResult::Unhandled);
       if (!Rt.setUnwindCont(H.ContNum))
-        return DispatchResult::Unhandled;
+        return Done(DispatchResult::Unhandled);
       if (H.TakesArg) {
         Value *Slot = Rt.findContParam(0);
         if (!Slot)
-          return DispatchResult::Unhandled;
+          return Done(DispatchResult::Unhandled);
         *Slot = Req.HasArg ? Req.Arg : Value::bits(32, 0);
       }
       if (!Rt.resume())
-        return DispatchResult::Unhandled;
-      accumulate(Rt.stats());
-      return DispatchResult::Handled;
+        return Done(DispatchResult::Unhandled);
+      return Done(DispatchResult::Handled);
     }
   } while (Rt.nextActivation(A));
-  accumulate(Rt.stats());
-  return DispatchResult::Unhandled; // Figure 9: abort(); dump core
+  return Done(DispatchResult::Unhandled); // Figure 9: abort(); dump core
 }
 
 DispatchResult CuttingDispatcher::dispatch() {
@@ -70,22 +83,32 @@ DispatchResult CuttingDispatcher::dispatch() {
     return DispatchResult::NotAnExn;
   ++Dispatches;
 
+  MachineObserver *Obs = T.observer();
+  if (Obs)
+    Obs->onDispatchBegin(T, "cut", Req.Tag);
+  // Constant-time dispatch: no stack walk, zero activations visited.
+  auto Done = [&](DispatchResult R) {
+    if (Obs)
+      Obs->onDispatchEnd(T, "cut", R == DispatchResult::Handled, 0);
+    return R;
+  };
+
   // Pop the topmost handler continuation from the in-memory handler stack.
   std::optional<Value> Top = T.getGlobal(ExnTopGlobal);
   if (!Top || Top->Raw == 0)
-    return DispatchResult::Unhandled;
+    return Done(DispatchResult::Unhandled);
   Value K = Value::bits(32, T.memory().loadBits(Top->Raw, 4));
   T.setGlobal(ExnTopGlobal,
               Value::bits(Top->Width, Top->Raw - TargetInfo::pointerBytes()));
 
   CmmRuntime Rt(T);
   if (!Rt.setCutToCont(K))
-    return DispatchResult::Unhandled;
+    return Done(DispatchResult::Unhandled);
   if (Value *P0 = Rt.findContParam(0))
     *P0 = Value::bits(32, Req.Tag);
   if (Value *P1 = Rt.findContParam(1))
     *P1 = Req.HasArg ? Req.Arg : Value::bits(32, 0);
   if (!Rt.resume())
-    return DispatchResult::Unhandled;
-  return DispatchResult::Handled;
+    return Done(DispatchResult::Unhandled);
+  return Done(DispatchResult::Handled);
 }

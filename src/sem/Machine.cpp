@@ -6,6 +6,7 @@
 
 #include "sem/Machine.h"
 
+#include "sem/Observer.h"
 #include "support/Assert.h"
 #include "support/Casting.h"
 #include "syntax/PrimOps.h"
@@ -28,6 +29,8 @@ void Machine::goWrong(std::string Reason, SourceLoc Loc) {
   St = MachineStatus::Wrong;
   WrongReason = std::move(Reason);
   WrongLoc = Loc;
+  if (Obs)
+    Obs->onWrong(*this, WrongReason, WrongLoc);
 }
 
 Value Machine::codeValue(const IrProc *P) const {
@@ -92,6 +95,8 @@ void Machine::start(Symbol ProcName, std::vector<Value> Args) {
   }
   A = std::move(Args);
   enterProc(P, SourceLoc());
+  if (Obs && St == MachineStatus::Running)
+    Obs->onStart(*this, P);
 }
 
 void Machine::enterProc(const IrProc *P, SourceLoc Loc) {
@@ -480,11 +485,17 @@ std::optional<Value> Machine::evalExpr(const Expr *E) {
 // Transitions (Section 5.2)
 //===----------------------------------------------------------------------===//
 
-bool Machine::step() {
+template <bool Observed> bool Machine::stepImpl() {
   if (St != MachineStatus::Running)
     return false;
   assert(Control && "running without control");
   ++S.Steps;
+  // Yield suspensions are not transitions (the step is undone below), so
+  // they do not fire onStep: profilers attributing steps per procedure stay
+  // in agreement with Stats::Steps.
+  if constexpr (Observed)
+    if (Control->kind() != Node::Kind::Yield)
+      Obs->onStep(*this, Control);
 
   switch (Control->kind()) {
   case Node::Kind::Entry: {
@@ -506,6 +517,8 @@ bool Machine::step() {
     if (Stack.empty()) {
       if (E->ContIndex == 0 && E->AltCount == 0) {
         St = MachineStatus::Halted; // terminated normally
+        if constexpr (Observed)
+          Obs->onHalt(*this);
       } else {
         goWrong("abnormal return with an empty stack", E->Loc);
       }
@@ -526,12 +539,15 @@ bool Machine::step() {
       goWrong("return continuation index out of range", E->Loc);
       return false;
     }
+    const IrProc *Callee = CurProc;
     Control = B.ReturnsTo[E->ContIndex];
     Rho = std::move(F.SavedEnv);
     Sigma = std::move(F.SavedSigma);
     Uid = F.Uid;
     CurProc = F.Proc;
     ++S.Returns;
+    if constexpr (Observed)
+      Obs->onReturn(*this, F.CallSite, Callee, CurProc, E->ContIndex);
     return true;
   }
 
@@ -637,9 +653,12 @@ bool Machine::step() {
       goWrong("call target is not code (" + Callee->str() + ")", C->Loc);
       return false;
     }
+    const IrProc *Caller = CurProc;
     pushFrame(C);
     enterProc(Target, C->Loc);
     ++S.Calls;
+    if constexpr (Observed)
+      Obs->onCall(*this, C, Caller, Target);
     return true;
   }
 
@@ -662,8 +681,11 @@ bool Machine::step() {
     }
     // Tail call: the caller's resources are deallocated before the call;
     // the continuation bundle on the stack is reused.
+    const IrProc *Caller = CurProc;
     enterProc(Target, J->Loc);
     ++S.Jumps;
+    if constexpr (Observed)
+      Obs->onJump(*this, J, Caller, Target);
     return true;
   }
 
@@ -681,10 +703,16 @@ bool Machine::step() {
     --S.Steps;
     ++S.Yields;
     St = MachineStatus::Suspended;
+    if constexpr (Observed)
+      Obs->onYield(*this);
     return false;
   }
   cmm_unreachable("unknown node kind");
 }
+
+// The inline step() in Machine.h dispatches to these from any TU.
+template bool Machine::stepImpl<true>();
+template bool Machine::stepImpl<false>();
 
 bool Machine::doCutTo(const Value &ContVal, const CutToNode *FromNode) {
   SourceLoc Loc = FromNode ? FromNode->Loc : SourceLoc();
@@ -708,11 +736,14 @@ bool Machine::doCutTo(const Value &ContVal, const CutToNode *FromNode) {
     Sigma.clear();
     Control = Rec->Target;
     ++S.Cuts;
+    if (Obs)
+      Obs->onCut(*this, FromNode, Rec->Proc, 0, /*SameActivation=*/true);
     return true;
   }
 
   // Remove activations until the target's frame is on top. Each removed
   // frame's suspended call must be annotated `also aborts`.
+  uint64_t Discarded = 0;
   while (!Stack.empty() && Stack.back().Uid != Rec->Uid) {
     if (!Stack.back().CallSite->Bundle.Abort) {
       goWrong("cut truncates the stack past a call site that lacks an "
@@ -720,8 +751,12 @@ bool Machine::doCutTo(const Value &ContVal, const CutToNode *FromNode) {
               Loc);
       return false;
     }
+    if (Obs)
+      Obs->onCutFrameDiscarded(*this, Stack.back().CallSite,
+                               Stack.back().Proc);
     Stack.pop_back();
     ++S.FramesCutOver;
+    ++Discarded;
   }
   if (Stack.empty()) {
     goWrong("cut to a dead continuation (its activation is no longer on "
@@ -747,14 +782,27 @@ bool Machine::doCutTo(const Value &ContVal, const CutToNode *FromNode) {
   Uid = F.Uid;
   CurProc = F.Proc;
   ++S.Cuts;
+  if (Obs)
+    Obs->onCut(*this, FromNode, Rec->Proc, Discarded,
+               /*SameActivation=*/false);
   return true;
 }
 
 MachineStatus Machine::run(uint64_t MaxSteps) {
   uint64_t Budget = MaxSteps;
-  while (St == MachineStatus::Running && Budget != 0) {
-    step();
-    --Budget;
+  // Pick the step instantiation once, outside the hot loop: the unobserved
+  // loop is branch-for-branch the loop this machine had before observers
+  // existed.
+  if (Obs) {
+    while (St == MachineStatus::Running && Budget != 0) {
+      stepImpl<true>();
+      --Budget;
+    }
+  } else {
+    while (St == MachineStatus::Running && Budget != 0) {
+      stepImpl<false>();
+      --Budget;
+    }
   }
   return St;
 }
@@ -781,6 +829,9 @@ bool Machine::rtUnwindTop(size_t Count) {
               Stack.back().CallSite->Loc);
       return false;
     }
+    if (Obs)
+      Obs->onUnwindPop(*this, Stack.back().CallSite, Stack.back().Proc,
+                       /*Resumed=*/false);
     Stack.pop_back();
     ++S.UnwindPops;
   }
@@ -869,8 +920,13 @@ bool Machine::rtResume(const ResumeChoice &Choice,
   Uid = F.Uid;
   CurProc = F.Proc;
   A = std::move(Params);
-  if (Choice.K == ResumeChoice::Kind::Unwind)
+  if (Choice.K == ResumeChoice::Kind::Unwind) {
     ++S.UnwindPops;
+    if (Obs)
+      Obs->onUnwindPop(*this, F.CallSite, F.Proc, /*Resumed=*/true);
+  }
   St = MachineStatus::Running;
+  if (Obs)
+    Obs->onResume(*this, Choice.K, Choice.Index);
   return true;
 }

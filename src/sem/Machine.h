@@ -46,6 +46,8 @@
 
 namespace cmm {
 
+class MachineObserver; // sem/Observer.h
+
 /// Lifecycle of a machine.
 enum class MachineStatus : uint8_t {
   Idle,      ///< constructed, not started
@@ -106,7 +108,7 @@ public:
 
   /// Performs one transition. Returns false when the machine is not
   /// Running (suspended machines must be resumed through rtResume).
-  bool step();
+  bool step() { return Obs ? stepImpl<true>() : stepImpl<false>(); }
 
   /// Steps until the machine stops running or \p MaxSteps transitions have
   /// executed; returns the final status (Running on step-limit).
@@ -122,6 +124,13 @@ public:
 
   const Stats &stats() const { return S; }
   void resetStats() { S.reset(); }
+
+  /// Attaches \p O (null detaches). The machine does not own the observer;
+  /// it must outlive the run. With no observer attached every event site
+  /// costs exactly one branch-on-pointer, and behaviour is identical to an
+  /// unobserved machine.
+  void setObserver(MachineObserver *O) { Obs = O; }
+  MachineObserver *observer() const { return Obs; }
 
   Memory &memory() { return Mem; }
   const Memory &memory() const { return Mem; }
@@ -170,6 +179,12 @@ public:
   std::optional<unsigned> resumeParamCount(const ResumeChoice &Choice) const;
 
 private:
+  /// The transition engine. Observed instantiates the event-emission sites;
+  /// the unobserved instantiation carries zero extra branches, so an
+  /// uninstrumented run pays nothing per step (the run() hot loop picks the
+  /// instantiation once, outside the loop).
+  template <bool Observed> bool stepImpl();
+
   void goWrong(std::string Reason, SourceLoc Loc);
   void pushFrame(const CallNode *Site);
   void enterProc(const IrProc *P, SourceLoc Loc);
@@ -206,6 +221,7 @@ private:
   std::string WrongReason;
   SourceLoc WrongLoc;
   Stats S;
+  MachineObserver *Obs = nullptr;
 };
 
 } // namespace cmm

@@ -1,0 +1,266 @@
+//===- sem/Observer.h - Machine event hooks ---------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MachineObserver hook interface: a null-by-default listener the
+/// Machine notifies about every interesting transition. The uninstrumented
+/// hot loop pays exactly one branch-on-pointer per event site; with no
+/// observer attached the machine's behaviour and Stats are bit-identical to
+/// an unobserved run (tests/ObserverTest.cpp guards this).
+///
+/// Observers receive the machine *after* the transition completed, so
+/// stackDepth(), currentProc() and stats() reflect the post-state. The
+/// event vocabulary mirrors the Section 5.2 transitions plus the run-time
+///-system actions of Table 1:
+///
+///   onStep        every counted transition (fires before the switch)
+///   onCall        Call: a frame was pushed and the callee entered
+///   onJump        Jump: a tail call replaced the current activation
+///   onReturn      Exit: a frame was popped, control back in the caller
+///   onCut         a successful cut to (same-activation or cross-frame)
+///   onCutFrameDiscarded  one frame thrown away while cutting the stack
+///   onYield       the machine suspended into the run-time system
+///   onUnwindPop   the run-time system popped one frame (Yield unwind rule)
+///   onResume      the run-time system restarted the machine
+///   onWrong       the machine entered the Wrong state
+///
+/// The two onDispatch* events are emitted by the src/rts dispatchers (not
+/// by the Machine) so traces can tell dispatcher work from mutator work.
+///
+/// Implementations of observers (trace sinks, profilers) live in src/obs;
+/// this header stays in sem so the Machine needs no dependency on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SEM_OBSERVER_H
+#define CMM_SEM_OBSERVER_H
+
+#include "sem/Machine.h"
+
+#include <string_view>
+#include <vector>
+
+namespace cmm {
+
+/// Listener for Machine transitions. Every callback has an empty default
+/// body so concrete observers override only what they need.
+class MachineObserver {
+public:
+  virtual ~MachineObserver() = default;
+
+  /// The machine entered \p Entry via start(). Fires once per start().
+  virtual void onStart(const Machine &M, const IrProc *Entry) {
+    (void)M;
+    (void)Entry;
+  }
+
+  /// The machine reached Halted (normal Exit with an empty stack).
+  virtual void onHalt(const Machine &M) { (void)M; }
+
+  /// One counted transition is about to execute with control at \p N.
+  /// Yield suspensions are not steps (the paper's cost model) and do not
+  /// fire this; they fire onYield instead.
+  virtual void onStep(const Machine &M, const Node *N) {
+    (void)M;
+    (void)N;
+  }
+
+  /// A Call transition completed: \p Site in \p Caller pushed a frame and
+  /// entered \p Callee.
+  virtual void onCall(const Machine &M, const CallNode *Site,
+                      const IrProc *Caller, const IrProc *Callee) {
+    (void)M;
+    (void)Site;
+    (void)Caller;
+    (void)Callee;
+  }
+
+  /// A Jump transition completed: \p Caller tail-called \p Callee.
+  virtual void onJump(const Machine &M, const JumpNode *Site,
+                      const IrProc *Caller, const IrProc *Callee) {
+    (void)M;
+    (void)Site;
+    (void)Caller;
+    (void)Callee;
+  }
+
+  /// An Exit transition completed: \p Callee returned through \p Site back
+  /// into \p Caller. \p ContIndex is the return continuation chosen
+  /// (the i of return <i/n>; 0 is the normal return).
+  virtual void onReturn(const Machine &M, const CallNode *Site,
+                        const IrProc *Callee, const IrProc *Caller,
+                        unsigned ContIndex) {
+    (void)M;
+    (void)Site;
+    (void)Callee;
+    (void)Caller;
+    (void)ContIndex;
+  }
+
+  /// One frame, suspended at \p Site of \p Owner, was discarded while
+  /// cutting the stack. Fires once per discarded frame, before onCut.
+  virtual void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+                                   const IrProc *Owner) {
+    (void)M;
+    (void)Site;
+    (void)Owner;
+  }
+
+  /// A cut to completed. \p From is the cut to node, or null when the cut
+  /// was staged by the run-time system (SetCutToCont). \p Target is the
+  /// procedure owning the continuation. \p FramesDiscarded frames were
+  /// thrown away (0 for a cut to a continuation of the current
+  /// activation, flagged by \p SameActivation).
+  virtual void onCut(const Machine &M, const CutToNode *From,
+                     const IrProc *Target, uint64_t FramesDiscarded,
+                     bool SameActivation) {
+    (void)M;
+    (void)From;
+    (void)Target;
+    (void)FramesDiscarded;
+    (void)SameActivation;
+  }
+
+  /// The machine suspended at a Yield; the yield arguments are in
+  /// M.argArea().
+  virtual void onYield(const Machine &M) { (void)M; }
+
+  /// The run-time system popped the frame suspended at \p Site of
+  /// \p Owner (the Yield unwind rule; requires `also aborts`).
+  /// \p Resumed is false for SetActivation-style pops that discard the
+  /// frame, true for the final pop of an unwinding Resume, where control
+  /// continues in this very frame at its `also unwinds to` continuation.
+  virtual void onUnwindPop(const Machine &M, const CallNode *Site,
+                           const IrProc *Owner, bool Resumed) {
+    (void)M;
+    (void)Site;
+    (void)Owner;
+    (void)Resumed;
+  }
+
+  /// The run-time system resumed the machine by Return or Unwind (a
+  /// resumption by Cut fires onCut instead). \p Index picks the
+  /// continuation in the bundle's respective list.
+  virtual void onResume(const Machine &M, ResumeChoice::Kind K,
+                        unsigned Index) {
+    (void)M;
+    (void)K;
+    (void)Index;
+  }
+
+  /// The machine has gone wrong.
+  virtual void onWrong(const Machine &M, const std::string &Reason,
+                       SourceLoc Loc) {
+    (void)M;
+    (void)Reason;
+    (void)Loc;
+  }
+
+  /// A front-end dispatcher began servicing the current suspension.
+  /// Emitted by src/rts, not by the Machine.
+  virtual void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+                               uint64_t Tag) {
+    (void)M;
+    (void)Dispatcher;
+    (void)Tag;
+  }
+
+  /// The dispatcher finished; \p ActivationsVisited is its interpretive
+  /// stack-walk cost (0 for constant-time dispatchers).
+  virtual void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+                             bool Handled, uint64_t ActivationsVisited) {
+    (void)M;
+    (void)Dispatcher;
+    (void)Handled;
+    (void)ActivationsVisited;
+  }
+};
+
+/// Fans one event stream out to several observers (e.g. a TraceSink and a
+/// Profiler at once). Order of notification is the order of addition.
+class MultiObserver final : public MachineObserver {
+public:
+  void add(MachineObserver *O) {
+    if (O)
+      Obs.push_back(O);
+  }
+  bool empty() const { return Obs.empty(); }
+  size_t size() const { return Obs.size(); }
+
+  void onStart(const Machine &M, const IrProc *Entry) override {
+    for (MachineObserver *O : Obs)
+      O->onStart(M, Entry);
+  }
+  void onHalt(const Machine &M) override {
+    for (MachineObserver *O : Obs)
+      O->onHalt(M);
+  }
+  void onStep(const Machine &M, const Node *N) override {
+    for (MachineObserver *O : Obs)
+      O->onStep(M, N);
+  }
+  void onCall(const Machine &M, const CallNode *Site, const IrProc *Caller,
+              const IrProc *Callee) override {
+    for (MachineObserver *O : Obs)
+      O->onCall(M, Site, Caller, Callee);
+  }
+  void onJump(const Machine &M, const JumpNode *Site, const IrProc *Caller,
+              const IrProc *Callee) override {
+    for (MachineObserver *O : Obs)
+      O->onJump(M, Site, Caller, Callee);
+  }
+  void onReturn(const Machine &M, const CallNode *Site, const IrProc *Callee,
+                const IrProc *Caller, unsigned ContIndex) override {
+    for (MachineObserver *O : Obs)
+      O->onReturn(M, Site, Callee, Caller, ContIndex);
+  }
+  void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+                           const IrProc *Owner) override {
+    for (MachineObserver *O : Obs)
+      O->onCutFrameDiscarded(M, Site, Owner);
+  }
+  void onCut(const Machine &M, const CutToNode *From, const IrProc *Target,
+             uint64_t FramesDiscarded, bool SameActivation) override {
+    for (MachineObserver *O : Obs)
+      O->onCut(M, From, Target, FramesDiscarded, SameActivation);
+  }
+  void onYield(const Machine &M) override {
+    for (MachineObserver *O : Obs)
+      O->onYield(M);
+  }
+  void onUnwindPop(const Machine &M, const CallNode *Site,
+                   const IrProc *Owner, bool Resumed) override {
+    for (MachineObserver *O : Obs)
+      O->onUnwindPop(M, Site, Owner, Resumed);
+  }
+  void onResume(const Machine &M, ResumeChoice::Kind K,
+                unsigned Index) override {
+    for (MachineObserver *O : Obs)
+      O->onResume(M, K, Index);
+  }
+  void onWrong(const Machine &M, const std::string &Reason,
+               SourceLoc Loc) override {
+    for (MachineObserver *O : Obs)
+      O->onWrong(M, Reason, Loc);
+  }
+  void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+                       uint64_t Tag) override {
+    for (MachineObserver *O : Obs)
+      O->onDispatchBegin(M, Dispatcher, Tag);
+  }
+  void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+                     bool Handled, uint64_t ActivationsVisited) override {
+    for (MachineObserver *O : Obs)
+      O->onDispatchEnd(M, Dispatcher, Handled, ActivationsVisited);
+  }
+
+private:
+  std::vector<MachineObserver *> Obs;
+};
+
+} // namespace cmm
+
+#endif // CMM_SEM_OBSERVER_H

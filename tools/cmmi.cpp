@@ -12,7 +12,16 @@
 //   --optimize       run the optimizer pipeline first
 //   --no-stdlib      do not link the %%div standard library
 //   --dump-ir        print the Abstract C-- graphs and exit
-//   --stats          print machine counters after the run
+//   --stats          print all machine counters after the run
+//   --stats-json F   write machine/opt/profile stats as JSON to F ("-" for
+//                    stdout)
+//   --profile        per-procedure and per-call-site profile report
+//   --trace F        stream machine events to F ("-" for stdout)
+//   --trace-format X jsonl (default) or chrome (chrome://tracing/Perfetto)
+//   --trace-steps    include one trace event per machine transition
+//   --trace-ring N   keep only the newest N events (flight recorder)
+//   --opt-stats      print per-pass wall time and IR deltas (with
+//                    --optimize)
 //
 // Exit status: 0 on normal termination, 1 on compile errors, 2 when the
 // program goes wrong, 3 on an unhandled yield.
@@ -22,12 +31,17 @@
 #include "ir/IrPrinter.h"
 #include "ir/Translate.h"
 #include "ir/Validate.h"
+#include "obs/Profiler.h"
+#include "obs/StatsJson.h"
+#include "obs/Trace.h"
 #include "opt/PassManager.h"
 #include "rts/Dispatchers.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace cmm;
@@ -43,7 +57,16 @@ void usage() {
       "  --optimize       run the optimizer pipeline first\n"
       "  --no-stdlib      do not link the %%%%div standard library\n"
       "  --dump-ir        print the Abstract C-- graphs and exit\n"
-      "  --stats          print machine counters after the run\n");
+      "  --stats          print all machine counters after the run\n"
+      "  --stats-json F   write machine/opt/profile stats as JSON to F\n"
+      "                   (\"-\" for stdout)\n"
+      "  --profile        per-procedure / per-call-site profile report\n"
+      "  --trace F        stream machine events to F (\"-\" for stdout)\n"
+      "  --trace-format X jsonl (default) or chrome\n"
+      "  --trace-steps    include one trace event per transition\n"
+      "  --trace-ring N   keep only the newest N events\n"
+      "  --opt-stats      per-pass wall time and IR deltas (needs "
+      "--optimize)\n");
 }
 
 } // namespace
@@ -51,7 +74,10 @@ void usage() {
 int main(int Argc, char **Argv) {
   std::string Entry = "main";
   std::string Dispatcher = "unwind";
+  std::string TraceFile, TraceFormat = "jsonl", StatsJsonFile;
   bool Optimize = false, StdLib = true, DumpIr = false, ShowStats = false;
+  bool Profile = false, TraceSteps = false, OptStats = false;
+  size_t TraceRing = 0;
   std::vector<std::string> Files;
   std::vector<Value> Args;
 
@@ -74,6 +100,20 @@ int main(int Argc, char **Argv) {
       DumpIr = true;
     } else if (A == "--stats") {
       ShowStats = true;
+    } else if (A == "--stats-json" && I + 1 < Argc) {
+      StatsJsonFile = Argv[++I];
+    } else if (A == "--profile") {
+      Profile = true;
+    } else if (A == "--trace" && I + 1 < Argc) {
+      TraceFile = Argv[++I];
+    } else if (A == "--trace-format" && I + 1 < Argc) {
+      TraceFormat = Argv[++I];
+    } else if (A == "--trace-steps") {
+      TraceSteps = true;
+    } else if (A == "--trace-ring" && I + 1 < Argc) {
+      TraceRing = std::strtoull(Argv[++I], nullptr, 0);
+    } else if (A == "--opt-stats") {
+      OptStats = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -90,6 +130,11 @@ int main(int Argc, char **Argv) {
 
   if (Files.empty()) {
     usage();
+    return 1;
+  }
+  if (TraceFormat != "jsonl" && TraceFormat != "chrome") {
+    std::fprintf(stderr, "cmmi: unknown trace format '%s'\n",
+                 TraceFormat.c_str());
     return 1;
   }
 
@@ -111,10 +156,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
+  OptReport OptR;
   if (Optimize) {
     OptOptions Opts;
     Opts.PlaceCalleeSaves = true;
-    optimizeProgram(*Prog, Opts);
+    OptR = optimizeProgram(*Prog, Opts);
     DiagnosticEngine VDiags;
     if (!validateProgram(*Prog, VDiags)) {
       std::fprintf(stderr, "internal: optimizer broke the graph\n%s",
@@ -128,15 +174,54 @@ int main(int Argc, char **Argv) {
   }
 
   Machine M(*Prog);
+
+  // Observability: trace sink and profiler fan in through one multiplexer
+  // so the uninstrumented run keeps a null observer pointer.
+  std::ofstream TraceFileStream;
+  std::unique_ptr<TraceSink> Trace;
+  if (!TraceFile.empty()) {
+    std::ostream *TraceOS = &std::cout;
+    if (TraceFile != "-") {
+      TraceFileStream.open(TraceFile);
+      if (!TraceFileStream) {
+        std::fprintf(stderr, "cmmi: cannot write '%s'\n", TraceFile.c_str());
+        return 1;
+      }
+      TraceOS = &TraceFileStream;
+    }
+    TraceOptions TO;
+    TO.Fmt = TraceFormat == "chrome" ? TraceOptions::Format::Chrome
+                                     : TraceOptions::Format::Jsonl;
+    TO.IncludeSteps = TraceSteps;
+    TO.RingCapacity = TraceRing;
+    Trace = std::make_unique<TraceSink>(*TraceOS, TO);
+  }
+  Profiler Prof;
+  MultiObserver Multi;
+  if (Trace)
+    Multi.add(Trace.get());
+  if (Profile)
+    Multi.add(&Prof);
+  if (Multi.size() == 1)
+    M.setObserver(Trace ? static_cast<MachineObserver *>(Trace.get())
+                        : &Prof);
+  else if (!Multi.empty())
+    M.setObserver(&Multi);
+
   M.start(Entry, std::move(Args));
 
   MachineStatus St;
+  RtStats Walk;
+  uint64_t Dispatches = 0;
   if (Dispatcher == "unwind") {
     UnwindingDispatcher D(M);
     St = runWithRuntime(M, std::ref(D));
+    Walk = D.walkStats();
+    Dispatches = D.dispatches();
   } else if (Dispatcher == "cut") {
     CuttingDispatcher D(M);
     St = runWithRuntime(M, std::ref(D));
+    Dispatches = D.dispatches();
   } else if (Dispatcher == "none") {
     St = M.run();
   } else {
@@ -144,6 +229,8 @@ int main(int Argc, char **Argv) {
                  Dispatcher.c_str());
     return 1;
   }
+  if (Trace)
+    Trace->finish();
 
   int Exit = 0;
   switch (St) {
@@ -175,14 +262,61 @@ int main(int Argc, char **Argv) {
 
   if (ShowStats) {
     const Stats &S = M.stats();
-    std::fprintf(stderr,
-                 "steps=%llu calls=%llu jumps=%llu returns=%llu cuts=%llu "
-                 "yields=%llu loads=%llu stores=%llu max_depth=%llu\n",
-                 (unsigned long long)S.Steps, (unsigned long long)S.Calls,
-                 (unsigned long long)S.Jumps, (unsigned long long)S.Returns,
-                 (unsigned long long)S.Cuts, (unsigned long long)S.Yields,
-                 (unsigned long long)S.Loads, (unsigned long long)S.Stores,
-                 (unsigned long long)S.MaxStackDepth);
+    std::fprintf(
+        stderr,
+        "steps=%llu calls=%llu jumps=%llu returns=%llu cuts=%llu "
+        "frames_cut_over=%llu yields=%llu unwind_pops=%llu "
+        "conts_bound=%llu loads=%llu stores=%llu callee_save_moves=%llu "
+        "max_depth=%llu\n",
+        (unsigned long long)S.Steps, (unsigned long long)S.Calls,
+        (unsigned long long)S.Jumps, (unsigned long long)S.Returns,
+        (unsigned long long)S.Cuts, (unsigned long long)S.FramesCutOver,
+        (unsigned long long)S.Yields, (unsigned long long)S.UnwindPops,
+        (unsigned long long)S.ContsBound, (unsigned long long)S.Loads,
+        (unsigned long long)S.Stores,
+        (unsigned long long)S.CalleeSaveMoves,
+        (unsigned long long)S.MaxStackDepth);
+  }
+  if (OptStats && Optimize)
+    std::fprintf(stderr, "%s", optReportText(OptR).c_str());
+  if (Profile)
+    std::fprintf(stderr, "%s", Prof.report().c_str());
+
+  if (!StatsJsonFile.empty()) {
+    JsonWriter W;
+    W.beginObject();
+    W.field("entry", std::string_view(Entry));
+    W.field("dispatcher", std::string_view(Dispatcher));
+    W.field("status",
+            St == MachineStatus::Halted
+                ? "halted"
+                : (St == MachineStatus::Wrong ? "wrong" : "suspended"));
+    W.key("stats");
+    writeStatsJson(W, M.stats());
+    if (Dispatcher != "none") {
+      W.key("rt");
+      writeRtStatsJson(W, Walk, Dispatches);
+    }
+    if (Optimize) {
+      W.key("opt");
+      writeOptReportJson(W, OptR);
+    }
+    if (Profile) {
+      W.key("profile");
+      Prof.writeJson(W);
+    }
+    W.endObject();
+    if (StatsJsonFile == "-") {
+      std::printf("%s\n", W.str().c_str());
+    } else {
+      std::ofstream Out(StatsJsonFile);
+      if (!Out) {
+        std::fprintf(stderr, "cmmi: cannot write '%s'\n",
+                     StatsJsonFile.c_str());
+        return 1;
+      }
+      Out << W.str() << '\n';
+    }
   }
   return Exit;
 }
