@@ -5,35 +5,67 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A deterministic random generator of well-formed C-- programs that use
-/// exceptions through stack cutting. The programs exercise the shapes the
-/// paper's optimizer discussion cares about: values computed before a call,
-/// used after its normal return, and/or used in a handler continuation the
-/// call can cut to. Used by the property-based optimizer-soundness tests
-/// and by the Table 3 ablation benchmark.
+/// A deterministic random generator of well-formed C-- programs that raise
+/// and handle exceptions. One seed describes one *computation*; the same
+/// computation can be rendered under any of the paper's exception
+/// implementations (Figure 2 plus CPS): stack cutting in generated code,
+/// stack cutting through the run-time system, compiled unwinding via
+/// abnormal returns, interpretive run-time unwinding with descriptors, and
+/// continuation-passing style. Every rendering of a seed computes the same
+/// answer, which is the oracle the differential harness (DiffHarness.h)
+/// cross-checks. The programs exercise the shapes the paper's optimizer
+/// discussion cares about: values computed before a call, used after its
+/// normal return, and/or used in a handler continuation the call can reach
+/// exceptionally.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CMM_COSTMODEL_RANDOMPROGRAM_H
 #define CMM_COSTMODEL_RANDOMPROGRAM_H
 
+#include "costmodel/DispatchWorkloads.h"
+
 #include <cstdint>
 #include <string>
 
 namespace cmm {
 
-/// Generator parameters.
+/// Generator parameters. All random draws are independent of Strategy, so
+/// two options structs differing only in Strategy yield two renderings of
+/// the same underlying computation.
 struct RandomProgramOptions {
   unsigned NumProcs = 4;        ///< call-chain depth (>= 2)
   unsigned StmtsPerBlock = 5;   ///< straight-line statements per block
   unsigned RaiseChancePct = 50; ///< probability the leaf raises
   bool UseHandlers = true;      ///< generate TRY-like handler scopes
+  /// The exception implementation to render (the Figure 2 design space
+  /// plus CPS).
+  DispatchTechnique Strategy = DispatchTechnique::CutGenerated;
+  /// Use the checked %%divu/%%modu standard-library procedures (with
+  /// guaranteed-nonzero divisors) in generated statements.
+  bool UseCheckedDiv = true;
+  /// Use %divu/%modu/%shra/%ltu/... primitives in expressions, with
+  /// divisors forced nonzero so evaluation cannot fail.
+  bool UsePrims = true;
+  /// Percent chance, per generated statement slot, of an *unguarded*
+  /// fast-path division whose divisor may be zero for some inputs. Such a
+  /// program goes wrong — identically under every strategy.
+  unsigned WrongChancePct = 0;
 };
 
 /// Generates a self-contained C-- module exporting `main`, deterministic in
 /// \p Seed. main takes one bits32 argument and returns one bits32 result.
+/// The renderings for DispatchTechnique::CutRuntime / UnwindRuntime expect
+/// the CuttingDispatcher / UnwindingDispatcher to service their yields; the
+/// other three run without a run-time system.
 std::string generateRandomProgram(uint64_t Seed,
                                   const RandomProgramOptions &Opts = {});
+
+/// The exception tags a generated leaf can raise ([RandomRaiseTagBase,
+/// RandomRaiseTagBase + RandomRaiseTagCount)). The unwinding rendering
+/// emits one descriptor entry and one handler continuation per tag.
+inline constexpr unsigned RandomRaiseTagBase = 10;
+inline constexpr unsigned RandomRaiseTagCount = 3;
 
 } // namespace cmm
 

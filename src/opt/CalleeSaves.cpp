@@ -72,6 +72,37 @@ CalleeSavesReport cmm::placeCalleeSaves(IrProc &P, const IrProgram &Prog,
     ++Report.CallsAnnotated;
     Report.VarsPlaced += static_cast<unsigned>(CS->Saved.size());
   }
+
+  // A CalleeSaves set stays in effect until the next CalleeSaves node, so a
+  // call we chose not to annotate can still execute with variables in
+  // callee-saves registers, left there by an earlier call's node on the
+  // same path. If such a variable is live into one of the call's cut
+  // continuations, the cut kills it — the very hazard the exclusion above
+  // guards against. Flush: give every such call an empty CalleeSaves node,
+  // returning the registers' contents to the frame before the call. Empty
+  // sets only shrink the downstream may-Sigma, so one pass suffices.
+  if (Opts.RespectCutEdges) {
+    std::vector<BitVector> MaySigma = computeMaySigma(P, U);
+    std::vector<CallNode *> Hazardous;
+    for (Node *N : reachableNodes(P)) {
+      auto *C = dyn_cast<CallNode>(N);
+      if (!C || C->Bundle.CutsTo.empty())
+        continue;
+      BitVector Hazard(U.size());
+      for (Node *Cut : C->Bundle.CutsTo)
+        Hazard.unionWith(liveIntoContinuation(L, U, Cut));
+      Hazard.intersectWith(MaySigma[C->Id]);
+      if (Hazard.count() != 0)
+        Hazardous.push_back(C);
+    }
+    for (CallNode *C : Hazardous) {
+      auto *CS = P.make<CalleeSavesNode>();
+      CS->Loc = C->Loc;
+      replaceAllSuccessorUses(P, C, CS);
+      CS->Next = C;
+      ++Report.CutHazardFlushes;
+    }
+  }
   return Report;
 }
 

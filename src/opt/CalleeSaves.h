@@ -42,6 +42,11 @@ struct CalleeSavesReport {
   unsigned VarsExcludedByCutEdges = 0;
   /// Variables that could not be placed for lack of registers (spills).
   unsigned VarsSpilledForPressure = 0;
+  /// Cut-edged calls that received an empty CalleeSaves node purely to
+  /// flush registers left full by an earlier call's placement: a set stays
+  /// in effect until the next CalleeSaves node, so without the flush a cut
+  /// over the call would kill values its continuation needs.
+  unsigned CutHazardFlushes = 0;
 };
 
 /// Places CalleeSaves nodes before every call of \p P.

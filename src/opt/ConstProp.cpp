@@ -132,26 +132,61 @@ std::optional<Value> fold(const Expr *E, const LookupFn &Lookup,
         return std::nullopt;
       Args.push_back(*V);
     }
+    // Fold only operand shapes the machine would accept: Bits operands of
+    // the width the primitive expects. A float or mixed-width operand
+    // (reachable dynamically through an indirect call even though the
+    // static checker rejects it at direct call sites) must keep its
+    // go-wrong behaviour rather than fold to a .Raw reinterpretation.
+    auto BitsSameWidth = [&](unsigned W) {
+      return Args[0].isBits() && Args[1].isBits() && Args[0].Width == W &&
+             Args[1].Width == W;
+    };
+    auto BitsOfWidth = [&](unsigned W) {
+      return Args[0].isBits() && Args[0].Width == W;
+    };
     unsigned W = Args.empty() ? 32 : Args[0].Width;
     switch (*K) {
     case PrimKind::DivU:
-      if (Args[1].Raw == 0)
+      if (!BitsSameWidth(W) || Args[1].Raw == 0)
         return std::nullopt;
       return Value::bits(W, Args[0].Raw / Args[1].Raw);
     case PrimKind::ModU:
-      if (Args[1].Raw == 0)
+      if (!BitsSameWidth(W) || Args[1].Raw == 0)
         return std::nullopt;
       return Value::bits(W, Args[0].Raw % Args[1].Raw);
-    case PrimKind::LtU: return Value::bits(32, Args[0].Raw < Args[1].Raw);
-    case PrimKind::LeU: return Value::bits(32, Args[0].Raw <= Args[1].Raw);
-    case PrimKind::GtU: return Value::bits(32, Args[0].Raw > Args[1].Raw);
-    case PrimKind::GeU: return Value::bits(32, Args[0].Raw >= Args[1].Raw);
-    case PrimKind::Zx64: return Value::bits(64, Args[0].Raw);
+    case PrimKind::LtU:
+      if (!BitsSameWidth(W))
+        return std::nullopt;
+      return Value::bits(32, Args[0].Raw < Args[1].Raw);
+    case PrimKind::LeU:
+      if (!BitsSameWidth(W))
+        return std::nullopt;
+      return Value::bits(32, Args[0].Raw <= Args[1].Raw);
+    case PrimKind::GtU:
+      if (!BitsSameWidth(W))
+        return std::nullopt;
+      return Value::bits(32, Args[0].Raw > Args[1].Raw);
+    case PrimKind::GeU:
+      if (!BitsSameWidth(W))
+        return std::nullopt;
+      return Value::bits(32, Args[0].Raw >= Args[1].Raw);
+    case PrimKind::Zx64:
+      if (!BitsOfWidth(32))
+        return std::nullopt;
+      return Value::bits(64, Args[0].Raw);
     case PrimKind::Sx64:
+      if (!BitsOfWidth(32))
+        return std::nullopt;
       return Value::bits(64,
                          static_cast<uint64_t>(signExtend(Args[0].Raw, 32)));
-    case PrimKind::Lo32: return Value::bits(32, Args[0].Raw);
-    case PrimKind::Hi32: return Value::bits(32, Args[0].Raw >> 32);
+    case PrimKind::Lo32:
+      if (!BitsOfWidth(64))
+        return std::nullopt;
+      return Value::bits(32, Args[0].Raw);
+    case PrimKind::Hi32:
+      if (!BitsOfWidth(64))
+        return std::nullopt;
+      return Value::bits(32, Args[0].Raw >> 32);
     default:
       // Signed division, shifts and float primitives: folded rarely enough
       // that the conservative answer costs nothing.

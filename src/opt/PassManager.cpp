@@ -7,6 +7,7 @@
 #include "opt/PassManager.h"
 
 #include "ir/Succ.h"
+#include "ir/Validate.h"
 
 #include <chrono>
 #include <cstdio>
@@ -76,6 +77,14 @@ void instrumented(OptReport &R, PassId Id, IrProc &P, const IrProgram &Prog,
                  (unsigned long long)NodesAfter,
                  (unsigned long long)EdgesBefore,
                  (unsigned long long)EdgesAfter);
+
+  if (Opts.ValidateEachPass) {
+    DiagnosticEngine VDiags;
+    if (!validateProc(P, *Prog.Names, VDiags))
+      R.ValidationErrors.push_back(std::string(passName(Id)) + " broke " +
+                                   Prog.Names->spelling(P.Name) + ": " +
+                                   VDiags.str());
+  }
 }
 
 } // namespace
@@ -110,26 +119,32 @@ OptReport cmm::optimizeProc(IrProc &P, const IrProgram &Prog,
     return R;
   for (unsigned Round = 0; Round < Opts.Rounds; ++Round) {
     ConstPropReport CP;
-    instrumented(R, PassId::ConstProp, P, Prog, Opts, [&] {
-      CP = propagateConstants(P, Prog, Opts.WithExceptionalEdges);
-      return uint64_t(CP.ExprsRewritten) + CP.BranchesResolved;
-    });
-    R.ConstProp.ExprsRewritten += CP.ExprsRewritten;
-    R.ConstProp.BranchesResolved += CP.BranchesResolved;
+    if (Opts.RunConstProp) {
+      instrumented(R, PassId::ConstProp, P, Prog, Opts, [&] {
+        CP = propagateConstants(P, Prog, Opts.WithExceptionalEdges);
+        return uint64_t(CP.ExprsRewritten) + CP.BranchesResolved;
+      });
+      R.ConstProp.ExprsRewritten += CP.ExprsRewritten;
+      R.ConstProp.BranchesResolved += CP.BranchesResolved;
+    }
 
     CopyPropReport CopyP;
-    instrumented(R, PassId::CopyProp, P, Prog, Opts, [&] {
-      CopyP = propagateCopies(P, Prog, Opts.WithExceptionalEdges);
-      return uint64_t(CopyP.UsesRewritten);
-    });
-    R.CopyProp.UsesRewritten += CopyP.UsesRewritten;
+    if (Opts.RunCopyProp) {
+      instrumented(R, PassId::CopyProp, P, Prog, Opts, [&] {
+        CopyP = propagateCopies(P, Prog, Opts.WithExceptionalEdges);
+        return uint64_t(CopyP.UsesRewritten);
+      });
+      R.CopyProp.UsesRewritten += CopyP.UsesRewritten;
+    }
 
     DeadCodeReport DC;
-    instrumented(R, PassId::DeadCode, P, Prog, Opts, [&] {
-      DC = eliminateDeadCode(P, Prog, Opts.WithExceptionalEdges);
-      return uint64_t(DC.AssignsRemoved);
-    });
-    R.DeadCode.AssignsRemoved += DC.AssignsRemoved;
+    if (Opts.RunDeadCode) {
+      instrumented(R, PassId::DeadCode, P, Prog, Opts, [&] {
+        DC = eliminateDeadCode(P, Prog, Opts.WithExceptionalEdges);
+        return uint64_t(DC.AssignsRemoved);
+      });
+      R.DeadCode.AssignsRemoved += DC.AssignsRemoved;
+    }
 
     if (CP.ExprsRewritten == 0 && CP.BranchesResolved == 0 &&
         CopyP.UsesRewritten == 0 && DC.AssignsRemoved == 0)
@@ -162,6 +177,7 @@ OptReport cmm::optimizeProgram(IrProgram &Prog, const OptOptions &Opts) {
         R.CalleeSaves.VarsExcludedByCutEdges;
     Total.CalleeSaves.VarsSpilledForPressure +=
         R.CalleeSaves.VarsSpilledForPressure;
+    Total.CalleeSaves.CutHazardFlushes += R.CalleeSaves.CutHazardFlushes;
     for (size_t I = 0; I < NumPassIds; ++I) {
       Total.Passes[I].Runs += R.Passes[I].Runs;
       Total.Passes[I].Millis += R.Passes[I].Millis;
@@ -170,6 +186,8 @@ OptReport cmm::optimizeProgram(IrProgram &Prog, const OptOptions &Opts) {
       Total.Passes[I].AlsoEdgesDelta += R.Passes[I].AlsoEdgesDelta;
     }
     Total.TotalMillis += R.TotalMillis;
+    for (std::string &E : R.ValidationErrors)
+      Total.ValidationErrors.push_back(std::move(E));
   }
   return Total;
 }

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 namespace cmm {
 
@@ -32,9 +33,18 @@ struct OptOptions {
   bool WithExceptionalEdges = true;
   /// Rounds of constant propagation + dead-code elimination.
   unsigned Rounds = 2;
+  /// Pass selection. The differential harness runs each scalar pass alone
+  /// to attribute a divergence to the pass that introduced it.
+  bool RunConstProp = true;
+  bool RunCopyProp = true;
+  bool RunDeadCode = true;
   /// Run the callee-saves placement pass after scalar cleanup.
   bool PlaceCalleeSaves = false;
   CalleeSavesOptions CalleeSaves;
+  /// Re-verify the graph (ir/Validate) after every pass execution; any
+  /// problem is recorded in OptReport::ValidationErrors tagged with the
+  /// offending pass and procedure.
+  bool ValidateEachPass = false;
   /// Print one line per pass execution (procedure, wall time, IR delta) to
   /// stderr as the pipeline runs. Machine-readable stats are always
   /// collected in OptReport::Passes regardless of this flag.
@@ -68,6 +78,9 @@ struct OptReport {
   /// Indexed by PassId.
   std::array<PassStat, NumPassIds> Passes;
   double TotalMillis = 0;
+  /// With OptOptions::ValidateEachPass, one entry per pass execution that
+  /// left the graph structurally invalid ("<pass> broke <proc>: <detail>").
+  std::vector<std::string> ValidationErrors;
 
   PassStat &pass(PassId Id) { return Passes[static_cast<size_t>(Id)]; }
   const PassStat &pass(PassId Id) const {

@@ -291,6 +291,13 @@ std::optional<Value> Machine::evalBinary(const BinaryExpr *B) {
     return std::nullopt;
 
   if (L->isFloat() || R->isFloat()) {
+    // A Bits operand carries no meaningful .F, so mixing kinds would
+    // silently compute with 0.0 — go wrong instead, like the other kind
+    // confusions on this path.
+    if (!(L->isFloat() && R->isFloat())) {
+      goWrong("mixed floating-point and bit operands", B->loc());
+      return std::nullopt;
+    }
     double X = L->F, Y = R->F;
     switch (B->Op) {
     case BinOp::Add: return Value::flt(L->Width, X + Y);
@@ -376,17 +383,53 @@ std::optional<Value> Machine::evalPrim(const PrimExpr *P) {
             P->loc());
     return std::optional<Value>();
   };
+  // Operand-kind discipline, mirroring the binary-op path: the static
+  // checker guarantees these shapes at direct call sites, but an indirect
+  // call can launder a float (or a mis-sized word) into any parameter, so
+  // reinterpreting .Raw / .F here would silently compute garbage.
+  auto NeedBits = [&](unsigned Count, unsigned Width) {
+    for (unsigned I = 0; I < Count; ++I) {
+      if (!Args[I].isBits()) {
+        goWrong(std::string(primName(*K)) +
+                    " applied to a floating-point operand",
+                P->loc());
+        return false;
+      }
+      if (Width != 0 && Args[I].Width != Width) {
+        goWrong(std::string(primName(*K)) + " applied to a bits" +
+                    std::to_string(Args[I].Width) + " operand",
+                P->loc());
+        return false;
+      }
+    }
+    return true;
+  };
+  auto NeedFloats = [&](unsigned Count) {
+    for (unsigned I = 0; I < Count; ++I)
+      if (!Args[I].isFloat()) {
+        goWrong(std::string(primName(*K)) + " applied to a bit operand",
+                P->loc());
+        return false;
+      }
+    return true;
+  };
   unsigned W = Args.empty() ? 32 : Args[0].Width;
   switch (*K) {
   case PrimKind::DivU:
+    if (!NeedBits(2, W))
+      return std::nullopt;
     if (Args[1].Raw == 0)
       return WrongZero();
     return Value::bits(W, Args[0].Raw / Args[1].Raw);
   case PrimKind::ModU:
+    if (!NeedBits(2, W))
+      return std::nullopt;
     if (Args[1].Raw == 0)
       return WrongZero();
     return Value::bits(W, Args[0].Raw % Args[1].Raw);
   case PrimKind::DivS: {
+    if (!NeedBits(2, W))
+      return std::nullopt;
     int64_t X = signExtend(Args[0].Raw, W), Y = signExtend(Args[1].Raw, W);
     if (Y == 0)
       return WrongZero();
@@ -397,6 +440,8 @@ std::optional<Value> Machine::evalPrim(const PrimExpr *P) {
     return Value::bits(W, static_cast<uint64_t>(X / Y));
   }
   case PrimKind::ModS: {
+    if (!NeedBits(2, W))
+      return std::nullopt;
     int64_t X = signExtend(Args[0].Raw, W), Y = signExtend(Args[1].Raw, W);
     if (Y == 0)
       return WrongZero();
@@ -404,34 +449,90 @@ std::optional<Value> Machine::evalPrim(const PrimExpr *P) {
       return Value::bits(W, 0);
     return Value::bits(W, static_cast<uint64_t>(X % Y));
   }
-  case PrimKind::LtU: return Value::bits(32, Args[0].Raw < Args[1].Raw);
-  case PrimKind::LeU: return Value::bits(32, Args[0].Raw <= Args[1].Raw);
-  case PrimKind::GtU: return Value::bits(32, Args[0].Raw > Args[1].Raw);
-  case PrimKind::GeU: return Value::bits(32, Args[0].Raw >= Args[1].Raw);
+  case PrimKind::LtU:
+    if (!NeedBits(2, W))
+      return std::nullopt;
+    return Value::bits(32, Args[0].Raw < Args[1].Raw);
+  case PrimKind::LeU:
+    if (!NeedBits(2, W))
+      return std::nullopt;
+    return Value::bits(32, Args[0].Raw <= Args[1].Raw);
+  case PrimKind::GtU:
+    if (!NeedBits(2, W))
+      return std::nullopt;
+    return Value::bits(32, Args[0].Raw > Args[1].Raw);
+  case PrimKind::GeU:
+    if (!NeedBits(2, W))
+      return std::nullopt;
+    return Value::bits(32, Args[0].Raw >= Args[1].Raw);
   case PrimKind::ShrA: {
+    if (!NeedBits(2, W))
+      return std::nullopt;
     int64_t X = signExtend(Args[0].Raw, W);
     uint64_t C = Args[1].Raw;
     if (C >= W)
       return Value::bits(W, X < 0 ? ~uint64_t(0) : 0);
     return Value::bits(W, static_cast<uint64_t>(X >> C));
   }
-  case PrimKind::Zx64: return Value::bits(64, Args[0].Raw);
+  case PrimKind::Zx64:
+    if (!NeedBits(1, 32))
+      return std::nullopt;
+    return Value::bits(64, Args[0].Raw);
   case PrimKind::Sx64:
+    if (!NeedBits(1, 32))
+      return std::nullopt;
     return Value::bits(64, static_cast<uint64_t>(signExtend(Args[0].Raw, 32)));
-  case PrimKind::Lo32: return Value::bits(32, Args[0].Raw);
-  case PrimKind::Hi32: return Value::bits(32, Args[0].Raw >> 32);
-  case PrimKind::FAdd: return Value::flt(Args[0].Width, Args[0].F + Args[1].F);
-  case PrimKind::FSub: return Value::flt(Args[0].Width, Args[0].F - Args[1].F);
-  case PrimKind::FMul: return Value::flt(Args[0].Width, Args[0].F * Args[1].F);
-  case PrimKind::FDiv: return Value::flt(Args[0].Width, Args[0].F / Args[1].F);
-  case PrimKind::FNeg: return Value::flt(Args[0].Width, -Args[0].F);
-  case PrimKind::FEq: return Value::bits(32, Args[0].F == Args[1].F);
-  case PrimKind::FNe: return Value::bits(32, Args[0].F != Args[1].F);
-  case PrimKind::FLt: return Value::bits(32, Args[0].F < Args[1].F);
-  case PrimKind::FLe: return Value::bits(32, Args[0].F <= Args[1].F);
+  case PrimKind::Lo32:
+    if (!NeedBits(1, 64))
+      return std::nullopt;
+    return Value::bits(32, Args[0].Raw);
+  case PrimKind::Hi32:
+    if (!NeedBits(1, 64))
+      return std::nullopt;
+    return Value::bits(32, Args[0].Raw >> 32);
+  case PrimKind::FAdd:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::flt(Args[0].Width, Args[0].F + Args[1].F);
+  case PrimKind::FSub:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::flt(Args[0].Width, Args[0].F - Args[1].F);
+  case PrimKind::FMul:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::flt(Args[0].Width, Args[0].F * Args[1].F);
+  case PrimKind::FDiv:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::flt(Args[0].Width, Args[0].F / Args[1].F);
+  case PrimKind::FNeg:
+    if (!NeedFloats(1))
+      return std::nullopt;
+    return Value::flt(Args[0].Width, -Args[0].F);
+  case PrimKind::FEq:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::bits(32, Args[0].F == Args[1].F);
+  case PrimKind::FNe:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::bits(32, Args[0].F != Args[1].F);
+  case PrimKind::FLt:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::bits(32, Args[0].F < Args[1].F);
+  case PrimKind::FLe:
+    if (!NeedFloats(2))
+      return std::nullopt;
+    return Value::bits(32, Args[0].F <= Args[1].F);
   case PrimKind::I2F:
+    if (!NeedBits(1, 32))
+      return std::nullopt;
     return Value::flt(64, static_cast<double>(signExtend(Args[0].Raw, 32)));
   case PrimKind::F2I: {
+    if (!NeedFloats(1))
+      return std::nullopt;
     double D = Args[0].F;
     if (!(D >= -2147483648.0 && D < 2147483648.0)) {
       goWrong("unspecified: %f2i out of range", P->loc());

@@ -414,4 +414,85 @@ TEST(GoesWrong, RuntimeResumeWhileRunning) {
   EXPECT_EQ(M.status(), MachineStatus::Wrong);
 }
 
+//===----------------------------------------------------------------------===//
+// Operand-kind discipline: primitives on laundered values
+//===----------------------------------------------------------------------===//
+
+// The static checker guarantees operand shapes at direct call sites, but an
+// indirect call can launder a float (or a mis-sized word) into any
+// parameter. The machine must go wrong with a clear message instead of
+// reinterpreting the representation.
+
+TEST(GoesWrong, PrimAppliedToLaunderedFloat) {
+  const char *Src = R"(
+export main;
+g(bits32 v) {
+  bits32 r;
+  r = %divu(v, 3);
+  return (r);
+}
+main() {
+  bits32 t, r;
+  t = g;
+  r = t(1.5);
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "applied to a floating-point operand");
+}
+
+TEST(GoesWrong, PrimAppliedToMisSizedWord) {
+  const char *Src = R"(
+export main;
+g(bits32 v) {
+  bits64 w;
+  w = %zx64(v);
+  return (%lo32(w));
+}
+main() {
+  bits32 t, r;
+  t = g;
+  r = t(%zx64(9));
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "applied to a bits64 operand");
+}
+
+TEST(GoesWrong, FloatPrimAppliedToLaunderedWord) {
+  const char *Src = R"(
+export main;
+g(float64 w) {
+  float64 s;
+  s = %fadd(w, 2.0);
+  return (%f2i(s));
+}
+main() {
+  bits32 t, r;
+  t = g;
+  r = t(5);
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "applied to a bit operand");
+}
+
+TEST(GoesWrong, MixedFloatAndBitArithmetic) {
+  const char *Src = R"(
+export main;
+g(bits32 v) {
+  bits32 r;
+  r = v + 1;
+  return (r);
+}
+main() {
+  bits32 t, r;
+  t = g;
+  r = t(2.5);
+  return (r);
+}
+)";
+  expectWrong(Src, {}, "mixed floating-point and bit operands");
+}
+
 } // namespace

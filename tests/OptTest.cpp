@@ -417,4 +417,66 @@ loop:
   EXPECT_EQ(R[1], b32(120));
 }
 
+//===----------------------------------------------------------------------===//
+// Constant folding operand discipline
+//===----------------------------------------------------------------------===//
+
+// foldConstExpr must only fold operand shapes the machine would accept:
+// Bits of the width the primitive expects. A float or mixed-width operand
+// (reachable dynamically through an indirect call) goes wrong at run time,
+// and folding it to a .Raw reinterpretation would silently change that
+// behaviour — the cmmdiff oracle treats such a change as a miscompile.
+TEST(ConstProp, FoldRefusesUnsoundOperandShapes) {
+  Interner Names;
+  SourceLoc L;
+  auto Int = [&](uint64_t V) -> ExprPtr {
+    return std::make_unique<IntLitExpr>(L, V);
+  };
+  auto Flt = [&](double V) -> ExprPtr {
+    return std::make_unique<FloatLitExpr>(L, V);
+  };
+  auto Prim1 = [&](const char *Name, ExprPtr A) -> ExprPtr {
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(A));
+    return std::make_unique<PrimExpr>(L, Names.intern(Name),
+                                      std::move(Args));
+  };
+  auto Prim2 = [&](const char *Name, ExprPtr A, ExprPtr B) -> ExprPtr {
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(A));
+    Args.push_back(std::move(B));
+    return std::make_unique<PrimExpr>(L, Names.intern(Name),
+                                      std::move(Args));
+  };
+  auto Fold = [&](const ExprPtr &E) { return foldConstExpr(E.get(), Names); };
+
+  // Well-shaped folds still fold.
+  EXPECT_EQ(Fold(Prim2("%ltu", Int(5), Int(7))), Value::bits(32, 1));
+  EXPECT_EQ(Fold(Prim2("%divu", Prim1("%zx64", Int(10)),
+                       Prim1("%zx64", Int(3)))),
+            Value::bits(64, 3));
+  EXPECT_EQ(Fold(Prim1("%hi32", Prim1("%zx64", Int(1)))),
+            Value::bits(32, 0));
+
+  // Mixed widths: bits64 against bits32 must not fold.
+  EXPECT_EQ(Fold(Prim2("%ltu", Prim1("%zx64", Int(5)), Int(7))),
+            std::nullopt);
+  EXPECT_EQ(Fold(Prim2("%divu", Prim1("%zx64", Int(10)), Int(3))),
+            std::nullopt);
+  EXPECT_EQ(Fold(Prim2("%modu", Int(10), Prim1("%sx64", Int(3)))),
+            std::nullopt);
+  EXPECT_EQ(Fold(Prim2("%geu", Prim1("%zx64", Int(1)), Int(1))),
+            std::nullopt);
+
+  // Wrong width for the conversions.
+  EXPECT_EQ(Fold(Prim1("%lo32", Int(5))), std::nullopt);
+  EXPECT_EQ(Fold(Prim1("%zx64", Prim1("%zx64", Int(1)))), std::nullopt);
+
+  // Float operands never fold through the unsigned primitives.
+  EXPECT_EQ(Fold(Prim2("%divu", Flt(1.5), Int(3))), std::nullopt);
+
+  // Evaluation that could fail is never folded away.
+  EXPECT_EQ(Fold(Prim2("%divu", Int(5), Int(0))), std::nullopt);
+}
+
 } // namespace

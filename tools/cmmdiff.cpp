@@ -1,0 +1,276 @@
+//===- tools/cmmdiff.cpp - Differential fuzzing driver --------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Cross-checks the paper's central claim: one seed, rendered under every
+// exception-dispatch strategy and compiled under every optimizer
+// configuration, must compute one answer (docs/DIFFTEST.md):
+//
+//   cmmdiff [options]
+//
+//   --seeds A..B       seed range, inclusive..exclusive (default 0..500)
+//   --threads N        worker threads (default: hardware concurrency)
+//   --procs N          call-chain depth per program
+//   --stmts N          statements per block
+//   --raise-pct N      probability the leaf raises (percent)
+//   --wrong-pct N      chance per statement of an unguarded division
+//   --no-checked-div   disable %%divu/%%modu statements
+//   --no-prims         disable %divu/%shra/... expressions
+//   --no-handlers      generate raise-free programs
+//   --minimize SEED    shrink SEED's divergence to a small reproducer
+//   --repro-out FILE   where --minimize writes the .cmm ("-" for stdout)
+//   --require-ablation fail unless the also-edges ablation diverged
+//   -v                 print every divergence as it is found
+//
+// Exit status: 0 when every seed agrees (and, with --require-ablation, the
+// Table 3 ablation was caught diverging at least once); 1 on unexpected
+// divergences; 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/DiffHarness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cmm;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cmmdiff [options]\n"
+      "  --seeds A..B       seed range, inclusive..exclusive (default "
+      "0..500)\n"
+      "  --threads N        worker threads (default: hardware concurrency)\n"
+      "  --procs N          call-chain depth per program\n"
+      "  --stmts N          statements per block\n"
+      "  --raise-pct N      probability the leaf raises (percent)\n"
+      "  --wrong-pct N      chance per statement of an unguarded division\n"
+      "  --no-checked-div   disable %%%%divu/%%%%modu statements\n"
+      "  --no-prims         disable %%divu/%%shra/... expressions\n"
+      "  --no-handlers      generate raise-free programs\n"
+      "  --minimize SEED    shrink SEED's divergence to a reproducer\n"
+      "  --repro-out FILE   where --minimize writes the .cmm (\"-\" "
+      "stdout)\n"
+      "  --require-ablation fail unless the also-edges ablation diverged\n"
+      "  -v                 print every divergence as it is found\n");
+}
+
+bool parseRange(const std::string &Spec, uint64_t &Lo, uint64_t &Hi) {
+  size_t Dots = Spec.find("..");
+  if (Dots == std::string::npos)
+    return false;
+  char *End = nullptr;
+  Lo = std::strtoull(Spec.c_str(), &End, 0);
+  if (End != Spec.c_str() + Dots)
+    return false;
+  const char *HiStr = Spec.c_str() + Dots + 2;
+  Hi = std::strtoull(HiStr, &End, 0);
+  return *End == '\0' && Lo < Hi;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t SeedLo = 0, SeedHi = 500;
+  unsigned Threads = std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 4;
+  DiffOptions Opts;
+  bool Verbose = false, RequireAblation = false;
+  bool Minimize = false;
+  uint64_t MinimizeSeed = 0;
+  std::string ReproOut = "-";
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextArg = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (A == "--seeds") {
+      const char *V = NextArg();
+      if (!V || !parseRange(V, SeedLo, SeedHi)) {
+        std::fprintf(stderr, "cmmdiff: --seeds wants A..B with A < B\n");
+        return 2;
+      }
+    } else if (A == "--threads") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+      if (Threads == 0)
+        Threads = 1;
+    } else if (A == "--procs") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Opts.Gen.NumProcs = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+      if (Opts.Gen.NumProcs < 2)
+        Opts.Gen.NumProcs = 2;
+    } else if (A == "--stmts") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Opts.Gen.StmtsPerBlock =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (A == "--raise-pct") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Opts.Gen.RaiseChancePct =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (A == "--wrong-pct") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Opts.Gen.WrongChancePct =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (A == "--no-checked-div") {
+      Opts.Gen.UseCheckedDiv = false;
+    } else if (A == "--no-prims") {
+      Opts.Gen.UsePrims = false;
+    } else if (A == "--no-handlers") {
+      Opts.Gen.UseHandlers = false;
+    } else if (A == "--minimize") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Minimize = true;
+      MinimizeSeed = std::strtoull(V, nullptr, 0);
+    } else if (A == "--repro-out") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      ReproOut = V;
+    } else if (A == "--require-ablation") {
+      RequireAblation = true;
+    } else if (A == "-v" || A == "--verbose") {
+      Verbose = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "cmmdiff: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (Minimize) {
+    std::optional<DiffRepro> R = minimizeDivergence(MinimizeSeed, Opts);
+    if (!R) {
+      std::fprintf(stderr, "cmmdiff: seed %llu does not diverge\n",
+                   static_cast<unsigned long long>(MinimizeSeed));
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "cmmdiff: minimized seed %llu to procs=%u stmts=%u "
+                 "[%s / %s]\n  %s\n",
+                 static_cast<unsigned long long>(MinimizeSeed),
+                 R->Gen.NumProcs, R->Gen.StmtsPerBlock,
+                 dispatchTechniqueName(R->Strategy), R->Config.c_str(),
+                 R->Detail.c_str());
+    if (ReproOut == "-") {
+      std::printf("%s", R->Source.c_str());
+    } else {
+      std::ofstream Out(ReproOut);
+      if (!Out) {
+        std::fprintf(stderr, "cmmdiff: cannot write '%s'\n",
+                     ReproOut.c_str());
+        return 2;
+      }
+      Out << R->Source;
+      std::fprintf(stderr, "cmmdiff: wrote %s\n", ReproOut.c_str());
+    }
+    return 0;
+  }
+
+  // Seed-range sharding: one atomic cursor, workers claim the next seed as
+  // they free up, so slow seeds don't stall a fixed-stride partition.
+  std::atomic<uint64_t> Cursor{SeedLo};
+  std::mutex Mu;
+  uint64_t SeedsRun = 0, RunsExecuted = 0, AblationSeeds = 0;
+  std::vector<DiffDivergence> Unexpected;
+  std::vector<uint64_t> UnexpectedSeeds;
+
+  auto Worker = [&] {
+    for (;;) {
+      uint64_t Seed = Cursor.fetch_add(1);
+      if (Seed >= SeedHi)
+        return;
+      DiffSeedResult R = diffTestSeed(Seed, Opts);
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++SeedsRun;
+      RunsExecuted += R.RunsExecuted;
+      if (R.ablationDiverged())
+        ++AblationSeeds;
+      bool SeedHadUnexpected = false;
+      for (DiffDivergence &D : R.Divergences) {
+        if (Verbose || !D.Expected)
+          std::fprintf(stderr, "%s\n", D.str().c_str());
+        if (!D.Expected) {
+          SeedHadUnexpected = true;
+          Unexpected.push_back(std::move(D));
+        }
+      }
+      if (SeedHadUnexpected)
+        UnexpectedSeeds.push_back(Seed);
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T + 1 < Threads; ++T)
+    Pool.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+
+  std::fprintf(stderr,
+               "cmmdiff: %llu seeds, %llu runs (%zu strategies x %zu "
+               "configs), %zu unexpected divergences, ablation diverged on "
+               "%llu seeds\n",
+               static_cast<unsigned long long>(SeedsRun),
+               static_cast<unsigned long long>(RunsExecuted),
+               std::size(AllDispatchTechniques), diffOptConfigs().size(),
+               Unexpected.size(),
+               static_cast<unsigned long long>(AblationSeeds));
+  if (!UnexpectedSeeds.empty()) {
+    std::string List;
+    for (size_t I = 0; I < UnexpectedSeeds.size() && I < 20; ++I)
+      List += (I ? ", " : "") + std::to_string(UnexpectedSeeds[I]);
+    std::fprintf(stderr,
+                 "cmmdiff: diverging seeds: %s%s\n"
+                 "cmmdiff: shrink one with --minimize SEED\n",
+                 List.c_str(), UnexpectedSeeds.size() > 20 ? ", ..." : "");
+    return 1;
+  }
+  if (RequireAblation && AblationSeeds == 0) {
+    std::fprintf(stderr,
+                 "cmmdiff: the also-edges ablation never diverged — the "
+                 "Table 3 soundness check has lost its teeth\n");
+    return 1;
+  }
+  return 0;
+}
