@@ -1,0 +1,200 @@
+//===- bench/bench_interp.cpp - Experiment INTERP -------------------------===//
+//
+// Part of cmmex (see DESIGN.md). Walk-vs-VM backend comparison: the same
+// workloads, executed by the reference tree walker (sem/Machine.h) and by
+// the bytecode VM (vm/Vm.h). Both backends implement identical observable
+// semantics (the differential harness holds them to it, counter for
+// counter), so the wall-time ratio here is pure interpretation overhead:
+// what re-walking expression trees and re-resolving environment symbols on
+// every transition costs, against compiling each procedure to register
+// bytecode once.
+//
+// Pairs of benchmarks share a workload name: interp/<workload>/walk and
+// interp/<workload>/vm. The harness computes the per-workload speedup and
+// its geomean from BENCH_interp.json.
+//
+// Workloads cover the IR's cost centres: call/return frames (sp1), tail
+// calls (sp2), straight-line expression loops (sp3), memory traffic
+// (memrev), every Figure 2 exception-dispatch technique under its raising
+// workload, and a mixed random program from the differential corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "costmodel/RandomProgram.h"
+#include "rts/Dispatchers.h"
+#include "vm/Vm.h"
+
+#include <functional>
+
+using namespace cmm;
+using namespace cmm::bench;
+
+namespace {
+
+const char *sumProdSource() {
+  return R"(
+export sp1, sp2, sp3;
+sp1(bits32 n) {
+  bits32 s, p;
+  if n == 1 { return (1, 1); } else {
+    s, p = sp1(n - 1);
+    return (s + n, p * n);
+  }
+}
+sp2(bits32 n) { jump sp2_help(n, 1, 1); }
+sp2_help(bits32 n, bits32 s, bits32 p) {
+  if n == 1 { return (s, p); } else {
+    jump sp2_help(n - 1, s + n, p * n);
+  }
+}
+sp3(bits32 n) {
+  bits32 s, p;
+  s = 1; p = 1;
+loop:
+  if n == 1 { return (s, p); } else {
+    s = s + n; p = p * n; n = n - 1;
+    goto loop;
+  }
+}
+)";
+}
+
+/// Writes n words into the data segment, then reverses them in place and
+/// sums the result: a load/store-bound loop.
+const char *memRevSource() {
+  return R"(
+export memrev;
+data buf { bits32[256]; }
+memrev(bits32 n) {
+  bits32 i, j, t, u, s;
+  i = 0;
+fill:
+  if i < n {
+    bits32[buf + i * 4] = i * 3 + 1;
+    i = i + 1;
+    goto fill;
+  }
+  i = 0; j = n - 1;
+swap:
+  if i < j {
+    t = bits32[buf + i * 4];
+    u = bits32[buf + j * 4];
+    bits32[buf + i * 4] = u;
+    bits32[buf + j * 4] = t;
+    i = i + 1; j = j - 1;
+    goto swap;
+  }
+  i = 0; s = 0;
+sum:
+  if i < n {
+    s = s + bits32[buf + i * 4];
+    i = i + 1;
+    goto sum;
+  }
+  return (s);
+}
+)";
+}
+
+/// One workload: a compiled program plus how to run it.
+struct Workload {
+  std::string Name;
+  std::unique_ptr<IrProgram> Prog;
+  std::string Entry;
+  std::vector<Value> Args;
+  /// Which dispatcher the workload's yields expect (none for most).
+  DispatchTechnique Technique = DispatchTechnique::CutGenerated;
+};
+
+template <typename ExecutorT>
+void runInterp(benchmark::State &State, const Workload &W) {
+  ExecutorT M(*W.Prog);
+  uint64_t Steps = 0, Runs = 0;
+  for (auto _ : State) {
+    M.resetStats();
+    M.start(W.Entry, W.Args);
+    MachineStatus St;
+    if (W.Technique == DispatchTechnique::CutRuntime) {
+      CuttingDispatcher D(M);
+      St = runWithRuntime(M, std::ref(D));
+    } else if (W.Technique == DispatchTechnique::UnwindRuntime) {
+      UnwindingDispatcher D(M);
+      St = runWithRuntime(M, std::ref(D));
+    } else {
+      St = M.run();
+    }
+    if (St != MachineStatus::Halted) {
+      State.SkipWithError("machine did not halt");
+      return;
+    }
+    benchmark::DoNotOptimize(M.argArea()[0].Raw);
+    Steps += M.stats().Steps;
+    ++Runs;
+  }
+  State.counters["steps"] =
+      benchmark::Counter(static_cast<double>(Steps) / Runs);
+  State.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
+}
+
+std::vector<Workload> &workloads() {
+  static std::vector<Workload> Ws = [] {
+    std::vector<Workload> V;
+    auto Add = [&](std::string Name, const std::string &Src,
+                   std::string Entry, std::vector<Value> Args,
+                   DispatchTechnique T = DispatchTechnique::CutGenerated) {
+      Workload W;
+      W.Name = std::move(Name);
+      W.Prog = compileOrDie({Src});
+      W.Entry = std::move(Entry);
+      W.Args = std::move(Args);
+      W.Technique = T;
+      V.push_back(std::move(W));
+    };
+    Add("sp1_calls", sumProdSource(), "sp1", {b32(200)});
+    Add("sp2_jumps", sumProdSource(), "sp2", {b32(200)});
+    Add("sp3_loop", sumProdSource(), "sp3", {b32(200)});
+    Add("memrev", memRevSource(), "memrev", {b32(256)});
+    for (DispatchTechnique T : AllDispatchTechniques)
+      Add(std::string("dispatch_") + dispatchTechniqueName(T),
+          dispatchWorkloadSource(T), "bench", {b32(40), b32(1)}, T);
+    {
+      RandomProgramOptions G;
+      G.NumProcs = 6;
+      G.Strategy = DispatchTechnique::CutGenerated;
+      Add("random_mixed", generateRandomProgram(7, G), "main", {b32(12)});
+    }
+    return V;
+  }();
+  return Ws;
+}
+
+void registerAll() {
+  for (const Workload &W : workloads()) {
+    benchmark::RegisterBenchmark(
+        ("interp/" + W.Name + "/walk").c_str(),
+        [&W](benchmark::State &S) { runInterp<Machine>(S, W); });
+    benchmark::RegisterBenchmark(
+        ("interp/" + W.Name + "/vm").c_str(),
+        [&W](benchmark::State &S) { runInterp<VmMachine>(S, W); });
+  }
+  // Bytecode compilation is a one-time, per-program cost; measured so the
+  // speedup table can show how quickly the VM amortizes it.
+  benchmark::RegisterBenchmark("interp/compile_bytecode",
+                               [](benchmark::State &S) {
+                                 const Workload &W = workloads().front();
+                                 for (auto _ : S) {
+                                   CompiledProgram CP =
+                                       compileToBytecode(*W.Prog);
+                                   benchmark::DoNotOptimize(CP.Procs.size());
+                                 }
+                               });
+}
+
+[[maybe_unused]] const bool Registered = (registerAll(), true);
+
+} // namespace
+
+CMM_BENCH_MAIN(interp);

@@ -12,6 +12,7 @@
 #include "costmodel/DispatchWorkloads.h"
 #include "ir/Translate.h"
 #include "rts/Dispatchers.h"
+#include "sem/Machine.h"
 
 #include <cstdio>
 

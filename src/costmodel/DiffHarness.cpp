@@ -9,8 +9,10 @@
 #include "ir/Translate.h"
 #include "ir/Validate.h"
 #include "rts/Dispatchers.h"
+#include "sem/Machine.h"
 #include "syntax/AstPrinter.h"
 #include "syntax/Parser.h"
+#include "vm/Vm.h"
 
 #include <functional>
 
@@ -153,9 +155,10 @@ CompiledCell compileCell(const std::string &Src, const DiffOptConfig &Cfg) {
   return Cell;
 }
 
-DiffOutcome runCell(const IrProgram &Prog, DispatchTechnique T, uint64_t Input,
-                    uint64_t MaxSteps) {
-  Machine M(Prog);
+template <typename ExecutorT>
+DiffOutcome runCellOn(const IrProgram &Prog, DispatchTechnique T,
+                      uint64_t Input, uint64_t MaxSteps) {
+  ExecutorT M(Prog);
   M.start("main", {Value::bits(32, Input)});
   MachineStatus St;
   if (T == DispatchTechnique::CutRuntime) {
@@ -175,6 +178,45 @@ DiffOutcome runCell(const IrProgram &Prog, DispatchTechnique T, uint64_t Input,
   else if (St == MachineStatus::Wrong)
     O.WrongReason = M.wrongReason();
   return O;
+}
+
+DiffOutcome runCell(const IrProgram &Prog, DispatchTechnique T, uint64_t Input,
+                    uint64_t MaxSteps) {
+  return runCellOn<Machine>(Prog, T, Input, MaxSteps);
+}
+
+/// Backend conformance: the bytecode VM must agree with the tree walker not
+/// just on the answer but on the entire observable outcome, including every
+/// cost counter. Returns a description of the first disagreement.
+std::string compareBackends(const DiffOutcome &Walk, const DiffOutcome &Vm) {
+  if (Walk.Status != Vm.Status)
+    return "walk " + Walk.str() + " vs vm " + Vm.str();
+  if (!Walk.comparable(Vm))
+    return "walk " + Walk.str() + " vs vm " + Vm.str();
+  const Stats &A = Walk.MachineStats, &B = Vm.MachineStats;
+  auto Eq = [](uint64_t X, uint64_t Y, const char *Name) -> std::string {
+    if (X == Y)
+      return "";
+    return std::string(Name) + ": walk " + std::to_string(X) + " vs vm " +
+           std::to_string(Y);
+  };
+  std::string E;
+  if (!(E = Eq(A.Steps, B.Steps, "Steps")).empty() ||
+      !(E = Eq(A.Calls, B.Calls, "Calls")).empty() ||
+      !(E = Eq(A.Jumps, B.Jumps, "Jumps")).empty() ||
+      !(E = Eq(A.Returns, B.Returns, "Returns")).empty() ||
+      !(E = Eq(A.Cuts, B.Cuts, "Cuts")).empty() ||
+      !(E = Eq(A.FramesCutOver, B.FramesCutOver, "FramesCutOver")).empty() ||
+      !(E = Eq(A.Yields, B.Yields, "Yields")).empty() ||
+      !(E = Eq(A.UnwindPops, B.UnwindPops, "UnwindPops")).empty() ||
+      !(E = Eq(A.ContsBound, B.ContsBound, "ContsBound")).empty() ||
+      !(E = Eq(A.Loads, B.Loads, "Loads")).empty() ||
+      !(E = Eq(A.Stores, B.Stores, "Stores")).empty() ||
+      !(E = Eq(A.CalleeSaveMoves, B.CalleeSaveMoves, "CalleeSaveMoves"))
+           .empty() ||
+      !(E = Eq(A.MaxStackDepth, B.MaxStackDepth, "MaxStackDepth")).empty())
+    return "stats diverge: " + E;
+  return "";
 }
 
 /// Technique-characterizing stats invariants, checked on the unoptimized
@@ -298,6 +340,19 @@ DiffSeedResult cmm::diffTestSeed(uint64_t Seed, const DiffOptions &Opts) {
       for (size_t I = 0; I < NumIn; ++I) {
         ByCfg[C][I] = runCell(*Cell.Prog, T, Opts.Inputs[I], Opts.MaxSteps);
         ++R.RunsExecuted;
+        if (Opts.CheckVm) {
+          // Sixth column: the bytecode VM on the identical program. A
+          // divergence here is a backend bug, never an expected ablation
+          // effect (both backends run the same — possibly mis-optimized —
+          // IR, so they must still agree with each other).
+          DiffOutcome Vm = runCellOn<VmMachine>(*Cell.Prog, T,
+                                                Opts.Inputs[I], Opts.MaxSteps);
+          ++R.RunsExecuted;
+          std::string E = compareBackends(*ByCfg[C][I], Vm);
+          if (!E.empty())
+            Report(T, Configs[C].Name + "/vm", false,
+                   "input " + std::to_string(Opts.Inputs[I]) + ": " + E);
+        }
       }
     }
   }

@@ -93,6 +93,10 @@ struct DiffOptions {
   uint64_t MaxSteps = 2000000;
   bool CheckStats = true;
   bool CheckRoundTrip = true;
+  /// Run every cell on the bytecode VM as well and require the full
+  /// observable outcome — status, results, goes-wrong reason, and every
+  /// Stats counter — to match the tree walker's.
+  bool CheckVm = true;
 };
 
 /// Everything the harness learned about one seed.

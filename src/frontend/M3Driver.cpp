@@ -10,6 +10,7 @@
 #include "ir/Validate.h"
 #include "opt/PassManager.h"
 #include "rts/Dispatchers.h"
+#include "sem/Machine.h"
 
 using namespace cmm;
 

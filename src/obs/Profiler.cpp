@@ -13,7 +13,7 @@
 
 using namespace cmm;
 
-std::string Profiler::procName(const Machine &M, const IrProc *P) {
+std::string Profiler::procName(const Executor &M, const IrProc *P) {
   if (!P)
     return "?";
   auto It = ProcNames.find(P);
@@ -24,7 +24,7 @@ std::string Profiler::procName(const Machine &M, const IrProc *P) {
   return Name;
 }
 
-CallSiteProfile &Profiler::site(const Machine &M, const CallNode *Site,
+CallSiteProfile &Profiler::site(const Executor &M, const CallNode *Site,
                                 const IrProc *Owner) {
   CallSiteProfile &P = Sites[Site];
   if (P.Owner.empty()) {
@@ -34,12 +34,12 @@ CallSiteProfile &Profiler::site(const Machine &M, const CallNode *Site,
   return P;
 }
 
-void Profiler::onStep(const Machine &M, const Node *N) {
+void Profiler::onStep(const Executor &M, const Node *N) {
   (void)N;
   ++Procs[M.currentProc()].Steps;
 }
 
-void Profiler::onCall(const Machine &M, const CallNode *Site,
+void Profiler::onCall(const Executor &M, const CallNode *Site,
                       const IrProc *Caller, const IrProc *Callee) {
   ++Procs[Caller].CallsOut;
   ++Procs[Callee].CallsIn;
@@ -48,7 +48,7 @@ void Profiler::onCall(const Machine &M, const CallNode *Site,
   S.Callee = procName(M, Callee);
 }
 
-void Profiler::onJump(const Machine &M, const JumpNode *Site,
+void Profiler::onJump(const Executor &M, const JumpNode *Site,
                       const IrProc *Caller, const IrProc *Callee) {
   (void)Site;
   ++Procs[Caller].JumpsOut;
@@ -56,7 +56,7 @@ void Profiler::onJump(const Machine &M, const JumpNode *Site,
   (void)M;
 }
 
-void Profiler::onReturn(const Machine &M, const CallNode *Site,
+void Profiler::onReturn(const Executor &M, const CallNode *Site,
                         const IrProc *Callee, const IrProc *Caller,
                         unsigned ContIndex) {
   ++Procs[Callee].Returns;
@@ -71,13 +71,13 @@ void Profiler::onReturn(const Machine &M, const CallNode *Site,
     ++S.AltReturns;
 }
 
-void Profiler::onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+void Profiler::onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                                    const IrProc *Owner) {
   ++Procs[Owner].FramesDiscarded;
   ++site(M, Site, Owner).CutsOver;
 }
 
-void Profiler::onCut(const Machine &M, const CutToNode *From,
+void Profiler::onCut(const Executor &M, const CutToNode *From,
                      const IrProc *Target, uint64_t FramesDiscarded,
                      bool SameActivation) {
   (void)From;
@@ -87,15 +87,15 @@ void Profiler::onCut(const Machine &M, const CutToNode *From,
   ++Procs[Target].CutsLanded;
 }
 
-void Profiler::onYield(const Machine &M) {
+void Profiler::onYield(const Executor &M) {
   // Control sits in the yield intrinsic; attribute the raise to the
   // procedure that called yield (the topmost suspended frame).
   const IrProc *Raiser =
-      M.stackDepth() > 0 ? M.frameFromTop(0).Proc : M.currentProc();
+      M.stackDepth() > 0 ? M.frameProc(0) : M.currentProc();
   ++Procs[Raiser].Yields;
 }
 
-void Profiler::onUnwindPop(const Machine &M, const CallNode *Site,
+void Profiler::onUnwindPop(const Executor &M, const CallNode *Site,
                            const IrProc *Owner, bool Resumed) {
   (void)Resumed;
   ++Procs[Owner].UnwindPops;
@@ -104,7 +104,7 @@ void Profiler::onUnwindPop(const Machine &M, const CallNode *Site,
     ++PopsThisDispatch;
 }
 
-void Profiler::onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+void Profiler::onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                                uint64_t Tag) {
   (void)M;
   (void)Dispatcher;
@@ -113,7 +113,7 @@ void Profiler::onDispatchBegin(const Machine &M, std::string_view Dispatcher,
   PopsThisDispatch = 0;
 }
 
-void Profiler::onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+void Profiler::onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                              bool Handled, uint64_t ActivationsVisited) {
   (void)M;
   (void)Dispatcher;

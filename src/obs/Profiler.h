@@ -97,28 +97,28 @@ public:
   }
 
   // MachineObserver
-  void onStep(const Machine &M, const Node *N) override;
-  void onCall(const Machine &M, const CallNode *Site, const IrProc *Caller,
+  void onStep(const Executor &M, const Node *N) override;
+  void onCall(const Executor &M, const CallNode *Site, const IrProc *Caller,
               const IrProc *Callee) override;
-  void onJump(const Machine &M, const JumpNode *Site, const IrProc *Caller,
+  void onJump(const Executor &M, const JumpNode *Site, const IrProc *Caller,
               const IrProc *Callee) override;
-  void onReturn(const Machine &M, const CallNode *Site, const IrProc *Callee,
+  void onReturn(const Executor &M, const CallNode *Site, const IrProc *Callee,
                 const IrProc *Caller, unsigned ContIndex) override;
-  void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+  void onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                            const IrProc *Owner) override;
-  void onCut(const Machine &M, const CutToNode *From, const IrProc *Target,
+  void onCut(const Executor &M, const CutToNode *From, const IrProc *Target,
              uint64_t FramesDiscarded, bool SameActivation) override;
-  void onYield(const Machine &M) override;
-  void onUnwindPop(const Machine &M, const CallNode *Site,
+  void onYield(const Executor &M) override;
+  void onUnwindPop(const Executor &M, const CallNode *Site,
                    const IrProc *Owner, bool Resumed) override;
-  void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+  void onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                        uint64_t Tag) override;
-  void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+  void onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                      bool Handled, uint64_t ActivationsVisited) override;
 
 private:
-  std::string procName(const Machine &M, const IrProc *P);
-  CallSiteProfile &site(const Machine &M, const CallNode *Site,
+  std::string procName(const Executor &M, const IrProc *P);
+  CallSiteProfile &site(const Executor &M, const CallNode *Site,
                         const IrProc *Owner);
 
   std::unordered_map<const IrProc *, ProcProfile> Procs;

@@ -42,14 +42,14 @@ const char *cmm::nodeKindName(Node::Kind K) {
 
 namespace {
 
-std::string procName(const Machine &M, const IrProc *P) {
+std::string procName(const Executor &M, const IrProc *P) {
   if (!P)
     return "?";
   return M.program().Names->spelling(P->Name);
 }
 
 /// First yield argument, when the run follows the (tag, arg?) convention.
-uint64_t yieldTag(const Machine &M) {
+uint64_t yieldTag(const Executor &M) {
   const std::vector<Value> &A = M.argArea();
   return (!A.empty() && A[0].isBits()) ? A[0].Raw : 0;
 }
@@ -129,7 +129,7 @@ void TraceSink::finish() {
 // Chrome-format span plumbing
 //===----------------------------------------------------------------------===//
 
-void TraceSink::spanBegin(const Machine &M, std::string Name,
+void TraceSink::spanBegin(const Executor &M, std::string Name,
                           const char *Cat, std::string Args, unsigned Tid) {
   LastStep = M.stats().Steps;
   JsonWriter W;
@@ -153,7 +153,7 @@ void TraceSink::spanBegin(const Machine &M, std::string Name,
   emit(std::move(Line));
 }
 
-void TraceSink::spanEnd(const Machine &M, unsigned Tid) {
+void TraceSink::spanEnd(const Executor &M, unsigned Tid) {
   if (Tid == 0) {
     if (MutatorSpans.empty())
       return; // unbalanced (e.g. trace attached mid-run); drop
@@ -172,7 +172,7 @@ void TraceSink::spanEnd(const Machine &M, unsigned Tid) {
   emit(W.take());
 }
 
-void TraceSink::instant(const Machine &M, std::string_view Name,
+void TraceSink::instant(const Executor &M, std::string_view Name,
                         const char *Cat, std::string Args, unsigned Tid) {
   LastStep = M.stats().Steps;
   JsonWriter W;
@@ -195,7 +195,7 @@ void TraceSink::instant(const Machine &M, std::string_view Name,
 // Events
 //===----------------------------------------------------------------------===//
 
-void TraceSink::onStart(const Machine &M, const IrProc *Entry) {
+void TraceSink::onStart(const Executor &M, const IrProc *Entry) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
     JsonWriter W;
@@ -210,7 +210,7 @@ void TraceSink::onStart(const Machine &M, const IrProc *Entry) {
   spanBegin(M, procName(M, Entry), "proc", "");
 }
 
-void TraceSink::onHalt(const Machine &M) {
+void TraceSink::onHalt(const Executor &M) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
     JsonWriter W;
@@ -225,7 +225,7 @@ void TraceSink::onHalt(const Machine &M) {
   instant(M, "halt", "machine", "");
 }
 
-void TraceSink::onStep(const Machine &M, const Node *N) {
+void TraceSink::onStep(const Executor &M, const Node *N) {
   if (!Opts.IncludeSteps)
     return;
   LastStep = M.stats().Steps;
@@ -244,7 +244,7 @@ void TraceSink::onStep(const Machine &M, const Node *N) {
   instant(M, nodeKindName(N->kind()), "step", "");
 }
 
-void TraceSink::onCall(const Machine &M, const CallNode *Site,
+void TraceSink::onCall(const Executor &M, const CallNode *Site,
                        const IrProc *Caller, const IrProc *Callee) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -263,7 +263,7 @@ void TraceSink::onCall(const Machine &M, const CallNode *Site,
             "\"site\":\"" + jsonEscape(Site->Loc.str()) + "\"");
 }
 
-void TraceSink::onJump(const Machine &M, const JumpNode *Site,
+void TraceSink::onJump(const Executor &M, const JumpNode *Site,
                        const IrProc *Caller, const IrProc *Callee) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -283,7 +283,7 @@ void TraceSink::onJump(const Machine &M, const JumpNode *Site,
   spanBegin(M, procName(M, Callee), "jump", "");
 }
 
-void TraceSink::onReturn(const Machine &M, const CallNode *Site,
+void TraceSink::onReturn(const Executor &M, const CallNode *Site,
                          const IrProc *Callee, const IrProc *Caller,
                          unsigned ContIndex) {
   LastStep = M.stats().Steps;
@@ -303,7 +303,7 @@ void TraceSink::onReturn(const Machine &M, const CallNode *Site,
   spanEnd(M);
 }
 
-void TraceSink::onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+void TraceSink::onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                                     const IrProc *Owner) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -320,7 +320,7 @@ void TraceSink::onCutFrameDiscarded(const Machine &M, const CallNode *Site,
   spanEnd(M);
 }
 
-void TraceSink::onCut(const Machine &M, const CutToNode *From,
+void TraceSink::onCut(const Executor &M, const CutToNode *From,
                       const IrProc *Target, uint64_t FramesDiscarded,
                       bool SameActivation) {
   LastStep = M.stats().Steps;
@@ -344,7 +344,7 @@ void TraceSink::onCut(const Machine &M, const CutToNode *From,
               "\",\"frames\":" + std::to_string(FramesDiscarded));
 }
 
-void TraceSink::onYield(const Machine &M) {
+void TraceSink::onYield(const Executor &M) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
     JsonWriter W;
@@ -360,7 +360,7 @@ void TraceSink::onYield(const Machine &M) {
   instant(M, "yield", "exn", "\"tag\":" + std::to_string(yieldTag(M)));
 }
 
-void TraceSink::onUnwindPop(const Machine &M, const CallNode *Site,
+void TraceSink::onUnwindPop(const Executor &M, const CallNode *Site,
                             const IrProc *Owner, bool Resumed) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -381,7 +381,7 @@ void TraceSink::onUnwindPop(const Machine &M, const CallNode *Site,
     spanEnd(M);
 }
 
-void TraceSink::onResume(const Machine &M, ResumeChoice::Kind K,
+void TraceSink::onResume(const Executor &M, ResumeChoice::Kind K,
                          unsigned Index) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -402,7 +402,7 @@ void TraceSink::onResume(const Machine &M, ResumeChoice::Kind K,
   spanEnd(M);
 }
 
-void TraceSink::onWrong(const Machine &M, const std::string &Reason,
+void TraceSink::onWrong(const Executor &M, const std::string &Reason,
                         SourceLoc Loc) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -419,7 +419,7 @@ void TraceSink::onWrong(const Machine &M, const std::string &Reason,
           "\"reason\":\"" + jsonEscape(Reason) + "\"");
 }
 
-void TraceSink::onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+void TraceSink::onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                                 uint64_t Tag) {
   LastStep = M.stats().Steps;
   if (jsonl()) {
@@ -436,7 +436,7 @@ void TraceSink::onDispatchBegin(const Machine &M, std::string_view Dispatcher,
             "\"tag\":" + std::to_string(Tag), /*Tid=*/1);
 }
 
-void TraceSink::onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+void TraceSink::onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                               bool Handled, uint64_t ActivationsVisited) {
   LastStep = M.stats().Steps;
   if (jsonl()) {

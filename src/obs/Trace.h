@@ -64,29 +64,29 @@ public:
   uint64_t eventsDropped() const { return Dropped; }
 
   // MachineObserver
-  void onStart(const Machine &M, const IrProc *Entry) override;
-  void onHalt(const Machine &M) override;
-  void onStep(const Machine &M, const Node *N) override;
-  void onCall(const Machine &M, const CallNode *Site, const IrProc *Caller,
+  void onStart(const Executor &M, const IrProc *Entry) override;
+  void onHalt(const Executor &M) override;
+  void onStep(const Executor &M, const Node *N) override;
+  void onCall(const Executor &M, const CallNode *Site, const IrProc *Caller,
               const IrProc *Callee) override;
-  void onJump(const Machine &M, const JumpNode *Site, const IrProc *Caller,
+  void onJump(const Executor &M, const JumpNode *Site, const IrProc *Caller,
               const IrProc *Callee) override;
-  void onReturn(const Machine &M, const CallNode *Site, const IrProc *Callee,
+  void onReturn(const Executor &M, const CallNode *Site, const IrProc *Callee,
                 const IrProc *Caller, unsigned ContIndex) override;
-  void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+  void onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                            const IrProc *Owner) override;
-  void onCut(const Machine &M, const CutToNode *From, const IrProc *Target,
+  void onCut(const Executor &M, const CutToNode *From, const IrProc *Target,
              uint64_t FramesDiscarded, bool SameActivation) override;
-  void onYield(const Machine &M) override;
-  void onUnwindPop(const Machine &M, const CallNode *Site,
+  void onYield(const Executor &M) override;
+  void onUnwindPop(const Executor &M, const CallNode *Site,
                    const IrProc *Owner, bool Resumed) override;
-  void onResume(const Machine &M, ResumeChoice::Kind K,
+  void onResume(const Executor &M, ResumeChoice::Kind K,
                 unsigned Index) override;
-  void onWrong(const Machine &M, const std::string &Reason,
+  void onWrong(const Executor &M, const std::string &Reason,
                SourceLoc Loc) override;
-  void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+  void onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                        uint64_t Tag) override;
-  void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+  void onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                      bool Handled, uint64_t ActivationsVisited) override;
 
 private:
@@ -96,10 +96,10 @@ private:
   void writeDirect(const std::string &Line);
 
   // Chrome-format span helpers (track 0 = mutator, track 1 = rts).
-  void spanBegin(const Machine &M, std::string Name, const char *Cat,
+  void spanBegin(const Executor &M, std::string Name, const char *Cat,
                  std::string Args, unsigned Tid = 0);
-  void spanEnd(const Machine &M, unsigned Tid = 0);
-  void instant(const Machine &M, std::string_view Name, const char *Cat,
+  void spanEnd(const Executor &M, unsigned Tid = 0);
+  void instant(const Executor &M, std::string_view Name, const char *Cat,
                std::string Args, unsigned Tid = 0);
 
   std::ostream &OS;

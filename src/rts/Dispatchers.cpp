@@ -10,7 +10,7 @@
 
 using namespace cmm;
 
-YieldRequest cmm::readYieldRequest(const Machine &T) {
+YieldRequest cmm::readYieldRequest(const Executor &T) {
   YieldRequest R;
   if (T.status() != MachineStatus::Suspended)
     return R;

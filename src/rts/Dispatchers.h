@@ -46,14 +46,14 @@ enum class DispatchResult : uint8_t {
 /// The Figure 9 exception dispatcher (run-time stack unwinding).
 class UnwindingDispatcher {
 public:
-  explicit UnwindingDispatcher(Machine &T) : T(T) {}
+  explicit UnwindingDispatcher(Executor &T) : T(T) {}
 
   /// Services the current suspension: reads (tag, arg?) from the argument
   /// area, walks the stack, and resumes at the matching handler.
   DispatchResult dispatch();
 
   /// Adapter for runWithRuntime.
-  bool operator()(Machine &) { return dispatch() == DispatchResult::Handled; }
+  bool operator()(Executor &) { return dispatch() == DispatchResult::Handled; }
 
   /// Cumulative walk statistics over every dispatch this object serviced.
   const RtStats &walkStats() const { return Walk; }
@@ -66,7 +66,7 @@ private:
     Walk.Resumes += S.Resumes;
   }
 
-  Machine &T;
+  Executor &T;
   RtStats Walk;
   uint64_t Dispatches = 0;
 };
@@ -79,17 +79,17 @@ class CuttingDispatcher {
 public:
   /// \p ExnTopGlobal names the global register holding the address of the
   /// topmost handler-continuation slot (0 when no handler is active).
-  CuttingDispatcher(Machine &T, std::string ExnTopGlobal = "exn_top")
+  CuttingDispatcher(Executor &T, std::string ExnTopGlobal = "exn_top")
       : T(T), ExnTopGlobal(std::move(ExnTopGlobal)) {}
 
   DispatchResult dispatch();
 
-  bool operator()(Machine &) { return dispatch() == DispatchResult::Handled; }
+  bool operator()(Executor &) { return dispatch() == DispatchResult::Handled; }
 
   uint64_t dispatches() const { return Dispatches; }
 
 private:
-  Machine &T;
+  Executor &T;
   std::string ExnTopGlobal;
   uint64_t Dispatches = 0;
 };
@@ -103,7 +103,7 @@ struct YieldRequest {
 };
 
 /// Reads the yield request of a suspended machine.
-YieldRequest readYieldRequest(const Machine &T);
+YieldRequest readYieldRequest(const Executor &T);
 
 } // namespace cmm
 

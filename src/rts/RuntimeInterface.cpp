@@ -36,13 +36,13 @@ bool CmmRuntime::nextActivation(Activation &A) {
 const IrProc *CmmRuntime::activationProc(const Activation &A) const {
   if (!A.Valid || A.IndexFromTop >= T.stackDepth())
     return nullptr;
-  return T.frameFromTop(A.IndexFromTop).Proc;
+  return T.frameProc(A.IndexFromTop);
 }
 
 const CallNode *CmmRuntime::activationCallSite(const Activation &A) const {
   if (!A.Valid || A.IndexFromTop >= T.stackDepth())
     return nullptr;
-  return T.frameFromTop(A.IndexFromTop).CallSite;
+  return T.frameCallSite(A.IndexFromTop);
 }
 
 std::optional<Value> CmmRuntime::getDescriptor(const Activation &A,
@@ -60,8 +60,8 @@ bool CmmRuntime::setActivation(const Activation &A) {
   TargetIndex = A.IndexFromTop;
   // Default resumption point: the normal return continuation.
   ChoiceIsCut = ChoiceIsUnwind = false;
-  const Frame &F = T.frameFromTop(TargetIndex);
-  ChoiceIndex = static_cast<unsigned>(F.CallSite->Bundle.ReturnsTo.size()) - 1;
+  const CallNode *Site = T.frameCallSite(TargetIndex);
+  ChoiceIndex = static_cast<unsigned>(Site->Bundle.ReturnsTo.size()) - 1;
   refreshParams();
   return true;
 }
@@ -69,8 +69,8 @@ bool CmmRuntime::setActivation(const Activation &A) {
 bool CmmRuntime::setUnwindCont(unsigned N) {
   if (TargetIndex >= T.stackDepth())
     return false;
-  const Frame &F = T.frameFromTop(TargetIndex);
-  if (N >= F.CallSite->Bundle.UnwindsTo.size())
+  const CallNode *Site = T.frameCallSite(TargetIndex);
+  if (N >= Site->Bundle.UnwindsTo.size())
     return false;
   ChoiceIsUnwind = true;
   ChoiceIsCut = false;
@@ -89,10 +89,10 @@ bool CmmRuntime::setCutToCont(Value K) {
   return true;
 }
 
-const Frame *CmmRuntime::targetFrame() const {
+const CallNode *CmmRuntime::targetCallSite() const {
   if (TargetIndex >= T.stackDepth())
     return nullptr;
-  return &T.frameFromTop(TargetIndex);
+  return T.frameCallSite(TargetIndex);
 }
 
 void CmmRuntime::refreshParams() {
@@ -100,8 +100,8 @@ void CmmRuntime::refreshParams() {
   if (ChoiceIsCut) {
     if (const ContRecord *Rec = T.decodeCont(CutValue))
       Target = Rec->Target;
-  } else if (const Frame *F = targetFrame()) {
-    const ContBundle &B = F->CallSite->Bundle;
+  } else if (const CallNode *Site = targetCallSite()) {
+    const ContBundle &B = Site->Bundle;
     if (ChoiceIsUnwind) {
       if (ChoiceIndex < B.UnwindsTo.size())
         Target = B.UnwindsTo[ChoiceIndex];

@@ -22,7 +22,7 @@
 #ifndef CMM_RTS_RUNTIMEINTERFACE_H
 #define CMM_RTS_RUNTIMEINTERFACE_H
 
-#include "sem/Machine.h"
+#include "sem/Executor.h"
 
 #include <optional>
 
@@ -62,7 +62,7 @@ struct RtStats {
 /// \endcode
 class CmmRuntime {
 public:
-  explicit CmmRuntime(Machine &T) : T(T) {}
+  explicit CmmRuntime(Executor &T) : T(T) {}
 
   /// FirstActivation(t, &a): sets \p A to the "currently executing"
   /// activation of the thread — the activation suspended at the call to
@@ -113,15 +113,15 @@ public:
   const CallNode *activationCallSite(const Activation &A) const;
 
   const RtStats &stats() const { return S; }
-  Machine &thread() { return T; }
+  Executor &thread() { return T; }
 
 private:
-  /// The frame the thread is currently staged to resume with.
-  const Frame *targetFrame() const;
+  /// Call site of the frame the thread is currently staged to resume with.
+  const CallNode *targetCallSite() const;
   /// Recomputes the parameter staging area for the current choice.
   void refreshParams();
 
-  Machine &T;
+  Executor &T;
   RtStats S;
 
   size_t TargetIndex = 0;       ///< frames above this are unwound at resume
@@ -137,7 +137,7 @@ private:
 /// \p Handler services each suspension (a front-end runtime); returning
 /// false declines, which stops execution with the machine left suspended.
 template <typename HandlerFn>
-MachineStatus runWithRuntime(Machine &M, HandlerFn Handler,
+MachineStatus runWithRuntime(Executor &M, HandlerFn Handler,
                              uint64_t MaxSteps = ~uint64_t(0)) {
   while (true) {
     MachineStatus St = M.run(MaxSteps);

@@ -1,0 +1,85 @@
+//===- sem/Executor.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Backend-shared pieces of the executor interface: link-time-constant
+// expression evaluation and the resume-parameter-count query. Both are pure
+// functions of state every backend already exposes, so they live here once
+// instead of twice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Executor.h"
+
+#include "support/Casting.h"
+
+using namespace cmm;
+
+std::optional<Value> Executor::evalConstExpr(const Expr *E) const {
+  const IrProgram &Prog = program();
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Value::bits(E->Ty.Width, cast<IntLitExpr>(E)->Value);
+  case Expr::Kind::StrLit: {
+    auto It = Prog.StrAddrs.find(cast<StrLitExpr>(E));
+    if (It == Prog.StrAddrs.end())
+      return std::nullopt;
+    return Value::bits(TargetInfo::nativePointer().Width, It->second);
+  }
+  case Expr::Kind::Name: {
+    const auto *N = cast<NameExpr>(E);
+    if (N->Ref == RefKind::DataLabel) {
+      auto It = Prog.DataAddrs.find(N->Name);
+      if (It == Prog.DataAddrs.end())
+        return std::nullopt;
+      return Value::bits(TargetInfo::nativePointer().Width, It->second);
+    }
+    if (N->Ref == RefKind::Proc || N->Ref == RefKind::Import) {
+      if (const IrProc *P = Prog.findProc(N->Name))
+        return codeValue(P);
+      auto It = Prog.DataAddrs.find(N->Name);
+      if (It != Prog.DataAddrs.end())
+        return Value::bits(TargetInfo::nativePointer().Width, It->second);
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<unsigned>
+Executor::resumeParamCount(const ResumeChoice &Choice) const {
+  const Node *Target = nullptr;
+  switch (Choice.K) {
+  case ResumeChoice::Kind::Return: {
+    if (stackDepth() == 0)
+      return std::nullopt;
+    const ContBundle &B = frameCallSite(0)->Bundle;
+    if (Choice.Index >= B.ReturnsTo.size())
+      return std::nullopt;
+    Target = B.ReturnsTo[Choice.Index];
+    break;
+  }
+  case ResumeChoice::Kind::Unwind: {
+    if (stackDepth() == 0)
+      return std::nullopt;
+    const ContBundle &B = frameCallSite(0)->Bundle;
+    if (Choice.Index >= B.UnwindsTo.size())
+      return std::nullopt;
+    Target = B.UnwindsTo[Choice.Index];
+    break;
+  }
+  case ResumeChoice::Kind::Cut: {
+    const ContRecord *Rec = decodeCont(Choice.ContValue);
+    if (!Rec)
+      return std::nullopt;
+    Target = Rec->Target;
+    break;
+  }
+  }
+  if (const auto *In = dyn_cast<CopyInNode>(Target))
+    return static_cast<unsigned>(In->Vars.size());
+  return 0;
+}

@@ -189,39 +189,6 @@ void Machine::setGlobal(std::string_view Name, const Value &V) {
 // Expression evaluation: E[[e]] ρ M  (Section 5.1)
 //===----------------------------------------------------------------------===//
 
-std::optional<Value> Machine::evalConstExpr(const Expr *E) const {
-  switch (E->kind()) {
-  case Expr::Kind::IntLit:
-    return Value::bits(E->Ty.Width, cast<IntLitExpr>(E)->Value);
-  case Expr::Kind::StrLit: {
-    auto It = Prog.StrAddrs.find(cast<StrLitExpr>(E));
-    if (It == Prog.StrAddrs.end())
-      return std::nullopt;
-    return Value::bits(TargetInfo::nativePointer().Width, It->second);
-  }
-  case Expr::Kind::Name: {
-    const auto *N = cast<NameExpr>(E);
-    if (N->Ref == RefKind::DataLabel) {
-      auto It = Prog.DataAddrs.find(N->Name);
-      if (It == Prog.DataAddrs.end())
-        return std::nullopt;
-      return Value::bits(TargetInfo::nativePointer().Width, It->second);
-    }
-    if (N->Ref == RefKind::Proc || N->Ref == RefKind::Import) {
-      if (const IrProc *P = Prog.findProc(N->Name))
-        return codeValue(P);
-      auto It = Prog.DataAddrs.find(N->Name);
-      if (It != Prog.DataAddrs.end())
-        return Value::bits(TargetInfo::nativePointer().Width, It->second);
-      return std::nullopt;
-    }
-    return std::nullopt;
-  }
-  default:
-    return std::nullopt;
-  }
-}
-
 std::optional<Value> Machine::evalName(const NameExpr *N) {
   switch (N->Ref) {
   case RefKind::Local:
@@ -937,41 +904,6 @@ bool Machine::rtUnwindTop(size_t Count) {
     ++S.UnwindPops;
   }
   return true;
-}
-
-std::optional<unsigned>
-Machine::resumeParamCount(const ResumeChoice &Choice) const {
-  const Node *Target = nullptr;
-  switch (Choice.K) {
-  case ResumeChoice::Kind::Return: {
-    if (Stack.empty())
-      return std::nullopt;
-    const ContBundle &B = Stack.back().CallSite->Bundle;
-    if (Choice.Index >= B.ReturnsTo.size())
-      return std::nullopt;
-    Target = B.ReturnsTo[Choice.Index];
-    break;
-  }
-  case ResumeChoice::Kind::Unwind: {
-    if (Stack.empty())
-      return std::nullopt;
-    const ContBundle &B = Stack.back().CallSite->Bundle;
-    if (Choice.Index >= B.UnwindsTo.size())
-      return std::nullopt;
-    Target = B.UnwindsTo[Choice.Index];
-    break;
-  }
-  case ResumeChoice::Kind::Cut: {
-    const ContRecord *Rec = decodeCont(Choice.ContValue);
-    if (!Rec)
-      return std::nullopt;
-    Target = Rec->Target;
-    break;
-  }
-  }
-  if (const auto *In = dyn_cast<CopyInNode>(Target))
-    return static_cast<unsigned>(In->Vars.size());
-  return 0;
 }
 
 bool Machine::rtResume(const ResumeChoice &Choice,

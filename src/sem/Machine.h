@@ -36,6 +36,7 @@
 
 #include "ir/Ir.h"
 #include "sem/Env.h"
+#include "sem/Executor.h"
 #include "sem/Memory.h"
 #include "sem/Stats.h"
 #include "sem/Value.h"
@@ -45,17 +46,6 @@
 #include <vector>
 
 namespace cmm {
-
-class MachineObserver; // sem/Observer.h
-
-/// Lifecycle of a machine.
-enum class MachineStatus : uint8_t {
-  Idle,      ///< constructed, not started
-  Running,   ///< transitions available
-  Suspended, ///< at a Yield node: the run-time system has control
-  Halted,    ///< normal termination: Exit <0/0> with an empty stack
-  Wrong,     ///< no permitted transition ("the program has gone wrong")
-};
 
 /// One suspended activation on the abstract stack: (Γ, ρ, σ, uid) plus the
 /// procedure it belongs to. Γ is the continuation bundle of the call site at
@@ -68,115 +58,90 @@ struct Frame {
   uint64_t Uid = 0;
 };
 
-/// Decoded continuation value: Cont(p, u) of Section 5.1.
-struct ContRecord {
-  Node *Target = nullptr;
-  uint64_t Uid = 0;
-  const IrProc *Proc = nullptr;
-};
-
-/// How the run-time system resumes a suspended machine (the Yield rules).
-struct ResumeChoice {
-  enum class Kind : uint8_t { Return, Unwind, Cut };
-  Kind K = Kind::Return;
-  /// For Return: index into the bundle's returns list (normal return is the
-  /// last). For Unwind: index into the `also unwinds to` list.
-  unsigned Index = 0;
-  /// For Cut: the continuation value to cut to.
-  Value ContValue;
-
-  static ResumeChoice ret(unsigned Index) {
-    return {Kind::Return, Index, Value()};
-  }
-  static ResumeChoice unwind(unsigned Index) {
-    return {Kind::Unwind, Index, Value()};
-  }
-  static ResumeChoice cut(Value V) { return {Kind::Cut, 0, V}; }
-};
-
-/// The executable abstract machine. One Machine is one C-- thread.
-class Machine {
+/// The executable abstract machine: the reference tree-walking executor.
+/// One Machine is one C-- thread.
+class Machine final : public Executor {
 public:
   explicit Machine(const IrProgram &Prog);
 
+  std::string_view backendName() const override { return "walk"; }
+
   /// Initializes memory from the program image and enters \p ProcName with
   /// \p Args in the argument-passing area.
-  void start(std::string_view ProcName, std::vector<Value> Args = {});
+  void start(std::string_view ProcName, std::vector<Value> Args = {}) override;
   void start(Symbol ProcName, std::vector<Value> Args = {});
 
-  MachineStatus status() const { return St; }
+  MachineStatus status() const override { return St; }
 
   /// Performs one transition. Returns false when the machine is not
   /// Running (suspended machines must be resumed through rtResume).
-  bool step() { return Obs ? stepImpl<true>() : stepImpl<false>(); }
+  bool step() override { return Obs ? stepImpl<true>() : stepImpl<false>(); }
 
   /// Steps until the machine stops running or \p MaxSteps transitions have
   /// executed; returns the final status (Running on step-limit).
-  MachineStatus run(uint64_t MaxSteps = ~uint64_t(0));
+  MachineStatus run(uint64_t MaxSteps = ~uint64_t(0)) override;
 
   /// The argument-passing area A: procedure results after Halted, the
   /// arguments of the yield(...) call while Suspended.
-  const std::vector<Value> &argArea() const { return A; }
+  const std::vector<Value> &argArea() const override { return A; }
 
   /// Why the machine went wrong (valid after status() == Wrong).
-  const std::string &wrongReason() const { return WrongReason; }
-  SourceLoc wrongLoc() const { return WrongLoc; }
+  const std::string &wrongReason() const override { return WrongReason; }
+  SourceLoc wrongLoc() const override { return WrongLoc; }
 
-  const Stats &stats() const { return S; }
-  void resetStats() { S.reset(); }
+  const Stats &stats() const override { return S; }
+  void resetStats() override { S.reset(); }
 
   /// Attaches \p O (null detaches). The machine does not own the observer;
   /// it must outlive the run. With no observer attached every event site
   /// costs exactly one branch-on-pointer, and behaviour is identical to an
   /// unobserved machine.
-  void setObserver(MachineObserver *O) { Obs = O; }
-  MachineObserver *observer() const { return Obs; }
+  void setObserver(MachineObserver *O) override { Obs = O; }
+  MachineObserver *observer() const override { return Obs; }
 
-  Memory &memory() { return Mem; }
-  const Memory &memory() const { return Mem; }
-  const IrProgram &program() const { return Prog; }
+  Memory &memory() override { return Mem; }
+  const Memory &memory() const override { return Mem; }
+  const IrProgram &program() const override { return Prog; }
 
   /// Global register access (globals model machine registers shared by all
   /// activations; they are never callee-saves and unaffected by cuts).
-  std::optional<Value> getGlobal(std::string_view Name) const;
-  void setGlobal(std::string_view Name, const Value &V);
+  std::optional<Value> getGlobal(std::string_view Name) const override;
+  void setGlobal(std::string_view Name, const Value &V) override;
 
   /// The Code value denoting \p P.
-  Value codeValue(const IrProc *P) const;
+  Value codeValue(const IrProc *P) const override;
 
   /// Decodes a value as a continuation; null when it is not one.
-  const ContRecord *decodeCont(const Value &V) const;
-
-  /// Evaluates a link-time-constant expression (descriptors). Returns
-  /// nullopt for non-constant expressions.
-  std::optional<Value> evalConstExpr(const Expr *E) const;
+  const ContRecord *decodeCont(const Value &V) const override;
 
   //===--------------------------------------------------------------------===//
   // Substrate for the run-time system (Table 1 lives in src/rts)
   //===--------------------------------------------------------------------===//
 
-  size_t stackDepth() const { return Stack.size(); }
+  size_t stackDepth() const override { return Stack.size(); }
   /// \p I = 0 is the topmost suspended activation.
   const Frame &frameFromTop(size_t I) const {
     return Stack[Stack.size() - 1 - I];
   }
-  const IrProc *currentProc() const { return CurProc; }
+  const CallNode *frameCallSite(size_t I) const override {
+    return frameFromTop(I).CallSite;
+  }
+  const IrProc *frameProc(size_t I) const override {
+    return frameFromTop(I).Proc;
+  }
+  const IrProc *currentProc() const override { return CurProc; }
   const Node *control() const { return Control; }
 
   /// Yield unwind rule: pops \p Count frames; every popped frame's call site
   /// must be annotated `also aborts`, else the machine goes wrong. Only
   /// legal while Suspended.
-  bool rtUnwindTop(size_t Count);
+  bool rtUnwindTop(size_t Count) override;
 
   /// Yield resume rules: pops the top frame and transfers control to the
   /// chosen continuation of its bundle (or cuts the stack for Kind::Cut),
   /// passing \p Params through the argument area. Only legal while
   /// Suspended. Returns false (machine Wrong) on any rule violation.
-  bool rtResume(const ResumeChoice &Choice, std::vector<Value> Params);
-
-  /// Number of parameters the chosen continuation expects; nullopt when the
-  /// choice is invalid. Used by FindContParam.
-  std::optional<unsigned> resumeParamCount(const ResumeChoice &Choice) const;
+  bool rtResume(const ResumeChoice &Choice, std::vector<Value> Params) override;
 
 private:
   /// The transition engine. Observed instantiates the event-emission sites;

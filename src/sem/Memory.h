@@ -22,14 +22,29 @@
 
 namespace cmm {
 
-/// Sparse paged memory.
+/// Sparse paged memory. A one-entry page cache makes the repeated
+/// same-page accesses of real programs a pointer compare instead of a hash
+/// lookup; the cache is pure optimization state (unordered_map node
+/// addresses are stable, and it is dropped on copy and move).
 class Memory {
 public:
+  Memory() = default;
+  Memory(const Memory &O) : Pages(O.Pages) {}
+  Memory(Memory &&O) noexcept : Pages(std::move(O.Pages)) {}
+  Memory &operator=(const Memory &O) {
+    Pages = O.Pages;
+    dropCache();
+    return *this;
+  }
+  Memory &operator=(Memory &&O) noexcept {
+    Pages = std::move(O.Pages);
+    dropCache();
+    return *this;
+  }
+
   uint8_t loadByte(uint64_t Addr) const {
-    auto It = Pages.find(Addr / PageSize);
-    if (It == Pages.end())
-      return 0;
-    return It->second[Addr % PageSize];
+    const std::array<uint8_t, PageSize> *P = findPage(Addr / PageSize);
+    return P ? (*P)[Addr % PageSize] : 0;
   }
 
   void storeByte(uint64_t Addr, uint8_t V) {
@@ -38,6 +53,16 @@ public:
 
   /// loadtype(M, addr) for bits values: little-endian.
   uint64_t loadBits(uint64_t Addr, unsigned Bytes) const {
+    uint64_t Off = Addr % PageSize;
+    if (Off + Bytes <= PageSize) { // one page: a single lookup
+      const std::array<uint8_t, PageSize> *P = findPage(Addr / PageSize);
+      if (!P)
+        return 0; // never-written bytes read as zero
+      uint64_t V = 0;
+      for (unsigned I = 0; I < Bytes; ++I)
+        V |= uint64_t((*P)[Off + I]) << (8 * I);
+      return V;
+    }
     uint64_t V = 0;
     for (unsigned I = 0; I < Bytes; ++I)
       V |= uint64_t(loadByte(Addr + I)) << (8 * I);
@@ -46,6 +71,13 @@ public:
 
   /// storetype(M, addr, v) for bits values.
   void storeBits(uint64_t Addr, unsigned Bytes, uint64_t V) {
+    uint64_t Off = Addr % PageSize;
+    if (Off + Bytes <= PageSize) { // one page: a single lookup
+      std::array<uint8_t, PageSize> &P = page(Addr);
+      for (unsigned I = 0; I < Bytes; ++I)
+        P[Off + I] = static_cast<uint8_t>(V >> (8 * I));
+      return;
+    }
     for (unsigned I = 0; I < Bytes; ++I)
       storeByte(Addr + I, static_cast<uint8_t>(V >> (8 * I)));
   }
@@ -80,15 +112,42 @@ public:
 
 private:
   static constexpr uint64_t PageSize = 4096;
+  static constexpr uint64_t NoPage = ~uint64_t(0);
+
+  void dropCache() const {
+    CachedIdx = NoPage;
+    CachedPage = nullptr;
+  }
+
+  /// The page holding \p Idx, or null when it was never written. Fills the
+  /// cache; node addresses survive rehashing, so a hit stays valid until
+  /// the map itself is replaced.
+  std::array<uint8_t, PageSize> *findPage(uint64_t Idx) const {
+    if (Idx == CachedIdx)
+      return CachedPage;
+    auto It = Pages.find(Idx);
+    if (It == Pages.end())
+      return nullptr;
+    CachedIdx = Idx;
+    CachedPage = const_cast<std::array<uint8_t, PageSize> *>(&It->second);
+    return CachedPage;
+  }
 
   std::array<uint8_t, PageSize> &page(uint64_t Addr) {
-    auto [It, Fresh] = Pages.try_emplace(Addr / PageSize);
+    uint64_t Idx = Addr / PageSize;
+    if (std::array<uint8_t, PageSize> *P = findPage(Idx))
+      return *P;
+    auto [It, Fresh] = Pages.try_emplace(Idx);
     if (Fresh)
       It->second.fill(0);
+    CachedIdx = Idx;
+    CachedPage = &It->second;
     return It->second;
   }
 
   std::unordered_map<uint64_t, std::array<uint8_t, PageSize>> Pages;
+  mutable uint64_t CachedIdx = NoPage;
+  mutable std::array<uint8_t, PageSize> *CachedPage = nullptr;
 };
 
 } // namespace cmm

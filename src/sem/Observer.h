@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The MachineObserver hook interface: a null-by-default listener the
-/// Machine notifies about every interesting transition. The uninstrumented
+/// executor (either backend) notifies about every interesting transition. The uninstrumented
 /// hot loop pays exactly one branch-on-pointer per event site; with no
 /// observer attached the machine's behaviour and Stats are bit-identical to
 /// an unobserved run (tests/ObserverTest.cpp guards this).
@@ -31,14 +31,14 @@
 /// by the Machine) so traces can tell dispatcher work from mutator work.
 ///
 /// Implementations of observers (trace sinks, profilers) live in src/obs;
-/// this header stays in sem so the Machine needs no dependency on them.
+/// this header stays in sem so the executors need no dependency on them.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CMM_SEM_OBSERVER_H
 #define CMM_SEM_OBSERVER_H
 
-#include "sem/Machine.h"
+#include "sem/Executor.h"
 
 #include <string_view>
 #include <vector>
@@ -52,25 +52,25 @@ public:
   virtual ~MachineObserver() = default;
 
   /// The machine entered \p Entry via start(). Fires once per start().
-  virtual void onStart(const Machine &M, const IrProc *Entry) {
+  virtual void onStart(const Executor &M, const IrProc *Entry) {
     (void)M;
     (void)Entry;
   }
 
   /// The machine reached Halted (normal Exit with an empty stack).
-  virtual void onHalt(const Machine &M) { (void)M; }
+  virtual void onHalt(const Executor &M) { (void)M; }
 
   /// One counted transition is about to execute with control at \p N.
   /// Yield suspensions are not steps (the paper's cost model) and do not
   /// fire this; they fire onYield instead.
-  virtual void onStep(const Machine &M, const Node *N) {
+  virtual void onStep(const Executor &M, const Node *N) {
     (void)M;
     (void)N;
   }
 
   /// A Call transition completed: \p Site in \p Caller pushed a frame and
   /// entered \p Callee.
-  virtual void onCall(const Machine &M, const CallNode *Site,
+  virtual void onCall(const Executor &M, const CallNode *Site,
                       const IrProc *Caller, const IrProc *Callee) {
     (void)M;
     (void)Site;
@@ -79,7 +79,7 @@ public:
   }
 
   /// A Jump transition completed: \p Caller tail-called \p Callee.
-  virtual void onJump(const Machine &M, const JumpNode *Site,
+  virtual void onJump(const Executor &M, const JumpNode *Site,
                       const IrProc *Caller, const IrProc *Callee) {
     (void)M;
     (void)Site;
@@ -90,7 +90,7 @@ public:
   /// An Exit transition completed: \p Callee returned through \p Site back
   /// into \p Caller. \p ContIndex is the return continuation chosen
   /// (the i of return <i/n>; 0 is the normal return).
-  virtual void onReturn(const Machine &M, const CallNode *Site,
+  virtual void onReturn(const Executor &M, const CallNode *Site,
                         const IrProc *Callee, const IrProc *Caller,
                         unsigned ContIndex) {
     (void)M;
@@ -102,7 +102,7 @@ public:
 
   /// One frame, suspended at \p Site of \p Owner, was discarded while
   /// cutting the stack. Fires once per discarded frame, before onCut.
-  virtual void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+  virtual void onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                                    const IrProc *Owner) {
     (void)M;
     (void)Site;
@@ -114,7 +114,7 @@ public:
   /// procedure owning the continuation. \p FramesDiscarded frames were
   /// thrown away (0 for a cut to a continuation of the current
   /// activation, flagged by \p SameActivation).
-  virtual void onCut(const Machine &M, const CutToNode *From,
+  virtual void onCut(const Executor &M, const CutToNode *From,
                      const IrProc *Target, uint64_t FramesDiscarded,
                      bool SameActivation) {
     (void)M;
@@ -126,14 +126,14 @@ public:
 
   /// The machine suspended at a Yield; the yield arguments are in
   /// M.argArea().
-  virtual void onYield(const Machine &M) { (void)M; }
+  virtual void onYield(const Executor &M) { (void)M; }
 
   /// The run-time system popped the frame suspended at \p Site of
   /// \p Owner (the Yield unwind rule; requires `also aborts`).
   /// \p Resumed is false for SetActivation-style pops that discard the
   /// frame, true for the final pop of an unwinding Resume, where control
   /// continues in this very frame at its `also unwinds to` continuation.
-  virtual void onUnwindPop(const Machine &M, const CallNode *Site,
+  virtual void onUnwindPop(const Executor &M, const CallNode *Site,
                            const IrProc *Owner, bool Resumed) {
     (void)M;
     (void)Site;
@@ -144,7 +144,7 @@ public:
   /// The run-time system resumed the machine by Return or Unwind (a
   /// resumption by Cut fires onCut instead). \p Index picks the
   /// continuation in the bundle's respective list.
-  virtual void onResume(const Machine &M, ResumeChoice::Kind K,
+  virtual void onResume(const Executor &M, ResumeChoice::Kind K,
                         unsigned Index) {
     (void)M;
     (void)K;
@@ -152,7 +152,7 @@ public:
   }
 
   /// The machine has gone wrong.
-  virtual void onWrong(const Machine &M, const std::string &Reason,
+  virtual void onWrong(const Executor &M, const std::string &Reason,
                        SourceLoc Loc) {
     (void)M;
     (void)Reason;
@@ -161,7 +161,7 @@ public:
 
   /// A front-end dispatcher began servicing the current suspension.
   /// Emitted by src/rts, not by the Machine.
-  virtual void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+  virtual void onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                                uint64_t Tag) {
     (void)M;
     (void)Dispatcher;
@@ -170,7 +170,7 @@ public:
 
   /// The dispatcher finished; \p ActivationsVisited is its interpretive
   /// stack-walk cost (0 for constant-time dispatchers).
-  virtual void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+  virtual void onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                              bool Handled, uint64_t ActivationsVisited) {
     (void)M;
     (void)Dispatcher;
@@ -190,68 +190,68 @@ public:
   bool empty() const { return Obs.empty(); }
   size_t size() const { return Obs.size(); }
 
-  void onStart(const Machine &M, const IrProc *Entry) override {
+  void onStart(const Executor &M, const IrProc *Entry) override {
     for (MachineObserver *O : Obs)
       O->onStart(M, Entry);
   }
-  void onHalt(const Machine &M) override {
+  void onHalt(const Executor &M) override {
     for (MachineObserver *O : Obs)
       O->onHalt(M);
   }
-  void onStep(const Machine &M, const Node *N) override {
+  void onStep(const Executor &M, const Node *N) override {
     for (MachineObserver *O : Obs)
       O->onStep(M, N);
   }
-  void onCall(const Machine &M, const CallNode *Site, const IrProc *Caller,
+  void onCall(const Executor &M, const CallNode *Site, const IrProc *Caller,
               const IrProc *Callee) override {
     for (MachineObserver *O : Obs)
       O->onCall(M, Site, Caller, Callee);
   }
-  void onJump(const Machine &M, const JumpNode *Site, const IrProc *Caller,
+  void onJump(const Executor &M, const JumpNode *Site, const IrProc *Caller,
               const IrProc *Callee) override {
     for (MachineObserver *O : Obs)
       O->onJump(M, Site, Caller, Callee);
   }
-  void onReturn(const Machine &M, const CallNode *Site, const IrProc *Callee,
+  void onReturn(const Executor &M, const CallNode *Site, const IrProc *Callee,
                 const IrProc *Caller, unsigned ContIndex) override {
     for (MachineObserver *O : Obs)
       O->onReturn(M, Site, Callee, Caller, ContIndex);
   }
-  void onCutFrameDiscarded(const Machine &M, const CallNode *Site,
+  void onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                            const IrProc *Owner) override {
     for (MachineObserver *O : Obs)
       O->onCutFrameDiscarded(M, Site, Owner);
   }
-  void onCut(const Machine &M, const CutToNode *From, const IrProc *Target,
+  void onCut(const Executor &M, const CutToNode *From, const IrProc *Target,
              uint64_t FramesDiscarded, bool SameActivation) override {
     for (MachineObserver *O : Obs)
       O->onCut(M, From, Target, FramesDiscarded, SameActivation);
   }
-  void onYield(const Machine &M) override {
+  void onYield(const Executor &M) override {
     for (MachineObserver *O : Obs)
       O->onYield(M);
   }
-  void onUnwindPop(const Machine &M, const CallNode *Site,
+  void onUnwindPop(const Executor &M, const CallNode *Site,
                    const IrProc *Owner, bool Resumed) override {
     for (MachineObserver *O : Obs)
       O->onUnwindPop(M, Site, Owner, Resumed);
   }
-  void onResume(const Machine &M, ResumeChoice::Kind K,
+  void onResume(const Executor &M, ResumeChoice::Kind K,
                 unsigned Index) override {
     for (MachineObserver *O : Obs)
       O->onResume(M, K, Index);
   }
-  void onWrong(const Machine &M, const std::string &Reason,
+  void onWrong(const Executor &M, const std::string &Reason,
                SourceLoc Loc) override {
     for (MachineObserver *O : Obs)
       O->onWrong(M, Reason, Loc);
   }
-  void onDispatchBegin(const Machine &M, std::string_view Dispatcher,
+  void onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                        uint64_t Tag) override {
     for (MachineObserver *O : Obs)
       O->onDispatchBegin(M, Dispatcher, Tag);
   }
-  void onDispatchEnd(const Machine &M, std::string_view Dispatcher,
+  void onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                      bool Handled, uint64_t ActivationsVisited) override {
     for (MachineObserver *O : Obs)
       O->onDispatchEnd(M, Dispatcher, Handled, ActivationsVisited);

@@ -1,0 +1,1071 @@
+//===- vm/Vm.cpp - Bytecode dispatch loop ---------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Every transition, goes-wrong rule, counter increment, and observer event
+// mirrors sem/Machine.cpp exactly — that file is the reference; when the
+// two disagree, the walker is right and the differential harness will say
+// so. Budget accounting happens at node boundaries (FlagStartsNode), so a
+// run split at any step budget agrees with the walker's run/resume split.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "sem/Observer.h"
+#include "support/Assert.h"
+#include "support/Casting.h"
+#include "syntax/PrimOps.h"
+
+#include <algorithm>
+
+using namespace cmm;
+
+VmMachine::VmMachine(const IrProgram &Prog)
+    : Prog(Prog), CP(compileToBytecode(Prog)) {
+  CodeTable.reserve(Prog.Procs.size());
+  for (const auto &P : Prog.Procs) {
+    CodeIndex.emplace(P.get(), CodeTable.size());
+    CodeTable.push_back(P.get());
+  }
+  Staging.resize(std::max<uint32_t>(CP.MaxOut, 1));
+}
+
+void VmMachine::goWrong(std::string Reason, SourceLoc Loc) {
+  if (St == MachineStatus::Wrong)
+    return; // keep the first reason
+  St = MachineStatus::Wrong;
+  WrongReason = std::move(Reason);
+  WrongLoc = Loc;
+  if (Obs)
+    Obs->onWrong(*this, WrongReason, WrongLoc);
+}
+
+void VmMachine::wrongUnbound(uint16_t Slot, SourceLoc Loc) {
+  goWrong("use of unbound variable '" +
+              Prog.Names->spelling(Cur->SlotSyms[Slot]) +
+              "' (never assigned, or killed along a cut edge)",
+          Loc);
+}
+
+const Value *VmMachine::rvUnbound(uint16_t Slot, const VmInstr &I,
+                                  unsigned Field) {
+  // Report at the fused operand's own source location when one was
+  // recorded — the walker diagnoses the variable reference, not the
+  // consuming expression.
+  auto It = Cur->RvSlotLocs.find(uint64_t(Pc) * 4 + Field);
+  wrongUnbound(Slot, It != Cur->RvSlotLocs.end() ? It->second : I.Loc);
+  return nullptr;
+}
+
+Value VmMachine::codeValue(const IrProc *P) const {
+  auto It = CodeIndex.find(P);
+  assert(It != CodeIndex.end() && "procedure not in this program");
+  return Value::code(It->second);
+}
+
+const IrProc *VmMachine::decodeCode(const Value &V) const {
+  if (!(V.isCode() || V.isBits()) || !Value::rawIsCode(V.Raw))
+    return nullptr;
+  if ((V.Raw - CodeBase) % CodeStride != 0)
+    return nullptr;
+  uint64_t Idx = V.codeIndex();
+  if (Idx >= CodeTable.size())
+    return nullptr;
+  return CodeTable[Idx];
+}
+
+uint64_t VmMachine::newCont(Node *Target) {
+  ContTable.push_back({Target, Uid, CurProc});
+  ++S.ContsBound;
+  return ContTable.size() - 1;
+}
+
+const ContRecord *VmMachine::decodeCont(const Value &V) const {
+  uint64_t Raw;
+  if (V.isCont()) {
+    Raw = V.Raw;
+  } else if (V.isBits() && Value::rawIsCont(V.Raw)) {
+    Raw = V.Raw;
+  } else {
+    return nullptr;
+  }
+  if ((Raw - ContBase) % ContStride != 0)
+    return nullptr;
+  uint64_t Handle = (Raw - ContBase) / ContStride;
+  if (Handle >= ContTable.size())
+    return nullptr;
+  return &ContTable[Handle];
+}
+
+std::optional<Value> VmMachine::getGlobal(std::string_view Name) const {
+  Symbol Sym = Prog.Names->lookup(Name);
+  if (!Sym)
+    return std::nullopt;
+  const Value *V = GlobalEnv.lookup(Sym);
+  if (!V)
+    return std::nullopt;
+  return *V;
+}
+
+void VmMachine::setGlobal(std::string_view Name, const Value &V) {
+  Symbol Sym = Prog.Names->lookup(Name);
+  assert(Sym && "unknown global");
+  GlobalEnv.bind(Sym, V);
+}
+
+//===----------------------------------------------------------------------===//
+// Start, frames
+//===----------------------------------------------------------------------===//
+
+void VmMachine::start(std::string_view ProcName, std::vector<Value> Args) {
+  Symbol Sym = Prog.Names->lookup(ProcName);
+  if (!Sym) {
+    // Match the walker even before any state is reset: a failed start on a
+    // fresh machine leaves it Wrong.
+    goWrong("unknown start procedure '" + std::string(ProcName) + "'",
+            SourceLoc());
+    return;
+  }
+
+  // Reset all mutable state so the machine can be restarted.
+  Stack.clear();
+  ContTable.clear();
+  GlobalEnv.clear();
+  Sigma.clear();
+  Mem = Memory();
+  NextUid = 1;
+  WrongReason.clear();
+  St = MachineStatus::Running;
+
+  // Load the static data image.
+  for (size_t I = 0; I < Prog.Image.Bytes.size(); ++I)
+    Mem.storeByte(Prog.Image.Base + I, Prog.Image.Bytes[I]);
+  for (const DataImage::Reloc &R : Prog.Image.Relocs) {
+    uint64_t V = 0;
+    if (const IrProc *P = Prog.findProc(R.Target)) {
+      V = codeValue(P).Raw;
+    } else {
+      auto It = Prog.DataAddrs.find(R.Target);
+      if (It == Prog.DataAddrs.end()) {
+        goWrong("unresolved data relocation '" +
+                    Prog.Names->spelling(R.Target) + "'",
+                SourceLoc());
+        return;
+      }
+      V = It->second;
+    }
+    Mem.storeBits(R.Addr, TargetInfo::pointerBytes(), V);
+  }
+
+  // Zero-initialize the global registers.
+  for (const auto &[Name, Ty] : Prog.Globals)
+    GlobalEnv.bind(Name, Ty.isFloat() ? Value::flt(Ty.Width, 0)
+                                      : Value::bits(Ty.Width, 0));
+
+  const IrProc *P = Prog.findProc(Sym);
+  if (!P) {
+    goWrong("unknown start procedure '" + Prog.Names->spelling(Sym) + "'",
+            SourceLoc());
+    return;
+  }
+  A = std::move(Args);
+  enterProc(P, SourceLoc());
+  if (Obs && St == MachineStatus::Running)
+    Obs->onStart(*this, P);
+}
+
+void VmMachine::enterProc(const IrProc *P, SourceLoc Loc) {
+  const CompiledProc &C = CP.byProc(P);
+  if (!C.HasBody) {
+    goWrong("procedure '" + Prog.Names->spelling(P->Name) + "' has no body",
+            Loc);
+    return;
+  }
+  Cur = &C;
+  CurProc = P;
+  Pc = C.EntryPc;
+  Uid = NextUid++;
+  // Grow-only register files: entering a smaller procedure (every tail
+  // call) reuses the larger file rather than shrinking it. Registers past
+  // NumRegs are never read — temporaries are written before use and slot
+  // reads are gated on Bound, which is cleared for exactly NumSlots here.
+  if (Regs.size() < C.NumRegs)
+    Regs.resize(C.NumRegs);
+  if (Bound.size() < C.NumSlots)
+    Bound.resize(C.NumSlots);
+  std::fill_n(Bound.begin(), C.NumSlots, 0);
+  Sigma.clear();
+}
+
+void VmMachine::pushFrame(const CallNode *Site) {
+  VmFrame F;
+  F.CallSite = Site;
+  F.Proc = CurProc;
+  F.Compiled = Cur;
+  F.Uid = Uid;
+  F.Regs = std::move(Regs);
+  F.Bound = std::move(Bound);
+  F.Sigma = std::move(Sigma);
+  Stack.push_back(std::move(F));
+  if (!FreeFiles.empty()) {
+    Regs = std::move(FreeFiles.back().first);
+    Bound = std::move(FreeFiles.back().second);
+    FreeFiles.pop_back();
+  } else {
+    Regs = {};
+    Bound = {};
+  }
+  Sigma.clear();
+  S.MaxStackDepth = std::max<uint64_t>(S.MaxStackDepth, Stack.size());
+}
+
+void VmMachine::restoreFrame(VmFrame &F) {
+  FreeFiles.emplace_back(std::move(Regs), std::move(Bound));
+  Regs = std::move(F.Regs);
+  Bound = std::move(F.Bound);
+  Sigma = std::move(F.Sigma);
+  Uid = F.Uid;
+  CurProc = F.Proc;
+  Cur = F.Compiled;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression slow paths (exact copies of the walker's evaluator)
+//===----------------------------------------------------------------------===//
+
+bool VmMachine::applyUnary(Value &Out, const Value &V, unsigned OpKind) {
+  switch (static_cast<UnOp>(OpKind)) {
+  case UnOp::Neg:
+    Out = V.isFloat() ? Value::flt(V.Width, -V.F)
+                      : Value::bits(V.Width, 0 - V.Raw);
+    return true;
+  case UnOp::Com:
+    Out = Value::bits(V.Width, ~V.Raw);
+    return true;
+  case UnOp::Not:
+    Out = Value::bits(32, V.Raw == 0 ? 1 : 0);
+    return true;
+  }
+  cmm_unreachable("unknown unary operator");
+}
+
+bool VmMachine::applyBinary(Value &Out, const Value &L, const Value &R,
+                            unsigned OpKind, SourceLoc Loc) {
+  BinOp Op = static_cast<BinOp>(OpKind);
+  if (L.isFloat() || R.isFloat()) {
+    if (!(L.isFloat() && R.isFloat())) {
+      goWrong("mixed floating-point and bit operands", Loc);
+      return false;
+    }
+    double X = L.F, Y = R.F;
+    switch (Op) {
+    case BinOp::Add: Out = Value::flt(L.Width, X + Y); return true;
+    case BinOp::Sub: Out = Value::flt(L.Width, X - Y); return true;
+    case BinOp::Mul: Out = Value::flt(L.Width, X * Y); return true;
+    case BinOp::Div: Out = Value::flt(L.Width, X / Y); return true;
+    case BinOp::Eq: Out = Value::bits(32, X == Y); return true;
+    case BinOp::Ne: Out = Value::bits(32, X != Y); return true;
+    case BinOp::LtS: Out = Value::bits(32, X < Y); return true;
+    case BinOp::LeS: Out = Value::bits(32, X <= Y); return true;
+    case BinOp::GtS: Out = Value::bits(32, X > Y); return true;
+    case BinOp::GeS: Out = Value::bits(32, X >= Y); return true;
+    default:
+      goWrong("bit operation on floating-point operands", Loc);
+      return false;
+    }
+  }
+
+  unsigned W = L.Width;
+  uint64_t X = L.Raw, Y = R.Raw;
+  int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
+  switch (Op) {
+  case BinOp::Add: Out = Value::bits(W, X + Y); return true;
+  case BinOp::Sub: Out = Value::bits(W, X - Y); return true;
+  case BinOp::Mul: Out = Value::bits(W, X * Y); return true;
+  case BinOp::Div:
+    if (SY == 0) {
+      goWrong("unspecified: signed division by zero (use %%divs for the "
+              "checked variant)",
+              Loc);
+      return false;
+    }
+    if (SX == signExtend(signedMin(W), W) && SY == -1) {
+      goWrong("unspecified: signed division overflow", Loc);
+      return false;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(SX / SY));
+    return true;
+  case BinOp::Mod:
+    if (SY == 0) {
+      goWrong("unspecified: signed modulus by zero (use %%mods for the "
+              "checked variant)",
+              Loc);
+      return false;
+    }
+    if (SX == signExtend(signedMin(W), W) && SY == -1) {
+      Out = Value::bits(W, 0);
+      return true;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(SX % SY));
+    return true;
+  case BinOp::And: Out = Value::bits(W, X & Y); return true;
+  case BinOp::Or: Out = Value::bits(W, X | Y); return true;
+  case BinOp::Xor: Out = Value::bits(W, X ^ Y); return true;
+  case BinOp::Shl: Out = Value::bits(W, Y >= W ? 0 : X << Y); return true;
+  case BinOp::Shr: Out = Value::bits(W, Y >= W ? 0 : X >> Y); return true;
+  case BinOp::Eq: Out = Value::bits(32, X == Y); return true;
+  case BinOp::Ne: Out = Value::bits(32, X != Y); return true;
+  case BinOp::LtS: Out = Value::bits(32, SX < SY); return true;
+  case BinOp::LeS: Out = Value::bits(32, SX <= SY); return true;
+  case BinOp::GtS: Out = Value::bits(32, SX > SY); return true;
+  case BinOp::GeS: Out = Value::bits(32, SX >= SY); return true;
+  }
+  cmm_unreachable("unknown binary operator");
+}
+
+bool VmMachine::applyPrim(Value &Out, unsigned PrimOp, const Value *Args,
+                          unsigned Count, SourceLoc Loc) {
+  PrimKind K = static_cast<PrimKind>(PrimOp);
+  auto WrongZero = [&]() {
+    goWrong(std::string("unspecified: ") + primName(K) +
+                " with zero divisor (use the %% variant)",
+            Loc);
+    return false;
+  };
+  auto NeedBits = [&](unsigned N, unsigned Width) {
+    for (unsigned I = 0; I < N; ++I) {
+      if (!Args[I].isBits()) {
+        goWrong(std::string(primName(K)) +
+                    " applied to a floating-point operand",
+                Loc);
+        return false;
+      }
+      if (Width != 0 && Args[I].Width != Width) {
+        goWrong(std::string(primName(K)) + " applied to a bits" +
+                    std::to_string(Args[I].Width) + " operand",
+                Loc);
+        return false;
+      }
+    }
+    return true;
+  };
+  auto NeedFloats = [&](unsigned N) {
+    for (unsigned I = 0; I < N; ++I)
+      if (!Args[I].isFloat()) {
+        goWrong(std::string(primName(K)) + " applied to a bit operand", Loc);
+        return false;
+      }
+    return true;
+  };
+  (void)Count;
+  unsigned W = Count == 0 ? 32 : Args[0].Width;
+  switch (K) {
+  case PrimKind::DivU:
+    if (!NeedBits(2, W))
+      return false;
+    if (Args[1].Raw == 0)
+      return WrongZero();
+    Out = Value::bits(W, Args[0].Raw / Args[1].Raw);
+    return true;
+  case PrimKind::ModU:
+    if (!NeedBits(2, W))
+      return false;
+    if (Args[1].Raw == 0)
+      return WrongZero();
+    Out = Value::bits(W, Args[0].Raw % Args[1].Raw);
+    return true;
+  case PrimKind::DivS: {
+    if (!NeedBits(2, W))
+      return false;
+    int64_t X = signExtend(Args[0].Raw, W), Y = signExtend(Args[1].Raw, W);
+    if (Y == 0)
+      return WrongZero();
+    if (X == signExtend(signedMin(W), W) && Y == -1) {
+      goWrong("unspecified: %divs overflow", Loc);
+      return false;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(X / Y));
+    return true;
+  }
+  case PrimKind::ModS: {
+    if (!NeedBits(2, W))
+      return false;
+    int64_t X = signExtend(Args[0].Raw, W), Y = signExtend(Args[1].Raw, W);
+    if (Y == 0)
+      return WrongZero();
+    if (X == signExtend(signedMin(W), W) && Y == -1) {
+      Out = Value::bits(W, 0);
+      return true;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(X % Y));
+    return true;
+  }
+  case PrimKind::LtU:
+    if (!NeedBits(2, W))
+      return false;
+    Out = Value::bits(32, Args[0].Raw < Args[1].Raw);
+    return true;
+  case PrimKind::LeU:
+    if (!NeedBits(2, W))
+      return false;
+    Out = Value::bits(32, Args[0].Raw <= Args[1].Raw);
+    return true;
+  case PrimKind::GtU:
+    if (!NeedBits(2, W))
+      return false;
+    Out = Value::bits(32, Args[0].Raw > Args[1].Raw);
+    return true;
+  case PrimKind::GeU:
+    if (!NeedBits(2, W))
+      return false;
+    Out = Value::bits(32, Args[0].Raw >= Args[1].Raw);
+    return true;
+  case PrimKind::ShrA: {
+    if (!NeedBits(2, W))
+      return false;
+    int64_t X = signExtend(Args[0].Raw, W);
+    uint64_t C = Args[1].Raw;
+    if (C >= W) {
+      Out = Value::bits(W, X < 0 ? ~uint64_t(0) : 0);
+      return true;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(X >> C));
+    return true;
+  }
+  case PrimKind::Zx64:
+    if (!NeedBits(1, 32))
+      return false;
+    Out = Value::bits(64, Args[0].Raw);
+    return true;
+  case PrimKind::Sx64:
+    if (!NeedBits(1, 32))
+      return false;
+    Out = Value::bits(64, static_cast<uint64_t>(signExtend(Args[0].Raw, 32)));
+    return true;
+  case PrimKind::Lo32:
+    if (!NeedBits(1, 64))
+      return false;
+    Out = Value::bits(32, Args[0].Raw);
+    return true;
+  case PrimKind::Hi32:
+    if (!NeedBits(1, 64))
+      return false;
+    Out = Value::bits(32, Args[0].Raw >> 32);
+    return true;
+  case PrimKind::FAdd:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::flt(Args[0].Width, Args[0].F + Args[1].F);
+    return true;
+  case PrimKind::FSub:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::flt(Args[0].Width, Args[0].F - Args[1].F);
+    return true;
+  case PrimKind::FMul:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::flt(Args[0].Width, Args[0].F * Args[1].F);
+    return true;
+  case PrimKind::FDiv:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::flt(Args[0].Width, Args[0].F / Args[1].F);
+    return true;
+  case PrimKind::FNeg:
+    if (!NeedFloats(1))
+      return false;
+    Out = Value::flt(Args[0].Width, -Args[0].F);
+    return true;
+  case PrimKind::FEq:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::bits(32, Args[0].F == Args[1].F);
+    return true;
+  case PrimKind::FNe:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::bits(32, Args[0].F != Args[1].F);
+    return true;
+  case PrimKind::FLt:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::bits(32, Args[0].F < Args[1].F);
+    return true;
+  case PrimKind::FLe:
+    if (!NeedFloats(2))
+      return false;
+    Out = Value::bits(32, Args[0].F <= Args[1].F);
+    return true;
+  case PrimKind::I2F:
+    if (!NeedBits(1, 32))
+      return false;
+    Out = Value::flt(64, static_cast<double>(signExtend(Args[0].Raw, 32)));
+    return true;
+  case PrimKind::F2I: {
+    if (!NeedFloats(1))
+      return false;
+    double D = Args[0].F;
+    if (!(D >= -2147483648.0 && D < 2147483648.0)) {
+      goWrong("unspecified: %f2i out of range", Loc);
+      return false;
+    }
+    Out = Value::bits(32, static_cast<uint64_t>(static_cast<int64_t>(D)));
+    return true;
+  }
+  }
+  cmm_unreachable("unknown primitive kind");
+}
+
+//===----------------------------------------------------------------------===//
+// The dispatch loop
+//===----------------------------------------------------------------------===//
+
+template <bool Observed> void VmMachine::exec(uint64_t &Budget) {
+  if (St != MachineStatus::Running)
+    return;
+  // Hot-loop invariant: Code == Cur->Code.data(). Refreshed after every
+  // operation that can change the current compiled procedure.
+  const VmInstr *Code = Cur->Code.data();
+
+  // Reads a fused operand: a constant-pool value, an always-defined
+  // expression temporary, or a frame slot (bound-checked — the compiler
+  // fuses slots only where the walker's check would run at this point).
+  // Returns null after going wrong. The pointer is invalidated by frame
+  // pushes and pops; transfer ops copy the Value out first.
+  auto ReadOperand = [&](uint16_t Enc, const VmInstr &I,
+                         unsigned Field) -> const Value * {
+    if (Enc & OperandConst)
+      return &Cur->Consts[Enc & OperandIndexMask];
+    if (Enc < Cur->NumSlots && !Bound[Enc]) [[unlikely]]
+      return rvUnbound(Enc, I, Field);
+    return &Regs[Enc];
+  };
+  // Result routing for value producers: a register (binding the slot when
+  // the instruction is an Assign's retargeted tail) or a staging cell.
+  auto StoreValue = [&](const VmInstr &I, const Value &V) {
+    if (I.Flags & FlagStagesOut) {
+      Staging[I.A] = V;
+      return;
+    }
+    Regs[I.A] = V;
+    if (I.Flags & FlagSetsBound)
+      Bound[I.A] = 1;
+  };
+
+  while (St == MachineStatus::Running) {
+    const VmInstr &I = Code[Pc];
+    if (I.Flags & FlagStartsNode) {
+      if (Budget == 0)
+        return; // step budget exhausted at a node boundary
+      --Budget;
+      if (I.K != Op::YieldOp) {
+        // Yield suspensions are not transitions (the walker un-counts
+        // them), so neither Steps nor onStep fires for them.
+        ++S.Steps;
+        if constexpr (Observed)
+          Obs->onStep(*this, I.N);
+      }
+    }
+
+    switch (I.K) {
+    case Op::LoadConst: {
+      StoreValue(I, Cur->Consts[I.Imm]);
+      ++Pc;
+      break;
+    }
+    case Op::LoadLocal: {
+      if (!Bound[I.B]) {
+        wrongUnbound(I.B, I.Loc);
+        break;
+      }
+      StoreValue(I, Regs[I.B]);
+      ++Pc;
+      break;
+    }
+    case Op::LoadGlobal: {
+      const Value *V = GlobalEnv.lookup(Cur->Syms[I.Imm]);
+      if (!V) {
+        goWrong("use of unknown global '" +
+                    Prog.Names->spelling(Cur->Syms[I.Imm]) + "'",
+                I.Loc);
+        break;
+      }
+      StoreValue(I, *V);
+      ++Pc;
+      break;
+    }
+    case Op::LoadNameDyn: {
+      const Value *V = GlobalEnv.lookup(Cur->Syms[I.Imm]);
+      if (!V) {
+        goWrong("unresolved name '" +
+                    Prog.Names->spelling(Cur->Syms[I.Imm]) + "'",
+                I.Loc);
+        break;
+      }
+      StoreValue(I, *V);
+      ++Pc;
+      break;
+    }
+    case Op::Unary: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      Value Out;
+      if (!applyUnary(Out, *B, I.Imm))
+        break;
+      StoreValue(I, Out);
+      ++Pc;
+      break;
+    }
+    case Op::Binary: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      const Value *C = ReadOperand(I.C, I, 2);
+      if (!C)
+        break;
+      Value Out;
+      if (!applyBinary(Out, *B, *C, I.Imm, I.Loc))
+        break;
+      StoreValue(I, Out);
+      ++Pc;
+      break;
+    }
+    case Op::Prim: {
+      unsigned Count = I.Imm >> 16;
+      Value Args[2];
+      if (Count > 0) {
+        const Value *P = ReadOperand(I.B, I, 1);
+        if (!P)
+          break;
+        Args[0] = *P;
+      }
+      if (Count > 1) {
+        const Value *P = ReadOperand(I.C, I, 2);
+        if (!P)
+          break;
+        Args[1] = *P;
+      }
+      Value Out;
+      if (!applyPrim(Out, I.Imm & 0xffff, Args, Count, I.Loc))
+        break;
+      StoreValue(I, Out);
+      ++Pc;
+      break;
+    }
+    case Op::MemLoad: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      ++S.Loads; // after the address check, like the walker
+      unsigned W = I.Imm >> 1;
+      uint64_t Addr = B->Raw;
+      StoreValue(I, (I.Imm & 1) ? Value::flt(W, Mem.loadFloat(Addr, W / 8))
+                                : Value::bits(W, Mem.loadBits(Addr, W / 8)));
+      ++Pc;
+      break;
+    }
+    case Op::Wrong: {
+      goWrong(Cur->Msgs[I.Imm], I.Loc);
+      break;
+    }
+    case Op::SetGlobal: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      GlobalEnv.bind(Cur->Syms[I.Imm], *B);
+      ++Pc;
+      break;
+    }
+    case Op::MemStore: {
+      const Value *AddrV = ReadOperand(I.A, I, 0);
+      if (!AddrV)
+        break;
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      ++S.Stores; // after both operand checks, like the walker
+      unsigned W = I.Imm >> 1;
+      uint64_t Addr = AddrV->Raw;
+      if (I.Imm & 1)
+        Mem.storeFloat(Addr, W / 8, B->F);
+      else
+        Mem.storeBits(Addr, W / 8, B->Raw);
+      ++Pc;
+      break;
+    }
+    case Op::StageOut: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      Staging[I.Imm] = *B;
+      ++Pc;
+      break;
+    }
+    case Op::Commit: {
+      A.assign(Staging.begin(), Staging.begin() + I.Imm);
+      ++Pc;
+      break;
+    }
+    case Op::CopyIn: {
+      const std::vector<CopyDest> &Plan = Cur->CopyPlans[I.Imm];
+      if (A.size() < Plan.size()) {
+        goWrong("too few values in the argument-passing area: need " +
+                    std::to_string(Plan.size()) + ", have " +
+                    std::to_string(A.size()),
+                I.Loc);
+        break;
+      }
+      for (size_t J = 0; J < Plan.size(); ++J) {
+        const CopyDest &D = Plan[J];
+        if (D.Global) {
+          GlobalEnv.bind(D.Sym, A[J]);
+        } else {
+          Regs[D.Slot] = A[J];
+          Bound[D.Slot] = 1;
+        }
+      }
+      A.clear(); // CopyIn replaces A by the empty list
+      ++Pc;
+      break;
+    }
+    case Op::CalleeSaves: {
+      const std::vector<uint16_t> &Saved = Cur->SavePlans[I.Imm];
+      for (uint16_t V : Saved)
+        if (std::find(Sigma.begin(), Sigma.end(), V) == Sigma.end())
+          ++S.CalleeSaveMoves;
+      for (uint16_t V : Sigma)
+        if (std::find(Saved.begin(), Saved.end(), V) == Saved.end())
+          ++S.CalleeSaveMoves;
+      Sigma = Saved;
+      ++Pc;
+      break;
+    }
+    case Op::EntryOp: {
+      // Entry binds the procedure's continuations into an empty
+      // environment; the incoming environment is discarded.
+      std::fill_n(Bound.begin(), Cur->NumSlots, 0);
+      Sigma.clear();
+      for (const auto &[Slot, Target] : Cur->EntryPlans[I.Imm]) {
+        uint64_t Handle = newCont(Target);
+        Regs[Slot] = Value::cont(Handle);
+        Bound[Slot] = 1;
+      }
+      ++Pc;
+      break;
+    }
+    case Op::Goto:
+      Pc = I.Imm;
+      break;
+    case Op::BranchIf: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      Pc = B->isTruthy() ? I.Imm : Pc + 1;
+      break;
+    }
+    case Op::BranchCmp: {
+      const Value *B = ReadOperand(I.B, I, 1);
+      if (!B)
+        break;
+      const Value *C = ReadOperand(I.C, I, 2);
+      if (!C)
+        break;
+      Value Out;
+      if (!applyBinary(Out, *B, *C, I.A, I.Loc))
+        break;
+      Pc = Out.isTruthy() ? I.Imm : Pc + 1;
+      break;
+    }
+    case Op::ExitOp: {
+      unsigned ContIndex = I.A, AltCount = I.B;
+      if (Stack.empty()) {
+        if (ContIndex == 0 && AltCount == 0) {
+          St = MachineStatus::Halted; // terminated normally
+          if constexpr (Observed)
+            Obs->onHalt(*this);
+        } else {
+          goWrong("abnormal return with an empty stack", I.Loc);
+        }
+        break;
+      }
+      VmFrame F = std::move(Stack.back());
+      Stack.pop_back();
+      const ContBundle &B = F.CallSite->Bundle;
+      if (B.ReturnsTo.size() != size_t(AltCount) + 1) {
+        goWrong("return <" + std::to_string(ContIndex) + "/" +
+                    std::to_string(AltCount) + "> at a call site with " +
+                    std::to_string(B.ReturnsTo.size() - 1) +
+                    " alternate return continuations",
+                I.Loc);
+        break;
+      }
+      if (ContIndex >= B.ReturnsTo.size()) {
+        goWrong("return continuation index out of range", I.Loc);
+        break;
+      }
+      const IrProc *Callee = CurProc;
+      restoreFrame(F);
+      Pc = pcOf(*Cur, B.ReturnsTo[ContIndex]);
+      Code = Cur->Code.data();
+      ++S.Returns;
+      if constexpr (Observed)
+        Obs->onReturn(*this, F.CallSite, Callee, CurProc, ContIndex);
+      break;
+    }
+    case Op::CallOp: {
+      const Value *CalleeV = ReadOperand(I.B, I, 1);
+      if (!CalleeV)
+        break;
+      const Value Callee = *CalleeV; // pushFrame moves Regs out
+      const IrProc *Target = decodeCode(Callee);
+      if (!Target) {
+        goWrong("call target is not code (" + Callee.str() + ")", I.Loc);
+        break;
+      }
+      const auto *CN = cast<CallNode>(I.N);
+      const IrProc *Caller = CurProc;
+      pushFrame(CN);
+      enterProc(Target, I.Loc);
+      Code = Cur->Code.data();
+      ++S.Calls;
+      if constexpr (Observed)
+        Obs->onCall(*this, CN, Caller, Target);
+      break;
+    }
+    case Op::JumpOp: {
+      const Value *CalleeV = ReadOperand(I.B, I, 1);
+      if (!CalleeV)
+        break;
+      const Value Callee = *CalleeV; // enterProc may grow Regs
+      const IrProc *Target = decodeCode(Callee);
+      if (!Target) {
+        goWrong("jump target is not code (" + Callee.str() + ")", I.Loc);
+        break;
+      }
+      // Tail call: the caller's resources are deallocated before the call;
+      // the continuation bundle on the stack is reused.
+      const IrProc *Caller = CurProc;
+      enterProc(Target, I.Loc);
+      Code = Cur->Code.data();
+      ++S.Jumps;
+      if constexpr (Observed)
+        Obs->onJump(*this, cast<JumpNode>(I.N), Caller, Target);
+      break;
+    }
+    case Op::CutToOp: {
+      const Value *ContV = ReadOperand(I.B, I, 1);
+      if (!ContV)
+        break;
+      const Value Cont = *ContV; // doCutTo pops frames under the operand
+      doCutTo(Cont, cast<CutToNode>(I.N));
+      Code = Cur->Code.data();
+      break;
+    }
+    case Op::YieldOp: {
+      ++S.Yields;
+      St = MachineStatus::Suspended;
+      if constexpr (Observed)
+        Obs->onYield(*this);
+      break;
+    }
+    }
+  }
+}
+
+template void VmMachine::exec<true>(uint64_t &);
+template void VmMachine::exec<false>(uint64_t &);
+
+MachineStatus VmMachine::run(uint64_t MaxSteps) {
+  uint64_t Budget = MaxSteps;
+  if (Obs)
+    exec<true>(Budget);
+  else
+    exec<false>(Budget);
+  return St;
+}
+
+bool VmMachine::step() {
+  if (St != MachineStatus::Running)
+    return false;
+  uint64_t Budget = 1;
+  if (Obs)
+    exec<true>(Budget);
+  else
+    exec<false>(Budget);
+  return St == MachineStatus::Running;
+}
+
+//===----------------------------------------------------------------------===//
+// Cuts
+//===----------------------------------------------------------------------===//
+
+bool VmMachine::doCutTo(const Value &ContVal, const CutToNode *FromNode) {
+  SourceLoc Loc = FromNode ? FromNode->Loc : SourceLoc();
+  const ContRecord *Rec = decodeCont(ContVal);
+  if (!Rec) {
+    goWrong("cut to a value that is not a continuation (" + ContVal.str() +
+                ")",
+            Loc);
+    return false;
+  }
+
+  // Cut to a continuation of the current activation: permitted only when
+  // the cut to statement itself carries an `also cuts to` naming it.
+  if (FromNode && Rec->Uid == Uid) {
+    bool Listed = std::find(FromNode->AlsoCutsTo.begin(),
+                            FromNode->AlsoCutsTo.end(),
+                            Rec->Target) != FromNode->AlsoCutsTo.end();
+    if (!Listed) {
+      goWrong("cut to a continuation of the current activation that is not "
+              "named in this statement's also cuts to",
+              Loc);
+      return false;
+    }
+    for (uint16_t V : Sigma) // callee-saves values are not restored by a cut
+      Bound[V] = 0;
+    Sigma.clear();
+    Pc = pcOf(*Cur, Rec->Target);
+    ++S.Cuts;
+    if (Obs)
+      Obs->onCut(*this, FromNode, Rec->Proc, 0, /*SameActivation=*/true);
+    return true;
+  }
+
+  // Remove activations until the target's frame is on top. Each removed
+  // frame's suspended call must be annotated `also aborts`.
+  uint64_t Discarded = 0;
+  while (!Stack.empty() && Stack.back().Uid != Rec->Uid) {
+    if (!Stack.back().CallSite->Bundle.Abort) {
+      goWrong("cut truncates the stack past a call site that lacks an "
+              "also aborts annotation",
+              Loc);
+      return false;
+    }
+    if (Obs)
+      Obs->onCutFrameDiscarded(*this, Stack.back().CallSite,
+                               Stack.back().Proc);
+    FreeFiles.emplace_back(std::move(Stack.back().Regs),
+                           std::move(Stack.back().Bound));
+    Stack.pop_back();
+    ++S.FramesCutOver;
+    ++Discarded;
+  }
+  if (Stack.empty()) {
+    goWrong("cut to a dead continuation (its activation is no longer on "
+            "the stack)",
+            Loc);
+    return false;
+  }
+
+  VmFrame F = std::move(Stack.back());
+  Stack.pop_back();
+  const ContBundle &B = F.CallSite->Bundle;
+  if (std::find(B.CutsTo.begin(), B.CutsTo.end(), Rec->Target) ==
+      B.CutsTo.end()) {
+    goWrong("cut to a continuation that is not listed in the suspended "
+            "call site's also cuts to",
+            Loc);
+    return false;
+  }
+  restoreFrame(F);
+  for (uint16_t V : Sigma) // cuts do not restore callee-saves registers
+    Bound[V] = 0;
+  Sigma.clear();
+  Pc = pcOf(*Cur, Rec->Target);
+  ++S.Cuts;
+  if (Obs)
+    Obs->onCut(*this, FromNode, Rec->Proc, Discarded,
+               /*SameActivation=*/false);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Run-time-system substrate (the checked Yield transitions)
+//===----------------------------------------------------------------------===//
+
+bool VmMachine::rtUnwindTop(size_t Count) {
+  if (St != MachineStatus::Suspended) {
+    goWrong("run-time system acted on a machine that is not suspended",
+            SourceLoc());
+    return false;
+  }
+  for (size_t I = 0; I < Count; ++I) {
+    if (Stack.empty()) {
+      goWrong("run-time system unwound past the bottom of the stack",
+              SourceLoc());
+      return false;
+    }
+    if (!Stack.back().CallSite->Bundle.Abort) {
+      goWrong("run-time system unwound past a call site that lacks an "
+              "also aborts annotation",
+              Stack.back().CallSite->Loc);
+      return false;
+    }
+    if (Obs)
+      Obs->onUnwindPop(*this, Stack.back().CallSite, Stack.back().Proc,
+                       /*Resumed=*/false);
+    FreeFiles.emplace_back(std::move(Stack.back().Regs),
+                           std::move(Stack.back().Bound));
+    Stack.pop_back();
+    ++S.UnwindPops;
+  }
+  return true;
+}
+
+bool VmMachine::rtResume(const ResumeChoice &Choice,
+                         std::vector<Value> Params) {
+  if (St != MachineStatus::Suspended) {
+    goWrong("run-time system resumed a machine that is not suspended",
+            SourceLoc());
+    return false;
+  }
+  std::optional<unsigned> Expected = resumeParamCount(Choice);
+  if (!Expected) {
+    goWrong("run-time system chose an invalid resumption continuation",
+            SourceLoc());
+    return false;
+  }
+  if (Params.size() != *Expected) {
+    goWrong("run-time system passed " + std::to_string(Params.size()) +
+                " continuation parameters where " +
+                std::to_string(*Expected) + " are expected",
+            SourceLoc());
+    return false;
+  }
+
+  if (Choice.K == ResumeChoice::Kind::Cut) {
+    St = MachineStatus::Running; // doCutTo acts from the running state
+    if (!doCutTo(Choice.ContValue, nullptr))
+      return false;
+    A = std::move(Params);
+    return true;
+  }
+
+  if (Stack.empty()) {
+    goWrong("run-time system resumed with an empty stack", SourceLoc());
+    return false;
+  }
+  VmFrame F = std::move(Stack.back());
+  Stack.pop_back();
+  const ContBundle &B = F.CallSite->Bundle;
+  Node *Target = Choice.K == ResumeChoice::Kind::Return
+                     ? B.ReturnsTo[Choice.Index]
+                     : B.UnwindsTo[Choice.Index];
+  // This transition restores callee-saves registers: the full saved
+  // environment comes back.
+  restoreFrame(F);
+  Pc = pcOf(*Cur, Target);
+  A = std::move(Params);
+  if (Choice.K == ResumeChoice::Kind::Unwind) {
+    ++S.UnwindPops;
+    if (Obs)
+      Obs->onUnwindPop(*this, F.CallSite, F.Proc, /*Resumed=*/true);
+  }
+  St = MachineStatus::Running;
+  if (Obs)
+    Obs->onResume(*this, Choice.K, Choice.Index);
+  return true;
+}

@@ -1,0 +1,149 @@
+//===- vm/Vm.h - Bytecode executor for Abstract C-- -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode VM: compiles the checked IR to the register bytecode of
+/// vm/Bytecode.h (once, at construction) and runs it in a dispatch loop.
+/// Observable semantics are identical to the reference tree walker
+/// (sem/Machine.h): the seven-component state, every goes-wrong rule with
+/// the same diagnostic strings, Suspended at Yield nodes, the Table 1
+/// run-time substrate, the same Stats counters, and MachineObserver events
+/// at the same sites. docs/BYTECODE.md carries the preservation argument;
+/// costmodel/DiffHarness.h cross-checks the two executors on every seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_VM_VM_H
+#define CMM_VM_VM_H
+
+#include "sem/Env.h"
+#include "sem/Executor.h"
+#include "vm/Bytecode.h"
+
+namespace cmm {
+
+/// One suspended activation: the walker's (Γ, ρ, σ, uid) with ρ as a
+/// register file plus bound flags instead of a symbol map.
+struct VmFrame {
+  const CallNode *CallSite = nullptr;
+  const IrProc *Proc = nullptr;
+  const CompiledProc *Compiled = nullptr;
+  std::vector<Value> Regs;
+  std::vector<uint8_t> Bound; ///< per-slot definedness (the domain of ρ)
+  std::vector<uint16_t> Sigma;
+  uint64_t Uid = 0;
+};
+
+/// The bytecode executor. One VmMachine is one C-- thread.
+class VmMachine final : public Executor {
+public:
+  explicit VmMachine(const IrProgram &Prog);
+
+  std::string_view backendName() const override { return "vm"; }
+
+  void start(std::string_view ProcName, std::vector<Value> Args = {}) override;
+
+  MachineStatus status() const override { return St; }
+
+  bool step() override;
+  MachineStatus run(uint64_t MaxSteps = ~uint64_t(0)) override;
+
+  const std::vector<Value> &argArea() const override { return A; }
+  const std::string &wrongReason() const override { return WrongReason; }
+  SourceLoc wrongLoc() const override { return WrongLoc; }
+
+  const Stats &stats() const override { return S; }
+  void resetStats() override { S.reset(); }
+
+  void setObserver(MachineObserver *O) override { Obs = O; }
+  MachineObserver *observer() const override { return Obs; }
+
+  Memory &memory() override { return Mem; }
+  const Memory &memory() const override { return Mem; }
+  const IrProgram &program() const override { return Prog; }
+
+  std::optional<Value> getGlobal(std::string_view Name) const override;
+  void setGlobal(std::string_view Name, const Value &V) override;
+
+  Value codeValue(const IrProc *P) const override;
+  const ContRecord *decodeCont(const Value &V) const override;
+
+  size_t stackDepth() const override { return Stack.size(); }
+  const CallNode *frameCallSite(size_t I) const override {
+    return Stack[Stack.size() - 1 - I].CallSite;
+  }
+  const IrProc *frameProc(size_t I) const override {
+    return Stack[Stack.size() - 1 - I].Proc;
+  }
+  const IrProc *currentProc() const override { return CurProc; }
+
+  bool rtUnwindTop(size_t Count) override;
+  bool rtResume(const ResumeChoice &Choice, std::vector<Value> Params) override;
+
+  /// The compiled form (for cmmi --dump-bytecode and tests).
+  const CompiledProgram &compiled() const { return CP; }
+
+private:
+  template <bool Observed> void exec(uint64_t &Budget);
+
+  void goWrong(std::string Reason, SourceLoc Loc);
+  void wrongUnbound(uint16_t Slot, SourceLoc Loc);
+  /// Failure path of a fused-operand read; kept out of line so its
+  /// RvSlotLocs lookup does not bloat the 16 inlined call sites in the
+  /// dispatch loop. Always returns null.
+  const Value *rvUnbound(uint16_t Slot, const VmInstr &I, unsigned Field);
+  void enterProc(const IrProc *P, SourceLoc Loc);
+  void pushFrame(const CallNode *Site);
+  void restoreFrame(VmFrame &F);
+  bool doCutTo(const Value &ContVal, const CutToNode *FromNode);
+  const IrProc *decodeCode(const Value &V) const;
+  uint64_t newCont(Node *Target);
+  uint32_t pcOf(const CompiledProc &C, const Node *N) const {
+    return C.PcOfNode[N->Id];
+  }
+
+  // Shared slow paths of the dispatch loop (exact walker semantics).
+  bool applyUnary(Value &Out, const Value &V, unsigned OpKind);
+  bool applyBinary(Value &Out, const Value &L, const Value &R,
+                   unsigned OpKind, SourceLoc Loc);
+  bool applyPrim(Value &Out, unsigned PrimOp, const Value *Args,
+                 unsigned Count, SourceLoc Loc);
+
+  const IrProgram &Prog;
+  CompiledProgram CP;
+
+  // The seven state components (p as a pc into the current compiled proc;
+  // ρ as Regs+Bound; σ as slot indices).
+  uint32_t Pc = 0;
+  std::vector<Value> Regs;
+  std::vector<uint8_t> Bound;
+  std::vector<uint16_t> Sigma;
+  uint64_t Uid = 0;
+  Memory Mem;
+  std::vector<Value> A;
+  std::vector<VmFrame> Stack;
+
+  // Bookkeeping beyond the formal state.
+  const CompiledProc *Cur = nullptr;
+  const IrProc *CurProc = nullptr;
+  Env GlobalEnv;
+  uint64_t NextUid = 1;
+  std::vector<ContRecord> ContTable;
+  std::unordered_map<const IrProc *, uint64_t> CodeIndex;
+  std::vector<const IrProc *> CodeTable;
+  std::vector<Value> Staging;
+  /// Recycled (Regs, Bound) pairs so calls do not allocate in steady state.
+  std::vector<std::pair<std::vector<Value>, std::vector<uint8_t>>> FreeFiles;
+  MachineStatus St = MachineStatus::Idle;
+  std::string WrongReason;
+  SourceLoc WrongLoc;
+  Stats S;
+  MachineObserver *Obs = nullptr;
+};
+
+} // namespace cmm
+
+#endif // CMM_VM_VM_H

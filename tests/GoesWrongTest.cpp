@@ -12,22 +12,30 @@
 #include "TestUtil.h"
 
 #include "rts/RuntimeInterface.h"
+#include "vm/Vm.h"
 
 using namespace cmm;
 using namespace cmm::test;
 
 namespace {
 
-/// Runs main(args) and expects Wrong with \p ReasonFragment in the reason.
+/// Runs main(args) on both backends and expects Wrong with \p ReasonFragment
+/// in the reason — and the reasons byte-identical across backends (the
+/// goes-wrong rules are part of the observable semantics the VM preserves).
 void expectWrong(const char *Src, std::vector<Value> Args,
                  const char *ReasonFragment) {
   auto Prog = compile({Src});
   ASSERT_TRUE(Prog);
   Machine M(*Prog);
-  M.start("main", std::move(Args));
+  M.start("main", Args);
   EXPECT_EQ(M.run(), MachineStatus::Wrong);
   EXPECT_NE(M.wrongReason().find(ReasonFragment), std::string::npos)
       << "actual reason: " << M.wrongReason();
+  VmMachine V(*Prog);
+  V.start("main", std::move(Args));
+  EXPECT_EQ(V.run(), MachineStatus::Wrong);
+  EXPECT_EQ(V.wrongReason(), M.wrongReason());
+  EXPECT_EQ(V.wrongLoc().str(), M.wrongLoc().str());
 }
 
 //===----------------------------------------------------------------------===//
@@ -345,10 +353,21 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 //===----------------------------------------------------------------------===//
-// Run-time system misbehaviour is also checked
+// Run-time system misbehaviour is also checked — on both backends, since
+// the checked Table 1 substrate is part of the semantics the VM preserves.
 //===----------------------------------------------------------------------===//
 
-TEST(GoesWrong, RuntimeUnwindPastFrameWithoutAborts) {
+template <typename Exec> class RtMisuseTest : public ::testing::Test {};
+
+struct BackendNames {
+  template <typename T> static std::string GetName(int) {
+    return std::is_same_v<T, Machine> ? "walk" : "vm";
+  }
+};
+using BothBackends = ::testing::Types<Machine, VmMachine>;
+TYPED_TEST_SUITE(RtMisuseTest, BothBackends, BackendNames);
+
+TYPED_TEST(RtMisuseTest, RuntimeUnwindPastFrameWithoutAborts) {
   const char *Src = R"(
 export main;
 f() {
@@ -366,7 +385,7 @@ main() {
 )";
   auto Prog = compile({Src});
   ASSERT_TRUE(Prog);
-  Machine M(*Prog);
+  TypeParam M(*Prog);
   M.start("main");
   ASSERT_EQ(M.run(), MachineStatus::Suspended);
   // Frame 0 (f's caller is g... the yield call site inside f has aborts);
@@ -378,7 +397,37 @@ main() {
   EXPECT_NE(M.wrongReason().find("also aborts"), std::string::npos);
 }
 
-TEST(GoesWrong, RuntimeResumeWithWrongParameterCount) {
+TYPED_TEST(RtMisuseTest, RuntimeUnwindPastBottomOfStack) {
+  // Every call site in this tower carries also aborts, so the unwind walks
+  // clean off the bottom — the fifth pop finds no frame at all.
+  const char *Src = R"(
+export main;
+f() {
+  yield(1) also aborts;
+  return;
+}
+g() {
+  f() also aborts;
+  return;
+}
+main() {
+  g() also aborts;
+  return (0);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  TypeParam M(*Prog);
+  M.start("main");
+  ASSERT_EQ(M.run(), MachineStatus::Suspended);
+  EXPECT_FALSE(M.rtUnwindTop(5));
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find("unwound past the bottom of the stack"),
+            std::string::npos)
+      << "actual reason: " << M.wrongReason();
+}
+
+TYPED_TEST(RtMisuseTest, RuntimeResumeWithWrongParameterCount) {
   const char *Src = R"(
 export main;
 f() {
@@ -395,23 +444,105 @@ continuation k(a, b):
 )";
   auto Prog = compile({Src});
   ASSERT_TRUE(Prog);
-  Machine M(*Prog);
+  TypeParam M(*Prog);
   M.start("main");
   ASSERT_EQ(M.run(), MachineStatus::Suspended);
   ASSERT_TRUE(M.rtUnwindTop(1)); // pop f's frame
   // k expects two parameters; pass one.
   EXPECT_FALSE(M.rtResume(ResumeChoice::unwind(0), {b32(1)}));
   EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find("continuation parameters"),
+            std::string::npos);
 }
 
-TEST(GoesWrong, RuntimeResumeWhileRunning) {
+TYPED_TEST(RtMisuseTest, RuntimeResumeWhileRunning) {
   const char *Src = "export main;\nmain() { return (1); }\n";
   auto Prog = compile({Src});
   ASSERT_TRUE(Prog);
-  Machine M(*Prog);
+  TypeParam M(*Prog);
   M.start("main");
   EXPECT_FALSE(M.rtResume(ResumeChoice::ret(0), {}));
   EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find("resumed a machine that is not suspended"),
+            std::string::npos);
+}
+
+TYPED_TEST(RtMisuseTest, RuntimeResumeOnHaltedMachine) {
+  const char *Src = "export main;\nmain() { return (1); }\n";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  TypeParam M(*Prog);
+  M.start("main");
+  ASSERT_EQ(M.run(), MachineStatus::Halted);
+  EXPECT_FALSE(M.rtResume(ResumeChoice::ret(0), {}));
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_EQ(M.wrongReason(),
+            "run-time system resumed a machine that is not suspended");
+  EXPECT_FALSE(M.rtUnwindTop(1));
+  EXPECT_EQ(M.wrongReason(),
+            "run-time system resumed a machine that is not suspended");
+}
+
+TYPED_TEST(RtMisuseTest, RuntimeResumeOnWrongMachineKeepsFirstReason) {
+  const char *Src = R"(
+export main;
+main() {
+  bits32 x, y;
+  y = x + 1;   /* x never assigned: the machine goes wrong on its own */
+  return (y);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  TypeParam M(*Prog);
+  M.start("main");
+  ASSERT_EQ(M.run(), MachineStatus::Wrong);
+  std::string First = M.wrongReason();
+  EXPECT_NE(First.find("unbound"), std::string::npos);
+  // A confused runtime poking at the wreck must not repaint the diagnosis.
+  EXPECT_FALSE(M.rtResume(ResumeChoice::ret(0), {}));
+  EXPECT_FALSE(M.rtUnwindTop(1));
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_EQ(M.wrongReason(), First);
+}
+
+TYPED_TEST(RtMisuseTest, RuntimeCutToStaleContinuation) {
+  // The runtime stages a cut to a continuation whose activation already
+  // returned: the value still decodes (its record persists), but the uid
+  // check at resume finds no live frame — same dead-continuation wrong
+  // state as a program-level cut.
+  const char *Src = R"(
+export main;
+global bits32 saved;
+make_k() {
+  bits32 t;
+  saved = k;
+  return (0);
+continuation k(t):
+  return (99);
+}
+main() {
+  bits32 r;
+  r = make_k() also aborts;
+  yield(1) also aborts;
+  return (r);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  TypeParam M(*Prog);
+  M.start("main");
+  ASSERT_EQ(M.run(), MachineStatus::Suspended);
+  std::optional<Value> Stale = M.getGlobal("saved");
+  ASSERT_TRUE(Stale.has_value());
+  CmmRuntime Rt(M);
+  ASSERT_TRUE(Rt.setCutToCont(*Stale)); // decodes: staging accepts it
+  ASSERT_NE(Rt.findContParam(0), nullptr);
+  *Rt.findContParam(0) = b32(5);
+  EXPECT_FALSE(Rt.resume()); // ...but the resume transition goes wrong
+  EXPECT_EQ(M.status(), MachineStatus::Wrong);
+  EXPECT_NE(M.wrongReason().find("dead continuation"), std::string::npos)
+      << "actual reason: " << M.wrongReason();
 }
 
 //===----------------------------------------------------------------------===//

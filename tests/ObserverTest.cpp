@@ -96,20 +96,20 @@ struct CountingObserver final : MachineObserver {
   std::vector<char> Order; ///< 's'tart 'c'all 'j'ump 'r'eturn 'y'ield
                            ///< 'u'nwind-pop 'R'esume 'h'alt 'D'/'d' dispatch
 
-  void onStart(const Machine &, const IrProc *) override {
+  void onStart(const Executor &, const IrProc *) override {
     ++Starts;
     Order.push_back('s');
   }
-  void onHalt(const Machine &) override {
+  void onHalt(const Executor &) override {
     ++Halts;
     Order.push_back('h');
   }
-  void onStep(const Machine &, const Node *N) override {
+  void onStep(const Executor &, const Node *N) override {
     ++Steps;
     // Yield suspensions are not steps; the machine must not report them.
     EXPECT_NE(N->kind(), Node::Kind::Yield);
   }
-  void onCall(const Machine &, const CallNode *Site, const IrProc *Caller,
+  void onCall(const Executor &, const CallNode *Site, const IrProc *Caller,
               const IrProc *Callee) override {
     ++Calls;
     Order.push_back('c');
@@ -117,30 +117,30 @@ struct CountingObserver final : MachineObserver {
     EXPECT_NE(Caller, nullptr);
     EXPECT_NE(Callee, nullptr);
   }
-  void onJump(const Machine &, const JumpNode *, const IrProc *,
+  void onJump(const Executor &, const JumpNode *, const IrProc *,
               const IrProc *) override {
     ++Jumps;
     Order.push_back('j');
   }
-  void onReturn(const Machine &, const CallNode *, const IrProc *,
+  void onReturn(const Executor &, const CallNode *, const IrProc *,
                 const IrProc *, unsigned) override {
     ++Returns;
     Order.push_back('r');
   }
-  void onCutFrameDiscarded(const Machine &, const CallNode *,
+  void onCutFrameDiscarded(const Executor &, const CallNode *,
                            const IrProc *) override {
     ++CutFrames;
   }
-  void onCut(const Machine &, const CutToNode *, const IrProc *, uint64_t,
+  void onCut(const Executor &, const CutToNode *, const IrProc *, uint64_t,
              bool) override {
     ++Cuts;
   }
-  void onYield(const Machine &M) override {
+  void onYield(const Executor &M) override {
     ++Yields;
     Order.push_back('y');
     EXPECT_EQ(M.status(), MachineStatus::Suspended);
   }
-  void onUnwindPop(const Machine &, const CallNode *Site, const IrProc *Owner,
+  void onUnwindPop(const Executor &, const CallNode *Site, const IrProc *Owner,
                    bool Resumed) override {
     ++UnwindPops;
     if (Resumed)
@@ -149,20 +149,20 @@ struct CountingObserver final : MachineObserver {
     EXPECT_NE(Site, nullptr);
     EXPECT_NE(Owner, nullptr);
   }
-  void onResume(const Machine &M, ResumeChoice::Kind, unsigned) override {
+  void onResume(const Executor &M, ResumeChoice::Kind, unsigned) override {
     ++Resumes;
     Order.push_back('R');
     EXPECT_EQ(M.status(), MachineStatus::Running);
   }
-  void onWrong(const Machine &, const std::string &, SourceLoc) override {
+  void onWrong(const Executor &, const std::string &, SourceLoc) override {
     ++Wrongs;
   }
-  void onDispatchBegin(const Machine &, std::string_view,
+  void onDispatchBegin(const Executor &, std::string_view,
                        uint64_t) override {
     ++DispatchBegins;
     Order.push_back('D');
   }
-  void onDispatchEnd(const Machine &, std::string_view, bool,
+  void onDispatchEnd(const Executor &, std::string_view, bool,
                      uint64_t) override {
     ++DispatchEnds;
     Order.push_back('d');

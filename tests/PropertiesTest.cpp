@@ -10,6 +10,7 @@
 #include "costmodel/RandomProgram.h"
 #include "ir/IrPrinter.h"
 #include "opt/PassManager.h"
+#include "vm/Vm.h"
 
 using namespace cmm;
 using namespace cmm::test;
@@ -33,6 +34,54 @@ TEST_P(PropertiesTest, ExecutionIsDeterministic) {
     EXPECT_EQ(A.stats().Cuts, B.stats().Cuts);
     if (A.status() == MachineStatus::Halted)
       EXPECT_TRUE(A.argArea() == B.argArea());
+  }
+}
+
+/// run(Fuel) then run(rest) must land in exactly the state one run with the
+/// whole budget reaches: status, answer, and every counter. The budget is a
+/// pure scheduling artifact — a fuel boundary is not an observable event.
+template <class Exec>
+void expectFuelSplitInvisible(const IrProgram &Prog, uint64_t In,
+                              uint64_t Fuel) {
+  constexpr uint64_t Cap = 1'000'000;
+  Exec A(Prog), B(Prog);
+  A.start("main", {b32(In)});
+  B.start("main", {b32(In)});
+  MachineStatus SA = A.run(Cap);
+  MachineStatus SB = B.run(Fuel);
+  if (SB == MachineStatus::Running)
+    SB = B.run(Cap - Fuel);
+  EXPECT_EQ(SA, SB) << "input " << In << " fuel " << Fuel;
+  EXPECT_EQ(A.stats().Steps, B.stats().Steps);
+  EXPECT_EQ(A.stats().Calls, B.stats().Calls);
+  EXPECT_EQ(A.stats().Jumps, B.stats().Jumps);
+  EXPECT_EQ(A.stats().Returns, B.stats().Returns);
+  EXPECT_EQ(A.stats().Cuts, B.stats().Cuts);
+  EXPECT_EQ(A.stats().FramesCutOver, B.stats().FramesCutOver);
+  EXPECT_EQ(A.stats().Yields, B.stats().Yields);
+  EXPECT_EQ(A.stats().UnwindPops, B.stats().UnwindPops);
+  EXPECT_EQ(A.stats().ContsBound, B.stats().ContsBound);
+  EXPECT_EQ(A.stats().Loads, B.stats().Loads);
+  EXPECT_EQ(A.stats().Stores, B.stats().Stores);
+  EXPECT_EQ(A.stats().CalleeSaveMoves, B.stats().CalleeSaveMoves);
+  EXPECT_EQ(A.stats().MaxStackDepth, B.stats().MaxStackDepth);
+  if (SA == MachineStatus::Halted || SA == MachineStatus::Suspended) {
+    EXPECT_TRUE(A.argArea() == B.argArea());
+  }
+  if (SA == MachineStatus::Wrong) {
+    EXPECT_EQ(A.wrongReason(), B.wrongReason());
+  }
+}
+
+TEST_P(PropertiesTest, FuelLimitedRunsAreResumable) {
+  std::string Src = generateRandomProgram(GetParam());
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  for (uint64_t Fuel : {uint64_t(1), uint64_t(17), uint64_t(1000)}) {
+    for (uint64_t In : {1, 7}) {
+      expectFuelSplitInvisible<Machine>(*Prog, In, Fuel);
+      expectFuelSplitInvisible<VmMachine>(*Prog, In, Fuel);
+    }
   }
 }
 

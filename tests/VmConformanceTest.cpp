@@ -1,0 +1,376 @@
+//===- tests/VmConformanceTest.cpp - Walker vs bytecode VM ----------------===//
+//
+// Part of cmmex (see DESIGN.md). The bytecode VM (src/vm) claims the exact
+// observable semantics of the reference tree walker (src/sem): same status,
+// same answers, same goes-wrong reasons byte for byte, same 13 Stats
+// counters, same suspension states. This suite pins that claim on a fixed
+// corpus; cmmdiff re-checks it on every random seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "costmodel/RandomProgram.h"
+#include "rts/RuntimeInterface.h"
+#include "vm/Vm.h"
+
+using namespace cmm;
+using namespace cmm::test;
+
+namespace {
+
+void expectStatsEqual(const Stats &W, const Stats &V) {
+  EXPECT_EQ(W.Steps, V.Steps);
+  EXPECT_EQ(W.Calls, V.Calls);
+  EXPECT_EQ(W.Jumps, V.Jumps);
+  EXPECT_EQ(W.Returns, V.Returns);
+  EXPECT_EQ(W.Cuts, V.Cuts);
+  EXPECT_EQ(W.FramesCutOver, V.FramesCutOver);
+  EXPECT_EQ(W.Yields, V.Yields);
+  EXPECT_EQ(W.UnwindPops, V.UnwindPops);
+  EXPECT_EQ(W.ContsBound, V.ContsBound);
+  EXPECT_EQ(W.Loads, V.Loads);
+  EXPECT_EQ(W.Stores, V.Stores);
+  EXPECT_EQ(W.CalleeSaveMoves, V.CalleeSaveMoves);
+  EXPECT_EQ(W.MaxStackDepth, V.MaxStackDepth);
+}
+
+/// Runs \p Entry(\p Args) on both backends and demands identical outcomes:
+/// status, argument area, wrong reason and location, and every counter.
+void expectBackendsAgree(const IrProgram &Prog, std::string_view Entry,
+                         const std::vector<Value> &Args) {
+  Machine W(Prog);
+  VmMachine V(Prog);
+  W.start(Entry, Args);
+  V.start(Entry, Args);
+  MachineStatus SW = W.run(10'000'000);
+  MachineStatus SV = V.run(10'000'000);
+  EXPECT_EQ(SW, SV);
+  EXPECT_TRUE(W.argArea() == V.argArea());
+  EXPECT_EQ(W.wrongReason(), V.wrongReason());
+  EXPECT_EQ(W.wrongLoc().str(), V.wrongLoc().str());
+  expectStatsEqual(W.stats(), V.stats());
+}
+
+//===----------------------------------------------------------------------===//
+// Fixed corpus: every control-transfer and memory shape
+//===----------------------------------------------------------------------===//
+
+TEST(VmConformance, RecursionWithMultipleResults) {
+  const char *Src = R"(
+export main;
+sp1(bits32 n) {
+  bits32 s, p;
+  if n == 1 { return (1, 1); }
+  s, p = sp1(n - 1);
+  return (s + n, p * n);
+}
+main(bits32 n) {
+  bits32 s, p;
+  s, p = sp1(n);
+  return (s, p);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  for (uint64_t N : {1, 2, 10, 40})
+    expectBackendsAgree(*Prog, "main", {b32(N)});
+}
+
+TEST(VmConformance, TailCallsAndLoops) {
+  const char *Src = R"(
+export main;
+helper(bits32 n, bits32 acc) {
+  if n == 0 { return (acc); }
+  jump helper(n - 1, acc + n);
+}
+main(bits32 n) {
+  bits32 r, i, s;
+  r = helper(n, 0);
+  i = 0; s = 0;
+loop:
+  if i == n { return (r + s); }
+  s = s + i;
+  i = i + 1;
+  goto loop;
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  for (uint64_t N : {0, 1, 100})
+    expectBackendsAgree(*Prog, "main", {b32(N)});
+}
+
+TEST(VmConformance, MemoryTrafficAndData) {
+  const char *Src = R"(
+export main;
+data buf { bits32[16]; }
+main(bits32 n) {
+  bits32 i, s;
+  i = 0;
+loop:
+  if i == 16 { goto sum; }
+  bits32[buf + i * 4] = i * n;
+  i = i + 1;
+  goto loop;
+sum:
+  i = 0; s = 0;
+sloop:
+  if i == 16 { return (s); }
+  s = s + bits32[buf + i * 4];
+  i = i + 1;
+  goto sloop;
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  for (uint64_t N : {1, 3})
+    expectBackendsAgree(*Prog, "main", {b32(N)});
+}
+
+TEST(VmConformance, StackCutting) {
+  const char *Src = R"(
+export main;
+worker(bits32 kv, bits32 n) {
+  if n == 0 { cut to kv(77); }
+  jump worker(kv, n - 1);
+}
+main() {
+  bits32 r, v;
+  r = worker(k, 3) also cuts to k also aborts;
+  return (0);
+continuation k(v):
+  return (v + 1);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  expectBackendsAgree(*Prog, "main", {});
+}
+
+TEST(VmConformance, CheckedDivisionAndPrims) {
+  const char *Src = R"(
+export main;
+main(bits32 a, bits32 b) {
+  bits32 q, r;
+  q = %%divu(a, b) also aborts;
+  r = %lo32(%zx64(q) + %sx64(a));
+  return (r ^ %leu(a, b));
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  expectBackendsAgree(*Prog, "main", {b32(84), b32(2)});
+  expectBackendsAgree(*Prog, "main", {b32(84), b32(0)}); // goes wrong
+}
+
+//===----------------------------------------------------------------------===//
+// Goes-wrong parity: reasons must be byte-identical
+//===----------------------------------------------------------------------===//
+
+TEST(VmConformance, WrongReasonsMatchExactly) {
+  const char *Unbound = R"(
+export main;
+main(bits32 n) {
+  bits32 x, y;
+  if n == 0 { x = 1; }
+  y = x + 1;
+  return (y);
+}
+)";
+  const char *DeadCont = R"(
+export main;
+make_k() {
+  bits32 t;
+  return (k);
+continuation k(t):
+  return (99);
+}
+use_k(bits32 kv) {
+  cut to kv(1);
+}
+main() {
+  bits32 kv, r;
+  kv = make_k();
+  r = use_k(kv) also aborts;
+  return (r);
+}
+)";
+  for (const char *Src : {Unbound, DeadCont}) {
+    auto Prog = compile({Src});
+    ASSERT_TRUE(Prog);
+    expectBackendsAgree(*Prog, "main", {b32(7)});
+  }
+}
+
+TEST(VmConformance, UnknownStartProcedureMatches) {
+  auto Prog = compile({"export main; main() { return (0); }"});
+  ASSERT_TRUE(Prog);
+  Machine W(*Prog);
+  VmMachine V(*Prog);
+  W.start("nonexistent");
+  V.start("nonexistent");
+  EXPECT_EQ(W.status(), MachineStatus::Wrong);
+  EXPECT_EQ(V.status(), MachineStatus::Wrong);
+  EXPECT_EQ(W.wrongReason(), V.wrongReason());
+}
+
+//===----------------------------------------------------------------------===//
+// Suspension parity: the run-time system sees the same thread
+//===----------------------------------------------------------------------===//
+
+const char *towers() {
+  return R"(
+export main;
+data d_main { bits32 1; bits32 7; bits32 0; bits32 1; }
+data d_mid  { bits32 1; bits32 8; bits32 0; bits32 0; }
+
+leaf(bits32 x) {
+  yield(7, x) also aborts;
+  return (0);
+}
+mid(bits32 x) {
+  bits32 r;
+  r = leaf(x) also unwinds to km also aborts descriptors d_mid;
+  return (r);
+continuation km:
+  return (222);
+}
+main(bits32 x) {
+  bits32 r, a;
+  r = mid(x) also unwinds to k0, k1 also aborts descriptors d_main;
+  return (r);
+continuation k0(a):
+  return (1000 + a);
+continuation k1:
+  return (2000);
+}
+)";
+}
+
+TEST(VmConformance, SuspendsIdenticallyAtYield) {
+  auto Prog = compile({towers()});
+  ASSERT_TRUE(Prog);
+  Machine W(*Prog);
+  VmMachine V(*Prog);
+  W.start("main", {b32(5)});
+  V.start("main", {b32(5)});
+  ASSERT_EQ(W.run(), MachineStatus::Suspended);
+  ASSERT_EQ(V.run(), MachineStatus::Suspended);
+  EXPECT_TRUE(W.argArea() == V.argArea());
+  ASSERT_EQ(W.stackDepth(), V.stackDepth());
+  for (size_t I = 0; I < W.stackDepth(); ++I) {
+    EXPECT_EQ(W.frameProc(I), V.frameProc(I));
+    EXPECT_EQ(W.frameCallSite(I), V.frameCallSite(I));
+  }
+  expectStatsEqual(W.stats(), V.stats());
+
+  // Drive both through the same Table 1 resumption and compare the end.
+  for (Executor *E : {static_cast<Executor *>(&W),
+                      static_cast<Executor *>(&V)}) {
+    CmmRuntime Rt(*E);
+    Activation Act;
+    ASSERT_TRUE(Rt.firstActivation(Act));
+    ASSERT_TRUE(Rt.nextActivation(Act));
+    ASSERT_TRUE(Rt.nextActivation(Act)); // main
+    ASSERT_TRUE(Rt.setActivation(Act));
+    ASSERT_TRUE(Rt.setUnwindCont(0));
+    *Rt.findContParam(0) = b32(5);
+    ASSERT_TRUE(Rt.resume());
+    ASSERT_EQ(E->run(), MachineStatus::Halted);
+    EXPECT_EQ(E->argArea()[0], b32(1005));
+  }
+  expectStatsEqual(W.stats(), V.stats());
+}
+
+//===----------------------------------------------------------------------===//
+// step() parity: one abstract transition per step on both backends
+//===----------------------------------------------------------------------===//
+
+TEST(VmConformance, SingleSteppingTracksTheWalker) {
+  const char *Src = R"(
+export main;
+f(bits32 x) { return (x * 2); }
+main(bits32 n) {
+  bits32 a, b;
+  a = f(n);
+  b = f(a);
+  return (a + b);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  Machine W(*Prog);
+  VmMachine V(*Prog);
+  W.start("main", {b32(3)});
+  V.start("main", {b32(3)});
+  for (unsigned I = 0; I < 10'000; ++I) {
+    bool MoreW = W.step();
+    bool MoreV = V.step();
+    ASSERT_EQ(MoreW, MoreV) << "after " << I << " steps";
+    ASSERT_EQ(W.status(), V.status()) << "after " << I << " steps";
+    ASSERT_EQ(W.stats().Steps, V.stats().Steps) << "after " << I << " steps";
+    if (!MoreW)
+      break;
+  }
+  ASSERT_EQ(W.status(), MachineStatus::Halted);
+  EXPECT_TRUE(W.argArea() == V.argArea());
+  EXPECT_EQ(W.argArea()[0], b32(18));
+}
+
+//===----------------------------------------------------------------------===//
+// Random corpus: the same property, over generated programs
+//===----------------------------------------------------------------------===//
+
+class VmRandomConformance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VmRandomConformance, AgreesWithWalker) {
+  std::string Src = generateRandomProgram(GetParam());
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  for (uint64_t In : {0, 1, 7, 12})
+    expectBackendsAgree(*Prog, "main", {b32(In)});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmRandomConformance,
+                         ::testing::Range<uint64_t>(300, 312));
+
+//===----------------------------------------------------------------------===//
+// The compiled form itself
+//===----------------------------------------------------------------------===//
+
+TEST(VmConformance, CompiledProgramMirrorsProcOrder) {
+  auto Prog = compile({towers()});
+  ASSERT_TRUE(Prog);
+  VmMachine V(*Prog);
+  const CompiledProgram &CP = V.compiled();
+  ASSERT_EQ(CP.Procs.size(), Prog->Procs.size());
+  for (size_t I = 0; I < CP.Procs.size(); ++I) {
+    EXPECT_EQ(CP.Procs[I].Proc, Prog->Procs[I].get());
+    EXPECT_EQ(&CP.byProc(Prog->Procs[I].get()), &CP.Procs[I]);
+  }
+}
+
+TEST(VmConformance, DisassemblerRendersFusedForms) {
+  // A comparison driving a branch becomes brc; a constant operand renders
+  // as k<n>; a CopyOut expression tail carries the [stage] marker.
+  const char *Src = R"(
+export main;
+main(bits32 n) {
+  if n < 10 { return (n + 1); }
+  return (0);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  CompiledProgram CP = compileToBytecode(*Prog);
+  std::string Listing;
+  for (const CompiledProc &C : CP.Procs)
+    Listing += disassemble(C, *Prog->Names);
+  EXPECT_NE(Listing.find("brc"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("k"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("[stage]"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("entry"), std::string::npos) << Listing;
+}
+
+} // namespace

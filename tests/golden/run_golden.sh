@@ -1,0 +1,41 @@
+#!/bin/sh
+# run_golden.sh <cmmi> <expected-stdout-file> <expected-exit> <stderr-fragment|-> <cmmi args...>
+#
+# End-to-end golden driver for the cmmi CLI: runs cmmi with the given
+# arguments, then checks (1) the exit status, (2) stdout against the
+# checked-in expectation byte for byte, and (3) optionally that stderr
+# contains a fragment (for goes-wrong and unhandled-yield cases, whose
+# diagnostics go to stderr). Used from tests/CMakeLists.txt with every case
+# run under both --backend=walk and --backend=vm.
+set -u
+CMMI=$1
+EXPECTED=$2
+WANT_EXIT=$3
+FRAG=$4
+shift 4
+
+TMP=$(mktemp -d) || exit 99
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+"$CMMI" "$@" >"$TMP/out" 2>"$TMP/err"
+GOT_EXIT=$?
+
+FAIL=0
+if [ "$GOT_EXIT" -ne "$WANT_EXIT" ]; then
+  echo "FAIL: exit status $GOT_EXIT, want $WANT_EXIT"
+  FAIL=1
+fi
+if ! diff -u "$EXPECTED" "$TMP/out"; then
+  echo "FAIL: stdout differs from $EXPECTED"
+  FAIL=1
+fi
+if [ "$FRAG" != "-" ] && ! grep -Fq "$FRAG" "$TMP/err"; then
+  echo "FAIL: stderr lacks fragment '$FRAG'"
+  FAIL=1
+fi
+if [ "$FAIL" -ne 0 ]; then
+  echo "--- stderr ---"
+  cat "$TMP/err"
+  exit 1
+fi
+exit 0

@@ -17,6 +17,7 @@
 //   --no-checked-div   disable %%divu/%%modu statements
 //   --no-prims         disable %divu/%shra/... expressions
 //   --no-handlers      generate raise-free programs
+//   --no-vm            skip the bytecode-VM conformance column
 //   --minimize SEED    shrink SEED's divergence to a small reproducer
 //   --repro-out FILE   where --minimize writes the .cmm ("-" for stdout)
 //   --require-ablation fail unless the also-edges ablation diverged
@@ -57,6 +58,7 @@ void usage() {
       "  --no-checked-div   disable %%%%divu/%%%%modu statements\n"
       "  --no-prims         disable %%divu/%%shra/... expressions\n"
       "  --no-handlers      generate raise-free programs\n"
+      "  --no-vm            skip the bytecode-VM conformance column\n"
       "  --minimize SEED    shrink SEED's divergence to a reproducer\n"
       "  --repro-out FILE   where --minimize writes the .cmm (\"-\" "
       "stdout)\n"
@@ -149,6 +151,8 @@ int main(int Argc, char **Argv) {
       Opts.Gen.UsePrims = false;
     } else if (A == "--no-handlers") {
       Opts.Gen.UseHandlers = false;
+    } else if (A == "--no-vm") {
+      Opts.CheckVm = false;
     } else if (A == "--minimize") {
       const char *V = NextArg();
       if (!V) {
@@ -249,12 +253,12 @@ int main(int Argc, char **Argv) {
 
   std::fprintf(stderr,
                "cmmdiff: %llu seeds, %llu runs (%zu strategies x %zu "
-               "configs), %zu unexpected divergences, ablation diverged on "
-               "%llu seeds\n",
+               "configs x %d backends), %zu unexpected divergences, "
+               "ablation diverged on %llu seeds\n",
                static_cast<unsigned long long>(SeedsRun),
                static_cast<unsigned long long>(RunsExecuted),
                std::size(AllDispatchTechniques), diffOptConfigs().size(),
-               Unexpected.size(),
+               Opts.CheckVm ? 2 : 1, Unexpected.size(),
                static_cast<unsigned long long>(AblationSeeds));
   if (!UnexpectedSeeds.empty()) {
     std::string List;

@@ -7,11 +7,15 @@
 //   cmmi [options] file.cmm... [-- arg...]
 //
 //   --entry NAME     procedure to run (default: main)
+//   --backend B      executor backend: walk (reference tree walker) or vm
+//                    (bytecode VM; same observable semantics, see
+//                    docs/BYTECODE.md). Default: walk
 //   --dispatcher D   front-end runtime for yields: none|unwind|cut
 //                    (default: unwind)
 //   --optimize       run the optimizer pipeline first
 //   --no-stdlib      do not link the %%div standard library
 //   --dump-ir        print the Abstract C-- graphs and exit
+//   --dump-bytecode  print the VM bytecode listing and exit
 //   --stats          print all machine counters after the run
 //   --stats-json F   write machine/opt/profile stats as JSON to F ("-" for
 //                    stdout)
@@ -36,6 +40,8 @@
 #include "obs/Trace.h"
 #include "opt/PassManager.h"
 #include "rts/Dispatchers.h"
+#include "sem/Machine.h"
+#include "vm/Vm.h"
 
 #include <cstdio>
 #include <cstring>
@@ -53,10 +59,12 @@ void usage() {
       stderr,
       "usage: cmmi [options] file.cmm... [-- arg...]\n"
       "  --entry NAME     procedure to run (default: main)\n"
+      "  --backend B      walk|vm (default: walk)\n"
       "  --dispatcher D   none|unwind|cut (default: unwind)\n"
       "  --optimize       run the optimizer pipeline first\n"
       "  --no-stdlib      do not link the %%%%div standard library\n"
       "  --dump-ir        print the Abstract C-- graphs and exit\n"
+      "  --dump-bytecode  print the VM bytecode listing and exit\n"
       "  --stats          print all machine counters after the run\n"
       "  --stats-json F   write machine/opt/profile stats as JSON to F\n"
       "                   (\"-\" for stdout)\n"
@@ -73,9 +81,11 @@ void usage() {
 
 int main(int Argc, char **Argv) {
   std::string Entry = "main";
+  std::string Backend = "walk";
   std::string Dispatcher = "unwind";
   std::string TraceFile, TraceFormat = "jsonl", StatsJsonFile;
   bool Optimize = false, StdLib = true, DumpIr = false, ShowStats = false;
+  bool DumpBytecode = false;
   bool Profile = false, TraceSteps = false, OptStats = false;
   size_t TraceRing = 0;
   std::vector<std::string> Files;
@@ -90,6 +100,12 @@ int main(int Argc, char **Argv) {
     }
     if (A == "--entry" && I + 1 < Argc) {
       Entry = Argv[++I];
+    } else if (A == "--backend" && I + 1 < Argc) {
+      Backend = Argv[++I];
+    } else if (A.rfind("--backend=", 0) == 0) {
+      Backend = A.substr(std::strlen("--backend="));
+    } else if (A == "--dump-bytecode") {
+      DumpBytecode = true;
     } else if (A == "--dispatcher" && I + 1 < Argc) {
       Dispatcher = Argv[++I];
     } else if (A == "--optimize") {
@@ -172,8 +188,23 @@ int main(int Argc, char **Argv) {
     std::printf("%s", printProgram(*Prog).c_str());
     return 0;
   }
+  if (DumpBytecode) {
+    CompiledProgram Compiled = compileToBytecode(*Prog);
+    for (const CompiledProc &C : Compiled.Procs)
+      std::printf("%s", disassemble(C, *Prog->Names).c_str());
+    return 0;
+  }
 
-  Machine M(*Prog);
+  if (Backend != "walk" && Backend != "vm") {
+    std::fprintf(stderr, "cmmi: unknown backend '%s'\n", Backend.c_str());
+    return 1;
+  }
+  std::unique_ptr<Executor> Exec;
+  if (Backend == "vm")
+    Exec = std::make_unique<VmMachine>(*Prog);
+  else
+    Exec = std::make_unique<Machine>(*Prog);
+  Executor &M = *Exec;
 
   // Observability: trace sink and profiler fan in through one multiplexer
   // so the uninstrumented run keeps a null observer pointer.
