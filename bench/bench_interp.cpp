@@ -23,6 +23,7 @@
 #include "BenchUtil.h"
 
 #include "costmodel/RandomProgram.h"
+#include "engine/Engine.h"
 #include "rts/Dispatchers.h"
 #include "vm/Vm.h"
 
@@ -108,9 +109,10 @@ struct Workload {
   DispatchTechnique Technique = DispatchTechnique::CutGenerated;
 };
 
-template <typename ExecutorT>
-void runInterp(benchmark::State &State, const Workload &W) {
-  ExecutorT M(*W.Prog);
+void runInterp(benchmark::State &State, const Workload &W,
+               engine::Backend B) {
+  std::unique_ptr<Executor> Exec = engine::makeExecutor(B, *W.Prog);
+  Executor &M = *Exec;
   uint64_t Steps = 0, Runs = 0;
   for (auto _ : State) {
     M.resetStats();
@@ -173,12 +175,11 @@ std::vector<Workload> &workloads() {
 
 void registerAll() {
   for (const Workload &W : workloads()) {
-    benchmark::RegisterBenchmark(
-        ("interp/" + W.Name + "/walk").c_str(),
-        [&W](benchmark::State &S) { runInterp<Machine>(S, W); });
-    benchmark::RegisterBenchmark(
-        ("interp/" + W.Name + "/vm").c_str(),
-        [&W](benchmark::State &S) { runInterp<VmMachine>(S, W); });
+    for (engine::Backend B : engine::AllBackends)
+      benchmark::RegisterBenchmark(
+          ("interp/" + W.Name + "/" + std::string(engine::backendName(B)))
+              .c_str(),
+          [&W, B](benchmark::State &S) { runInterp(S, W, B); });
   }
   // Bytecode compilation is a one-time, per-program cost; measured so the
   // speedup table can show how quickly the VM amortizes it.

@@ -6,13 +6,10 @@
 
 #include "costmodel/DiffHarness.h"
 
-#include "ir/Translate.h"
-#include "ir/Validate.h"
+#include "engine/Engine.h"
 #include "rts/Dispatchers.h"
-#include "sem/Machine.h"
 #include "syntax/AstPrinter.h"
 #include "syntax/Parser.h"
-#include "vm/Vm.h"
 
 #include <functional>
 
@@ -126,39 +123,24 @@ bool DiffSeedResult::ablationDiverged() const {
 
 namespace {
 
-/// One compiled (strategy, configuration) cell.
-struct CompiledCell {
-  std::unique_ptr<IrProgram> Prog;
-  std::string Error; ///< compile/validate/pass-validation failure
-};
-
-CompiledCell compileCell(const std::string &Src, const DiffOptConfig &Cfg) {
-  CompiledCell Cell;
-  DiagnosticEngine Diags;
-  Cell.Prog = compileProgram({Src}, Diags);
-  if (!Cell.Prog) {
-    Cell.Error = "compile failed: " + Diags.str();
-    return Cell;
-  }
-  if (Cfg.Optimize) {
-    OptReport R = optimizeProgram(*Cell.Prog, Cfg.Opts);
-    if (!R.ValidationErrors.empty()) {
-      Cell.Error = "pass validation failed: " + R.ValidationErrors.front();
-      return Cell;
-    }
-    DiagnosticEngine VDiags;
-    if (!validateProgram(*Cell.Prog, VDiags)) {
-      Cell.Error = "post-pipeline validation failed: " + VDiags.str();
-      return Cell;
-    }
-  }
-  return Cell;
+/// Compiles one (strategy, configuration) cell: through \p Eng's
+/// content-hash artifact cache when set (one compile per cell, shared by
+/// every input and both backends), uncached otherwise. Failures travel
+/// inside the artifact with the phase-prefixed errors the oracles match on.
+std::shared_ptr<const engine::ProgramArtifact>
+compileCell(const std::string &Src, const DiffOptConfig &Cfg,
+            engine::Engine *Eng) {
+  engine::CompileRequest Req;
+  Req.Sources = {Src};
+  Req.Optimize = Cfg.Optimize;
+  Req.Opt = Cfg.Opts;
+  return Eng ? Eng->compile(Req) : engine::compileArtifact(Req);
 }
 
-template <typename ExecutorT>
-DiffOutcome runCellOn(const IrProgram &Prog, DispatchTechnique T,
-                      uint64_t Input, uint64_t MaxSteps) {
-  ExecutorT M(Prog);
+DiffOutcome runCell(const engine::ProgramArtifact &Art, engine::Backend B,
+                    DispatchTechnique T, uint64_t Input, uint64_t MaxSteps) {
+  std::unique_ptr<Executor> Exec = Art.newExecutor(B);
+  Executor &M = *Exec;
   M.start("main", {Value::bits(32, Input)});
   MachineStatus St;
   if (T == DispatchTechnique::CutRuntime) {
@@ -178,11 +160,6 @@ DiffOutcome runCellOn(const IrProgram &Prog, DispatchTechnique T,
   else if (St == MachineStatus::Wrong)
     O.WrongReason = M.wrongReason();
   return O;
-}
-
-DiffOutcome runCell(const IrProgram &Prog, DispatchTechnique T, uint64_t Input,
-                    uint64_t MaxSteps) {
-  return runCellOn<Machine>(Prog, T, Input, MaxSteps);
 }
 
 /// Backend conformance: the bytecode VM must agree with the tree walker not
@@ -329,24 +306,25 @@ DiffSeedResult cmm::diffTestSeed(uint64_t Seed, const DiffOptions &Opts) {
     auto &ByCfg = Outcome.back();
     for (size_t C = 0; C < NumCfg; ++C) {
       ByCfg.emplace_back(NumIn);
-      CompiledCell Cell = compileCell(Src, Configs[C]);
-      if (!Cell.Prog || !Cell.Error.empty()) {
+      auto Art = compileCell(Src, Configs[C], Opts.Eng);
+      if (!Art->ok()) {
         // The ablation may legitimately break the graph structurally
         // (dead-code elimination without cut edges can strand a
         // continuation); everything else must compile clean.
-        Report(T, Configs[C].Name, Configs[C].ExpectDivergence, Cell.Error);
+        Report(T, Configs[C].Name, Configs[C].ExpectDivergence, Art->error());
         continue;
       }
       for (size_t I = 0; I < NumIn; ++I) {
-        ByCfg[C][I] = runCell(*Cell.Prog, T, Opts.Inputs[I], Opts.MaxSteps);
+        ByCfg[C][I] = runCell(*Art, engine::Backend::Walk, T, Opts.Inputs[I],
+                              Opts.MaxSteps);
         ++R.RunsExecuted;
         if (Opts.CheckVm) {
           // Sixth column: the bytecode VM on the identical program. A
           // divergence here is a backend bug, never an expected ablation
           // effect (both backends run the same — possibly mis-optimized —
           // IR, so they must still agree with each other).
-          DiffOutcome Vm = runCellOn<VmMachine>(*Cell.Prog, T,
-                                                Opts.Inputs[I], Opts.MaxSteps);
+          DiffOutcome Vm = runCell(*Art, engine::Backend::Vm, T,
+                                   Opts.Inputs[I], Opts.MaxSteps);
           ++R.RunsExecuted;
           std::string E = compareBackends(*ByCfg[C][I], Vm);
           if (!E.empty())

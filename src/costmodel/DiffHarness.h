@@ -41,6 +41,10 @@
 #include <string>
 #include <vector>
 
+namespace cmm::engine {
+class Engine;
+} // namespace cmm::engine
+
 namespace cmm {
 
 /// One optimizer configuration of the differential matrix.
@@ -97,6 +101,11 @@ struct DiffOptions {
   /// observable outcome — status, results, goes-wrong reason, and every
   /// Stats counter — to match the tree walker's.
   bool CheckVm = true;
+  /// When set, (strategy, configuration) cells compile through this
+  /// engine's content-hash artifact cache — one IR (and one bytecode)
+  /// compile per cell, shared across inputs, backends, and any other
+  /// thread sweeping the same corpus. Null compiles each cell uncached.
+  engine::Engine *Eng = nullptr;
 };
 
 /// Everything the harness learned about one seed.

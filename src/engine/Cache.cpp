@@ -1,0 +1,223 @@
+//===- engine/Cache.cpp ---------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Cache.h"
+
+#include "ir/Translate.h"
+#include "ir/Validate.h"
+
+#include <cstdio>
+
+using namespace cmm;
+using namespace cmm::engine;
+
+//===----------------------------------------------------------------------===//
+// Content hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a 64. Two lanes with distinct offset bases give the 128-bit key;
+/// the second lane also folds in a running position salt so lane collisions
+/// are independent.
+struct Fnv {
+  uint64_t H;
+  explicit Fnv(uint64_t Basis) : H(Basis) {}
+  void bytes(const void *P, size_t N) {
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 0x100000001b3ull;
+    }
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof V); }
+  void u8(uint8_t V) { bytes(&V, 1); }
+  void str(const std::string &S) {
+    u64(S.size()); // length-prefixed: {"ab","c"} != {"a","bc"}
+    bytes(S.data(), S.size());
+  }
+};
+
+void hashRequest(Fnv &F, const CompileRequest &Req) {
+  F.bytes("cmmex-artifact-v1", 17);
+  F.u8(Req.IncludeStdLib);
+  F.u8(Req.Optimize);
+  // Every semantically meaningful optimizer field. Verbose is excluded: it
+  // only changes stderr chatter, never the artifact.
+  const OptOptions &O = Req.Opt;
+  F.u8(O.WithExceptionalEdges);
+  F.u64(O.Rounds);
+  F.u8(O.RunConstProp);
+  F.u8(O.RunCopyProp);
+  F.u8(O.RunDeadCode);
+  F.u8(O.PlaceCalleeSaves);
+  F.u64(O.CalleeSaves.NumRegisters);
+  F.u8(O.CalleeSaves.RespectCutEdges);
+  F.u8(O.ValidateEachPass);
+  F.u64(Req.Sources.size());
+  for (const std::string &S : Req.Sources)
+    F.str(S);
+}
+
+} // namespace
+
+CacheKey cmm::engine::cacheKeyFor(const CompileRequest &Req) {
+  Fnv A(0xcbf29ce484222325ull);
+  Fnv B(0x84222325cbf29ce4ull);
+  hashRequest(A, Req);
+  hashRequest(B, Req);
+  B.u64(A.H); // entangle the lanes
+  return {A.H, B.H};
+}
+
+std::string CacheKey::str() const {
+  char Buf[36];
+  std::snprintf(Buf, sizeof Buf, "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact compilation
+//===----------------------------------------------------------------------===//
+
+namespace cmm::engine {
+
+/// The one compile path (cached and uncached callers both land here): parse
+/// + translate + link, optionally optimize, then re-validate. Error strings
+/// keep the phase-prefixed form the differential harness reports.
+void populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
+                      std::atomic<uint64_t> *BcCounter) {
+  A.Key = cacheKeyFor(Req);
+  A.BcCompiles = BcCounter;
+  DiagnosticEngine Diags;
+  std::unique_ptr<IrProgram> Prog =
+      compileProgram(Req.Sources, Diags, Req.IncludeStdLib);
+  if (!Prog) {
+    A.Error = "compile failed: " + Diags.str();
+    return;
+  }
+  if (Req.Optimize) {
+    OptReport R = optimizeProgram(*Prog, Req.Opt);
+    if (!R.ValidationErrors.empty()) {
+      A.Error = "pass validation failed: " + R.ValidationErrors.front();
+      return;
+    }
+    DiagnosticEngine VDiags;
+    if (!validateProgram(*Prog, VDiags)) {
+      A.Error = "post-pipeline validation failed: " + VDiags.str();
+      return;
+    }
+  }
+  // Published const from here on: jobs on any thread may now share it.
+  A.Prog = std::shared_ptr<const IrProgram>(std::move(Prog));
+}
+
+} // namespace cmm::engine
+
+std::shared_ptr<const CompiledProgram> ProgramArtifact::bytecode() const {
+  std::lock_guard<std::mutex> Lock(BcMu);
+  if (!Bc) {
+    Bc = std::make_shared<const CompiledProgram>(compileToBytecode(*Prog));
+    if (BcCompiles)
+      BcCompiles->fetch_add(1, std::memory_order_relaxed);
+  }
+  return Bc;
+}
+
+std::unique_ptr<Executor> ProgramArtifact::newExecutor(Backend B) const {
+  return makeExecutor(B, *Prog,
+                      B == Backend::Vm ? bytecode() : nullptr);
+}
+
+std::shared_ptr<const ProgramArtifact>
+cmm::engine::compileArtifact(const CompileRequest &Req) {
+  auto A = std::make_shared<ProgramArtifact>();
+  populateArtifact(*A, Req, nullptr);
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// ModuleCache
+//===----------------------------------------------------------------------===//
+
+ModuleCache::ModuleCache(size_t Capacity) : Capacity(Capacity) {}
+
+std::shared_ptr<const ProgramArtifact>
+ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
+  const CacheKey Key = cacheKeyFor(Req);
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<Slot> S;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt); // touch
+      S = It->second.S;
+    } else {
+      S = std::make_shared<Slot>();
+      Lru.push_front(Key);
+      Map.emplace(Key, Entry{S, Lru.begin()});
+      Owner = true;
+      // Evict from the cold end, skipping in-flight slots (their owner
+      // still needs to publish into the map's entry... they are removed
+      // from the index but stay alive through the waiters' shared_ptr).
+      if (Capacity != 0 && Map.size() > Capacity) {
+        for (auto Victim = std::prev(Lru.end()); Victim != Lru.begin();) {
+          auto Prev = std::prev(Victim);
+          auto VIt = Map.find(*Victim);
+          bool VictimReady;
+          {
+            std::lock_guard<std::mutex> SLock(VIt->second.S->Mu);
+            VictimReady = VIt->second.S->Ready;
+          }
+          if (VictimReady) {
+            Map.erase(VIt);
+            Lru.erase(Victim);
+            Evictions.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          Victim = Prev;
+        }
+      }
+    }
+  }
+  if (WasHit)
+    *WasHit = !Owner;
+
+  if (Owner) {
+    // Single-flight: compile outside the index lock; racers block on the
+    // slot, not on the whole cache.
+    auto Art = std::make_shared<ProgramArtifact>();
+    populateArtifact(*Art, Req, &BcCompiles);
+    IrCompiles.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> SLock(S->Mu);
+      S->Art = std::move(Art);
+      S->Ready = true;
+    }
+    S->Cv.notify_all();
+    return S->Art;
+  }
+
+  std::unique_lock<std::mutex> SLock(S->Mu);
+  S->Cv.wait(SLock, [&] { return S->Ready; });
+  return S->Art;
+}
+
+CacheStats ModuleCache::stats() const {
+  CacheStats St;
+  St.Lookups = Lookups.load(std::memory_order_relaxed);
+  St.Hits = Hits.load(std::memory_order_relaxed);
+  St.IrCompiles = IrCompiles.load(std::memory_order_relaxed);
+  St.BytecodeCompiles = BcCompiles.load(std::memory_order_relaxed);
+  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  return St;
+}

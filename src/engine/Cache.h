@@ -1,0 +1,68 @@
+//===- engine/Cache.h - Content-hash artifact cache -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's artifact cache: CompileRequest -> ProgramArtifact, keyed by
+/// the 128-bit content hash of cacheKeyFor (docs/ENGINE.md). Concurrent
+/// requests for one key are deduplicated single-flight — the first caller
+/// compiles inline while the rest block on the slot's condition variable —
+/// and a bounded LRU evicts cold entries (holders keep evicted artifacts
+/// alive through their shared_ptr, so eviction is invisible to in-flight
+/// jobs).
+///
+/// Internal to src/engine; embedders go through Engine::compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_ENGINE_CACHE_H
+#define CMM_ENGINE_CACHE_H
+
+#include "engine/Engine.h"
+
+#include <list>
+
+namespace cmm::engine {
+
+class ModuleCache {
+public:
+  /// \p Capacity in artifacts; 0 = unbounded.
+  explicit ModuleCache(size_t Capacity);
+
+  /// The cached artifact for \p Req, compiling it (once, whatever the
+  /// concurrency) on first use. Never null. \p WasHit, when non-null,
+  /// reports whether the artifact existed (or was already in flight)
+  /// before this call.
+  std::shared_ptr<const ProgramArtifact>
+  getOrCompile(const CompileRequest &Req, bool *WasHit = nullptr);
+
+  CacheStats stats() const;
+
+private:
+  struct Slot {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    bool Ready = false;
+    std::shared_ptr<const ProgramArtifact> Art;
+  };
+
+  /// Map value: the slot plus this key's position in the LRU list.
+  struct Entry {
+    std::shared_ptr<Slot> S;
+    std::list<CacheKey>::iterator LruIt;
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> Map;
+  std::list<CacheKey> Lru; ///< front = most recently used
+  size_t Capacity;
+
+  std::atomic<uint64_t> Lookups{0}, Hits{0}, IrCompiles{0}, Evictions{0};
+  std::atomic<uint64_t> BcCompiles{0};
+};
+
+} // namespace cmm::engine
+
+#endif // CMM_ENGINE_CACHE_H

@@ -1,0 +1,250 @@
+//===- engine/Engine.cpp --------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "engine/Cache.h"
+#include "obs/Json.h"
+#include "obs/Profiler.h"
+#include "rts/Dispatchers.h"
+#include "rts/RuntimeInterface.h"
+#include "sem/Machine.h"
+#include "vm/Vm.h"
+
+#include <chrono>
+
+using namespace cmm;
+using namespace cmm::engine;
+
+//===----------------------------------------------------------------------===//
+// Backends
+//===----------------------------------------------------------------------===//
+
+std::string_view cmm::engine::backendName(Backend B) {
+  return B == Backend::Vm ? "vm" : "walk";
+}
+
+std::optional<Backend> cmm::engine::parseBackend(std::string_view Name) {
+  if (Name == "walk")
+    return Backend::Walk;
+  if (Name == "vm")
+    return Backend::Vm;
+  return std::nullopt;
+}
+
+std::unique_ptr<Executor> cmm::engine::makeExecutor(Backend B,
+                                                    const IrProgram &Prog) {
+  return makeExecutor(B, Prog, nullptr);
+}
+
+std::unique_ptr<Executor>
+cmm::engine::makeExecutor(Backend B, const IrProgram &Prog,
+                          std::shared_ptr<const CompiledProgram> Bytecode) {
+  switch (B) {
+  case Backend::Walk:
+    return std::make_unique<Machine>(Prog);
+  case Backend::Vm:
+    if (Bytecode)
+      return std::make_unique<VmMachine>(Prog, std::move(Bytecode));
+    return std::make_unique<VmMachine>(Prog);
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(EngineOptions Opts)
+    : Opts(Opts),
+      Cache(Opts.EnableCache ? std::make_unique<ModuleCache>(Opts.CacheCapacity)
+                             : nullptr),
+      Pool(Opts.Threads) {}
+
+Engine::~Engine() = default;
+
+std::shared_ptr<const ProgramArtifact>
+Engine::compile(const CompileRequest &Req) {
+  if (Cache)
+    return Cache->getOrCompile(Req);
+  return compileArtifact(Req);
+}
+
+CacheStats Engine::cacheStats() const {
+  return Cache ? Cache->stats() : CacheStats{};
+}
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// runWithRuntime (rts/RuntimeInterface.h) with the engine's two budgets
+/// layered in: \p MaxSteps is the per-resume-segment fuel, exactly as
+/// runWithRuntime interprets it, and \p DeadlineMillis is a wall-clock
+/// bound checked every Engine::DeadlineSliceSteps transitions.
+template <typename HandlerFn>
+MachineStatus runBudgeted(Executor &M, HandlerFn Handler, uint64_t MaxSteps,
+                          double DeadlineMillis, bool &TimedOut) {
+  auto T0 = std::chrono::steady_clock::now();
+  for (;;) {
+    uint64_t Remaining = MaxSteps;
+    MachineStatus St;
+    for (;;) {
+      uint64_t Slice = Remaining;
+      if (DeadlineMillis > 0)
+        Slice = std::min<uint64_t>(Slice, Engine::DeadlineSliceSteps);
+      St = M.run(Slice);
+      if (St != MachineStatus::Running)
+        break;
+      Remaining -= Slice;
+      if (Remaining == 0)
+        return MachineStatus::Running; // fuel exhausted
+      if (DeadlineMillis > 0 && millisSince(T0) >= DeadlineMillis) {
+        TimedOut = true;
+        return MachineStatus::Running;
+      }
+    }
+    if (St != MachineStatus::Suspended)
+      return St;
+    if (!Handler(M))
+      return MachineStatus::Suspended; // unhandled yield
+    if (M.status() == MachineStatus::Suspended)
+      return MachineStatus::Suspended; // handler did not actually resume
+  }
+}
+
+} // namespace
+
+JobResult Engine::runJob(const Job &J, uint64_t Id) {
+  JobResult R;
+  R.Id = Id;
+
+  // Resolve the program: pre-interned artifact, or compile via the cache.
+  std::shared_ptr<const ProgramArtifact> Art = J.Artifact;
+  if (!Art) {
+    auto C0 = std::chrono::steady_clock::now();
+    if (Cache)
+      Art = Cache->getOrCompile(J.Request, &R.CacheHit);
+    else
+      Art = compileArtifact(J.Request);
+    R.CompileMillis = millisSince(C0);
+  } else {
+    R.CacheHit = true; // the caller interned it; no compile ran here
+  }
+  if (!Art->ok()) {
+    R.CompileError = Art->error();
+    return R;
+  }
+
+  std::unique_ptr<Executor> Exec = Art->newExecutor(J.B);
+  Executor &M = *Exec;
+
+  // Per-job observability: every event stream is tagged with the job id.
+  std::unique_ptr<TraceSink> Trace;
+  if (J.TraceTo) {
+    TraceOptions TO = J.Trace;
+    TO.JobId = Id;
+    Trace = std::make_unique<TraceSink>(*J.TraceTo, TO);
+  }
+  Profiler Prof;
+  Prof.JobId = Id;
+  MultiObserver Multi;
+  if (Trace)
+    Multi.add(Trace.get());
+  if (J.CollectProfile)
+    Multi.add(&Prof);
+  Multi.add(J.Obs);
+  if (Multi.size() == 1)
+    M.setObserver(Trace ? static_cast<MachineObserver *>(Trace.get())
+                        : (J.CollectProfile
+                               ? static_cast<MachineObserver *>(&Prof)
+                               : J.Obs));
+  else if (!Multi.empty())
+    M.setObserver(&Multi);
+
+  auto R0 = std::chrono::steady_clock::now();
+  M.start(J.Entry, J.Args);
+
+  MachineStatus St;
+  switch (J.Dispatcher) {
+  case DispatcherKind::Unwind: {
+    UnwindingDispatcher D(M);
+    St = runBudgeted(
+        M, [&](Executor &) { return D.dispatch() == DispatchResult::Handled; },
+        J.MaxSteps, J.DeadlineMillis, R.TimedOut);
+    break;
+  }
+  case DispatcherKind::Cut: {
+    CuttingDispatcher D(M);
+    St = runBudgeted(
+        M, [&](Executor &) { return D.dispatch() == DispatchResult::Handled; },
+        J.MaxSteps, J.DeadlineMillis, R.TimedOut);
+    break;
+  }
+  case DispatcherKind::None:
+  default:
+    St = runBudgeted(M, [](Executor &) { return false; }, J.MaxSteps,
+                     J.DeadlineMillis, R.TimedOut);
+    break;
+  }
+  R.RunMillis = millisSince(R0);
+
+  R.Status = St;
+  R.MachineStats = M.stats();
+  if (St == MachineStatus::Halted)
+    R.Results = M.argArea();
+  else if (St == MachineStatus::Wrong) {
+    R.WrongReason = M.wrongReason();
+    R.WrongLoc = M.wrongLoc();
+  }
+  if (Trace)
+    Trace->finish();
+  if (J.CollectProfile) {
+    JsonWriter W;
+    Prof.writeJson(W);
+    R.ProfileJson = W.take();
+  }
+  return R;
+}
+
+uint64_t Engine::submit(Job J) {
+  uint64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  auto Shared = std::make_shared<Job>(std::move(J));
+  Pool.submit([this, Shared, Id] {
+    JobResult R = runJob(*Shared, Id);
+    {
+      std::lock_guard<std::mutex> Lock(ResMu);
+      Results.emplace(Id, std::move(R));
+    }
+    ResCv.notify_all();
+  });
+  return Id;
+}
+
+JobResult Engine::wait(uint64_t Id) {
+  std::unique_lock<std::mutex> Lock(ResMu);
+  ResCv.wait(Lock, [&] { return Results.count(Id) != 0; });
+  auto It = Results.find(Id);
+  JobResult R = std::move(It->second);
+  Results.erase(It);
+  return R;
+}
+
+std::vector<JobResult> Engine::run(std::vector<Job> Jobs) {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Jobs.size());
+  for (Job &J : Jobs)
+    Ids.push_back(submit(std::move(J)));
+  std::vector<JobResult> Out;
+  Out.reserve(Ids.size());
+  for (uint64_t Id : Ids)
+    Out.push_back(wait(Id));
+  return Out;
+}

@@ -1,0 +1,288 @@
+//===- engine/Engine.h - Batch execution engine -----------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedding API of cmmex (docs/ENGINE.md): one facade over everything a
+/// host needs to compile and run Abstract C-- programs at scale.
+///
+///  - makeExecutor(Backend, Prog): the one way to construct an executor.
+///    Every consumer — cmmi, cmmdiff, the differential harness, the test
+///    suites, the benches — goes through it instead of naming Machine or
+///    VmMachine directly, so adding a backend is a one-line change here.
+///
+///  - ProgramArtifact: an immutable compiled unit (checked IR plus lazily
+///    compiled VM bytecode, or a structured compile error). Artifacts are
+///    interned by a content-hash cache with single-flight compilation: when
+///    N threads request the same (sources, options) key, exactly one
+///    compiles and the rest wait for its result.
+///
+///  - Engine: a thread-sharded batch runner. submit(Job) enqueues one run
+///    (program + backend + entry + args + dispatcher + fuel/deadline) on a
+///    work-stealing pool; wait(id) returns its JobResult. Jobs are
+///    isolated: each gets a fresh executor, and a job that fails to
+///    compile, goes wrong, or exhausts its fuel reports that in its result
+///    without disturbing the rest of the batch.
+///
+/// Thread-safety: Engine, its cache, and ProgramArtifact are thread-safe.
+/// Executors are not — one executor is one C-- thread and must be driven by
+/// one host thread at a time (see sem/Memory.h); the engine enforces this
+/// by construction, giving every job its own executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_ENGINE_ENGINE_H
+#define CMM_ENGINE_ENGINE_H
+
+#include "engine/ThreadPool.h"
+#include "obs/Trace.h"
+#include "opt/PassManager.h"
+#include "sem/Executor.h"
+#include "vm/Bytecode.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cmm::engine {
+
+class ModuleCache;
+
+//===----------------------------------------------------------------------===//
+// Backends
+//===----------------------------------------------------------------------===//
+
+/// The executor backends (sem/Executor.h lists their contracts).
+enum class Backend : uint8_t { Walk, Vm };
+
+inline constexpr Backend AllBackends[] = {Backend::Walk, Backend::Vm};
+
+std::string_view backendName(Backend B);
+std::optional<Backend> parseBackend(std::string_view Name);
+
+/// Constructs an executor for \p Prog. The single construction point every
+/// tool and test shares.
+std::unique_ptr<Executor> makeExecutor(Backend B, const IrProgram &Prog);
+
+/// As above, but the VM backend reuses \p Bytecode instead of recompiling
+/// (null falls back to compiling; the walker ignores it).
+std::unique_ptr<Executor>
+makeExecutor(Backend B, const IrProgram &Prog,
+             std::shared_ptr<const CompiledProgram> Bytecode);
+
+//===----------------------------------------------------------------------===//
+// Compilation artifacts and the content-hash cache
+//===----------------------------------------------------------------------===//
+
+/// Everything that determines a compiled artifact. Two requests with equal
+/// cacheKeyFor() are interchangeable.
+struct CompileRequest {
+  std::vector<std::string> Sources;
+  bool IncludeStdLib = true;
+  bool Optimize = false;
+  /// Optimizer configuration; only read when Optimize is set, but hashed
+  /// unconditionally (the key is a pure function of the struct).
+  OptOptions Opt;
+};
+
+/// 128-bit content hash identifying a CompileRequest (docs/ENGINE.md
+/// documents the exact key definition).
+struct CacheKey {
+  uint64_t Hi = 0, Lo = 0;
+  bool operator==(const CacheKey &O) const { return Hi == O.Hi && Lo == O.Lo; }
+  std::string str() const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey &K) const {
+    return static_cast<size_t>(K.Hi ^ (K.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// The content hash of \p Req: every source text, the stdlib flag, and the
+/// full optimizer configuration.
+CacheKey cacheKeyFor(const CompileRequest &Req);
+
+/// One compiled unit: checked (and possibly optimized) IR, or a structured
+/// compile error. Immutable once published, so any number of threads may
+/// run executors over it concurrently; the VM bytecode is compiled on first
+/// use, once, under its own single-flight lock.
+class ProgramArtifact {
+public:
+  ProgramArtifact() = default;
+
+  /// Null exactly when error() is non-empty.
+  const IrProgram *program() const { return Prog.get(); }
+  /// Compile / optimizer-validation failure, in the phase-prefixed form the
+  /// differential harness reports ("compile failed: ...").
+  const std::string &error() const { return Error; }
+  bool ok() const { return Prog != nullptr; }
+  const CacheKey &key() const { return Key; }
+
+  /// The VM bytecode for program(), compiled at most once per artifact.
+  /// Precondition: ok().
+  std::shared_ptr<const CompiledProgram> bytecode() const;
+
+  /// Fresh executor over this artifact; the VM backend shares bytecode().
+  /// Precondition: ok().
+  std::unique_ptr<Executor> newExecutor(Backend B) const;
+
+private:
+  friend void populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
+                               std::atomic<uint64_t> *BcCounter);
+  CacheKey Key;
+  std::shared_ptr<const IrProgram> Prog;
+  std::string Error;
+  mutable std::mutex BcMu;
+  mutable std::shared_ptr<const CompiledProgram> Bc;
+  /// Engine-owned bytecode-compile counter (null outside a cache).
+  std::atomic<uint64_t> *BcCompiles = nullptr;
+};
+
+/// Compiles \p Req outside any cache (one-shot embedders, tests).
+std::shared_ptr<const ProgramArtifact>
+compileArtifact(const CompileRequest &Req);
+
+/// Cache observability (EngineTest pins the single-flight guarantee on
+/// these).
+struct CacheStats {
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+  uint64_t IrCompiles = 0;       ///< actual front-end + optimizer runs
+  uint64_t BytecodeCompiles = 0; ///< actual IR-to-bytecode runs
+  uint64_t Evictions = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Jobs
+//===----------------------------------------------------------------------===//
+
+/// Which front-end run-time system services yields during a job.
+enum class DispatcherKind : uint8_t { None, Unwind, Cut };
+
+/// One unit of batch work: run Entry(Args) of a program on a backend.
+struct Job {
+  /// The program, either pre-interned... (takes precedence when set)
+  std::shared_ptr<const ProgramArtifact> Artifact;
+  /// ...or described by a request the engine compiles through its cache.
+  CompileRequest Request;
+
+  Backend B = Backend::Walk;
+  std::string Entry = "main";
+  std::vector<Value> Args;
+  DispatcherKind Dispatcher = DispatcherKind::None;
+
+  /// Fuel: abstract-machine transitions per resume segment (the
+  /// runWithRuntime budget). Exhaustion leaves Status == Running.
+  uint64_t MaxSteps = ~uint64_t(0);
+  /// Wall-clock deadline in milliseconds; 0 disables. Checked between
+  /// execution slices, so enforcement granularity is DeadlineSliceSteps.
+  double DeadlineMillis = 0;
+
+  /// Caller-owned observer, used by this job only (observers are not
+  /// thread-safe; never share one across concurrently submitted jobs).
+  MachineObserver *Obs = nullptr;
+  /// When set, the engine attaches a per-job TraceSink writing here, with
+  /// Trace.JobId filled in from the assigned job id (caller-owned stream,
+  /// exclusive to this job).
+  std::ostream *TraceTo = nullptr;
+  TraceOptions Trace;
+  /// Attach a per-job Profiler and return its JSON in the result.
+  bool CollectProfile = false;
+};
+
+/// Everything one job produced. Errors travel through the result — a
+/// failing job never aborts its batch.
+struct JobResult {
+  uint64_t Id = 0;
+  /// Compile/validation failure; when non-empty the job never ran.
+  std::string CompileError;
+  MachineStatus Status = MachineStatus::Idle;
+  std::vector<Value> Results; ///< argument area after Halted
+  std::string WrongReason;    ///< after Wrong
+  SourceLoc WrongLoc;         ///< after Wrong
+  Stats MachineStats;
+  bool CacheHit = false; ///< artifact came from the cache already compiled
+  bool TimedOut = false; ///< stopped by DeadlineMillis
+  std::string ProfileJson; ///< with Job::CollectProfile
+  double CompileMillis = 0;
+  double RunMillis = 0;
+
+  bool ok() const {
+    return CompileError.empty() && Status == MachineStatus::Halted;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned Threads = 0;
+  /// Intern compiled artifacts across jobs. Disabling never changes
+  /// results, only throughput (EngineTest pins this).
+  bool EnableCache = true;
+  /// Cache capacity in artifacts, evicted LRU; 0 = unbounded.
+  size_t CacheCapacity = 1024;
+};
+
+/// The batch execution engine. One Engine per embedding host; all methods
+/// are thread-safe.
+class Engine {
+public:
+  explicit Engine(EngineOptions Opts = {});
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Compiles \p Req through the content-hash cache (single-flight: when N
+  /// threads race on one key, exactly one compiles). With the cache
+  /// disabled, compiles directly. Never returns null — failures are inside
+  /// the artifact.
+  std::shared_ptr<const ProgramArtifact> compile(const CompileRequest &Req);
+
+  /// Enqueues \p J; returns the job id to wait on.
+  uint64_t submit(Job J);
+
+  /// Blocks until job \p Id finishes and returns (and forgets) its result.
+  JobResult wait(uint64_t Id);
+
+  /// submit() all of \p Jobs, wait for all, and return results in the
+  /// submission order.
+  std::vector<JobResult> run(std::vector<Job> Jobs);
+
+  /// Runs one job synchronously on the calling thread (no pool hop). Used
+  /// by the workers and by single-run embedders (cmmi, the harness).
+  JobResult runJob(const Job &J, uint64_t Id = 0);
+
+  CacheStats cacheStats() const;
+  unsigned threadCount() const { return Pool.threadCount(); }
+  ThreadPool &pool() { return Pool; }
+
+  /// Deadline-check granularity, exposed for the fuel/deadline tests.
+  static constexpr uint64_t DeadlineSliceSteps = 1 << 16;
+
+private:
+  EngineOptions Opts;
+  std::unique_ptr<ModuleCache> Cache;
+
+  std::mutex ResMu;
+  std::condition_variable ResCv;
+  std::unordered_map<uint64_t, JobResult> Results;
+  std::atomic<uint64_t> NextId{1};
+
+  /// Declared last: its destructor joins the workers, which touch the
+  /// members above, so it must be destroyed first.
+  ThreadPool Pool;
+};
+
+} // namespace cmm::engine
+
+#endif // CMM_ENGINE_ENGINE_H

@@ -1,0 +1,120 @@
+//===- engine/ThreadPool.cpp ----------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ThreadPool.h"
+
+using namespace cmm::engine;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::thread::hardware_concurrency();
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    Stopping.store(true, std::memory_order_release);
+  }
+  SleepCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Idx = static_cast<unsigned>(
+      NextQueue.fetch_add(1, std::memory_order_relaxed) % Workers.size());
+  {
+    std::lock_guard<std::mutex> Lock(Workers[Idx]->Mu);
+    Workers[Idx]->Q.push_back(std::move(Task));
+  }
+  Pending.fetch_add(1, std::memory_order_release);
+  SleepCv.notify_one();
+}
+
+bool ThreadPool::findTask(unsigned Self, std::function<void()> &Task) {
+  // Own queue first (front: oldest of my work)...
+  {
+    Worker &W = *Workers[Self];
+    std::lock_guard<std::mutex> Lock(W.Mu);
+    if (!W.Q.empty()) {
+      Task = std::move(W.Q.front());
+      W.Q.pop_front();
+      return true;
+    }
+  }
+  // ...then steal from a victim's back.
+  for (size_t Off = 1; Off < Workers.size(); ++Off) {
+    Worker &V = *Workers[(Self + Off) % Workers.size()];
+    std::lock_guard<std::mutex> Lock(V.Mu);
+    if (!V.Q.empty()) {
+      Task = std::move(V.Q.back());
+      V.Q.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  for (;;) {
+    std::function<void()> Task;
+    if (findTask(Self, Task)) {
+      Pending.fetch_sub(1, std::memory_order_acquire);
+      Task();
+      Executed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMu);
+    SleepCv.wait(Lock, [this] {
+      return Stopping.load(std::memory_order_acquire) ||
+             Pending.load(std::memory_order_acquire) != 0;
+    });
+    if (Stopping.load(std::memory_order_acquire) &&
+        Pending.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void ThreadPool::parallelFor(uint64_t Lo, uint64_t Hi,
+                             const std::function<void(uint64_t)> &Body) {
+  if (Lo >= Hi)
+    return;
+  auto Cursor = std::make_shared<std::atomic<uint64_t>>(Lo);
+  struct Sync {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    uint64_t Live = 0;
+  };
+  auto S = std::make_shared<Sync>();
+  auto Runner = [Cursor, Hi, &Body, S] {
+    for (;;) {
+      uint64_t I = Cursor->fetch_add(1, std::memory_order_relaxed);
+      if (I >= Hi)
+        break;
+      Body(I);
+    }
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    if (--S->Live == 0)
+      S->Cv.notify_all();
+  };
+  // One runner per worker plus the calling thread, capped by the number of
+  // indices; the shared cursor is the actual scheduler.
+  uint64_t Runners = std::min<uint64_t>(threadCount() + 1, Hi - Lo);
+  S->Live = Runners;
+  for (uint64_t R = 0; R + 1 < Runners; ++R)
+    submit(Runner);
+  Runner(); // the calling thread participates
+  std::unique_lock<std::mutex> Lock(S->Mu);
+  S->Cv.wait(Lock, [&] { return S->Live == 0; });
+}

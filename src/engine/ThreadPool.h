@@ -1,0 +1,90 @@
+//===- engine/ThreadPool.h - Work-stealing thread pool ----------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch engine's worker pool. Each worker owns a deque: new work is
+/// distributed round-robin across the deques, a worker pops from the front
+/// of its own deque, and an idle worker steals from the back of a victim's.
+/// Stealing keeps the pool busy when task costs are wildly uneven (one slow
+/// differential seed must not stall the queue behind it), which is exactly
+/// the shape of the cmmdiff sweep workload.
+///
+/// Tasks may themselves submit tasks. Tasks must not block waiting for a
+/// task that has not started yet (the pool has no dependency scheduler);
+/// waiting on the single-flight compile of engine/Cache.h is fine, because
+/// the compiling thread runs the compile inline rather than queueing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_ENGINE_THREADPOOL_H
+#define CMM_ENGINE_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmm::engine {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (0 means std::thread::hardware_concurrency,
+  /// with a floor of 1).
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task. Never blocks; safe from any thread, including pool
+  /// workers.
+  void submit(std::function<void()> Task);
+
+  /// Runs Body(I) for every I in [Lo, Hi) across the pool, claiming indices
+  /// from one shared cursor (so slow indices never stall a fixed-stride
+  /// partition). The calling thread participates; returns when every index
+  /// has finished.
+  void parallelFor(uint64_t Lo, uint64_t Hi,
+                   const std::function<void(uint64_t)> &Body);
+
+  /// Tasks executed so far (for tests and engine stats).
+  uint64_t tasksExecuted() const {
+    return Executed.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Worker {
+    std::mutex Mu;
+    std::deque<std::function<void()>> Q;
+  };
+
+  /// Pops own front, then steals a victim's back. Returns false when every
+  /// deque was empty at the time it was inspected.
+  bool findTask(unsigned Self, std::function<void()> &Task);
+  void workerLoop(unsigned Self);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::mutex SleepMu;
+  std::condition_variable SleepCv;
+  std::atomic<uint64_t> Pending{0}; ///< queued, not yet started
+  std::atomic<uint64_t> Executed{0};
+  std::atomic<uint64_t> NextQueue{0};
+  std::atomic<bool> Stopping{false};
+};
+
+} // namespace cmm::engine
+
+#endif // CMM_ENGINE_THREADPOOL_H

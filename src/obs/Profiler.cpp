@@ -171,6 +171,8 @@ std::string Profiler::report() const {
   std::string Out;
   char Buf[256];
   Out += "=== cmmex profile ===\n";
+  if (JobId != 0)
+    Out += "job " + std::to_string(JobId) + "\n";
   Out += "procedures (sorted by steps):\n";
   Out += "       steps  calls-in calls-out     jumps   returns      cuts"
          "  cut-over   unwinds    yields  procedure\n";
@@ -249,6 +251,8 @@ void Profiler::writeJson(JsonWriter &W) const {
             });
 
   W.beginObject();
+  if (JobId != 0)
+    W.field("job", JobId);
   W.key("procs");
   W.beginArray();
   for (const auto &[Name, P] : ProcRows) {

@@ -81,6 +81,11 @@ struct DispatchProfile {
 /// a MultiObserver) and read the report after the run.
 class Profiler final : public MachineObserver {
 public:
+  /// Engine job id: when nonzero, report() and writeJson() tag their
+  /// output with it so per-job profiles of one batch stay attributable
+  /// (src/engine sets this on the profilers it creates).
+  uint64_t JobId = 0;
+
   /// Renders the sorted text report (procedures by steps, call sites by
   /// calls, then the dispatch section).
   std::string report() const;

@@ -76,6 +76,10 @@ void TraceSink::writeDirect(const std::string &Line) {
 }
 
 void TraceSink::emit(std::string Line) {
+  // One injection point covers every event in both formats: each line is a
+  // complete JSON object, so the job tag goes right after its brace.
+  if (Opts.JobId != 0 && Line.size() > 2 && Line.front() == '{')
+    Line.insert(1, "\"job\":" + std::to_string(Opts.JobId) + ",");
   ++Emitted;
   if (Opts.RingCapacity != 0) {
     if (Ring.size() == Opts.RingCapacity) {

@@ -46,6 +46,10 @@ struct TraceOptions {
   /// Keep only the newest N events, written at finish(). 0 streams every
   /// event immediately (unbounded).
   size_t RingCapacity = 0;
+  /// Engine job id: when nonzero every event carries a "job":N field, so
+  /// the merged trace of a batch can be split back into per-job streams
+  /// (src/engine sets this on the sinks it creates).
+  uint64_t JobId = 0;
 };
 
 /// Streams machine events to \p OS. Call finish() (or destroy the sink)

@@ -26,6 +26,17 @@ namespace cmm {
 /// same-page accesses of real programs a pointer compare instead of a hash
 /// lookup; the cache is pure optimization state (unordered_map node
 /// addresses are stable, and it is dropped on copy and move).
+///
+/// NOT thread-safe, not even for concurrent reads: the `mutable` page
+/// cache means every const load may write CachedIdx/CachedPage, so two
+/// threads reading one Memory race on those fields (a torn pair can make
+/// findPage return the wrong page's bytes, not just a stale pointer).
+/// This is deliberate — one Memory belongs to one executor, one executor
+/// is one C-- thread, and the batch engine (engine/Engine.h) preserves
+/// the invariant by giving every job a private executor. Audited for the
+/// engine's thread pool: nothing shared across jobs reaches a Memory, so
+/// the cache needs no locks and stays a plain pointer compare on the
+/// machine's hottest path.
 class Memory {
 public:
   Memory() = default;

@@ -1,0 +1,183 @@
+//===- support/Options.cpp - Shared CLI flag parsing ----------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+namespace cmm {
+namespace {
+
+/// Matches Argv[I] against \p Flag, accepting both "--flag value" and
+/// "--flag=value". Returns the value (advancing I past a separate one), or
+/// nullopt if Argv[I] is not this flag. Sets \p Err on a missing value.
+std::optional<std::string_view> takeValue(std::string_view Flag, int &I,
+                                          int Argc, char **Argv,
+                                          std::string &Err) {
+  std::string_view Arg = Argv[I];
+  if (Arg == Flag) {
+    if (I + 1 >= Argc) {
+      Err = std::string(Flag) + " requires a value";
+      return std::nullopt;
+    }
+    return std::string_view(Argv[++I]);
+  }
+  if (Arg.size() > Flag.size() + 1 && Arg.substr(0, Flag.size()) == Flag &&
+      Arg[Flag.size()] == '=')
+    return Arg.substr(Flag.size() + 1);
+  return std::nullopt;
+}
+
+bool parseUnsigned(std::string_view Flag, std::string_view Text, uint64_t &Out,
+                   std::string &Err) {
+  if (Text.empty()) {
+    Err = std::string(Flag) + " requires a number";
+    return false;
+  }
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9') {
+      Err = std::string(Flag) + ": expected a non-negative integer, got '" +
+            std::string(Text) + "'";
+      return false;
+    }
+    V = V * 10 + unsigned(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+FlagParse parseCommonFlag(CommonOptions &O, unsigned Groups, int &I, int Argc,
+                          char **Argv, std::string &Err) {
+  std::string_view Arg = Argv[I];
+  Err.clear();
+
+  auto value = [&](std::string_view Flag) {
+    return takeValue(Flag, I, Argc, Argv, Err);
+  };
+  // takeValue's nullopt is ambiguous between "not this flag" and "missing
+  // value"; Err distinguishes.
+  auto outcome = [&](std::optional<std::string_view> V, std::string &Into) {
+    if (!V)
+      return Err.empty() ? FlagParse::NotMine : FlagParse::Error;
+    Into.assign(*V);
+    return FlagParse::Consumed;
+  };
+
+  if (Groups & FG_Backend) {
+    if (auto R = outcome(value("--backend"), O.Backend); R != FlagParse::NotMine)
+      return R;
+  }
+
+  if (Groups & FG_Trace) {
+    if (auto R = outcome(value("--trace"), O.TraceFile); R != FlagParse::NotMine)
+      return R;
+    if (auto R = outcome(value("--trace-format"), O.TraceFormat);
+        R != FlagParse::NotMine)
+      return R;
+    if (Arg == "--trace-steps") {
+      O.TraceSteps = true;
+      return FlagParse::Consumed;
+    }
+    if (auto V = value("--trace-ring")) {
+      uint64_t N = 0;
+      if (!parseUnsigned("--trace-ring", *V, N, Err))
+        return FlagParse::Error;
+      O.TraceRing = size_t(N);
+      return FlagParse::Consumed;
+    } else if (!Err.empty()) {
+      return FlagParse::Error;
+    }
+  }
+
+  if (Groups & FG_Profile) {
+    if (Arg == "--profile") {
+      O.Profile = true;
+      return FlagParse::Consumed;
+    }
+  }
+
+  if (Groups & FG_Stats) {
+    if (Arg == "--stats") {
+      O.ShowStats = true;
+      return FlagParse::Consumed;
+    }
+    if (auto R = outcome(value("--stats-json"), O.StatsJsonFile);
+        R != FlagParse::NotMine)
+      return R;
+  }
+
+  if (Groups & FG_Opt) {
+    if (Arg == "--optimize" || Arg == "-O") {
+      O.Optimize = true;
+      return FlagParse::Consumed;
+    }
+    if (Arg == "--opt-stats") {
+      O.OptStats = true;
+      return FlagParse::Consumed;
+    }
+  }
+
+  if (Groups & FG_Threads) {
+    if (auto V = value("--threads")) {
+      uint64_t N = 0;
+      if (!parseUnsigned("--threads", *V, N, Err))
+        return FlagParse::Error;
+      O.Threads = unsigned(N);
+      return FlagParse::Consumed;
+    } else if (!Err.empty()) {
+      return FlagParse::Error;
+    }
+  }
+
+  return FlagParse::NotMine;
+}
+
+bool finalizeCommonOptions(const CommonOptions &O, unsigned Groups,
+                           std::string &Err) {
+  if ((Groups & FG_Backend) && O.Backend != "walk" && O.Backend != "vm") {
+    Err = "unknown backend '" + O.Backend + "' (expected walk or vm)";
+    return false;
+  }
+  if ((Groups & FG_Trace) && O.TraceFormat != "jsonl" &&
+      O.TraceFormat != "chrome") {
+    Err = "unknown trace format '" + O.TraceFormat +
+          "' (expected jsonl or chrome)";
+    return false;
+  }
+  return true;
+}
+
+std::string commonFlagsHelp(unsigned Groups) {
+  std::string H;
+  if (Groups & FG_Backend)
+    H += "  --backend walk|vm     executor backend (default walk)\n";
+  if (Groups & FG_Opt) {
+    H += "  --optimize, -O        run the optimization pipeline\n";
+    H += "  --opt-stats           print per-pass rewrite counts\n";
+  }
+  if (Groups & FG_Trace) {
+    H += "  --trace FILE          write a machine trace (\"-\" = stdout)\n";
+    H += "  --trace-format F      jsonl (default) or chrome\n";
+    H += "  --trace-steps         include per-step events in the trace\n";
+    H += "  --trace-ring N        keep only the last N events\n";
+  }
+  if (Groups & FG_Profile)
+    H += "  --profile             per-call-site profile on stderr\n";
+  if (Groups & FG_Stats) {
+    H += "  --stats               print machine statistics\n";
+    H += "  --stats-json FILE     machine statistics as JSON (\"-\" = stdout)\n";
+  }
+  if (Groups & FG_Threads)
+    H += "  --threads N           worker threads (default: hardware)\n";
+  return H;
+}
+
+} // namespace cmm

@@ -1,0 +1,88 @@
+//===- support/Options.h - Shared CLI flag parsing --------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flags every cmmex tool shares — backend selection, tracing,
+/// profiling, stats JSON, optimizer switches, worker threads — parsed in
+/// exactly one place so cmmi, cmmdiff, and any future tool cannot drift in
+/// spelling, defaults, or validation. A tool opts into the groups it
+/// supports, loops its argv through parseCommonFlag, handles NotMine flags
+/// itself, and calls finalizeCommonOptions once at the end.
+///
+///   CommonOptions Common;
+///   for (int I = 1; I < Argc; ++I) {
+///     std::string Err;
+///     switch (parseCommonFlag(Common, FG_All, I, Argc, Argv, Err)) {
+///     case FlagParse::Consumed: continue;
+///     case FlagParse::Error:    die(Err);
+///     case FlagParse::NotMine:  /* tool-specific flags */ break;
+///     }
+///     ...
+///   }
+///
+/// Both `--flag value` and `--flag=value` spellings are accepted for every
+/// value-taking flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_OPTIONS_H
+#define CMM_SUPPORT_OPTIONS_H
+
+#include <cstddef>
+#include <string>
+
+namespace cmm {
+
+/// Values of the shared flags, pre-validation defaults included. Backend
+/// and trace format stay strings here (support sits below sem/engine);
+/// engine::parseBackend converts after finalizeCommonOptions validated.
+struct CommonOptions {
+  std::string Backend = "walk";      ///< --backend walk|vm
+  std::string TraceFile;             ///< --trace F ("-" = stdout)
+  std::string TraceFormat = "jsonl"; ///< --trace-format jsonl|chrome
+  bool TraceSteps = false;           ///< --trace-steps
+  size_t TraceRing = 0;              ///< --trace-ring N
+  bool Profile = false;              ///< --profile
+  std::string StatsJsonFile;         ///< --stats-json F ("-" = stdout)
+  bool ShowStats = false;            ///< --stats
+  bool Optimize = false;             ///< --optimize
+  bool OptStats = false;             ///< --opt-stats
+  unsigned Threads = 0;              ///< --threads N (0 = hardware)
+};
+
+/// Flag groups a tool opts into (bitmask).
+enum CommonFlagGroup : unsigned {
+  FG_Backend = 1u << 0, ///< --backend
+  FG_Trace = 1u << 1,   ///< --trace, --trace-format, --trace-steps, --trace-ring
+  FG_Profile = 1u << 2, ///< --profile
+  FG_Stats = 1u << 3,   ///< --stats, --stats-json
+  FG_Opt = 1u << 4,     ///< --optimize, --opt-stats
+  FG_Threads = 1u << 5, ///< --threads
+  FG_All = (1u << 6) - 1,
+};
+
+enum class FlagParse : unsigned char {
+  NotMine,  ///< Argv[I] is not a shared flag (or not in \p Groups)
+  Consumed, ///< parsed into \p O; I advanced past any value
+  Error,    ///< it was a shared flag with a bad/missing value; \p Err set
+};
+
+/// Tries Argv[I] against every shared flag enabled in \p Groups.
+FlagParse parseCommonFlag(CommonOptions &O, unsigned Groups, int &I, int Argc,
+                          char **Argv, std::string &Err);
+
+/// Cross-flag validation (backend and trace-format spellings). Call once
+/// after the loop; returns false with \p Err set on invalid combinations.
+bool finalizeCommonOptions(const CommonOptions &O, unsigned Groups,
+                           std::string &Err);
+
+/// Usage text for the enabled groups, one "  --flag ..." line each, for
+/// embedding in a tool's usage() block.
+std::string commonFlagsHelp(unsigned Groups);
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_OPTIONS_H

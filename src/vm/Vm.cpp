@@ -22,7 +22,12 @@
 using namespace cmm;
 
 VmMachine::VmMachine(const IrProgram &Prog)
-    : Prog(Prog), CP(compileToBytecode(Prog)) {
+    : VmMachine(Prog, std::make_shared<const CompiledProgram>(
+                          compileToBytecode(Prog))) {}
+
+VmMachine::VmMachine(const IrProgram &Prog,
+                     std::shared_ptr<const CompiledProgram> Shared)
+    : Prog(Prog), CPHold(std::move(Shared)), CP(*CPHold) {
   CodeTable.reserve(Prog.Procs.size());
   for (const auto &P : Prog.Procs) {
     CodeIndex.emplace(P.get(), CodeTable.size());

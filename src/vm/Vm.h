@@ -42,6 +42,11 @@ class VmMachine final : public Executor {
 public:
   explicit VmMachine(const IrProgram &Prog);
 
+  /// Shares pre-compiled bytecode (the engine's artifact cache compiles
+  /// once and hands the same CompiledProgram to every VM over the same
+  /// program). \p Shared must be non-null and compiled from \p Prog.
+  VmMachine(const IrProgram &Prog, std::shared_ptr<const CompiledProgram> Shared);
+
   std::string_view backendName() const override { return "vm"; }
 
   void start(std::string_view ProcName, std::vector<Value> Args = {}) override;
@@ -113,7 +118,11 @@ private:
                  unsigned Count, SourceLoc Loc);
 
   const IrProgram &Prog;
-  CompiledProgram CP;
+  /// Owns the bytecode (solely, or jointly with an artifact cache and
+  /// other VMs; CompiledProgram is immutable after compilation, so
+  /// sharing is safe). CP is the alias the hot paths read through.
+  std::shared_ptr<const CompiledProgram> CPHold;
+  const CompiledProgram &CP;
 
   // The seven state components (p as a pc into the current compiled proc;
   // ρ as Regs+Bound; σ as slot indices).

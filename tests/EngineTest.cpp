@@ -1,0 +1,407 @@
+//===- tests/EngineTest.cpp - The batch execution engine ------------------===//
+//
+// Part of cmmex (see DESIGN.md). Pins the engine subsystem's contracts:
+// the work-stealing pool covers every index exactly once; the content-hash
+// cache keys on sources AND optimizer configuration, single-flights
+// concurrent compiles of one key, and never changes results (only
+// throughput); jobs are isolated — compile errors, goes-wrong states, fuel
+// exhaustion, and deadlines all travel through JobResult without
+// disturbing the batch; and per-job observability tags every event stream
+// with the job id.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "costmodel/DispatchWorkloads.h"
+#include "engine/Engine.h"
+
+#include <atomic>
+#include <sstream>
+
+using namespace cmm;
+using namespace cmm::engine;
+using cmm::test::b32;
+
+namespace {
+
+const char *addOneSource() {
+  return "export main;\n"
+         "main(bits32 n) { return (n + 1); }\n";
+}
+
+const char *loopForeverSource() {
+  return "export main;\n"
+         "main(bits32 n) {\n"
+         "loop:\n"
+         "  n = n + 1;\n"
+         "  goto loop;\n"
+         "}\n";
+}
+
+const char *goesWrongSource() {
+  // Reads an unbound local on the n != 0 path.
+  return "export main;\n"
+         "main(bits32 n) {\n"
+         "  bits32 x, y;\n"
+         "  if n == 0 { x = 1; }\n"
+         "  y = x + 1;\n"
+         "  return (y);\n"
+         "}\n";
+}
+
+CompileRequest requestFor(const char *Src) {
+  CompileRequest Req;
+  Req.Sources = {Src};
+  return Req;
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr uint64_t N = 10'000;
+  std::vector<std::atomic<uint32_t>> Seen(N);
+  Pool.parallelFor(0, N, [&](uint64_t I) {
+    Seen[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Seen[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool Pool(8);
+  std::atomic<uint64_t> Count{0};
+  Pool.parallelFor(5, 5, [&](uint64_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 0u);
+  Pool.parallelFor(7, 8, [&](uint64_t I) {
+    EXPECT_EQ(I, 7u);
+    Count.fetch_add(1);
+  });
+  EXPECT_EQ(Count.load(), 1u);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun) {
+  ThreadPool Pool(4);
+  constexpr unsigned N = 500;
+  std::atomic<unsigned> Ran{0};
+  std::mutex Mu;
+  std::condition_variable Cv;
+  for (unsigned I = 0; I < N; ++I)
+    Pool.submit([&] {
+      if (Ran.fetch_add(1) + 1 == N) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Cv.notify_all();
+      }
+    });
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [&] { return Ran.load() == N; });
+  EXPECT_GE(Pool.tasksExecuted(), uint64_t(N));
+}
+
+//===----------------------------------------------------------------------===//
+// Cache keys
+//===----------------------------------------------------------------------===//
+
+TEST(EngineCache, KeyDependsOnOptimizerConfiguration) {
+  CompileRequest Plain = requestFor(addOneSource());
+  CompileRequest Optimized = Plain;
+  Optimized.Optimize = true;
+  CompileRequest Ablated = Optimized;
+  Ablated.Opt.WithExceptionalEdges = false;
+  EXPECT_FALSE(cacheKeyFor(Plain) == cacheKeyFor(Optimized));
+  EXPECT_FALSE(cacheKeyFor(Optimized) == cacheKeyFor(Ablated));
+  EXPECT_TRUE(cacheKeyFor(Plain) == cacheKeyFor(requestFor(addOneSource())));
+}
+
+TEST(EngineCache, KeyIsLengthPrefixedAcrossSourceBoundaries) {
+  CompileRequest A, B;
+  A.Sources = {"ab", "c"};
+  B.Sources = {"a", "bc"};
+  EXPECT_FALSE(cacheKeyFor(A) == cacheKeyFor(B));
+}
+
+TEST(EngineCache, SameSourceDifferentConfigMisses) {
+  Engine Eng({.Threads = 1});
+  CompileRequest Plain = requestFor(addOneSource());
+  CompileRequest Optimized = Plain;
+  Optimized.Optimize = true;
+  auto A1 = Eng.compile(Plain);
+  auto A2 = Eng.compile(Optimized);
+  ASSERT_TRUE(A1->ok());
+  ASSERT_TRUE(A2->ok());
+  EXPECT_NE(A1.get(), A2.get());
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 2u);
+  EXPECT_EQ(CS.Hits, 0u);
+}
+
+TEST(EngineCache, RepeatedRequestHitsAndSharesTheArtifact) {
+  Engine Eng({.Threads = 1});
+  auto A1 = Eng.compile(requestFor(addOneSource()));
+  auto A2 = Eng.compile(requestFor(addOneSource()));
+  EXPECT_EQ(A1.get(), A2.get());
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 1u);
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Lookups, 2u);
+}
+
+TEST(EngineCache, ConcurrentSameKeyCompilesExactlyOnce) {
+  Engine Eng({.Threads = 8});
+  constexpr uint64_t N = 64;
+  std::vector<std::shared_ptr<const ProgramArtifact>> Arts(N);
+  Eng.pool().parallelFor(0, N, [&](uint64_t I) {
+    Arts[I] = Eng.compile(requestFor(addOneSource()));
+  });
+  for (uint64_t I = 0; I < N; ++I) {
+    ASSERT_TRUE(Arts[I] != nullptr);
+    EXPECT_EQ(Arts[I].get(), Arts[0].get());
+  }
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 1u);
+  EXPECT_EQ(CS.Lookups, N);
+  EXPECT_EQ(CS.Hits, N - 1);
+}
+
+TEST(EngineCache, BytecodeCompilesOncePerArtifact) {
+  Engine Eng({.Threads = 4});
+  std::vector<Job> Jobs;
+  for (unsigned I = 0; I < 8; ++I) {
+    Job J;
+    J.Request = requestFor(addOneSource());
+    J.B = Backend::Vm;
+    J.Args = {b32(I)};
+    Jobs.push_back(std::move(J));
+  }
+  std::vector<JobResult> Res = Eng.run(std::move(Jobs));
+  for (const JobResult &R : Res)
+    ASSERT_TRUE(R.ok()) << R.CompileError;
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 1u);
+  EXPECT_EQ(CS.BytecodeCompiles, 1u);
+}
+
+TEST(EngineCache, EvictionRecompilesColdKeys) {
+  Engine Eng({.Threads = 1, .EnableCache = true, .CacheCapacity = 1});
+  CompileRequest A = requestFor(addOneSource());
+  CompileRequest B = requestFor(goesWrongSource());
+  Eng.compile(A);
+  Eng.compile(B); // evicts A (capacity 1)
+  Eng.compile(A); // must recompile
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 3u);
+  EXPECT_GE(CS.Evictions, 1u);
+}
+
+TEST(EngineCache, DisabledCacheIsResultIdenticalToWarmCache) {
+  auto RunAll = [](bool EnableCache) {
+    EngineOptions EO;
+    EO.Threads = 2;
+    EO.EnableCache = EnableCache;
+    Engine Eng(EO);
+    std::vector<Job> Jobs;
+    for (const char *Src :
+         {addOneSource(), goesWrongSource(), addOneSource()}) {
+      Job J;
+      J.Request = requestFor(Src);
+      J.Args = {b32(6)};
+      Jobs.push_back(std::move(J));
+    }
+    return Eng.run(std::move(Jobs));
+  };
+  std::vector<JobResult> Cold = RunAll(false);
+  std::vector<JobResult> Warm = RunAll(true);
+  ASSERT_EQ(Cold.size(), Warm.size());
+  for (size_t I = 0; I < Cold.size(); ++I) {
+    EXPECT_EQ(Cold[I].Status, Warm[I].Status);
+    EXPECT_TRUE(Cold[I].Results == Warm[I].Results);
+    EXPECT_EQ(Cold[I].WrongReason, Warm[I].WrongReason);
+    EXPECT_EQ(Cold[I].MachineStats.Steps, Warm[I].MachineStats.Steps);
+  }
+}
+
+TEST(EngineCache, CacheHitFlagTravelsThroughTheResult) {
+  Engine Eng({.Threads = 1});
+  Job J;
+  J.Request = requestFor(addOneSource());
+  J.Args = {b32(1)};
+  JobResult First = Eng.wait(Eng.submit(J));
+  JobResult Second = Eng.wait(Eng.submit(J));
+  EXPECT_FALSE(First.CacheHit);
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_TRUE(First.Results == Second.Results);
+}
+
+//===----------------------------------------------------------------------===//
+// Jobs
+//===----------------------------------------------------------------------===//
+
+TEST(EngineJobs, SubmitWaitRoundTrip) {
+  Engine Eng({.Threads = 2});
+  Job J;
+  J.Request = requestFor(addOneSource());
+  J.Args = {b32(41)};
+  JobResult R = Eng.wait(Eng.submit(std::move(J)));
+  ASSERT_TRUE(R.ok()) << R.CompileError;
+  ASSERT_EQ(R.Results.size(), 1u);
+  EXPECT_EQ(R.Results[0], b32(42));
+  EXPECT_GT(R.MachineStats.Steps, 0u);
+}
+
+TEST(EngineJobs, BothBackendsAgreeThroughTheEngine) {
+  Engine Eng({.Threads = 2});
+  std::vector<JobResult> Res;
+  for (Backend B : AllBackends) {
+    Job J;
+    J.Request = requestFor(addOneSource());
+    J.B = B;
+    J.Args = {b32(9)};
+    Res.push_back(Eng.wait(Eng.submit(std::move(J))));
+  }
+  ASSERT_EQ(Res.size(), 2u);
+  EXPECT_TRUE(Res[0].Results == Res[1].Results);
+  EXPECT_EQ(Res[0].MachineStats.Steps, Res[1].MachineStats.Steps);
+}
+
+TEST(EngineJobs, FailuresAreIsolatedWithinABatch) {
+  Engine Eng({.Threads = 4});
+  std::vector<Job> Jobs;
+  {
+    Job J; // compile error
+    J.Request = requestFor("main( { not c-- at all");
+    Jobs.push_back(std::move(J));
+  }
+  {
+    Job J; // goes wrong, with a location
+    J.Request = requestFor(goesWrongSource());
+    J.Args = {b32(5)};
+    Jobs.push_back(std::move(J));
+  }
+  {
+    Job J; // halts
+    J.Request = requestFor(addOneSource());
+    J.Args = {b32(1)};
+    Jobs.push_back(std::move(J));
+  }
+  std::vector<JobResult> Res = Eng.run(std::move(Jobs));
+  ASSERT_EQ(Res.size(), 3u);
+  EXPECT_NE(Res[0].CompileError.find("compile failed"), std::string::npos)
+      << Res[0].CompileError;
+  EXPECT_EQ(Res[1].Status, MachineStatus::Wrong);
+  EXPECT_NE(Res[1].WrongReason.find("unbound"), std::string::npos)
+      << Res[1].WrongReason;
+  EXPECT_FALSE(Res[1].WrongLoc.str().empty());
+  ASSERT_EQ(Res[2].Status, MachineStatus::Halted);
+  EXPECT_EQ(Res[2].Results[0], b32(2));
+}
+
+TEST(EngineJobs, FuelExhaustionLeavesRunningWithoutTimeout) {
+  Engine Eng({.Threads = 1});
+  Job J;
+  J.Request = requestFor(loopForeverSource());
+  J.Args = {b32(0)};
+  J.MaxSteps = 1'000;
+  JobResult R = Eng.wait(Eng.submit(std::move(J)));
+  EXPECT_EQ(R.Status, MachineStatus::Running);
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_LE(R.MachineStats.Steps, 1'000u);
+}
+
+TEST(EngineJobs, DeadlineStopsARunawayJob) {
+  Engine Eng({.Threads = 1});
+  Job J;
+  J.Request = requestFor(loopForeverSource());
+  J.Args = {b32(0)};
+  J.DeadlineMillis = 25;
+  JobResult R = Eng.wait(Eng.submit(std::move(J)));
+  EXPECT_EQ(R.Status, MachineStatus::Running);
+  EXPECT_TRUE(R.TimedOut);
+  // It ran at least one deadline slice before the check could fire.
+  EXPECT_GE(R.MachineStats.Steps, Engine::DeadlineSliceSteps);
+}
+
+TEST(EngineJobs, DispatchedJobsServiceYields) {
+  Engine Eng({.Threads = 2});
+  for (auto [T, D] :
+       {std::pair{DispatchTechnique::UnwindRuntime, DispatcherKind::Unwind},
+        std::pair{DispatchTechnique::CutRuntime, DispatcherKind::Cut}}) {
+    Job J;
+    J.Request.Sources = {dispatchWorkloadSource(T)};
+    J.Entry = "bench";
+    J.Args = {b32(12), b32(1)};
+    J.Dispatcher = D;
+    JobResult R = Eng.wait(Eng.submit(std::move(J)));
+    EXPECT_TRUE(R.ok()) << "technique " << dispatchTechniqueName(T) << ": "
+                        << R.CompileError << " status "
+                        << static_cast<int>(R.Status);
+  }
+}
+
+TEST(EngineJobs, PreInternedArtifactSkipsCompilation) {
+  Engine Eng({.Threads = 2});
+  std::shared_ptr<const ProgramArtifact> Art =
+      compileArtifact(requestFor(addOneSource()));
+  ASSERT_TRUE(Art->ok());
+  Job J;
+  J.Artifact = Art;
+  J.Args = {b32(10)};
+  JobResult R = Eng.wait(Eng.submit(std::move(J)));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Results[0], b32(11));
+  EXPECT_EQ(Eng.cacheStats().IrCompiles, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-job observability
+//===----------------------------------------------------------------------===//
+
+TEST(EngineObservability, TraceEventsCarryTheJobId) {
+  Engine Eng({.Threads = 1});
+  std::ostringstream TraceOut;
+  Job J;
+  J.Request = requestFor(addOneSource());
+  J.Args = {b32(3)};
+  J.TraceTo = &TraceOut;
+  uint64_t Id = Eng.submit(std::move(J));
+  JobResult R = Eng.wait(Id);
+  ASSERT_TRUE(R.ok());
+  std::string Expect = "\"job\":" + std::to_string(Id);
+  EXPECT_NE(TraceOut.str().find(Expect), std::string::npos)
+      << TraceOut.str().substr(0, 400);
+}
+
+TEST(EngineObservability, ProfileJsonIsTaggedAndReturned) {
+  Engine Eng({.Threads = 1});
+  Job J;
+  J.Request = requestFor(addOneSource());
+  J.Args = {b32(3)};
+  J.CollectProfile = true;
+  uint64_t Id = Eng.submit(std::move(J));
+  JobResult R = Eng.wait(Id);
+  ASSERT_TRUE(R.ok());
+  ASSERT_FALSE(R.ProfileJson.empty());
+  EXPECT_NE(R.ProfileJson.find("\"job\""), std::string::npos) << R.ProfileJson;
+  EXPECT_NE(R.ProfileJson.find(std::to_string(Id)), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Backend facade
+//===----------------------------------------------------------------------===//
+
+TEST(EngineFacade, BackendNamesRoundTrip) {
+  for (Backend B : AllBackends)
+    EXPECT_EQ(parseBackend(backendName(B)), B);
+  EXPECT_FALSE(parseBackend("bogus").has_value());
+}
+
+TEST(EngineFacade, ArtifactErrorsKeepHarnessPhasePrefixes) {
+  auto Bad = compileArtifact(requestFor("not a program"));
+  EXPECT_FALSE(Bad->ok());
+  EXPECT_EQ(Bad->error().rfind("compile failed: ", 0), 0u) << Bad->error();
+  EXPECT_EQ(Bad->program(), nullptr);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 
 #include "TestUtil.h"
 
+#include "engine/Engine.h"
 #include "rts/RuntimeInterface.h"
 #include "vm/Vm.h"
 
@@ -26,16 +27,16 @@ void expectWrong(const char *Src, std::vector<Value> Args,
                  const char *ReasonFragment) {
   auto Prog = compile({Src});
   ASSERT_TRUE(Prog);
-  Machine M(*Prog);
-  M.start("main", Args);
-  EXPECT_EQ(M.run(), MachineStatus::Wrong);
-  EXPECT_NE(M.wrongReason().find(ReasonFragment), std::string::npos)
-      << "actual reason: " << M.wrongReason();
-  VmMachine V(*Prog);
-  V.start("main", std::move(Args));
-  EXPECT_EQ(V.run(), MachineStatus::Wrong);
-  EXPECT_EQ(V.wrongReason(), M.wrongReason());
-  EXPECT_EQ(V.wrongLoc().str(), M.wrongLoc().str());
+  auto M = engine::makeExecutor(engine::Backend::Walk, *Prog);
+  M->start("main", Args);
+  EXPECT_EQ(M->run(), MachineStatus::Wrong);
+  EXPECT_NE(M->wrongReason().find(ReasonFragment), std::string::npos)
+      << "actual reason: " << M->wrongReason();
+  auto V = engine::makeExecutor(engine::Backend::Vm, *Prog);
+  V->start("main", std::move(Args));
+  EXPECT_EQ(V->run(), MachineStatus::Wrong);
+  EXPECT_EQ(V->wrongReason(), M->wrongReason());
+  EXPECT_EQ(V->wrongLoc().str(), M->wrongLoc().str());
 }
 
 //===----------------------------------------------------------------------===//

@@ -11,6 +11,7 @@
 #include "TestUtil.h"
 
 #include "costmodel/RandomProgram.h"
+#include "engine/Engine.h"
 #include "rts/RuntimeInterface.h"
 #include "vm/Vm.h"
 
@@ -35,12 +36,15 @@ void expectStatsEqual(const Stats &W, const Stats &V) {
   EXPECT_EQ(W.MaxStackDepth, V.MaxStackDepth);
 }
 
-/// Runs \p Entry(\p Args) on both backends and demands identical outcomes:
-/// status, argument area, wrong reason and location, and every counter.
+/// Runs \p Entry(\p Args) on both backends — constructed through the
+/// engine facade, like every other consumer — and demands identical
+/// outcomes: status, argument area, wrong reason and location, and every
+/// counter.
 void expectBackendsAgree(const IrProgram &Prog, std::string_view Entry,
                          const std::vector<Value> &Args) {
-  Machine W(Prog);
-  VmMachine V(Prog);
+  auto WP = engine::makeExecutor(engine::Backend::Walk, Prog);
+  auto VP = engine::makeExecutor(engine::Backend::Vm, Prog);
+  Executor &W = *WP, &V = *VP;
   W.start(Entry, Args);
   V.start(Entry, Args);
   MachineStatus SW = W.run(10'000'000);
@@ -206,8 +210,9 @@ main() {
 TEST(VmConformance, UnknownStartProcedureMatches) {
   auto Prog = compile({"export main; main() { return (0); }"});
   ASSERT_TRUE(Prog);
-  Machine W(*Prog);
-  VmMachine V(*Prog);
+  auto WP = engine::makeExecutor(engine::Backend::Walk, *Prog);
+  auto VP = engine::makeExecutor(engine::Backend::Vm, *Prog);
+  Executor &W = *WP, &V = *VP;
   W.start("nonexistent");
   V.start("nonexistent");
   EXPECT_EQ(W.status(), MachineStatus::Wrong);
@@ -251,8 +256,9 @@ continuation k1:
 TEST(VmConformance, SuspendsIdenticallyAtYield) {
   auto Prog = compile({towers()});
   ASSERT_TRUE(Prog);
-  Machine W(*Prog);
-  VmMachine V(*Prog);
+  auto WP = engine::makeExecutor(engine::Backend::Walk, *Prog);
+  auto VP = engine::makeExecutor(engine::Backend::Vm, *Prog);
+  Executor &W = *WP, &V = *VP;
   W.start("main", {b32(5)});
   V.start("main", {b32(5)});
   ASSERT_EQ(W.run(), MachineStatus::Suspended);
@@ -266,8 +272,7 @@ TEST(VmConformance, SuspendsIdenticallyAtYield) {
   expectStatsEqual(W.stats(), V.stats());
 
   // Drive both through the same Table 1 resumption and compare the end.
-  for (Executor *E : {static_cast<Executor *>(&W),
-                      static_cast<Executor *>(&V)}) {
+  for (Executor *E : {&W, &V}) {
     CmmRuntime Rt(*E);
     Activation Act;
     ASSERT_TRUE(Rt.firstActivation(Act));
@@ -300,8 +305,9 @@ main(bits32 n) {
 )";
   auto Prog = compile({Src});
   ASSERT_TRUE(Prog);
-  Machine W(*Prog);
-  VmMachine V(*Prog);
+  auto WP = engine::makeExecutor(engine::Backend::Walk, *Prog);
+  auto VP = engine::makeExecutor(engine::Backend::Vm, *Prog);
+  Executor &W = *WP, &V = *VP;
   W.start("main", {b32(3)});
   V.start("main", {b32(3)});
   for (unsigned I = 0; I < 10'000; ++I) {

@@ -30,14 +30,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "costmodel/DiffHarness.h"
+#include "engine/Engine.h"
+#include "support/Options.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 using namespace cmm;
@@ -83,9 +83,7 @@ bool parseRange(const std::string &Spec, uint64_t &Lo, uint64_t &Hi) {
 
 int main(int Argc, char **Argv) {
   uint64_t SeedLo = 0, SeedHi = 500;
-  unsigned Threads = std::thread::hardware_concurrency();
-  if (Threads == 0)
-    Threads = 4;
+  CommonOptions Common;
   DiffOptions Opts;
   bool Verbose = false, RequireAblation = false;
   bool Minimize = false;
@@ -93,6 +91,16 @@ int main(int Argc, char **Argv) {
   std::string ReproOut = "-";
 
   for (int I = 1; I < Argc; ++I) {
+    std::string Err;
+    switch (parseCommonFlag(Common, FG_Threads, I, Argc, Argv, Err)) {
+    case FlagParse::Consumed:
+      continue;
+    case FlagParse::Error:
+      std::fprintf(stderr, "cmmdiff: %s\n", Err.c_str());
+      return 2;
+    case FlagParse::NotMine:
+      break;
+    }
     std::string A = Argv[I];
     auto NextArg = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
@@ -103,15 +111,6 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "cmmdiff: --seeds wants A..B with A < B\n");
         return 2;
       }
-    } else if (A == "--threads") {
-      const char *V = NextArg();
-      if (!V) {
-        usage();
-        return 2;
-      }
-      Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
-      if (Threads == 0)
-        Threads = 1;
     } else if (A == "--procs") {
       const char *V = NextArg();
       if (!V) {
@@ -211,45 +210,39 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  // Seed-range sharding: one atomic cursor, workers claim the next seed as
-  // they free up, so slow seeds don't stall a fixed-stride partition.
-  std::atomic<uint64_t> Cursor{SeedLo};
+  // The sweep runs on the batch engine: its work-stealing pool claims seeds
+  // from one shared cursor (so slow seeds don't stall a fixed-stride
+  // partition), and its content-hash cache interns each (strategy, config)
+  // cell's compile across the inputs and backends of a seed.
+  engine::EngineOptions EOpts;
+  EOpts.Threads = Common.Threads;
+  engine::Engine Eng(EOpts);
+  Opts.Eng = &Eng;
+
   std::mutex Mu;
   uint64_t SeedsRun = 0, RunsExecuted = 0, AblationSeeds = 0;
   std::vector<DiffDivergence> Unexpected;
   std::vector<uint64_t> UnexpectedSeeds;
 
-  auto Worker = [&] {
-    for (;;) {
-      uint64_t Seed = Cursor.fetch_add(1);
-      if (Seed >= SeedHi)
-        return;
-      DiffSeedResult R = diffTestSeed(Seed, Opts);
-      std::lock_guard<std::mutex> Lock(Mu);
-      ++SeedsRun;
-      RunsExecuted += R.RunsExecuted;
-      if (R.ablationDiverged())
-        ++AblationSeeds;
-      bool SeedHadUnexpected = false;
-      for (DiffDivergence &D : R.Divergences) {
-        if (Verbose || !D.Expected)
-          std::fprintf(stderr, "%s\n", D.str().c_str());
-        if (!D.Expected) {
-          SeedHadUnexpected = true;
-          Unexpected.push_back(std::move(D));
-        }
+  Eng.pool().parallelFor(SeedLo, SeedHi, [&](uint64_t Seed) {
+    DiffSeedResult R = diffTestSeed(Seed, Opts);
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++SeedsRun;
+    RunsExecuted += R.RunsExecuted;
+    if (R.ablationDiverged())
+      ++AblationSeeds;
+    bool SeedHadUnexpected = false;
+    for (DiffDivergence &D : R.Divergences) {
+      if (Verbose || !D.Expected)
+        std::fprintf(stderr, "%s\n", D.str().c_str());
+      if (!D.Expected) {
+        SeedHadUnexpected = true;
+        Unexpected.push_back(std::move(D));
       }
-      if (SeedHadUnexpected)
-        UnexpectedSeeds.push_back(Seed);
     }
-  };
-
-  std::vector<std::thread> Pool;
-  for (unsigned T = 0; T + 1 < Threads; ++T)
-    Pool.emplace_back(Worker);
-  Worker();
-  for (std::thread &T : Pool)
-    T.join();
+    if (SeedHadUnexpected)
+      UnexpectedSeeds.push_back(Seed);
+  });
 
   std::fprintf(stderr,
                "cmmdiff: %llu seeds, %llu runs (%zu strategies x %zu "
@@ -260,6 +253,14 @@ int main(int Argc, char **Argv) {
                std::size(AllDispatchTechniques), diffOptConfigs().size(),
                Opts.CheckVm ? 2 : 1, Unexpected.size(),
                static_cast<unsigned long long>(AblationSeeds));
+  engine::CacheStats CS = Eng.cacheStats();
+  std::fprintf(stderr,
+               "cmmdiff: artifact cache: %llu lookups, %llu hits, %llu IR "
+               "compiles, %llu bytecode compiles\n",
+               static_cast<unsigned long long>(CS.Lookups),
+               static_cast<unsigned long long>(CS.Hits),
+               static_cast<unsigned long long>(CS.IrCompiles),
+               static_cast<unsigned long long>(CS.BytecodeCompiles));
   if (!UnexpectedSeeds.empty()) {
     std::string List;
     for (size_t I = 0; I < UnexpectedSeeds.size() && I < 20; ++I)

@@ -6,24 +6,17 @@
 //
 //   cmmi [options] file.cmm... [-- arg...]
 //
+// The shared flags (--backend, --optimize, --trace*, --profile, --stats*)
+// are parsed by support/Options.h; executors are constructed through
+// engine::makeExecutor, the same facade every other tool and test uses.
+// Tool-specific flags:
+//
 //   --entry NAME     procedure to run (default: main)
-//   --backend B      executor backend: walk (reference tree walker) or vm
-//                    (bytecode VM; same observable semantics, see
-//                    docs/BYTECODE.md). Default: walk
 //   --dispatcher D   front-end runtime for yields: none|unwind|cut
 //                    (default: unwind)
-//   --optimize       run the optimizer pipeline first
 //   --no-stdlib      do not link the %%div standard library
 //   --dump-ir        print the Abstract C-- graphs and exit
 //   --dump-bytecode  print the VM bytecode listing and exit
-//   --stats          print all machine counters after the run
-//   --stats-json F   write machine/opt/profile stats as JSON to F ("-" for
-//                    stdout)
-//   --profile        per-procedure and per-call-site profile report
-//   --trace F        stream machine events to F ("-" for stdout)
-//   --trace-format X jsonl (default) or chrome (chrome://tracing/Perfetto)
-//   --trace-steps    include one trace event per machine transition
-//   --trace-ring N   keep only the newest N events (flight recorder)
 //   --opt-stats      print per-pass wall time and IR deltas (with
 //                    --optimize)
 //
@@ -32,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/Engine.h"
 #include "ir/IrPrinter.h"
 #include "ir/Translate.h"
 #include "ir/Validate.h"
@@ -40,8 +34,7 @@
 #include "obs/Trace.h"
 #include "opt/PassManager.h"
 #include "rts/Dispatchers.h"
-#include "sem/Machine.h"
-#include "vm/Vm.h"
+#include "support/Options.h"
 
 #include <cstdio>
 #include <cstring>
@@ -54,45 +47,43 @@ using namespace cmm;
 
 namespace {
 
+constexpr unsigned CmmiFlags =
+    FG_Backend | FG_Trace | FG_Profile | FG_Stats | FG_Opt;
+
 void usage() {
-  std::fprintf(
-      stderr,
-      "usage: cmmi [options] file.cmm... [-- arg...]\n"
-      "  --entry NAME     procedure to run (default: main)\n"
-      "  --backend B      walk|vm (default: walk)\n"
-      "  --dispatcher D   none|unwind|cut (default: unwind)\n"
-      "  --optimize       run the optimizer pipeline first\n"
-      "  --no-stdlib      do not link the %%%%div standard library\n"
-      "  --dump-ir        print the Abstract C-- graphs and exit\n"
-      "  --dump-bytecode  print the VM bytecode listing and exit\n"
-      "  --stats          print all machine counters after the run\n"
-      "  --stats-json F   write machine/opt/profile stats as JSON to F\n"
-      "                   (\"-\" for stdout)\n"
-      "  --profile        per-procedure / per-call-site profile report\n"
-      "  --trace F        stream machine events to F (\"-\" for stdout)\n"
-      "  --trace-format X jsonl (default) or chrome\n"
-      "  --trace-steps    include one trace event per transition\n"
-      "  --trace-ring N   keep only the newest N events\n"
-      "  --opt-stats      per-pass wall time and IR deltas (needs "
-      "--optimize)\n");
+  std::fprintf(stderr,
+               "usage: cmmi [options] file.cmm... [-- arg...]\n"
+               "  --entry NAME     procedure to run (default: main)\n"
+               "  --dispatcher D   none|unwind|cut (default: unwind)\n"
+               "  --no-stdlib      do not link the %%%%div standard library\n"
+               "  --dump-ir        print the Abstract C-- graphs and exit\n"
+               "  --dump-bytecode  print the VM bytecode listing and exit\n"
+               "%s",
+               commonFlagsHelp(CmmiFlags).c_str());
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  CommonOptions Common;
   std::string Entry = "main";
-  std::string Backend = "walk";
   std::string Dispatcher = "unwind";
-  std::string TraceFile, TraceFormat = "jsonl", StatsJsonFile;
-  bool Optimize = false, StdLib = true, DumpIr = false, ShowStats = false;
-  bool DumpBytecode = false;
-  bool Profile = false, TraceSteps = false, OptStats = false;
-  size_t TraceRing = 0;
+  bool StdLib = true, DumpIr = false, DumpBytecode = false;
   std::vector<std::string> Files;
   std::vector<Value> Args;
 
   int I = 1;
   for (; I < Argc; ++I) {
+    std::string Err;
+    switch (parseCommonFlag(Common, CmmiFlags, I, Argc, Argv, Err)) {
+    case FlagParse::Consumed:
+      continue;
+    case FlagParse::Error:
+      std::fprintf(stderr, "cmmi: %s\n", Err.c_str());
+      return 1;
+    case FlagParse::NotMine:
+      break;
+    }
     std::string A = Argv[I];
     if (A == "--") {
       ++I;
@@ -100,36 +91,14 @@ int main(int Argc, char **Argv) {
     }
     if (A == "--entry" && I + 1 < Argc) {
       Entry = Argv[++I];
-    } else if (A == "--backend" && I + 1 < Argc) {
-      Backend = Argv[++I];
-    } else if (A.rfind("--backend=", 0) == 0) {
-      Backend = A.substr(std::strlen("--backend="));
-    } else if (A == "--dump-bytecode") {
-      DumpBytecode = true;
     } else if (A == "--dispatcher" && I + 1 < Argc) {
       Dispatcher = Argv[++I];
-    } else if (A == "--optimize") {
-      Optimize = true;
     } else if (A == "--no-stdlib") {
       StdLib = false;
     } else if (A == "--dump-ir") {
       DumpIr = true;
-    } else if (A == "--stats") {
-      ShowStats = true;
-    } else if (A == "--stats-json" && I + 1 < Argc) {
-      StatsJsonFile = Argv[++I];
-    } else if (A == "--profile") {
-      Profile = true;
-    } else if (A == "--trace" && I + 1 < Argc) {
-      TraceFile = Argv[++I];
-    } else if (A == "--trace-format" && I + 1 < Argc) {
-      TraceFormat = Argv[++I];
-    } else if (A == "--trace-steps") {
-      TraceSteps = true;
-    } else if (A == "--trace-ring" && I + 1 < Argc) {
-      TraceRing = std::strtoull(Argv[++I], nullptr, 0);
-    } else if (A == "--opt-stats") {
-      OptStats = true;
+    } else if (A == "--dump-bytecode") {
+      DumpBytecode = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -148,10 +117,12 @@ int main(int Argc, char **Argv) {
     usage();
     return 1;
   }
-  if (TraceFormat != "jsonl" && TraceFormat != "chrome") {
-    std::fprintf(stderr, "cmmi: unknown trace format '%s'\n",
-                 TraceFormat.c_str());
-    return 1;
+  {
+    std::string Err;
+    if (!finalizeCommonOptions(Common, CmmiFlags, Err)) {
+      std::fprintf(stderr, "cmmi: %s\n", Err.c_str());
+      return 1;
+    }
   }
 
   std::vector<std::string> Sources;
@@ -166,6 +137,8 @@ int main(int Argc, char **Argv) {
     Sources.push_back(Buf.str());
   }
 
+  // Compiled by hand rather than through engine::compileArtifact because
+  // --opt-stats needs the OptReport, which artifacts do not keep.
   DiagnosticEngine Diags;
   std::unique_ptr<IrProgram> Prog = compileProgram(Sources, Diags, StdLib);
   if (!Prog) {
@@ -173,7 +146,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   OptReport OptR;
-  if (Optimize) {
+  if (Common.Optimize) {
     OptOptions Opts;
     Opts.PlaceCalleeSaves = true;
     OptR = optimizeProgram(*Prog, Opts);
@@ -195,43 +168,37 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (Backend != "walk" && Backend != "vm") {
-    std::fprintf(stderr, "cmmi: unknown backend '%s'\n", Backend.c_str());
-    return 1;
-  }
-  std::unique_ptr<Executor> Exec;
-  if (Backend == "vm")
-    Exec = std::make_unique<VmMachine>(*Prog);
-  else
-    Exec = std::make_unique<Machine>(*Prog);
+  std::unique_ptr<Executor> Exec =
+      engine::makeExecutor(*engine::parseBackend(Common.Backend), *Prog);
   Executor &M = *Exec;
 
   // Observability: trace sink and profiler fan in through one multiplexer
   // so the uninstrumented run keeps a null observer pointer.
   std::ofstream TraceFileStream;
   std::unique_ptr<TraceSink> Trace;
-  if (!TraceFile.empty()) {
+  if (!Common.TraceFile.empty()) {
     std::ostream *TraceOS = &std::cout;
-    if (TraceFile != "-") {
-      TraceFileStream.open(TraceFile);
+    if (Common.TraceFile != "-") {
+      TraceFileStream.open(Common.TraceFile);
       if (!TraceFileStream) {
-        std::fprintf(stderr, "cmmi: cannot write '%s'\n", TraceFile.c_str());
+        std::fprintf(stderr, "cmmi: cannot write '%s'\n",
+                     Common.TraceFile.c_str());
         return 1;
       }
       TraceOS = &TraceFileStream;
     }
     TraceOptions TO;
-    TO.Fmt = TraceFormat == "chrome" ? TraceOptions::Format::Chrome
-                                     : TraceOptions::Format::Jsonl;
-    TO.IncludeSteps = TraceSteps;
-    TO.RingCapacity = TraceRing;
+    TO.Fmt = Common.TraceFormat == "chrome" ? TraceOptions::Format::Chrome
+                                            : TraceOptions::Format::Jsonl;
+    TO.IncludeSteps = Common.TraceSteps;
+    TO.RingCapacity = Common.TraceRing;
     Trace = std::make_unique<TraceSink>(*TraceOS, TO);
   }
   Profiler Prof;
   MultiObserver Multi;
   if (Trace)
     Multi.add(Trace.get());
-  if (Profile)
+  if (Common.Profile)
     Multi.add(&Prof);
   if (Multi.size() == 1)
     M.setObserver(Trace ? static_cast<MachineObserver *>(Trace.get())
@@ -291,7 +258,7 @@ int main(int Argc, char **Argv) {
     Exit = 2;
   }
 
-  if (ShowStats) {
+  if (Common.ShowStats) {
     const Stats &S = M.stats();
     std::fprintf(
         stderr,
@@ -308,12 +275,12 @@ int main(int Argc, char **Argv) {
         (unsigned long long)S.CalleeSaveMoves,
         (unsigned long long)S.MaxStackDepth);
   }
-  if (OptStats && Optimize)
+  if (Common.OptStats && Common.Optimize)
     std::fprintf(stderr, "%s", optReportText(OptR).c_str());
-  if (Profile)
+  if (Common.Profile)
     std::fprintf(stderr, "%s", Prof.report().c_str());
 
-  if (!StatsJsonFile.empty()) {
+  if (!Common.StatsJsonFile.empty()) {
     JsonWriter W;
     W.beginObject();
     W.field("entry", std::string_view(Entry));
@@ -328,22 +295,22 @@ int main(int Argc, char **Argv) {
       W.key("rt");
       writeRtStatsJson(W, Walk, Dispatches);
     }
-    if (Optimize) {
+    if (Common.Optimize) {
       W.key("opt");
       writeOptReportJson(W, OptR);
     }
-    if (Profile) {
+    if (Common.Profile) {
       W.key("profile");
       Prof.writeJson(W);
     }
     W.endObject();
-    if (StatsJsonFile == "-") {
+    if (Common.StatsJsonFile == "-") {
       std::printf("%s\n", W.str().c_str());
     } else {
-      std::ofstream Out(StatsJsonFile);
+      std::ofstream Out(Common.StatsJsonFile);
       if (!Out) {
         std::fprintf(stderr, "cmmi: cannot write '%s'\n",
-                     StatsJsonFile.c_str());
+                     Common.StatsJsonFile.c_str());
         return 1;
       }
       Out << W.str() << '\n';
