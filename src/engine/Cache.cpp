@@ -91,9 +91,9 @@ namespace cmm::engine {
 /// + translate + link, optionally optimize, then re-validate. Error strings
 /// keep the phase-prefixed form the differential harness reports.
 void populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
-                      std::atomic<uint64_t> *BcCounter) {
+                      std::shared_ptr<std::atomic<uint64_t>> BcCounter) {
   A.Key = cacheKeyFor(Req);
-  A.BcCompiles = BcCounter;
+  A.BcCompiles = std::move(BcCounter);
   DiagnosticEngine Diags;
   std::unique_ptr<IrProgram> Prog =
       compileProgram(Req.Sources, Diags, Req.IncludeStdLib);
@@ -196,7 +196,7 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
     // Single-flight: compile outside the index lock; racers block on the
     // slot, not on the whole cache.
     auto Art = std::make_shared<ProgramArtifact>();
-    populateArtifact(*Art, Req, &BcCompiles);
+    populateArtifact(*Art, Req, BcCompiles);
     IrCompiles.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> SLock(S->Mu);
@@ -217,7 +217,7 @@ CacheStats ModuleCache::stats() const {
   St.Lookups = Lookups.load(std::memory_order_relaxed);
   St.Hits = Hits.load(std::memory_order_relaxed);
   St.IrCompiles = IrCompiles.load(std::memory_order_relaxed);
-  St.BytecodeCompiles = BcCompiles.load(std::memory_order_relaxed);
+  St.BytecodeCompiles = BcCompiles->load(std::memory_order_relaxed);
   St.Evictions = Evictions.load(std::memory_order_relaxed);
   return St;
 }

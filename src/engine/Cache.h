@@ -60,7 +60,10 @@ private:
   size_t Capacity;
 
   std::atomic<uint64_t> Lookups{0}, Hits{0}, IrCompiles{0}, Evictions{0};
-  std::atomic<uint64_t> BcCompiles{0};
+  /// Shared with every artifact this cache compiles, so an artifact that
+  /// outlives the cache can still count its first bytecode() compile.
+  std::shared_ptr<std::atomic<uint64_t>> BcCompiles =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 } // namespace cmm::engine

@@ -94,6 +94,13 @@ MachineStatus runBudgeted(Executor &M, HandlerFn Handler, uint64_t MaxSteps,
                           double DeadlineMillis, bool &TimedOut) {
   auto T0 = std::chrono::steady_clock::now();
   for (;;) {
+    // Checked here as well as inside the slice loop: a yield-heavy program
+    // whose dispatcher always resumes never completes a Running slice, so
+    // the suspend/resume cycle itself must consult the deadline.
+    if (DeadlineMillis > 0 && millisSince(T0) >= DeadlineMillis) {
+      TimedOut = true;
+      return MachineStatus::Running;
+    }
     uint64_t Remaining = MaxSteps;
     MachineStatus St;
     for (;;) {

@@ -133,15 +133,18 @@ public:
   std::unique_ptr<Executor> newExecutor(Backend B) const;
 
 private:
-  friend void populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
-                               std::atomic<uint64_t> *BcCounter);
+  friend void
+  populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
+                   std::shared_ptr<std::atomic<uint64_t>> BcCounter);
   CacheKey Key;
   std::shared_ptr<const IrProgram> Prog;
   std::string Error;
   mutable std::mutex BcMu;
   mutable std::shared_ptr<const CompiledProgram> Bc;
-  /// Engine-owned bytecode-compile counter (null outside a cache).
-  std::atomic<uint64_t> *BcCompiles = nullptr;
+  /// Bytecode-compile counter, shared with the cache that interned this
+  /// artifact (null outside a cache). Shared ownership, not a raw pointer:
+  /// artifacts are handed to embedders and may outlive their Engine.
+  std::shared_ptr<std::atomic<uint64_t>> BcCompiles;
 };
 
 /// Compiles \p Req outside any cache (one-shot embedders, tests).

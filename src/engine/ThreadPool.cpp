@@ -38,7 +38,13 @@ void ThreadPool::submit(std::function<void()> Task) {
     std::lock_guard<std::mutex> Lock(Workers[Idx]->Mu);
     Workers[Idx]->Q.push_back(std::move(Task));
   }
-  Pending.fetch_add(1, std::memory_order_release);
+  {
+    // The increment must be ordered against a sleeper's predicate check by
+    // SleepMu: done outside it, the add + notify can land inside a worker's
+    // check-to-block window and the wakeup is lost with a task queued.
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    Pending.fetch_add(1, std::memory_order_release);
+  }
   SleepCv.notify_one();
 }
 
@@ -71,8 +77,10 @@ void ThreadPool::workerLoop(unsigned Self) {
     std::function<void()> Task;
     if (findTask(Self, Task)) {
       Pending.fetch_sub(1, std::memory_order_acquire);
-      Task();
+      // Counted before running: anyone a task's side effects wake must
+      // already see it in tasksExecuted().
       Executed.fetch_add(1, std::memory_order_relaxed);
+      Task();
       continue;
     }
     std::unique_lock<std::mutex> Lock(SleepMu);

@@ -101,6 +101,26 @@ TEST(ThreadPool, SubmittedTasksAllRun) {
   EXPECT_GE(Pool.tasksExecuted(), uint64_t(N));
 }
 
+TEST(ThreadPool, EverySubmitWakesTheSleepingWorker) {
+  // One worker, one task per round, waiting for each before the next: the
+  // worker drains its queue and blocks every round, so every submit lands
+  // in the check-to-block window a lost wakeup would hang.
+  ThreadPool Pool(1);
+  std::mutex Mu;
+  std::condition_variable Cv;
+  unsigned Done = 0;
+  for (unsigned I = 0; I < 2000; ++I) {
+    Pool.submit([&] {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Done;
+      Cv.notify_all();
+    });
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Done == I + 1; });
+  }
+  EXPECT_EQ(Done, 2000u);
+}
+
 //===----------------------------------------------------------------------===//
 // Cache keys
 //===----------------------------------------------------------------------===//
@@ -323,6 +343,24 @@ TEST(EngineJobs, DeadlineStopsARunawayJob) {
   EXPECT_GE(R.MachineStats.Steps, Engine::DeadlineSliceSteps);
 }
 
+TEST(EngineJobs, DeadlineStopsAYieldHeavyJob) {
+  // Period 1: every iteration raises through the run-time system, so the
+  // machine suspends long before a deadline slice completes. The deadline
+  // must be enforced across suspend/resume cycles, not only inside slices
+  // that finish Running.
+  Engine Eng({.Threads = 1});
+  Job J;
+  J.Request.Sources = {sweepWorkloadSource(DispatchTechnique::UnwindRuntime)};
+  J.Entry = "sweep";
+  J.Args = {b32(0x7fffffff), b32(1), b32(8)};
+  J.Dispatcher = DispatcherKind::Unwind;
+  J.DeadlineMillis = 25;
+  JobResult R = Eng.wait(Eng.submit(std::move(J)));
+  ASSERT_TRUE(R.CompileError.empty()) << R.CompileError;
+  EXPECT_EQ(R.Status, MachineStatus::Running);
+  EXPECT_TRUE(R.TimedOut);
+}
+
 TEST(EngineJobs, DispatchedJobsServiceYields) {
   Engine Eng({.Threads = 2});
   for (auto [T, D] :
@@ -338,6 +376,23 @@ TEST(EngineJobs, DispatchedJobsServiceYields) {
                         << R.CompileError << " status "
                         << static_cast<int>(R.Status);
   }
+}
+
+TEST(EngineCache, ArtifactOutlivesItsEngine) {
+  // Artifacts are handed to embedders as shared_ptr and survive eviction —
+  // including the whole Engine going away. The first bytecode() compile
+  // after that must not touch cache-owned state (the compile counter is
+  // shared, not borrowed).
+  std::shared_ptr<const ProgramArtifact> Art;
+  {
+    Engine Eng({.Threads = 1});
+    Art = Eng.compile(requestFor(addOneSource()));
+    ASSERT_TRUE(Art->ok());
+  }
+  std::unique_ptr<Executor> Exec = Art->newExecutor(Backend::Vm);
+  Exec->start("main", {b32(41)});
+  ASSERT_EQ(Exec->run(), MachineStatus::Halted);
+  EXPECT_EQ(Exec->argArea()[0], b32(42));
 }
 
 TEST(EngineJobs, PreInternedArtifactSkipsCompilation) {
