@@ -9,6 +9,7 @@
 
 #include "ir/Translate.h"
 #include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "sem/Machine.h"
 
 #include <benchmark/benchmark.h>
@@ -16,8 +17,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <string>
 
 namespace cmm::bench {
+
+/// Suite-level metadata — host facts and workload shape (CPU count, worker
+/// threads, cache configuration) that a reader of BENCH_<suite>.json needs
+/// to interpret the numbers. Suites fill this before the benchmarks run
+/// (typically alongside benchmark registration); CMM_BENCH_MAIN writes it
+/// into the JSON header as "metadata".
+inline std::map<std::string, std::string> &suiteMetadata() {
+  static std::map<std::string, std::string> M;
+  return M;
+}
 
 /// Compiles \p Sources or aborts the benchmark binary (benchmarks never run
 /// on malformed inputs).
@@ -34,6 +47,18 @@ compileOrDie(const std::vector<std::string> &Sources) {
 }
 
 inline Value b32(uint64_t V) { return Value::bits(32, V); }
+
+/// Exports a latency Histogram's summary as user counters under \p Prefix
+/// (<prefix>_p50_us, _p90_us, _p99_us, _max_us), so the BENCH JSON rows
+/// carry the distribution tail, not just Google Benchmark's mean.
+inline void exportLatencyHistogram(benchmark::State &State,
+                                   const Histogram &H,
+                                   const std::string &Prefix) {
+  State.counters[Prefix + "_p50_us"] = double(H.percentile(50));
+  State.counters[Prefix + "_p90_us"] = double(H.percentile(90));
+  State.counters[Prefix + "_p99_us"] = double(H.percentile(99));
+  State.counters[Prefix + "_max_us"] = double(H.max());
+}
 
 /// A console reporter that additionally captures every run so the binary can
 /// write a machine-readable BENCH_<suite>.json next to the usual table (the
@@ -52,6 +77,11 @@ public:
     JsonWriter W;
     W.beginObject();
     W.field("suite", std::string_view(Suite));
+    W.key("metadata");
+    W.beginObject();
+    for (const auto &[Name, V] : suiteMetadata())
+      W.field(std::string_view(Name), std::string_view(V));
+    W.endObject();
     W.key("benchmarks");
     W.beginArray();
     for (const Run &R : Captured) {

@@ -26,6 +26,9 @@
 #include "costmodel/RandomProgram.h"
 #include "engine/Engine.h"
 
+#include <chrono>
+#include <thread>
+
 using namespace cmm;
 using namespace cmm::bench;
 
@@ -136,6 +139,16 @@ std::string variantSource(unsigned K) {
          "}\n";
 }
 
+/// Records \p F's wall time into \p Lat in microseconds.
+template <typename Fn> void timeInto(Histogram &Lat, Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  Lat.record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count()));
+}
+
 void compileCold(benchmark::State &State) {
   // 512 distinct keys cycled through a 64-artifact cache: every lookup
   // misses and pays the full front end.
@@ -149,11 +162,13 @@ void compileCold(benchmark::State &State) {
   EO.Threads = 1;
   EO.CacheCapacity = 64;
   engine::Engine Eng(EO);
+  Histogram Lat; // per-compile latency: cold tails are the interesting part
   size_t I = 0;
   for (auto _ : State) {
     engine::CompileRequest Req;
     Req.Sources = {Corpus[I++ % Corpus.size()]};
-    std::shared_ptr<const engine::ProgramArtifact> A = Eng.compile(Req);
+    std::shared_ptr<const engine::ProgramArtifact> A;
+    timeInto(Lat, [&] { A = Eng.compile(Req); });
     if (!A->ok()) {
       State.SkipWithError("variant failed to compile");
       return;
@@ -163,6 +178,7 @@ void compileCold(benchmark::State &State) {
   engine::CacheStats CS = Eng.cacheStats();
   State.counters["hit_ratio"] = benchmark::Counter(
       CS.Lookups ? static_cast<double>(CS.Hits) / CS.Lookups : 0);
+  exportLatencyHistogram(State, Lat, "cold");
 }
 
 void compileWarm(benchmark::State &State) {
@@ -172,8 +188,10 @@ void compileWarm(benchmark::State &State) {
   engine::CompileRequest Req;
   Req.Sources = {variantSource(0)};
   Eng.compile(Req); // prime the cache; every timed lookup below hits
+  Histogram Lat;
   for (auto _ : State) {
-    std::shared_ptr<const engine::ProgramArtifact> A = Eng.compile(Req);
+    std::shared_ptr<const engine::ProgramArtifact> A;
+    timeInto(Lat, [&] { A = Eng.compile(Req); });
     if (!A->ok()) {
       State.SkipWithError("variant failed to compile");
       return;
@@ -183,9 +201,18 @@ void compileWarm(benchmark::State &State) {
   engine::CacheStats CS = Eng.cacheStats();
   State.counters["hit_ratio"] = benchmark::Counter(
       CS.Lookups ? static_cast<double>(CS.Hits) / CS.Lookups : 0);
+  exportLatencyHistogram(State, Lat, "warm");
 }
 
 void registerAll() {
+  // Facts a reader needs to interpret the scaling and cache numbers: how
+  // many CPUs backed the thread args, and the cold sweep's cache shape.
+  suiteMetadata()["cpus"] =
+      std::to_string(std::thread::hardware_concurrency());
+  suiteMetadata()["thread_args"] = "1,2,4,8";
+  suiteMetadata()["jobs_per_batch"] = std::to_string(JobsPerBatch);
+  suiteMetadata()["cold_cache_capacity"] = "64";
+  suiteMetadata()["cold_corpus"] = "512";
   benchmark::RegisterBenchmark("engine/batch_jobs", batchJobs)
       ->Arg(1)
       ->Arg(2)

@@ -137,9 +137,37 @@ compileCell(const std::string &Src, const DiffOptConfig &Cfg,
   return Eng ? Eng->compile(Req) : engine::compileArtifact(Req);
 }
 
-DiffOutcome runCell(const engine::ProgramArtifact &Art, engine::Backend B,
-                    DispatchTechnique T, uint64_t Input, uint64_t MaxSteps) {
-  std::unique_ptr<Executor> Exec = Art.newExecutor(B);
+/// Runs one cell. With an engine, the run goes through Engine::runJob — the
+/// same budgeted loop, but every cell then shows up in the engine's
+/// metrics, lifecycle spans, and snapshot stream (runJob's per-resume-
+/// segment fuel is exactly runWithRuntime's budget, so outcomes are
+/// identical either way; the engineless path remains for harness callers
+/// with no engine, e.g. the minimizer under test).
+DiffOutcome runCell(const std::shared_ptr<const engine::ProgramArtifact> &Art,
+                    engine::Backend B, DispatchTechnique T, uint64_t Input,
+                    uint64_t MaxSteps, engine::Engine *Eng) {
+  DiffOutcome O;
+  if (Eng) {
+    engine::Job J;
+    J.Artifact = Art;
+    J.B = B;
+    J.Args = {Value::bits(32, Input)};
+    J.MaxSteps = MaxSteps;
+    J.Dispatcher = T == DispatchTechnique::CutRuntime
+                       ? engine::DispatcherKind::Cut
+                       : (T == DispatchTechnique::UnwindRuntime
+                              ? engine::DispatcherKind::Unwind
+                              : engine::DispatcherKind::None);
+    engine::JobResult R = Eng->runJob(J);
+    O.Status = R.Status;
+    O.MachineStats = R.MachineStats;
+    if (R.Status == MachineStatus::Halted)
+      O.Results = std::move(R.Results);
+    else if (R.Status == MachineStatus::Wrong)
+      O.WrongReason = std::move(R.WrongReason);
+    return O;
+  }
+  std::unique_ptr<Executor> Exec = Art->newExecutor(B);
   Executor &M = *Exec;
   M.start("main", {Value::bits(32, Input)});
   MachineStatus St;
@@ -152,7 +180,6 @@ DiffOutcome runCell(const engine::ProgramArtifact &Art, engine::Backend B,
   } else {
     St = M.run(MaxSteps);
   }
-  DiffOutcome O;
   O.Status = St;
   O.MachineStats = M.stats();
   if (St == MachineStatus::Halted)
@@ -315,16 +342,16 @@ DiffSeedResult cmm::diffTestSeed(uint64_t Seed, const DiffOptions &Opts) {
         continue;
       }
       for (size_t I = 0; I < NumIn; ++I) {
-        ByCfg[C][I] = runCell(*Art, engine::Backend::Walk, T, Opts.Inputs[I],
-                              Opts.MaxSteps);
+        ByCfg[C][I] = runCell(Art, engine::Backend::Walk, T, Opts.Inputs[I],
+                              Opts.MaxSteps, Opts.Eng);
         ++R.RunsExecuted;
         if (Opts.CheckVm) {
           // Sixth column: the bytecode VM on the identical program. A
           // divergence here is a backend bug, never an expected ablation
           // effect (both backends run the same — possibly mis-optimized —
           // IR, so they must still agree with each other).
-          DiffOutcome Vm = runCell(*Art, engine::Backend::Vm, T,
-                                   Opts.Inputs[I], Opts.MaxSteps);
+          DiffOutcome Vm = runCell(Art, engine::Backend::Vm, T,
+                                   Opts.Inputs[I], Opts.MaxSteps, Opts.Eng);
           ++R.RunsExecuted;
           std::string E = compareBackends(*ByCfg[C][I], Vm);
           if (!E.empty())

@@ -9,6 +9,7 @@
 #include "ir/Translate.h"
 #include "ir/Validate.h"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace cmm;
@@ -145,12 +146,35 @@ cmm::engine::compileArtifact(const CompileRequest &Req) {
 // ModuleCache
 //===----------------------------------------------------------------------===//
 
-ModuleCache::ModuleCache(size_t Capacity) : Capacity(Capacity) {}
+namespace {
+MetricsRegistry &regOrNull(MetricsRegistry *Reg) {
+  return Reg ? *Reg : MetricsRegistry::null();
+}
+} // namespace
+
+// Handles are wired once at construction; every event after is one relaxed
+// atomic add (the registry mutex is never touched on the lookup path).
+ModuleCache::ModuleCache(size_t Capacity, MetricsRegistry *RegIn)
+    : Capacity(Capacity), LookupsC(regOrNull(RegIn).counter("cache.lookups")),
+      HitsC(regOrNull(RegIn).counter("cache.hits")),
+      MissesC(regOrNull(RegIn).counter("cache.misses")),
+      IrCompilesC(regOrNull(RegIn).counter("cache.ir_compiles")),
+      EvictionsC(regOrNull(RegIn).counter("cache.evictions")),
+      JoinsC(regOrNull(RegIn).counter("cache.singleflight_joins")),
+      CompileMicrosH(regOrNull(RegIn).histogram("cache.compile_micros")) {
+  // Bytecode compiles are counted in the artifacts themselves (they may
+  // outlive this cache), so the registry samples them through a probe that
+  // co-owns the counter.
+  auto Bc = BcCompiles;
+  regOrNull(RegIn).probe("cache.bytecode_compiles", [Bc] {
+    return Bc->load(std::memory_order_relaxed);
+  });
+}
 
 std::shared_ptr<const ProgramArtifact>
 ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
   const CacheKey Key = cacheKeyFor(Req);
-  Lookups.fetch_add(1, std::memory_order_relaxed);
+  LookupsC.add(1);
 
   std::shared_ptr<Slot> S;
   bool Owner = false;
@@ -158,10 +182,11 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
     std::lock_guard<std::mutex> Lock(Mu);
     auto It = Map.find(Key);
     if (It != Map.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
+      HitsC.add(1);
       Lru.splice(Lru.begin(), Lru, It->second.LruIt); // touch
       S = It->second.S;
     } else {
+      MissesC.add(1);
       S = std::make_shared<Slot>();
       Lru.push_front(Key);
       Map.emplace(Key, Entry{S, Lru.begin()});
@@ -181,7 +206,7 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
           if (VictimReady) {
             Map.erase(VIt);
             Lru.erase(Victim);
-            Evictions.fetch_add(1, std::memory_order_relaxed);
+            EvictionsC.add(1);
             break;
           }
           Victim = Prev;
@@ -195,9 +220,14 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
   if (Owner) {
     // Single-flight: compile outside the index lock; racers block on the
     // slot, not on the whole cache.
+    auto T0 = std::chrono::steady_clock::now();
     auto Art = std::make_shared<ProgramArtifact>();
     populateArtifact(*Art, Req, BcCompiles);
-    IrCompiles.fetch_add(1, std::memory_order_relaxed);
+    IrCompilesC.add(1);
+    CompileMicrosH.record(
+        uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count()));
     {
       std::lock_guard<std::mutex> SLock(S->Mu);
       S->Art = std::move(Art);
@@ -208,16 +238,22 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
   }
 
   std::unique_lock<std::mutex> SLock(S->Mu);
-  S->Cv.wait(SLock, [&] { return S->Ready; });
+  if (!S->Ready) {
+    // A hit on a slot whose owner is still compiling: this caller joined
+    // the single flight rather than finding a finished artifact.
+    JoinsC.add(1);
+    S->Cv.wait(SLock, [&] { return S->Ready; });
+  }
   return S->Art;
 }
 
 CacheStats ModuleCache::stats() const {
   CacheStats St;
-  St.Lookups = Lookups.load(std::memory_order_relaxed);
-  St.Hits = Hits.load(std::memory_order_relaxed);
-  St.IrCompiles = IrCompiles.load(std::memory_order_relaxed);
+  St.Lookups = LookupsC.value();
+  St.Hits = HitsC.value();
+  St.IrCompiles = IrCompilesC.value();
   St.BytecodeCompiles = BcCompiles->load(std::memory_order_relaxed);
-  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  St.Evictions = EvictionsC.value();
+  St.SingleFlightJoins = JoinsC.value();
   return St;
 }

@@ -21,6 +21,7 @@
 #define CMM_ENGINE_CACHE_H
 
 #include "engine/Engine.h"
+#include "obs/Metrics.h"
 
 #include <list>
 
@@ -28,8 +29,11 @@ namespace cmm::engine {
 
 class ModuleCache {
 public:
-  /// \p Capacity in artifacts; 0 = unbounded.
-  explicit ModuleCache(size_t Capacity);
+  /// \p Capacity in artifacts; 0 = unbounded. Metrics (lookups, hits,
+  /// misses, evictions, single-flight joins, compile latency) land in
+  /// \p Reg when given, in MetricsRegistry::null() otherwise — the engine
+  /// passes its registry so the counters appear in snapshots.
+  explicit ModuleCache(size_t Capacity, MetricsRegistry *Reg = nullptr);
 
   /// The cached artifact for \p Req, compiling it (once, whatever the
   /// concurrency) on first use. Never null. \p WasHit, when non-null,
@@ -59,9 +63,19 @@ private:
   std::list<CacheKey> Lru; ///< front = most recently used
   size_t Capacity;
 
-  std::atomic<uint64_t> Lookups{0}, Hits{0}, IrCompiles{0}, Evictions{0};
+  // Metric name catalog: docs/OBSERVABILITY.md § "Engine telemetry".
+  Counter &LookupsC;    ///< cache.lookups
+  Counter &HitsC;       ///< cache.hits
+  Counter &MissesC;     ///< cache.misses
+  Counter &IrCompilesC; ///< cache.ir_compiles
+  Counter &EvictionsC;  ///< cache.evictions
+  Counter &JoinsC;      ///< cache.singleflight_joins
+  Histogram &CompileMicrosH; ///< cache.compile_micros
   /// Shared with every artifact this cache compiles, so an artifact that
-  /// outlives the cache can still count its first bytecode() compile.
+  /// outlives the cache can still count its first bytecode() compile. The
+  /// registry sees it as the cache.bytecode_compiles probe (the probe holds
+  /// its own shared_ptr, so it stays readable after the cache dies; the
+  /// engine destroys its registry last).
   std::shared_ptr<std::atomic<uint64_t>> BcCompiles =
       std::make_shared<std::atomic<uint64_t>>(0);
 };

@@ -15,6 +15,7 @@
 #include "vm/Vm.h"
 
 #include <chrono>
+#include <sstream>
 
 using namespace cmm;
 using namespace cmm::engine;
@@ -58,13 +59,103 @@ cmm::engine::makeExecutor(Backend B, const IrProgram &Prog,
 // Engine
 //===----------------------------------------------------------------------===//
 
-Engine::Engine(EngineOptions Opts)
-    : Opts(Opts),
-      Cache(Opts.EnableCache ? std::make_unique<ModuleCache>(Opts.CacheCapacity)
-                             : nullptr),
-      Pool(Opts.Threads) {}
+Engine::Engine(EngineOptions OptsIn)
+    : Opts(OptsIn), JM(Registry),
+      Cache(Opts.EnableCache
+                ? std::make_unique<ModuleCache>(Opts.CacheCapacity, &Registry)
+                : nullptr),
+      Epoch(std::chrono::steady_clock::now()), Pool(Opts.Threads, &Registry) {
+  if (Opts.TraceTo) {
+    // The merged trace: one Chrome document on one wall-clock timeline.
+    // Job lifecycle spans live in pid 0 (one tid per pool worker); sampled
+    // jobs splice their machine events in under their own pid.
+    TraceOptions TO;
+    TO.Fmt = TraceOptions::Format::Chrome;
+    TO.WallClock = true;
+    TO.Epoch = Epoch;
+    TO.Pid = 0;
+    EngTrace = std::make_unique<TraceSink>(*Opts.TraceTo, TO);
+    // Name the tracks up front (Chrome metadata events).
+    auto Meta = [&](uint64_t Tid, std::string_view Name) {
+      JsonWriter W;
+      W.beginObject();
+      W.field("name", "thread_name");
+      W.field("ph", "M");
+      W.field("pid", uint64_t(0));
+      W.field("tid", Tid);
+      W.key("args");
+      W.beginObject();
+      W.field("name", Name);
+      W.endObject();
+      W.endObject();
+      EngTrace->emitRaw(W.take());
+    };
+    {
+      JsonWriter W;
+      W.beginObject();
+      W.field("name", "process_name");
+      W.field("ph", "M");
+      W.field("pid", uint64_t(0));
+      W.key("args");
+      W.beginObject();
+      W.field("name", "cmmex engine");
+      W.endObject();
+      W.endObject();
+      EngTrace->emitRaw(W.take());
+    }
+    Meta(0, "caller");
+    for (unsigned I = 0; I < Pool.threadCount(); ++I)
+      Meta(I + 1, "worker-" + std::to_string(I));
+  }
+  if (Opts.SnapshotTo)
+    Exporter = std::make_unique<MetricsExporter>(Registry, *Opts.SnapshotTo,
+                                                 Opts.SnapshotIntervalMillis);
+}
 
+// Destruction order (reverse declaration): the pool joins first, so no job
+// is in flight when the exporter writes its final snapshot and the merged
+// trace closes its JSON document; the registry goes last.
 Engine::~Engine() = default;
+
+uint64_t Engine::nowMicros() const {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - Epoch)
+                      .count());
+}
+
+bool Engine::sampledForTrace(uint64_t Id) const {
+  return EngTrace && Opts.TraceMachineSample != 0 && Id != 0 &&
+         Id % Opts.TraceMachineSample == 0;
+}
+
+void Engine::emitEngineEvent(std::string Line) {
+  if (!EngTrace)
+    return;
+  std::lock_guard<std::mutex> Lock(TraceMu);
+  EngTrace->emitRaw(std::move(Line));
+}
+
+void Engine::emitEngineSpan(std::string_view Name, uint64_t JobId,
+                            unsigned Tid, uint64_t TsMicros,
+                            uint64_t DurMicros) {
+  if (!EngTrace)
+    return;
+  JsonWriter W;
+  W.beginObject();
+  W.field("name", Name);
+  W.field("cat", "engine");
+  W.field("ph", "X");
+  W.field("ts", TsMicros);
+  W.field("dur", DurMicros);
+  W.field("pid", uint64_t(0));
+  W.field("tid", uint64_t(Tid));
+  W.key("args");
+  W.beginObject();
+  W.field("job", JobId);
+  W.endObject();
+  W.endObject();
+  emitEngineEvent(W.take());
+}
 
 std::shared_ptr<const ProgramArtifact>
 Engine::compile(const CompileRequest &Req) {
@@ -91,7 +182,8 @@ double millisSince(std::chrono::steady_clock::time_point T0) {
 /// bound checked every Engine::DeadlineSliceSteps transitions.
 template <typename HandlerFn>
 MachineStatus runBudgeted(Executor &M, HandlerFn Handler, uint64_t MaxSteps,
-                          double DeadlineMillis, bool &TimedOut) {
+                          double DeadlineMillis, bool &TimedOut,
+                          uint64_t &ResumeCycles) {
   auto T0 = std::chrono::steady_clock::now();
   for (;;) {
     // Checked here as well as inside the slice loop: a yield-heavy program
@@ -124,33 +216,60 @@ MachineStatus runBudgeted(Executor &M, HandlerFn Handler, uint64_t MaxSteps,
       return MachineStatus::Suspended; // unhandled yield
     if (M.status() == MachineStatus::Suspended)
       return MachineStatus::Suspended; // handler did not actually resume
+    ++ResumeCycles; // one serviced yield, machine running again
   }
 }
 
 } // namespace
 
 JobResult Engine::runJob(const Job &J, uint64_t Id) {
+  // Synchronous callers pass Id 0; give the job a real id anyway when the
+  // merged trace is on, so its spans are distinguishable (and samplable).
+  if (Id == 0 && EngTrace)
+    Id = NextId.fetch_add(1, std::memory_order_relaxed);
   JobResult R;
   R.Id = Id;
+  unsigned Tid = unsigned(ThreadPool::currentWorker() + 1); // 0 = off-pool
+  JM.Jobs.add(1);
+  JM.Running.add(1);
+  uint64_t JobT0 = nowMicros();
 
-  // Resolve the program: pre-interned artifact, or compile via the cache.
-  std::shared_ptr<const ProgramArtifact> Art = J.Artifact;
-  if (!Art) {
-    auto C0 = std::chrono::steady_clock::now();
-    if (Cache)
-      Art = Cache->getOrCompile(J.Request, &R.CacheHit);
-    else
-      Art = compileArtifact(J.Request);
-    R.CompileMillis = millisSince(C0);
+  // Resolve the program: caller-compiled IR, pre-interned artifact, or a
+  // request compiled through the cache.
+  std::shared_ptr<const ProgramArtifact> Art;
+  const IrProgram *Prog = nullptr;
+  if (J.Program) {
+    Prog = J.Program.get();
   } else {
-    R.CacheHit = true; // the caller interned it; no compile ran here
-  }
-  if (!Art->ok()) {
-    R.CompileError = Art->error();
-    return R;
+    auto C0 = std::chrono::steady_clock::now();
+    Art = J.Artifact;
+    if (Art) {
+      R.CacheHit = true; // the caller interned it; no compile ran here
+    } else {
+      if (Cache)
+        Art = Cache->getOrCompile(J.Request, &R.CacheHit);
+      else
+        Art = compileArtifact(J.Request);
+      R.CompileMillis = millisSince(C0);
+      // Per-job artifact-resolution latency: near-zero on a hit, a real
+      // compile on a miss, the owner's compile time on a single-flight
+      // join. cache.compile_micros holds actual compiles only.
+      uint64_t CompileUs = uint64_t(R.CompileMillis * 1000.0);
+      JM.CompileMicros.record(CompileUs);
+      emitEngineSpan("compile", Id, Tid, JobT0, CompileUs);
+    }
+    if (!Art->ok()) {
+      R.CompileError = Art->error();
+      JM.CompileErrors.add(1);
+      JM.Running.sub(1);
+      JM.JobMicros.record(nowMicros() - JobT0);
+      return R;
+    }
+    Prog = Art->program();
   }
 
-  std::unique_ptr<Executor> Exec = Art->newExecutor(J.B);
+  std::unique_ptr<Executor> Exec =
+      Art ? Art->newExecutor(J.B) : makeExecutor(J.B, *Prog);
   Executor &M = *Exec;
 
   // Per-job observability: every event stream is tagged with the job id.
@@ -160,23 +279,38 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
     TO.JobId = Id;
     Trace = std::make_unique<TraceSink>(*J.TraceTo, TO);
   }
+  // Sampled jobs additionally buffer their machine events (bare Chrome
+  // lines, wall-clock timestamps, their own pid) for splicing into the
+  // merged engine trace when the job completes.
+  std::ostringstream SampleBuf;
+  std::unique_ptr<TraceSink> Sample;
+  if (sampledForTrace(Id)) {
+    TraceOptions TO;
+    TO.Fmt = TraceOptions::Format::Chrome;
+    TO.WallClock = true;
+    TO.Epoch = Epoch;
+    TO.Pid = Id;
+    TO.JobId = Id;
+    TO.BareLines = true;
+    Sample = std::make_unique<TraceSink>(SampleBuf, TO);
+  }
   Profiler Prof;
   Prof.JobId = Id;
   MultiObserver Multi;
   if (Trace)
     Multi.add(Trace.get());
+  if (Sample)
+    Multi.add(Sample.get());
   if (J.CollectProfile)
     Multi.add(&Prof);
   Multi.add(J.Obs);
   if (Multi.size() == 1)
-    M.setObserver(Trace ? static_cast<MachineObserver *>(Trace.get())
-                        : (J.CollectProfile
-                               ? static_cast<MachineObserver *>(&Prof)
-                               : J.Obs));
+    M.setObserver(Multi.front());
   else if (!Multi.empty())
     M.setObserver(&Multi);
 
   auto R0 = std::chrono::steady_clock::now();
+  uint64_t RunT0 = nowMicros();
   M.start(J.Entry, J.Args);
 
   MachineStatus St;
@@ -185,29 +319,32 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
     UnwindingDispatcher D(M);
     St = runBudgeted(
         M, [&](Executor &) { return D.dispatch() == DispatchResult::Handled; },
-        J.MaxSteps, J.DeadlineMillis, R.TimedOut);
+        J.MaxSteps, J.DeadlineMillis, R.TimedOut, R.ResumeCycles);
+    R.RtWalk = D.walkStats();
+    R.RtDispatches = D.dispatches();
     break;
   }
   case DispatcherKind::Cut: {
     CuttingDispatcher D(M);
     St = runBudgeted(
         M, [&](Executor &) { return D.dispatch() == DispatchResult::Handled; },
-        J.MaxSteps, J.DeadlineMillis, R.TimedOut);
+        J.MaxSteps, J.DeadlineMillis, R.TimedOut, R.ResumeCycles);
+    R.RtDispatches = D.dispatches();
     break;
   }
   case DispatcherKind::None:
   default:
     St = runBudgeted(M, [](Executor &) { return false; }, J.MaxSteps,
-                     J.DeadlineMillis, R.TimedOut);
+                     J.DeadlineMillis, R.TimedOut, R.ResumeCycles);
     break;
   }
   R.RunMillis = millisSince(R0);
 
   R.Status = St;
   R.MachineStats = M.stats();
-  if (St == MachineStatus::Halted)
+  if (St == MachineStatus::Halted || St == MachineStatus::Suspended)
     R.Results = M.argArea();
-  else if (St == MachineStatus::Wrong) {
+  if (St == MachineStatus::Wrong) {
     R.WrongReason = M.wrongReason();
     R.WrongLoc = M.wrongLoc();
   }
@@ -218,14 +355,82 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
     Prof.writeJson(W);
     R.ProfileJson = W.take();
   }
+
+  // Lifecycle accounting.
+  switch (St) {
+  case MachineStatus::Halted:
+    JM.Halted.add(1);
+    break;
+  case MachineStatus::Wrong:
+    JM.Wrong.add(1);
+    break;
+  case MachineStatus::Suspended:
+    JM.Suspended.add(1);
+    break;
+  case MachineStatus::Running:
+    (R.TimedOut ? JM.Timeouts : JM.FuelExhausted).add(1);
+    break;
+  default:
+    break;
+  }
+  JM.ResumeCycles.add(R.ResumeCycles);
+  JM.ResumeCyclesPerJob.record(R.ResumeCycles);
+  uint64_t RunUs = uint64_t(R.RunMillis * 1000.0);
+  JM.RunMicros.record(RunUs);
+  JM.JobMicros.record(nowMicros() - JobT0);
+  JM.Running.sub(1);
+
+  // Merged trace: the run span, then the buffered machine events (under
+  // one lock so a job's events stay contiguous in the file).
+  if (EngTrace) {
+    emitEngineSpan("run", Id, Tid, RunT0, RunUs);
+    if (Sample) {
+      Sample->finish();
+      std::lock_guard<std::mutex> Lock(TraceMu);
+      {
+        JsonWriter W;
+        W.beginObject();
+        W.field("name", "process_name");
+        W.field("ph", "M");
+        W.field("pid", Id);
+        W.key("args");
+        W.beginObject();
+        W.field("name", "job " + std::to_string(Id) + " machine");
+        W.endObject();
+        W.endObject();
+        EngTrace->emitRaw(W.take());
+      }
+      std::string Buf = SampleBuf.str();
+      size_t Pos = 0;
+      while (Pos < Buf.size()) {
+        size_t Nl = Buf.find('\n', Pos);
+        if (Nl == std::string::npos)
+          Nl = Buf.size();
+        if (Nl > Pos)
+          EngTrace->emitRaw(Buf.substr(Pos, Nl - Pos));
+        Pos = Nl + 1;
+      }
+    }
+  }
   return R;
 }
 
 uint64_t Engine::submit(Job J) {
   uint64_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
   auto Shared = std::make_shared<Job>(std::move(J));
-  Pool.submit([this, Shared, Id] {
+  JM.Queued.add(1);
+  auto SubmitT = std::chrono::steady_clock::now();
+  uint64_t SubmitUs = nowMicros();
+  Pool.submit([this, Shared, Id, SubmitT, SubmitUs] {
+    JM.Queued.sub(1);
+    double QueueMs = millisSince(SubmitT);
+    uint64_t QueueUs = uint64_t(QueueMs * 1000.0);
+    JM.QueueMicros.record(QueueUs);
+    emitEngineSpan("queue", Id,
+                   unsigned(ThreadPool::currentWorker() + 1), SubmitUs,
+                   QueueUs);
     JobResult R = runJob(*Shared, Id);
+    R.QueueMillis = QueueMs;
     {
       std::lock_guard<std::mutex> Lock(ResMu);
       Results.emplace(Id, std::move(R));

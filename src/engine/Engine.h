@@ -37,12 +37,15 @@
 #define CMM_ENGINE_ENGINE_H
 
 #include "engine/ThreadPool.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "opt/PassManager.h"
+#include "rts/RuntimeInterface.h"
 #include "sem/Executor.h"
 #include "vm/Bytecode.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -159,6 +162,9 @@ struct CacheStats {
   uint64_t IrCompiles = 0;       ///< actual front-end + optimizer runs
   uint64_t BytecodeCompiles = 0; ///< actual IR-to-bytecode runs
   uint64_t Evictions = 0;
+  /// Lookups that found another thread's compile of the same key in flight
+  /// and blocked for its result (counted within Hits).
+  uint64_t SingleFlightJoins = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -170,7 +176,11 @@ enum class DispatcherKind : uint8_t { None, Unwind, Cut };
 
 /// One unit of batch work: run Entry(Args) of a program on a backend.
 struct Job {
-  /// The program, either pre-interned... (takes precedence when set)
+  /// The program, in decreasing precedence: an already-checked IR program
+  /// the caller compiled itself (bypasses the cache entirely; used by cmmi,
+  /// which compiles by hand to keep the OptReport)...
+  std::shared_ptr<const IrProgram> Program;
+  /// ...or pre-interned as an artifact...
   std::shared_ptr<const ProgramArtifact> Artifact;
   /// ...or described by a request the engine compiles through its cache.
   CompileRequest Request;
@@ -206,15 +216,27 @@ struct JobResult {
   /// Compile/validation failure; when non-empty the job never ran.
   std::string CompileError;
   MachineStatus Status = MachineStatus::Idle;
-  std::vector<Value> Results; ///< argument area after Halted
+  /// Argument area after Halted (the returned values) or Suspended (the
+  /// unhandled yield request, tag first).
+  std::vector<Value> Results;
   std::string WrongReason;    ///< after Wrong
   SourceLoc WrongLoc;         ///< after Wrong
   Stats MachineStats;
+  /// Dispatcher-side runtime statistics (meaningful when Job::Dispatcher
+  /// != None; RtWalk is populated by the unwinding dispatcher only).
+  RtStats RtWalk;
+  uint64_t RtDispatches = 0;
+  /// Completed suspend/resume cycles (yields the dispatcher serviced and
+  /// resumed from).
+  uint64_t ResumeCycles = 0;
   bool CacheHit = false; ///< artifact came from the cache already compiled
   bool TimedOut = false; ///< stopped by DeadlineMillis
   std::string ProfileJson; ///< with Job::CollectProfile
   double CompileMillis = 0;
   double RunMillis = 0;
+  /// Time spent queued between submit() and a worker picking the job up
+  /// (0 for synchronous runJob calls).
+  double QueueMillis = 0;
 
   bool ok() const {
     return CompileError.empty() && Status == MachineStatus::Halted;
@@ -233,6 +255,25 @@ struct EngineOptions {
   bool EnableCache = true;
   /// Cache capacity in artifacts, evicted LRU; 0 = unbounded.
   size_t CacheCapacity = 1024;
+
+  /// Engine-wide merged trace (docs/OBSERVABILITY.md § "Engine telemetry").
+  /// When set, every job's lifecycle (queue / compile / run spans, on one
+  /// wall-clock timeline, one Chrome track per pool worker) is written
+  /// here; the stream is caller-owned, must outlive the engine, and is
+  /// written under an engine lock, so it must not be shared with per-job
+  /// Job::TraceTo sinks. The format is always Chrome trace_event JSON.
+  std::ostream *TraceTo = nullptr;
+  /// With TraceTo: also record full machine-event traces for every Nth
+  /// job (1 = all jobs, 0 = lifecycle spans only). Sampled jobs buffer
+  /// their events and splice them into the merged trace at completion,
+  /// each under its own Chrome pid.
+  unsigned TraceMachineSample = 0;
+
+  /// Periodic metrics snapshots: when set, a MetricsExporter thread
+  /// appends one JSON snapshot line to this caller-owned stream every
+  /// SnapshotIntervalMillis (plus a final line at engine destruction).
+  std::ostream *SnapshotTo = nullptr;
+  double SnapshotIntervalMillis = 1000;
 };
 
 /// The batch execution engine. One Engine per embedding host; all methods
@@ -269,17 +310,78 @@ public:
   unsigned threadCount() const { return Pool.threadCount(); }
   ThreadPool &pool() { return Pool; }
 
+  /// The engine's metrics registry (cache, pool, and job metrics all land
+  /// here; docs/OBSERVABILITY.md lists the name catalog). Live — counters
+  /// keep moving while jobs run.
+  MetricsRegistry &metrics() { return Registry; }
+  /// One JSON snapshot of metrics(): {"counters":{..},"gauges":{..},
+  /// "histograms":{..}}.
+  std::string metricsJson() const { return Registry.json(); }
+
   /// Deadline-check granularity, exposed for the fuel/deadline tests.
   static constexpr uint64_t DeadlineSliceSteps = 1 << 16;
 
 private:
+  /// Wired handles for the per-job metrics (the registry mutex is touched
+  /// once, here, never per job).
+  struct JobMetrics {
+    Counter &Jobs, &Halted, &Wrong, &Suspended, &CompileErrors, &Timeouts,
+        &FuelExhausted, &ResumeCycles;
+    Gauge &Queued, &Running;
+    Histogram &QueueMicros, &CompileMicros, &RunMicros, &JobMicros,
+        &ResumeCyclesPerJob;
+    explicit JobMetrics(MetricsRegistry &R)
+        : Jobs(R.counter("engine.jobs")),
+          Halted(R.counter("engine.jobs_halted")),
+          Wrong(R.counter("engine.jobs_wrong")),
+          Suspended(R.counter("engine.jobs_suspended")),
+          CompileErrors(R.counter("engine.jobs_compile_error")),
+          Timeouts(R.counter("engine.jobs_timeout")),
+          FuelExhausted(R.counter("engine.jobs_fuel_exhausted")),
+          ResumeCycles(R.counter("engine.resume_cycles")),
+          Queued(R.gauge("engine.jobs_queued")),
+          Running(R.gauge("engine.jobs_running")),
+          QueueMicros(R.histogram("engine.queue_micros")),
+          CompileMicros(R.histogram("engine.compile_micros")),
+          RunMicros(R.histogram("engine.run_micros")),
+          JobMicros(R.histogram("engine.job_micros")),
+          ResumeCyclesPerJob(R.histogram("engine.resume_cycles_per_job")) {}
+  };
+
+  /// True when job \p Id 's machine events are recorded into the merged
+  /// trace (EngineOptions::TraceMachineSample).
+  bool sampledForTrace(uint64_t Id) const;
+  /// Splices one pre-rendered Chrome event into the merged trace (no-op
+  /// without one). Takes TraceMu.
+  void emitEngineEvent(std::string Line);
+  /// Emits a Chrome complete-span ("ph":"X") into the merged trace.
+  void emitEngineSpan(std::string_view Name, uint64_t JobId, unsigned Tid,
+                      uint64_t TsMicros, uint64_t DurMicros);
+  /// Microseconds since the engine's construction (the merged-trace
+  /// timeline).
+  uint64_t nowMicros() const;
+
+  /// Declared first: everything below holds handles into it, so it must be
+  /// destroyed last.
+  MetricsRegistry Registry;
   EngineOptions Opts;
+  JobMetrics JM;
   std::unique_ptr<ModuleCache> Cache;
+
+  /// Merged-trace state (EngineOptions::TraceTo). Jobs on any worker splice
+  /// completed spans under TraceMu; the sink itself is not thread-safe.
+  std::chrono::steady_clock::time_point Epoch;
+  std::mutex TraceMu;
+  std::unique_ptr<TraceSink> EngTrace;
 
   std::mutex ResMu;
   std::condition_variable ResCv;
   std::unordered_map<uint64_t, JobResult> Results;
   std::atomic<uint64_t> NextId{1};
+
+  /// The snapshot thread reads Registry; declared after it, destroyed (and
+  /// stopped) before it goes away.
+  std::unique_ptr<MetricsExporter> Exporter;
 
   /// Declared last: its destructor joins the workers, which touch the
   /// members above, so it must be destroyed first.

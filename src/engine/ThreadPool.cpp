@@ -8,11 +8,28 @@
 
 using namespace cmm::engine;
 
-ThreadPool::ThreadPool(unsigned NumThreads) {
+namespace {
+/// Worker index of the calling thread within the pool that spawned it
+/// (workerLoop sets it); -1 for every other thread. A plain index, not a
+/// pool pointer: its only consumer is trace-track assignment, where a stale
+/// index from a destroyed pool would merely mislabel a track.
+thread_local int ThisWorker = -1;
+} // namespace
+
+int ThreadPool::currentWorker() { return ThisWorker; }
+
+ThreadPool::ThreadPool(unsigned NumThreads, MetricsRegistry *RegIn)
+    : Reg(RegIn ? *RegIn : MetricsRegistry::null()),
+      QueuedG(Reg.gauge("pool.queued")),
+      ExecutedC(Reg.counter("pool.tasks_executed")),
+      StolenC(Reg.counter("pool.tasks_stolen")),
+      BusyMicrosC(Reg.counter("pool.busy_micros")),
+      IdleMicrosC(Reg.counter("pool.idle_micros")) {
   if (NumThreads == 0)
     NumThreads = std::thread::hardware_concurrency();
   if (NumThreads == 0)
     NumThreads = 1;
+  Reg.gauge("pool.workers").set(int64_t(NumThreads));
   Workers.reserve(NumThreads);
   for (unsigned I = 0; I < NumThreads; ++I)
     Workers.push_back(std::make_unique<Worker>());
@@ -34,16 +51,22 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> Task) {
   unsigned Idx = static_cast<unsigned>(
       NextQueue.fetch_add(1, std::memory_order_relaxed) % Workers.size());
+  // Raise the gauge BEFORE publishing the task: once it's in the deque a
+  // concurrent pop may decrement immediately, and decrement-before-increment
+  // would swing the gauge negative. The cost is a benign window where the
+  // gauge reads one high and a spinning worker retries findTask once.
+  QueuedG.add(1);
   {
     std::lock_guard<std::mutex> Lock(Workers[Idx]->Mu);
     Workers[Idx]->Q.push_back(std::move(Task));
   }
   {
-    // The increment must be ordered against a sleeper's predicate check by
-    // SleepMu: done outside it, the add + notify can land inside a worker's
-    // check-to-block window and the wakeup is lost with a task queued.
+    // The gauge update must be ordered against a sleeper's predicate check
+    // by SleepMu: done entirely outside it, the add + notify can land inside
+    // a worker's check-to-block window and the wakeup is lost with a task
+    // queued. Locking (then releasing) SleepMu here after the add ensures
+    // any worker that blocks afterwards re-checks a predicate that sees it.
     std::lock_guard<std::mutex> Lock(SleepMu);
-    Pending.fetch_add(1, std::memory_order_release);
   }
   SleepCv.notify_one();
 }
@@ -56,6 +79,7 @@ bool ThreadPool::findTask(unsigned Self, std::function<void()> &Task) {
     if (!W.Q.empty()) {
       Task = std::move(W.Q.front());
       W.Q.pop_front();
+      QueuedG.sub(1);
       return true;
     }
   }
@@ -66,6 +90,8 @@ bool ThreadPool::findTask(unsigned Self, std::function<void()> &Task) {
     if (!V.Q.empty()) {
       Task = std::move(V.Q.back());
       V.Q.pop_back();
+      QueuedG.sub(1);
+      StolenC.add(1);
       return true;
     }
   }
@@ -73,23 +99,34 @@ bool ThreadPool::findTask(unsigned Self, std::function<void()> &Task) {
 }
 
 void ThreadPool::workerLoop(unsigned Self) {
+  ThisWorker = int(Self);
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     std::function<void()> Task;
     if (findTask(Self, Task)) {
-      Pending.fetch_sub(1, std::memory_order_acquire);
       // Counted before running: anyone a task's side effects wake must
       // already see it in tasksExecuted().
-      Executed.fetch_add(1, std::memory_order_relaxed);
+      ExecutedC.add(1);
+      Clock::time_point T0 = Clock::now();
       Task();
+      BusyMicrosC.add(
+          uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - T0)
+                       .count()));
       continue;
     }
+    Clock::time_point T0 = Clock::now();
     std::unique_lock<std::mutex> Lock(SleepMu);
     SleepCv.wait(Lock, [this] {
       return Stopping.load(std::memory_order_acquire) ||
-             Pending.load(std::memory_order_acquire) != 0;
+             QueuedG.value() != 0;
     });
-    if (Stopping.load(std::memory_order_acquire) &&
-        Pending.load(std::memory_order_acquire) == 0)
+    Lock.unlock();
+    IdleMicrosC.add(
+        uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - T0)
+                     .count()));
+    if (Stopping.load(std::memory_order_acquire) && QueuedG.value() == 0)
       return;
   }
 }

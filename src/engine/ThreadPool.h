@@ -17,10 +17,20 @@
 /// waiting on the single-flight compile of engine/Cache.h is fine, because
 /// the compiling thread runs the compile inline rather than queueing it.
 ///
+/// Telemetry: the pool reports queue depth (queuedApprox(), a gauge that
+/// can never go negative — the count is raised strictly before a task
+/// becomes stealable and lowered at the single point a task is popped),
+/// tasks executed and stolen, and cumulative per-worker busy/idle time,
+/// all through an obs/Metrics registry. Constructed without one, the pool
+/// records into MetricsRegistry::null() — same one-relaxed-add cost,
+/// nothing exported.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CMM_ENGINE_THREADPOOL_H
 #define CMM_ENGINE_THREADPOOL_H
+
+#include "obs/Metrics.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -37,8 +47,9 @@ namespace cmm::engine {
 class ThreadPool {
 public:
   /// Spawns \p Threads workers (0 means std::thread::hardware_concurrency,
-  /// with a floor of 1).
-  explicit ThreadPool(unsigned Threads = 0);
+  /// with a floor of 1). Metrics land in \p Reg when given (the engine
+  /// passes its registry), in MetricsRegistry::null() otherwise.
+  explicit ThreadPool(unsigned Threads = 0, MetricsRegistry *Reg = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -59,10 +70,24 @@ public:
   void parallelFor(uint64_t Lo, uint64_t Hi,
                    const std::function<void(uint64_t)> &Body);
 
-  /// Tasks executed so far (for tests and engine stats).
-  uint64_t tasksExecuted() const {
-    return Executed.load(std::memory_order_relaxed);
+  /// Tasks executed so far (counted at dequeue, before the task body runs,
+  /// so anything a task's side effects wake already sees it).
+  uint64_t tasksExecuted() const { return ExecutedC.value(); }
+  /// Tasks an idle worker took from another worker's deque.
+  uint64_t stolen() const { return StolenC.value(); }
+  /// Tasks submitted but not yet popped by any worker. An instantaneous
+  /// snapshot (hence "approx" — it may be stale by the time you read it),
+  /// but never negative: the count is incremented before the task is
+  /// published and decremented exactly once, at the pop.
+  uint64_t queuedApprox() const {
+    int64_t Q = QueuedG.value();
+    return Q > 0 ? uint64_t(Q) : 0;
   }
+  uint64_t executed() const { return tasksExecuted(); }
+
+  /// The calling thread's worker index within its pool, or -1 off-pool.
+  /// The engine uses this to put job spans on per-worker trace tracks.
+  static int currentWorker();
 
 private:
   struct Worker {
@@ -71,7 +96,8 @@ private:
   };
 
   /// Pops own front, then steals a victim's back. Returns false when every
-  /// deque was empty at the time it was inspected.
+  /// deque was empty at the time it was inspected. The queue gauge is
+  /// decremented here — the single point where a task leaves a deque.
   bool findTask(unsigned Self, std::function<void()> &Task);
   void workerLoop(unsigned Self);
 
@@ -79,8 +105,14 @@ private:
   std::vector<std::thread> Threads;
   std::mutex SleepMu;
   std::condition_variable SleepCv;
-  std::atomic<uint64_t> Pending{0}; ///< queued, not yet started
-  std::atomic<uint64_t> Executed{0};
+  MetricsRegistry &Reg;
+  /// Queued-not-yet-popped; doubles as the sleep predicate (a worker
+  /// blocks only while the gauge reads zero).
+  Gauge &QueuedG;
+  Counter &ExecutedC;
+  Counter &StolenC;
+  Counter &BusyMicrosC;
+  Counter &IdleMicrosC;
   std::atomic<uint64_t> NextQueue{0};
   std::atomic<bool> Stopping{false};
 };

@@ -1,0 +1,230 @@
+//===- obs/Metrics.cpp ----------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+using namespace cmm;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+uint64_t Histogram::percentile(double P) const {
+  uint64_t Mx = max();
+  if (P >= 100.0)
+    return Mx;
+  if (P < 0.0)
+    P = 0.0;
+  // Total from the buckets themselves, not Count: a racing record() may
+  // have bumped one but not yet the other, and the walk must be
+  // self-consistent.
+  uint64_t Total = 0;
+  uint64_t Counts[NumBuckets];
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Counts[I] = Buckets[I].load(std::memory_order_relaxed);
+    Total += Counts[I];
+  }
+  if (Total == 0)
+    return 0;
+  // Rank of the percentile sample, 1-based: ceil(P/100 * Total), floored
+  // at 1 so p0 is the smallest sample.
+  uint64_t Rank = uint64_t(P / 100.0 * double(Total) + 0.9999999);
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Seen += Counts[I];
+    if (Seen >= Rank) {
+      uint64_t V = bucketLowerBound(I);
+      uint64_t Mn = min();
+      if (V < Mn)
+        V = Mn;
+      if (Mx != 0 && V > Mx)
+        V = Mx;
+      return V;
+    }
+  }
+  return Mx;
+}
+
+void Histogram::forEachBucket(
+    const std::function<void(uint64_t, uint64_t)> &Fn) const {
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+    if (C != 0)
+      Fn(bucketLowerBound(I), C);
+  }
+}
+
+void Histogram::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.field("count", count());
+  W.field("sum", sum());
+  W.field("mean", mean());
+  W.field("min", min());
+  W.field("max", max());
+  W.field("p50", percentile(50));
+  W.field("p90", percentile(90));
+  W.field("p99", percentile(99));
+  W.endObject();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It != Counters.end())
+    return *It->second;
+  CounterStore.emplace_back();
+  Counter *C = &CounterStore.back();
+  Counters.emplace(std::string(Name), C);
+  return *C;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It != Gauges.end())
+    return *It->second;
+  GaugeStore.emplace_back();
+  Gauge *G = &GaugeStore.back();
+  Gauges.emplace(std::string(Name), G);
+  return *G;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It != Histograms.end())
+    return *It->second;
+  HistogramStore.emplace_back();
+  Histogram *H = &HistogramStore.back();
+  Histograms.emplace(std::string(Name), H);
+  return *H;
+}
+
+void MetricsRegistry::probe(std::string_view Name,
+                            std::function<uint64_t()> Fn) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Probes.insert_or_assign(std::string(Name), std::move(Fn));
+}
+
+void MetricsRegistry::writeJson(JsonWriter &W) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  // Owned counters and probes render interleaved in one sorted object;
+  // both are monotonic counts to a consumer.
+  auto CIt = Counters.begin();
+  auto PIt = Probes.begin();
+  while (CIt != Counters.end() || PIt != Probes.end()) {
+    bool TakeCounter =
+        PIt == Probes.end() ||
+        (CIt != Counters.end() && CIt->first < PIt->first);
+    if (TakeCounter) {
+      W.field(CIt->first, CIt->second->value());
+      ++CIt;
+    } else {
+      W.field(PIt->first, PIt->second());
+      ++PIt;
+    }
+  }
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, G] : Gauges)
+    W.field(Name, int64_t(G->value()));
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name);
+    H->writeJson(W);
+  }
+  W.endObject();
+  W.endObject();
+}
+
+std::string MetricsRegistry::json() const {
+  JsonWriter W;
+  writeJson(W);
+  return W.take();
+}
+
+MetricsRegistry &MetricsRegistry::null() {
+  static MetricsRegistry R;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsExporter
+//===----------------------------------------------------------------------===//
+
+MetricsExporter::MetricsExporter(const MetricsRegistry &Reg, std::ostream &OS,
+                                 double IntervalMillis)
+    : Reg(Reg), OS(OS),
+      IntervalMillis(IntervalMillis > 0 ? IntervalMillis : 1000),
+      Epoch(std::chrono::steady_clock::now()),
+      Thread([this] { loop(); }) {}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::writeSnapshot() {
+  double TMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - Epoch)
+                   .count();
+  JsonWriter W;
+  W.beginObject();
+  W.field("t_ms", TMs);
+  W.field("seq", Written.load(std::memory_order_relaxed));
+  W.key("metrics");
+  Reg.writeJson(W);
+  W.endObject();
+  OS << W.str() << '\n';
+  Written.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsExporter::loop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    Cv.wait_for(Lock,
+                std::chrono::duration<double, std::milli>(IntervalMillis),
+                [this] { return Stopping; });
+    if (Stopping)
+      return; // stop() writes the final snapshot after the join
+    writeSnapshot();
+  }
+}
+
+void MetricsExporter::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped) {
+      // Already stopped; nothing left to join or write.
+      return;
+    }
+    Stopping = true;
+  }
+  Cv.notify_all();
+  if (Thread.joinable())
+    Thread.join();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped)
+      return;
+    Stopped = true;
+  }
+  writeSnapshot();
+  OS.flush();
+}

@@ -1,0 +1,271 @@
+//===- obs/Metrics.h - Engine-wide metrics registry -------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-cheap metrics substrate for the batch engine (docs/OBSERVABILITY.md
+/// § "Engine telemetry"): atomic counters, gauges, and log-bucketed latency
+/// histograms, collected into a named registry that renders snapshots as
+/// JSON via obs/Json.
+///
+/// Cost discipline, mirroring MachineObserver's null-observer contract: the
+/// hot path never takes a lock and never branches on "is anyone watching".
+/// A component obtains its metric handles once, at wiring time (the only
+/// moment the registry mutex is touched), and every subsequent event costs
+/// one relaxed atomic add — whether or not the registry is ever exported.
+/// Components constructed without a registry are handed the process-wide
+/// MetricsRegistry::null() sink, so the update code is branch-free too; the
+/// null registry is simply never rendered.
+///
+/// Histograms are log-bucketed (power-of-two octaves split into 2^SubBits
+/// linear sub-buckets, the HdrHistogram arrangement): recording is one
+/// bucket add plus count/sum/min/max maintenance, all relaxed; percentile
+/// extraction walks the buckets and is exact to one sub-bucket (relative
+/// error <= 2^-SubBits = 1/16), while min(), max(), count() and sum() are
+/// exact. tests/MetricsTest.cpp pins the bucket boundaries and checks the
+/// percentiles against a reference sort.
+///
+/// MetricsExporter turns a registry into a time series: a background thread
+/// appends one self-contained JSON snapshot line to a stream at a fixed
+/// interval (plus one final line at stop()), so a long sweep produces
+/// JSONL that tools/cmmstat.cpp can plot instead of one terminal blob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_OBS_METRICS_H
+#define CMM_OBS_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace cmm {
+
+class JsonWriter;
+
+//===----------------------------------------------------------------------===//
+// Metric primitives
+//===----------------------------------------------------------------------===//
+
+/// A monotonically increasing event count. One relaxed add per event.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A level that rises and falls (queue depth, in-flight jobs). Signed so a
+/// bookkeeping bug shows up as a negative snapshot instead of 2^64-ish
+/// garbage; the ThreadPool contract (engine/ThreadPool.h) is that its
+/// queue gauge can never actually go below zero.
+class Gauge {
+public:
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void sub(int64_t N = 1) { V.fetch_sub(N, std::memory_order_relaxed); }
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// A log-bucketed distribution of non-negative samples (latencies in
+/// microseconds, cycle counts). Thread-safe; every record() is a handful of
+/// relaxed atomic operations.
+class Histogram {
+public:
+  /// Linear sub-buckets per power-of-two octave: 2^4 = 16, giving a
+  /// relative bucket resolution of 1/16 (6.25%).
+  static constexpr unsigned SubBits = 4;
+  static constexpr unsigned SubBuckets = 1u << SubBits;
+  /// Values below SubBuckets get exact unit-width buckets; each of the
+  /// remaining 64-SubBits octaves contributes SubBuckets buckets.
+  static constexpr unsigned NumBuckets = (64 - SubBits + 1) * SubBuckets;
+
+  void record(uint64_t V) {
+    Buckets[bucketIndex(V)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    relaxedMin(Min, V);
+    relaxedMax(Max, V);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Exact smallest / largest recorded sample (0 when empty).
+  uint64_t min() const {
+    uint64_t M = Min.load(std::memory_order_relaxed);
+    return M == ~uint64_t(0) ? 0 : M;
+  }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t C = count();
+    return C ? double(sum()) / double(C) : 0.0;
+  }
+
+  /// The value at percentile \p P (0..100): the lower bound of the bucket
+  /// containing the rank-ceil(P/100*count) sample, clamped into
+  /// [min(), max()]. Exact for samples < SubBuckets; within one sub-bucket
+  /// (relative error <= 1/16) elsewhere. P >= 100 returns max() exactly.
+  uint64_t percentile(double P) const;
+
+  /// Bucket geometry, exposed so tests can pin the boundaries and cmmstat
+  /// can rebucket trace durations identically.
+  static unsigned bucketIndex(uint64_t V) {
+    if (V < SubBuckets)
+      return unsigned(V);
+    unsigned E = 63 - unsigned(countLeadingZeros(V)); // position of the MSB
+    unsigned Sub = unsigned((V >> (E - SubBits)) & (SubBuckets - 1));
+    return (E - SubBits + 1) * SubBuckets + Sub;
+  }
+  /// Smallest value mapping to bucket \p Idx (inverse of bucketIndex on
+  /// bucket lower bounds).
+  static uint64_t bucketLowerBound(unsigned Idx) {
+    if (Idx < SubBuckets)
+      return Idx;
+    unsigned Chunk = Idx / SubBuckets; // >= 1
+    unsigned E = Chunk + SubBits - 1;
+    uint64_t Sub = Idx % SubBuckets;
+    return (uint64_t(1) << E) | (Sub << (E - SubBits));
+  }
+
+  /// Calls \p Fn(lowerBound, count) for every non-empty bucket, in
+  /// ascending value order.
+  void forEachBucket(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const;
+
+  /// {"count":..,"sum":..,"mean":..,"min":..,"max":..,"p50":..,"p90":..,
+  ///  "p99":..} — the distribution summary every snapshot carries.
+  void writeJson(JsonWriter &W) const;
+
+private:
+  static int countLeadingZeros(uint64_t V) { return __builtin_clzll(V); }
+  static void relaxedMin(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (V < Cur &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+  static void relaxedMax(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (V > Cur &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{~uint64_t(0)};
+  std::atomic<uint64_t> Max{0};
+};
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+/// Named metrics with stable addresses. counter()/gauge()/histogram() are
+/// get-or-create and thread-safe (they take the registry mutex — wiring
+/// cost, paid once per handle, never on the event path); the returned
+/// references stay valid for the registry's lifetime. Snapshots render the
+/// whole registry as one JSON object with deterministic (sorted) key order.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Registers a read-only probe rendered among the counters: a callback
+  /// sampled at snapshot time, for values whose source of truth lives
+  /// elsewhere (e.g. the cache's bytecode-compile count, which must survive
+  /// the cache itself — see engine/Cache.h). \p Fn must stay callable for
+  /// the registry's lifetime and be safe to call from any thread.
+  void probe(std::string_view Name, std::function<uint64_t()> Fn);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{summary}}}.
+  void writeJson(JsonWriter &W) const;
+  std::string json() const;
+
+  /// The process-wide sink for components wired without a registry: updates
+  /// land in real atomics (same cost, no branches) but are never exported.
+  static MetricsRegistry &null();
+
+private:
+  mutable std::mutex Mu;
+  // std::map for sorted, deterministic JSON; std::deque for stable element
+  // addresses across growth.
+  std::deque<Counter> CounterStore;
+  std::deque<Gauge> GaugeStore;
+  std::deque<Histogram> HistogramStore;
+  std::map<std::string, Counter *, std::less<>> Counters;
+  std::map<std::string, Gauge *, std::less<>> Gauges;
+  std::map<std::string, Histogram *, std::less<>> Histograms;
+  std::map<std::string, std::function<uint64_t()>, std::less<>> Probes;
+};
+
+//===----------------------------------------------------------------------===//
+// MetricsExporter
+//===----------------------------------------------------------------------===//
+
+/// Writes one JSON snapshot line per interval to a stream (JSONL):
+///
+///   {"t_ms":<since construction>,"seq":N,"metrics":{<registry JSON>}}
+///
+/// plus one final line at stop()/destruction, so even a run shorter than
+/// one interval yields a parseable time series. The stream is owned by the
+/// caller, must outlive the exporter, and is used exclusively by the
+/// exporter thread until stop() returns.
+class MetricsExporter {
+public:
+  MetricsExporter(const MetricsRegistry &Reg, std::ostream &OS,
+                  double IntervalMillis);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter &) = delete;
+  MetricsExporter &operator=(const MetricsExporter &) = delete;
+
+  /// Joins the exporter thread after writing a final snapshot. Idempotent.
+  void stop();
+
+  uint64_t snapshotsWritten() const {
+    return Written.load(std::memory_order_relaxed);
+  }
+
+private:
+  void writeSnapshot();
+  void loop();
+
+  const MetricsRegistry &Reg;
+  std::ostream &OS;
+  double IntervalMillis;
+  std::chrono::steady_clock::time_point Epoch;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stopping = false;
+  bool Stopped = false;
+  std::atomic<uint64_t> Written{0};
+  std::thread Thread;
+};
+
+} // namespace cmm
+
+#endif // CMM_OBS_METRICS_H

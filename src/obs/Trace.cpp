@@ -61,7 +61,19 @@ TraceSink::TraceSink(std::ostream &OS, TraceOptions Opts)
 
 TraceSink::~TraceSink() { finish(); }
 
+uint64_t TraceSink::timestamp(const Executor &M) const {
+  if (!Opts.WallClock)
+    return M.stats().Steps;
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - Opts.Epoch)
+                      .count());
+}
+
 void TraceSink::writeDirect(const std::string &Line) {
+  if (Opts.BareLines) {
+    OS << Line << '\n';
+    return;
+  }
   if (jsonl()) {
     OS << Line << '\n';
     return;
@@ -103,7 +115,7 @@ void TraceSink::finish() {
       --RtsSpans;
       JsonWriter W;
       W.beginObject();
-      W.field("ph", "E").field("ts", LastStep).field("pid", uint64_t(1));
+      W.field("ph", "E").field("ts", LastStep).field("pid", Opts.Pid);
       W.field("tid", uint64_t(1));
       W.endObject();
       emit(W.take());
@@ -112,7 +124,7 @@ void TraceSink::finish() {
       MutatorSpans.pop_back();
       JsonWriter W;
       W.beginObject();
-      W.field("ph", "E").field("ts", LastStep).field("pid", uint64_t(1));
+      W.field("ph", "E").field("ts", LastStep).field("pid", Opts.Pid);
       W.field("tid", uint64_t(0));
       W.endObject();
       emit(W.take());
@@ -121,7 +133,7 @@ void TraceSink::finish() {
   for (const std::string &Line : Ring)
     writeDirect(Line);
   Ring.clear();
-  if (!jsonl()) {
+  if (!jsonl() && !Opts.BareLines) {
     if (!WroteHeader)
       OS << "{\"traceEvents\":[\n";
     OS << "\n]}\n";
@@ -135,11 +147,11 @@ void TraceSink::finish() {
 
 void TraceSink::spanBegin(const Executor &M, std::string Name,
                           const char *Cat, std::string Args, unsigned Tid) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   JsonWriter W;
   W.beginObject();
   W.field("name", std::string_view(Name)).field("cat", Cat);
-  W.field("ph", "B").field("ts", LastStep).field("pid", uint64_t(1));
+  W.field("ph", "B").field("ts", LastStep).field("pid", Opts.Pid);
   W.field("tid", uint64_t(Tid));
   W.endObject();
   std::string Line = W.take();
@@ -167,10 +179,10 @@ void TraceSink::spanEnd(const Executor &M, unsigned Tid) {
       return;
     --RtsSpans;
   }
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   JsonWriter W;
   W.beginObject();
-  W.field("ph", "E").field("ts", LastStep).field("pid", uint64_t(1));
+  W.field("ph", "E").field("ts", LastStep).field("pid", Opts.Pid);
   W.field("tid", uint64_t(Tid));
   W.endObject();
   emit(W.take());
@@ -178,11 +190,11 @@ void TraceSink::spanEnd(const Executor &M, unsigned Tid) {
 
 void TraceSink::instant(const Executor &M, std::string_view Name,
                         const char *Cat, std::string Args, unsigned Tid) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   JsonWriter W;
   W.beginObject();
   W.field("name", Name).field("cat", Cat).field("ph", "i");
-  W.field("ts", LastStep).field("pid", uint64_t(1));
+  W.field("ts", LastStep).field("pid", Opts.Pid);
   W.field("tid", uint64_t(Tid)).field("s", "t");
   W.endObject();
   std::string Line = W.take();
@@ -200,7 +212,7 @@ void TraceSink::instant(const Executor &M, std::string_view Name,
 //===----------------------------------------------------------------------===//
 
 void TraceSink::onStart(const Executor &M, const IrProc *Entry) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -215,7 +227,7 @@ void TraceSink::onStart(const Executor &M, const IrProc *Entry) {
 }
 
 void TraceSink::onHalt(const Executor &M) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -232,7 +244,7 @@ void TraceSink::onHalt(const Executor &M) {
 void TraceSink::onStep(const Executor &M, const Node *N) {
   if (!Opts.IncludeSteps)
     return;
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -250,7 +262,7 @@ void TraceSink::onStep(const Executor &M, const Node *N) {
 
 void TraceSink::onCall(const Executor &M, const CallNode *Site,
                        const IrProc *Caller, const IrProc *Callee) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -269,7 +281,7 @@ void TraceSink::onCall(const Executor &M, const CallNode *Site,
 
 void TraceSink::onJump(const Executor &M, const JumpNode *Site,
                        const IrProc *Caller, const IrProc *Callee) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -290,7 +302,7 @@ void TraceSink::onJump(const Executor &M, const JumpNode *Site,
 void TraceSink::onReturn(const Executor &M, const CallNode *Site,
                          const IrProc *Callee, const IrProc *Caller,
                          unsigned ContIndex) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -309,7 +321,7 @@ void TraceSink::onReturn(const Executor &M, const CallNode *Site,
 
 void TraceSink::onCutFrameDiscarded(const Executor &M, const CallNode *Site,
                                     const IrProc *Owner) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -327,7 +339,7 @@ void TraceSink::onCutFrameDiscarded(const Executor &M, const CallNode *Site,
 void TraceSink::onCut(const Executor &M, const CutToNode *From,
                       const IrProc *Target, uint64_t FramesDiscarded,
                       bool SameActivation) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -349,7 +361,7 @@ void TraceSink::onCut(const Executor &M, const CutToNode *From,
 }
 
 void TraceSink::onYield(const Executor &M) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -366,7 +378,7 @@ void TraceSink::onYield(const Executor &M) {
 
 void TraceSink::onUnwindPop(const Executor &M, const CallNode *Site,
                             const IrProc *Owner, bool Resumed) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -387,7 +399,7 @@ void TraceSink::onUnwindPop(const Executor &M, const CallNode *Site,
 
 void TraceSink::onResume(const Executor &M, ResumeChoice::Kind K,
                          unsigned Index) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -408,7 +420,7 @@ void TraceSink::onResume(const Executor &M, ResumeChoice::Kind K,
 
 void TraceSink::onWrong(const Executor &M, const std::string &Reason,
                         SourceLoc Loc) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -425,7 +437,7 @@ void TraceSink::onWrong(const Executor &M, const std::string &Reason,
 
 void TraceSink::onDispatchBegin(const Executor &M, std::string_view Dispatcher,
                                 uint64_t Tag) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();
@@ -442,7 +454,7 @@ void TraceSink::onDispatchBegin(const Executor &M, std::string_view Dispatcher,
 
 void TraceSink::onDispatchEnd(const Executor &M, std::string_view Dispatcher,
                               bool Handled, uint64_t ActivationsVisited) {
-  LastStep = M.stats().Steps;
+  LastStep = timestamp(M);
   if (jsonl()) {
     JsonWriter W;
     W.beginObject();

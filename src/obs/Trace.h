@@ -29,6 +29,7 @@
 
 #include "sem/Observer.h"
 
+#include <chrono>
 #include <deque>
 #include <ostream>
 #include <string>
@@ -50,6 +51,21 @@ struct TraceOptions {
   /// the merged trace of a batch can be split back into per-job streams
   /// (src/engine sets this on the sinks it creates).
   uint64_t JobId = 0;
+  /// Timestamp source. By default `ts` is the abstract machine's step
+  /// counter (the paper's cost model). With WallClock set, `ts` is
+  /// microseconds since Epoch, so events from many jobs land on one real
+  /// timeline — this is how the engine merges per-job machine activity
+  /// with its wall-clock job lifecycle spans (docs/OBSERVABILITY.md).
+  bool WallClock = false;
+  std::chrono::steady_clock::time_point Epoch{};
+  /// Chrome `pid` for every event this sink emits (default 1). The engine
+  /// gives each sampled job its own pid so per-job span stacks do not
+  /// interleave in the viewer.
+  uint64_t Pid = 1;
+  /// Emit each event as one bare newline-terminated JSON object with no
+  /// document header/footer or separators, in BOTH formats. Used to buffer
+  /// a sink's events for splicing into another sink via emitRaw().
+  bool BareLines = false;
 };
 
 /// Streams machine events to \p OS. Call finish() (or destroy the sink)
@@ -66,6 +82,13 @@ public:
 
   uint64_t eventsEmitted() const { return Emitted; }
   uint64_t eventsDropped() const { return Dropped; }
+
+  /// Injects one pre-rendered event object (a complete JSON object, no
+  /// trailing newline) into this sink's stream, through the same ring/
+  /// format plumbing as observer events. The engine uses this to splice
+  /// job lifecycle spans and buffered per-job machine events into one
+  /// merged trace file. Not thread-safe; callers serialize externally.
+  void emitRaw(std::string Line) { emit(std::move(Line)); }
 
   // MachineObserver
   void onStart(const Executor &M, const IrProc *Entry) override;
@@ -95,6 +118,9 @@ public:
 
 private:
   bool jsonl() const { return Opts.Fmt == TraceOptions::Format::Jsonl; }
+  /// The event timestamp: machine steps, or wall-clock microseconds since
+  /// Opts.Epoch when Opts.WallClock is set.
+  uint64_t timestamp(const Executor &M) const;
   /// Routes one formatted event line to the ring or the stream.
   void emit(std::string Line);
   void writeDirect(const std::string &Line);

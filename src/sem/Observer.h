@@ -189,6 +189,9 @@ public:
   }
   bool empty() const { return Obs.empty(); }
   size_t size() const { return Obs.size(); }
+  /// The sole observer when size() == 1, so callers can skip the fan-out
+  /// indirection entirely; null when empty.
+  MachineObserver *front() const { return Obs.empty() ? nullptr : Obs[0]; }
 
   void onStart(const Executor &M, const IrProc *Entry) override {
     for (MachineObserver *O : Obs)

@@ -1,0 +1,346 @@
+//===- support/MiniJson.cpp -----------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MiniJson.h"
+
+#include <cstdlib>
+
+using namespace cmm;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    JsonValue V;
+    if (!value(V))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  void fail(const char *Msg) {
+    if (Err && Err->empty())
+      *Err = "offset " + std::to_string(Pos) + ": " + Msg;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool lit(std::string_view S) {
+    if (Text.substr(Pos, S.size()) != S)
+      return false;
+    Pos += S.size();
+    return true;
+  }
+
+  bool value(JsonValue &V) {
+    // Nesting is bounded so hostile input cannot blow the C++ stack (the
+    // parser is recursive).
+    if (++Depth > 200) {
+      fail("nesting too deep");
+      return false;
+    }
+    bool Ok = valueInner(V);
+    --Depth;
+    return Ok;
+  }
+
+  bool valueInner(JsonValue &V) {
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (Text[Pos]) {
+    case '{':
+      return object(V);
+    case '[':
+      return array(V);
+    case '"':
+      V.K = JsonValue::Kind::String;
+      return string(V.Str);
+    case 't':
+      if (!lit("true")) {
+        fail("bad literal");
+        return false;
+      }
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      return true;
+    case 'f':
+      if (!lit("false")) {
+        fail("bad literal");
+        return false;
+      }
+      V.K = JsonValue::Kind::Bool;
+      V.B = false;
+      return true;
+    case 'n':
+      if (!lit("null")) {
+        fail("bad literal");
+        return false;
+      }
+      V.K = JsonValue::Kind::Null;
+      return true;
+    default:
+      return number(V);
+    }
+  }
+
+  bool object(JsonValue &V) {
+    V.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        fail("expected object key");
+        return false;
+      }
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      ++Pos;
+      skipWs();
+      JsonValue Member;
+      if (!value(Member))
+        return false;
+      V.Obj.insert_or_assign(std::move(Key), std::move(Member));
+      skipWs();
+      if (Pos >= Text.size()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool array(JsonValue &V) {
+    V.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue Elem;
+      if (!value(Elem))
+        return false;
+      V.Arr.push_back(std::move(Elem));
+      skipWs();
+      if (Pos >= Text.size()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool hex4(unsigned &Out) {
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      if (Pos >= Text.size()) {
+        fail("truncated \\u escape");
+        return false;
+      }
+      char C = Text[Pos++];
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = unsigned(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = unsigned(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = unsigned(C - 'A') + 10;
+      else {
+        fail("bad \\u escape");
+        return false;
+      }
+      Out = Out * 16 + D;
+    }
+    return true;
+  }
+
+  void appendUtf8(std::string &S, unsigned Cp) {
+    if (Cp < 0x80) {
+      S += char(Cp);
+    } else if (Cp < 0x800) {
+      S += char(0xC0 | (Cp >> 6));
+      S += char(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      S += char(0xE0 | (Cp >> 12));
+      S += char(0x80 | ((Cp >> 6) & 0x3F));
+      S += char(0x80 | (Cp & 0x3F));
+    } else {
+      S += char(0xF0 | (Cp >> 18));
+      S += char(0x80 | ((Cp >> 12) & 0x3F));
+      S += char(0x80 | ((Cp >> 6) & 0x3F));
+      S += char(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++Pos; // '"'
+    for (;;) {
+      if (Pos >= Text.size()) {
+        fail("unterminated string");
+        return false;
+      }
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size()) {
+        fail("truncated escape");
+        return false;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Cp;
+        if (!hex4(Cp))
+          return false;
+        // Surrogate pair: a high surrogate must be followed by \uDC00..
+        if (Cp >= 0xD800 && Cp <= 0xDBFF && Pos + 1 < Text.size() &&
+            Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+          size_t Save = Pos;
+          Pos += 2;
+          unsigned Lo;
+          if (!hex4(Lo))
+            return false;
+          if (Lo >= 0xDC00 && Lo <= 0xDFFF)
+            Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+          else
+            Pos = Save; // not a pair; emit the lone surrogate as-is
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        fail("bad escape");
+        return false;
+      }
+    }
+  }
+
+  bool number(JsonValue &V) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto digits = [&] {
+      size_t N = 0;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ++N;
+      }
+      return N;
+    };
+    if (digits() == 0) {
+      fail("expected a value");
+      return false;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (digits() == 0) {
+        fail("digits required after '.'");
+        return false;
+      }
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (digits() == 0) {
+        fail("digits required in exponent");
+        return false;
+      }
+    }
+    V.K = JsonValue::Kind::Number;
+    V.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                        nullptr);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string *Err;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> cmm::parseJson(std::string_view Text,
+                                        std::string *Err) {
+  if (Err)
+    Err->clear();
+  return Parser(Text, Err).run();
+}

@@ -1,0 +1,89 @@
+//===- support/MiniJson.h - Minimal JSON reader -----------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser for the read side of cmmex's own
+/// telemetry formats — metrics snapshots, stats JSON, Chrome traces. The
+/// write side (obs/Json.h) is deliberately write-only; this is its
+/// counterpart for tools/cmmstat.cpp and the tests that assert emitted JSON
+/// is well-formed.
+///
+/// Scope is deliberately narrow: full JSON syntax, values held in a plain
+/// tree of owning nodes, numbers kept as double (53-bit integer precision —
+/// fine for counters in practice; telemetry consumers tolerate it). No
+/// exceptions (the repo builds -fno-exceptions): parse() returns nullopt on
+/// malformed input, with a position + message for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_MINIJSON_H
+#define CMM_SUPPORT_MINIJSON_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmm {
+
+/// One JSON value. Object members keep sorted (std::map) order, which is
+/// also the order obs/Json emits, so round-trips are stable.
+class JsonValue {
+public:
+  enum class Kind : unsigned char { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  uint64_t asU64() const { return Num < 0 ? 0 : uint64_t(Num); }
+  const std::string &str() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::map<std::string, JsonValue> &object() const { return Obj; }
+
+  /// Member lookup; null when absent or not an object.
+  const JsonValue *get(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(std::string(Key));
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+  /// get(Key)->number() with a default for absent/mistyped members.
+  double numberAt(std::string_view Key, double Default = 0) const {
+    const JsonValue *V = get(Key);
+    return V && V->isNumber() ? V->number() : Default;
+  }
+  /// get(Key)->str() with a default.
+  std::string strAt(std::string_view Key, std::string Default = "") const {
+    const JsonValue *V = get(Key);
+    return V && V->isString() ? V->str() : std::move(Default);
+  }
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed; trailing
+/// non-whitespace is an error). Returns nullopt on malformed input; when
+/// \p Err is non-null it receives "offset N: message".
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Err = nullptr);
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_MINIJSON_H

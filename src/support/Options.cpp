@@ -112,6 +112,9 @@ FlagParse parseCommonFlag(CommonOptions &O, unsigned Groups, int &I, int Argc,
     if (auto R = outcome(value("--stats-json"), O.StatsJsonFile);
         R != FlagParse::NotMine)
       return R;
+    if (auto R = outcome(value("--metrics-json"), O.MetricsJsonFile);
+        R != FlagParse::NotMine)
+      return R;
   }
 
   if (Groups & FG_Opt) {
@@ -174,6 +177,8 @@ std::string commonFlagsHelp(unsigned Groups) {
   if (Groups & FG_Stats) {
     H += "  --stats               print machine statistics\n";
     H += "  --stats-json FILE     machine statistics as JSON (\"-\" = stdout)\n";
+    H += "  --metrics-json FILE   engine metrics snapshot as JSON "
+         "(\"-\" = stdout)\n";
   }
   if (Groups & FG_Threads)
     H += "  --threads N           worker threads (default: hardware)\n";

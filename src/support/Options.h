@@ -47,6 +47,7 @@ struct CommonOptions {
   size_t TraceRing = 0;              ///< --trace-ring N
   bool Profile = false;              ///< --profile
   std::string StatsJsonFile;         ///< --stats-json F ("-" = stdout)
+  std::string MetricsJsonFile;       ///< --metrics-json F ("-" = stdout)
   bool ShowStats = false;            ///< --stats
   bool Optimize = false;             ///< --optimize
   bool OptStats = false;             ///< --opt-stats
@@ -58,7 +59,7 @@ enum CommonFlagGroup : unsigned {
   FG_Backend = 1u << 0, ///< --backend
   FG_Trace = 1u << 1,   ///< --trace, --trace-format, --trace-steps, --trace-ring
   FG_Profile = 1u << 2, ///< --profile
-  FG_Stats = 1u << 3,   ///< --stats, --stats-json
+  FG_Stats = 1u << 3,   ///< --stats, --stats-json, --metrics-json
   FG_Opt = 1u << 4,     ///< --optimize, --opt-stats
   FG_Threads = 1u << 5, ///< --threads
   FG_All = (1u << 6) - 1,

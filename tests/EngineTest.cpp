@@ -15,6 +15,7 @@
 
 #include "costmodel/DispatchWorkloads.h"
 #include "engine/Engine.h"
+#include "support/MiniJson.h"
 
 #include <atomic>
 #include <sstream>
@@ -457,6 +458,101 @@ TEST(EngineFacade, ArtifactErrorsKeepHarnessPhasePrefixes) {
   EXPECT_FALSE(Bad->ok());
   EXPECT_EQ(Bad->error().rfind("compile failed: ", 0), 0u) << Bad->error();
   EXPECT_EQ(Bad->program(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics reconciliation
+//===----------------------------------------------------------------------===//
+
+TEST(EngineMetrics, CacheCountersReconcileWithCompiles) {
+  EngineOptions EO;
+  EO.Threads = 2;
+  Engine Eng(EO);
+  // Three distinct sources, each requested twice: 6 lookups, 3 compiles,
+  // 3 hits — and the identity lookups == hits + ir_compiles must hold.
+  std::vector<std::string> Variants;
+  for (int K = 0; K < 3; ++K)
+    Variants.push_back("export main;\nmain(bits32 n) { return (n + " +
+                       std::to_string(K) + "); }\n");
+  std::vector<Job> Batch;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const std::string &Src : Variants) {
+      Job J;
+      J.Request.Sources = {Src};
+      J.Args = {b32(1)};
+      Batch.push_back(std::move(J));
+    }
+  std::vector<JobResult> Res = Eng.run(std::move(Batch));
+  for (const JobResult &R : Res)
+    ASSERT_TRUE(R.ok()) << R.CompileError;
+
+  MetricsRegistry &M = Eng.metrics();
+  uint64_t Lookups = M.counter("cache.lookups").value();
+  uint64_t Hits = M.counter("cache.hits").value();
+  uint64_t Misses = M.counter("cache.misses").value();
+  uint64_t Compiles = M.counter("cache.ir_compiles").value();
+  EXPECT_EQ(Lookups, 6u);
+  EXPECT_EQ(Compiles, 3u);
+  EXPECT_EQ(Lookups, Hits + Misses);
+  // Every miss either compiled or joined a compile already in flight.
+  EXPECT_EQ(Misses,
+            Compiles + M.counter("cache.singleflight_joins").value());
+  // The registry view and the legacy CacheStats view must agree.
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.Lookups, Lookups);
+  EXPECT_EQ(CS.Hits, Hits);
+  EXPECT_EQ(CS.IrCompiles, Compiles);
+  // The compile-latency histogram saw exactly the actual compiles.
+  EXPECT_EQ(M.histogram("cache.compile_micros").count(), Compiles);
+}
+
+TEST(EngineMetrics, JobAndPoolGaugesSettleAfterDrain) {
+  EngineOptions EO;
+  EO.Threads = 3;
+  Engine Eng(EO);
+  std::vector<Job> Batch;
+  for (int I = 0; I < 24; ++I) {
+    Job J;
+    J.Request = requestFor(addOneSource());
+    J.Args = {b32(uint64_t(I))};
+    Batch.push_back(std::move(J));
+  }
+  std::vector<JobResult> Res = Eng.run(std::move(Batch));
+  ASSERT_EQ(Res.size(), 24u);
+
+  MetricsRegistry &M = Eng.metrics();
+  EXPECT_EQ(M.counter("engine.jobs").value(), 24u);
+  EXPECT_EQ(M.counter("engine.jobs_halted").value(), 24u);
+  EXPECT_EQ(M.histogram("engine.job_micros").count(), 24u);
+  // Every level must be back to zero once the batch has drained.
+  EXPECT_EQ(M.gauge("engine.jobs_queued").value(), 0);
+  EXPECT_EQ(M.gauge("engine.jobs_running").value(), 0);
+  EXPECT_EQ(M.gauge("pool.queued").value(), 0);
+  EXPECT_EQ(Eng.pool().queuedApprox(), 0u);
+  // Each job rode exactly one pool task.
+  EXPECT_EQ(Eng.pool().tasksExecuted(), 24u);
+  EXPECT_EQ(M.counter("pool.tasks_executed").value(), 24u);
+}
+
+TEST(EngineMetrics, MetricsJsonParsesWithMiniJson) {
+  EngineOptions EO;
+  EO.Threads = 1;
+  Engine Eng(EO);
+  Job J;
+  J.Request = requestFor(addOneSource());
+  J.Args = {b32(41)};
+  ASSERT_TRUE(Eng.runJob(J).ok());
+
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Eng.metricsJson(), &Err);
+  ASSERT_TRUE(Doc) << Err;
+  EXPECT_EQ(Doc->get("counters")->numberAt("engine.jobs"), 1);
+  EXPECT_EQ(Doc->get("counters")->numberAt("engine.jobs_halted"), 1);
+  // Probes surface among the counters.
+  EXPECT_EQ(Doc->get("counters")->numberAt("cache.bytecode_compiles"), 0);
+  const JsonValue *H = Doc->get("histograms")->get("engine.job_micros");
+  ASSERT_TRUE(H);
+  EXPECT_EQ(H->numberAt("count"), 1);
 }
 
 } // namespace

@@ -1,0 +1,273 @@
+//===- tests/MetricsTest.cpp - Metrics registry & exporter tests ----------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Pins the observable contracts of obs/Metrics.h: the histogram's bucket
+// geometry and percentile accuracy (checked against a reference sort), the
+// registry's thread safety (a get-or-create + record hammer written to be
+// run under TSan), the null-registry cost discipline, and the exporter's
+// JSONL well-formedness (every line parses, timestamps and sequence numbers
+// advance, stop() flushes a final snapshot).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+#include "support/MiniJson.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace cmm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket geometry
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  // Values below SubBuckets (16) each own a unit-width bucket.
+  for (uint64_t V = 0; V < Histogram::SubBuckets; ++V) {
+    EXPECT_EQ(Histogram::bucketIndex(V), V);
+    EXPECT_EQ(Histogram::bucketLowerBound(unsigned(V)), V);
+  }
+}
+
+TEST(Histogram, BucketBoundariesPinned) {
+  // First octave past the exact range: [16,32) splits into 16 sub-buckets
+  // of width 1, so 16..31 still map to distinct buckets.
+  EXPECT_EQ(Histogram::bucketIndex(16), 16u);
+  EXPECT_EQ(Histogram::bucketIndex(17), 17u);
+  EXPECT_EQ(Histogram::bucketIndex(31), 31u);
+  // [32,64) has width-2 sub-buckets: 32 and 33 share one.
+  EXPECT_EQ(Histogram::bucketIndex(32), 32u);
+  EXPECT_EQ(Histogram::bucketIndex(33), 32u);
+  EXPECT_EQ(Histogram::bucketIndex(34), 33u);
+  // A value on a power of two starts its octave's first sub-bucket.
+  EXPECT_EQ(Histogram::bucketLowerBound(Histogram::bucketIndex(1024)), 1024u);
+  EXPECT_EQ(Histogram::bucketLowerBound(Histogram::bucketIndex(1u << 20)),
+            uint64_t(1) << 20);
+}
+
+TEST(Histogram, LowerBoundInvertsIndexWithinResolution) {
+  // For every sample, the bucket's lower bound is <= the sample and within
+  // one part in 2^SubBits of it — the advertised 6.25% resolution.
+  std::vector<uint64_t> Samples = {0,    1,     15,        16,   17,
+                                   100,  1000,  4097,      65535, 1u << 20,
+                                   (1u << 20) + 12345, ~uint32_t(0)};
+  for (uint64_t V : Samples) {
+    unsigned Idx = Histogram::bucketIndex(V);
+    uint64_t Lo = Histogram::bucketLowerBound(Idx);
+    EXPECT_LE(Lo, V) << "V=" << V;
+    // Next bucket's lower bound bounds the error.
+    uint64_t Hi = Histogram::bucketLowerBound(Idx + 1);
+    EXPECT_GT(Hi, V) << "V=" << V;
+    if (V >= Histogram::SubBuckets) {
+      EXPECT_LE(double(Hi - Lo) / double(Lo),
+                1.0 / Histogram::SubBuckets + 1e-9)
+          << "V=" << V;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Percentiles against a reference sort
+//===----------------------------------------------------------------------===//
+
+/// Deterministic xorshift so the test never flakes.
+uint64_t nextRand(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+TEST(Histogram, PercentilesMatchReferenceSort) {
+  Histogram H;
+  std::vector<uint64_t> Ref;
+  uint64_t S = 0x9E3779B97F4A7C15ull;
+  for (int I = 0; I < 20000; ++I) {
+    // Mixed scales: exact small values, mid-range, and heavy tail.
+    uint64_t V = nextRand(S) % ((I % 3 == 0) ? 16 : (I % 3 == 1) ? 5000
+                                                                 : 2000000);
+    H.record(V);
+    Ref.push_back(V);
+  }
+  std::sort(Ref.begin(), Ref.end());
+
+  EXPECT_EQ(H.count(), Ref.size());
+  EXPECT_EQ(H.min(), Ref.front());
+  EXPECT_EQ(H.max(), Ref.back());
+
+  for (double P : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    size_t Rank = size_t(P / 100.0 * double(Ref.size()));
+    if (Rank >= Ref.size())
+      Rank = Ref.size() - 1;
+    uint64_t Want = Ref[Rank];
+    uint64_t Got = H.percentile(P);
+    // The histogram reports a bucket lower bound: never above the true
+    // value's bucket, and within one sub-bucket of resolution below it.
+    double Tol = double(Want) / Histogram::SubBuckets + 1.0;
+    EXPECT_LE(double(Got), double(Want) + Tol) << "P=" << P;
+    EXPECT_GE(double(Got) + Tol, double(Want)) << "P=" << P;
+  }
+  EXPECT_EQ(H.percentile(100.0), Ref.back());
+  EXPECT_EQ(H.percentile(0.0), H.percentile(0.0)); // total order, no crash
+}
+
+TEST(Histogram, EmptyAndSingleSample) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+  H.record(42);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.min(), 42u);
+  EXPECT_EQ(H.max(), 42u);
+  EXPECT_EQ(H.percentile(50), 42u);
+  EXPECT_EQ(H.percentile(99), 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry Reg;
+  Counter &A = Reg.counter("engine.jobs");
+  Counter &B = Reg.counter("engine.jobs");
+  EXPECT_EQ(&A, &B);
+  A.add(3);
+  EXPECT_EQ(B.value(), 3u);
+  // Different kinds with different names coexist.
+  Reg.gauge("engine.jobs_queued").set(-2);
+  Reg.histogram("engine.job_micros").record(10);
+  EXPECT_EQ(Reg.gauge("engine.jobs_queued").value(), -2);
+}
+
+TEST(MetricsRegistry, ThreadSafetyHammer) {
+  // Get-or-create races with recording on shared and private names; run
+  // under TSan this is the registry's data-race certificate. Totals must
+  // reconcile exactly afterwards.
+  MetricsRegistry Reg;
+  constexpr int Threads = 8, Iters = 2000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&Reg, T] {
+      for (int I = 0; I < Iters; ++I) {
+        Reg.counter("shared.counter").add(1);
+        Reg.counter("private.counter." + std::to_string(T)).add(1);
+        Reg.histogram("shared.hist").record(uint64_t(I));
+        Reg.gauge("shared.gauge").add(1);
+        Reg.gauge("shared.gauge").sub(1);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Reg.counter("shared.counter").value(),
+            uint64_t(Threads) * Iters);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(Reg.counter("private.counter." + std::to_string(T)).value(),
+              uint64_t(Iters));
+  EXPECT_EQ(Reg.histogram("shared.hist").count(),
+            uint64_t(Threads) * Iters);
+  EXPECT_EQ(Reg.gauge("shared.gauge").value(), 0);
+}
+
+TEST(MetricsRegistry, JsonSnapshotParsesAndSorts) {
+  MetricsRegistry Reg;
+  Reg.counter("b.count").add(2);
+  Reg.counter("a.count").add(1);
+  Reg.gauge("depth").set(5);
+  Reg.histogram("lat").record(100);
+  Reg.probe("probed.value", [] { return uint64_t(7); });
+
+  std::string Json = Reg.json();
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Json, &Err);
+  ASSERT_TRUE(Doc) << Err << "\n" << Json;
+  const JsonValue *C = Doc->get("counters");
+  ASSERT_TRUE(C && C->isObject());
+  EXPECT_EQ(C->numberAt("a.count"), 1);
+  EXPECT_EQ(C->numberAt("b.count"), 2);
+  EXPECT_EQ(C->numberAt("probed.value"), 7); // probes render as counters
+  EXPECT_EQ(Doc->get("gauges")->numberAt("depth"), 5);
+  const JsonValue *H = Doc->get("histograms")->get("lat");
+  ASSERT_TRUE(H);
+  EXPECT_EQ(H->numberAt("count"), 1);
+  EXPECT_EQ(H->numberAt("p50"), 100);
+}
+
+TEST(MetricsRegistry, NullSinkAcceptsUpdates) {
+  // The null registry is a real sink: wiring against it must not crash and
+  // updates must be cheap no-ops from the exporter's point of view.
+  Counter &C = MetricsRegistry::null().counter("never.exported");
+  C.add(5);
+  EXPECT_GE(C.value(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporter
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsExporter, EmitsWellFormedSnapshotLines) {
+  MetricsRegistry Reg;
+  Counter &Jobs = Reg.counter("jobs");
+  std::ostringstream OS;
+  {
+    MetricsExporter Ex(Reg, OS, /*IntervalMillis=*/5);
+    for (int I = 0; I < 50; ++I) {
+      Jobs.add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Ex.stop(); // writes the final snapshot
+    EXPECT_GE(Ex.snapshotsWritten(), 2u);
+    Ex.stop(); // idempotent
+  }
+
+  std::istringstream Lines(OS.str());
+  std::string Line;
+  double LastT = -1, LastSeq = -1;
+  size_t N = 0;
+  while (std::getline(Lines, Line)) {
+    std::string Err;
+    std::optional<JsonValue> Doc = parseJson(Line, &Err);
+    ASSERT_TRUE(Doc) << "line " << N << ": " << Err;
+    ASSERT_TRUE(Doc->isObject());
+    EXPECT_GE(Doc->numberAt("t_ms"), LastT);
+    EXPECT_GT(Doc->numberAt("seq"), LastSeq);
+    LastT = Doc->numberAt("t_ms");
+    LastSeq = Doc->numberAt("seq");
+    const JsonValue *M = Doc->get("metrics");
+    ASSERT_TRUE(M && M->get("counters"));
+    ++N;
+  }
+  EXPECT_GE(N, 2u);
+  // The final line carries the final counter value.
+  EXPECT_EQ(LastSeq, double(N - 1));
+}
+
+TEST(MetricsExporter, FinalSnapshotSeesLastUpdates) {
+  MetricsRegistry Reg;
+  std::ostringstream OS;
+  {
+    MetricsExporter Ex(Reg, OS, /*IntervalMillis=*/60000); // never fires
+    Reg.counter("late.count").add(9);
+  } // destructor stops and flushes
+  std::string Text = OS.str();
+  ASSERT_FALSE(Text.empty());
+  // Exactly one line (the final snapshot), carrying the last-moment add.
+  std::string LastLine = Text.substr(0, Text.find('\n'));
+  std::optional<JsonValue> Doc = parseJson(LastLine);
+  ASSERT_TRUE(Doc);
+  EXPECT_EQ(Doc->get("metrics")->get("counters")->numberAt("late.count"), 9);
+}
+
+} // namespace

@@ -1,0 +1,15 @@
+#!/bin/sh
+# run_metrics_smoke.sh CMMI CMMSTAT PROGRAM [cmmi args...]
+#
+# Tier-1 telemetry smoke: run cmmi with --metrics-json and check that the
+# emitted snapshot is JSON cmmstat recognizes as a metrics document.
+set -e
+CMMI=$1
+CMMSTAT=$2
+shift 2
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$CMMI" --metrics-json "$TMP/metrics.json" "$@" > /dev/null
+"$CMMSTAT" --check "$TMP/metrics.json"

@@ -23,6 +23,15 @@
 //   --require-ablation fail unless the also-edges ablation diverged
 //   -v                 print every divergence as it is found
 //
+// Telemetry (docs/OBSERVABILITY.md § "Engine telemetry"; analyze the
+// outputs with cmmstat):
+//
+//   --metrics-json F     final engine metrics snapshot ("-" for stdout)
+//   --snapshots F        periodic metrics snapshots, one JSON line each
+//   --snapshot-interval MS   snapshot period in milliseconds (default 500)
+//   --trace F            merged Chrome trace of job lifecycle spans
+//   --trace-sample N     with --trace: full machine events for every Nth job
+//
 // Exit status: 0 when every seed agrees (and, with --require-ablation, the
 // Table 3 ablation was caught diverging at least once); 1 on unexpected
 // divergences; 2 on usage errors.
@@ -63,7 +72,13 @@ void usage() {
       "  --repro-out FILE   where --minimize writes the .cmm (\"-\" "
       "stdout)\n"
       "  --require-ablation fail unless the also-edges ablation diverged\n"
-      "  -v                 print every divergence as it is found\n");
+      "  -v                 print every divergence as it is found\n"
+      "  --metrics-json F   final engine metrics snapshot (\"-\" stdout)\n"
+      "  --snapshots F      periodic metrics snapshots (JSONL)\n"
+      "  --snapshot-interval MS  snapshot period (default 500)\n"
+      "  --trace F          merged Chrome trace of job lifecycle spans\n"
+      "  --trace-sample N   with --trace: machine events for every Nth "
+      "job\n");
 }
 
 bool parseRange(const std::string &Spec, uint64_t &Lo, uint64_t &Hi) {
@@ -89,6 +104,9 @@ int main(int Argc, char **Argv) {
   bool Minimize = false;
   uint64_t MinimizeSeed = 0;
   std::string ReproOut = "-";
+  std::string MetricsJson, SnapshotsFile, TraceFile;
+  double SnapshotIntervalMs = 500;
+  uint64_t TraceSample = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Err;
@@ -167,6 +185,41 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       ReproOut = V;
+    } else if (A == "--metrics-json") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      MetricsJson = V;
+    } else if (A == "--snapshots") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      SnapshotsFile = V;
+    } else if (A == "--snapshot-interval") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      SnapshotIntervalMs = std::strtod(V, nullptr);
+    } else if (A == "--trace") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      TraceFile = V;
+    } else if (A == "--trace-sample") {
+      const char *V = NextArg();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      TraceSample = std::strtoull(V, nullptr, 0);
     } else if (A == "--require-ablation") {
       RequireAblation = true;
     } else if (A == "-v" || A == "--verbose") {
@@ -213,9 +266,31 @@ int main(int Argc, char **Argv) {
   // The sweep runs on the batch engine: its work-stealing pool claims seeds
   // from one shared cursor (so slow seeds don't stall a fixed-stride
   // partition), and its content-hash cache interns each (strategy, config)
-  // cell's compile across the inputs and backends of a seed.
+  // cell's compile across the inputs and backends of a seed. Every cell run
+  // goes through Engine::runJob, so the telemetry streams below see real
+  // job lifecycles.
+  std::ofstream SnapshotStream, TraceStream;
   engine::EngineOptions EOpts;
   EOpts.Threads = Common.Threads;
+  if (!SnapshotsFile.empty()) {
+    SnapshotStream.open(SnapshotsFile);
+    if (!SnapshotStream) {
+      std::fprintf(stderr, "cmmdiff: cannot write '%s'\n",
+                   SnapshotsFile.c_str());
+      return 2;
+    }
+    EOpts.SnapshotTo = &SnapshotStream;
+    EOpts.SnapshotIntervalMillis = SnapshotIntervalMs;
+  }
+  if (!TraceFile.empty()) {
+    TraceStream.open(TraceFile);
+    if (!TraceStream) {
+      std::fprintf(stderr, "cmmdiff: cannot write '%s'\n", TraceFile.c_str());
+      return 2;
+    }
+    EOpts.TraceTo = &TraceStream;
+    EOpts.TraceMachineSample = unsigned(TraceSample);
+  }
   engine::Engine Eng(EOpts);
   Opts.Eng = &Eng;
 
@@ -255,12 +330,33 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(AblationSeeds));
   engine::CacheStats CS = Eng.cacheStats();
   std::fprintf(stderr,
-               "cmmdiff: artifact cache: %llu lookups, %llu hits, %llu IR "
-               "compiles, %llu bytecode compiles\n",
+               "cmmdiff: artifact cache: %llu lookups, %llu hits "
+               "(%llu single-flight joins), %llu IR compiles, %llu bytecode "
+               "compiles\n",
                static_cast<unsigned long long>(CS.Lookups),
                static_cast<unsigned long long>(CS.Hits),
+               static_cast<unsigned long long>(CS.SingleFlightJoins),
                static_cast<unsigned long long>(CS.IrCompiles),
                static_cast<unsigned long long>(CS.BytecodeCompiles));
+  std::fprintf(stderr,
+               "cmmdiff: pool: %u workers, %llu tasks (%llu stolen)\n",
+               Eng.threadCount(),
+               static_cast<unsigned long long>(Eng.pool().executed()),
+               static_cast<unsigned long long>(Eng.pool().stolen()));
+  if (!MetricsJson.empty()) {
+    std::string Json = Eng.metricsJson();
+    if (MetricsJson == "-") {
+      std::printf("%s\n", Json.c_str());
+    } else {
+      std::ofstream Out(MetricsJson);
+      if (!Out) {
+        std::fprintf(stderr, "cmmdiff: cannot write '%s'\n",
+                     MetricsJson.c_str());
+        return 2;
+      }
+      Out << Json << '\n';
+    }
+  }
   if (!UnexpectedSeeds.empty()) {
     std::string List;
     for (size_t I = 0; I < UnexpectedSeeds.size() && I < 20; ++I)

@@ -168,14 +168,36 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  std::unique_ptr<Executor> Exec =
-      engine::makeExecutor(*engine::parseBackend(Common.Backend), *Prog);
-  Executor &M = *Exec;
+  engine::DispatcherKind DK;
+  if (Dispatcher == "unwind")
+    DK = engine::DispatcherKind::Unwind;
+  else if (Dispatcher == "cut")
+    DK = engine::DispatcherKind::Cut;
+  else if (Dispatcher == "none")
+    DK = engine::DispatcherKind::None;
+  else {
+    std::fprintf(stderr, "cmmi: unknown dispatcher '%s'\n",
+                 Dispatcher.c_str());
+    return 1;
+  }
 
-  // Observability: trace sink and profiler fan in through one multiplexer
-  // so the uninstrumented run keeps a null observer pointer.
+  // The run goes through the engine's job path — the same budgeted loop,
+  // observer fan-in, and dispatcher wiring every embedder gets — with the
+  // hand-compiled program passed directly (Job::Program bypasses the
+  // cache, keeping the OptReport available for --opt-stats).
+  engine::EngineOptions EOpts;
+  EOpts.Threads = 1;
+  EOpts.EnableCache = false;
+  engine::Engine Eng(EOpts);
+
+  engine::Job J;
+  J.Program = std::shared_ptr<const IrProgram>(std::move(Prog));
+  J.B = *engine::parseBackend(Common.Backend);
+  J.Entry = Entry;
+  J.Args = std::move(Args);
+  J.Dispatcher = DK;
+
   std::ofstream TraceFileStream;
-  std::unique_ptr<TraceSink> Trace;
   if (!Common.TraceFile.empty()) {
     std::ostream *TraceOS = &std::cout;
     if (Common.TraceFile != "-") {
@@ -187,55 +209,26 @@ int main(int Argc, char **Argv) {
       }
       TraceOS = &TraceFileStream;
     }
-    TraceOptions TO;
-    TO.Fmt = Common.TraceFormat == "chrome" ? TraceOptions::Format::Chrome
-                                            : TraceOptions::Format::Jsonl;
-    TO.IncludeSteps = Common.TraceSteps;
-    TO.RingCapacity = Common.TraceRing;
-    Trace = std::make_unique<TraceSink>(*TraceOS, TO);
+    J.TraceTo = TraceOS;
+    J.Trace.Fmt = Common.TraceFormat == "chrome"
+                      ? TraceOptions::Format::Chrome
+                      : TraceOptions::Format::Jsonl;
+    J.Trace.IncludeSteps = Common.TraceSteps;
+    J.Trace.RingCapacity = Common.TraceRing;
   }
   Profiler Prof;
-  MultiObserver Multi;
-  if (Trace)
-    Multi.add(Trace.get());
   if (Common.Profile)
-    Multi.add(&Prof);
-  if (Multi.size() == 1)
-    M.setObserver(Trace ? static_cast<MachineObserver *>(Trace.get())
-                        : &Prof);
-  else if (!Multi.empty())
-    M.setObserver(&Multi);
+    J.Obs = &Prof; // caller-owned: cmmi needs the text report afterwards
 
-  M.start(Entry, std::move(Args));
-
-  MachineStatus St;
-  RtStats Walk;
-  uint64_t Dispatches = 0;
-  if (Dispatcher == "unwind") {
-    UnwindingDispatcher D(M);
-    St = runWithRuntime(M, std::ref(D));
-    Walk = D.walkStats();
-    Dispatches = D.dispatches();
-  } else if (Dispatcher == "cut") {
-    CuttingDispatcher D(M);
-    St = runWithRuntime(M, std::ref(D));
-    Dispatches = D.dispatches();
-  } else if (Dispatcher == "none") {
-    St = M.run();
-  } else {
-    std::fprintf(stderr, "cmmi: unknown dispatcher '%s'\n",
-                 Dispatcher.c_str());
-    return 1;
-  }
-  if (Trace)
-    Trace->finish();
+  engine::JobResult R = Eng.runJob(J);
+  MachineStatus St = R.Status;
 
   int Exit = 0;
   switch (St) {
   case MachineStatus::Halted: {
     std::string Sep;
     std::printf("%s returned (", Entry.c_str());
-    for (const Value &V : M.argArea()) {
+    for (const Value &V : R.Results) {
       std::printf("%s%s", Sep.c_str(), V.str().c_str());
       Sep = ", ";
     }
@@ -244,13 +237,13 @@ int main(int Argc, char **Argv) {
   }
   case MachineStatus::Wrong:
     std::fprintf(stderr, "cmmi: program went wrong at %s: %s\n",
-                 M.wrongLoc().str().c_str(), M.wrongReason().c_str());
+                 R.WrongLoc.str().c_str(), R.WrongReason.c_str());
     Exit = 2;
     break;
   case MachineStatus::Suspended:
     std::fprintf(stderr, "cmmi: unhandled yield (tag %llu)\n",
                  static_cast<unsigned long long>(
-                     M.argArea().empty() ? 0 : M.argArea()[0].Raw));
+                     R.Results.empty() ? 0 : R.Results[0].Raw));
     Exit = 3;
     break;
   default:
@@ -259,7 +252,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Common.ShowStats) {
-    const Stats &S = M.stats();
+    const Stats &S = R.MachineStats;
     std::fprintf(
         stderr,
         "steps=%llu calls=%llu jumps=%llu returns=%llu cuts=%llu "
@@ -290,10 +283,10 @@ int main(int Argc, char **Argv) {
                 ? "halted"
                 : (St == MachineStatus::Wrong ? "wrong" : "suspended"));
     W.key("stats");
-    writeStatsJson(W, M.stats());
+    writeStatsJson(W, R.MachineStats);
     if (Dispatcher != "none") {
       W.key("rt");
-      writeRtStatsJson(W, Walk, Dispatches);
+      writeRtStatsJson(W, R.RtWalk, R.RtDispatches);
     }
     if (Common.Optimize) {
       W.key("opt");
@@ -314,6 +307,20 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Out << W.str() << '\n';
+    }
+  }
+  if (!Common.MetricsJsonFile.empty()) {
+    std::string Json = Eng.metricsJson();
+    if (Common.MetricsJsonFile == "-") {
+      std::printf("%s\n", Json.c_str());
+    } else {
+      std::ofstream Out(Common.MetricsJsonFile);
+      if (!Out) {
+        std::fprintf(stderr, "cmmi: cannot write '%s'\n",
+                     Common.MetricsJsonFile.c_str());
+        return 1;
+      }
+      Out << Json << '\n';
     }
   }
   return Exit;

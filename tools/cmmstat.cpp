@@ -1,0 +1,455 @@
+//===- tools/cmmstat.cpp - Engine telemetry analyzer ----------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Reads the engine's telemetry outputs and prints a human report:
+//
+//   cmmstat [options] FILE...
+//
+//   --check    parse and validate only; print one line per file, exit
+//              nonzero on any malformed input (the CI smoke test)
+//   --json     emit the report as one JSON object instead of text
+//
+// File kinds are auto-detected per file:
+//
+//   - a metrics snapshot (cmmi/cmmdiff --metrics-json): a JSON object with
+//     "counters"/"gauges"/"histograms";
+//   - a snapshot time series (cmmdiff --snapshots): JSONL, one
+//     {"t_ms":..,"seq":..,"metrics":{..}} object per line;
+//   - a merged Chrome trace (cmmdiff --trace): a JSON array of trace
+//     events, from which engine span latencies (queue/compile/run) are
+//     re-aggregated into the same log-bucketed histograms the engine uses.
+//
+// The report covers compile/run latency percentiles, cache hit rates (as a
+// curve over time when a series is given), and pool utilization.
+//
+// Exit status: 0 on success, 1 on malformed input, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "support/MiniJson.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cmm;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cmmstat [options] FILE...\n"
+               "  --check    parse and validate only (one line per file)\n"
+               "  --json     emit the report as JSON\n"
+               "  FILE       --metrics-json output, --snapshots JSONL, or a\n"
+               "             merged --trace Chrome trace (auto-detected)\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Parsed inputs
+//===----------------------------------------------------------------------===//
+
+/// One metrics snapshot, flattened for reporting.
+struct Snapshot {
+  double TMs = 0;
+  bool Final = false; ///< untimed metrics object: sorts last, skips curve
+  std::map<std::string, double> Counters; ///< probes included
+  std::map<std::string, double> Gauges;
+  /// name -> {count,sum,mean,min,max,p50,p90,p99}
+  std::map<std::string, std::map<std::string, double>> Histograms;
+};
+
+/// Everything gathered across the input files.
+struct Inputs {
+  std::vector<Snapshot> Series; ///< time-ordered snapshots (last = final)
+  /// Engine span latencies re-aggregated from traces: name -> histogram of
+  /// "dur" microseconds, bucketed exactly as the engine buckets.
+  std::map<std::string, Histogram> SpanMicros;
+  /// Trace-side per-track busy time: tid -> total span micros (pid 0).
+  std::map<uint64_t, double> TrackBusyMicros;
+  double TraceEndMicros = 0; ///< latest span end seen in any trace
+  uint64_t TraceEvents = 0;
+  uint64_t MachineEvents = 0; ///< spliced per-job machine events (pid != 0)
+};
+
+bool flattenMetrics(const JsonValue &M, Snapshot &Out, std::string &Err) {
+  const JsonValue *Counters = M.get("counters");
+  const JsonValue *Gauges = M.get("gauges");
+  const JsonValue *Hists = M.get("histograms");
+  if (!Counters || !Counters->isObject() || !Gauges || !Gauges->isObject() ||
+      !Hists || !Hists->isObject()) {
+    Err = "metrics object missing counters/gauges/histograms";
+    return false;
+  }
+  for (const auto &[Name, V] : Counters->object()) {
+    if (!V.isNumber()) {
+      Err = "counter '" + Name + "' is not a number";
+      return false;
+    }
+    Out.Counters[Name] = V.number();
+  }
+  for (const auto &[Name, V] : Gauges->object()) {
+    if (!V.isNumber()) {
+      Err = "gauge '" + Name + "' is not a number";
+      return false;
+    }
+    Out.Gauges[Name] = V.number();
+  }
+  for (const auto &[Name, V] : Hists->object()) {
+    if (!V.isObject()) {
+      Err = "histogram '" + Name + "' is not an object";
+      return false;
+    }
+    for (const char *Field :
+         {"count", "sum", "mean", "min", "max", "p50", "p90", "p99"}) {
+      const JsonValue *F = V.get(Field);
+      if (!F || !F->isNumber()) {
+        Err = "histogram '" + Name + "' missing " + Field;
+        return false;
+      }
+      Out.Histograms[Name][Field] = F->number();
+    }
+  }
+  return true;
+}
+
+bool ingestTrace(const JsonValue &Doc, Inputs &In, std::string &Err) {
+  const JsonValue *Events = Doc.isArray() ? &Doc : Doc.get("traceEvents");
+  if (!Events || !Events->isArray()) {
+    Err = "trace document has no event array";
+    return false;
+  }
+  for (const JsonValue &E : Events->array()) {
+    if (!E.isObject()) {
+      Err = "trace event is not an object";
+      return false;
+    }
+    ++In.TraceEvents;
+    double Pid = E.numberAt("pid", 0);
+    if (Pid != 0) {
+      ++In.MachineEvents;
+      continue;
+    }
+    if (E.strAt("ph") != "X")
+      continue;
+    double Dur = E.numberAt("dur");
+    double End = E.numberAt("ts") + Dur;
+    if (End > In.TraceEndMicros)
+      In.TraceEndMicros = End;
+    In.SpanMicros[E.strAt("name", "?")].record(uint64_t(Dur));
+    In.TrackBusyMicros[uint64_t(E.numberAt("tid"))] += Dur;
+  }
+  return true;
+}
+
+/// Parses one file, auto-detecting its kind; appends into \p In.
+bool ingestFile(const std::string &Path, Inputs &In, std::string &Err,
+                std::string &Kind) {
+  std::ifstream F(Path);
+  if (!F) {
+    Err = "cannot open";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << F.rdbuf();
+  std::string Text = Buf.str();
+
+  // Whole-document parse first: a metrics object or a Chrome trace.
+  std::string ParseErr;
+  if (std::optional<JsonValue> Doc = parseJson(Text, &ParseErr)) {
+    if (Doc->isObject() && Doc->get("counters")) {
+      Kind = "metrics";
+      Snapshot S;
+      S.Final = true;
+      if (!flattenMetrics(*Doc, S, Err))
+        return false;
+      In.Series.push_back(std::move(S));
+      return true;
+    }
+    if (Doc->isArray() || (Doc->isObject() && Doc->get("traceEvents"))) {
+      Kind = "trace";
+      return ingestTrace(*Doc, In, Err);
+    }
+    Err = "unrecognized JSON document (no counters, no traceEvents)";
+    return false;
+  }
+
+  // Not one document: try JSONL snapshot lines.
+  Kind = "snapshots";
+  std::istringstream Lines(Text);
+  std::string Line;
+  size_t LineNo = 0, Parsed = 0;
+  std::vector<Snapshot> Local;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::optional<JsonValue> Doc = parseJson(Line, &ParseErr);
+    if (!Doc || !Doc->isObject()) {
+      Err = "line " + std::to_string(LineNo) + ": " +
+            (ParseErr.empty() ? "not an object" : ParseErr);
+      return false;
+    }
+    const JsonValue *M = Doc->get("metrics");
+    if (!M || !Doc->get("t_ms")) {
+      Err = "line " + std::to_string(LineNo) + ": not a snapshot line";
+      return false;
+    }
+    Snapshot S;
+    S.TMs = Doc->numberAt("t_ms");
+    if (!flattenMetrics(*M, S, Err)) {
+      Err = "line " + std::to_string(LineNo) + ": " + Err;
+      return false;
+    }
+    Local.push_back(std::move(S));
+    ++Parsed;
+  }
+  if (Parsed == 0) {
+    Err = ParseErr.empty() ? "empty input" : ParseErr;
+    return false;
+  }
+  for (Snapshot &S : Local)
+    In.Series.push_back(std::move(S));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Report
+//===----------------------------------------------------------------------===//
+
+double counterOf(const Snapshot &S, const char *Name) {
+  auto It = S.Counters.find(Name);
+  return It == S.Counters.end() ? 0 : It->second;
+}
+
+void textReport(const Inputs &In) {
+  if (!In.Series.empty()) {
+    const Snapshot &S = In.Series.back();
+
+    if (!S.Histograms.empty()) {
+      std::printf("latency histograms (microseconds unless noted):\n");
+      std::printf("  %-28s %10s %10s %10s %10s %10s %10s\n", "name", "count",
+                  "mean", "p50", "p90", "p99", "max");
+      for (const auto &[Name, H] : S.Histograms) {
+        auto At = [&](const char *F) { return H.at(F); };
+        if (At("count") == 0)
+          continue;
+        std::printf("  %-28s %10.0f %10.1f %10.0f %10.0f %10.0f %10.0f\n",
+                    Name.c_str(), At("count"), At("mean"), At("p50"),
+                    At("p90"), At("p99"), At("max"));
+      }
+    }
+
+    double Lookups = counterOf(S, "cache.lookups");
+    if (Lookups > 0) {
+      double Hits = counterOf(S, "cache.hits");
+      std::printf("\ncache: %.0f lookups, %.0f hits (%.1f%%), %.0f IR "
+                  "compiles, %.0f bytecode compiles, %.0f evictions, %.0f "
+                  "single-flight joins\n",
+                  Lookups, Hits, 100.0 * Hits / Lookups,
+                  counterOf(S, "cache.ir_compiles"),
+                  counterOf(S, "cache.bytecode_compiles"),
+                  counterOf(S, "cache.evictions"),
+                  counterOf(S, "cache.singleflight_joins"));
+    }
+
+    double Busy = counterOf(S, "pool.busy_micros");
+    double Idle = counterOf(S, "pool.idle_micros");
+    if (Busy + Idle > 0) {
+      auto G = [&](const char *N) {
+        auto It = S.Gauges.find(N);
+        return It == S.Gauges.end() ? 0.0 : It->second;
+      };
+      std::printf("pool: %.0f workers, %.0f tasks (%.0f stolen), "
+                  "utilization %.1f%% (busy %.1fs / idle %.1fs)\n",
+                  G("pool.workers"), counterOf(S, "pool.tasks_executed"),
+                  counterOf(S, "pool.tasks_stolen"),
+                  100.0 * Busy / (Busy + Idle), Busy / 1e6, Idle / 1e6);
+    }
+
+    double Jobs = counterOf(S, "engine.jobs");
+    if (Jobs > 0) {
+      std::printf("jobs: %.0f total — %.0f halted, %.0f wrong, %.0f "
+                  "suspended, %.0f compile errors, %.0f timeouts, %.0f fuel "
+                  "exhausted; %.0f resume cycles\n",
+                  Jobs, counterOf(S, "engine.jobs_halted"),
+                  counterOf(S, "engine.jobs_wrong"),
+                  counterOf(S, "engine.jobs_suspended"),
+                  counterOf(S, "engine.jobs_compile_error"),
+                  counterOf(S, "engine.jobs_timeout"),
+                  counterOf(S, "engine.jobs_fuel_exhausted"),
+                  counterOf(S, "engine.resume_cycles"));
+    }
+
+    // The time dimension: cumulative cache hit rate and queue depth per
+    // snapshot. Only timed snapshots belong on the curve; untimed final
+    // metrics objects would show up as a bogus t_ms=0 row.
+    size_t Timed = 0;
+    while (Timed < In.Series.size() && !In.Series[Timed].Final)
+      ++Timed;
+    if (Timed > 1) {
+      std::printf("\ncache hit-rate / queue-depth curve (%zu snapshots):\n",
+                  Timed);
+      std::printf("  %10s %10s %10s %10s %10s\n", "t_ms", "lookups",
+                  "hit%", "queued", "jobs");
+      // Downsample to at most 16 rows, always keeping the last.
+      size_t N = Timed;
+      size_t Step = (N + 15) / 16;
+      for (size_t I = 0; I < N; I += Step) {
+        size_t Idx = (I + Step >= N) ? N - 1 : I;
+        const Snapshot &T = In.Series[Idx];
+        double L = counterOf(T, "cache.lookups");
+        double H = counterOf(T, "cache.hits");
+        auto QIt = T.Gauges.find("pool.queued");
+        std::printf("  %10.0f %10.0f %10.1f %10.0f %10.0f\n", T.TMs, L,
+                    L > 0 ? 100.0 * H / L : 0.0,
+                    QIt == T.Gauges.end() ? 0.0 : QIt->second,
+                    counterOf(T, "engine.jobs"));
+        if (Idx == N - 1)
+          break;
+      }
+    }
+  }
+
+  if (!In.SpanMicros.empty()) {
+    std::printf("\ntrace spans (re-bucketed from %llu events, micros):\n",
+                static_cast<unsigned long long>(In.TraceEvents));
+    std::printf("  %-28s %10s %10s %10s %10s %10s\n", "span", "count",
+                "mean", "p50", "p99", "max");
+    for (const auto &[Name, H] : In.SpanMicros)
+      std::printf("  %-28s %10llu %10.1f %10llu %10llu %10llu\n",
+                  Name.c_str(),
+                  static_cast<unsigned long long>(H.count()), H.mean(),
+                  static_cast<unsigned long long>(H.percentile(50)),
+                  static_cast<unsigned long long>(H.percentile(99)),
+                  static_cast<unsigned long long>(H.max()));
+    if (In.TraceEndMicros > 0 && !In.TrackBusyMicros.empty()) {
+      std::printf("trace track occupancy over %.1fs:\n",
+                  In.TraceEndMicros / 1e6);
+      for (const auto &[Tid, Busy] : In.TrackBusyMicros)
+        std::printf("  tid %2llu: %5.1f%%\n",
+                    static_cast<unsigned long long>(Tid),
+                    100.0 * Busy / In.TraceEndMicros);
+    }
+    if (In.MachineEvents)
+      std::printf("machine events spliced from sampled jobs: %llu\n",
+                  static_cast<unsigned long long>(In.MachineEvents));
+  }
+}
+
+void jsonReport(const Inputs &In) {
+  JsonWriter W;
+  W.beginObject();
+  if (!In.Series.empty()) {
+    const Snapshot &S = In.Series.back();
+    W.field("snapshots", uint64_t(In.Series.size()));
+    W.key("final");
+    W.beginObject();
+    W.key("counters");
+    W.beginObject();
+    for (const auto &[Name, V] : S.Counters)
+      W.field(Name, V);
+    W.endObject();
+    W.key("gauges");
+    W.beginObject();
+    for (const auto &[Name, V] : S.Gauges)
+      W.field(Name, V);
+    W.endObject();
+    W.key("histograms");
+    W.beginObject();
+    for (const auto &[Name, H] : S.Histograms) {
+      W.key(Name);
+      W.beginObject();
+      for (const auto &[F, V] : H)
+        W.field(F, V);
+      W.endObject();
+    }
+    W.endObject();
+    W.endObject();
+  }
+  if (!In.SpanMicros.empty()) {
+    W.key("trace_spans");
+    W.beginObject();
+    for (const auto &[Name, H] : In.SpanMicros) {
+      W.key(Name);
+      W.beginObject();
+      W.field("count", H.count());
+      W.field("mean", H.mean());
+      W.field("p50", H.percentile(50));
+      W.field("p99", H.percentile(99));
+      W.field("max", H.max());
+      W.endObject();
+    }
+    W.endObject();
+    W.field("trace_events", In.TraceEvents);
+    W.field("machine_events", In.MachineEvents);
+  }
+  W.endObject();
+  std::printf("%s\n", W.take().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Check = false, Json = false;
+  std::vector<std::string> Files;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--check") {
+      Check = true;
+    } else if (A == "--json") {
+      Json = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "cmmstat: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (Files.empty()) {
+    usage();
+    return 2;
+  }
+
+  Inputs In;
+  bool AnyBad = false;
+  for (const std::string &Path : Files) {
+    std::string Err, Kind;
+    if (!ingestFile(Path, In, Err, Kind)) {
+      std::fprintf(stderr, "cmmstat: %s: %s\n", Path.c_str(), Err.c_str());
+      AnyBad = true;
+      continue;
+    }
+    if (Check)
+      std::printf("%s: ok (%s)\n", Path.c_str(), Kind.c_str());
+  }
+  if (AnyBad)
+    return 1;
+  if (Check)
+    return 0;
+
+  // Snapshot series may arrive across files; keep them time-ordered.
+  std::stable_sort(In.Series.begin(), In.Series.end(),
+                   [](const Snapshot &A, const Snapshot &B) {
+                     if (A.Final != B.Final)
+                       return B.Final; // final metrics objects sort last
+                     return A.TMs < B.TMs;
+                   });
+  if (Json)
+    jsonReport(In);
+  else
+    textReport(In);
+  return 0;
+}
