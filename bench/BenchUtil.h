@@ -103,6 +103,10 @@ public:
     return W.take();
   }
 
+  /// The captured runs, for suites that post-process results (e.g.
+  /// bench_interp's speedup-ratio metadata) before writeJsonFile.
+  const std::vector<Run> &runs() const { return Captured; }
+
   bool writeJsonFile(const std::string &Suite) const {
     std::string Path = "BENCH_" + Suite + ".json";
     std::ofstream Out(Path);

@@ -1,17 +1,20 @@
 //===- bench/bench_interp.cpp - Experiment INTERP -------------------------===//
 //
-// Part of cmmex (see DESIGN.md). Walk-vs-VM backend comparison: the same
-// workloads, executed by the reference tree walker (sem/Machine.h) and by
-// the bytecode VM (vm/Vm.h). Both backends implement identical observable
-// semantics (the differential harness holds them to it, counter for
-// counter), so the wall-time ratio here is pure interpretation overhead:
-// what re-walking expression trees and re-resolving environment symbols on
-// every transition costs, against compiling each procedure to register
-// bytecode once.
+// Part of cmmex (see DESIGN.md). Three-way backend comparison: the same
+// workloads, executed by the reference tree walker (sem/Machine.h), by the
+// bytecode VM (vm/Vm.h), and by the threaded tier (vm/Threaded.h). All
+// backends implement identical observable semantics (the differential
+// harness holds them to it, counter for counter), so the wall-time ratios
+// here are pure interpretation overhead: walk/vm measures what re-walking
+// expression trees costs against register bytecode; vm/threaded measures
+// what switch dispatch costs against token-threaded dispatch plus
+// superinstruction fusion.
 //
-// Pairs of benchmarks share a workload name: interp/<workload>/walk and
-// interp/<workload>/vm. The harness computes the per-workload speedup and
-// its geomean from BENCH_interp.json.
+// Rows of one workload share a name prefix: interp/<workload>/walk, .../vm,
+// .../threaded, and .../threaded_nofuse (the fusion ablation: the threaded
+// loop over an unfused key stream, isolating dispatch gains from fusion
+// gains). main() computes per-workload speedups and their geomeans into the
+// BENCH_interp.json metadata block.
 //
 // Workloads cover the IR's cost centres: call/return frames (sp1), tail
 // calls (sp2), straight-line expression loops (sp3), memory traffic
@@ -25,8 +28,10 @@
 #include "costmodel/RandomProgram.h"
 #include "engine/Engine.h"
 #include "rts/Dispatchers.h"
+#include "vm/Threaded.h"
 #include "vm/Vm.h"
 
+#include <cmath>
 #include <functional>
 
 using namespace cmm;
@@ -110,8 +115,7 @@ struct Workload {
 };
 
 void runInterp(benchmark::State &State, const Workload &W,
-               engine::Backend B) {
-  std::unique_ptr<Executor> Exec = engine::makeExecutor(B, *W.Prog);
+               std::unique_ptr<Executor> Exec) {
   Executor &M = *Exec;
   uint64_t Steps = 0, Runs = 0;
   for (auto _ : State) {
@@ -174,12 +178,30 @@ std::vector<Workload> &workloads() {
 }
 
 void registerAll() {
+  suiteMetadata()["backends"] = "walk,vm,threaded";
+  suiteMetadata()["threaded_dispatch"] = threadedDispatchKind();
+  suiteMetadata()["fusion"] = "all (ablation rows: none)";
   for (const Workload &W : workloads()) {
     for (engine::Backend B : engine::AllBackends)
       benchmark::RegisterBenchmark(
           ("interp/" + W.Name + "/" + std::string(engine::backendName(B)))
               .c_str(),
-          [&W, B](benchmark::State &S) { runInterp(S, W, B); });
+          [&W, B](benchmark::State &S) {
+            runInterp(S, W, engine::makeExecutor(B, *W.Prog));
+          });
+    // The fusion ablation: the same threaded loop over a key stream with
+    // every fusion pair disabled. threaded/threaded_nofuse isolates the
+    // superinstruction gain; threaded_nofuse/vm isolates the dispatch gain.
+    benchmark::RegisterBenchmark(
+        ("interp/" + W.Name + "/threaded_nofuse").c_str(),
+        [&W](benchmark::State &S) {
+          auto BC =
+              std::make_shared<const CompiledProgram>(compileToBytecode(*W.Prog));
+          runInterp(S, W,
+                    std::make_unique<ThreadedMachine>(
+                        *W.Prog,
+                        fuseProgram(std::move(BC), FusionTable::none())));
+        });
   }
   // Bytecode compilation is a one-time, per-program cost; measured so the
   // speedup table can show how quickly the VM amortizes it.
@@ -192,10 +214,79 @@ void registerAll() {
                                    benchmark::DoNotOptimize(CP.Procs.size());
                                  }
                                });
+  // Same for the fusion pass, which the threaded tier adds on top.
+  benchmark::RegisterBenchmark(
+      "interp/fuse_threaded", [](benchmark::State &S) {
+        const Workload &W = workloads().front();
+        auto BC =
+            std::make_shared<const CompiledProgram>(compileToBytecode(*W.Prog));
+        for (auto _ : S) {
+          auto TP = fuseProgram(BC);
+          benchmark::DoNotOptimize(TP->Fusion.FusedSites);
+        }
+      });
 }
 
 [[maybe_unused]] const bool Registered = (registerAll(), true);
 
+/// Per-iteration cpu time of run named <workload>/<suffix>, or 0.
+double cpuPerIter(const JsonCaptureReporter &R, const std::string &Name) {
+  for (const auto &Run : R.runs())
+    if (Run.benchmark_name() == Name && Run.iterations > 0 &&
+        !Run.error_occurred)
+      return Run.cpu_accumulated_time / double(Run.iterations);
+  return 0.0;
+}
+
+std::string fmt(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+/// Computes per-workload speedup ratios and their geomeans into the suite
+/// metadata, so BENCH_interp.json carries the comparison, not just raw rows.
+void annotateSpeedups(const JsonCaptureReporter &R) {
+  struct Geo {
+    double LogSum = 0;
+    unsigned N = 0;
+    void add(double Ratio) { LogSum += std::log(Ratio), ++N; }
+    double mean() const { return N ? std::exp(LogSum / N) : 0.0; }
+  };
+  Geo VmOverWalk, ThreadedOverVm, ThreadedOverWalk, FusionGain;
+  for (const Workload &W : workloads()) {
+    double Walk = cpuPerIter(R, "interp/" + W.Name + "/walk");
+    double Vm = cpuPerIter(R, "interp/" + W.Name + "/vm");
+    double Thr = cpuPerIter(R, "interp/" + W.Name + "/threaded");
+    double NoFuse = cpuPerIter(R, "interp/" + W.Name + "/threaded_nofuse");
+    if (!Walk || !Vm || !Thr || !NoFuse)
+      continue;
+    VmOverWalk.add(Walk / Vm);
+    ThreadedOverVm.add(Vm / Thr);
+    ThreadedOverWalk.add(Walk / Thr);
+    FusionGain.add(NoFuse / Thr);
+    suiteMetadata()["speedup_" + W.Name] =
+        "vm_over_walk=" + fmt(Walk / Vm) +
+        " threaded_over_vm=" + fmt(Vm / Thr) +
+        " fusion_gain=" + fmt(NoFuse / Thr);
+  }
+  suiteMetadata()["geomean_vm_over_walk"] = fmt(VmOverWalk.mean());
+  suiteMetadata()["geomean_threaded_over_vm"] = fmt(ThreadedOverVm.mean());
+  suiteMetadata()["geomean_threaded_over_walk"] = fmt(ThreadedOverWalk.mean());
+  suiteMetadata()["geomean_fusion_gain"] = fmt(FusionGain.mean());
+}
+
 } // namespace
 
-CMM_BENCH_MAIN(interp);
+int main(int argc, char **argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonCaptureReporter Reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&Reporter);
+  annotateSpeedups(Reporter);
+  if (!Reporter.writeJsonFile("interp"))
+    std::fprintf(stderr, "warning: could not write BENCH_interp.json\n");
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -346,16 +346,23 @@ DiffSeedResult cmm::diffTestSeed(uint64_t Seed, const DiffOptions &Opts) {
                               Opts.MaxSteps, Opts.Eng);
         ++R.RunsExecuted;
         if (Opts.CheckVm) {
-          // Sixth column: the bytecode VM on the identical program. A
-          // divergence here is a backend bug, never an expected ablation
-          // effect (both backends run the same — possibly mis-optimized —
-          // IR, so they must still agree with each other).
+          // Backend columns: the bytecode VM and the threaded tier on the
+          // identical program. A divergence here is a backend bug, never an
+          // expected ablation effect (all backends run the same — possibly
+          // mis-optimized — IR, so they must still agree with each other).
           DiffOutcome Vm = runCell(Art, engine::Backend::Vm, T,
                                    Opts.Inputs[I], Opts.MaxSteps, Opts.Eng);
           ++R.RunsExecuted;
           std::string E = compareBackends(*ByCfg[C][I], Vm);
           if (!E.empty())
             Report(T, Configs[C].Name + "/vm", false,
+                   "input " + std::to_string(Opts.Inputs[I]) + ": " + E);
+          DiffOutcome Th = runCell(Art, engine::Backend::Threaded, T,
+                                   Opts.Inputs[I], Opts.MaxSteps, Opts.Eng);
+          ++R.RunsExecuted;
+          E = compareBackends(*ByCfg[C][I], Th);
+          if (!E.empty())
+            Report(T, Configs[C].Name + "/threaded", false,
                    "input " + std::to_string(Opts.Inputs[I]) + ": " + E);
         }
       }

@@ -97,9 +97,9 @@ struct DiffOptions {
   uint64_t MaxSteps = 2000000;
   bool CheckStats = true;
   bool CheckRoundTrip = true;
-  /// Run every cell on the bytecode VM as well and require the full
-  /// observable outcome — status, results, goes-wrong reason, and every
-  /// Stats counter — to match the tree walker's.
+  /// Run every cell on the bytecode VM and the threaded tier as well and
+  /// require the full observable outcome — status, results, goes-wrong
+  /// reason, and every Stats counter — to match the tree walker's.
   bool CheckVm = true;
   /// When set, (strategy, configuration) cells compile through this
   /// engine's content-hash artifact cache — one IR (and one bytecode)

@@ -92,9 +92,11 @@ namespace cmm::engine {
 /// + translate + link, optionally optimize, then re-validate. Error strings
 /// keep the phase-prefixed form the differential harness reports.
 void populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
-                      std::shared_ptr<std::atomic<uint64_t>> BcCounter) {
+                      std::shared_ptr<std::atomic<uint64_t>> BcCounter,
+                      std::shared_ptr<ThreadedCounters> TCounters) {
   A.Key = cacheKeyFor(Req);
   A.BcCompiles = std::move(BcCounter);
+  A.TCnt = std::move(TCounters);
   DiagnosticEngine Diags;
   std::unique_ptr<IrProgram> Prog =
       compileProgram(Req.Sources, Diags, Req.IncludeStdLib);
@@ -130,15 +132,46 @@ std::shared_ptr<const CompiledProgram> ProgramArtifact::bytecode() const {
   return Bc;
 }
 
+std::shared_ptr<const ThreadedProgram> ProgramArtifact::threaded() const {
+  // bytecode() first, outside TMu: it takes its own lock, and the fused
+  // stream is a pure function of the bytecode.
+  std::shared_ptr<const CompiledProgram> B = bytecode();
+  std::lock_guard<std::mutex> Lock(TMu);
+  if (!Tp) {
+    auto T0 = std::chrono::steady_clock::now();
+    Tp = fuseProgram(std::move(B));
+    if (TCnt) {
+      TCnt->Compiles.fetch_add(1, std::memory_order_relaxed);
+      TCnt->FusionHits.fetch_add(Tp->Fusion.FusedSites,
+                                 std::memory_order_relaxed);
+      TCnt->FusionMisses.fetch_add(Tp->Fusion.MissedSites,
+                                   std::memory_order_relaxed);
+      TCnt->Micros.fetch_add(
+          uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count()),
+          std::memory_order_relaxed);
+    }
+  }
+  return Tp;
+}
+
 std::unique_ptr<Executor> ProgramArtifact::newExecutor(Backend B) const {
-  return makeExecutor(B, *Prog,
-                      B == Backend::Vm ? bytecode() : nullptr);
+  switch (B) {
+  case Backend::Vm:
+    return makeExecutor(B, *Prog, bytecode());
+  case Backend::Threaded:
+    return makeExecutor(B, *Prog, nullptr, threaded());
+  case Backend::Walk:
+    break;
+  }
+  return makeExecutor(B, *Prog, nullptr);
 }
 
 std::shared_ptr<const ProgramArtifact>
 cmm::engine::compileArtifact(const CompileRequest &Req) {
   auto A = std::make_shared<ProgramArtifact>();
-  populateArtifact(*A, Req, nullptr);
+  populateArtifact(*A, Req, nullptr, nullptr);
   return A;
 }
 
@@ -168,6 +201,23 @@ ModuleCache::ModuleCache(size_t Capacity, MetricsRegistry *RegIn)
   auto Bc = BcCompiles;
   regOrNull(RegIn).probe("cache.bytecode_compiles", [Bc] {
     return Bc->load(std::memory_order_relaxed);
+  });
+  // Threaded-tier accounting lives in the same shared block; each probe
+  // co-owns it. vm.threaded_compile_micros is cumulative microseconds (a
+  // real Histogram reference could not safely outlive the registry the way
+  // artifacts outlive the engine).
+  auto T = TCnt;
+  regOrNull(RegIn).probe("vm.threaded_compiles", [T] {
+    return T->Compiles.load(std::memory_order_relaxed);
+  });
+  regOrNull(RegIn).probe("vm.fusion_hits", [T] {
+    return T->FusionHits.load(std::memory_order_relaxed);
+  });
+  regOrNull(RegIn).probe("vm.fusion_misses", [T] {
+    return T->FusionMisses.load(std::memory_order_relaxed);
+  });
+  regOrNull(RegIn).probe("vm.threaded_compile_micros", [T] {
+    return T->Micros.load(std::memory_order_relaxed);
   });
 }
 
@@ -222,7 +272,7 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
     // slot, not on the whole cache.
     auto T0 = std::chrono::steady_clock::now();
     auto Art = std::make_shared<ProgramArtifact>();
-    populateArtifact(*Art, Req, BcCompiles);
+    populateArtifact(*Art, Req, BcCompiles, TCnt);
     IrCompilesC.add(1);
     CompileMicrosH.record(
         uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
@@ -253,6 +303,7 @@ CacheStats ModuleCache::stats() const {
   St.Hits = HitsC.value();
   St.IrCompiles = IrCompilesC.value();
   St.BytecodeCompiles = BcCompiles->load(std::memory_order_relaxed);
+  St.ThreadedCompiles = TCnt->Compiles.load(std::memory_order_relaxed);
   St.Evictions = EvictionsC.value();
   St.SingleFlightJoins = JoinsC.value();
   return St;

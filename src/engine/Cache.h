@@ -78,6 +78,11 @@ private:
   /// engine destroys its registry last).
   std::shared_ptr<std::atomic<uint64_t>> BcCompiles =
       std::make_shared<std::atomic<uint64_t>>(0);
+  /// Threaded-tier accounting, shared the same way; surfaced as the
+  /// vm.threaded_compiles / vm.fusion_hits / vm.fusion_misses /
+  /// vm.threaded_compile_micros probes.
+  std::shared_ptr<ThreadedCounters> TCnt =
+      std::make_shared<ThreadedCounters>();
 };
 
 } // namespace cmm::engine

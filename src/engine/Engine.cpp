@@ -12,6 +12,7 @@
 #include "rts/Dispatchers.h"
 #include "rts/RuntimeInterface.h"
 #include "sem/Machine.h"
+#include "vm/Threaded.h"
 #include "vm/Vm.h"
 
 #include <chrono>
@@ -25,7 +26,15 @@ using namespace cmm::engine;
 //===----------------------------------------------------------------------===//
 
 std::string_view cmm::engine::backendName(Backend B) {
-  return B == Backend::Vm ? "vm" : "walk";
+  switch (B) {
+  case Backend::Vm:
+    return "vm";
+  case Backend::Threaded:
+    return "threaded";
+  case Backend::Walk:
+    break;
+  }
+  return "walk";
 }
 
 std::optional<Backend> cmm::engine::parseBackend(std::string_view Name) {
@@ -33,6 +42,8 @@ std::optional<Backend> cmm::engine::parseBackend(std::string_view Name) {
     return Backend::Walk;
   if (Name == "vm")
     return Backend::Vm;
+  if (Name == "threaded")
+    return Backend::Threaded;
   return std::nullopt;
 }
 
@@ -43,7 +54,8 @@ std::unique_ptr<Executor> cmm::engine::makeExecutor(Backend B,
 
 std::unique_ptr<Executor>
 cmm::engine::makeExecutor(Backend B, const IrProgram &Prog,
-                          std::shared_ptr<const CompiledProgram> Bytecode) {
+                          std::shared_ptr<const CompiledProgram> Bytecode,
+                          std::shared_ptr<const ThreadedProgram> Threaded) {
   switch (B) {
   case Backend::Walk:
     return std::make_unique<Machine>(Prog);
@@ -51,6 +63,13 @@ cmm::engine::makeExecutor(Backend B, const IrProgram &Prog,
     if (Bytecode)
       return std::make_unique<VmMachine>(Prog, std::move(Bytecode));
     return std::make_unique<VmMachine>(Prog);
+  case Backend::Threaded:
+    if (Threaded)
+      return std::make_unique<ThreadedMachine>(Prog, std::move(Threaded));
+    if (Bytecode)
+      return std::make_unique<ThreadedMachine>(Prog,
+                                               fuseProgram(std::move(Bytecode)));
+    return std::make_unique<ThreadedMachine>(Prog);
   }
   return nullptr;
 }
@@ -231,6 +250,10 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
   R.Id = Id;
   unsigned Tid = unsigned(ThreadPool::currentWorker() + 1); // 0 = off-pool
   JM.Jobs.add(1);
+  (J.B == Backend::Walk   ? JM.BackendWalk
+   : J.B == Backend::Vm   ? JM.BackendVm
+                          : JM.BackendThreaded)
+      .add(1);
   JM.Running.add(1);
   uint64_t JobT0 = nowMicros();
 

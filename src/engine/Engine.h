@@ -43,6 +43,7 @@
 #include "rts/RuntimeInterface.h"
 #include "sem/Executor.h"
 #include "vm/Bytecode.h"
+#include "vm/Fuse.h"
 
 #include <atomic>
 #include <chrono>
@@ -61,9 +62,10 @@ class ModuleCache;
 //===----------------------------------------------------------------------===//
 
 /// The executor backends (sem/Executor.h lists their contracts).
-enum class Backend : uint8_t { Walk, Vm };
+enum class Backend : uint8_t { Walk, Vm, Threaded };
 
-inline constexpr Backend AllBackends[] = {Backend::Walk, Backend::Vm};
+inline constexpr Backend AllBackends[] = {Backend::Walk, Backend::Vm,
+                                          Backend::Threaded};
 
 std::string_view backendName(Backend B);
 std::optional<Backend> parseBackend(std::string_view Name);
@@ -72,11 +74,14 @@ std::optional<Backend> parseBackend(std::string_view Name);
 /// tool and test shares.
 std::unique_ptr<Executor> makeExecutor(Backend B, const IrProgram &Prog);
 
-/// As above, but the VM backend reuses \p Bytecode instead of recompiling
-/// (null falls back to compiling; the walker ignores it).
+/// As above, but the VM and threaded backends reuse \p Bytecode instead of
+/// recompiling, and the threaded backend reuses a pre-fused \p Threaded
+/// stream instead of re-running the fusion pass (null falls back to
+/// compiling/fusing; the walker ignores both).
 std::unique_ptr<Executor>
 makeExecutor(Backend B, const IrProgram &Prog,
-             std::shared_ptr<const CompiledProgram> Bytecode);
+             std::shared_ptr<const CompiledProgram> Bytecode,
+             std::shared_ptr<const ThreadedProgram> Threaded = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Compilation artifacts and the content-hash cache
@@ -111,10 +116,23 @@ struct CacheKeyHash {
 /// full optimizer configuration.
 CacheKey cacheKeyFor(const CompileRequest &Req);
 
+/// Threaded-tier compile accounting, shared between a cache and the
+/// artifacts it interned. Same ownership story as the artifact's bytecode
+/// counter: artifacts are handed to embedders and may outlive their Engine,
+/// so the cache's metric probes co-own this block instead of artifacts
+/// holding registry references.
+struct ThreadedCounters {
+  std::atomic<uint64_t> Compiles{0};     ///< actual fusion-pass runs
+  std::atomic<uint64_t> FusionHits{0};   ///< fused sites, summed over runs
+  std::atomic<uint64_t> FusionMisses{0}; ///< unfused candidate sites
+  std::atomic<uint64_t> Micros{0};       ///< cumulative fusion-pass time
+};
+
 /// One compiled unit: checked (and possibly optimized) IR, or a structured
 /// compile error. Immutable once published, so any number of threads may
-/// run executors over it concurrently; the VM bytecode is compiled on first
-/// use, once, under its own single-flight lock.
+/// run executors over it concurrently; the VM bytecode and the threaded
+/// tier's fused stream are each compiled on first use, once, under their
+/// own single-flight locks.
 class ProgramArtifact {
 public:
   ProgramArtifact() = default;
@@ -131,23 +149,33 @@ public:
   /// Precondition: ok().
   std::shared_ptr<const CompiledProgram> bytecode() const;
 
-  /// Fresh executor over this artifact; the VM backend shares bytecode().
-  /// Precondition: ok().
+  /// The threaded tier's fused stream over bytecode(), built at most once
+  /// per artifact (under the default FusionTable::all()). Precondition:
+  /// ok().
+  std::shared_ptr<const ThreadedProgram> threaded() const;
+
+  /// Fresh executor over this artifact; the VM backend shares bytecode(),
+  /// the threaded backend shares threaded(). Precondition: ok().
   std::unique_ptr<Executor> newExecutor(Backend B) const;
 
 private:
   friend void
   populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
-                   std::shared_ptr<std::atomic<uint64_t>> BcCounter);
+                   std::shared_ptr<std::atomic<uint64_t>> BcCounter,
+                   std::shared_ptr<ThreadedCounters> TCounters);
   CacheKey Key;
   std::shared_ptr<const IrProgram> Prog;
   std::string Error;
   mutable std::mutex BcMu;
   mutable std::shared_ptr<const CompiledProgram> Bc;
+  mutable std::mutex TMu;
+  mutable std::shared_ptr<const ThreadedProgram> Tp;
   /// Bytecode-compile counter, shared with the cache that interned this
   /// artifact (null outside a cache). Shared ownership, not a raw pointer:
   /// artifacts are handed to embedders and may outlive their Engine.
   std::shared_ptr<std::atomic<uint64_t>> BcCompiles;
+  /// Threaded-tier accounting, same sharing story (null outside a cache).
+  std::shared_ptr<ThreadedCounters> TCnt;
 };
 
 /// Compiles \p Req outside any cache (one-shot embedders, tests).
@@ -161,6 +189,7 @@ struct CacheStats {
   uint64_t Hits = 0;
   uint64_t IrCompiles = 0;       ///< actual front-end + optimizer runs
   uint64_t BytecodeCompiles = 0; ///< actual IR-to-bytecode runs
+  uint64_t ThreadedCompiles = 0; ///< actual fusion-pass runs
   uint64_t Evictions = 0;
   /// Lookups that found another thread's compile of the same key in flight
   /// and blocked for its result (counted within Hits).
@@ -327,6 +356,9 @@ private:
   struct JobMetrics {
     Counter &Jobs, &Halted, &Wrong, &Suspended, &CompileErrors, &Timeouts,
         &FuelExhausted, &ResumeCycles;
+    /// Per-backend job counts (engine.backend_* — cmmstat buckets these
+    /// into its backends report). Indexed by Backend.
+    Counter &BackendWalk, &BackendVm, &BackendThreaded;
     Gauge &Queued, &Running;
     Histogram &QueueMicros, &CompileMicros, &RunMicros, &JobMicros,
         &ResumeCyclesPerJob;
@@ -339,6 +371,9 @@ private:
           Timeouts(R.counter("engine.jobs_timeout")),
           FuelExhausted(R.counter("engine.jobs_fuel_exhausted")),
           ResumeCycles(R.counter("engine.resume_cycles")),
+          BackendWalk(R.counter("engine.backend_walk_jobs")),
+          BackendVm(R.counter("engine.backend_vm_jobs")),
+          BackendThreaded(R.counter("engine.backend_threaded_jobs")),
           Queued(R.gauge("engine.jobs_queued")),
           Running(R.gauge("engine.jobs_running")),
           QueueMicros(R.histogram("engine.queue_micros")),

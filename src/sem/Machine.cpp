@@ -61,9 +61,10 @@ void Machine::start(Symbol ProcName, std::vector<Value> Args) {
   WrongReason.clear();
   St = MachineStatus::Running;
 
-  // Load the static data image.
-  for (size_t I = 0; I < Prog.Image.Bytes.size(); ++I)
-    Mem.storeByte(Prog.Image.Base + I, Prog.Image.Bytes[I]);
+  // Load the static data image (bulk: per-page memcpy, not per-byte).
+  if (!Prog.Image.Bytes.empty())
+    Mem.storeBytes(Prog.Image.Base, Prog.Image.Bytes.data(),
+                   Prog.Image.Bytes.size());
   for (const DataImage::Reloc &R : Prog.Image.Relocs) {
     uint64_t V = 0;
     if (const IrProc *P = Prog.findProc(R.Target)) {

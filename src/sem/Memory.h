@@ -17,6 +17,7 @@
 #include "sem/Value.h"
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <unordered_map>
 
@@ -69,6 +70,33 @@ public:
       const std::array<uint8_t, PageSize> *P = findPage(Addr / PageSize);
       if (!P)
         return 0; // never-written bytes read as zero
+      // Little-endian hosts can read a value in one fixed-size memcpy
+      // (the byte loop IS little-endian assembly — it compiles to a plain
+      // load); others assemble explicitly. Widths are 8/16/32/64 bits.
+      if constexpr (std::endian::native == std::endian::little) {
+        const uint8_t *Src = P->data() + Off;
+        switch (Bytes) {
+        case 1:
+          return *Src;
+        case 2: {
+          uint16_t V;
+          std::memcpy(&V, Src, 2);
+          return V;
+        }
+        case 4: {
+          uint32_t V;
+          std::memcpy(&V, Src, 4);
+          return V;
+        }
+        case 8: {
+          uint64_t V;
+          std::memcpy(&V, Src, 8);
+          return V;
+        }
+        default:
+          break; // fall through to the byte loop
+        }
+      }
       uint64_t V = 0;
       for (unsigned I = 0; I < Bytes; ++I)
         V |= uint64_t((*P)[Off + I]) << (8 * I);
@@ -85,12 +113,56 @@ public:
     uint64_t Off = Addr % PageSize;
     if (Off + Bytes <= PageSize) { // one page: a single lookup
       std::array<uint8_t, PageSize> &P = page(Addr);
+      if constexpr (std::endian::native == std::endian::little) {
+        uint8_t *Dst = P.data() + Off;
+        switch (Bytes) {
+        case 1:
+          *Dst = static_cast<uint8_t>(V);
+          return;
+        case 2: {
+          uint16_t T = static_cast<uint16_t>(V);
+          std::memcpy(Dst, &T, 2);
+          return;
+        }
+        case 4: {
+          uint32_t T = static_cast<uint32_t>(V);
+          std::memcpy(Dst, &T, 4);
+          return;
+        }
+        case 8:
+          std::memcpy(Dst, &V, 8);
+          return;
+        default:
+          break; // fall through to the byte loop
+        }
+      }
       for (unsigned I = 0; I < Bytes; ++I)
         P[Off + I] = static_cast<uint8_t>(V >> (8 * I));
       return;
     }
     for (unsigned I = 0; I < Bytes; ++I)
       storeByte(Addr + I, static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  /// Bulk byte store: the data-segment image loader's path. Equivalent to
+  /// storeByte over [Addr, Addr+N), but copies page-sized chunks, and skips
+  /// the zero-fill of a freshly created page the chunk fully overwrites —
+  /// per-machine-start image installation is a few memcpys, not a per-byte
+  /// hash-cache probe (it dominated the short-workload benchmarks).
+  void storeBytes(uint64_t Addr, const uint8_t *Src, size_t N) {
+    while (N > 0) {
+      uint64_t Idx = Addr / PageSize, Off = Addr % PageSize;
+      size_t Chunk = std::min<uint64_t>(N, PageSize - Off);
+      auto [It, Fresh] = Pages.try_emplace(Idx);
+      if (Fresh && Chunk != PageSize)
+        It->second.fill(0);
+      std::memcpy(It->second.data() + Off, Src, Chunk);
+      CachedIdx = Idx;
+      CachedPage = &It->second;
+      Addr += Chunk;
+      Src += Chunk;
+      N -= Chunk;
+    }
   }
 
   double loadFloat(uint64_t Addr, unsigned Bytes) const {
@@ -132,10 +204,26 @@ private:
 
   /// The page holding \p Idx, or null when it was never written. Fills the
   /// cache; node addresses survive rehashing, so a hit stays valid until
-  /// the map itself is replaced.
+  /// the map itself is replaced. The cache hit is the only inlined path:
+  /// real programs hammer one page, and keeping the hash probe out of line
+  /// leaves the dispatch loops' load/store handlers a compare and a branch.
   std::array<uint8_t, PageSize> *findPage(uint64_t Idx) const {
-    if (Idx == CachedIdx)
+    if (Idx == CachedIdx) [[likely]]
       return CachedPage;
+    return findPageSlow(Idx);
+  }
+
+  std::array<uint8_t, PageSize> &page(uint64_t Addr) {
+    uint64_t Idx = Addr / PageSize;
+    if (Idx == CachedIdx) [[likely]]
+      return *CachedPage;
+    return pageSlow(Idx);
+  }
+
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  std::array<uint8_t, PageSize> *findPageSlow(uint64_t Idx) const {
     auto It = Pages.find(Idx);
     if (It == Pages.end())
       return nullptr;
@@ -144,10 +232,10 @@ private:
     return CachedPage;
   }
 
-  std::array<uint8_t, PageSize> &page(uint64_t Addr) {
-    uint64_t Idx = Addr / PageSize;
-    if (std::array<uint8_t, PageSize> *P = findPage(Idx))
-      return *P;
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  std::array<uint8_t, PageSize> &pageSlow(uint64_t Idx) {
     auto [It, Fresh] = Pages.try_emplace(Idx);
     if (Fresh)
       It->second.fill(0);

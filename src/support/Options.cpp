@@ -145,8 +145,10 @@ FlagParse parseCommonFlag(CommonOptions &O, unsigned Groups, int &I, int Argc,
 
 bool finalizeCommonOptions(const CommonOptions &O, unsigned Groups,
                            std::string &Err) {
-  if ((Groups & FG_Backend) && O.Backend != "walk" && O.Backend != "vm") {
-    Err = "unknown backend '" + O.Backend + "' (expected walk or vm)";
+  if ((Groups & FG_Backend) && O.Backend != "walk" && O.Backend != "vm" &&
+      O.Backend != "threaded") {
+    Err = "unknown backend '" + O.Backend +
+          "' (expected walk, vm, or threaded)";
     return false;
   }
   if ((Groups & FG_Trace) && O.TraceFormat != "jsonl" &&
@@ -161,7 +163,7 @@ bool finalizeCommonOptions(const CommonOptions &O, unsigned Groups,
 std::string commonFlagsHelp(unsigned Groups) {
   std::string H;
   if (Groups & FG_Backend)
-    H += "  --backend walk|vm     executor backend (default walk)\n";
+    H += "  --backend walk|vm|threaded  executor backend (default walk)\n";
   if (Groups & FG_Opt) {
     H += "  --optimize, -O        run the optimization pipeline\n";
     H += "  --opt-stats           print per-pass rewrite counts\n";

@@ -1,0 +1,188 @@
+//===- vm/Fuse.h - Superinstruction fusion for the threaded tier -*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The peephole fusion pass behind the threaded executor (vm/Threaded.h).
+/// It post-processes a CompiledProgram into a ThreadedProgram: a per-pc
+/// dispatch-key stream in which hot adjacent instruction pairs are collapsed
+/// into superinstructions. The bytecode itself is untouched and the key
+/// stream is pc-for-pc parallel to it, which is what makes the pass
+/// observably invisible:
+///
+///  - every branch target, PcOfNode entry, and RvSlotLocs key keeps its
+///    meaning (threaded pc == bytecode pc);
+///  - the second half of a fused pair stays in place as an ordinary
+///    instruction, so control that lands on it directly — a branch target,
+///    or a budget-exhausted run resuming at its node boundary — executes it
+///    standalone with identical semantics;
+///  - a superinstruction performs both components' node-boundary accounting
+///    (budget, Steps, onStep) and goes-wrong checks in exactly the order
+///    the plain dispatch loop would.
+///
+/// The supported pair set is fixed at build time (each pair has a dedicated
+/// handler in the dispatch loop); a FusionTable selects which pairs are
+/// live, either wholesale (all / none — the bench ablation) or derived from
+/// Profiler data (fromProfile: static pair sites weighted by the profiler's
+/// per-procedure step counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_VM_FUSE_H
+#define CMM_VM_FUSE_H
+
+#include "obs/Profiler.h"
+#include "vm/Bytecode.h"
+
+#include <array>
+#include <memory>
+
+namespace cmm {
+
+/// Dispatch keys of the threaded tier. The first NumBaseOps values mirror
+/// Op exactly (a key stream with no fusion is the op stream); the rest name
+/// the fused pairs.
+enum class TOp : uint8_t {
+  LoadConst,
+  LoadLocal,
+  LoadGlobal,
+  LoadNameDyn,
+  Unary,
+  Binary,
+  Prim,
+  MemLoad,
+  Wrong,
+  SetGlobal,
+  MemStore,
+  StageOut,
+  Commit,
+  CopyIn,
+  CalleeSaves,
+  EntryOp,
+  Goto,
+  BranchIf,
+  BranchCmp,
+  ExitOp,
+  CallOp,
+  JumpOp,
+  CutToOp,
+  YieldOp,
+
+  // Superinstructions. Every First falls through unconditionally, so the
+  // pair is a straight line; Second may be anything, including a transfer.
+  BinaryBinary, ///< two chained Binary ops (b = ...; c = b ...)
+  BinaryGoto,   ///< loop latch: assign then back-edge
+  BinaryBranchIf,
+  BinaryBranchCmp, ///< assign then fused compare-and-branch
+  UnaryBranchIf,
+  LoadGlobalBinary,
+  SetGlobalGoto,
+  StageStage,  ///< adjacent CopyOut stages
+  StageCommit, ///< last stage and its commit
+  CommitCall,  ///< argument-area commit feeding the transfer
+  CommitExit,
+  CommitJump,
+  CommitCut,
+  EntryCopyIn, ///< procedure prologue: Entry node then CopyIn node
+  CopyInGoto,
+
+  NumTOps,
+};
+
+inline constexpr unsigned NumBaseOps = unsigned(Op::YieldOp) + 1;
+static_assert(unsigned(TOp::YieldOp) == unsigned(Op::YieldOp),
+              "TOp must mirror Op over the base range");
+
+/// Short mnemonic for \p K ("bin+brc", ... falls back to the base-op name).
+const char *superOpName(TOp K);
+
+/// One supported fusion: Keys[pc] becomes Fused where Code[pc].K == First
+/// and Code[pc+1].K == Second.
+struct FusionPair {
+  Op First;
+  Op Second;
+  TOp Fused;
+};
+
+/// Selects which of the supported pairs the fusion pass applies.
+class FusionTable {
+public:
+  /// Every pair the dispatch loop has a handler for, in TOp order.
+  static const std::vector<FusionPair> &supportedPairs();
+
+  /// All supported pairs live (the default configuration).
+  static FusionTable all();
+  /// Fusion disabled — the key stream degenerates to the op stream. This is
+  /// the bench_interp ablation configuration.
+  static FusionTable none();
+
+  /// Derives a table from profile data: a supported pair is enabled when
+  /// its static occurrence count, weighted by the profiler's per-procedure
+  /// step counts (hot procedures vote with their executed steps), reaches
+  /// \p MinShare of the total weighted pair mass. With an empty profile
+  /// every procedure weighs 1, degrading gracefully to static frequency.
+  static FusionTable
+  fromProfile(const CompiledProgram &CP,
+              const std::unordered_map<const IrProc *, ProcProfile> &Procs,
+              double MinShare = 0.01);
+
+  /// The superinstruction for (First, Second), or TOp::NumTOps when the
+  /// pair is unsupported or disabled.
+  TOp lookup(Op First, Op Second) const {
+    return TOp(Map[unsigned(First) * NumBaseOps + unsigned(Second)]);
+  }
+
+  bool anyEnabled() const { return Enabled; }
+
+private:
+  FusionTable();
+  void enable(const FusionPair &P);
+
+  std::array<uint8_t, NumBaseOps * NumBaseOps> Map;
+  bool Enabled = false;
+};
+
+/// Fuse-time statistics (static counts — the dispatch loop is never taxed
+/// with dynamic fusion counters).
+struct FusionStats {
+  /// Pairs collapsed into a superinstruction (fusion hits).
+  uint64_t FusedSites = 0;
+  /// Adjacent straight-line pairs examined that no live table entry
+  /// covered (fusion misses).
+  uint64_t MissedSites = 0;
+  /// Fused sites per superinstruction kind (indexed by TOp).
+  std::array<uint64_t, size_t(TOp::NumTOps)> SitesByOp{};
+};
+
+/// One procedure's dispatch-key stream, pc-for-pc parallel to the bytecode
+/// of the CompiledProc at the same index.
+struct ThreadedProc {
+  std::vector<uint8_t> Keys;
+};
+
+/// A threaded program: the shared bytecode plus one key stream per
+/// procedure. Immutable after fuseProgram returns, so any number of
+/// ThreadedMachines on any number of threads may share one.
+struct ThreadedProgram {
+  std::shared_ptr<const CompiledProgram> Bytecode;
+  std::vector<ThreadedProc> Procs; ///< parallel to Bytecode->Procs
+  FusionStats Fusion;
+};
+
+/// Runs the fusion pass over \p Bytecode under \p Table. \p Bytecode must
+/// be non-null; the returned program co-owns it.
+std::shared_ptr<const ThreadedProgram>
+fuseProgram(std::shared_ptr<const CompiledProgram> Bytecode,
+            const FusionTable &Table = FusionTable::all());
+
+/// Renders procedure \p ProcIdx of \p TP as a listing in the style of
+/// disassemble(), with fused sites prefixed by their superinstruction
+/// mnemonic (cmmi --dump-bytecode under --backend=threaded).
+std::string disassembleThreaded(const ThreadedProgram &TP, uint32_t ProcIdx,
+                                const Interner &Names);
+
+} // namespace cmm
+
+#endif // CMM_VM_FUSE_H

@@ -1,0 +1,67 @@
+//===- vm/Threaded.h - Threaded-code executor for Abstract C-- --*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third executor tier: runs the register bytecode of vm/Bytecode.h
+/// through a threaded dispatch loop (computed-goto label-address dispatch on
+/// GCC/Clang; a portable switch fallback when CMM_NO_COMPUTED_GOTO is
+/// defined at configure time) over the superinstruction key stream produced
+/// by the fusion pass in vm/Fuse.h.
+///
+/// ThreadedMachine derives from VmMachine and replaces only the dispatch
+/// loop: frames, cuts, the Table 1 run-time substrate, global access, and
+/// the expression slow paths are the VM's own code, so every observable —
+/// goes-wrong reasons and locations (including fused-operand wrongLoc via
+/// RvSlotLocs), the 13 Stats counters, MachineObserver events, and
+/// node-boundary fuel accounting — is preserved by construction everywhere
+/// except the loop, and the loop's preservation argument is in
+/// docs/BYTECODE.md § "Threaded tier".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_VM_THREADED_H
+#define CMM_VM_THREADED_H
+
+#include "vm/Fuse.h"
+#include "vm/Vm.h"
+
+namespace cmm {
+
+/// The dispatch model this build selected: "computed-goto" on GCC/Clang, or
+/// "switch" under -DCMM_NO_COMPUTED_GOTO (recorded in bench metadata so the
+/// two builds' numbers are never conflated).
+const char *threadedDispatchKind();
+
+/// The threaded-code executor. One ThreadedMachine is one C-- thread.
+class ThreadedMachine final : public VmMachine {
+public:
+  /// Compiles the bytecode and fuses it under the default table.
+  explicit ThreadedMachine(const IrProgram &Prog);
+
+  /// Shares a pre-fused program (the engine's artifact cache fuses once and
+  /// hands the same ThreadedProgram to every executor over the same
+  /// program). \p Shared must be non-null and fused from \p Prog 's
+  /// bytecode.
+  ThreadedMachine(const IrProgram &Prog,
+                  std::shared_ptr<const ThreadedProgram> Shared);
+
+  std::string_view backendName() const override { return "threaded"; }
+
+  bool step() override;
+  MachineStatus run(uint64_t MaxSteps = ~uint64_t(0)) override;
+
+  /// The fused form (for cmmi --dump-bytecode and tests).
+  const ThreadedProgram &threadedProgram() const { return *TP; }
+
+private:
+  template <bool Observed> void texec(uint64_t &Budget);
+
+  std::shared_ptr<const ThreadedProgram> TP;
+};
+
+} // namespace cmm
+
+#endif // CMM_VM_THREADED_H

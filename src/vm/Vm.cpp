@@ -34,6 +34,10 @@ VmMachine::VmMachine(const IrProgram &Prog,
     CodeTable.push_back(P.get());
   }
   Staging.resize(std::max<uint32_t>(CP.MaxOut, 1));
+  for (const CompiledProc &C : CP.Procs) {
+    MaxRegs = std::max<uint32_t>(MaxRegs, C.NumRegs);
+    MaxSlots = std::max<uint32_t>(MaxSlots, C.NumSlots);
+  }
 }
 
 void VmMachine::goWrong(std::string Reason, SourceLoc Loc) {
@@ -80,11 +84,9 @@ const IrProc *VmMachine::decodeCode(const Value &V) const {
   return CodeTable[Idx];
 }
 
-uint64_t VmMachine::newCont(Node *Target) {
-  ContTable.push_back({Target, Uid, CurProc});
-  ++S.ContsBound;
-  return ContTable.size() - 1;
-}
+// decodeCodeIdx and newCont live in Vm.h: both dispatch loops hit them on
+// every transfer (resp. every Entry node), and both are a handful of
+// instructions once inlined.
 
 const ContRecord *VmMachine::decodeCont(const Value &V) const {
   uint64_t Raw;
@@ -143,9 +145,10 @@ void VmMachine::start(std::string_view ProcName, std::vector<Value> Args) {
   WrongReason.clear();
   St = MachineStatus::Running;
 
-  // Load the static data image.
-  for (size_t I = 0; I < Prog.Image.Bytes.size(); ++I)
-    Mem.storeByte(Prog.Image.Base + I, Prog.Image.Bytes[I]);
+  // Load the static data image (bulk: per-page memcpy, not per-byte).
+  if (!Prog.Image.Bytes.empty())
+    Mem.storeBytes(Prog.Image.Base, Prog.Image.Bytes.data(),
+                   Prog.Image.Bytes.size());
   for (const DataImage::Reloc &R : Prog.Image.Relocs) {
     uint64_t V = 0;
     if (const IrProc *P = Prog.findProc(R.Target)) {
@@ -181,153 +184,48 @@ void VmMachine::start(std::string_view ProcName, std::vector<Value> Args) {
 }
 
 void VmMachine::enterProc(const IrProc *P, SourceLoc Loc) {
-  const CompiledProc &C = CP.byProc(P);
+  enterProcAt(CP.Index.at(P), P, Loc);
+}
+
+void VmMachine::enterProcAt(uint32_t ProcIdx, const IrProc *P,
+                            SourceLoc Loc) {
+  const CompiledProc &C = CP.Procs[ProcIdx];
   if (!C.HasBody) {
     goWrong("procedure '" + Prog.Names->spelling(P->Name) + "' has no body",
             Loc);
     return;
   }
   Cur = &C;
+  CurIdx = ProcIdx;
   CurProc = P;
   Pc = C.EntryPc;
   Uid = NextUid++;
-  // Grow-only register files: entering a smaller procedure (every tail
-  // call) reuses the larger file rather than shrinking it. Registers past
-  // NumRegs are never read — temporaries are written before use and slot
-  // reads are gated on Bound, which is cleared for exactly NumSlots here.
-  if (Regs.size() < C.NumRegs)
-    Regs.resize(C.NumRegs);
-  if (Bound.size() < C.NumSlots)
-    Bound.resize(C.NumSlots);
+  // Grow-only register files: a file that is ever too small grows straight
+  // to the program-wide maximum, so every file (including the recycled ones
+  // in FreeFiles) converges to one size and this branch stops firing — the
+  // resize was showing up on call-heavy profiles when differently-sized
+  // files ping-ponged through FreeFiles. Registers past NumRegs are never
+  // read — temporaries are written before use and slot reads are gated on
+  // Bound, which is cleared for exactly NumSlots here.
+  if (Regs.size() < C.NumRegs) [[unlikely]]
+    Regs.resize(MaxRegs);
+  if (Bound.size() < C.NumSlots) [[unlikely]]
+    Bound.resize(MaxSlots);
   std::fill_n(Bound.begin(), C.NumSlots, 0);
   Sigma.clear();
 }
 
-void VmMachine::pushFrame(const CallNode *Site) {
-  VmFrame F;
-  F.CallSite = Site;
-  F.Proc = CurProc;
-  F.Compiled = Cur;
-  F.Uid = Uid;
-  F.Regs = std::move(Regs);
-  F.Bound = std::move(Bound);
-  F.Sigma = std::move(Sigma);
-  Stack.push_back(std::move(F));
-  if (!FreeFiles.empty()) {
-    Regs = std::move(FreeFiles.back().first);
-    Bound = std::move(FreeFiles.back().second);
-    FreeFiles.pop_back();
-  } else {
-    Regs = {};
-    Bound = {};
-  }
-  Sigma.clear();
-  S.MaxStackDepth = std::max<uint64_t>(S.MaxStackDepth, Stack.size());
-}
-
-void VmMachine::restoreFrame(VmFrame &F) {
-  FreeFiles.emplace_back(std::move(Regs), std::move(Bound));
-  Regs = std::move(F.Regs);
-  Bound = std::move(F.Bound);
-  Sigma = std::move(F.Sigma);
-  Uid = F.Uid;
-  CurProc = F.Proc;
-  Cur = F.Compiled;
-}
+// pushFrame and restoreFrame live in Vm.h: both dispatch loops execute them
+// on every call and return, and inlining spares the spill of the loops'
+// cached state around an out-of-line call.
 
 //===----------------------------------------------------------------------===//
 // Expression slow paths (exact copies of the walker's evaluator)
 //===----------------------------------------------------------------------===//
 
-bool VmMachine::applyUnary(Value &Out, const Value &V, unsigned OpKind) {
-  switch (static_cast<UnOp>(OpKind)) {
-  case UnOp::Neg:
-    Out = V.isFloat() ? Value::flt(V.Width, -V.F)
-                      : Value::bits(V.Width, 0 - V.Raw);
-    return true;
-  case UnOp::Com:
-    Out = Value::bits(V.Width, ~V.Raw);
-    return true;
-  case UnOp::Not:
-    Out = Value::bits(32, V.Raw == 0 ? 1 : 0);
-    return true;
-  }
-  cmm_unreachable("unknown unary operator");
-}
-
-bool VmMachine::applyBinary(Value &Out, const Value &L, const Value &R,
-                            unsigned OpKind, SourceLoc Loc) {
-  BinOp Op = static_cast<BinOp>(OpKind);
-  if (L.isFloat() || R.isFloat()) {
-    if (!(L.isFloat() && R.isFloat())) {
-      goWrong("mixed floating-point and bit operands", Loc);
-      return false;
-    }
-    double X = L.F, Y = R.F;
-    switch (Op) {
-    case BinOp::Add: Out = Value::flt(L.Width, X + Y); return true;
-    case BinOp::Sub: Out = Value::flt(L.Width, X - Y); return true;
-    case BinOp::Mul: Out = Value::flt(L.Width, X * Y); return true;
-    case BinOp::Div: Out = Value::flt(L.Width, X / Y); return true;
-    case BinOp::Eq: Out = Value::bits(32, X == Y); return true;
-    case BinOp::Ne: Out = Value::bits(32, X != Y); return true;
-    case BinOp::LtS: Out = Value::bits(32, X < Y); return true;
-    case BinOp::LeS: Out = Value::bits(32, X <= Y); return true;
-    case BinOp::GtS: Out = Value::bits(32, X > Y); return true;
-    case BinOp::GeS: Out = Value::bits(32, X >= Y); return true;
-    default:
-      goWrong("bit operation on floating-point operands", Loc);
-      return false;
-    }
-  }
-
-  unsigned W = L.Width;
-  uint64_t X = L.Raw, Y = R.Raw;
-  int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
-  switch (Op) {
-  case BinOp::Add: Out = Value::bits(W, X + Y); return true;
-  case BinOp::Sub: Out = Value::bits(W, X - Y); return true;
-  case BinOp::Mul: Out = Value::bits(W, X * Y); return true;
-  case BinOp::Div:
-    if (SY == 0) {
-      goWrong("unspecified: signed division by zero (use %%divs for the "
-              "checked variant)",
-              Loc);
-      return false;
-    }
-    if (SX == signExtend(signedMin(W), W) && SY == -1) {
-      goWrong("unspecified: signed division overflow", Loc);
-      return false;
-    }
-    Out = Value::bits(W, static_cast<uint64_t>(SX / SY));
-    return true;
-  case BinOp::Mod:
-    if (SY == 0) {
-      goWrong("unspecified: signed modulus by zero (use %%mods for the "
-              "checked variant)",
-              Loc);
-      return false;
-    }
-    if (SX == signExtend(signedMin(W), W) && SY == -1) {
-      Out = Value::bits(W, 0);
-      return true;
-    }
-    Out = Value::bits(W, static_cast<uint64_t>(SX % SY));
-    return true;
-  case BinOp::And: Out = Value::bits(W, X & Y); return true;
-  case BinOp::Or: Out = Value::bits(W, X | Y); return true;
-  case BinOp::Xor: Out = Value::bits(W, X ^ Y); return true;
-  case BinOp::Shl: Out = Value::bits(W, Y >= W ? 0 : X << Y); return true;
-  case BinOp::Shr: Out = Value::bits(W, Y >= W ? 0 : X >> Y); return true;
-  case BinOp::Eq: Out = Value::bits(32, X == Y); return true;
-  case BinOp::Ne: Out = Value::bits(32, X != Y); return true;
-  case BinOp::LtS: Out = Value::bits(32, SX < SY); return true;
-  case BinOp::LeS: Out = Value::bits(32, SX <= SY); return true;
-  case BinOp::GtS: Out = Value::bits(32, SX > SY); return true;
-  case BinOp::GeS: Out = Value::bits(32, SX >= SY); return true;
-  }
-  cmm_unreachable("unknown binary operator");
-}
+// applyUnary and applyBinary live in Vm.h: they are the hottest slow paths
+// of both dispatch loops, and the threaded tier (Threaded.cpp) needs them
+// inlined just as this translation unit gets them inlined into exec.
 
 bool VmMachine::applyPrim(Value &Out, unsigned PrimOp, const Value *Args,
                           unsigned Count, SourceLoc Loc) {
@@ -825,15 +723,16 @@ template <bool Observed> void VmMachine::exec(uint64_t &Budget) {
       if (!CalleeV)
         break;
       const Value Callee = *CalleeV; // pushFrame moves Regs out
-      const IrProc *Target = decodeCode(Callee);
-      if (!Target) {
+      const int64_t TargetIdx = decodeCodeIdx(Callee);
+      if (TargetIdx < 0) {
         goWrong("call target is not code (" + Callee.str() + ")", I.Loc);
         break;
       }
+      const IrProc *Target = CodeTable[TargetIdx];
       const auto *CN = cast<CallNode>(I.N);
       const IrProc *Caller = CurProc;
       pushFrame(CN);
-      enterProc(Target, I.Loc);
+      enterProcAt(uint32_t(TargetIdx), Target, I.Loc);
       Code = Cur->Code.data();
       ++S.Calls;
       if constexpr (Observed)
@@ -845,15 +744,16 @@ template <bool Observed> void VmMachine::exec(uint64_t &Budget) {
       if (!CalleeV)
         break;
       const Value Callee = *CalleeV; // enterProc may grow Regs
-      const IrProc *Target = decodeCode(Callee);
-      if (!Target) {
+      const int64_t TargetIdx = decodeCodeIdx(Callee);
+      if (TargetIdx < 0) {
         goWrong("jump target is not code (" + Callee.str() + ")", I.Loc);
         break;
       }
+      const IrProc *Target = CodeTable[TargetIdx];
       // Tail call: the caller's resources are deallocated before the call;
       // the continuation bundle on the stack is reused.
       const IrProc *Caller = CurProc;
-      enterProc(Target, I.Loc);
+      enterProcAt(uint32_t(TargetIdx), Target, I.Loc);
       Code = Cur->Code.data();
       ++S.Jumps;
       if constexpr (Observed)

@@ -21,6 +21,8 @@
 
 #include "sem/Env.h"
 #include "sem/Executor.h"
+#include "support/Assert.h"
+#include "support/Bits.h"
 #include "vm/Bytecode.h"
 
 namespace cmm {
@@ -31,14 +33,19 @@ struct VmFrame {
   const CallNode *CallSite = nullptr;
   const IrProc *Proc = nullptr;
   const CompiledProc *Compiled = nullptr;
+  uint32_t CompiledIdx = 0; ///< dense index of Compiled in CP.Procs
   std::vector<Value> Regs;
   std::vector<uint8_t> Bound; ///< per-slot definedness (the domain of ρ)
   std::vector<uint16_t> Sigma;
   uint64_t Uid = 0;
 };
 
-/// The bytecode executor. One VmMachine is one C-- thread.
-class VmMachine final : public Executor {
+/// The bytecode executor. One VmMachine is one C-- thread. The threaded
+/// tier (vm/Threaded.h) derives from it: everything except the dispatch
+/// loop itself — frames, cuts, the run-time substrate, the expression slow
+/// paths — is shared, so the two tiers cannot drift apart anywhere but the
+/// loop.
+class VmMachine : public Executor {
 public:
   explicit VmMachine(const IrProgram &Prog);
 
@@ -94,6 +101,13 @@ public:
 private:
   template <bool Observed> void exec(uint64_t &Budget);
 
+protected:
+#if defined(__GNUC__) || defined(__clang__)
+#define CMM_VM_INLINE __attribute__((always_inline)) inline
+#else
+#define CMM_VM_INLINE inline
+#endif
+
   void goWrong(std::string Reason, SourceLoc Loc);
   void wrongUnbound(uint16_t Slot, SourceLoc Loc);
   /// Failure path of a fused-operand read; kept out of line so its
@@ -101,16 +115,29 @@ private:
   /// dispatch loop. Always returns null.
   const Value *rvUnbound(uint16_t Slot, const VmInstr &I, unsigned Field);
   void enterProc(const IrProc *P, SourceLoc Loc);
-  void pushFrame(const CallNode *Site);
-  void restoreFrame(VmFrame &F);
+  // The per-call/per-return frame shuffles: forced inline so the dispatch
+  // loops keep their cached state in registers across them (GCC declines
+  // the inline at -O2, and the out-of-line call spills on every transfer).
+  CMM_VM_INLINE void pushFrame(const CallNode *Site);
+  CMM_VM_INLINE void restoreFrame(VmFrame &F);
   bool doCutTo(const Value &ContVal, const CutToNode *FromNode);
   const IrProc *decodeCode(const Value &V) const;
+  /// decodeCode, but yielding the dense procedure index (-1 when \p V is
+  /// not a valid code value). CodeTable and CP.Procs share IrProgram::Procs
+  /// order, so one index addresses both; the dispatch loops resolve call
+  /// and jump targets through it without byProc's hash lookup.
+  int64_t decodeCodeIdx(const Value &V) const;
+  /// enterProc for a target already resolved to its dense index.
+  void enterProcAt(uint32_t ProcIdx, const IrProc *P, SourceLoc Loc);
   uint64_t newCont(Node *Target);
   uint32_t pcOf(const CompiledProc &C, const Node *N) const {
     return C.PcOfNode[N->Id];
   }
 
   // Shared slow paths of the dispatch loop (exact walker semantics).
+  // applyUnary/applyBinary are defined inline below: both the VM's switch
+  // loop and the threaded tier's loop (a separate translation unit) must be
+  // able to inline them — they dominate expression-heavy workloads.
   bool applyUnary(Value &Out, const Value &V, unsigned OpKind);
   bool applyBinary(Value &Out, const Value &L, const Value &R,
                    unsigned OpKind, SourceLoc Loc);
@@ -137,6 +164,10 @@ private:
 
   // Bookkeeping beyond the formal state.
   const CompiledProc *Cur = nullptr;
+  /// Dense index of Cur in CP.Procs (== index of CurProc in Prog.Procs and
+  /// CodeTable). The threaded tier's reload path addresses its parallel
+  /// per-proc tables through it without a pointer-difference division.
+  uint32_t CurIdx = 0;
   const IrProc *CurProc = nullptr;
   Env GlobalEnv;
   uint64_t NextUid = 1;
@@ -144,6 +175,9 @@ private:
   std::unordered_map<const IrProc *, uint64_t> CodeIndex;
   std::vector<const IrProc *> CodeTable;
   std::vector<Value> Staging;
+  /// Program-wide maxima of CompiledProc::NumRegs/NumSlots: register files
+  /// grow straight to these so recycling never resizes (enterProcAt).
+  uint32_t MaxRegs = 0, MaxSlots = 0;
   /// Recycled (Regs, Bound) pairs so calls do not allocate in steady state.
   std::vector<std::pair<std::vector<Value>, std::vector<uint8_t>>> FreeFiles;
   MachineStatus St = MachineStatus::Idle;
@@ -152,6 +186,147 @@ private:
   Stats S;
   MachineObserver *Obs = nullptr;
 };
+
+inline int64_t VmMachine::decodeCodeIdx(const Value &V) const {
+  if (!(V.isCode() || V.isBits()) || !Value::rawIsCode(V.Raw))
+    return -1;
+  if ((V.Raw - CodeBase) % CodeStride != 0)
+    return -1;
+  uint64_t Idx = V.codeIndex();
+  if (Idx >= CodeTable.size())
+    return -1;
+  return int64_t(Idx);
+}
+
+inline uint64_t VmMachine::newCont(Node *Target) {
+  ContTable.push_back({Target, Uid, CurProc});
+  ++S.ContsBound;
+  return ContTable.size() - 1;
+}
+
+inline void VmMachine::pushFrame(const CallNode *Site) {
+  VmFrame &F = Stack.emplace_back(); // built in place: no temporary to move
+  F.CallSite = Site;
+  F.Proc = CurProc;
+  F.Compiled = Cur;
+  F.CompiledIdx = CurIdx;
+  F.Uid = Uid;
+  F.Regs = std::move(Regs);
+  F.Bound = std::move(Bound);
+  F.Sigma = std::move(Sigma);
+  if (!FreeFiles.empty()) {
+    Regs = std::move(FreeFiles.back().first);
+    Bound = std::move(FreeFiles.back().second);
+    FreeFiles.pop_back();
+  } else {
+    Regs = {};
+    Bound = {};
+  }
+  Sigma.clear();
+  S.MaxStackDepth = std::max<uint64_t>(S.MaxStackDepth, Stack.size());
+}
+
+inline void VmMachine::restoreFrame(VmFrame &F) {
+  FreeFiles.emplace_back(std::move(Regs), std::move(Bound));
+  Regs = std::move(F.Regs);
+  Bound = std::move(F.Bound);
+  Sigma = std::move(F.Sigma);
+  Uid = F.Uid;
+  CurProc = F.Proc;
+  Cur = F.Compiled;
+  CurIdx = F.CompiledIdx;
+}
+
+inline bool VmMachine::applyUnary(Value &Out, const Value &V,
+                                  unsigned OpKind) {
+  switch (static_cast<UnOp>(OpKind)) {
+  case UnOp::Neg:
+    Out = V.isFloat() ? Value::flt(V.Width, -V.F)
+                      : Value::bits(V.Width, 0 - V.Raw);
+    return true;
+  case UnOp::Com:
+    Out = Value::bits(V.Width, ~V.Raw);
+    return true;
+  case UnOp::Not:
+    Out = Value::bits(32, V.Raw == 0 ? 1 : 0);
+    return true;
+  }
+  cmm_unreachable("unknown unary operator");
+}
+
+inline bool VmMachine::applyBinary(Value &Out, const Value &L, const Value &R,
+                                   unsigned OpKind, SourceLoc Loc) {
+  BinOp Op = static_cast<BinOp>(OpKind);
+  if (L.isFloat() || R.isFloat()) [[unlikely]] {
+    if (!(L.isFloat() && R.isFloat())) {
+      goWrong("mixed floating-point and bit operands", Loc);
+      return false;
+    }
+    double X = L.F, Y = R.F;
+    switch (Op) {
+    case BinOp::Add: Out = Value::flt(L.Width, X + Y); return true;
+    case BinOp::Sub: Out = Value::flt(L.Width, X - Y); return true;
+    case BinOp::Mul: Out = Value::flt(L.Width, X * Y); return true;
+    case BinOp::Div: Out = Value::flt(L.Width, X / Y); return true;
+    case BinOp::Eq: Out = Value::bits(32, X == Y); return true;
+    case BinOp::Ne: Out = Value::bits(32, X != Y); return true;
+    case BinOp::LtS: Out = Value::bits(32, X < Y); return true;
+    case BinOp::LeS: Out = Value::bits(32, X <= Y); return true;
+    case BinOp::GtS: Out = Value::bits(32, X > Y); return true;
+    case BinOp::GeS: Out = Value::bits(32, X >= Y); return true;
+    default:
+      goWrong("bit operation on floating-point operands", Loc);
+      return false;
+    }
+  }
+
+  unsigned W = L.Width;
+  uint64_t X = L.Raw, Y = R.Raw;
+  int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
+  switch (Op) {
+  case BinOp::Add: Out = Value::bits(W, X + Y); return true;
+  case BinOp::Sub: Out = Value::bits(W, X - Y); return true;
+  case BinOp::Mul: Out = Value::bits(W, X * Y); return true;
+  case BinOp::Div:
+    if (SY == 0) {
+      goWrong("unspecified: signed division by zero (use %%divs for the "
+              "checked variant)",
+              Loc);
+      return false;
+    }
+    if (SX == signExtend(signedMin(W), W) && SY == -1) {
+      goWrong("unspecified: signed division overflow", Loc);
+      return false;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(SX / SY));
+    return true;
+  case BinOp::Mod:
+    if (SY == 0) {
+      goWrong("unspecified: signed modulus by zero (use %%mods for the "
+              "checked variant)",
+              Loc);
+      return false;
+    }
+    if (SX == signExtend(signedMin(W), W) && SY == -1) {
+      Out = Value::bits(W, 0);
+      return true;
+    }
+    Out = Value::bits(W, static_cast<uint64_t>(SX % SY));
+    return true;
+  case BinOp::And: Out = Value::bits(W, X & Y); return true;
+  case BinOp::Or: Out = Value::bits(W, X | Y); return true;
+  case BinOp::Xor: Out = Value::bits(W, X ^ Y); return true;
+  case BinOp::Shl: Out = Value::bits(W, Y >= W ? 0 : X << Y); return true;
+  case BinOp::Shr: Out = Value::bits(W, Y >= W ? 0 : X >> Y); return true;
+  case BinOp::Eq: Out = Value::bits(32, X == Y); return true;
+  case BinOp::Ne: Out = Value::bits(32, X != Y); return true;
+  case BinOp::LtS: Out = Value::bits(32, SX < SY); return true;
+  case BinOp::LeS: Out = Value::bits(32, SX <= SY); return true;
+  case BinOp::GtS: Out = Value::bits(32, SX > SY); return true;
+  case BinOp::GeS: Out = Value::bits(32, SX >= SY); return true;
+  }
+  cmm_unreachable("unknown binary operator");
+}
 
 } // namespace cmm
 

@@ -272,7 +272,7 @@ TEST(EngineJobs, SubmitWaitRoundTrip) {
   EXPECT_GT(R.MachineStats.Steps, 0u);
 }
 
-TEST(EngineJobs, BothBackendsAgreeThroughTheEngine) {
+TEST(EngineJobs, AllBackendsAgreeThroughTheEngine) {
   Engine Eng({.Threads = 2});
   std::vector<JobResult> Res;
   for (Backend B : AllBackends) {
@@ -282,9 +282,11 @@ TEST(EngineJobs, BothBackendsAgreeThroughTheEngine) {
     J.Args = {b32(9)};
     Res.push_back(Eng.wait(Eng.submit(std::move(J))));
   }
-  ASSERT_EQ(Res.size(), 2u);
-  EXPECT_TRUE(Res[0].Results == Res[1].Results);
-  EXPECT_EQ(Res[0].MachineStats.Steps, Res[1].MachineStats.Steps);
+  ASSERT_EQ(Res.size(), std::size(AllBackends));
+  for (size_t I = 1; I < Res.size(); ++I) {
+    EXPECT_TRUE(Res[0].Results == Res[I].Results);
+    EXPECT_EQ(Res[0].MachineStats.Steps, Res[I].MachineStats.Steps);
+  }
 }
 
 TEST(EngineJobs, FailuresAreIsolatedWithinABatch) {

@@ -13,6 +13,7 @@
 
 #include "engine/Engine.h"
 #include "rts/RuntimeInterface.h"
+#include "vm/Threaded.h"
 #include "vm/Vm.h"
 
 using namespace cmm;
@@ -20,9 +21,10 @@ using namespace cmm::test;
 
 namespace {
 
-/// Runs main(args) on both backends and expects Wrong with \p ReasonFragment
+/// Runs main(args) on every backend and expects Wrong with \p ReasonFragment
 /// in the reason — and the reasons byte-identical across backends (the
-/// goes-wrong rules are part of the observable semantics the VM preserves).
+/// goes-wrong rules are part of the observable semantics the VM and the
+/// threaded tier preserve).
 void expectWrong(const char *Src, std::vector<Value> Args,
                  const char *ReasonFragment) {
   auto Prog = compile({Src});
@@ -32,11 +34,15 @@ void expectWrong(const char *Src, std::vector<Value> Args,
   EXPECT_EQ(M->run(), MachineStatus::Wrong);
   EXPECT_NE(M->wrongReason().find(ReasonFragment), std::string::npos)
       << "actual reason: " << M->wrongReason();
-  auto V = engine::makeExecutor(engine::Backend::Vm, *Prog);
-  V->start("main", std::move(Args));
-  EXPECT_EQ(V->run(), MachineStatus::Wrong);
-  EXPECT_EQ(V->wrongReason(), M->wrongReason());
-  EXPECT_EQ(V->wrongLoc().str(), M->wrongLoc().str());
+  for (engine::Backend B : {engine::Backend::Vm, engine::Backend::Threaded}) {
+    SCOPED_TRACE(std::string("backend ") +
+                 std::string(engine::backendName(B)));
+    auto V = engine::makeExecutor(B, *Prog);
+    V->start("main", Args);
+    EXPECT_EQ(V->run(), MachineStatus::Wrong);
+    EXPECT_EQ(V->wrongReason(), M->wrongReason());
+    EXPECT_EQ(V->wrongLoc().str(), M->wrongLoc().str());
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -362,11 +368,16 @@ template <typename Exec> class RtMisuseTest : public ::testing::Test {};
 
 struct BackendNames {
   template <typename T> static std::string GetName(int) {
-    return std::is_same_v<T, Machine> ? "walk" : "vm";
+    if constexpr (std::is_same_v<T, Machine>)
+      return "walk";
+    else if constexpr (std::is_same_v<T, ThreadedMachine>)
+      return "threaded";
+    else
+      return "vm";
   }
 };
-using BothBackends = ::testing::Types<Machine, VmMachine>;
-TYPED_TEST_SUITE(RtMisuseTest, BothBackends, BackendNames);
+using AllBackends = ::testing::Types<Machine, VmMachine, ThreadedMachine>;
+TYPED_TEST_SUITE(RtMisuseTest, AllBackends, BackendNames);
 
 TYPED_TEST(RtMisuseTest, RuntimeUnwindPastFrameWithoutAborts) {
   const char *Src = R"(

@@ -10,6 +10,7 @@
 #include "costmodel/RandomProgram.h"
 #include "ir/IrPrinter.h"
 #include "opt/PassManager.h"
+#include "vm/Threaded.h"
 #include "vm/Vm.h"
 
 using namespace cmm;
@@ -81,6 +82,9 @@ TEST_P(PropertiesTest, FuelLimitedRunsAreResumable) {
     for (uint64_t In : {1, 7}) {
       expectFuelSplitInvisible<Machine>(*Prog, In, Fuel);
       expectFuelSplitInvisible<VmMachine>(*Prog, In, Fuel);
+      // The threaded tier must also honor mid-superinstruction exhaustion:
+      // a fuel boundary between the two fused components is invisible.
+      expectFuelSplitInvisible<ThreadedMachine>(*Prog, In, Fuel);
     }
   }
 }

@@ -1,10 +1,12 @@
-//===- tests/VmConformanceTest.cpp - Walker vs bytecode VM ----------------===//
+//===- tests/VmConformanceTest.cpp - Walker vs bytecode VM vs threaded ----===//
 //
-// Part of cmmex (see DESIGN.md). The bytecode VM (src/vm) claims the exact
-// observable semantics of the reference tree walker (src/sem): same status,
-// same answers, same goes-wrong reasons byte for byte, same 13 Stats
-// counters, same suspension states. This suite pins that claim on a fixed
-// corpus; cmmdiff re-checks it on every random seed.
+// Part of cmmex (see DESIGN.md). The bytecode VM (src/vm) and the threaded
+// tier (vm/Threaded.h) claim the exact observable semantics of the
+// reference tree walker (src/sem): same status, same answers, same
+// goes-wrong reasons byte for byte, same 13 Stats counters, same suspension
+// states. This suite pins that claim on a fixed corpus, running every check
+// across the full backend matrix in lockstep; cmmdiff re-checks it on every
+// random seed.
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,6 +15,7 @@
 #include "costmodel/RandomProgram.h"
 #include "engine/Engine.h"
 #include "rts/RuntimeInterface.h"
+#include "vm/Threaded.h"
 #include "vm/Vm.h"
 
 using namespace cmm;
@@ -36,24 +39,29 @@ void expectStatsEqual(const Stats &W, const Stats &V) {
   EXPECT_EQ(W.MaxStackDepth, V.MaxStackDepth);
 }
 
-/// Runs \p Entry(\p Args) on both backends — constructed through the
-/// engine facade, like every other consumer — and demands identical
-/// outcomes: status, argument area, wrong reason and location, and every
-/// counter.
+/// Runs \p Entry(\p Args) on every backend — constructed through the
+/// engine facade, like every other consumer — and demands that the VM and
+/// threaded tiers match the walker's outcome exactly: status, argument
+/// area, wrong reason and location, and every counter.
 void expectBackendsAgree(const IrProgram &Prog, std::string_view Entry,
                          const std::vector<Value> &Args) {
   auto WP = engine::makeExecutor(engine::Backend::Walk, Prog);
-  auto VP = engine::makeExecutor(engine::Backend::Vm, Prog);
-  Executor &W = *WP, &V = *VP;
+  Executor &W = *WP;
   W.start(Entry, Args);
-  V.start(Entry, Args);
   MachineStatus SW = W.run(10'000'000);
-  MachineStatus SV = V.run(10'000'000);
-  EXPECT_EQ(SW, SV);
-  EXPECT_TRUE(W.argArea() == V.argArea());
-  EXPECT_EQ(W.wrongReason(), V.wrongReason());
-  EXPECT_EQ(W.wrongLoc().str(), V.wrongLoc().str());
-  expectStatsEqual(W.stats(), V.stats());
+  for (engine::Backend B : {engine::Backend::Vm, engine::Backend::Threaded}) {
+    SCOPED_TRACE(std::string("backend ") +
+                 std::string(engine::backendName(B)));
+    auto VP = engine::makeExecutor(B, Prog);
+    Executor &V = *VP;
+    V.start(Entry, Args);
+    MachineStatus SV = V.run(10'000'000);
+    EXPECT_EQ(SW, SV);
+    EXPECT_TRUE(W.argArea() == V.argArea());
+    EXPECT_EQ(W.wrongReason(), V.wrongReason());
+    EXPECT_EQ(W.wrongLoc().str(), V.wrongLoc().str());
+    expectStatsEqual(W.stats(), V.stats());
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -211,13 +219,47 @@ TEST(VmConformance, UnknownStartProcedureMatches) {
   auto Prog = compile({"export main; main() { return (0); }"});
   ASSERT_TRUE(Prog);
   auto WP = engine::makeExecutor(engine::Backend::Walk, *Prog);
-  auto VP = engine::makeExecutor(engine::Backend::Vm, *Prog);
-  Executor &W = *WP, &V = *VP;
+  Executor &W = *WP;
   W.start("nonexistent");
-  V.start("nonexistent");
   EXPECT_EQ(W.status(), MachineStatus::Wrong);
-  EXPECT_EQ(V.status(), MachineStatus::Wrong);
-  EXPECT_EQ(W.wrongReason(), V.wrongReason());
+  for (engine::Backend B : {engine::Backend::Vm, engine::Backend::Threaded}) {
+    auto VP = engine::makeExecutor(B, *Prog);
+    Executor &V = *VP;
+    V.start("nonexistent");
+    EXPECT_EQ(V.status(), MachineStatus::Wrong);
+    EXPECT_EQ(W.wrongReason(), V.wrongReason());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fused-operand wrongLoc parity: the unbound slot is read by the second
+// half of a superinstruction, and the diagnosis must still point at the
+// variable reference (RvSlotLocs), byte-identically across all backends.
+//===----------------------------------------------------------------------===//
+
+TEST(VmConformance, FusedOperandWrongLocMatches) {
+  // `y = x + 1; z = y + x2;` compiles to adjacent Binary ops (a bin+bin
+  // fusion site); x2 is unbound on the n != 0 path, so the goes-wrong fires
+  // inside the fused pair's second component.
+  const char *Src = R"(
+export main;
+main(bits32 n) {
+  bits32 x, x2, y, z;
+  x = 5;
+  if n == 0 { x2 = 1; }
+  y = x + 1;
+  z = y + x2;
+  return (z);
+}
+)";
+  auto Prog = compile({Src});
+  ASSERT_TRUE(Prog);
+  // The site must actually fuse, or this test is checking nothing.
+  ThreadedMachine T(*Prog);
+  const FusionStats &F = T.threadedProgram().Fusion;
+  ASSERT_GT(F.SitesByOp[size_t(TOp::BinaryBinary)], 0u);
+  expectBackendsAgree(*Prog, "main", {b32(0)}); // halts
+  expectBackendsAgree(*Prog, "main", {b32(3)}); // wrong, inside the pair
 }
 
 //===----------------------------------------------------------------------===//
@@ -258,21 +300,25 @@ TEST(VmConformance, SuspendsIdenticallyAtYield) {
   ASSERT_TRUE(Prog);
   auto WP = engine::makeExecutor(engine::Backend::Walk, *Prog);
   auto VP = engine::makeExecutor(engine::Backend::Vm, *Prog);
-  Executor &W = *WP, &V = *VP;
-  W.start("main", {b32(5)});
-  V.start("main", {b32(5)});
-  ASSERT_EQ(W.run(), MachineStatus::Suspended);
-  ASSERT_EQ(V.run(), MachineStatus::Suspended);
-  EXPECT_TRUE(W.argArea() == V.argArea());
-  ASSERT_EQ(W.stackDepth(), V.stackDepth());
-  for (size_t I = 0; I < W.stackDepth(); ++I) {
-    EXPECT_EQ(W.frameProc(I), V.frameProc(I));
-    EXPECT_EQ(W.frameCallSite(I), V.frameCallSite(I));
+  auto TP = engine::makeExecutor(engine::Backend::Threaded, *Prog);
+  Executor &W = *WP;
+  for (Executor *E : {&*WP, &*VP, &*TP}) {
+    E->start("main", {b32(5)});
+    ASSERT_EQ(E->run(), MachineStatus::Suspended);
   }
-  expectStatsEqual(W.stats(), V.stats());
+  for (Executor *V : {&*VP, &*TP}) {
+    EXPECT_TRUE(W.argArea() == V->argArea());
+    ASSERT_EQ(W.stackDepth(), V->stackDepth());
+    for (size_t I = 0; I < W.stackDepth(); ++I) {
+      EXPECT_EQ(W.frameProc(I), V->frameProc(I));
+      EXPECT_EQ(W.frameCallSite(I), V->frameCallSite(I));
+    }
+    expectStatsEqual(W.stats(), V->stats());
+  }
 
-  // Drive both through the same Table 1 resumption and compare the end.
-  for (Executor *E : {&W, &V}) {
+  // Drive all three through the same Table 1 resumption; the suspended
+  // substrate (rtUnwindTop, rtResume) must behave identically.
+  for (Executor *E : {&*WP, &*VP, &*TP}) {
     CmmRuntime Rt(*E);
     Activation Act;
     ASSERT_TRUE(Rt.firstActivation(Act));
@@ -285,7 +331,8 @@ TEST(VmConformance, SuspendsIdenticallyAtYield) {
     ASSERT_EQ(E->run(), MachineStatus::Halted);
     EXPECT_EQ(E->argArea()[0], b32(1005));
   }
-  expectStatsEqual(W.stats(), V.stats());
+  expectStatsEqual(W.stats(), VP->stats());
+  expectStatsEqual(W.stats(), TP->stats());
 }
 
 //===----------------------------------------------------------------------===//
@@ -307,20 +354,27 @@ main(bits32 n) {
   ASSERT_TRUE(Prog);
   auto WP = engine::makeExecutor(engine::Backend::Walk, *Prog);
   auto VP = engine::makeExecutor(engine::Backend::Vm, *Prog);
-  Executor &W = *WP, &V = *VP;
+  auto TP = engine::makeExecutor(engine::Backend::Threaded, *Prog);
+  Executor &W = *WP, &V = *VP, &T = *TP;
   W.start("main", {b32(3)});
   V.start("main", {b32(3)});
+  T.start("main", {b32(3)});
   for (unsigned I = 0; I < 10'000; ++I) {
     bool MoreW = W.step();
     bool MoreV = V.step();
+    bool MoreT = T.step();
     ASSERT_EQ(MoreW, MoreV) << "after " << I << " steps";
+    ASSERT_EQ(MoreW, MoreT) << "after " << I << " steps";
     ASSERT_EQ(W.status(), V.status()) << "after " << I << " steps";
+    ASSERT_EQ(W.status(), T.status()) << "after " << I << " steps";
     ASSERT_EQ(W.stats().Steps, V.stats().Steps) << "after " << I << " steps";
+    ASSERT_EQ(W.stats().Steps, T.stats().Steps) << "after " << I << " steps";
     if (!MoreW)
       break;
   }
   ASSERT_EQ(W.status(), MachineStatus::Halted);
   EXPECT_TRUE(W.argArea() == V.argArea());
+  EXPECT_TRUE(W.argArea() == T.argArea());
   EXPECT_EQ(W.argArea()[0], b32(18));
 }
 
@@ -377,6 +431,25 @@ main(bits32 n) {
   EXPECT_NE(Listing.find("k"), std::string::npos) << Listing;
   EXPECT_NE(Listing.find("[stage]"), std::string::npos) << Listing;
   EXPECT_NE(Listing.find("entry"), std::string::npos) << Listing;
+}
+
+TEST(VmConformance, ThreadedStreamStaysPcParallel) {
+  // The fused key stream must be exactly as long as the bytecode (branch
+  // targets and RvSlotLocs keep meaning), and the threaded listing renders
+  // superinstruction mnemonics at fused sites.
+  auto Prog = compile({towers()});
+  ASSERT_TRUE(Prog);
+  ThreadedMachine T(*Prog);
+  const ThreadedProgram &TP = T.threadedProgram();
+  ASSERT_EQ(TP.Procs.size(), TP.Bytecode->Procs.size());
+  for (size_t I = 0; I < TP.Procs.size(); ++I)
+    EXPECT_EQ(TP.Procs[I].Keys.size(), TP.Bytecode->Procs[I].Code.size());
+  EXPECT_GT(TP.Fusion.FusedSites, 0u);
+  std::string Listing;
+  for (uint32_t PI = 0; PI < TP.Procs.size(); ++PI)
+    Listing += disassembleThreaded(TP, PI, *Prog->Names);
+  EXPECT_NE(Listing.find("entry+copyin"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("[fused with"), std::string::npos) << Listing;
 }
 
 } // namespace

@@ -17,7 +17,7 @@
 //   --no-checked-div   disable %%divu/%%modu statements
 //   --no-prims         disable %divu/%shra/... expressions
 //   --no-handlers      generate raise-free programs
-//   --no-vm            skip the bytecode-VM conformance column
+//   --no-vm            skip the bytecode-VM and threaded conformance columns
 //   --minimize SEED    shrink SEED's divergence to a small reproducer
 //   --repro-out FILE   where --minimize writes the .cmm ("-" for stdout)
 //   --require-ablation fail unless the also-edges ablation diverged
@@ -67,7 +67,7 @@ void usage() {
       "  --no-checked-div   disable %%%%divu/%%%%modu statements\n"
       "  --no-prims         disable %%divu/%%shra/... expressions\n"
       "  --no-handlers      generate raise-free programs\n"
-      "  --no-vm            skip the bytecode-VM conformance column\n"
+      "  --no-vm            skip the bytecode-VM and threaded conformance columns\n"
       "  --minimize SEED    shrink SEED's divergence to a reproducer\n"
       "  --repro-out FILE   where --minimize writes the .cmm (\"-\" "
       "stdout)\n"
@@ -326,18 +326,19 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(SeedsRun),
                static_cast<unsigned long long>(RunsExecuted),
                std::size(AllDispatchTechniques), diffOptConfigs().size(),
-               Opts.CheckVm ? 2 : 1, Unexpected.size(),
+               Opts.CheckVm ? 3 : 1, Unexpected.size(),
                static_cast<unsigned long long>(AblationSeeds));
   engine::CacheStats CS = Eng.cacheStats();
   std::fprintf(stderr,
                "cmmdiff: artifact cache: %llu lookups, %llu hits "
                "(%llu single-flight joins), %llu IR compiles, %llu bytecode "
-               "compiles\n",
+               "compiles, %llu fusion passes\n",
                static_cast<unsigned long long>(CS.Lookups),
                static_cast<unsigned long long>(CS.Hits),
                static_cast<unsigned long long>(CS.SingleFlightJoins),
                static_cast<unsigned long long>(CS.IrCompiles),
-               static_cast<unsigned long long>(CS.BytecodeCompiles));
+               static_cast<unsigned long long>(CS.BytecodeCompiles),
+               static_cast<unsigned long long>(CS.ThreadedCompiles));
   std::fprintf(stderr,
                "cmmdiff: pool: %u workers, %llu tasks (%llu stolen)\n",
                Eng.threadCount(),

@@ -58,6 +58,9 @@ void usage() {
                "  --no-stdlib      do not link the %%%%div standard library\n"
                "  --dump-ir        print the Abstract C-- graphs and exit\n"
                "  --dump-bytecode  print the VM bytecode listing and exit\n"
+               "                   (with --backend=threaded: the fused\n"
+               "                   stream with superinstruction names and\n"
+               "                   fusion-site counts)\n"
                "%s",
                commonFlagsHelp(CmmiFlags).c_str());
 }
@@ -162,6 +165,22 @@ int main(int Argc, char **Argv) {
     return 0;
   }
   if (DumpBytecode) {
+    if (Common.Backend == "threaded") {
+      // The threaded view: the same listing over the fused key stream,
+      // with superinstruction mnemonics and the fusion-site tally.
+      auto TP = fuseProgram(std::make_shared<const CompiledProgram>(
+          compileToBytecode(*Prog)));
+      for (uint32_t PI = 0; PI < TP->Bytecode->Procs.size(); ++PI)
+        std::printf("%s", disassembleThreaded(*TP, PI, *Prog->Names).c_str());
+      std::printf("fusion: %llu sites fused, %llu candidate pairs unfused\n",
+                  (unsigned long long)TP->Fusion.FusedSites,
+                  (unsigned long long)TP->Fusion.MissedSites);
+      for (const FusionPair &P : FusionTable::supportedPairs())
+        if (uint64_t N = TP->Fusion.SitesByOp[size_t(P.Fused)])
+          std::printf("  %-14s %llu\n", superOpName(P.Fused),
+                      (unsigned long long)N);
+      return 0;
+    }
     CompiledProgram Compiled = compileToBytecode(*Prog);
     for (const CompiledProc &C : Compiled.Procs)
       std::printf("%s", disassemble(C, *Prog->Names).c_str());

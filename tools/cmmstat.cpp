@@ -261,6 +261,18 @@ void textReport(const Inputs &In) {
                   counterOf(S, "cache.singleflight_joins"));
     }
 
+    // Threaded-tier fusion accounting (vm.threaded_* / vm.fusion_* probes;
+    // vm.threaded_compile_micros is cumulative, not a histogram).
+    double TCompiles = counterOf(S, "vm.threaded_compiles");
+    if (TCompiles > 0) {
+      double FH = counterOf(S, "vm.fusion_hits");
+      double FM = counterOf(S, "vm.fusion_misses");
+      std::printf("threaded tier: %.0f fusion passes (%.0f us total), %.0f "
+                  "sites fused, %.0f candidate pairs unfused (%.1f%% fused)\n",
+                  TCompiles, counterOf(S, "vm.threaded_compile_micros"), FH,
+                  FM, FH + FM > 0 ? 100.0 * FH / (FH + FM) : 0.0);
+    }
+
     double Busy = counterOf(S, "pool.busy_micros");
     double Idle = counterOf(S, "pool.idle_micros");
     if (Busy + Idle > 0) {
@@ -287,6 +299,16 @@ void textReport(const Inputs &In) {
                   counterOf(S, "engine.jobs_timeout"),
                   counterOf(S, "engine.jobs_fuel_exhausted"),
                   counterOf(S, "engine.resume_cycles"));
+      // Per-backend buckets (engine.backend_*_jobs).
+      double BW = counterOf(S, "engine.backend_walk_jobs");
+      double BV = counterOf(S, "engine.backend_vm_jobs");
+      double BT = counterOf(S, "engine.backend_threaded_jobs");
+      if (BW + BV + BT > 0)
+        std::printf("backends: walk %.0f (%.1f%%), vm %.0f (%.1f%%), "
+                    "threaded %.0f (%.1f%%)\n",
+                    BW, 100.0 * BW / (BW + BV + BT), BV,
+                    100.0 * BV / (BW + BV + BT), BT,
+                    100.0 * BT / (BW + BV + BT));
     }
 
     // The time dimension: cumulative cache hit rate and queue depth per
