@@ -17,6 +17,10 @@
 //    each iteration pays parse + typecheck + translate; engine/compile_warm
 //    replays one request against a resident artifact, paying only the hash
 //    and one map probe. The gap is the cache's value per compile.
+//    engine/compile_disk_warm replays the cold sweep against a primed
+//    on-disk artifact store (docs/ENGINE.md § "Persistent cache"): every
+//    lookup still misses the RAM tier but deserializes a stored artifact
+//    instead of recompiling, placing the persistent cache between the two.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,7 @@
 #include "engine/Engine.h"
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 using namespace cmm;
@@ -149,15 +154,22 @@ template <typename Fn> void timeInto(Histogram &Lat, Fn &&F) {
           .count()));
 }
 
-void compileCold(benchmark::State &State) {
-  // 512 distinct keys cycled through a 64-artifact cache: every lookup
-  // misses and pays the full front end.
+/// The cold-sweep corpus: 512 distinct keys, far more than the 64-artifact
+/// cache below holds, so cycling through it misses on every lookup.
+const std::vector<std::string> &coldCorpus() {
   static const std::vector<std::string> Corpus = [] {
     std::vector<std::string> V;
     for (unsigned K = 0; K < 512; ++K)
       V.push_back(variantSource(K));
     return V;
   }();
+  return Corpus;
+}
+
+void compileCold(benchmark::State &State) {
+  // 512 distinct keys cycled through a 64-artifact cache: every lookup
+  // misses and pays the full front end.
+  const std::vector<std::string> &Corpus = coldCorpus();
   engine::EngineOptions EO;
   EO.Threads = 1;
   EO.CacheCapacity = 64;
@@ -179,6 +191,61 @@ void compileCold(benchmark::State &State) {
   State.counters["hit_ratio"] = benchmark::Counter(
       CS.Lookups ? static_cast<double>(CS.Hits) / CS.Lookups : 0);
   exportLatencyHistogram(State, Lat, "cold");
+}
+
+void compileDiskWarm(benchmark::State &State) {
+  // The cold sweep replayed against a primed persistent store: the same
+  // 512-key corpus through the same 64-artifact RAM cache, but with
+  // --cache-dir set and every artifact already on disk. Each lookup misses
+  // the RAM tier and loads the serialized artifact instead of recompiling;
+  // the gap to compile_cold is what the disk tier saves per compile, the
+  // gap to compile_warm is what deserialization costs over a map probe.
+  const std::vector<std::string> &Corpus = coldCorpus();
+  static const std::string Dir = [&] {
+    std::filesystem::path P =
+        std::filesystem::temp_directory_path() / "cmmex_bench_disk_warm";
+    std::error_code Ec;
+    std::filesystem::remove_all(P, Ec);
+    engine::EngineOptions EO;
+    EO.Threads = 1;
+    EO.CacheCapacity = 64;
+    EO.CacheDir = P.string();
+    engine::Engine Prime(EO);
+    for (const std::string &Src : coldCorpus()) {
+      engine::CompileRequest Req;
+      Req.Sources = {Src};
+      Prime.compile(Req);
+    }
+    return P.string();
+  }();
+  engine::EngineOptions EO;
+  EO.Threads = 1;
+  EO.CacheCapacity = 64;
+  EO.CacheDir = Dir;
+  engine::Engine Eng(EO);
+  Histogram Lat;
+  size_t I = 0;
+  for (auto _ : State) {
+    engine::CompileRequest Req;
+    Req.Sources = {Corpus[I++ % Corpus.size()]};
+    std::shared_ptr<const engine::ProgramArtifact> A;
+    timeInto(Lat, [&] { A = Eng.compile(Req); });
+    if (!A->ok()) {
+      State.SkipWithError("variant failed to load");
+      return;
+    }
+    benchmark::DoNotOptimize(A->program());
+  }
+  engine::CacheStats CS = Eng.cacheStats();
+  State.counters["hit_ratio"] = benchmark::Counter(
+      CS.Lookups ? static_cast<double>(CS.Hits) / CS.Lookups : 0);
+  State.counters["disk_hit_ratio"] = benchmark::Counter(
+      CS.Misses ? static_cast<double>(CS.DiskHits) / CS.Misses : 0);
+  if (CS.IrCompiles != 0) {
+    State.SkipWithError("disk-warm sweep recompiled IR");
+    return;
+  }
+  exportLatencyHistogram(State, Lat, "disk_warm");
 }
 
 void compileWarm(benchmark::State &State) {
@@ -226,6 +293,8 @@ void registerAll() {
       ->Unit(benchmark::kMillisecond)
       ->UseRealTime();
   benchmark::RegisterBenchmark("engine/compile_cold", compileCold)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("engine/compile_disk_warm", compileDiskWarm)
       ->Unit(benchmark::kMicrosecond);
   benchmark::RegisterBenchmark("engine/compile_warm", compileWarm)
       ->Unit(benchmark::kMicrosecond);

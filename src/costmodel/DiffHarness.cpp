@@ -7,7 +7,10 @@
 #include "costmodel/DiffHarness.h"
 
 #include "engine/Engine.h"
+#include "ir/IlText.h"
+#include "ir/Serialize.h"
 #include "rts/Dispatchers.h"
+#include "support/ByteIO.h"
 #include "syntax/AstPrinter.h"
 #include "syntax/Parser.h"
 
@@ -281,6 +284,47 @@ std::string checkStatsInvariants(DispatchTechnique T, const DiffOutcome &O) {
   return "";
 }
 
+/// Binary serialize . deserialize . serialize must be byte-identical: the
+/// persistent cache (docs/ENGINE.md § "Persistent cache") relies on reading
+/// back exactly the program it stored. Returns a description of the first
+/// violation, "" when the encoding is a fixed point.
+std::string checkBinaryRoundTrip(const IrProgram &P) {
+  ByteWriter W1;
+  serializeIr(P, W1);
+  ByteReader R(W1.buffer().data(), W1.size());
+  std::string Err;
+  std::unique_ptr<IrProgram> Q = deserializeIr(R, &Err);
+  if (!Q)
+    return "canonical encoding does not deserialize: " + Err;
+  ByteWriter W2;
+  serializeIr(*Q, W2);
+  if (W1.buffer() != W2.buffer())
+    return "serialize . deserialize . serialize is not byte-identical (" +
+           std::to_string(W1.size()) + " vs " + std::to_string(W2.size()) +
+           " bytes)";
+  return "";
+}
+
+/// Textual IL print . parse . print must be a fixed point, and the parsed
+/// program must re-serialize to the same canonical binary bytes — the two
+/// encodings are faithful to each other, not merely self-consistent.
+std::string checkIlRoundTrip(const IrProgram &P) {
+  std::string T1 = printIl(P);
+  std::string Err;
+  std::unique_ptr<IrProgram> Q = parseIl(T1, &Err);
+  if (!Q)
+    return "printed IL does not parse back: " + Err;
+  std::string T2 = printIl(*Q);
+  if (T1 != T2)
+    return "printIl . parseIl . printIl is not a fixed point";
+  ByteWriter W1, W2;
+  serializeIr(P, W1);
+  serializeIr(*Q, W2);
+  if (W1.buffer() != W2.buffer())
+    return "IL-parsed program serializes to different canonical bytes";
+  return "";
+}
+
 /// print . parse must reach a fixed point in one step on generator output.
 std::string checkRoundTrip(const std::string &Src) {
   DiagnosticEngine D1;
@@ -340,6 +384,19 @@ DiffSeedResult cmm::diffTestSeed(uint64_t Seed, const DiffOptions &Opts) {
         // continuation); everything else must compile clean.
         Report(T, Configs[C].Name, Configs[C].ExpectDivergence, Art->error());
         continue;
+      }
+      if (Opts.CheckSerialize &&
+          (Configs[C].Name == "none" || Configs[C].Name == "full")) {
+        // The serialization oracles are per-program, not per-input, and
+        // bounded to the reference and full-pipeline cells: they cover both
+        // a raw and a fully-transformed IR per strategy without tripling
+        // the cost of the sweep.
+        std::string E = checkBinaryRoundTrip(*Art->program());
+        if (!E.empty())
+          Report(T, Configs[C].Name + "/serialize-roundtrip", false, E);
+        E = checkIlRoundTrip(*Art->program());
+        if (!E.empty())
+          Report(T, Configs[C].Name + "/il-roundtrip", false, E);
       }
       for (size_t I = 0; I < NumIn; ++I) {
         ByCfg[C][I] = runCell(Art, engine::Backend::Walk, T, Opts.Inputs[I],

@@ -22,7 +22,12 @@
 ///    the compiled-unwinding rendering must never yield or cut);
 ///  - structural IR validity after every single pass execution;
 ///  - the printer round trip (print . parse . print is a fixed point), so
-///    every reproducer the minimizer writes is guaranteed loadable.
+///    every reproducer the minimizer writes is guaranteed loadable;
+///  - the artifact serialization round trip (ir/Serialize.h, ir/IlText.h):
+///    the canonical binary encoding must be a fixed point of
+///    serialize . deserialize and the textual IL a fixed point of
+///    print . parse, so every program the persistent cache stores is
+///    guaranteed to read back as the identical program.
 ///
 /// The `also`-edges-dropped ablation is part of the matrix and MUST diverge
 /// on some seeds (Table 3); its divergences are recorded as Expected and
@@ -97,6 +102,11 @@ struct DiffOptions {
   uint64_t MaxSteps = 2000000;
   bool CheckStats = true;
   bool CheckRoundTrip = true;
+  /// Check the artifact serialization oracles on compiled cells: binary
+  /// serialize-deserialize-serialize must be byte-identical and the textual
+  /// IL print-parse-print a fixed point. Bounded to the unoptimized
+  /// reference and full-pipeline configurations of each strategy.
+  bool CheckSerialize = true;
   /// Run every cell on the bytecode VM and the threaded tier as well and
   /// require the full observable outcome — status, results, goes-wrong
   /// reason, and every Stats counter — to match the tree walker's.

@@ -1,0 +1,214 @@
+//===- engine/ArtifactStore.cpp - On-disk artifact store ------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+//
+// Container layout (all integers little-endian, support/ByteIO.h):
+//
+//   17 bytes  magic "cmmex-artifact-v2"
+//   u32       ContainerVersion
+//   u64       key Hi, u64 key Lo        — must match the file's address
+//   u64       payload length
+//   payload:  u64 IR blob length,  IR blob  (ir/Serialize.h)
+//             u64 bytecode length, bytecode (vm/BytecodeIO.h)
+//   u64       FNV-1a 64 checksum of the payload bytes
+//
+// The checksum is the last line of defence against torn or bit-flipped
+// files; the per-layer format versions inside the blobs reject stale
+// encodings that happen to checksum correctly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ArtifactStore.h"
+
+#include "ir/Serialize.h"
+#include "support/ByteIO.h"
+#include "vm/BytecodeIO.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+using namespace cmm;
+using namespace cmm::engine;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t MagicLen = sizeof(ArtifactStore::Magic) - 1;
+
+uint64_t fnv64(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+bool setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+} // namespace
+
+std::string ArtifactStore::fileName(const CacheKey &Key) {
+  return Key.str() + ".cmmart";
+}
+
+std::string ArtifactStore::filePath(const std::string &Dir,
+                                    const CacheKey &Key) {
+  return (fs::path(Dir) / fileName(Key)).string();
+}
+
+std::vector<uint8_t> ArtifactStore::serialize(const ProgramArtifact &A) {
+  ByteWriter Payload;
+  {
+    ByteWriter Ir;
+    serializeIr(*A.program(), Ir);
+    Payload.u64(Ir.size());
+    Payload.bytes(Ir.buffer().data(), Ir.size());
+  }
+  {
+    ByteWriter Bc;
+    serializeBytecode(*A.bytecode(), *A.program(), Bc);
+    Payload.u64(Bc.size());
+    Payload.bytes(Bc.buffer().data(), Bc.size());
+  }
+
+  ByteWriter W;
+  W.bytes(Magic, MagicLen);
+  W.u32(ContainerVersion);
+  W.u64(A.key().Hi);
+  W.u64(A.key().Lo);
+  W.u64(Payload.size());
+  W.bytes(Payload.buffer().data(), Payload.size());
+  W.u64(fnv64(Payload.buffer().data(), Payload.size()));
+  return W.take();
+}
+
+std::shared_ptr<ProgramArtifact>
+ArtifactStore::deserialize(const uint8_t *Data, size_t Size,
+                           const CacheKey *ExpectKey, std::string *Err,
+                           std::shared_ptr<std::atomic<uint64_t>> BcCounter,
+                           std::shared_ptr<ThreadedCounters> TCounters) {
+  auto Fail = [&](const char *Msg) -> std::shared_ptr<ProgramArtifact> {
+    setErr(Err, Msg);
+    return nullptr;
+  };
+
+  ByteReader R(Data, Size);
+  R.expect(std::string_view(Magic, MagicLen));
+  if (!R.ok())
+    return Fail("bad artifact magic");
+  uint32_t Version = R.u32();
+  if (!R.ok() || Version != ContainerVersion)
+    return Fail("artifact container version mismatch");
+  CacheKey Key;
+  Key.Hi = R.u64();
+  Key.Lo = R.u64();
+  if (!R.ok())
+    return Fail("truncated artifact header");
+  if (ExpectKey && !(Key == *ExpectKey))
+    return Fail("artifact key mismatch");
+
+  uint64_t PayloadLen = R.u64();
+  if (!R.ok() || PayloadLen > R.remaining())
+    return Fail("truncated artifact payload");
+  const uint8_t *Payload = Data + R.position();
+  ByteReader PR(Payload, size_t(PayloadLen));
+
+  // Verify the checksum before parsing anything out of the payload.
+  ByteReader Tail(Data + R.position() + size_t(PayloadLen),
+                  Size - R.position() - size_t(PayloadLen));
+  uint64_t Sum = Tail.u64();
+  if (!Tail.ok() || Sum != fnv64(Payload, size_t(PayloadLen)))
+    return Fail("artifact checksum mismatch");
+
+  uint64_t IrLen = PR.u64();
+  if (!PR.ok() || IrLen > PR.remaining())
+    return Fail("truncated IR blob");
+  ByteReader IrR(Payload + PR.position(), size_t(IrLen));
+  std::string SubErr;
+  std::unique_ptr<IrProgram> Prog = deserializeIr(IrR, &SubErr);
+  if (!Prog)
+    return Fail(SubErr.empty() ? "malformed IR blob" : SubErr.c_str());
+
+  ByteReader BcHdr(Payload + PR.position() + size_t(IrLen),
+                   size_t(PayloadLen) - PR.position() - size_t(IrLen));
+  uint64_t BcLen = BcHdr.u64();
+  if (!BcHdr.ok() || BcLen > BcHdr.remaining())
+    return Fail("truncated bytecode blob");
+  ByteReader BcR(Payload + PR.position() + size_t(IrLen) + 8, size_t(BcLen));
+  std::unique_ptr<CompiledProgram> Bc = deserializeBytecode(BcR, *Prog, &SubErr);
+  if (!Bc)
+    return Fail(SubErr.empty() ? "malformed bytecode blob" : SubErr.c_str());
+
+  auto A = std::make_shared<ProgramArtifact>();
+  A->Key = Key;
+  A->Prog = std::shared_ptr<const IrProgram>(std::move(Prog));
+  A->Bc = std::shared_ptr<const CompiledProgram>(std::move(Bc));
+  A->BcCompiles = std::move(BcCounter);
+  A->TCnt = std::move(TCounters);
+  return A;
+}
+
+bool ArtifactStore::writeFile(const std::string &Dir,
+                              const ProgramArtifact &A, std::string *Err) {
+  std::vector<uint8_t> Blob = serialize(A);
+
+  std::error_code Ec;
+  fs::create_directories(fs::path(Dir), Ec);
+  if (Ec)
+    return setErr(Err, "cannot create cache dir: " + Ec.message());
+
+  std::string Final = filePath(Dir, A.key());
+  std::string Tmp = Final + ".tmp." + std::to_string(::getpid());
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return setErr(Err, "cannot open " + Tmp);
+  size_t Written = std::fwrite(Blob.data(), 1, Blob.size(), F);
+  bool Flushed = std::fclose(F) == 0;
+  if (Written != Blob.size() || !Flushed) {
+    fs::remove(fs::path(Tmp), Ec);
+    return setErr(Err, "short write to " + Tmp);
+  }
+  fs::rename(fs::path(Tmp), fs::path(Final), Ec);
+  if (Ec) {
+    fs::remove(fs::path(Tmp), Ec);
+    return setErr(Err, "cannot rename into " + Final);
+  }
+  return true;
+}
+
+std::shared_ptr<ProgramArtifact>
+ArtifactStore::loadFile(const std::string &Dir, const CacheKey &Key,
+                        std::string *Err,
+                        std::shared_ptr<std::atomic<uint64_t>> BcCounter,
+                        std::shared_ptr<ThreadedCounters> TCounters) {
+  std::string Path = filePath(Dir, Key);
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return nullptr; // plain miss: Err stays empty
+
+  std::vector<uint8_t> Blob;
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    size_t N = std::fread(Buf, 1, sizeof Buf, F);
+    Blob.insert(Blob.end(), Buf, Buf + N);
+    if (N < sizeof Buf)
+      break;
+  }
+  bool ReadOk = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!ReadOk) {
+    setErr(Err, "read error on " + Path);
+    return nullptr;
+  }
+  return deserialize(Blob.data(), Blob.size(), &Key, Err,
+                     std::move(BcCounter), std::move(TCounters));
+}

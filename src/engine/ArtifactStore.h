@@ -1,0 +1,87 @@
+//===- engine/ArtifactStore.h - On-disk artifact store ----------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent tier of the artifact cache: content-addressed `.cmmart`
+/// files in a caller-chosen directory (EngineOptions::CacheDir,
+/// docs/ENGINE.md § "Persistent cache"). One file per cache key, named by
+/// the key's 32-hex-digit spelling, holding the `cmmex-artifact-v2`
+/// container: the canonical IR encoding (ir/Serialize.h) plus the compiled
+/// bytecode (vm/BytecodeIO.h), checksummed and key-stamped.
+///
+/// The store is deliberately forgiving on the read side — a missing,
+/// truncated, corrupt, stale-version, or wrong-key file is reported as "not
+/// in the store" and the caller recompiles — and strict on the write side:
+/// files appear atomically (write to a temp name, then rename), so a
+/// concurrent reader sees either nothing or a complete artifact, and only
+/// ok() artifacts are ever written (errored compiles never poison the
+/// store).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_ENGINE_ARTIFACTSTORE_H
+#define CMM_ENGINE_ARTIFACTSTORE_H
+
+#include "engine/Engine.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cmm::engine {
+
+class ArtifactStore {
+public:
+  /// The container tag; also the first bytes of every `.cmmart` file.
+  /// Bumped together with IrFormatVersion / BytecodeFormatVersion whenever
+  /// any layer of the encoding changes.
+  static constexpr char Magic[] = "cmmex-artifact-v2";
+  static constexpr uint32_t ContainerVersion = 2;
+
+  /// File name for \p Key within a store directory: `<keyhex>.cmmart`.
+  static std::string fileName(const CacheKey &Key);
+  /// Full path of \p Key 's artifact under \p Dir.
+  static std::string filePath(const std::string &Dir, const CacheKey &Key);
+
+  /// Encodes \p A as one self-contained container blob. Precondition:
+  /// A.ok(). Compiles the bytecode eagerly (through A.bytecode()) so a
+  /// disk-warm load skips both the front end and the bytecode compiler.
+  static std::vector<uint8_t> serialize(const ProgramArtifact &A);
+
+  /// Decodes a container blob. When \p ExpectKey is non-null the stamped
+  /// key must match it. Returns null with \p Err set (when non-null) on any
+  /// validation failure. \p BcCounter / \p TCounters seed the artifact's
+  /// shared accounting blocks exactly as populateArtifact does for compiled
+  /// artifacts. Decoding interns symbols into the program's interner, so
+  /// call this before publishing the artifact to other threads.
+  static std::shared_ptr<ProgramArtifact>
+  deserialize(const uint8_t *Data, size_t Size, const CacheKey *ExpectKey,
+              std::string *Err = nullptr,
+              std::shared_ptr<std::atomic<uint64_t>> BcCounter = nullptr,
+              std::shared_ptr<ThreadedCounters> TCounters = nullptr);
+
+  /// Serializes \p A (which must be ok()) into `Dir/<keyhex>.cmmart`,
+  /// creating \p Dir as needed. The file is written to a temporary name and
+  /// renamed into place, so readers never observe a partial artifact.
+  /// Returns false with \p Err set (when non-null) on I/O failure.
+  static bool writeFile(const std::string &Dir, const ProgramArtifact &A,
+                        std::string *Err = nullptr);
+
+  /// Loads `Dir/<keyhex>.cmmart` if present and valid. Returns null either
+  /// way otherwise; \p Err (when non-null) is set only when the file
+  /// existed but failed validation — a plain miss leaves it empty, so
+  /// callers can count corruption separately from cold starts.
+  static std::shared_ptr<ProgramArtifact>
+  loadFile(const std::string &Dir, const CacheKey &Key,
+           std::string *Err = nullptr,
+           std::shared_ptr<std::atomic<uint64_t>> BcCounter = nullptr,
+           std::shared_ptr<ThreadedCounters> TCounters = nullptr);
+};
+
+} // namespace cmm::engine
+
+#endif // CMM_ENGINE_ARTIFACTSTORE_H

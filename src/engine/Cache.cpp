@@ -6,11 +6,13 @@
 
 #include "engine/Cache.h"
 
+#include "engine/ArtifactStore.h"
 #include "ir/Translate.h"
 #include "ir/Validate.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace cmm;
 using namespace cmm::engine;
@@ -21,21 +23,38 @@ using namespace cmm::engine;
 
 namespace {
 
-/// FNV-1a 64. Two lanes with distinct offset bases give the 128-bit key;
-/// the second lane also folds in a running position salt so lane collisions
-/// are independent.
+/// FNV-1a 64. Two lanes give the 128-bit key. FNV-1a is affine in its
+/// basis, so two lanes that hash the *same* byte stream from different
+/// bases differ only by a function of the basis pair and the length — the
+/// key would carry ~64 bits of entropy, not 128. The salted lane therefore
+/// interleaves a running byte-position salt into its input stream, making
+/// the two hashed strings genuinely different, and the lanes are entangled
+/// in cacheKeyFor. Multi-byte values are absorbed LSB-first explicitly, so
+/// keys (and the artifact files named after them) are host-independent.
 struct Fnv {
   uint64_t H;
-  explicit Fnv(uint64_t Basis) : H(Basis) {}
-  void bytes(const void *P, size_t N) {
-    const uint8_t *B = static_cast<const uint8_t *>(P);
-    for (size_t I = 0; I < N; ++I) {
-      H ^= B[I];
+  uint64_t Pos = 0;
+  bool Salted;
+  explicit Fnv(uint64_t Basis, bool Salted = false)
+      : H(Basis), Salted(Salted) {}
+  void byte(uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+    if (Salted) {
+      H ^= uint8_t(Pos++);
       H *= 0x100000001b3ull;
     }
   }
-  void u64(uint64_t V) { bytes(&V, sizeof V); }
-  void u8(uint8_t V) { bytes(&V, 1); }
+  void bytes(const void *P, size_t N) {
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    for (size_t I = 0; I < N; ++I)
+      byte(B[I]);
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      byte(uint8_t(V >> (8 * I)));
+  }
+  void u8(uint8_t V) { byte(V); }
   void str(const std::string &S) {
     u64(S.size()); // length-prefixed: {"ab","c"} != {"a","bc"}
     bytes(S.data(), S.size());
@@ -43,7 +62,7 @@ struct Fnv {
 };
 
 void hashRequest(Fnv &F, const CompileRequest &Req) {
-  F.bytes("cmmex-artifact-v1", 17);
+  F.bytes("cmmex-artifact-v2", 17);
   F.u8(Req.IncludeStdLib);
   F.u8(Req.Optimize);
   // Every semantically meaningful optimizer field. Verbose is excluded: it
@@ -67,7 +86,7 @@ void hashRequest(Fnv &F, const CompileRequest &Req) {
 
 CacheKey cmm::engine::cacheKeyFor(const CompileRequest &Req) {
   Fnv A(0xcbf29ce484222325ull);
-  Fnv B(0x84222325cbf29ce4ull);
+  Fnv B(0x84222325cbf29ce4ull, /*Salted=*/true);
   hashRequest(A, Req);
   hashRequest(B, Req);
   B.u64(A.H); // entangle the lanes
@@ -122,7 +141,19 @@ void populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
 
 } // namespace cmm::engine
 
+void ProgramArtifact::failErrored(const char *What) const {
+  // A null program here means the caller ignored error() and asked an
+  // errored artifact to run anyway; dereferencing would be silent UB.
+  std::fprintf(stderr,
+               "cmmex: ProgramArtifact::%s called on an errored artifact "
+               "(check ok() first): %s\n",
+               What, Error.empty() ? "<no error recorded>" : Error.c_str());
+  std::abort();
+}
+
 std::shared_ptr<const CompiledProgram> ProgramArtifact::bytecode() const {
+  if (!Prog)
+    failErrored("bytecode");
   std::lock_guard<std::mutex> Lock(BcMu);
   if (!Bc) {
     Bc = std::make_shared<const CompiledProgram>(compileToBytecode(*Prog));
@@ -133,6 +164,8 @@ std::shared_ptr<const CompiledProgram> ProgramArtifact::bytecode() const {
 }
 
 std::shared_ptr<const ThreadedProgram> ProgramArtifact::threaded() const {
+  if (!Prog)
+    failErrored("threaded");
   // bytecode() first, outside TMu: it takes its own lock, and the fused
   // stream is a pure function of the bytecode.
   std::shared_ptr<const CompiledProgram> B = bytecode();
@@ -157,6 +190,8 @@ std::shared_ptr<const ThreadedProgram> ProgramArtifact::threaded() const {
 }
 
 std::unique_ptr<Executor> ProgramArtifact::newExecutor(Backend B) const {
+  if (!Prog)
+    failErrored("newExecutor");
   switch (B) {
   case Backend::Vm:
     return makeExecutor(B, *Prog, bytecode());
@@ -187,13 +222,18 @@ MetricsRegistry &regOrNull(MetricsRegistry *Reg) {
 
 // Handles are wired once at construction; every event after is one relaxed
 // atomic add (the registry mutex is never touched on the lookup path).
-ModuleCache::ModuleCache(size_t Capacity, MetricsRegistry *RegIn)
-    : Capacity(Capacity), LookupsC(regOrNull(RegIn).counter("cache.lookups")),
+ModuleCache::ModuleCache(size_t Capacity, MetricsRegistry *RegIn,
+                         std::string CacheDirIn)
+    : Capacity(Capacity), CacheDir(std::move(CacheDirIn)),
+      LookupsC(regOrNull(RegIn).counter("cache.lookups")),
       HitsC(regOrNull(RegIn).counter("cache.hits")),
       MissesC(regOrNull(RegIn).counter("cache.misses")),
       IrCompilesC(regOrNull(RegIn).counter("cache.ir_compiles")),
       EvictionsC(regOrNull(RegIn).counter("cache.evictions")),
       JoinsC(regOrNull(RegIn).counter("cache.singleflight_joins")),
+      DiskHitsC(regOrNull(RegIn).counter("cache.disk_hits")),
+      DiskWritesC(regOrNull(RegIn).counter("cache.disk_writes")),
+      DiskErrorsC(regOrNull(RegIn).counter("cache.disk_errors")),
       CompileMicrosH(regOrNull(RegIn).histogram("cache.compile_micros")) {
   // Bytecode compiles are counted in the artifacts themselves (they may
   // outlive this cache), so the registry samples them through a probe that
@@ -269,7 +309,19 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
 
   if (Owner) {
     // Single-flight: compile outside the index lock; racers block on the
-    // slot, not on the whole cache.
+    // slot, not on the whole cache. The persistent tier is consulted first:
+    // a valid on-disk artifact replaces the whole front-end + bytecode run.
+    if (!CacheDir.empty()) {
+      std::string DiskErr;
+      if (std::shared_ptr<ProgramArtifact> FromDisk = ArtifactStore::loadFile(
+              CacheDir, Key, &DiskErr, BcCompiles, TCnt)) {
+        DiskHitsC.add(1);
+        return publish(Key, S, std::move(FromDisk));
+      }
+      if (!DiskErr.empty())
+        DiskErrorsC.add(1); // file existed but failed validation
+    }
+
     auto T0 = std::chrono::steady_clock::now();
     auto Art = std::make_shared<ProgramArtifact>();
     populateArtifact(*Art, Req, BcCompiles, TCnt);
@@ -278,13 +330,15 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
         uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
                      std::chrono::steady_clock::now() - T0)
                      .count()));
-    {
-      std::lock_guard<std::mutex> SLock(S->Mu);
-      S->Art = std::move(Art);
-      S->Ready = true;
+    // Only good artifacts are persisted: an errored artifact on disk would
+    // replay a possibly transient failure into every later process.
+    if (!CacheDir.empty() && Art->ok()) {
+      if (ArtifactStore::writeFile(CacheDir, *Art))
+        DiskWritesC.add(1);
+      else
+        DiskErrorsC.add(1);
     }
-    S->Cv.notify_all();
-    return S->Art;
+    return publish(Key, S, std::move(Art));
   }
 
   std::unique_lock<std::mutex> SLock(S->Mu);
@@ -297,14 +351,43 @@ ModuleCache::getOrCompile(const CompileRequest &Req, bool *WasHit) {
   return S->Art;
 }
 
+std::shared_ptr<const ProgramArtifact>
+ModuleCache::publish(const CacheKey &Key, const std::shared_ptr<Slot> &S,
+                     std::shared_ptr<const ProgramArtifact> Art) {
+  {
+    std::lock_guard<std::mutex> SLock(S->Mu);
+    S->Art = Art;
+    S->Ready = true;
+  }
+  S->Cv.notify_all();
+  // Never cache failures: waiters already joined this flight get the error
+  // (correct — they raced the same request), but the index entry is dropped
+  // so the next lookup recompiles instead of being poisoned forever. The
+  // identity check guards against this key having been evicted and
+  // re-populated by an unrelated flight while we compiled.
+  if (!Art->ok()) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end() && It->second.S == S) {
+      Lru.erase(It->second.LruIt);
+      Map.erase(It);
+    }
+  }
+  return Art;
+}
+
 CacheStats ModuleCache::stats() const {
   CacheStats St;
   St.Lookups = LookupsC.value();
   St.Hits = HitsC.value();
+  St.Misses = MissesC.value();
   St.IrCompiles = IrCompilesC.value();
   St.BytecodeCompiles = BcCompiles->load(std::memory_order_relaxed);
   St.ThreadedCompiles = TCnt->Compiles.load(std::memory_order_relaxed);
   St.Evictions = EvictionsC.value();
   St.SingleFlightJoins = JoinsC.value();
+  St.DiskHits = DiskHitsC.value();
+  St.DiskWrites = DiskWritesC.value();
+  St.DiskErrors = DiskErrorsC.value();
   return St;
 }

@@ -30,10 +30,14 @@ namespace cmm::engine {
 class ModuleCache {
 public:
   /// \p Capacity in artifacts; 0 = unbounded. Metrics (lookups, hits,
-  /// misses, evictions, single-flight joins, compile latency) land in
-  /// \p Reg when given, in MetricsRegistry::null() otherwise — the engine
-  /// passes its registry so the counters appear in snapshots.
-  explicit ModuleCache(size_t Capacity, MetricsRegistry *Reg = nullptr);
+  /// misses, evictions, single-flight joins, compile latency, disk tier)
+  /// land in \p Reg when given, in MetricsRegistry::null() otherwise — the
+  /// engine passes its registry so the counters appear in snapshots.
+  /// A non-empty \p CacheDir enables the persistent tier (ArtifactStore):
+  /// misses consult `<CacheDir>/<keyhex>.cmmart` before compiling, and
+  /// successful compiles are written back.
+  explicit ModuleCache(size_t Capacity, MetricsRegistry *Reg = nullptr,
+                       std::string CacheDir = {});
 
   /// The cached artifact for \p Req, compiling it (once, whatever the
   /// concurrency) on first use. Never null. \p WasHit, when non-null,
@@ -58,10 +62,19 @@ private:
     std::list<CacheKey>::iterator LruIt;
   };
 
+  /// Publishes the owner's result into \p S, wakes the waiters, and — when
+  /// the compile failed — removes the key from the index again so the next
+  /// request retries instead of being served the cached error forever.
+  std::shared_ptr<const ProgramArtifact>
+  publish(const CacheKey &Key, const std::shared_ptr<Slot> &S,
+          std::shared_ptr<const ProgramArtifact> Art);
+
   mutable std::mutex Mu;
   std::unordered_map<CacheKey, Entry, CacheKeyHash> Map;
   std::list<CacheKey> Lru; ///< front = most recently used
   size_t Capacity;
+  /// Persistent-tier directory; empty = memory-only.
+  std::string CacheDir;
 
   // Metric name catalog: docs/OBSERVABILITY.md § "Engine telemetry".
   Counter &LookupsC;    ///< cache.lookups
@@ -70,6 +83,9 @@ private:
   Counter &IrCompilesC; ///< cache.ir_compiles
   Counter &EvictionsC;  ///< cache.evictions
   Counter &JoinsC;      ///< cache.singleflight_joins
+  Counter &DiskHitsC;   ///< cache.disk_hits
+  Counter &DiskWritesC; ///< cache.disk_writes
+  Counter &DiskErrorsC; ///< cache.disk_errors
   Histogram &CompileMicrosH; ///< cache.compile_micros
   /// Shared with every artifact this cache compiles, so an artifact that
   /// outlives the cache can still count its first bytecode() compile. The

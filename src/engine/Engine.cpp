@@ -81,7 +81,8 @@ cmm::engine::makeExecutor(Backend B, const IrProgram &Prog,
 Engine::Engine(EngineOptions OptsIn)
     : Opts(OptsIn), JM(Registry),
       Cache(Opts.EnableCache
-                ? std::make_unique<ModuleCache>(Opts.CacheCapacity, &Registry)
+                ? std::make_unique<ModuleCache>(Opts.CacheCapacity, &Registry,
+                                                Opts.CacheDir)
                 : nullptr),
       Epoch(std::chrono::steady_clock::now()), Pool(Opts.Threads, &Registry) {
   if (Opts.TraceTo) {

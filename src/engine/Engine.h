@@ -163,6 +163,13 @@ private:
   populateArtifact(ProgramArtifact &A, const CompileRequest &Req,
                    std::shared_ptr<std::atomic<uint64_t>> BcCounter,
                    std::shared_ptr<ThreadedCounters> TCounters);
+  /// The persistent tier deserializes directly into the private fields
+  /// (Key, Prog, and a pre-compiled Bc), bypassing the front end.
+  friend class ArtifactStore;
+  /// Reports a precondition violation — bytecode()/threaded()/newExecutor()
+  /// on an artifact whose compile failed — and aborts with the compile
+  /// error instead of dereferencing the null program.
+  [[noreturn]] void failErrored(const char *What) const;
   CacheKey Key;
   std::shared_ptr<const IrProgram> Prog;
   std::string Error;
@@ -187,6 +194,9 @@ compileArtifact(const CompileRequest &Req);
 struct CacheStats {
   uint64_t Lookups = 0;
   uint64_t Hits = 0;
+  /// Lookups that found no entry (Lookups = Hits + Misses; misses include
+  /// the lookups served by the disk tier without an IR compile).
+  uint64_t Misses = 0;
   uint64_t IrCompiles = 0;       ///< actual front-end + optimizer runs
   uint64_t BytecodeCompiles = 0; ///< actual IR-to-bytecode runs
   uint64_t ThreadedCompiles = 0; ///< actual fusion-pass runs
@@ -194,6 +204,10 @@ struct CacheStats {
   /// Lookups that found another thread's compile of the same key in flight
   /// and blocked for its result (counted within Hits).
   uint64_t SingleFlightJoins = 0;
+  /// Persistent tier (EngineOptions::CacheDir; all zero without one).
+  uint64_t DiskHits = 0;   ///< misses served by a valid on-disk artifact
+  uint64_t DiskWrites = 0; ///< artifacts persisted after a compile
+  uint64_t DiskErrors = 0; ///< invalid/corrupt files or failed writes
 };
 
 //===----------------------------------------------------------------------===//
@@ -284,6 +298,12 @@ struct EngineOptions {
   bool EnableCache = true;
   /// Cache capacity in artifacts, evicted LRU; 0 = unbounded.
   size_t CacheCapacity = 1024;
+  /// Persistent cache directory (docs/ENGINE.md § "Persistent cache").
+  /// When non-empty, compiled artifacts are also written to
+  /// `<CacheDir>/<keyhex>.cmmart` and cache misses consult the directory
+  /// before compiling, so a second process with the same CacheDir starts
+  /// disk-warm. Empty disables the disk tier. Requires EnableCache.
+  std::string CacheDir;
 
   /// Engine-wide merged trace (docs/OBSERVABILITY.md § "Engine telemetry").
   /// When set, every job's lifecycle (queue / compile / run spans, on one

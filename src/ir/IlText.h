@@ -1,0 +1,43 @@
+//===- ir/IlText.h - Textual IL round-trip format ---------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete, machine-oriented textual rendering of checked IrPrograms:
+/// the `.cmmil` sibling of the binary `cmmex-artifact-v2` encoding
+/// (ir/Serialize.h). Unlike ir/IrPrinter.h — a lossy, human-first listing of
+/// the reachable graph — this format carries every field (parameters, var
+/// types, expression tables with sharing, descriptors, continuation names,
+/// source locations, the data image) and parses back to an equivalent
+/// program: printIl(parseIl(printIl(P))) == printIl(P) is a fixed point,
+/// pinned by SerializeTest and the cmmdiff round-trip oracle.
+///
+/// Floats travel as their IEEE-754 bit pattern and expression sharing is
+/// explicit (`#index` references into a per-procedure table), so the text
+/// form is exactly as faithful as the binary one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_IR_ILTEXT_H
+#define CMM_IR_ILTEXT_H
+
+#include "ir/Ir.h"
+
+#include <memory>
+#include <string>
+
+namespace cmm {
+
+/// Renders \p P in the textual IL format.
+std::string printIl(const IrProgram &P);
+
+/// Parses a printIl rendering. Returns null with \p Err set (when non-null)
+/// on any syntax or reference error.
+std::unique_ptr<IrProgram> parseIl(std::string_view Text,
+                                   std::string *Err = nullptr);
+
+} // namespace cmm
+
+#endif // CMM_IR_ILTEXT_H

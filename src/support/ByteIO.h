@@ -1,0 +1,152 @@
+//===- support/ByteIO.h - Endian-fixed binary reader/writer -----*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary encoding primitives for the artifact serializer
+/// (docs/ENGINE.md § "Persistent cache"). Every multi-byte value is written
+/// byte-at-a-time LSB-first, so the encoded form is identical on every host;
+/// strings and blobs are length-prefixed.
+///
+/// ByteReader has sticky-failure semantics (the tree builds with
+/// -fno-exceptions): any out-of-bounds read or failed expectation trips a
+/// persistent failure bit, every subsequent read returns a zero value, and
+/// callers check ok() once at a convenient boundary instead of after every
+/// field. Deserializers treat !ok() as "corrupt input, fall back".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SUPPORT_BYTEIO_H
+#define CMM_SUPPORT_BYTEIO_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmm {
+
+/// Appends little-endian fields to a growing byte buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) {
+    u8(uint8_t(V));
+    u8(uint8_t(V >> 8));
+  }
+  void u32(uint32_t V) {
+    u16(uint16_t(V));
+    u16(uint16_t(V >> 16));
+  }
+  void u64(uint64_t V) {
+    u32(uint32_t(V));
+    u32(uint32_t(V >> 32));
+  }
+  /// Doubles travel as their IEEE-754 bit pattern (exact round trip).
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void str(std::string_view S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  void bytes(const void *P, size_t N) {
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    Buf.insert(Buf.end(), B, B + N);
+  }
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Consumes little-endian fields from a byte buffer; sticky failure.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : Data(Buf.data()), Size(Buf.size()) {}
+
+  uint8_t u8() {
+    if (Pos + 1 > Size)
+      return fail(), 0;
+    return Data[Pos++];
+  }
+  uint16_t u16() {
+    uint16_t Lo = u8(), Hi = u8();
+    return uint16_t(Lo | (Hi << 8));
+  }
+  uint32_t u32() {
+    uint32_t Lo = u16(), Hi = u16();
+    return Lo | (Hi << 16);
+  }
+  uint64_t u64() {
+    uint64_t Lo = u32(), Hi = u32();
+    return Lo | (Hi << 32);
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof V);
+    return V;
+  }
+  std::string str() {
+    uint64_t N = u64();
+    if (Pos + N > Size || N > Size) // second test guards overflow
+      return fail(), std::string();
+    std::string S(reinterpret_cast<const char *>(Data + Pos), size_t(N));
+    Pos += size_t(N);
+    return S;
+  }
+  /// Reads exactly \p N raw bytes into \p Out (cleared on failure).
+  void bytes(std::vector<uint8_t> &Out, size_t N) {
+    if (Pos + N > Size || N > Size) {
+      fail();
+      Out.clear();
+      return;
+    }
+    Out.assign(Data + Pos, Data + Pos + N);
+    Pos += N;
+  }
+  /// Fails unless the next bytes are exactly \p Expect (and consumes them).
+  void expect(std::string_view Expect) {
+    if (Pos + Expect.size() > Size ||
+        std::memcmp(Data + Pos, Expect.data(), Expect.size()) != 0) {
+      fail();
+      return;
+    }
+    Pos += Expect.size();
+  }
+  /// A u64 count about to size a container; fails (and returns 0) when it
+  /// cannot possibly fit in the remaining input, so corrupt counts cannot
+  /// drive giant allocations.
+  size_t count(size_t MinBytesPer = 1) {
+    uint64_t N = u64();
+    if (!Ok || N > (Size - Pos) / (MinBytesPer ? MinBytesPer : 1))
+      return fail(), 0;
+    return size_t(N);
+  }
+
+  bool ok() const { return Ok; }
+  void fail() { Ok = false; }
+  size_t remaining() const { return Ok ? Size - Pos : 0; }
+  size_t position() const { return Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+} // namespace cmm
+
+#endif // CMM_SUPPORT_BYTEIO_H

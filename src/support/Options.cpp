@@ -128,6 +128,12 @@ FlagParse parseCommonFlag(CommonOptions &O, unsigned Groups, int &I, int Argc,
     }
   }
 
+  if (Groups & FG_Cache) {
+    if (auto R = outcome(value("--cache-dir"), O.CacheDir);
+        R != FlagParse::NotMine)
+      return R;
+  }
+
   if (Groups & FG_Threads) {
     if (auto V = value("--threads")) {
       uint64_t N = 0;
@@ -182,6 +188,8 @@ std::string commonFlagsHelp(unsigned Groups) {
     H += "  --metrics-json FILE   engine metrics snapshot as JSON "
          "(\"-\" = stdout)\n";
   }
+  if (Groups & FG_Cache)
+    H += "  --cache-dir DIR       persistent artifact cache directory\n";
   if (Groups & FG_Threads)
     H += "  --threads N           worker threads (default: hardware)\n";
   return H;

@@ -52,6 +52,7 @@ struct CommonOptions {
   bool Optimize = false;             ///< --optimize
   bool OptStats = false;             ///< --opt-stats
   unsigned Threads = 0;              ///< --threads N (0 = hardware)
+  std::string CacheDir;              ///< --cache-dir D (persistent artifacts)
 };
 
 /// Flag groups a tool opts into (bitmask).
@@ -62,7 +63,8 @@ enum CommonFlagGroup : unsigned {
   FG_Stats = 1u << 3,   ///< --stats, --stats-json, --metrics-json
   FG_Opt = 1u << 4,     ///< --optimize, --opt-stats
   FG_Threads = 1u << 5, ///< --threads
-  FG_All = (1u << 6) - 1,
+  FG_Cache = 1u << 6,   ///< --cache-dir
+  FG_All = (1u << 7) - 1,
 };
 
 enum class FlagParse : unsigned char {

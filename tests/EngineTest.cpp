@@ -14,10 +14,12 @@
 #include "TestUtil.h"
 
 #include "costmodel/DispatchWorkloads.h"
+#include "engine/ArtifactStore.h"
 #include "engine/Engine.h"
 #include "support/MiniJson.h"
 
 #include <atomic>
+#include <fstream>
 #include <sstream>
 
 using namespace cmm;
@@ -534,6 +536,196 @@ TEST(EngineMetrics, JobAndPoolGaugesSettleAfterDrain) {
   // Each job rode exactly one pool task.
   EXPECT_EQ(Eng.pool().tasksExecuted(), 24u);
   EXPECT_EQ(M.counter("pool.tasks_executed").value(), 24u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key stability
+//===----------------------------------------------------------------------===//
+
+TEST(EngineCache, KeyBytesArePinnedAndHostIndependent) {
+  // Golden values for the v2 key derivation (explicit little-endian
+  // absorption, position-salted second lane). These must never change
+  // silently: on-disk artifacts are addressed by them, so any intentional
+  // change to the hash must come with a tag bump — and a revert to the old
+  // degenerate two-basis scheme (both lanes hashing the identical stream,
+  // leaving ~64 bits of entropy) changes them too and fails here.
+  CompileRequest A = requestFor(addOneSource());
+  CacheKey KA = cacheKeyFor(A);
+  EXPECT_EQ(KA.Hi, 0x8b760f908466a1ebull);
+  EXPECT_EQ(KA.Lo, 0x04a6f4c064ddac89ull);
+  // str() is the on-disk address: 32 zero-padded hex digits.
+  EXPECT_EQ(KA.str(), "8b760f908466a1eb04a6f4c064ddac89");
+  EXPECT_EQ(KA.str().size(), 32u);
+
+  CompileRequest B = A;
+  B.Optimize = true;
+  CacheKey KB = cacheKeyFor(B);
+  EXPECT_EQ(KB.Hi, 0xe34e23b72b354662ull);
+  EXPECT_EQ(KB.Lo, 0x03ae0a9ddac2692dull);
+
+  CompileRequest C;
+  C.Sources = {"", "x"};
+  CacheKey KC = cacheKeyFor(C);
+  EXPECT_EQ(KC.Hi, 0x6843f28fcf6e0be8ull);
+  EXPECT_EQ(KC.Lo, 0x61623c71e0717f7cull);
+}
+
+TEST(EngineCache, KeyLanesDiffer) {
+  // With genuinely independent lanes the halves never coincide on real
+  // inputs (with the degenerate scheme they never coincided either, but
+  // they carried no independent information; the pinned bytes above are
+  // the real regression gate — this is a cheap sanity sweep).
+  for (int I = 0; I < 64; ++I) {
+    CompileRequest R;
+    R.Sources = {std::string(size_t(I), 'a')};
+    CacheKey K = cacheKeyFor(R);
+    EXPECT_NE(K.Hi, K.Lo) << "length " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Failed compiles are never cached
+//===----------------------------------------------------------------------===//
+
+TEST(EngineCache, FailedCompilesAreNotCached) {
+  Engine Eng({.Threads = 1});
+  CompileRequest Bad = requestFor("main( {");
+  auto A1 = Eng.compile(Bad);
+  ASSERT_FALSE(A1->ok());
+  EXPECT_FALSE(A1->error().empty());
+  auto A2 = Eng.compile(Bad);
+  ASSERT_FALSE(A2->ok());
+  CacheStats CS = Eng.cacheStats();
+  // The second request recompiled: the errored artifact was evicted after
+  // waking the first flight's waiters, not served from the index.
+  EXPECT_EQ(CS.IrCompiles, 2u);
+  EXPECT_EQ(CS.Hits, 0u);
+  EXPECT_EQ(CS.Misses, 2u);
+  // A good request on the same engine is unaffected.
+  auto OK = Eng.compile(requestFor(addOneSource()));
+  EXPECT_TRUE(OK->ok());
+}
+
+TEST(EngineCache, StatsCountMisses) {
+  Engine Eng({.Threads = 1});
+  (void)Eng.compile(requestFor(addOneSource()));   // miss
+  (void)Eng.compile(requestFor(addOneSource()));   // hit
+  (void)Eng.compile(requestFor(goesWrongSource())); // miss
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.Lookups, 3u);
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 2u);
+  EXPECT_EQ(CS.Lookups, CS.Hits + CS.Misses);
+}
+
+TEST(EngineCacheDeathTest, ErroredArtifactFailsLoudlyInsteadOfUB) {
+  auto A = compileArtifact(requestFor("main( {"));
+  ASSERT_FALSE(A->ok());
+  // Asking an errored artifact to produce code must abort with a message,
+  // not dereference the null program.
+  EXPECT_DEATH((void)A->bytecode(), "errored artifact");
+  EXPECT_DEATH((void)A->threaded(), "errored artifact");
+  EXPECT_DEATH((void)A->newExecutor(Backend::Walk), "errored artifact");
+}
+
+//===----------------------------------------------------------------------===//
+// The persistent tier
+//===----------------------------------------------------------------------===//
+
+TEST(PersistentCache, SecondEngineStartsDiskWarmWithZeroCompiles) {
+  test::ScratchDir Dir("diskwarm");
+  const char *Corpus[] = {addOneSource(), goesWrongSource(),
+                          loopForeverSource()};
+
+  std::vector<Value> FirstResults;
+  {
+    Engine Eng({.Threads = 1, .CacheDir = Dir.str()});
+    for (const char *Src : Corpus)
+      ASSERT_TRUE(Eng.compile(requestFor(Src))->ok());
+    Job J;
+    J.Request = requestFor(addOneSource());
+    J.Args = {b32(41)};
+    FirstResults = Eng.runJob(J).Results;
+    CacheStats CS = Eng.cacheStats();
+    EXPECT_EQ(CS.IrCompiles, 3u);
+    EXPECT_EQ(CS.DiskWrites, 3u);
+    EXPECT_EQ(CS.DiskHits, 0u);
+  }
+
+  // A second engine over the same directory performs zero IR compiles and
+  // zero bytecode compiles on the corpus the first one compiled.
+  Engine Eng2({.Threads = 1, .CacheDir = Dir.str()});
+  for (const char *Src : Corpus)
+    ASSERT_TRUE(Eng2.compile(requestFor(Src))->ok());
+  Job J;
+  J.Request = requestFor(addOneSource());
+  J.B = Backend::Vm;
+  J.Args = {b32(41)};
+  JobResult R = Eng2.runJob(J);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Results == FirstResults);
+  CacheStats CS = Eng2.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 0u);
+  EXPECT_EQ(CS.BytecodeCompiles, 0u) << "bytecode ships inside the artifact";
+  EXPECT_EQ(CS.DiskHits, 3u);
+  EXPECT_EQ(CS.DiskWrites, 0u);
+}
+
+TEST(PersistentCache, CorruptFileFallsBackToCompileAndIsRewritten) {
+  test::ScratchDir Dir("corrupt");
+  CompileRequest Req = requestFor(addOneSource());
+  std::string Path =
+      ArtifactStore::filePath(Dir.str(), cacheKeyFor(Req));
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F << "this is not an artifact";
+  }
+  Engine Eng({.Threads = 1, .CacheDir = Dir.str()});
+  auto A = Eng.compile(Req);
+  ASSERT_TRUE(A->ok());
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.DiskErrors, 1u);
+  EXPECT_EQ(CS.IrCompiles, 1u);
+  EXPECT_EQ(CS.DiskWrites, 1u) << "good artifact replaces the corrupt file";
+
+  // The rewritten file is valid: a fresh engine disk-hits it.
+  Engine Eng2({.Threads = 1, .CacheDir = Dir.str()});
+  ASSERT_TRUE(Eng2.compile(Req)->ok());
+  EXPECT_EQ(Eng2.cacheStats().DiskHits, 1u);
+  EXPECT_EQ(Eng2.cacheStats().IrCompiles, 0u);
+}
+
+TEST(PersistentCache, ErroredCompilesAreNeverWrittenToDisk) {
+  test::ScratchDir Dir("errored");
+  Engine Eng({.Threads = 1, .CacheDir = Dir.str()});
+  CompileRequest Bad = requestFor("main( {");
+  ASSERT_FALSE(Eng.compile(Bad)->ok());
+  EXPECT_EQ(Eng.cacheStats().DiskWrites, 0u);
+  EXPECT_FALSE(std::filesystem::exists(
+      ArtifactStore::filePath(Dir.str(), cacheKeyFor(Bad))));
+}
+
+TEST(PersistentCache, ConcurrentRequestsShareOneDiskLoad) {
+  test::ScratchDir Dir("concurrent");
+  {
+    Engine Warm({.Threads = 1, .CacheDir = Dir.str()});
+    ASSERT_TRUE(Warm.compile(requestFor(addOneSource()))->ok());
+  }
+  // Many threads race one key on a disk-warm directory: the single-flight
+  // slot covers the disk tier too, so exactly one load happens (and TSan
+  // sees the concurrent access pattern).
+  Engine Eng({.Threads = 8, .CacheDir = Dir.str()});
+  std::vector<Job> Jobs(24);
+  for (Job &J : Jobs) {
+    J.Request = requestFor(addOneSource());
+    J.Args = {b32(1)};
+  }
+  std::vector<JobResult> Results = Eng.run(std::move(Jobs));
+  for (const JobResult &R : Results)
+    ASSERT_TRUE(R.ok());
+  CacheStats CS = Eng.cacheStats();
+  EXPECT_EQ(CS.IrCompiles, 0u);
+  EXPECT_EQ(CS.DiskHits, 1u);
 }
 
 TEST(EngineMetrics, MetricsJsonParsesWithMiniJson) {

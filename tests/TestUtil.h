@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <unistd.h>
+
 namespace cmm::test {
 
 /// Compiles \p Sources (plus the standard library); fails the test and
@@ -59,6 +62,24 @@ inline std::vector<Value> runToHalt(Machine &M, std::string_view Proc,
 
 /// Shorthand for a bits32 value.
 inline Value b32(uint64_t V) { return Value::bits(32, V); }
+
+/// A scratch directory under the gtest temp root, recreated empty on
+/// construction and removed on destruction (persistent-cache tests).
+struct ScratchDir {
+  std::filesystem::path Dir;
+  explicit ScratchDir(const char *Tag) {
+    Dir = std::filesystem::path(::testing::TempDir()) /
+          (std::string("cmmex_") + Tag + "_" + std::to_string(::getpid()));
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+    std::filesystem::create_directories(Dir, Ec);
+  }
+  ~ScratchDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+  }
+  std::string str() const { return Dir.string(); }
+};
 
 } // namespace cmm::test
 

@@ -10,6 +10,7 @@
 //
 //   --seeds A..B       seed range, inclusive..exclusive (default 0..500)
 //   --threads N        worker threads (default: hardware concurrency)
+//   --cache-dir DIR    persistent artifact cache (docs/ENGINE.md)
 //   --procs N          call-chain depth per program
 //   --stmts N          statements per block
 //   --raise-pct N      probability the leaf raises (percent)
@@ -60,6 +61,7 @@ void usage() {
       "  --seeds A..B       seed range, inclusive..exclusive (default "
       "0..500)\n"
       "  --threads N        worker threads (default: hardware concurrency)\n"
+      "  --cache-dir DIR    persistent artifact cache directory\n"
       "  --procs N          call-chain depth per program\n"
       "  --stmts N          statements per block\n"
       "  --raise-pct N      probability the leaf raises (percent)\n"
@@ -110,7 +112,8 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     std::string Err;
-    switch (parseCommonFlag(Common, FG_Threads, I, Argc, Argv, Err)) {
+    switch (parseCommonFlag(Common, FG_Threads | FG_Cache, I, Argc, Argv,
+                            Err)) {
     case FlagParse::Consumed:
       continue;
     case FlagParse::Error:
@@ -272,6 +275,7 @@ int main(int Argc, char **Argv) {
   std::ofstream SnapshotStream, TraceStream;
   engine::EngineOptions EOpts;
   EOpts.Threads = Common.Threads;
+  EOpts.CacheDir = Common.CacheDir;
   if (!SnapshotsFile.empty()) {
     SnapshotStream.open(SnapshotsFile);
     if (!SnapshotStream) {
@@ -330,15 +334,24 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(AblationSeeds));
   engine::CacheStats CS = Eng.cacheStats();
   std::fprintf(stderr,
-               "cmmdiff: artifact cache: %llu lookups, %llu hits "
-               "(%llu single-flight joins), %llu IR compiles, %llu bytecode "
-               "compiles, %llu fusion passes\n",
+               "cmmdiff: artifact cache: %llu lookups, %llu hits, %llu "
+               "misses (%llu single-flight joins), %llu IR compiles, %llu "
+               "bytecode compiles, %llu fusion passes\n",
                static_cast<unsigned long long>(CS.Lookups),
                static_cast<unsigned long long>(CS.Hits),
+               static_cast<unsigned long long>(CS.Misses),
                static_cast<unsigned long long>(CS.SingleFlightJoins),
                static_cast<unsigned long long>(CS.IrCompiles),
                static_cast<unsigned long long>(CS.BytecodeCompiles),
                static_cast<unsigned long long>(CS.ThreadedCompiles));
+  if (!Common.CacheDir.empty())
+    std::fprintf(stderr,
+                 "cmmdiff: disk tier (%s): %llu hits, %llu writes, %llu "
+                 "errors\n",
+                 Common.CacheDir.c_str(),
+                 static_cast<unsigned long long>(CS.DiskHits),
+                 static_cast<unsigned long long>(CS.DiskWrites),
+                 static_cast<unsigned long long>(CS.DiskErrors));
   std::fprintf(stderr,
                "cmmdiff: pool: %u workers, %llu tasks (%llu stolen)\n",
                Eng.threadCount(),

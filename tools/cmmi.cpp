@@ -16,16 +16,22 @@
 //                    (default: unwind)
 //   --no-stdlib      do not link the %%div standard library
 //   --dump-ir        print the Abstract C-- graphs and exit
+//   --dump-il        print the round-trippable textual IL and exit
 //   --dump-bytecode  print the VM bytecode listing and exit
 //   --opt-stats      print per-pass wall time and IR deltas (with
 //                    --optimize)
+//   --emit-artifact F  compile to a `.cmmart` artifact file and exit
+//   --load-artifact F  run a `.cmmart` file instead of compiling sources
+//   --cache-dir DIR  compile through the persistent artifact cache
 //
 // Exit status: 0 on normal termination, 1 on compile errors, 2 when the
 // program goes wrong, 3 on an unhandled yield.
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/ArtifactStore.h"
 #include "engine/Engine.h"
+#include "ir/IlText.h"
 #include "ir/IrPrinter.h"
 #include "ir/Translate.h"
 #include "ir/Validate.h"
@@ -48,7 +54,7 @@ using namespace cmm;
 namespace {
 
 constexpr unsigned CmmiFlags =
-    FG_Backend | FG_Trace | FG_Profile | FG_Stats | FG_Opt;
+    FG_Backend | FG_Trace | FG_Profile | FG_Stats | FG_Opt | FG_Cache;
 
 void usage() {
   std::fprintf(stderr,
@@ -57,6 +63,12 @@ void usage() {
                "  --dispatcher D   none|unwind|cut (default: unwind)\n"
                "  --no-stdlib      do not link the %%%%div standard library\n"
                "  --dump-ir        print the Abstract C-- graphs and exit\n"
+               "  --dump-il        print the textual IL (parseable round-trip\n"
+               "                   form) and exit\n"
+               "  --emit-artifact F  compile (honouring --optimize) into the\n"
+               "                   .cmmart artifact file F and exit\n"
+               "  --load-artifact F  run the .cmmart artifact F instead of\n"
+               "                   compiling sources\n"
                "  --dump-bytecode  print the VM bytecode listing and exit\n"
                "                   (with --backend=threaded: the fused\n"
                "                   stream with superinstruction names and\n"
@@ -71,7 +83,8 @@ int main(int Argc, char **Argv) {
   CommonOptions Common;
   std::string Entry = "main";
   std::string Dispatcher = "unwind";
-  bool StdLib = true, DumpIr = false, DumpBytecode = false;
+  bool StdLib = true, DumpIr = false, DumpIl = false, DumpBytecode = false;
+  std::string EmitArtifact, LoadArtifact;
   std::vector<std::string> Files;
   std::vector<Value> Args;
 
@@ -100,6 +113,12 @@ int main(int Argc, char **Argv) {
       StdLib = false;
     } else if (A == "--dump-ir") {
       DumpIr = true;
+    } else if (A == "--dump-il") {
+      DumpIl = true;
+    } else if (A == "--emit-artifact" && I + 1 < Argc) {
+      EmitArtifact = Argv[++I];
+    } else if (A == "--load-artifact" && I + 1 < Argc) {
+      LoadArtifact = Argv[++I];
     } else if (A == "--dump-bytecode") {
       DumpBytecode = true;
     } else if (A == "--help" || A == "-h") {
@@ -116,8 +135,14 @@ int main(int Argc, char **Argv) {
   for (; I < Argc; ++I)
     Args.push_back(Value::bits(32, std::strtoull(Argv[I], nullptr, 0)));
 
-  if (Files.empty()) {
+  if (Files.empty() && LoadArtifact.empty()) {
     usage();
+    return 1;
+  }
+  if (!Files.empty() && !LoadArtifact.empty()) {
+    std::fprintf(stderr,
+                 "cmmi: --load-artifact replaces source files; pass one or "
+                 "the other\n");
     return 1;
   }
   {
@@ -140,28 +165,113 @@ int main(int Argc, char **Argv) {
     Sources.push_back(Buf.str());
   }
 
-  // Compiled by hand rather than through engine::compileArtifact because
-  // --opt-stats needs the OptReport, which artifacts do not keep.
-  DiagnosticEngine Diags;
-  std::unique_ptr<IrProgram> Prog = compileProgram(Sources, Diags, StdLib);
-  if (!Prog) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
-  }
+  // The run goes through the engine's job path — the same budgeted loop,
+  // observer fan-in, and dispatcher wiring every embedder gets. The cache
+  // is off by default (the hand-compiled program is passed directly via
+  // Job::Program, keeping the OptReport available for --opt-stats);
+  // --cache-dir turns it on so the persistent tier is consulted and
+  // populated (docs/ENGINE.md § "Persistent cache").
+  engine::EngineOptions EOpts;
+  EOpts.Threads = 1;
+  EOpts.EnableCache = !Common.CacheDir.empty();
+  EOpts.CacheDir = Common.CacheDir;
+  engine::Engine Eng(EOpts);
+
+  std::shared_ptr<const engine::ProgramArtifact> Loaded;
+  std::unique_ptr<IrProgram> Prog;
   OptReport OptR;
-  if (Common.Optimize) {
-    OptOptions Opts;
-    Opts.PlaceCalleeSaves = true;
-    OptR = optimizeProgram(*Prog, Opts);
-    DiagnosticEngine VDiags;
-    if (!validateProgram(*Prog, VDiags)) {
-      std::fprintf(stderr, "internal: optimizer broke the graph\n%s",
-                   VDiags.str().c_str());
+  if (!LoadArtifact.empty()) {
+    std::ifstream In(LoadArtifact, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "cmmi: cannot open '%s'\n", LoadArtifact.c_str());
       return 1;
     }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Bytes = Buf.str();
+    std::string Err;
+    Loaded = engine::ArtifactStore::deserialize(
+        reinterpret_cast<const uint8_t *>(Bytes.data()), Bytes.size(),
+        /*ExpectKey=*/nullptr, &Err);
+    if (!Loaded) {
+      std::fprintf(stderr, "cmmi: invalid artifact '%s': %s\n",
+                   LoadArtifact.c_str(), Err.c_str());
+      return 1;
+    }
+  } else if (!Common.CacheDir.empty()) {
+    // Through the engine cache, so a repeated invocation loads the stored
+    // artifact instead of recompiling. (--opt-stats reports nothing on
+    // this path: artifacts do not keep the OptReport.)
+    engine::CompileRequest Req;
+    Req.Sources = Sources;
+    Req.IncludeStdLib = StdLib;
+    Req.Optimize = Common.Optimize;
+    if (Common.Optimize)
+      Req.Opt.PlaceCalleeSaves = true;
+    Loaded = Eng.compile(Req);
+    if (!Loaded->ok()) {
+      std::fprintf(stderr, "%s", Loaded->error().c_str());
+      return 1;
+    }
+  } else {
+    // Compiled by hand rather than through engine::compileArtifact because
+    // --opt-stats needs the OptReport, which artifacts do not keep.
+    DiagnosticEngine Diags;
+    Prog = compileProgram(Sources, Diags, StdLib);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    if (Common.Optimize) {
+      OptOptions Opts;
+      Opts.PlaceCalleeSaves = true;
+      OptR = optimizeProgram(*Prog, Opts);
+      DiagnosticEngine VDiags;
+      if (!validateProgram(*Prog, VDiags)) {
+        std::fprintf(stderr, "internal: optimizer broke the graph\n%s",
+                     VDiags.str().c_str());
+        return 1;
+      }
+    }
+  }
+  const IrProgram &ProgRef = Loaded ? *Loaded->program() : *Prog;
+
+  if (!EmitArtifact.empty()) {
+    // Compile through the artifact path (same key derivation as the
+    // engine's cache) and write the container; --optimize carries the
+    // PlaceCalleeSaves configuration cmmi always optimizes with.
+    std::shared_ptr<const engine::ProgramArtifact> A = Loaded;
+    if (!A) {
+      engine::CompileRequest Req;
+      Req.Sources = Sources;
+      Req.IncludeStdLib = StdLib;
+      Req.Optimize = Common.Optimize;
+      if (Common.Optimize)
+        Req.Opt.PlaceCalleeSaves = true;
+      A = engine::compileArtifact(Req);
+      if (!A->ok()) {
+        std::fprintf(stderr, "cmmi: %s\n", A->error().c_str());
+        return 1;
+      }
+    }
+    std::vector<uint8_t> Blob = engine::ArtifactStore::serialize(*A);
+    std::ofstream Out(EmitArtifact, std::ios::binary | std::ios::trunc);
+    if (!Out ||
+        !Out.write(reinterpret_cast<const char *>(Blob.data()),
+                   std::streamsize(Blob.size()))) {
+      std::fprintf(stderr, "cmmi: cannot write '%s'\n", EmitArtifact.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "cmmi: wrote %zu bytes (key %s) to %s\n",
+                 Blob.size(), A->key().str().c_str(), EmitArtifact.c_str());
+    return 0;
   }
   if (DumpIr) {
-    std::printf("%s", printProgram(*Prog).c_str());
+    std::printf("%s", printProgram(ProgRef).c_str());
+    return 0;
+  }
+  if (DumpIl) {
+    std::printf("%s", printIl(ProgRef).c_str());
     return 0;
   }
   if (DumpBytecode) {
@@ -169,9 +279,10 @@ int main(int Argc, char **Argv) {
       // The threaded view: the same listing over the fused key stream,
       // with superinstruction mnemonics and the fusion-site tally.
       auto TP = fuseProgram(std::make_shared<const CompiledProgram>(
-          compileToBytecode(*Prog)));
+          compileToBytecode(ProgRef)));
       for (uint32_t PI = 0; PI < TP->Bytecode->Procs.size(); ++PI)
-        std::printf("%s", disassembleThreaded(*TP, PI, *Prog->Names).c_str());
+        std::printf("%s",
+                    disassembleThreaded(*TP, PI, *ProgRef.Names).c_str());
       std::printf("fusion: %llu sites fused, %llu candidate pairs unfused\n",
                   (unsigned long long)TP->Fusion.FusedSites,
                   (unsigned long long)TP->Fusion.MissedSites);
@@ -181,9 +292,9 @@ int main(int Argc, char **Argv) {
                       (unsigned long long)N);
       return 0;
     }
-    CompiledProgram Compiled = compileToBytecode(*Prog);
+    CompiledProgram Compiled = compileToBytecode(ProgRef);
     for (const CompiledProc &C : Compiled.Procs)
-      std::printf("%s", disassemble(C, *Prog->Names).c_str());
+      std::printf("%s", disassemble(C, *ProgRef.Names).c_str());
     return 0;
   }
 
@@ -200,17 +311,11 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  // The run goes through the engine's job path — the same budgeted loop,
-  // observer fan-in, and dispatcher wiring every embedder gets — with the
-  // hand-compiled program passed directly (Job::Program bypasses the
-  // cache, keeping the OptReport available for --opt-stats).
-  engine::EngineOptions EOpts;
-  EOpts.Threads = 1;
-  EOpts.EnableCache = false;
-  engine::Engine Eng(EOpts);
-
   engine::Job J;
-  J.Program = std::shared_ptr<const IrProgram>(std::move(Prog));
+  if (Loaded)
+    J.Artifact = Loaded;
+  else
+    J.Program = std::shared_ptr<const IrProgram>(std::move(Prog));
   J.B = *engine::parseBackend(Common.Backend);
   J.Entry = Entry;
   J.Args = std::move(Args);
