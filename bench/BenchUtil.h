@@ -3,6 +3,23 @@
 // Part of cmmex (see DESIGN.md).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two layers:
+///
+///  - A benchmark-library-independent part (ManualSuite, suiteMetadata,
+///    compileOrDie): anything that writes BENCH_<suite>.json. Tools that
+///    measure externally driven workloads — tools/cmmload.cpp timing a live
+///    cmmexd — use ManualSuite to emit rows in the exact schema the Google
+///    Benchmark suites emit, so the harness and CI diff every BENCH file
+///    the same way.
+///
+///  - The Google Benchmark integration (JsonCaptureReporter,
+///    CMM_BENCH_MAIN, exportLatencyHistogram), compiled only when the
+///    benchmark headers are on the include path (bench/ binaries link
+///    benchmark::benchmark; tools do not).
+///
+//===----------------------------------------------------------------------===//
 
 #ifndef CMM_BENCH_BENCHUTIL_H
 #define CMM_BENCH_BENCHUTIL_H
@@ -12,13 +29,12 @@
 #include "obs/Metrics.h"
 #include "sem/Machine.h"
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace cmm::bench {
 
@@ -47,6 +63,100 @@ compileOrDie(const std::vector<std::string> &Sources) {
 }
 
 inline Value b32(uint64_t V) { return Value::bits(32, V); }
+
+//===----------------------------------------------------------------------===//
+// ManualSuite: BENCH_<suite>.json without Google Benchmark
+//===----------------------------------------------------------------------===//
+
+/// Accumulates benchmark rows measured by hand and renders them in the
+/// same JSON shape as JsonCaptureReporter::json — {"suite", "metadata",
+/// "benchmarks": [{"name", "iterations", "real_time_sec", "cpu_time_sec",
+/// "error", "counters": {...}}]} — so downstream consumers cannot tell the
+/// two producers apart.
+class ManualSuite {
+public:
+  struct Row {
+    std::string Name;
+    uint64_t Iterations = 1;
+    double RealSec = 0;
+    double CpuSec = 0;
+    bool Error = false;
+    std::map<std::string, double> Counters;
+  };
+
+  explicit ManualSuite(std::string Suite) : Suite(std::move(Suite)) {}
+
+  void meta(std::string Key, std::string V) {
+    Metadata[std::move(Key)] = std::move(V);
+  }
+
+  Row &addRow(std::string Name) {
+    Rows.emplace_back();
+    Rows.back().Name = std::move(Name);
+    return Rows.back();
+  }
+
+  std::string json() const {
+    JsonWriter W;
+    W.beginObject();
+    W.field("suite", std::string_view(Suite));
+    W.key("metadata");
+    W.beginObject();
+    for (const auto &[Name, V] : Metadata)
+      W.field(std::string_view(Name), std::string_view(V));
+    W.endObject();
+    W.key("benchmarks");
+    W.beginArray();
+    for (const Row &R : Rows) {
+      W.beginObject();
+      W.field("name", std::string_view(R.Name));
+      W.field("iterations", R.Iterations);
+      W.field("real_time_sec", R.RealSec);
+      W.field("cpu_time_sec", R.CpuSec);
+      W.field("error", R.Error);
+      W.key("counters");
+      W.beginObject();
+      for (const auto &[Name, V] : R.Counters)
+        W.field(std::string_view(Name), V);
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    return W.take();
+  }
+
+  /// Writes BENCH_<suite>.json into the working directory (or \p Path when
+  /// given).
+  bool writeFile(const std::string &Path = "") const {
+    std::string P = Path.empty() ? "BENCH_" + Suite + ".json" : Path;
+    std::ofstream Out(P);
+    if (!Out)
+      return false;
+    Out << json() << '\n';
+    return bool(Out);
+  }
+
+private:
+  std::string Suite;
+  std::map<std::string, std::string> Metadata;
+  std::vector<Row> Rows;
+};
+
+} // namespace cmm::bench
+
+//===----------------------------------------------------------------------===//
+// Google Benchmark integration (bench/ binaries only)
+//===----------------------------------------------------------------------===//
+
+// Non-benchmark binaries (tools/cmmload.cpp) define CMM_BENCH_NO_GBENCH
+// before including this header: the benchmark headers may be visible on the
+// system include path even when the binary does not link the library.
+#if !defined(CMM_BENCH_NO_GBENCH) && __has_include(<benchmark/benchmark.h>)
+
+#include <benchmark/benchmark.h>
+
+namespace cmm::bench {
 
 /// Exports a latency Histogram's summary as user counters under \p Prefix
 /// (<prefix>_p50_us, _p90_us, _p99_us, _max_us), so the BENCH JSON rows
@@ -137,5 +247,7 @@ private:
     return 0;                                                                  \
   }                                                                            \
   int main(int, char **)
+
+#endif // !CMM_BENCH_NO_GBENCH && __has_include(<benchmark/benchmark.h>)
 
 #endif // CMM_BENCH_BENCHUTIL_H

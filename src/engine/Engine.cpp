@@ -7,6 +7,8 @@
 #include "engine/Engine.h"
 
 #include "engine/Cache.h"
+#include "engine/RunBudget.h"
+#include "engine/Session.h"
 #include "obs/Json.h"
 #include "obs/Profiler.h"
 #include "rts/Dispatchers.h"
@@ -188,59 +190,38 @@ CacheStats Engine::cacheStats() const {
   return Cache ? Cache->stats() : CacheStats{};
 }
 
-namespace {
+using cmm::engine::detail::millisSince;
 
-double millisSince(std::chrono::steady_clock::time_point T0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - T0)
-      .count();
-}
-
-/// runWithRuntime (rts/RuntimeInterface.h) with the engine's two budgets
-/// layered in: \p MaxSteps is the per-resume-segment fuel, exactly as
-/// runWithRuntime interprets it, and \p DeadlineMillis is a wall-clock
-/// bound checked every Engine::DeadlineSliceSteps transitions.
-template <typename HandlerFn>
-MachineStatus runBudgeted(Executor &M, HandlerFn Handler, uint64_t MaxSteps,
-                          double DeadlineMillis, bool &TimedOut,
-                          uint64_t &ResumeCycles) {
-  auto T0 = std::chrono::steady_clock::now();
-  for (;;) {
-    // Checked here as well as inside the slice loop: a yield-heavy program
-    // whose dispatcher always resumes never completes a Running slice, so
-    // the suspend/resume cycle itself must consult the deadline.
-    if (DeadlineMillis > 0 && millisSince(T0) >= DeadlineMillis) {
-      TimedOut = true;
-      return MachineStatus::Running;
-    }
-    uint64_t Remaining = MaxSteps;
-    MachineStatus St;
-    for (;;) {
-      uint64_t Slice = Remaining;
-      if (DeadlineMillis > 0)
-        Slice = std::min<uint64_t>(Slice, Engine::DeadlineSliceSteps);
-      St = M.run(Slice);
-      if (St != MachineStatus::Running)
-        break;
-      Remaining -= Slice;
-      if (Remaining == 0)
-        return MachineStatus::Running; // fuel exhausted
-      if (DeadlineMillis > 0 && millisSince(T0) >= DeadlineMillis) {
-        TimedOut = true;
-        return MachineStatus::Running;
-      }
-    }
-    if (St != MachineStatus::Suspended)
-      return St;
-    if (!Handler(M))
-      return MachineStatus::Suspended; // unhandled yield
-    if (M.status() == MachineStatus::Suspended)
-      return MachineStatus::Suspended; // handler did not actually resume
-    ++ResumeCycles; // one serviced yield, machine running again
+const IrProgram *
+Engine::resolveProgram(const Job &J, uint64_t Id, unsigned Tid,
+                       uint64_t JobT0, JobResult &R,
+                       std::shared_ptr<const ProgramArtifact> &Art) {
+  if (J.Program)
+    return J.Program.get();
+  auto C0 = std::chrono::steady_clock::now();
+  Art = J.Artifact;
+  if (Art) {
+    R.CacheHit = true; // the caller interned it; no compile ran here
+  } else {
+    if (Cache)
+      Art = Cache->getOrCompile(J.Request, &R.CacheHit);
+    else
+      Art = compileArtifact(J.Request);
+    R.CompileMillis = millisSince(C0);
+    // Per-job artifact-resolution latency: near-zero on a hit, a real
+    // compile on a miss, the owner's compile time on a single-flight
+    // join. cache.compile_micros holds actual compiles only.
+    uint64_t CompileUs = uint64_t(R.CompileMillis * 1000.0);
+    JM.CompileMicros.record(CompileUs);
+    emitEngineSpan("compile", Id, Tid, JobT0, CompileUs);
   }
+  if (!Art->ok()) {
+    R.CompileError = Art->error();
+    JM.CompileErrors.add(1);
+    return nullptr;
+  }
+  return Art->program();
 }
-
-} // namespace
 
 JobResult Engine::runJob(const Job &J, uint64_t Id) {
   // Synchronous callers pass Id 0; give the job a real id anyway when the
@@ -261,35 +242,11 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
   // Resolve the program: caller-compiled IR, pre-interned artifact, or a
   // request compiled through the cache.
   std::shared_ptr<const ProgramArtifact> Art;
-  const IrProgram *Prog = nullptr;
-  if (J.Program) {
-    Prog = J.Program.get();
-  } else {
-    auto C0 = std::chrono::steady_clock::now();
-    Art = J.Artifact;
-    if (Art) {
-      R.CacheHit = true; // the caller interned it; no compile ran here
-    } else {
-      if (Cache)
-        Art = Cache->getOrCompile(J.Request, &R.CacheHit);
-      else
-        Art = compileArtifact(J.Request);
-      R.CompileMillis = millisSince(C0);
-      // Per-job artifact-resolution latency: near-zero on a hit, a real
-      // compile on a miss, the owner's compile time on a single-flight
-      // join. cache.compile_micros holds actual compiles only.
-      uint64_t CompileUs = uint64_t(R.CompileMillis * 1000.0);
-      JM.CompileMicros.record(CompileUs);
-      emitEngineSpan("compile", Id, Tid, JobT0, CompileUs);
-    }
-    if (!Art->ok()) {
-      R.CompileError = Art->error();
-      JM.CompileErrors.add(1);
-      JM.Running.sub(1);
-      JM.JobMicros.record(nowMicros() - JobT0);
-      return R;
-    }
-    Prog = Art->program();
+  const IrProgram *Prog = resolveProgram(J, Id, Tid, JobT0, R, Art);
+  if (!Prog) {
+    JM.Running.sub(1);
+    JM.JobMicros.record(nowMicros() - JobT0);
+    return R;
   }
 
   std::unique_ptr<Executor> Exec =
@@ -337,31 +294,35 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
   uint64_t RunT0 = nowMicros();
   M.start(J.Entry, J.Args);
 
+  RunBudget Budget{J.MaxSteps, J.DeadlineMillis, J.MaxMemoryBytes};
+  BudgetOutcome Out;
   MachineStatus St;
   switch (J.Dispatcher) {
   case DispatcherKind::Unwind: {
     UnwindingDispatcher D(M);
-    St = runBudgeted(
+    St = detail::runBudgeted(
         M, [&](Executor &) { return D.dispatch() == DispatchResult::Handled; },
-        J.MaxSteps, J.DeadlineMillis, R.TimedOut, R.ResumeCycles);
+        Budget, DeadlineSliceSteps, Out, R.ResumeCycles);
     R.RtWalk = D.walkStats();
     R.RtDispatches = D.dispatches();
     break;
   }
   case DispatcherKind::Cut: {
     CuttingDispatcher D(M);
-    St = runBudgeted(
+    St = detail::runBudgeted(
         M, [&](Executor &) { return D.dispatch() == DispatchResult::Handled; },
-        J.MaxSteps, J.DeadlineMillis, R.TimedOut, R.ResumeCycles);
+        Budget, DeadlineSliceSteps, Out, R.ResumeCycles);
     R.RtDispatches = D.dispatches();
     break;
   }
   case DispatcherKind::None:
   default:
-    St = runBudgeted(M, [](Executor &) { return false; }, J.MaxSteps,
-                     J.DeadlineMillis, R.TimedOut, R.ResumeCycles);
+    St = detail::runBudgeted(M, [](Executor &) { return false; }, Budget,
+                             DeadlineSliceSteps, Out, R.ResumeCycles);
     break;
   }
+  R.TimedOut = Out.TimedOut;
+  R.MemExceeded = Out.MemExceeded;
   R.RunMillis = millisSince(R0);
 
   R.Status = St;
@@ -392,7 +353,10 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
     JM.Suspended.add(1);
     break;
   case MachineStatus::Running:
-    (R.TimedOut ? JM.Timeouts : JM.FuelExhausted).add(1);
+    (R.TimedOut      ? JM.Timeouts
+     : R.MemExceeded ? JM.MemExceeded
+                     : JM.FuelExhausted)
+        .add(1);
     break;
   default:
     break;

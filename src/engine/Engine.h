@@ -55,7 +55,10 @@
 
 namespace cmm::engine {
 
+class JobSession;
 class ModuleCache;
+struct BudgetOutcome;
+struct RunBudget;
 
 //===----------------------------------------------------------------------===//
 // Backends
@@ -239,6 +242,10 @@ struct Job {
   /// Wall-clock deadline in milliseconds; 0 disables. Checked between
   /// execution slices, so enforcement granularity is DeadlineSliceSteps.
   double DeadlineMillis = 0;
+  /// Memory quota in bytes (page-granular; 0 disables). Checked between
+  /// execution slices like the deadline; exceeding it stops the job with
+  /// JobResult::MemExceeded set and Status == Running.
+  uint64_t MaxMemoryBytes = 0;
 
   /// Caller-owned observer, used by this job only (observers are not
   /// thread-safe; never share one across concurrently submitted jobs).
@@ -274,6 +281,7 @@ struct JobResult {
   uint64_t ResumeCycles = 0;
   bool CacheHit = false; ///< artifact came from the cache already compiled
   bool TimedOut = false; ///< stopped by DeadlineMillis
+  bool MemExceeded = false; ///< stopped by MaxMemoryBytes
   std::string ProfileJson; ///< with Job::CollectProfile
   double CompileMillis = 0;
   double RunMillis = 0;
@@ -355,6 +363,17 @@ public:
   /// by the workers and by single-run embedders (cmmi, the harness).
   JobResult runJob(const Job &J, uint64_t Id = 0);
 
+  /// Runs \p J synchronously like runJob, but when it stops Suspended with
+  /// an unserviced yield, parks the live executor in a JobSession instead
+  /// of discarding it: the caller becomes the dispatcher and continues the
+  /// job later through JobSession::resumeRaw / dispatchOnce — possibly from
+  /// a different thread, possibly across a protocol boundary (src/svc runs
+  /// yields over the wire this way). \p R receives the first segment's
+  /// result either way; the session is null when the job already reached a
+  /// terminal status (or failed to compile). Sessions must not outlive the
+  /// engine. docs/SERVICE.md § "Sessions" describes the lifecycle.
+  std::unique_ptr<JobSession> startSession(const Job &J, JobResult &R);
+
   CacheStats cacheStats() const;
   unsigned threadCount() const { return Pool.threadCount(); }
   ThreadPool &pool() { return Pool; }
@@ -375,7 +394,11 @@ private:
   /// once, here, never per job).
   struct JobMetrics {
     Counter &Jobs, &Halted, &Wrong, &Suspended, &CompileErrors, &Timeouts,
-        &FuelExhausted, &ResumeCycles;
+        &FuelExhausted, &MemExceeded, &ResumeCycles;
+    /// Session lifecycle (Engine::startSession / engine/Session.h):
+    /// sessions opened, wire-level resumes serviced, sessions still parked.
+    Counter &Sessions, &SessionResumes;
+    Gauge &SessionsOpen;
     /// Per-backend job counts (engine.backend_* — cmmstat buckets these
     /// into its backends report). Indexed by Backend.
     Counter &BackendWalk, &BackendVm, &BackendThreaded;
@@ -390,7 +413,11 @@ private:
           CompileErrors(R.counter("engine.jobs_compile_error")),
           Timeouts(R.counter("engine.jobs_timeout")),
           FuelExhausted(R.counter("engine.jobs_fuel_exhausted")),
+          MemExceeded(R.counter("engine.jobs_mem_exceeded")),
           ResumeCycles(R.counter("engine.resume_cycles")),
+          Sessions(R.counter("engine.sessions")),
+          SessionResumes(R.counter("engine.session_resumes")),
+          SessionsOpen(R.gauge("engine.sessions_open")),
           BackendWalk(R.counter("engine.backend_walk_jobs")),
           BackendVm(R.counter("engine.backend_vm_jobs")),
           BackendThreaded(R.counter("engine.backend_threaded_jobs")),
@@ -402,6 +429,18 @@ private:
           JobMicros(R.histogram("engine.job_micros")),
           ResumeCyclesPerJob(R.histogram("engine.resume_cycles_per_job")) {}
   };
+
+  /// Sessions count their segments into JM and allocate ids from NextId.
+  friend class JobSession;
+
+  /// Resolves a job's program — caller-compiled IR, pre-interned artifact,
+  /// or a request compiled through the cache — filling the result's
+  /// CacheHit / CompileMillis / CompileError fields and the compile
+  /// metrics. Returns null exactly when the compile failed (the error is
+  /// in \p R and the failure metrics are already counted).
+  const IrProgram *resolveProgram(const Job &J, uint64_t Id, unsigned Tid,
+                                  uint64_t JobT0, JobResult &R,
+                                  std::shared_ptr<const ProgramArtifact> &Art);
 
   /// True when job \p Id 's machine events are recorded into the merged
   /// trace (EngineOptions::TraceMachineSample).

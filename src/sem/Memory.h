@@ -40,6 +40,10 @@ namespace cmm {
 /// machine's hottest path.
 class Memory {
 public:
+  /// Allocation granularity: pageCount() * PageSize is the footprint the
+  /// engine's memory quota (engine/RunBudget.h) charges a job for.
+  static constexpr uint64_t PageSize = 4096;
+
   Memory() = default;
   Memory(const Memory &O) : Pages(O.Pages) {}
   Memory(Memory &&O) noexcept : Pages(std::move(O.Pages)) {}
@@ -194,7 +198,6 @@ public:
   size_t pageCount() const { return Pages.size(); }
 
 private:
-  static constexpr uint64_t PageSize = 4096;
   static constexpr uint64_t NoPage = ~uint64_t(0);
 
   void dropCache() const {

@@ -1,0 +1,354 @@
+//===- svc/Client.cpp -----------------------------------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cmm;
+using namespace cmm::svc;
+
+namespace {
+
+bool sendAll(int Fd, const uint8_t *P, size_t N) {
+  while (N) {
+    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= size_t(W);
+  }
+  return true;
+}
+
+ssize_t recvFull(int Fd, uint8_t *P, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::recv(Fd, P + Got, N - Got, 0);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (R == 0)
+      break;
+    Got += size_t(R);
+  }
+  return ssize_t(Got);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Connection
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Client> Client::connectUnix(const std::string &Path,
+                                            std::string *Err) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof Addr.sun_path) {
+    if (Err)
+      *Err = "unix socket path too long: " + Path;
+    return nullptr;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0) {
+    if (Err)
+      *Err = "connect " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(Fd));
+}
+
+std::unique_ptr<Client> Client::connectTcp(const std::string &Host,
+                                           uint16_t Port, std::string *Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "bad address: " + Host;
+    ::close(Fd);
+    return nullptr;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0) {
+    if (Err)
+      *Err = "connect " + Host + ": " + std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+  return std::unique_ptr<Client>(new Client(Fd));
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void Client::fail(std::string Why) {
+  if (Ok) {
+    Ok = false;
+    Err = std::move(Why);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sending
+//===----------------------------------------------------------------------===//
+
+uint64_t Client::sendFrame(MsgType T, const ByteWriter &Payload) {
+  uint64_t Id = NextReq++; // caller already stamped Id into the payload
+  std::vector<uint8_t> Frame;
+  Frame.reserve(FrameHeaderSize + Payload.size() + FrameTrailerSize);
+  encodeFrame(T, Payload, Frame);
+  if (Ok && !sendAll(Fd, Frame.data(), Frame.size()))
+    fail(std::string("send: ") + std::strerror(errno));
+  return Id;
+}
+
+uint64_t Client::sendPing() {
+  ByteWriter W;
+  W.u64(NextReq);
+  return sendFrame(MsgType::ReqPing, W);
+}
+
+uint64_t Client::sendStats() {
+  ByteWriter W;
+  W.u64(NextReq);
+  return sendFrame(MsgType::ReqStats, W);
+}
+
+uint64_t Client::sendCompile(CompileRequestMsg M) {
+  M.ReqId = NextReq;
+  ByteWriter W;
+  encodeCompileRequest(W, M);
+  return sendFrame(MsgType::ReqCompile, W);
+}
+
+uint64_t Client::sendRun(RunRequestMsg M) {
+  M.ReqId = NextReq;
+  ByteWriter W;
+  encodeRunRequest(W, M);
+  return sendFrame(MsgType::ReqRun, W);
+}
+
+uint64_t Client::sendResume(ResumeRequestMsg M) {
+  M.ReqId = NextReq;
+  ByteWriter W;
+  encodeResumeRequest(W, M);
+  return sendFrame(MsgType::ReqResume, W);
+}
+
+uint64_t Client::sendClose(const std::string &Tenant, uint64_t SessionId) {
+  ByteWriter W;
+  W.u64(NextReq);
+  W.str(Tenant);
+  W.u64(SessionId);
+  return sendFrame(MsgType::ReqClose, W);
+}
+
+uint64_t Client::sendShutdown() {
+  ByteWriter W;
+  W.u64(NextReq);
+  return sendFrame(MsgType::ReqShutdown, W);
+}
+
+bool Client::sendRaw(const void *Data, size_t Size) {
+  if (!Ok)
+    return false;
+  if (!sendAll(Fd, static_cast<const uint8_t *>(Data), Size)) {
+    fail(std::string("send: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Receiving
+//===----------------------------------------------------------------------===//
+
+bool Client::readReply(Reply &Out) {
+  if (!Ok)
+    return false;
+  uint8_t Header[FrameHeaderSize];
+  ssize_t Got = recvFull(Fd, Header, FrameHeaderSize);
+  if (Got < 0)
+    return fail(std::string("recv: ") + std::strerror(errno)), false;
+  if (Got == 0)
+    return fail("connection closed by server"), false;
+  if (size_t(Got) < FrameHeaderSize)
+    return fail("truncated frame header"), false;
+  FrameHeader H;
+  if (decodeFrameHeader(Header, AbsoluteMaxFramePayload, H) !=
+      FrameError::None)
+    return fail("malformed frame from server"), false;
+  std::vector<uint8_t> Payload(size_t(H.PayloadLen));
+  if (H.PayloadLen &&
+      recvFull(Fd, Payload.data(), Payload.size()) < ssize_t(Payload.size()))
+    return fail("truncated frame payload"), false;
+  uint8_t Trailer[FrameTrailerSize];
+  if (recvFull(Fd, Trailer, FrameTrailerSize) < ssize_t(FrameTrailerSize))
+    return fail("truncated frame checksum"), false;
+  ByteReader TR(Trailer, FrameTrailerSize);
+  if (!verifyFrameChecksum(Payload.data(), Payload.size(), TR.u64()))
+    return fail("frame checksum mismatch"), false;
+
+  Out = Reply{};
+  Out.Type = H.Type;
+  ByteReader R(Payload.data(), Payload.size());
+  switch (H.Type) {
+  case MsgType::RespPong:
+  case MsgType::RespShutdown:
+    Out.ReqId = R.u64();
+    return R.ok() && R.remaining() == 0 ? true
+                                        : (fail("malformed response"), false);
+  case MsgType::RespStats:
+    Out.ReqId = R.u64();
+    Out.StatsJson = R.str();
+    return R.ok() && R.remaining() == 0 ? true
+                                        : (fail("malformed response"), false);
+  case MsgType::RespClosed:
+    Out.ReqId = R.u64();
+    Out.Closed = R.u8() != 0;
+    return R.ok() && R.remaining() == 0 ? true
+                                        : (fail("malformed response"), false);
+  case MsgType::RespResult:
+    if (!decodeResult(R, Out.Result))
+      return fail("malformed result payload"), false;
+    Out.ReqId = Out.Result.ReqId;
+    return true;
+  case MsgType::RespCompiled:
+    if (!decodeCompiled(R, Out.Compiled))
+      return fail("malformed compiled payload"), false;
+    Out.ReqId = Out.Compiled.ReqId;
+    return true;
+  case MsgType::RespError:
+    if (!decodeError(R, Out.Error))
+      return fail("malformed error payload"), false;
+    Out.ReqId = Out.Error.ReqId;
+    return true;
+  default:
+    return fail("request frame from server"), false;
+  }
+}
+
+std::optional<Reply> Client::wait(uint64_t ReqId) {
+  auto It = Pending.find(ReqId);
+  if (It != Pending.end()) {
+    Reply R = std::move(It->second);
+    Pending.erase(It);
+    return R;
+  }
+  Reply R;
+  while (readReply(R)) {
+    if (R.ReqId == ReqId)
+      return R;
+    // A ReqId of 0 marks a connection-level error (the request id was
+    // unrecoverable); surface it to whoever is waiting.
+    if (R.Type == MsgType::RespError && R.ReqId == 0)
+      return R;
+    Pending.emplace(R.ReqId, std::move(R));
+  }
+  return std::nullopt;
+}
+
+std::optional<Reply> Client::waitAny() {
+  if (!Pending.empty()) {
+    auto It = Pending.begin();
+    Reply R = std::move(It->second);
+    Pending.erase(It);
+    return R;
+  }
+  Reply R;
+  if (!readReply(R))
+    return std::nullopt;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronous wrappers
+//===----------------------------------------------------------------------===//
+
+std::optional<ResultMsg> Client::run(RunRequestMsg M, ErrorMsg *E) {
+  std::optional<Reply> R = wait(sendRun(std::move(M)));
+  if (!R)
+    return std::nullopt;
+  if (R->Type == MsgType::RespResult)
+    return std::move(R->Result);
+  if (R->Type == MsgType::RespError && E)
+    *E = std::move(R->Error);
+  return std::nullopt;
+}
+
+std::optional<ResultMsg> Client::resume(ResumeRequestMsg M, ErrorMsg *E) {
+  std::optional<Reply> R = wait(sendResume(std::move(M)));
+  if (!R)
+    return std::nullopt;
+  if (R->Type == MsgType::RespResult)
+    return std::move(R->Result);
+  if (R->Type == MsgType::RespError && E)
+    *E = std::move(R->Error);
+  return std::nullopt;
+}
+
+std::optional<CompiledMsg> Client::compile(CompileRequestMsg M, ErrorMsg *E) {
+  std::optional<Reply> R = wait(sendCompile(std::move(M)));
+  if (!R)
+    return std::nullopt;
+  if (R->Type == MsgType::RespCompiled)
+    return std::move(R->Compiled);
+  if (R->Type == MsgType::RespError && E)
+    *E = std::move(R->Error);
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::statsJson() {
+  std::optional<Reply> R = wait(sendStats());
+  if (!R || R->Type != MsgType::RespStats)
+    return std::nullopt;
+  return std::move(R->StatsJson);
+}
+
+bool Client::ping() {
+  std::optional<Reply> R = wait(sendPing());
+  return R && R->Type == MsgType::RespPong;
+}
+
+bool Client::shutdownServer() {
+  std::optional<Reply> R = wait(sendShutdown());
+  return R && R->Type == MsgType::RespShutdown;
+}
+
+bool Client::closeSession(const std::string &Tenant, uint64_t SessionId) {
+  std::optional<Reply> R = wait(sendClose(Tenant, SessionId));
+  return R && R->Type == MsgType::RespClosed && R->Closed;
+}

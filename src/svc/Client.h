@@ -1,0 +1,110 @@
+//===- svc/Client.h - cmmexd protocol client --------------------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A blocking client for the cmmexd protocol (svc/Protocol.h), shared by
+/// the load generator (tools/cmmload.cpp) and the service tests.
+///
+/// The client is pipelined: send* methods write a frame and return its
+/// request id immediately, wait(id) blocks for that specific response
+/// (buffering any other responses that arrive first), and waitAny()
+/// returns the next response in arrival order — so one connection can keep
+/// many requests in flight, matching the server's out-of-order completion.
+///
+/// Not thread-safe: one Client is one connection driven by one thread
+/// (open one Client per load-generator worker).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_SVC_CLIENT_H
+#define CMM_SVC_CLIENT_H
+
+#include "svc/Protocol.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace cmm::svc {
+
+/// One decoded response frame.
+struct Reply {
+  MsgType Type = MsgType::RespError;
+  uint64_t ReqId = 0;
+  ResultMsg Result;      ///< RespResult
+  CompiledMsg Compiled;  ///< RespCompiled
+  ErrorMsg Error;        ///< RespError
+  std::string StatsJson; ///< RespStats
+  bool Closed = false;   ///< RespClosed: session existed
+};
+
+class Client {
+public:
+  static std::unique_ptr<Client> connectUnix(const std::string &Path,
+                                             std::string *Err = nullptr);
+  static std::unique_ptr<Client> connectTcp(const std::string &Host,
+                                            uint16_t Port,
+                                            std::string *Err = nullptr);
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Sticky transport state: false after a send/receive error or a
+  /// server-initiated close, with the reason in error().
+  bool ok() const { return Ok; }
+  const std::string &error() const { return Err; }
+
+  // Pipelined sends; each returns the request id to wait(…) on. The
+  // message's own ReqId is overwritten with a fresh id.
+  uint64_t sendPing();
+  uint64_t sendStats();
+  uint64_t sendCompile(CompileRequestMsg M);
+  uint64_t sendRun(RunRequestMsg M);
+  uint64_t sendResume(ResumeRequestMsg M);
+  uint64_t sendClose(const std::string &Tenant, uint64_t SessionId);
+  uint64_t sendShutdown();
+
+  /// Blocks until the response to \p ReqId arrives, buffering others.
+  std::optional<Reply> wait(uint64_t ReqId);
+  /// Blocks for the next response in arrival order (buffered first).
+  std::optional<Reply> waitAny();
+
+  // Synchronous convenience wrappers (one round trip). On a RespError the
+  // run/resume wrappers return nullopt and fill \p E when given.
+  std::optional<ResultMsg> run(RunRequestMsg M, ErrorMsg *E = nullptr);
+  std::optional<ResultMsg> resume(ResumeRequestMsg M, ErrorMsg *E = nullptr);
+  std::optional<CompiledMsg> compile(CompileRequestMsg M,
+                                     ErrorMsg *E = nullptr);
+  std::optional<std::string> statsJson();
+  bool ping();
+  /// Graceful server shutdown: true once the drain is acked.
+  bool shutdownServer();
+  bool closeSession(const std::string &Tenant, uint64_t SessionId);
+
+  /// Writes raw bytes to the socket, bypassing the frame encoder — the
+  /// protocol-rejection tests forge malformed frames through this.
+  bool sendRaw(const void *Data, size_t Size);
+  int fd() const { return Fd; }
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+  uint64_t sendFrame(MsgType T, const ByteWriter &Payload);
+  /// Reads and decodes one frame into \p Out; sticky-fails on violations.
+  bool readReply(Reply &Out);
+  void fail(std::string Why);
+
+  int Fd = -1;
+  bool Ok = true;
+  std::string Err;
+  uint64_t NextReq = 1;
+  std::map<uint64_t, Reply> Pending; ///< responses read while waiting
+};
+
+} // namespace cmm::svc
+
+#endif // CMM_SVC_CLIENT_H

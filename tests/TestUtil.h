@@ -10,10 +10,14 @@
 #include "ir/Translate.h"
 #include "ir/Validate.h"
 #include "sem/Machine.h"
+#include "svc/Client.h"
+#include "svc/Server.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <optional>
 #include <unistd.h>
 
 namespace cmm::test {
@@ -79,6 +83,53 @@ struct ScratchDir {
     std::filesystem::remove_all(Dir, Ec);
   }
   std::string str() const { return Dir.string(); }
+};
+
+/// An in-process cmmexd (svc::Server) on an ephemeral endpoint, torn down
+/// gracefully on destruction. Hermetic and parallel-safe: the Unix socket
+/// path is derived from the pid plus a per-process sequence number, so any
+/// number of harnesses may coexist across concurrently running test
+/// binaries (`ctest -j`). Defaults to a Unix socket; pass O.UseTcp for the
+/// TCP transport (port 0 binds ephemerally — read server().tcpPort()).
+class ServiceHarness {
+public:
+  explicit ServiceHarness(svc::ServerOptions O = {}) {
+    static std::atomic<unsigned> Seq{0};
+    if (!O.UseTcp && O.UnixPath.empty())
+      O.UnixPath = (std::filesystem::temp_directory_path() /
+                    ("cmmexd_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(Seq.fetch_add(1)) + ".sock"))
+                       .string();
+    if (O.Threads == 0)
+      O.Threads = 2; // deterministic footprint under parallel ctest
+    Srv.emplace(std::move(O));
+    std::string Err;
+    Ok = Srv->start(&Err);
+    EXPECT_TRUE(Ok) << "service harness failed to start: " << Err;
+  }
+
+  ~ServiceHarness() {
+    Srv->requestStop(); // idempotent: no-op after a client ReqShutdown
+    Srv->join();
+  }
+
+  bool ok() const { return Ok; }
+  svc::Server &server() { return *Srv; }
+
+  /// A fresh connection to the harness server.
+  std::unique_ptr<svc::Client> client() {
+    std::string Err;
+    std::unique_ptr<svc::Client> C =
+        Srv->unixPath().empty()
+            ? svc::Client::connectTcp("127.0.0.1", Srv->tcpPort(), &Err)
+            : svc::Client::connectUnix(Srv->unixPath(), &Err);
+    EXPECT_TRUE(C) << "service harness connect failed: " << Err;
+    return C;
+  }
+
+private:
+  std::optional<svc::Server> Srv;
+  bool Ok = false;
 };
 
 } // namespace cmm::test

@@ -1,0 +1,197 @@
+//===- tools/cmmexd.cpp - The cmmex execution daemon ----------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// A long-lived execution service: accepts framed binary requests
+// (svc/Protocol.h) over a Unix or TCP socket and multiplexes them onto one
+// batch Engine with per-tenant fuel / deadline / memory quotas
+// (docs/SERVICE.md).
+//
+//   cmmexd --socket PATH [options]         Unix-domain socket
+//   cmmexd --tcp PORT [options]            127.0.0.1:PORT (0 = ephemeral)
+//
+//   --threads N            engine worker threads (0 = hardware)
+//   --cache-capacity N     artifact cache entries (default 1024)
+//   --cache-dir DIR        persistent artifact cache directory
+//   --session-ttl-ms X     idle parked-session expiry (default 60000)
+//   --max-frame BYTES      largest accepted frame payload (default 16 MiB)
+//   --quota-fuel N         per-segment transition budget ceiling
+//   --quota-deadline-ms X  per-segment wall-clock ceiling
+//   --quota-mem BYTES      executor memory-footprint ceiling
+//   --quota-inflight N     concurrent requests per tenant
+//   --quota-sessions N     parked sessions per tenant
+//   --snapshots FILE       periodic metrics JSONL (cmmstat-readable)
+//   --snapshot-every-ms X  snapshot interval (default 1000)
+//   --port-file FILE       write the bound TCP port (for --tcp 0 scripts)
+//
+// On startup the daemon prints one "cmmexd: listening on ..." line to
+// stdout and flushes it, so wrappers can synchronize on readiness. It exits
+// on SIGINT/SIGTERM (graceful drain) or after a client ReqShutdown.
+//
+// Exit status: 0 on a clean shutdown, 1 on setup failure, 2 on usage
+// errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Server.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+using namespace cmm;
+
+namespace {
+
+std::atomic<bool> SignalStop{false};
+
+void onSignal(int) { SignalStop.store(true); }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cmmexd (--socket PATH | --tcp PORT) [options]\n"
+               "run `cmmexd --help` for the option list\n");
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+bool parseF64(const char *S, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(S, &End);
+  return End && *End == '\0' && End != S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  svc::ServerOptions Opts;
+  std::string SnapshotPath, PortFile;
+  bool HaveEndpoint = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "cmmexd: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    auto nextU64 = [&](const char *Flag) {
+      uint64_t V;
+      if (!parseU64(next(Flag), V)) {
+        std::fprintf(stderr, "cmmexd: bad value for %s\n", Flag);
+        std::exit(2);
+      }
+      return V;
+    };
+    auto nextF64 = [&](const char *Flag) {
+      double V;
+      if (!parseF64(next(Flag), V)) {
+        std::fprintf(stderr, "cmmexd: bad value for %s\n", Flag);
+        std::exit(2);
+      }
+      return V;
+    };
+    if (A == "--socket") {
+      Opts.UnixPath = next("--socket");
+      HaveEndpoint = true;
+    } else if (A == "--tcp") {
+      Opts.UseTcp = true;
+      Opts.TcpPort = uint16_t(nextU64("--tcp"));
+      HaveEndpoint = true;
+    } else if (A == "--threads") {
+      Opts.Threads = unsigned(nextU64("--threads"));
+    } else if (A == "--cache-capacity") {
+      Opts.CacheCapacity = size_t(nextU64("--cache-capacity"));
+    } else if (A == "--cache-dir") {
+      Opts.CacheDir = next("--cache-dir");
+    } else if (A == "--session-ttl-ms") {
+      Opts.SessionTtlMillis = nextF64("--session-ttl-ms");
+    } else if (A == "--max-frame") {
+      Opts.MaxFramePayload = nextU64("--max-frame");
+    } else if (A == "--quota-fuel") {
+      Opts.Quota.MaxFuel = nextU64("--quota-fuel");
+    } else if (A == "--quota-deadline-ms") {
+      Opts.Quota.MaxDeadlineMillis = nextF64("--quota-deadline-ms");
+    } else if (A == "--quota-mem") {
+      Opts.Quota.MaxMemoryBytes = nextU64("--quota-mem");
+    } else if (A == "--quota-inflight") {
+      Opts.Quota.MaxInFlight = uint32_t(nextU64("--quota-inflight"));
+    } else if (A == "--quota-sessions") {
+      Opts.Quota.MaxSessions = uint32_t(nextU64("--quota-sessions"));
+    } else if (A == "--snapshots") {
+      SnapshotPath = next("--snapshots");
+    } else if (A == "--snapshot-every-ms") {
+      Opts.SnapshotIntervalMillis = nextF64("--snapshot-every-ms");
+    } else if (A == "--port-file") {
+      PortFile = next("--port-file");
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "cmmexd: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!HaveEndpoint) {
+    usage();
+    return 2;
+  }
+
+  std::ofstream Snapshots;
+  if (!SnapshotPath.empty()) {
+    Snapshots.open(SnapshotPath);
+    if (!Snapshots) {
+      std::fprintf(stderr, "cmmexd: cannot open %s\n", SnapshotPath.c_str());
+      return 1;
+    }
+    Opts.SnapshotTo = &Snapshots;
+  }
+
+  svc::Server Srv(std::move(Opts));
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "cmmexd: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (Srv.unixPath().empty()) {
+    std::printf("cmmexd: listening on 127.0.0.1:%u\n", unsigned(Srv.tcpPort()));
+    if (!PortFile.empty()) {
+      std::ofstream PF(PortFile);
+      PF << Srv.tcpPort() << '\n';
+    }
+  } else {
+    std::printf("cmmexd: listening on %s\n", Srv.unixPath().c_str());
+  }
+  std::fflush(stdout);
+
+  struct sigaction SA {};
+  SA.sa_handler = onSignal;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  // Serve until a signal arrives or a client ReqShutdown drains the
+  // server.
+  while (!SignalStop.load() && !Srv.stopped())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  if (!Srv.stopped())
+    std::printf("cmmexd: draining...\n");
+  Srv.requestStop();
+  Srv.join();
+  std::printf("cmmexd: stopped\n");
+  return 0;
+}

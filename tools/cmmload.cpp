@@ -1,0 +1,541 @@
+//===- tools/cmmload.cpp - cmmexd load generator --------------------------===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+// Drives a running cmmexd with sustained mixed traffic and reports
+// latency/throughput, writing BENCH_service.json rows (bench/BenchUtil.h
+// schema) for the bench harness and CI:
+//
+//   cmmload (--socket PATH | --tcp PORT) [options]
+//
+//   --clients N          concurrent connections (default 4)
+//   --scale "1,2,4"      run a scaling curve over client counts instead
+//   --pipeline D         requests in flight per connection (default 4)
+//   --duration-ms X      sustained load per scale point (default 2000)
+//   --mix H:C:Y          hot : cold : yield request weights (default 8:1:1)
+//   --backend B          walk|vm|threaded|mix (default mix)
+//   --tenant NAME        tenant all requests run as (default "load")
+//   --bench-out FILE     BENCH JSON path (default BENCH_service.json)
+//   --stats-out FILE     fetch a final ReqStats snapshot into FILE
+//   --check              verify the service/engine metrics reconcile and
+//                        zero requests failed; exit 1 otherwise
+//   --shutdown           gracefully stop the server afterwards
+//
+// Traffic classes: "hot" runs one fixed program (artifact-cache hit after
+// the first compile), "cold" embeds a fresh constant per request (forced
+// compile), "yield" parks a dispatcher workload and resumes every yield
+// over the wire (ResumeOp::Dispatch) until it halts. Every response is
+// validated — wrong answers count as failures, and the tool's exit status
+// is nonzero if any request fails.
+//
+//===----------------------------------------------------------------------===//
+
+#define CMM_BENCH_NO_GBENCH 1
+#include "bench/BenchUtil.h"
+#include "costmodel/DispatchWorkloads.h"
+#include "engine/Engine.h"
+#include "support/MiniJson.h"
+#include "svc/Client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cmm;
+using cmm::bench::b32;
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+uint64_t steadyMicros() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      SteadyClock::now().time_since_epoch())
+                      .count());
+}
+
+enum class Class : int { Hot = 0, Cold = 1, Yield = 2 };
+constexpr int NumClasses = 3;
+const char *className(Class C) {
+  switch (C) {
+  case Class::Hot:
+    return "hot";
+  case Class::Cold:
+    return "cold";
+  default:
+    return "yield";
+  }
+}
+
+struct Options {
+  std::string UnixPath;
+  bool UseTcp = false;
+  uint16_t TcpPort = 0;
+  std::vector<unsigned> Scale{4};
+  unsigned Pipeline = 4;
+  double DurationMs = 2000;
+  unsigned MixHot = 8, MixCold = 1, MixYield = 1;
+  std::string Backend = "mix";
+  std::string Tenant = "load";
+  std::string BenchOut = "BENCH_service.json";
+  std::string StatsOut;
+  bool Check = false;
+  bool Shutdown = false;
+};
+
+/// Per-class tallies one worker accumulates (merged after join).
+struct WorkerResult {
+  uint64_t Completed[NumClasses] = {0, 0, 0};
+  uint64_t Failures = 0;
+  uint64_t RoundTrips = 0;
+  std::vector<uint64_t> LatencyMicros[NumClasses]; ///< per round trip
+  bool TransportError = false;
+};
+
+/// Globally unique constants for cold-compile sources (across scale points
+/// too, so a "cold" request never hits the artifact cache).
+std::atomic<uint64_t> ColdSeq{1};
+
+std::string hotSource() {
+  return "export main;\nmain(bits32 n) { return (n + 1); }\n";
+}
+
+std::string coldSource(uint64_t K) {
+  return "export main;\nmain(bits32 n) { return (n + " + std::to_string(K) +
+         "); }\n";
+}
+
+uint8_t pickBackend(const std::string &Mode, uint64_t Seq) {
+  if (Mode == "walk")
+    return uint8_t(engine::Backend::Walk);
+  if (Mode == "vm")
+    return uint8_t(engine::Backend::Vm);
+  if (Mode == "threaded")
+    return uint8_t(engine::Backend::Threaded);
+  return uint8_t(Seq % 3);
+}
+
+constexpr uint32_t YieldIters = 3;  ///< suspensions per yield job
+constexpr uint32_t YieldDepth = 4;
+
+struct Pending {
+  Class C = Class::Hot;
+  uint64_t SentMicros = 0;
+  uint32_t Expected = 0;     ///< hot/cold: expected bits32 result
+  uint64_t SessionId = 0;    ///< yield: session being driven
+};
+
+void worker(const Options &Opt, unsigned Idx, uint64_t DeadlineMicros,
+            WorkerResult &Out) {
+  std::string Err;
+  std::unique_ptr<svc::Client> Cli =
+      Opt.UseTcp ? svc::Client::connectTcp("127.0.0.1", Opt.TcpPort, &Err)
+                 : svc::Client::connectUnix(Opt.UnixPath, &Err);
+  if (!Cli) {
+    std::fprintf(stderr, "cmmload: worker %u: %s\n", Idx, Err.c_str());
+    Out.TransportError = true;
+    return;
+  }
+
+  const std::string YieldSrc =
+      sweepWorkloadSource(DispatchTechnique::UnwindRuntime);
+  const unsigned MixTotal = Opt.MixHot + Opt.MixCold + Opt.MixYield;
+  uint64_t Seq = uint64_t(Idx) << 32;
+  std::map<uint64_t, Pending> InFlight;
+
+  auto classFor = [&](uint64_t S) {
+    unsigned R = unsigned(S % MixTotal);
+    if (R < Opt.MixHot)
+      return Class::Hot;
+    if (R < Opt.MixHot + Opt.MixCold)
+      return Class::Cold;
+    return Class::Yield;
+  };
+
+  auto issue = [&] {
+    Class C = classFor(Seq);
+    svc::RunRequestMsg M;
+    M.Tenant = Opt.Tenant;
+    M.Backend = pickBackend(Opt.Backend, Seq);
+    Pending P;
+    P.C = C;
+    switch (C) {
+    case Class::Hot:
+      M.Sources = {hotSource()};
+      M.Args = {b32(41)};
+      P.Expected = 42;
+      break;
+    case Class::Cold: {
+      uint64_t K = ColdSeq.fetch_add(1);
+      M.Sources = {coldSource(K)};
+      M.Args = {b32(1)};
+      P.Expected = uint32_t(1 + K);
+      break;
+    }
+    case Class::Yield:
+      M.Sources = {YieldSrc};
+      M.Entry = "sweep";
+      M.Args = {b32(YieldIters), b32(1), b32(YieldDepth)};
+      M.Park = true; // every raise comes back over the wire
+      break;
+    }
+    ++Seq;
+    P.SentMicros = steadyMicros();
+    InFlight.emplace(Cli->sendRun(std::move(M)), P);
+  };
+
+  auto resume = [&](const Pending &Prev, uint64_t SessionId) {
+    svc::ResumeRequestMsg M;
+    M.Tenant = Opt.Tenant;
+    M.SessionId = SessionId;
+    M.Op = svc::ResumeOp::Dispatch;
+    M.Dispatcher = uint8_t(engine::DispatcherKind::Unwind);
+    Pending P = Prev;
+    P.SessionId = SessionId;
+    P.SentMicros = steadyMicros();
+    InFlight.emplace(Cli->sendResume(std::move(M)), P);
+  };
+
+  // Sustained pipeline: keep Opt.Pipeline requests in flight until the
+  // deadline, then drain (yield sessions are driven to completion so none
+  // leak past the run).
+  for (;;) {
+    bool Open = steadyMicros() < DeadlineMicros;
+    while (Open && InFlight.size() < Opt.Pipeline) {
+      issue();
+      Open = steadyMicros() < DeadlineMicros;
+    }
+    if (InFlight.empty()) {
+      if (!Open)
+        break;
+      continue;
+    }
+    std::optional<svc::Reply> R = Cli->waitAny();
+    if (!R) {
+      Out.Failures += InFlight.size();
+      Out.TransportError = true;
+      break;
+    }
+    auto It = InFlight.find(R->ReqId);
+    if (It == InFlight.end()) {
+      ++Out.Failures; // response to a request we never sent
+      continue;
+    }
+    Pending P = It->second;
+    InFlight.erase(It);
+    ++Out.RoundTrips;
+    Out.LatencyMicros[int(P.C)].push_back(steadyMicros() - P.SentMicros);
+
+    if (R->Type != svc::MsgType::RespResult) {
+      ++Out.Failures;
+      continue;
+    }
+    const svc::ResultMsg &M = R->Result;
+    if (!M.CompileError.empty()) {
+      ++Out.Failures;
+      continue;
+    }
+    MachineStatus St = MachineStatus(M.Status);
+    if (St == MachineStatus::Suspended && M.SessionId != 0) {
+      // A parked yield: drive it (even past the deadline — drain).
+      if (P.C != Class::Yield || !M.DispatchHandled) {
+        ++Out.Failures;
+        continue;
+      }
+      resume(P, M.SessionId);
+      continue;
+    }
+    if (St != MachineStatus::Halted) {
+      ++Out.Failures;
+      continue;
+    }
+    if (P.C != Class::Yield &&
+        (M.Results.size() != 1 || M.Results[0] != b32(P.Expected))) {
+      ++Out.Failures;
+      continue;
+    }
+    ++Out.Completed[int(P.C)];
+  }
+}
+
+struct ScalePoint {
+  unsigned Clients = 0;
+  double ElapsedSec = 0;
+  uint64_t Completed[NumClasses] = {0, 0, 0};
+  uint64_t Failures = 0;
+  uint64_t RoundTrips = 0;
+  std::vector<uint64_t> Latency[NumClasses];
+};
+
+ScalePoint runScalePoint(const Options &Opt, unsigned Clients) {
+  ScalePoint SP;
+  SP.Clients = Clients;
+  std::vector<WorkerResult> Results(Clients);
+  std::vector<std::thread> Threads;
+  uint64_t T0 = steadyMicros();
+  uint64_t Deadline = T0 + uint64_t(Opt.DurationMs * 1000.0);
+  for (unsigned I = 0; I < Clients; ++I)
+    Threads.emplace_back(worker, std::cref(Opt), I, Deadline,
+                         std::ref(Results[I]));
+  for (std::thread &T : Threads)
+    T.join();
+  SP.ElapsedSec = double(steadyMicros() - T0) / 1e6;
+  for (WorkerResult &W : Results) {
+    SP.Failures += W.Failures + (W.TransportError ? 1 : 0);
+    SP.RoundTrips += W.RoundTrips;
+    for (int C = 0; C < NumClasses; ++C) {
+      SP.Completed[C] += W.Completed[C];
+      SP.Latency[C].insert(SP.Latency[C].end(), W.LatencyMicros[C].begin(),
+                           W.LatencyMicros[C].end());
+    }
+  }
+  for (int C = 0; C < NumClasses; ++C)
+    std::sort(SP.Latency[C].begin(), SP.Latency[C].end());
+  return SP;
+}
+
+uint64_t percentile(const std::vector<uint64_t> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = size_t(P / 100.0 * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+double counterIn(const JsonValue &Stats, const char *Section,
+                 const std::string &Name) {
+  const JsonValue *S = Stats.get(Section);
+  if (!S || !S->isObject())
+    return -1;
+  const JsonValue *V = S->get(Name);
+  return V && V->isNumber() ? V->number() : -1;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cmmload (--socket PATH | --tcp PORT) [options]\n"
+               "run `cmmload --help` for the option list\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  bool HaveEndpoint = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "cmmload: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (A == "--socket") {
+      Opt.UnixPath = next("--socket");
+      HaveEndpoint = true;
+    } else if (A == "--tcp") {
+      Opt.UseTcp = true;
+      Opt.TcpPort = uint16_t(std::strtoul(next("--tcp"), nullptr, 10));
+      HaveEndpoint = true;
+    } else if (A == "--clients") {
+      Opt.Scale = {unsigned(std::strtoul(next("--clients"), nullptr, 10))};
+    } else if (A == "--scale") {
+      Opt.Scale.clear();
+      std::string S = next("--scale");
+      size_t Pos = 0;
+      while (Pos < S.size()) {
+        size_t Comma = S.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = S.size();
+        Opt.Scale.push_back(
+            unsigned(std::strtoul(S.substr(Pos, Comma - Pos).c_str(),
+                                  nullptr, 10)));
+        Pos = Comma + 1;
+      }
+      if (Opt.Scale.empty() ||
+          std::find(Opt.Scale.begin(), Opt.Scale.end(), 0u) !=
+              Opt.Scale.end()) {
+        std::fprintf(stderr, "cmmload: bad --scale list\n");
+        return 2;
+      }
+    } else if (A == "--pipeline") {
+      Opt.Pipeline = unsigned(std::strtoul(next("--pipeline"), nullptr, 10));
+    } else if (A == "--duration-ms") {
+      Opt.DurationMs = std::strtod(next("--duration-ms"), nullptr);
+    } else if (A == "--mix") {
+      if (std::sscanf(next("--mix"), "%u:%u:%u", &Opt.MixHot, &Opt.MixCold,
+                      &Opt.MixYield) != 3 ||
+          Opt.MixHot + Opt.MixCold + Opt.MixYield == 0) {
+        std::fprintf(stderr, "cmmload: bad --mix (want H:C:Y)\n");
+        return 2;
+      }
+    } else if (A == "--backend") {
+      Opt.Backend = next("--backend");
+    } else if (A == "--tenant") {
+      Opt.Tenant = next("--tenant");
+    } else if (A == "--bench-out") {
+      Opt.BenchOut = next("--bench-out");
+    } else if (A == "--stats-out") {
+      Opt.StatsOut = next("--stats-out");
+    } else if (A == "--check") {
+      Opt.Check = true;
+    } else if (A == "--shutdown") {
+      Opt.Shutdown = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "cmmload: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!HaveEndpoint || Opt.Pipeline == 0) {
+    usage();
+    return 2;
+  }
+
+  // Readiness probe: one ping before unleashing the fleet.
+  {
+    std::string Err;
+    std::unique_ptr<svc::Client> Probe =
+        Opt.UseTcp ? svc::Client::connectTcp("127.0.0.1", Opt.TcpPort, &Err)
+                   : svc::Client::connectUnix(Opt.UnixPath, &Err);
+    if (!Probe || !Probe->ping()) {
+      std::fprintf(stderr, "cmmload: server not reachable%s%s\n",
+                   Err.empty() ? "" : ": ", Err.c_str());
+      return 1;
+    }
+  }
+
+  bench::ManualSuite Suite("service");
+  Suite.meta("tool", "cmmload");
+  Suite.meta("pipeline", std::to_string(Opt.Pipeline));
+  Suite.meta("duration_ms", std::to_string(Opt.DurationMs));
+  Suite.meta("mix", std::to_string(Opt.MixHot) + ":" +
+                        std::to_string(Opt.MixCold) + ":" +
+                        std::to_string(Opt.MixYield));
+  Suite.meta("backend", Opt.Backend);
+  Suite.meta("transport", Opt.UseTcp ? "tcp" : "unix");
+
+  uint64_t TotalFailures = 0;
+  std::printf("%-22s %10s %10s %10s %10s %10s %10s\n", "point", "done", "qps",
+              "p50_us", "p90_us", "p99_us", "fail");
+  for (unsigned Clients : Opt.Scale) {
+    ScalePoint SP = runScalePoint(Opt, Clients);
+    TotalFailures += SP.Failures;
+    uint64_t TotalDone = 0;
+    for (int C = 0; C < NumClasses; ++C) {
+      TotalDone += SP.Completed[C];
+      std::string Name = "svc/clients:" + std::to_string(Clients) + "/" +
+                         className(Class(C));
+      bench::ManualSuite::Row &Row = Suite.addRow(Name);
+      Row.Iterations = SP.Completed[C];
+      Row.RealSec = SP.ElapsedSec;
+      Row.Counters["qps"] = SP.ElapsedSec > 0
+                                ? double(SP.Completed[C]) / SP.ElapsedSec
+                                : 0;
+      Row.Counters["round_trips"] = double(SP.Latency[C].size());
+      Row.Counters["lat_p50_us"] = double(percentile(SP.Latency[C], 50));
+      Row.Counters["lat_p90_us"] = double(percentile(SP.Latency[C], 90));
+      Row.Counters["lat_p99_us"] = double(percentile(SP.Latency[C], 99));
+      Row.Counters["lat_max_us"] =
+          SP.Latency[C].empty() ? 0 : double(SP.Latency[C].back());
+      Row.Counters["failures"] = double(SP.Failures);
+      std::printf("%-22s %10llu %10.0f %10llu %10llu %10llu %10llu\n",
+                  Name.c_str(),
+                  static_cast<unsigned long long>(SP.Completed[C]),
+                  double(Row.Counters["qps"]),
+                  static_cast<unsigned long long>(
+                      percentile(SP.Latency[C], 50)),
+                  static_cast<unsigned long long>(
+                      percentile(SP.Latency[C], 90)),
+                  static_cast<unsigned long long>(
+                      percentile(SP.Latency[C], 99)),
+                  static_cast<unsigned long long>(SP.Failures));
+    }
+    bench::ManualSuite::Row &Total =
+        Suite.addRow("svc/clients:" + std::to_string(Clients) + "/total");
+    Total.Iterations = TotalDone;
+    Total.RealSec = SP.ElapsedSec;
+    Total.Counters["qps"] =
+        SP.ElapsedSec > 0 ? double(TotalDone) / SP.ElapsedSec : 0;
+    Total.Counters["round_trips"] = double(SP.RoundTrips);
+    Total.Counters["failures"] = double(SP.Failures);
+  }
+
+  // Final stats snapshot: optionally persisted, optionally reconciled.
+  int Exit = TotalFailures ? 1 : 0;
+  std::string StatsJson;
+  {
+    std::string Err;
+    std::unique_ptr<svc::Client> Ctl =
+        Opt.UseTcp ? svc::Client::connectTcp("127.0.0.1", Opt.TcpPort, &Err)
+                   : svc::Client::connectUnix(Opt.UnixPath, &Err);
+    if (Ctl) {
+      if (std::optional<std::string> S = Ctl->statsJson())
+        StatsJson = std::move(*S);
+      if (Opt.Shutdown && !Ctl->shutdownServer()) {
+        std::fprintf(stderr, "cmmload: shutdown request failed\n");
+        Exit = 1;
+      }
+    } else {
+      std::fprintf(stderr, "cmmload: stats fetch failed: %s\n", Err.c_str());
+      Exit = 1;
+    }
+  }
+  if (!Opt.StatsOut.empty() && !StatsJson.empty()) {
+    std::ofstream Out(Opt.StatsOut);
+    Out << StatsJson << '\n';
+    if (!Out) {
+      std::fprintf(stderr, "cmmload: cannot write %s\n", Opt.StatsOut.c_str());
+      Exit = 1;
+    }
+  }
+
+  if (Opt.Check) {
+    // The reconciliation gate (docs/SERVICE.md § "Observability"): zero
+    // failed requests, no protocol or server errors, every admitted run
+    // became exactly one engine job, and no session leaked.
+    auto check = [&](bool Cond, const char *What) {
+      if (!Cond) {
+        std::fprintf(stderr, "cmmload: check failed: %s\n", What);
+        Exit = 1;
+      }
+    };
+    check(TotalFailures == 0, "failed requests");
+    std::optional<JsonValue> Stats = parseJson(StatsJson);
+    check(Stats.has_value(), "stats snapshot unparseable");
+    if (Stats) {
+      check(counterIn(*Stats, "counters", "svc.errors") == 0,
+            "svc.errors != 0");
+      check(counterIn(*Stats, "counters", "svc.bad_frames") == 0,
+            "svc.bad_frames != 0");
+      check(counterIn(*Stats, "counters", "svc.requests_run") ==
+                counterIn(*Stats, "counters", "engine.jobs"),
+            "svc.requests_run != engine.jobs");
+      check(counterIn(*Stats, "counters", "engine.jobs_wrong") == 0,
+            "engine.jobs_wrong != 0");
+      check(counterIn(*Stats, "counters", "engine.jobs_compile_error") == 0,
+            "engine.jobs_compile_error != 0");
+      check(counterIn(*Stats, "gauges", "svc.sessions_open") == 0,
+            "svc.sessions_open != 0 (leaked sessions)");
+      check(counterIn(*Stats, "gauges", "svc.inflight") == 0,
+            "svc.inflight != 0");
+    }
+    if (Exit == 0)
+      std::printf("cmmload: checks passed\n");
+  }
+
+  if (!Suite.writeFile(Opt.BenchOut))
+    std::fprintf(stderr, "cmmload: cannot write %s\n", Opt.BenchOut.c_str());
+  return Exit;
+}

@@ -311,6 +311,34 @@ void textReport(const Inputs &In) {
                     100.0 * BT / (BW + BV + BT));
     }
 
+    // Service front end (cmmexd), when the snapshot came from one. The
+    // svc.requests_run / engine.jobs pair is the reconciliation invariant
+    // docs/SERVICE.md defines: with zero errors they must match exactly.
+    double SvcReqs = counterOf(S, "svc.requests");
+    if (SvcReqs > 0) {
+      std::printf("service: %.0f requests (%.0f run, %.0f resume, %.0f "
+                  "compile, %.0f stats) over %.0f connections\n",
+                  SvcReqs, counterOf(S, "svc.requests_run"),
+                  counterOf(S, "svc.requests_resume"),
+                  counterOf(S, "svc.requests_compile"),
+                  counterOf(S, "svc.requests_stats"),
+                  counterOf(S, "svc.connections"));
+      std::printf("service errors: %.0f errors, %.0f bad frames, %.0f quota "
+                  "rejects; sessions: %.0f parked, %.0f closed, %.0f "
+                  "expired; bytes: %.0f in / %.0f out\n",
+                  counterOf(S, "svc.errors"), counterOf(S, "svc.bad_frames"),
+                  counterOf(S, "svc.quota_rejects"),
+                  counterOf(S, "svc.sessions"),
+                  counterOf(S, "svc.sessions_closed"),
+                  counterOf(S, "svc.sessions_expired"),
+                  counterOf(S, "svc.bytes_in"), counterOf(S, "svc.bytes_out"));
+      double Run = counterOf(S, "svc.requests_run");
+      if (Jobs > 0 && counterOf(S, "svc.errors") == 0 && Run != Jobs)
+        std::printf("service RECONCILE FAIL: svc.requests_run %.0f != "
+                    "engine.jobs %.0f with zero errors\n",
+                    Run, Jobs);
+    }
+
     // The time dimension: cumulative cache hit rate and queue depth per
     // snapshot. Only timed snapshots belong on the curve; untimed final
     // metrics objects would show up as a bogus t_ms=0 row.
