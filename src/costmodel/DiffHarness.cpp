@@ -10,6 +10,7 @@
 #include "ir/IlText.h"
 #include "ir/Serialize.h"
 #include "rts/Dispatchers.h"
+#include "sched/Scheduler.h"
 #include "support/ByteIO.h"
 #include "syntax/AstPrinter.h"
 #include "syntax/Parser.h"
@@ -189,6 +190,34 @@ DiffOutcome runCell(const std::shared_ptr<const engine::ProgramArtifact> &Art,
     O.Results = M.argArea();
   else if (St == MachineStatus::Wrong)
     O.WrongReason = M.wrongReason();
+  return O;
+}
+
+/// Runs the scheduled rendering of a cell as a one-green-thread schedule on
+/// a single driver (deterministic), with the scheduler's exception
+/// dispatch matching the strategy's runtime needs. The per-thread fuel is
+/// the harness step budget, so a direct run that would exhaust its budget
+/// maps to a fuel-exhausted schedule (Status Running) — inconclusive, like
+/// the direct case.
+DiffOutcome
+runScheduledCell(const std::shared_ptr<const engine::ProgramArtifact> &Art,
+                 engine::Backend B, DispatchTechnique T, uint64_t Input,
+                 uint64_t MaxSteps) {
+  sched::SchedOptions SO;
+  SO.Drivers = 1;
+  SO.SliceFuel = 4096; // small enough that slicing actually happens
+  SO.MaxStepsPerThread = MaxSteps;
+  SO.Exn = T == DispatchTechnique::CutRuntime ? sched::ExnDispatch::Cut
+           : T == DispatchTechnique::UnwindRuntime
+               ? sched::ExnDispatch::Unwind
+               : sched::ExnDispatch::None;
+  sched::Scheduler S([Art, B] { return Art->newExecutor(B); }, SO);
+  sched::SchedResult R = S.run("main", {Value::bits(32, Input)});
+  DiffOutcome O;
+  O.Status = R.Status;
+  O.Results = std::move(R.Results);
+  O.WrongReason = std::move(R.WrongReason);
+  O.MachineStats = R.MachineStats;
   return O;
 }
 
@@ -421,6 +450,36 @@ DiffSeedResult cmm::diffTestSeed(uint64_t Seed, const DiffOptions &Opts) {
           if (!E.empty())
             Report(T, Configs[C].Name + "/threaded", false,
                    "input " + std::to_string(Opts.Inputs[I]) + ": " + E);
+        }
+      }
+    }
+
+    // Scheduled-vs-direct: the same computation spawned as a green thread
+    // under the M:N scheduler must reproduce the direct unoptimized
+    // reference outcome exactly (status, results, goes-wrong reason). A
+    // divergence here is a scheduler bug — suspension capture, resume
+    // plumbing, or exception dispatch inside a green thread.
+    if (Opts.CheckScheduled) {
+      RandomProgramOptions GS = G;
+      GS.Scheduled = true;
+      auto SchedArt =
+          compileCell(generateRandomProgram(Seed, GS), Configs[0], Opts.Eng);
+      if (!SchedArt->ok()) {
+        Report(T, "scheduled/compile", false, SchedArt->error());
+      } else {
+        for (size_t I = 0; I < NumIn; ++I) {
+          const auto &Ref = Outcome.back()[0][I];
+          if (!Ref || Ref->Status == MachineStatus::Running)
+            continue;
+          DiffOutcome Sc = runScheduledCell(SchedArt, engine::Backend::Walk,
+                                            T, Opts.Inputs[I], Opts.MaxSteps);
+          ++R.RunsExecuted;
+          if (Sc.Status == MachineStatus::Running)
+            continue; // schedule fuel: inconclusive, not divergent
+          if (!Ref->comparable(Sc))
+            Report(T, "scheduled", false,
+                   "input " + std::to_string(Opts.Inputs[I]) + ": direct " +
+                       Ref->str() + " vs scheduled " + Sc.str());
         }
       }
     }

@@ -111,6 +111,14 @@ struct DiffOptions {
   /// require the full observable outcome — status, results, goes-wrong
   /// reason, and every Stats counter — to match the tree walker's.
   bool CheckVm = true;
+  /// Scheduled-vs-direct dimension: render each strategy's computation a
+  /// second time wrapped for the green-threads scheduler
+  /// (RandomProgramOptions::Scheduled) and run it as a one-thread schedule
+  /// on a single driver. The schedule's status, results, and goes-wrong
+  /// reason must match the direct unoptimized reference run; machine
+  /// counters are excluded (the spawn/join wrapper adds steps and yields
+  /// by design). Bounded to the unoptimized configuration.
+  bool CheckScheduled = false;
   /// When set, (strategy, configuration) cells compile through this
   /// engine's content-hash artifact cache — one IR (and one bytecode)
   /// compile per cell, shared across inputs, backends, and any other

@@ -20,6 +20,7 @@
 #include "costmodel/RandomProgram.h"
 
 #include "rts/ExnFormat.h"
+#include "rts/SchedFormat.h"
 #include "support/Assert.h"
 #include "support/Rng.h"
 
@@ -495,7 +496,9 @@ void Emitter::cpsProc(unsigned I) {
 }
 
 void Emitter::mainProc() {
-  line("main(bits32 x) {");
+  // Under the scheduled rendering the computation itself is `sched_body`;
+  // the real main (schedMain) spawns it as a green thread and joins.
+  line(std::string(Opts.Scheduled ? "sched_body" : "main") + "(bits32 x) {");
   ++Indent;
   line("bits32 r, t, u;");
   switch (T) {
@@ -542,6 +545,21 @@ void Emitter::mainProc() {
     line("cps_trap(bits32 env, bits32 t, bits32 u) {");
     ++Indent;
     line("return (40404040 + t + u);");
+    --Indent;
+    line("}");
+  }
+
+  if (Opts.Scheduled) {
+    // The scheduled entry: run the whole computation in a green thread of
+    // its own (fresh stack, fresh memory image) and return what join
+    // observes. Any per-strategy global initialization (exn_top, hp)
+    // happens inside sched_body, in the spawned thread's own memory.
+    line("main(bits32 x) {");
+    ++Indent;
+    line("bits32 t, r;");
+    line("t = yield(" + schedTagLiteral(SchedTagSpawn) + ", sched_body, x);");
+    line("r = yield(" + schedTagLiteral(SchedTagJoin) + ", t);");
+    line("return (r);");
     --Indent;
     line("}");
   }

@@ -51,6 +51,13 @@ struct RandomProgramOptions {
   /// fast-path division whose divisor may be zero for some inputs. Such a
   /// program goes wrong — identically under every strategy.
   unsigned WrongChancePct = 0;
+  /// Render for the green-threads scheduler (sched/Scheduler.h): the
+  /// computation's entry becomes `sched_body`, and `main` spawns it as a
+  /// green thread and joins on its result through the yield vocabulary of
+  /// rts/SchedFormat.h. The underlying computation (all random draws) is
+  /// identical to the direct rendering, which is what makes
+  /// scheduled-vs-direct a differential oracle.
+  bool Scheduled = false;
 };
 
 /// Generates a self-contained C-- module exporting `main`, deterministic in

@@ -13,6 +13,7 @@
 #include "obs/Profiler.h"
 #include "rts/Dispatchers.h"
 #include "rts/RuntimeInterface.h"
+#include "sched/Scheduler.h"
 #include "sem/Machine.h"
 #include "vm/Threaded.h"
 #include "vm/Vm.h"
@@ -223,6 +224,63 @@ Engine::resolveProgram(const Job &J, uint64_t Id, unsigned Tid,
   return Art->program();
 }
 
+JobResult Engine::runScheduled(const Job &J,
+                               const std::shared_ptr<const ProgramArtifact> &Art,
+                               JobResult R) {
+  sched::SchedOptions SO;
+  SO.SliceFuel = J.Sched.SliceFuel;
+  SO.Drivers = J.Sched.Drivers;
+  SO.MaxThreads = J.Sched.MaxThreads;
+  SO.MaxStepsPerThread = J.MaxSteps;
+  SO.Exn = J.Dispatcher == DispatcherKind::Unwind ? sched::ExnDispatch::Unwind
+           : J.Dispatcher == DispatcherKind::Cut  ? sched::ExnDispatch::Cut
+                                                  : sched::ExnDispatch::None;
+  // The factory co-owns the program so a schedule's executors stay valid
+  // even if the caller drops its reference mid-run.
+  Backend B = J.B;
+  sched::Scheduler::ExecutorFactory F;
+  if (Art)
+    F = [Art, B] { return Art->newExecutor(B); };
+  else {
+    std::shared_ptr<const IrProgram> Prog = J.Program;
+    F = [Prog, B] { return makeExecutor(B, *Prog); };
+  }
+  sched::Scheduler S(
+      std::move(F), SO,
+      [this](std::function<void()> T) { Pool.submit(std::move(T)); },
+      &Registry);
+
+  auto R0 = std::chrono::steady_clock::now();
+  sched::SchedResult SR = S.run(J.Entry, J.Args);
+  R.RunMillis = millisSince(R0);
+  R.Status = SR.Status;
+  R.Results = SR.Results;
+  R.WrongReason = SR.WrongReason;
+  R.WrongLoc = SR.WrongLoc;
+  R.Deadlocked = SR.Deadlocked;
+  R.MachineStats = SR.MachineStats;
+  R.SchedThreads = SR.ThreadsSpawned;
+  R.SchedSwitches = SR.ContextSwitches;
+  switch (R.Status) {
+  case MachineStatus::Halted:
+    JM.Halted.add(1);
+    break;
+  case MachineStatus::Wrong:
+    JM.Wrong.add(1);
+    break;
+  case MachineStatus::Suspended:
+    JM.Suspended.add(1);
+    break;
+  case MachineStatus::Running:
+    // Deadlocks land here too (sched.deadlocks disambiguates).
+    JM.FuelExhausted.add(1);
+    break;
+  default:
+    break;
+  }
+  return R;
+}
+
 JobResult Engine::runJob(const Job &J, uint64_t Id) {
   // Synchronous callers pass Id 0; give the job a real id anyway when the
   // merged trace is on, so its spans are distinguishable (and samplable).
@@ -247,6 +305,16 @@ JobResult Engine::runJob(const Job &J, uint64_t Id) {
     JM.Running.sub(1);
     JM.JobMicros.record(nowMicros() - JobT0);
     return R;
+  }
+
+  if (J.Sched.Enabled) {
+    JobResult SR = runScheduled(J, Art, R);
+    JM.RunMicros.record(uint64_t(SR.RunMillis * 1000.0));
+    JM.JobMicros.record(nowMicros() - JobT0);
+    JM.Running.sub(1);
+    if (EngTrace)
+      emitEngineSpan("run", Id, Tid, JobT0, uint64_t(SR.RunMillis * 1000.0));
+    return SR;
   }
 
   std::unique_ptr<Executor> Exec =

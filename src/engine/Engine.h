@@ -57,8 +57,6 @@ namespace cmm::engine {
 
 class JobSession;
 class ModuleCache;
-struct BudgetOutcome;
-struct RunBudget;
 
 //===----------------------------------------------------------------------===//
 // Backends
@@ -247,6 +245,27 @@ struct Job {
   /// JobResult::MemExceeded set and Status == Running.
   uint64_t MaxMemoryBytes = 0;
 
+  /// Green-threads scheduling (src/sched, docs/SCHEDULER.md). When Enabled,
+  /// Entry(Args) runs as green thread 1 of an M:N schedule instead of as a
+  /// lone executor: the guest may spawn further threads, talk over bounded
+  /// channels, sleep on the virtual clock, and join, through the yield
+  /// vocabulary of rts/SchedFormat.h. Job::MaxSteps becomes the per-thread
+  /// fuel, Job::Dispatcher services non-scheduler yields inside every green
+  /// thread, and extra drivers ride the engine's pool. Per-job observers,
+  /// traces, profiles, deadlines, and memory quotas do not apply to
+  /// scheduled jobs (a schedule is many executors); sched.* metrics in the
+  /// engine registry cover them instead.
+  struct SchedSpec {
+    bool Enabled = false;
+    /// Transitions per cooperative slice.
+    uint64_t SliceFuel = 1 << 14;
+    /// Host drivers including the submitting one; extras ride the pool.
+    unsigned Drivers = 1;
+    /// Spawn guard: more live threads than this fails the schedule.
+    uint64_t MaxThreads = 1 << 20;
+  };
+  SchedSpec Sched;
+
   /// Caller-owned observer, used by this job only (observers are not
   /// thread-safe; never share one across concurrently submitted jobs).
   MachineObserver *Obs = nullptr;
@@ -282,6 +301,11 @@ struct JobResult {
   bool CacheHit = false; ///< artifact came from the cache already compiled
   bool TimedOut = false; ///< stopped by DeadlineMillis
   bool MemExceeded = false; ///< stopped by MaxMemoryBytes
+  /// Scheduled jobs (Job::Sched): the schedule quiesced with live parked
+  /// threads (Status == Running, reported loudly instead of hanging).
+  bool Deadlocked = false;
+  uint64_t SchedThreads = 0;  ///< green threads spawned, incl. the main one
+  uint64_t SchedSwitches = 0; ///< scheduler slices dispatched
   std::string ProfileJson; ///< with Job::CollectProfile
   double CompileMillis = 0;
   double RunMillis = 0;
@@ -441,6 +465,15 @@ private:
   const IrProgram *resolveProgram(const Job &J, uint64_t Id, unsigned Tid,
                                   uint64_t JobT0, JobResult &R,
                                   std::shared_ptr<const ProgramArtifact> &Art);
+
+  /// Runs a Job::Sched job as an M:N schedule over the pool: builds an
+  /// executor factory from the resolved program, maps the job's fuel and
+  /// dispatcher onto SchedOptions, and folds the SchedResult (plus its
+  /// outcome accounting) into \p R. \p R already carries the compile
+  /// fields.
+  JobResult runScheduled(const Job &J,
+                         const std::shared_ptr<const ProgramArtifact> &Art,
+                         JobResult R);
 
   /// True when job \p Id 's machine events are recorded into the merged
   /// trace (EngineOptions::TraceMachineSample).

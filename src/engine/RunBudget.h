@@ -5,116 +5,35 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The three per-segment execution budgets every engine-run job carries —
-/// fuel (abstract-machine transitions per resume segment), a wall-clock
-/// deadline, and a memory quota — plus the budgeted run loop shared by
-/// Engine::runJob and JobSession (engine/Session.h). The loop slices
-/// execution into Engine::DeadlineSliceSteps-transition chunks whenever a
-/// deadline or memory quota is armed, so enforcement granularity is one
-/// slice, and it consults the budgets between suspend/resume cycles as well
-/// (a yield-heavy program whose dispatcher always resumes never completes a
-/// Running slice).
-///
-/// This header is internal to the engine library; embedders see the budget
-/// fields on engine::Job and the outcome flags on engine::JobResult.
+/// Compatibility aliases: the budget types and the budgeted run loop moved
+/// down into the sem layer (sem/Continuation.h) when the first-class
+/// Continuation handle was introduced, so that anything holding an Executor
+/// — not just the engine — can run it under fuel / deadline / memory
+/// budgets. Engine code and embedders keep their old spellings through the
+/// aliases below; new code should include sem/Continuation.h directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CMM_ENGINE_RUNBUDGET_H
 #define CMM_ENGINE_RUNBUDGET_H
 
-#include "sem/Executor.h"
-#include "sem/Memory.h"
-
-#include <algorithm>
-#include <chrono>
-#include <cstdint>
+#include "sem/Continuation.h"
 
 namespace cmm::engine {
 
 /// Budgets for one execution segment (submit-to-suspension, or
 /// resume-to-suspension). Zero / all-ones fields disable their check.
-struct RunBudget {
-  /// Abstract-machine transitions for this segment (the runWithRuntime
-  /// fuel). Exhaustion leaves the executor Running.
-  uint64_t MaxSteps = ~uint64_t(0);
-  /// Wall-clock deadline in milliseconds from segment start; 0 disables.
-  double DeadlineMillis = 0;
-  /// Memory quota in bytes (page-granular: an executor's footprint is its
-  /// page count times Memory::PageSize); 0 disables.
-  uint64_t MaxMemoryBytes = 0;
-};
+using RunBudget = cmm::ResumeBudget;
 
 /// How a budgeted segment stopped early (all false when it ran to a
 /// terminal status or out of fuel).
-struct BudgetOutcome {
-  bool TimedOut = false;    ///< DeadlineMillis exceeded
-  bool MemExceeded = false; ///< MaxMemoryBytes exceeded
-};
+using BudgetOutcome = cmm::ResumeOutcome;
 
 namespace detail {
 
-inline double millisSince(std::chrono::steady_clock::time_point T0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - T0)
-      .count();
-}
-
-inline uint64_t memoryBytesOf(const Executor &M) {
-  return uint64_t(M.memory().pageCount()) * Memory::PageSize;
-}
-
-/// runWithRuntime (rts/RuntimeInterface.h) with the engine's budgets
-/// layered in. \p SliceSteps is Engine::DeadlineSliceSteps (passed in so
-/// this header need not see Engine). \p Handler services one suspension and
-/// returns true when the executor was resumed. Increments \p ResumeCycles
-/// once per serviced yield.
-template <typename HandlerFn>
-MachineStatus runBudgeted(Executor &M, HandlerFn Handler, const RunBudget &B,
-                          uint64_t SliceSteps, BudgetOutcome &Out,
-                          uint64_t &ResumeCycles) {
-  auto T0 = std::chrono::steady_clock::now();
-  const bool Sliced = B.DeadlineMillis > 0 || B.MaxMemoryBytes > 0;
-  auto overBudget = [&] {
-    if (B.DeadlineMillis > 0 && millisSince(T0) >= B.DeadlineMillis) {
-      Out.TimedOut = true;
-      return true;
-    }
-    if (B.MaxMemoryBytes > 0 && memoryBytesOf(M) > B.MaxMemoryBytes) {
-      Out.MemExceeded = true;
-      return true;
-    }
-    return false;
-  };
-  for (;;) {
-    // Checked here as well as inside the slice loop: the suspend/resume
-    // cycle itself must consult the budgets.
-    if (overBudget())
-      return MachineStatus::Running;
-    uint64_t Remaining = B.MaxSteps;
-    MachineStatus St;
-    for (;;) {
-      uint64_t Slice = Remaining;
-      if (Sliced)
-        Slice = std::min<uint64_t>(Slice, SliceSteps);
-      St = M.run(Slice);
-      if (St != MachineStatus::Running)
-        break;
-      Remaining -= Slice;
-      if (Remaining == 0)
-        return MachineStatus::Running; // fuel exhausted
-      if (overBudget())
-        return MachineStatus::Running;
-    }
-    if (St != MachineStatus::Suspended)
-      return St;
-    if (!Handler(M))
-      return MachineStatus::Suspended; // unhandled yield
-    if (M.status() == MachineStatus::Suspended)
-      return MachineStatus::Suspended; // handler did not actually resume
-    ++ResumeCycles; // one serviced yield, machine running again
-  }
-}
+using cmm::detail::memoryBytesOf;
+using cmm::detail::millisSince;
+using cmm::detail::runBudgeted;
 
 } // namespace detail
 

@@ -6,6 +6,8 @@
 
 #include "engine/Session.h"
 
+#include "sem/Continuation.h"
+
 using namespace cmm;
 using namespace cmm::engine;
 using cmm::engine::detail::millisSince;
@@ -171,22 +173,31 @@ JobResult JobSession::runSegment(const RunBudget &Budget) {
 JobResult JobSession::resumeRaw(const ResumeChoice &Choice,
                                 std::vector<Value> Params,
                                 const RunBudget &Budget) {
-  if (Done || Exec->status() != MachineStatus::Suspended)
+  // One first-class Continuation per wire resume (sem/Continuation.h): the
+  // capture refuses anything but a Suspended executor, the resume consumes
+  // the handle, and the budgeted run is the handle's own.
+  Continuation C = Continuation::capture(*Exec);
+  if (Done || C.state() != Continuation::State::Suspended)
     return finishSegment(Exec->status(), LastOutcome, 0);
   Eng.JM.SessionResumes.add(1);
-  if (!Exec->rtResume(Choice, std::move(Params)))
-    // Rule violation: the executor is Wrong with a precise reason — that
-    // is the segment result (and the session is done).
-    return finishSegment(Exec->status(), BudgetOutcome{}, 0);
-  ++Cycles;
-  return runSegment(Budget);
+  C.setBudget(Budget);
+  auto R0 = std::chrono::steady_clock::now();
+  Eng.JM.Running.add(1);
+  Continuation::Result Res = C.resume(Choice, std::move(Params));
+  Eng.JM.Running.sub(1);
+  if (Res.Transferred)
+    // A refused transfer (rule violation, executor Wrong before any
+    // transition) is not a serviced yield; everything else is one cycle.
+    ++Cycles;
+  return finishSegment(Res.Status, Res.Outcome, millisSince(R0));
 }
 
 JobResult JobSession::unwindTop(size_t Count, const RunBudget &) {
-  if (Done || Exec->status() != MachineStatus::Suspended)
+  Continuation C = Continuation::capture(*Exec);
+  if (Done || C.state() != Continuation::State::Suspended)
     return finishSegment(Exec->status(), LastOutcome, 0);
   Eng.JM.SessionResumes.add(1);
-  Exec->rtUnwindTop(Count);
+  C.unwindTop(Count);
   // Still suspended on success; Wrong on an un-abortable call site.
   return finishSegment(Exec->status(), BudgetOutcome{}, 0);
 }
@@ -215,7 +226,15 @@ JobResult JobSession::dispatchOnce(DispatcherKind K, const RunBudget &Budget) {
 }
 
 JobResult JobSession::continueRun(const RunBudget &Budget) {
-  if (Done || Exec->status() != MachineStatus::Running)
+  // A fuel/deadline/memory stop captures as a Paused continuation; resuming
+  // it is "just more budget".
+  Continuation C = Continuation::capture(*Exec);
+  if (Done || C.state() != Continuation::State::Paused)
     return finishSegment(Exec->status(), LastOutcome, 0);
-  return runSegment(Budget);
+  C.setBudget(Budget);
+  auto R0 = std::chrono::steady_clock::now();
+  Eng.JM.Running.add(1);
+  Continuation::Result Res = C.resume();
+  Eng.JM.Running.sub(1);
+  return finishSegment(Res.Status, Res.Outcome, millisSince(R0));
 }

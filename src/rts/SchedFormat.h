@@ -1,0 +1,101 @@
+//===- rts/SchedFormat.h - Scheduler runtime vocabulary ---------*- C++ -*-===//
+//
+// Part of cmmex (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The yield-tag vocabulary between guest C-- programs and the green-thread
+/// scheduler (src/sched, docs/SCHEDULER.md). The paper leaves the meaning
+/// of `yield` to the front-end run-time system; the scheduler is one such
+/// runtime, and this header is its calling convention — the same role
+/// rts/ExnFormat.h plays for the exception dispatchers.
+///
+/// A scheduler request is an ordinary yield whose first argument is one of
+/// the tags below; the remaining arguments are the operands. Requests with
+/// a result must be written as a binding call (`h = yield(SCHED_CHAN_NEW,
+/// 1);`), requests without one as a statement — the scheduler resumes
+/// through the normal return continuation of the yield site, so the arity
+/// of the resume must match what the continuation binds (a mismatch goes
+/// wrong with the machine's own precise reason, like any Table 1 misuse).
+///
+/// Tags live in a reserved high range so they can never collide with the
+/// source-language exception tags (small integers; rts/Dispatchers.h) or
+/// the %%div family's DivZeroYieldTag — a yield whose tag is outside this
+/// range is NOT a scheduler request and is delegated to the green thread's
+/// exception dispatcher.
+///
+///   tag                     operands            resumes with
+///   SchedTagSpawn           proc, arg           tid
+///   SchedTagYield           —                   —
+///   SchedTagSleep           ticks               —           (virtual time)
+///   SchedTagChanNew         capacity            handle
+///   SchedTagChanSend        handle, value       —           (parks if full)
+///   SchedTagChanRecv        handle              value       (parks if empty)
+///   SchedTagJoin            tid                 value       (parks till exit)
+///   SchedTagSelf            —                   tid
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMM_RTS_SCHEDFORMAT_H
+#define CMM_RTS_SCHEDFORMAT_H
+
+#include "sem/Executor.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmm {
+
+/// Base of the reserved scheduler tag range ("SC" in ASCII, shifted high).
+inline constexpr uint64_t SchedTagBase = 0x53430000;
+
+inline constexpr uint64_t SchedTagSpawn = SchedTagBase + 1;
+inline constexpr uint64_t SchedTagYield = SchedTagBase + 2;
+inline constexpr uint64_t SchedTagSleep = SchedTagBase + 3;
+inline constexpr uint64_t SchedTagChanNew = SchedTagBase + 4;
+inline constexpr uint64_t SchedTagChanSend = SchedTagBase + 5;
+inline constexpr uint64_t SchedTagChanRecv = SchedTagBase + 6;
+inline constexpr uint64_t SchedTagJoin = SchedTagBase + 7;
+inline constexpr uint64_t SchedTagSelf = SchedTagBase + 8;
+inline constexpr uint64_t SchedTagEnd = SchedTagBase + 9; ///< one past last
+
+/// True when \p Tag is a scheduler request (vs. an exception or any other
+/// runtime's yield).
+inline bool isSchedTag(uint64_t Tag) {
+  return Tag >= SchedTagBase && Tag < SchedTagEnd;
+}
+
+/// The C-- source spelling of a tag (the grammar has no named constants, so
+/// generated and hand-written guests embed the literal; keeping the
+/// rendering here keeps the numbers in exactly one place).
+inline std::string schedTagLiteral(uint64_t Tag) { return std::to_string(Tag); }
+
+/// A decoded scheduler request: the tag plus every operand after it, in
+/// yield order. Valid is false when the suspension is not a well-formed
+/// scheduler request (no Bits tag, or a tag outside the reserved range).
+struct SchedRequest {
+  uint64_t Tag = 0;
+  std::vector<Value> Operands;
+  bool Valid = false;
+};
+
+/// Reads the scheduler request of a suspended executor (whole argument
+/// area, unlike readYieldRequest's two-slot exception convention).
+inline SchedRequest readSchedRequest(const Executor &M) {
+  SchedRequest R;
+  if (M.status() != MachineStatus::Suspended)
+    return R;
+  const std::vector<Value> &A = M.argArea();
+  if (A.empty() || !A[0].isBits() || !isSchedTag(A[0].Raw))
+    return R;
+  R.Tag = A[0].Raw;
+  R.Operands.assign(A.begin() + 1, A.end());
+  R.Valid = true;
+  return R;
+}
+
+} // namespace cmm
+
+#endif // CMM_RTS_SCHEDFORMAT_H

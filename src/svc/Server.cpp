@@ -225,7 +225,13 @@ void Server::requestStop() {
   std::lock_guard<std::mutex> L(StopMu);
   if (Closed.load())
     return;
-  Stopping.store(true);
+  {
+    // Raise Stopping under DrainMu so it cannot interleave with an
+    // admission in beginRequest: every request is either counted into the
+    // drain set before this point or refused ShuttingDown after it.
+    std::lock_guard<std::mutex> D(DrainMu);
+    Stopping.store(true);
+  }
   waitDrained();
   stopSockets();
 }
@@ -477,10 +483,13 @@ engine::RunBudget Server::clampBudget(uint64_t MaxSteps, double DeadlineMillis,
   return B;
 }
 
-void Server::beginRequest() {
+bool Server::beginRequest() {
   std::lock_guard<std::mutex> L(DrainMu);
+  if (Stopping.load())
+    return false;
   InFlight.fetch_add(1);
   SM->InFlight.add(1);
+  return true;
 }
 
 void Server::endRequest(const std::shared_ptr<Tenant> &T,
@@ -539,8 +548,11 @@ bool Server::handleFrame(const std::shared_ptr<Conn> &C, MsgType T,
       return true;
     }
     auto Ten = tenant(M.Tenant);
+    if (!beginRequest()) {
+      sendError(C, M.ReqId, ErrCode::ShuttingDown, "server is draining");
+      return true;
+    }
     Ten->InFlight.fetch_add(1);
-    beginRequest();
     Eng->pool().submit([this, C, M = std::move(M), Ten]() mutable {
       handleCompile(C, std::move(M), Ten);
     });
@@ -580,8 +592,13 @@ bool Server::handleFrame(const std::shared_ptr<Conn> &C, MsgType T,
         return true;
       }
     }
+    if (!beginRequest()) {
+      if (M.Park)
+        Ten->Sessions.fetch_sub(1);
+      sendError(C, M.ReqId, ErrCode::ShuttingDown, "server is draining");
+      return true;
+    }
     Ten->InFlight.fetch_add(1);
-    beginRequest();
     Eng->pool().submit([this, C, M = std::move(M), Ten]() mutable {
       handleRun(C, std::move(M), Ten);
     });
@@ -621,8 +638,12 @@ bool Server::handleFrame(const std::shared_ptr<Conn> &C, MsgType T,
                 "tenant in-flight request quota exceeded");
       return true;
     }
+    if (!beginRequest()) {
+      E->Busy.store(false);
+      sendError(C, M.ReqId, ErrCode::ShuttingDown, "server is draining");
+      return true;
+    }
     Ten->InFlight.fetch_add(1);
-    beginRequest();
     Eng->pool().submit([this, C, M = std::move(M), E, Ten]() mutable {
       handleResume(C, std::move(M), E, Ten);
     });
@@ -801,7 +822,10 @@ void Server::handleResume(std::shared_ptr<Conn> C, ResumeRequestMsg M,
 void Server::handleShutdown(const std::shared_ptr<Conn> &C, uint64_t ReqId) {
   std::lock_guard<std::mutex> L(StopMu);
   if (!Closed.load()) {
-    Stopping.store(true);
+    {
+      std::lock_guard<std::mutex> D(DrainMu);
+      Stopping.store(true);
+    }
     waitDrained();
   }
   ByteWriter W;
@@ -817,9 +841,13 @@ void Server::handleShutdown(const std::shared_ptr<Conn> &C, uint64_t ReqId) {
 
 void Server::closeSession(uint64_t Id, const std::shared_ptr<SessionEntry> &E,
                           Counter &Outcome) {
+  // Idempotent: only the caller that actually removes the table entry
+  // releases the tenant slot and counts the outcome, so a close racing a
+  // drain (or any future second caller) cannot double-count.
   {
     std::lock_guard<std::mutex> L(SessMu);
-    Sessions.erase(Id);
+    if (Sessions.erase(Id) == 0)
+      return;
   }
   E->Owner->Sessions.fetch_sub(1);
   SM->SessionsOpen.sub(1);
@@ -837,7 +865,10 @@ void Server::reaperLoop() {
       std::unique_lock<std::mutex> L(ReaperMu);
       ReaperCv.wait_for(L, Interval, [&] { return Closed.load(); });
     }
-    if (Closed.load())
+    // Stand down once the drain starts: parked sessions left at shutdown
+    // are accounted as closed by join(), and expiring them concurrently
+    // with teardown would race that sweep.
+    if (Closed.load() || Stopping.load())
       return;
     uint64_t Now = steadyMicros();
     std::vector<std::pair<uint64_t, std::shared_ptr<SessionEntry>>> Victims;
@@ -846,8 +877,16 @@ void Server::reaperLoop() {
       for (auto &[Id, E] : Sessions) {
         if (Now - E->LastUsedMicros.load() < TtlMicros)
           continue;
-        if (!E->Busy.exchange(true)) // claim; resumes now see SessionBusy
-          Victims.emplace_back(Id, E);
+        if (E->Busy.exchange(true)) // in use; it will refresh on release
+          continue;
+        // Re-check after claiming: a resume may have refreshed the
+        // timestamp and released Busy between our read and the claim —
+        // expiring it then would discard a session the tenant just used.
+        if (Now - E->LastUsedMicros.load() < TtlMicros) {
+          E->Busy.store(false);
+          continue;
+        }
+        Victims.emplace_back(Id, E);
       }
     }
     for (auto &[Id, E] : Victims)

@@ -165,7 +165,14 @@ private:
   void handleCompile(std::shared_ptr<Conn> C, CompileRequestMsg M,
                      std::shared_ptr<Tenant> T);
   void handleShutdown(const std::shared_ptr<Conn> &C, uint64_t ReqId);
-  void beginRequest();
+  /// Counts a request into the drain set, or refuses (false) when the
+  /// server is draining. The Stopping check happens under DrainMu — the
+  /// same lock requestStop holds while raising Stopping — so a request
+  /// admitted here is always visible to waitDrained. Checking Stopping
+  /// anywhere else and calling this later reopens the shutdown race this
+  /// closes: a frame could slip past the check, land on the pool after
+  /// the drain completed, and touch freed server state.
+  bool beginRequest();
   void endRequest(const std::shared_ptr<Tenant> &T,
                   std::chrono::steady_clock::time_point T0);
 

@@ -1,0 +1,172 @@
+//===- tests/ContinuationTest.cpp - First-class continuation handles ------===//
+//
+// Part of cmmex (see DESIGN.md). Pins sem/Continuation.h: the capture
+// states (Suspended at a yield, Paused on a budget stop, Empty otherwise),
+// the one-shot resume discipline (a handle is Spent after resume; resuming
+// a spent handle transfers nothing), the Transferred flag separating "the
+// executor ran" from "the Table 1 resume was refused", budget attachment,
+// and unwindTop narrowing the capture without consuming it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "engine/Engine.h"
+#include "sem/Continuation.h"
+
+using namespace cmm;
+using cmm::test::b32;
+
+namespace {
+
+/// main suspends once with `r = yield(9, n)` and returns r + 1.
+const char *echoSource() {
+  return "export main;\n"
+         "main(bits32 n) {\n"
+         "  bits32 r;\n"
+         "  r = yield(9, n);\n"
+         "  return (r + 1);\n"
+         "}\n";
+}
+
+/// A counting loop that halts with its argument after `n` iterations —
+/// enough transitions to stop mid-run under a small fuel budget.
+const char *loopSource() {
+  return "export main;\n"
+         "main(bits32 n) {\n"
+         "  bits32 i;\n"
+         "  i = 0;\n"
+         "loop:\n"
+         "  if i == n { return (i); }\n"
+         "  i = i + 1;\n"
+         "  goto loop;\n"
+         "}\n";
+}
+
+/// main -> leaf -> yield, with leaf's call site abortable (unwindTop).
+const char *towerSource() {
+  return "export main;\n"
+         "leaf(bits32 x) {\n"
+         "  yield(7, x) also aborts;\n"
+         "  return (0);\n"
+         "}\n"
+         "main(bits32 x) {\n"
+         "  bits32 r;\n"
+         "  r = leaf(x) also unwinds to k also aborts;\n"
+         "  return (r);\n"
+         "continuation k:\n"
+         "  return (222);\n"
+         "}\n";
+}
+
+class ContinuationTest : public ::testing::TestWithParam<engine::Backend> {
+protected:
+  std::unique_ptr<Executor> startOn(const char *Src, std::vector<Value> Args) {
+    Prog = cmm::test::compile({Src});
+    if (!Prog)
+      return nullptr;
+    std::unique_ptr<Executor> M = engine::makeExecutor(GetParam(), *Prog);
+    M->start("main", std::move(Args));
+    return M;
+  }
+  std::unique_ptr<IrProgram> Prog;
+};
+
+TEST_P(ContinuationTest, CaptureStatesFollowExecutorStatus) {
+  std::unique_ptr<Executor> M = startOn(echoSource(), {b32(1)});
+  ASSERT_TRUE(M);
+
+  // Idle-like states are not capturable: a fresh (started, Running)
+  // executor captures as Paused; Halted and Wrong capture as Empty.
+  Continuation Fresh = Continuation::capture(*M);
+  EXPECT_EQ(Fresh.state(), Continuation::State::Paused);
+
+  ASSERT_EQ(M->run(), MachineStatus::Suspended);
+  Continuation C = Continuation::capture(*M);
+  EXPECT_EQ(C.state(), Continuation::State::Suspended);
+  EXPECT_TRUE(bool(C));
+  EXPECT_EQ(C.executor(), M.get());
+}
+
+TEST_P(ContinuationTest, ResumeWithValueIsOneShot) {
+  std::unique_ptr<Executor> M = startOn(echoSource(), {b32(5)});
+  ASSERT_TRUE(M);
+  ASSERT_EQ(M->run(), MachineStatus::Suspended);
+  // The yield request is visible through the handle's executor.
+  Continuation C = Continuation::capture(*M);
+  ASSERT_EQ(C.executor()->argArea()[0], b32(9));
+
+  Continuation::Result R = C.resume(b32(41));
+  EXPECT_TRUE(R.Transferred);
+  EXPECT_EQ(R.Status, MachineStatus::Halted);
+  EXPECT_EQ(M->argArea(), std::vector<Value>{b32(42)});
+  EXPECT_EQ(C.state(), Continuation::State::Spent);
+
+  // A spent handle transfers nothing and reports where the executor stands.
+  Continuation::Result Again = C.resume(b32(0));
+  EXPECT_FALSE(Again.Transferred);
+  EXPECT_EQ(Again.Status, MachineStatus::Halted);
+}
+
+TEST_P(ContinuationTest, BudgetStopCapturesAsPausedAndContinues) {
+  std::unique_ptr<Executor> M = startOn(loopSource(), {b32(100000)});
+  ASSERT_TRUE(M);
+  Continuation C = Continuation::capture(*M);
+  ASSERT_EQ(C.state(), Continuation::State::Paused);
+  C.setBudget({50, 0, 0});
+  Continuation::Result R = C.resume();
+  EXPECT_TRUE(R.Transferred);
+  EXPECT_EQ(R.Status, MachineStatus::Running); // fuel exhausted mid-loop
+  EXPECT_FALSE(R.Outcome.TimedOut);
+
+  // A fresh Paused capture with more budget finishes the job; the split
+  // run is observably identical to an unbudgeted one.
+  Continuation C2 = Continuation::capture(*M);
+  ASSERT_EQ(C2.state(), Continuation::State::Paused);
+  Continuation::Result R2 = C2.resume();
+  EXPECT_EQ(R2.Status, MachineStatus::Halted);
+  EXPECT_EQ(M->argArea(), std::vector<Value>{b32(100000)});
+}
+
+TEST_P(ContinuationTest, ExplicitChoiceAndRefusedTransfer) {
+  std::unique_ptr<Executor> M = startOn(towerSource(), {b32(3)});
+  ASSERT_TRUE(M);
+  ASSERT_EQ(M->run(), MachineStatus::Suspended);
+  Continuation C = Continuation::capture(*M);
+
+  // An out-of-range unwind index is a Table 1 rule violation: the executor
+  // goes wrong without executing a transition, and the result says so.
+  Continuation::Result Bad = C.resume(ResumeChoice::unwind(7), {});
+  EXPECT_FALSE(Bad.Transferred);
+  EXPECT_EQ(Bad.Status, MachineStatus::Wrong);
+  EXPECT_EQ(C.state(), Continuation::State::Spent);
+}
+
+TEST_P(ContinuationTest, UnwindTopNarrowsWithoutConsuming) {
+  std::unique_ptr<Executor> M = startOn(towerSource(), {b32(3)});
+  ASSERT_TRUE(M);
+  ASSERT_EQ(M->run(), MachineStatus::Suspended);
+  Continuation C = Continuation::capture(*M);
+  size_t D0 = M->stackDepth();
+  ASSERT_GE(D0, 2u);
+
+  EXPECT_TRUE(C.unwindTop(1));
+  EXPECT_EQ(C.state(), Continuation::State::Suspended); // still usable
+  EXPECT_EQ(M->stackDepth(), D0 - 1);
+
+  // The same handle now resumes main's call site through its `also
+  // unwinds to k` continuation.
+  Continuation::Result R = C.resume(ResumeChoice::unwind(0), {});
+  EXPECT_TRUE(R.Transferred);
+  EXPECT_EQ(R.Status, MachineStatus::Halted);
+  EXPECT_EQ(M->argArea(), std::vector<Value>{b32(222)});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ContinuationTest,
+                         ::testing::ValuesIn(engine::AllBackends),
+                         [](const auto &Info) {
+                           return std::string(
+                               engine::backendName(Info.param));
+                         });
+
+} // namespace

@@ -62,6 +62,33 @@ TEST(DiffHarness, WrongProgramsAgreeAcrossStrategies) {
   }
 }
 
+TEST(DiffHarness, ScheduledRenderingMatchesDirect) {
+  // The scheduled-vs-direct column (CheckScheduled): every strategy's
+  // computation, spawned as a green thread under the M:N scheduler, must
+  // reproduce the direct reference outcome — including seeds whose
+  // programs go wrong (WrongChancePct), which must fail the schedule with
+  // the identical reason. Kept small here (the full sweep carries
+  // --scheduled); skipping the optimizer/backend columns keeps it a
+  // scheduler check, not a rerun of the corpus test.
+  DiffOptions Opts;
+  Opts.CheckScheduled = true;
+  Opts.CheckVm = false;
+  Opts.CheckStats = false;
+  Opts.CheckRoundTrip = false;
+  Opts.CheckSerialize = false;
+  for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+    DiffSeedResult R = diffTestSeed(Seed, Opts);
+    EXPECT_FALSE(R.hasUnexpected())
+        << "seed " << Seed << " diverged:\n" << divergenceText(R);
+  }
+  Opts.Gen.WrongChancePct = 30;
+  for (uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DiffSeedResult R = diffTestSeed(Seed, Opts);
+    EXPECT_FALSE(R.hasUnexpected())
+        << "wrong-seed " << Seed << " diverged:\n" << divergenceText(R);
+  }
+}
+
 TEST(DiffHarness, HandlerFreeProgramsAgree) {
   DiffOptions Opts;
   Opts.Gen.UseHandlers = false;

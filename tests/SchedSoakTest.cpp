@@ -1,0 +1,238 @@
+//===- tests/SchedSoakTest.cpp - M:N scheduler soak (TSan target) ---------===//
+//
+// Part of cmmex (see DESIGN.md). The long-running scheduler stress: many
+// drivers stealing slices from one run queue, cross-thread wakes (a send
+// on one driver resuming a receiver whose slice last ran on another),
+// virtual timers firing at quiescence, and several schedules sharing one
+// engine pool. Slow by design and run under TSan in CI — it exists to
+// surface data races in the scheduler core, not to pin new semantics
+// (tests/SchedTest.cpp does that); every assertion here is a determinism
+// check multi-driver runs must still satisfy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "engine/Engine.h"
+#include "engine/ThreadPool.h"
+#include "rts/SchedFormat.h"
+#include "sched/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace cmm;
+using namespace cmm::sched;
+using cmm::test::b32;
+
+namespace {
+
+std::string T(uint64_t Tag) { return schedTagLiteral(Tag); }
+
+/// A relay pipeline: n workers chained by bounded channels, each
+/// incrementing every token it forwards; main feeds m tokens plus a
+/// sentinel into the head and drains the tail. Every channel has exactly
+/// one sender and one receiver, so the schedule's observables are
+/// independent of driver interleaving. sum = m(m-1)/2 + m*n.
+std::string relaySource() {
+  return "export main;\n"
+         "data chans { bits32[256]; }\n"
+         "worker(bits32 cin, bits32 cout) {\n"
+         "  bits32 v;\n"
+         "loop:\n"
+         "  v = yield(" + T(SchedTagChanRecv) + ", cin);\n"
+         "  if v == 999999 {\n"
+         "    yield(" + T(SchedTagChanSend) + ", cout, v);\n"
+         "    return (0);\n"
+         "  }\n"
+         "  yield(" + T(SchedTagChanSend) + ", cout, v + 1);\n"
+         "  goto loop;\n"
+         "}\n"
+         "main(bits32 n, bits32 m) {\n"
+         "  bits32 i, t, v, c, sum;\n"
+         "  i = 0;\n"
+         "mkchan:\n"
+         "  if i > n { goto spawn; }\n"
+         "  c = yield(" + T(SchedTagChanNew) + ", 4);\n"
+         "  bits32[chans + i * 4] = c;\n"
+         "  i = i + 1;\n"
+         "  goto mkchan;\n"
+         "spawn:\n"
+         "  i = 0;\n"
+         "spawnloop:\n"
+         "  if i == n { goto feed; }\n"
+         "  t = yield(" + T(SchedTagSpawn) + ", worker,\n"
+         "            bits32[chans + i * 4], bits32[chans + (i + 1) * 4]);\n"
+         "  i = i + 1;\n"
+         "  goto spawnloop;\n"
+         "feed:\n"
+         "  i = 0;\n"
+         "feedloop:\n"
+         "  if i == m { goto fin; }\n"
+         "  yield(" + T(SchedTagChanSend) + ", bits32[chans], i);\n"
+         "  i = i + 1;\n"
+         "  goto feedloop;\n"
+         "fin:\n"
+         "  yield(" + T(SchedTagChanSend) + ", bits32[chans], 999999);\n"
+         "  sum = 0;\n"
+         "drain:\n"
+         "  v = yield(" + T(SchedTagChanRecv) + ", bits32[chans + n * 4]);\n"
+         "  if v == 999999 { goto done; }\n"
+         "  sum = sum + v;\n"
+         "  goto drain;\n"
+         "done:\n"
+         "  return (sum);\n"
+         "}\n";
+}
+
+/// Sleep-heavy fan-in: every worker sleeps on the virtual clock before
+/// reporting, so timer wakes race channel wakes across drivers.
+std::string timerFanInSource() {
+  return "export main;\n"
+         "worker(bits32 c, bits32 x) {\n"
+         "  yield(" + T(SchedTagSleep) + ", x % 7);\n"
+         "  yield(" + T(SchedTagChanSend) + ", c, x);\n"
+         "  return (0);\n"
+         "}\n"
+         "main(bits32 n) {\n"
+         "  bits32 c, i, t, v, sum;\n"
+         "  c = yield(" + T(SchedTagChanNew) + ", 32);\n"
+         "  i = 0;\n"
+         "spawnloop:\n"
+         "  if i == n { goto drain; }\n"
+         "  t = yield(" + T(SchedTagSpawn) + ", worker, c, i);\n"
+         "  i = i + 1;\n"
+         "  goto spawnloop;\n"
+         "drain:\n"
+         "  sum = 0;\n"
+         "  i = 0;\n"
+         "recvloop:\n"
+         "  if i == n { goto done; }\n"
+         "  v = yield(" + T(SchedTagChanRecv) + ", c);\n"
+         "  sum = sum + v;\n"
+         "  i = i + 1;\n"
+         "  goto recvloop;\n"
+         "done:\n"
+         "  return (sum);\n"
+         "}\n";
+}
+
+SchedResult runSched(const IrProgram &Prog, engine::Backend B,
+                     SchedOptions Opts, std::vector<Value> Args,
+                     Scheduler::SubmitFn Submit = {}) {
+  Scheduler S([&Prog, B] { return engine::makeExecutor(B, Prog); }, Opts,
+              std::move(Submit));
+  return S.run("main", std::move(Args));
+}
+
+void expectSameObservables(const SchedResult &A, const SchedResult &B,
+                           const char *What) {
+  EXPECT_EQ(A.Status, B.Status) << What;
+  EXPECT_EQ(A.Results, B.Results) << What;
+  EXPECT_EQ(A.ThreadsSpawned, B.ThreadsSpawned) << What;
+  EXPECT_EQ(A.ChanSends, B.ChanSends) << What;
+  EXPECT_EQ(A.ChanRecvs, B.ChanRecvs) << What;
+  EXPECT_EQ(A.StepsTotal, B.StepsTotal) << What;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Work stealing: many drivers, one run queue, rounds of heavy traffic
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSoak, RelayPipelineStableAcrossDriversAndRounds) {
+  auto Prog = cmm::test::compile({relaySource()});
+  ASSERT_TRUE(Prog);
+  const uint64_t N = 48, M = 150; // pipeline capacity ~5n, m stays below
+  const uint64_t Want = M * (M - 1) / 2 + M * N;
+
+  SchedOptions Single;
+  Single.SliceFuel = 256; // force frequent preemption and requeueing
+  SchedResult Ref = runSched(*Prog, engine::Backend::Vm, Single,
+                             {b32(N), b32(M)});
+  ASSERT_EQ(Ref.Status, MachineStatus::Halted) << Ref.WrongReason;
+  ASSERT_EQ(Ref.Results, std::vector<Value>{b32(Want)});
+
+  engine::ThreadPool Pool(4);
+  auto Submit = [&Pool](std::function<void()> Task) {
+    Pool.submit(std::move(Task));
+  };
+  for (unsigned Drivers : {2u, 4u}) {
+    for (int Round = 0; Round < 3; ++Round) {
+      SchedOptions O = Single;
+      O.Drivers = Drivers;
+      SchedResult R =
+          runSched(*Prog, engine::Backend::Vm, O, {b32(N), b32(M)}, Submit);
+      expectSameObservables(Ref, R, "relay");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-thread resume: timer wakes racing channel wakes
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSoak, TimerAndChannelWakesRaceCleanly) {
+  auto Prog = cmm::test::compile({timerFanInSource()});
+  ASSERT_TRUE(Prog);
+  const uint64_t N = 400;
+  const uint64_t Want = N * (N - 1) / 2;
+
+  engine::ThreadPool Pool(4);
+  auto Submit = [&Pool](std::function<void()> Task) {
+    Pool.submit(std::move(Task));
+  };
+  for (int Round = 0; Round < 3; ++Round) {
+    SchedOptions O;
+    O.Drivers = 4;
+    O.SliceFuel = 512;
+    SchedResult R = runSched(*Prog, engine::Backend::Threaded, O, {b32(N)},
+                             Submit);
+    ASSERT_EQ(R.Status, MachineStatus::Halted) << R.WrongReason;
+    EXPECT_EQ(R.Results, std::vector<Value>{b32(Want)});
+    EXPECT_EQ(R.ThreadsSpawned, N + 1);
+    EXPECT_GE(R.TimerWaits, 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shared engine pool: concurrent schedules must not interfere
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSoak, ConcurrentScheduledJobsShareOneEnginePool) {
+  engine::EngineOptions EO;
+  EO.Threads = 4;
+  engine::Engine Eng(EO);
+
+  const uint64_t N = 32, M = 100;
+  const uint64_t Want = M * (M - 1) / 2 + M * N;
+  constexpr int Jobs = 3;
+
+  std::vector<engine::JobResult> Results(Jobs);
+  std::vector<std::thread> Hosts;
+  for (int I = 0; I < Jobs; ++I) {
+    Hosts.emplace_back([&, I] {
+      engine::Job J;
+      J.Request.Sources = {relaySource()};
+      J.B = engine::Backend::Vm;
+      J.Args = {b32(N), b32(M)};
+      J.Sched.Enabled = true;
+      J.Sched.Drivers = 2;
+      J.Sched.SliceFuel = 512;
+      Results[size_t(I)] = Eng.runJob(J);
+    });
+  }
+  for (std::thread &H : Hosts)
+    H.join();
+  for (int I = 0; I < Jobs; ++I) {
+    ASSERT_EQ(Results[size_t(I)].Status, MachineStatus::Halted)
+        << "job " << I << ": " << Results[size_t(I)].WrongReason;
+    EXPECT_EQ(Results[size_t(I)].Results, std::vector<Value>{b32(Want)})
+        << "job " << I;
+    EXPECT_EQ(Results[size_t(I)].SchedThreads, N + 1) << "job " << I;
+  }
+  EXPECT_EQ(Eng.metrics().gauge("sched.threads_live").value(), 0);
+  EXPECT_EQ(Eng.metrics().gauge("sched.runnable").value(), 0);
+}

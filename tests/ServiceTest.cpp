@@ -26,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -428,6 +429,46 @@ TEST(ServiceSession, IdleSessionsExpireAfterTtl) {
   EXPECT_EQ(E.Code, svc::ErrCode::NoSuchSession);
 }
 
+TEST(ServiceSession, ActivelyDrivenSessionSurvivesTtl) {
+  // The reaper claims a session's Busy flag and then re-checks its idle
+  // clock before expiring it, so a session that is being resumed at a
+  // period well under the TTL must never be reclaimed.
+  svc::ServerOptions O;
+  O.SessionTtlMillis = 250;
+  ServiceHarness H(std::move(O));
+  auto C = H.client();
+  ASSERT_TRUE(C);
+  // A long sweep: ~20 raises before it halts, far more than this drives.
+  svc::RunRequestMsg M;
+  M.Tenant = "t";
+  M.Sources = {sweepWorkloadSource(DispatchTechnique::UnwindRuntime)};
+  M.Entry = "sweep";
+  M.Args = {b32(40), b32(2), b32(4)};
+  M.Park = true;
+  std::optional<svc::ResultMsg> First = C->run(std::move(M));
+  ASSERT_TRUE(First.has_value());
+  ASSERT_EQ(MachineStatus(First->Status), MachineStatus::Suspended);
+  uint64_t S = First->SessionId;
+  ASSERT_NE(S, 0u);
+  for (int I = 0; I < 8; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    svc::ResumeRequestMsg Res;
+    Res.Tenant = "t";
+    Res.SessionId = S;
+    Res.Op = svc::ResumeOp::Dispatch;
+    Res.Dispatcher = uint8_t(DispatcherKind::Unwind);
+    svc::ErrorMsg E;
+    std::optional<svc::ResultMsg> R = C->resume(std::move(Res), &E);
+    ASSERT_TRUE(R.has_value())
+        << "resume " << I << " lost the session: " << E.Message;
+    ASSERT_EQ(MachineStatus(R->Status), MachineStatus::Suspended);
+    ASSERT_EQ(R->SessionId, S);
+  }
+  EXPECT_EQ(H.server().sessionsOpen(), 1);
+  EXPECT_EQ(H.server().metrics().counter("svc.sessions_expired").value(), 0u);
+  EXPECT_TRUE(C->closeSession("t", S));
+}
+
 //===----------------------------------------------------------------------===//
 // Graceful shutdown
 //===----------------------------------------------------------------------===//
@@ -470,6 +511,71 @@ TEST(ServiceShutdown, RequestStopIsIdempotent) {
   EXPECT_TRUE(H.server().stopped());
   H.server().requestStop(); // second stop: no deadlock, no crash
   EXPECT_TRUE(H.server().stopped());
+}
+
+TEST(ServiceShutdown, ConcurrentStopNeverLosesAccounting) {
+  // Regression for the admission/drain race: a frame that passed the
+  // reader's Stopping check could previously be admitted after
+  // requestStop's drain observed zero in-flight requests, landing on the
+  // engine pool while the server tore down. beginRequest now refuses
+  // under the same lock requestStop raises Stopping under, so every
+  // request is either drained or answered ShuttingDown. This hammers the
+  // window from several connections (runs, parked sessions, resumes, an
+  // active TTL reaper) while stopping the server mid-flight, and then
+  // checks that nothing was double-counted or leaked.
+  for (int Round = 0; Round < 6; ++Round) {
+    svc::ServerOptions O;
+    O.SessionTtlMillis = 20; // keep the reaper in the race too
+    std::optional<ServiceHarness> H;
+    H.emplace(std::move(O));
+    ASSERT_TRUE(H->ok());
+
+    std::atomic<bool> Stop{false};
+    std::vector<std::thread> Drivers;
+    for (int T = 0; T < 3; ++T) {
+      Drivers.emplace_back([&H, &Stop, T] {
+        auto C = H->client();
+        if (!C)
+          return;
+        for (int I = 0; I < 64 && C->ok() && !Stop.load(); ++I) {
+          if (T == 0) {
+            // Park a session and immediately drive it to completion.
+            uint64_t S = parkSweep(*C);
+            if (S) {
+              svc::ResumeRequestMsg Res;
+              Res.Tenant = "t";
+              Res.SessionId = S;
+              Res.Op = svc::ResumeOp::Dispatch;
+              Res.Dispatcher = uint8_t(DispatcherKind::Unwind);
+              Res.CloseAfter = true;
+              C->resume(std::move(Res));
+            }
+          } else {
+            C->run(runMsg(addOneSource()));
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 + 5 * Round));
+    H->server().requestStop();
+    Stop.store(true);
+    for (std::thread &Th : Drivers)
+      Th.join();
+    // Sessions still parked at shutdown are swept (and counted closed) by
+    // join(); only after it is the accounting final.
+    H->server().join();
+
+    MetricsRegistry &M = H->server().metrics();
+    EXPECT_EQ(M.counter("svc.sessions").value(),
+              M.counter("svc.sessions_closed").value() +
+                  M.counter("svc.sessions_expired").value())
+        << "round " << Round << ": a session was lost or double-counted";
+    EXPECT_EQ(H->server().sessionsOpen(), 0) << "round " << Round;
+    EXPECT_EQ(M.gauge("svc.sessions_open").value(), 0) << "round " << Round;
+    EXPECT_EQ(M.gauge("svc.inflight").value(), 0)
+        << "round " << Round << ": the drain left a request in flight";
+    H.reset(); // ~ServiceHarness: idempotent stop + join
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -19,6 +19,7 @@
 //   --no-prims         disable %divu/%shra/... expressions
 //   --no-handlers      generate raise-free programs
 //   --no-vm            skip the bytecode-VM and threaded conformance columns
+//   --scheduled        add the scheduled-vs-direct column (green threads)
 //   --minimize SEED    shrink SEED's divergence to a small reproducer
 //   --repro-out FILE   where --minimize writes the .cmm ("-" for stdout)
 //   --require-ablation fail unless the also-edges ablation diverged
@@ -70,6 +71,9 @@ void usage() {
       "  --no-prims         disable %%divu/%%shra/... expressions\n"
       "  --no-handlers      generate raise-free programs\n"
       "  --no-vm            skip the bytecode-VM and threaded conformance columns\n"
+      "  --scheduled        add the scheduled-vs-direct column: each seed\n"
+      "                     also runs as a green thread under the M:N\n"
+      "                     scheduler and must match the direct outcome\n"
       "  --minimize SEED    shrink SEED's divergence to a reproducer\n"
       "  --repro-out FILE   where --minimize writes the .cmm (\"-\" "
       "stdout)\n"
@@ -173,6 +177,8 @@ int main(int Argc, char **Argv) {
       Opts.Gen.UseHandlers = false;
     } else if (A == "--no-vm") {
       Opts.CheckVm = false;
+    } else if (A == "--scheduled") {
+      Opts.CheckScheduled = true;
     } else if (A == "--minimize") {
       const char *V = NextArg();
       if (!V) {

@@ -339,6 +339,34 @@ void textReport(const Inputs &In) {
                     Run, Jobs);
     }
 
+    // Green-threads schedules (sched.*; docs/SCHEDULER.md), when the
+    // snapshot came from a scheduler-enabled run. The quiescence
+    // invariant: once every schedule has completed, the live / runnable /
+    // parked gauges must all have drained back to zero.
+    double SchedRuns = counterOf(S, "sched.runs");
+    if (SchedRuns > 0) {
+      auto G = [&](const char *N) {
+        auto It = S.Gauges.find(N);
+        return It == S.Gauges.end() ? 0.0 : It->second;
+      };
+      std::printf("sched: %.0f schedules, %.0f green threads, %.0f context "
+                  "switches; %.0f sends / %.0f recvs, %.0f timer waits, "
+                  "%.0f joins, %.0f deadlocks\n",
+                  SchedRuns, counterOf(S, "sched.threads_spawned"),
+                  counterOf(S, "sched.context_switches"),
+                  counterOf(S, "sched.chan_sends"),
+                  counterOf(S, "sched.chan_recvs"),
+                  counterOf(S, "sched.timer_waits"),
+                  counterOf(S, "sched.joins"),
+                  counterOf(S, "sched.deadlocks"));
+      double Live = G("sched.threads_live"), Runnable = G("sched.runnable"),
+             ParkedG = G("sched.parked");
+      if (Live != 0 || Runnable != 0 || ParkedG != 0)
+        std::printf("sched RECONCILE FAIL: quiescent gauges nonzero "
+                    "(threads_live %.0f, runnable %.0f, parked %.0f)\n",
+                    Live, Runnable, ParkedG);
+    }
+
     // The time dimension: cumulative cache hit rate and queue depth per
     // snapshot. Only timed snapshots belong on the curve; untimed final
     // metrics objects would show up as a bogus t_ms=0 row.
